@@ -1,0 +1,36 @@
+//! **B5 — self-triggering cascade depth** (§4.1, Example 4.1).
+//!
+//! Delete the root of a complete management tree; the recursive rule fires
+//! once per level (set-oriented: a whole level per transition). Expected
+//! shape: time tracks total tree size; the number of rule transitions
+//! equals the depth, not the node count.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::org_tree_system;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b5_cascade_depth");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    // (depth, fanout) — node counts: 156, 121, 127.
+    for &(depth, fanout) in &[(4usize, 5usize), (5, 3), (7, 2)] {
+        let label = format!("d{depth}_f{fanout}");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(depth, fanout), |b, &(d, f)| {
+            b.iter_batched(
+                || org_tree_system(d, f),
+                |mut sys| {
+                    let out = sys.transaction("delete from emp where emp_no = 0").unwrap();
+                    // One set-oriented firing per level (+1 empty closer).
+                    assert_eq!(out.fired().len(), d, "one transition per tree level");
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

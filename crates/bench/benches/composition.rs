@@ -1,0 +1,62 @@
+//! **B2 — transition-effect composition cost** (Definition 2.1).
+//!
+//! Compose `k` transitions each touching `m` tuples. Expected shape:
+//! roughly linear in `k·m` (set unions dominate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setrules_core::TransitionEffect;
+use setrules_storage::{ColumnId, TupleHandle};
+
+/// Build `k` effects over disjoint-ish handle ranges: each inserts `m/3`,
+/// deletes `m/3` of the previous window's inserts, and updates `m/3`.
+fn make_effects(k: usize, m: usize) -> Vec<TransitionEffect> {
+    let third = (m / 3).max(1);
+    let mut out = Vec::with_capacity(k);
+    let mut next = 1u64;
+    let mut prev_inserted: Vec<TupleHandle> = Vec::new();
+    for _ in 0..k {
+        let inserted: Vec<TupleHandle> = (0..third)
+            .map(|_| {
+                next += 1;
+                TupleHandle(next)
+            })
+            .collect();
+        let deleted: Vec<TupleHandle> = prev_inserted.iter().take(third).copied().collect();
+        let updated: Vec<(TupleHandle, ColumnId)> = prev_inserted
+            .iter()
+            .skip(third)
+            .take(third)
+            .map(|h| (*h, ColumnId(0)))
+            .collect();
+        let mut e = TransitionEffect::of_insert(inserted.iter().copied());
+        e.deleted.extend(deleted);
+        e.updated.extend(updated);
+        prev_inserted = inserted;
+        out.push(e);
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b2_effect_composition");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[2usize, 8, 32] {
+        for &m in &[30usize, 300, 3_000] {
+            let effects = make_effects(k, m);
+            g.bench_with_input(BenchmarkId::new(format!("k{k}"), m), &effects, |b, effects| {
+                b.iter(|| {
+                    let net = effects
+                        .iter()
+                        .fold(TransitionEffect::new(), |acc, e| acc.compose(e));
+                    assert!(net.check_disjoint());
+                    net
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

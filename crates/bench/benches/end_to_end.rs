@@ -1,0 +1,54 @@
+//! **B8 — end-to-end transaction cost vs rule work** (§4, Figure 1).
+//!
+//! Three axes: (a) chained cascades of depth 0/1/4/16 (each firing
+//! triggers the next rule); (b) a transaction vetoed by a `rollback` rule
+//! (undo cost); (c) the bare no-rules baseline. Expected shape: linear in
+//! chain depth with a near-constant per-transition overhead; rollback
+//! comparable to commit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::chain_system;
+use setrules_core::RuleSystem;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b8_end_to_end");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+
+    for &depth in &[0usize, 1, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("chain", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || chain_system(depth),
+                |mut sys| {
+                    let out = sys.transaction("insert into t0 values (1)").unwrap();
+                    assert_eq!(out.fired().len(), depth);
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+
+    g.bench_function("rollback_veto", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = RuleSystem::new();
+                sys.execute("create table t (k int)").unwrap();
+                sys.execute("create rule veto when inserted into t then rollback").unwrap();
+                sys
+            },
+            |mut sys| {
+                let out = sys.transaction("insert into t values (1), (2), (3)").unwrap();
+                assert!(!out.committed());
+                sys
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **B7 — relational optimization applies to rule bodies** (§1: query
+//! optimization "is not inhibited by the presence of our set-oriented
+//! production rules; furthermore, it is directly applicable to the rules
+//! themselves").
+//!
+//! A rule's action deletes the ~10 rows of one department out of an `emp`
+//! table of N rows, via an equality predicate. With a hash index on
+//! `dept_no` the planner probes; without it, the action scans. Expected
+//! shape: indexed time ~flat in N, unindexed grows linearly — the gap
+//! widens with table size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::{emp_system, load_emps};
+
+fn build(n: usize, indexed: bool) -> setrules_core::RuleSystem {
+    let mut sys = emp_system(0);
+    if indexed {
+        sys.execute("create index on emp (dept_no)").unwrap();
+    }
+    // dept_no cycles 0..10 in the bulk data; to keep the rule's output
+    // small and constant, put exactly 10 rows in dept 77.
+    load_emps(&mut sys, n);
+    let special: Vec<String> =
+        (0..10).map(|i| format!("('x{i}', {}, 1.0, 77)", 1_000_000 + i)).collect();
+    sys.transaction_without_rules(&format!("insert into emp values {}", special.join(", ")))
+        .unwrap();
+    sys.execute("create table trigger_t (k int)").unwrap();
+    sys.execute(
+        "create rule purge when inserted into trigger_t \
+         then delete from emp where dept_no = 77",
+    )
+    .unwrap();
+    sys
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b7_index_in_rule_action");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        for indexed in [false, true] {
+            let label = if indexed { "indexed" } else { "scan" };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_batched(
+                    || build(n, indexed),
+                    |mut sys| {
+                        let out = sys.transaction("insert into trigger_t values (1)").unwrap();
+                        assert_eq!(out.fired()[0].deleted, 10);
+                        sys
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

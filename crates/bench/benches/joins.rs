@@ -1,0 +1,64 @@
+//! **B10 — hash equi-join vs nested-loop join** (ablation for the query
+//! engine's join fast path, which rule conditions and actions use like any
+//! other query — §1's "extensive optimization").
+//!
+//! The same N×N join, keyed once on an `int` column (hash-join eligible)
+//! and once on a `float` column with identical whole-number values (falls
+//! back to the nested loop: float keys are excluded from hashing for
+//! `-0.0`/NaN safety). Expected shape: hash join ~linear in N, nested loop
+//! quadratic.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_core::RuleSystem;
+
+fn join_system(n: usize) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table a (ki int, kf float, v int)").unwrap();
+    sys.execute("create table b (ki int, kf float, w int)").unwrap();
+    for table in ["a", "b"] {
+        let rows: Vec<String> =
+            (0..n).map(|i| format!("({}, {}.0, {i})", i % (n / 2 + 1), i % (n / 2 + 1))).collect();
+        sys.transaction_without_rules(&format!("insert into {table} values {}", rows.join(", ")))
+            .unwrap();
+    }
+    sys
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b10_join");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for &n in &[100usize, 400, 1_600] {
+        g.bench_with_input(BenchmarkId::new("hash_int_key", n), &n, |b, &n| {
+            b.iter_batched(
+                || join_system(n),
+                |sys| {
+                    let rel = sys
+                        .query("select count(*) from a x, b y where x.ki = y.ki")
+                        .unwrap();
+                    assert!(rel.scalar().unwrap().as_i64().unwrap() >= n as i64);
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("nested_float_key", n), &n, |b, &n| {
+            b.iter_batched(
+                || join_system(n),
+                |sys| {
+                    let rel = sys
+                        .query("select count(*) from a x, b y where x.kf = y.kf")
+                        .unwrap();
+                    assert!(rel.scalar().unwrap().as_i64().unwrap() >= n as i64);
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **B4 — rule selection strategies** (§4.4).
+//!
+//! `R` independent rules all trigger on one insert; each firing forces a
+//! fresh `select-eligible-rule` pass over the triggered set. Compares the
+//! strategies (creation order, priority partial order with a declared
+//! chain, least/most-recently-considered). Expected shape: all roughly
+//! quadratic in R (R selection passes over up to R candidates); partial
+//! order costs more per pass (reachability checks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::fanout_system;
+use setrules_core::{EngineConfig, SelectionStrategy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b4_selection_strategies");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20);
+    let strategies = [
+        ("creation_order", SelectionStrategy::CreationOrder, false),
+        ("partial_order_chain", SelectionStrategy::PartialOrder, true),
+        ("least_recently", SelectionStrategy::LeastRecentlyConsidered, false),
+        ("most_recently", SelectionStrategy::MostRecentlyConsidered, false),
+    ];
+    for &(name, strategy, chain) in &strategies {
+        for &rules in &[2usize, 8, 32] {
+            g.bench_with_input(BenchmarkId::new(name, rules), &rules, |b, &rules| {
+                b.iter_batched(
+                    || {
+                        fanout_system(
+                            rules,
+                            EngineConfig { strategy, ..EngineConfig::default() },
+                            chain,
+                        )
+                    },
+                    |mut sys| {
+                        let out = sys.transaction("insert into t values (0)").unwrap();
+                        assert_eq!(out.fired().len(), rules);
+                        sys
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

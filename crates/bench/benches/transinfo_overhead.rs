@@ -1,0 +1,36 @@
+//! **B3 — per-rule trans-info maintenance overhead** (§4.3: "associating
+//! transition information on a rule-by-rule basis will introduce
+//! considerable redundancy — there is substantial need and room for
+//! optimization here").
+//!
+//! `R` bystander rules are defined but never triggered; a transaction
+//! updates 200 rows of an unrelated table. Figure 1's algorithm still
+//! composes the transition into every rule's window. Expected shape: cost
+//! grows linearly with R — the redundancy the paper calls out.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::bystander_system;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b3_transinfo_overhead");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20);
+    for &rules in &[0usize, 1, 4, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, &rules| {
+            b.iter_batched(
+                || bystander_system(rules, 200),
+                |mut sys| {
+                    let out = sys.transaction("update data set v = v + 1").unwrap();
+                    assert!(out.fired().is_empty());
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **B6 — transition-table materialization and condition evaluation**
+//! (§3/§4: conditions over `old`/`new updated` tables).
+//!
+//! Example 3.2's condition (sum over `new updated` vs `old updated`)
+//! evaluated over change sets of increasing size. Expected shape: linear
+//! in the changed-set size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::emp_system;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b6_transition_tables");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20);
+    for &n in &[10usize, 100, 1_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut sys = emp_system(n);
+                    sys.execute(
+                        "create rule watch when updated emp.salary \
+                         if (select sum(salary) from new updated emp.salary) > \
+                            (select sum(salary) from old updated emp.salary) \
+                         then select count(*) from new updated emp.salary",
+                    )
+                    .unwrap();
+                    sys
+                },
+                |mut sys| {
+                    // Update every salary: the window holds n updated tuples;
+                    // the condition scans old+new transition tables.
+                    let out = sys.transaction("update emp set salary = salary + 1").unwrap();
+                    assert_eq!(out.fired().len(), 1);
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

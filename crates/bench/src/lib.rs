@@ -1,0 +1,194 @@
+//! Shared workload builders for the benchmark suite (DESIGN.md §5).
+//!
+//! The paper has no quantitative evaluation; these benches regenerate its
+//! *qualitative* performance claims — see `EXPERIMENTS.md` for the index
+//! and expected shapes.
+
+#![warn(missing_docs)]
+
+use setrules_core::{EngineConfig, RuleSystem};
+use setrules_instance::{InstanceEngine, TriggerEvent};
+
+/// Build a parent/child schema with `parents` parent rows, each referenced
+/// by `children_per` child rows, plus Example 3.1's set-oriented cascade
+/// rule.
+pub fn set_cascade_system(parents: usize, children_per: usize) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table parent (pk int, payload int)").unwrap();
+    sys.execute("create table child (fk int, payload int)").unwrap();
+    sys.execute(
+        "create rule cascade when deleted from parent \
+         then delete from child where fk in (select pk from deleted parent)",
+    )
+    .unwrap();
+    load_parent_child(&mut sys, parents, children_per);
+    sys
+}
+
+/// The same schema and data with a per-row cascade trigger on the
+/// instance-oriented engine.
+pub fn instance_cascade_system(parents: usize, children_per: usize) -> InstanceEngine {
+    let mut eng = InstanceEngine::new();
+    eng.create_table("create table parent (pk int, payload int)").unwrap();
+    eng.create_table("create table child (fk int, payload int)").unwrap();
+    eng.create_trigger(
+        "cascade",
+        "parent",
+        TriggerEvent::Delete,
+        None,
+        "delete from child where fk = old.pk",
+    )
+    .unwrap();
+    let mut stmts = Vec::new();
+    build_parent_child_sql(parents, children_per, &mut stmts);
+    for s in stmts {
+        eng.execute(&s).unwrap();
+    }
+    eng
+}
+
+/// Load parent/child rows into a rule system without firing rules.
+pub fn load_parent_child(sys: &mut RuleSystem, parents: usize, children_per: usize) {
+    let mut stmts = Vec::new();
+    build_parent_child_sql(parents, children_per, &mut stmts);
+    for s in stmts {
+        sys.transaction_without_rules(&s).unwrap();
+    }
+}
+
+fn build_parent_child_sql(parents: usize, children_per: usize, out: &mut Vec<String>) {
+    for chunk in (0..parents).collect::<Vec<_>>().chunks(512) {
+        let rows: Vec<String> = chunk.iter().map(|p| format!("({p}, {p})")).collect();
+        out.push(format!("insert into parent values {}", rows.join(", ")));
+    }
+    let all: Vec<(usize, usize)> =
+        (0..parents).flat_map(|p| (0..children_per).map(move |c| (p, c))).collect();
+    for chunk in all.chunks(512) {
+        let rows: Vec<String> = chunk.iter().map(|(p, c)| format!("({p}, {c})")).collect();
+        out.push(format!("insert into child values {}", rows.join(", ")));
+    }
+}
+
+/// Build an `emp` table with `n` rows (dept_no cycles 0..10) and no rules.
+pub fn emp_system(n: usize) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    load_emps(&mut sys, n);
+    sys
+}
+
+/// Append `n` employees to an existing `emp` table.
+pub fn load_emps(sys: &mut RuleSystem, n: usize) {
+    for chunk in (0..n).collect::<Vec<_>>().chunks(512) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("('e{i}', {i}, {}.0, {})", 1000 + i, i % 10))
+            .collect();
+        sys.transaction_without_rules(&format!("insert into emp values {}", rows.join(", ")))
+            .unwrap();
+    }
+}
+
+/// Build Example 4.1's org tree: a complete `fanout`-ary management tree of
+/// the given `depth` (depth 1 = just the root), with the recursive cascade
+/// rule installed. Returns the system; deleting employee 0 reaps the tree.
+pub fn org_tree_system(depth: usize, fanout: usize) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+    sys.execute(
+        "create rule r41 when deleted from emp \
+         then delete from emp where dept_no in \
+                (select dept_no from dept where mgr_no in (select emp_no from deleted emp)); \
+              delete from dept where mgr_no in (select emp_no from deleted emp)",
+    )
+    .unwrap();
+
+    // Breadth-first construction: employee k manages dept k (containing
+    // its children).
+    let mut emp_rows = vec!["('root', 0, 1.0, -1)".to_string()];
+    let mut dept_rows = Vec::new();
+    let mut frontier = vec![0usize];
+    let mut next_id = 1usize;
+    for _ in 1..depth {
+        let mut next_frontier = Vec::new();
+        for mgr in frontier {
+            dept_rows.push(format!("({mgr}, {mgr})"));
+            for _ in 0..fanout {
+                emp_rows.push(format!("('e{next_id}', {next_id}, 1.0, {mgr})"));
+                next_frontier.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = next_frontier;
+    }
+    for chunk in emp_rows.chunks(512) {
+        sys.transaction_without_rules(&format!("insert into emp values {}", chunk.join(", ")))
+            .unwrap();
+    }
+    for chunk in dept_rows.chunks(512) {
+        sys.transaction_without_rules(&format!("insert into dept values {}", chunk.join(", ")))
+            .unwrap();
+    }
+    sys
+}
+
+/// A system with `n_rules` inert rules watching table `other` (never
+/// touched) and a `data` table of `rows` rows — used to measure per-rule
+/// trans-info maintenance overhead (B3).
+pub fn bystander_system(n_rules: usize, rows: usize) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table data (k int, v int)").unwrap();
+    sys.execute("create table other (k int)").unwrap();
+    for i in 0..n_rules {
+        sys.execute(&format!(
+            "create rule bystander{i} when inserted into other then delete from other"
+        ))
+        .unwrap();
+    }
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(512) {
+        let vals: Vec<String> = chunk.iter().map(|i| format!("({i}, 0)")).collect();
+        sys.transaction_without_rules(&format!("insert into data values {}", vals.join(", ")))
+            .unwrap();
+    }
+    sys
+}
+
+/// A system where `n_rules` independent rules all trigger on the same
+/// insert, each appending one row to `sink` — used for the selection
+/// strategy benches (B4).
+pub fn fanout_system(n_rules: usize, config: EngineConfig, chain_priorities: bool) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(config);
+    sys.execute("create table t (k int)").unwrap();
+    sys.execute("create table sink (k int)").unwrap();
+    for i in 0..n_rules {
+        sys.execute(&format!(
+            "create rule fan{i} when inserted into t then insert into sink values ({i})"
+        ))
+        .unwrap();
+    }
+    if chain_priorities {
+        for i in 1..n_rules {
+            sys.execute(&format!("create rule priority fan{} before fan{}", i - 1, i)).unwrap();
+        }
+    }
+    sys
+}
+
+/// A chain of `depth` rules: inserting into `t0` makes rule `i` copy into
+/// `t(i+1)` — used for the end-to-end cascade-depth bench (B8).
+pub fn chain_system(depth: usize) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    for i in 0..=depth {
+        sys.execute(&format!("create table t{i} (k int)")).unwrap();
+    }
+    for i in 0..depth {
+        sys.execute(&format!(
+            "create rule link{i} when inserted into t{i} \
+             then insert into t{} (select k from inserted t{i})",
+            i + 1
+        ))
+        .unwrap();
+    }
+    sys
+}

@@ -1,0 +1,890 @@
+//! The rule execution engine — the paper's Figure 1 algorithm with the §4
+//! semantics, plus the §5.3 transaction-flexibility extensions.
+//!
+//! A transaction is one externally-generated operation block followed by
+//! rule processing (§4): rules are repeatedly selected from the triggered
+//! set, their conditions evaluated against their own composite windows, and
+//! their actions executed — each action creating a new transition that is
+//! composed into every *other* rule's window while resetting the acting
+//! rule's window to just that transition (§4.2). Processing ends when no
+//! triggered rule has a true condition; then the transaction commits. A
+//! `rollback` action restores the transaction's start state.
+
+use std::collections::{BTreeSet, HashMap};
+
+use setrules_query::{
+    execute_op, execute_query, NoTransitionTables, OpEffect, Relation,
+};
+use setrules_sql::ast::{CreateRule, DmlOp, Statement};
+use setrules_sql::{parse_op_block, parse_statement, parse_statements};
+use setrules_storage::{Database, TableSchema, UndoMark};
+
+use crate::error::RuleError;
+use crate::external::{ActionCtx, ExternalAction};
+use crate::priority::PriorityGraph;
+use crate::rule::{CompiledAction, Rule, RuleId};
+use crate::selection::{select_rule, SelectionStrategy};
+use crate::transinfo::TransInfo;
+use crate::transition_tables::{RuleWindowProvider, RuleWindowRef};
+
+/// Which composite window a rule is (re)considered against — the paper's
+/// default (§4.2) and the two footnote-8 alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetriggerSemantics {
+    /// §4.2 (default): a rule's window restarts when *its own action*
+    /// executes; otherwise it extends back to the start of the transaction
+    /// (or its last action).
+    #[default]
+    SinceLastAction,
+    /// Footnote 8, first alternative: the window restarts whenever the
+    /// rule is *chosen for consideration*, whether or not its action runs.
+    SinceLastConsidered,
+    /// Footnote 8, second alternative (\[WF89b\]): the window restarts at
+    /// the most recent transition that triggers the rule by itself.
+    SinceLastTriggering,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum rule-generated transitions per transaction — the run-time
+    /// divergence guard of footnote 7. Exceeding it rolls back and raises
+    /// [`RuleError::LoopLimitExceeded`].
+    pub max_rule_transitions: usize,
+    /// Track `select` operations in transition effects (§5.1 extension).
+    pub track_selects: bool,
+    /// Window semantics for rule reconsideration.
+    pub retrigger: RetriggerSemantics,
+    /// Rule selection strategy (§4.4).
+    pub strategy: SelectionStrategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rule_transitions: 10_000,
+            track_selects: false,
+            retrigger: RetriggerSemantics::default(),
+            strategy: SelectionStrategy::default(),
+        }
+    }
+}
+
+/// One rule firing in a transaction's trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredRule {
+    /// The rule that fired.
+    pub rule: String,
+    /// Tuples its transition inserted (net).
+    pub inserted: usize,
+    /// Tuples its transition deleted (net).
+    pub deleted: usize,
+    /// Tuples its transition updated (net).
+    pub updated: usize,
+}
+
+/// The result of a committed-or-rolled-back transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnOutcome {
+    /// The transaction committed.
+    Committed {
+        /// Rule firings, in execution order.
+        fired: Vec<FiredRule>,
+        /// Number of rule-generated transitions.
+        transitions: usize,
+        /// Output of the last `select` operation in the transaction
+        /// (external or rule-generated), if any.
+        output: Option<Relation>,
+    },
+    /// A rule with a `rollback` action fired; the database is back at the
+    /// transaction's start state.
+    RolledBack {
+        /// The rule that requested rollback.
+        by_rule: String,
+        /// Firings that happened (and were undone) before the rollback.
+        fired: Vec<FiredRule>,
+    },
+}
+
+impl TxnOutcome {
+    /// Whether the transaction committed.
+    pub fn committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+
+    /// The firing trace.
+    pub fn fired(&self) -> &[FiredRule] {
+        match self {
+            TxnOutcome::Committed { fired, .. } | TxnOutcome::RolledBack { fired, .. } => fired,
+        }
+    }
+}
+
+/// Report of a `process rules` triggering point (§5.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessReport {
+    /// Rules fired during this processing pass.
+    pub fired: Vec<FiredRule>,
+    /// Set when a `rollback` action fired — the transaction is gone.
+    pub rolled_back_by: Option<String>,
+}
+
+/// Outcome of [`RuleSystem::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A DDL statement was applied (message describes it).
+    Ddl(String),
+    /// A DML statement ran as its own transaction.
+    Txn(TxnOutcome),
+    /// A DML operation ran inside the open transaction (rules not yet
+    /// processed).
+    OpExecuted {
+        /// Tuples affected (rows returned, for `select`).
+        affected: usize,
+        /// `select` output.
+        output: Option<Relation>,
+    },
+    /// A `process rules` triggering point ran inside the open transaction.
+    RulesProcessed(ProcessReport),
+}
+
+struct TxnState {
+    mark: UndoMark,
+    /// Per-rule composite windows (`R.trans-info` of Fig. 1), parallel to
+    /// `RuleSystem::rules`.
+    rule_infos: Vec<TransInfo>,
+    /// External changes since the last rule processing pass.
+    pending: TransInfo,
+    trace: Vec<FiredRule>,
+    transitions_used: usize,
+    last_output: Option<Relation>,
+}
+
+/// A relational database with a set-oriented production rules facility —
+/// the system of Widom & Finkelstein (SIGMOD 1990).
+///
+/// ```
+/// use setrules_core::RuleSystem;
+///
+/// let mut sys = RuleSystem::new();
+/// sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+/// sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+/// // Example 3.1: cascaded delete.
+/// sys.execute(
+///     "create rule cascade when deleted from dept \
+///      then delete from emp where dept_no in (select dept_no from deleted dept)",
+/// ).unwrap();
+/// sys.execute("insert into dept values (1, 10)").unwrap();
+/// sys.execute("insert into emp values ('Jane', 10, 95000.0, 1)").unwrap();
+/// sys.execute("delete from dept where dept_no = 1").unwrap();
+/// assert_eq!(sys.query("select count(*) from emp").unwrap().scalar().unwrap().as_i64(), Some(0));
+/// ```
+pub struct RuleSystem {
+    db: Database,
+    rules: Vec<Rule>,
+    by_name: HashMap<String, RuleId>,
+    priorities: PriorityGraph,
+    config: EngineConfig,
+    txn: Option<TxnState>,
+    /// Logical consideration timestamps (for the recency strategies).
+    last_considered: Vec<Option<u64>>,
+    consider_clock: u64,
+    /// Windows accumulated by [`RuleSystem::transaction_without_rules`]
+    /// awaiting [`RuleSystem::process_deferred`] (§5.3).
+    deferred: TransInfo,
+}
+
+impl Default for RuleSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuleSystem {
+    /// A fresh system with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// A fresh system with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        RuleSystem {
+            db: Database::new(),
+            rules: Vec::new(),
+            by_name: HashMap::new(),
+            priorities: PriorityGraph::new(),
+            config,
+            txn: None,
+            last_considered: Vec::new(),
+            consider_clock: 0,
+            deferred: TransInfo::new(),
+        }
+    }
+
+    /// Read-only access to the database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Change the selection strategy (allowed any time outside a
+    /// transaction).
+    pub fn set_strategy(&mut self, strategy: SelectionStrategy) -> Result<(), RuleError> {
+        self.require_no_txn()?;
+        self.config.strategy = strategy;
+        Ok(())
+    }
+
+    /// The defined (non-dropped) rules, in creation order.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|r| !r.dropped)
+    }
+
+    /// Look up a rule by name.
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        self.by_name.get(name).map(|id| &self.rules[id.0])
+    }
+
+    /// The priority partial order (§4.4).
+    pub fn priorities(&self) -> &PriorityGraph {
+        &self.priorities
+    }
+
+    /// The declared priority pairs, as (higher, lower) names.
+    pub fn priority_pairs(&self) -> Vec<(String, String)> {
+        self.priorities
+            .pairs()
+            .map(|(h, l)| (self.rules[h.0].name.clone(), self.rules[l.0].name.clone()))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Statement interface
+    // ------------------------------------------------------------------
+
+    /// Execute one statement: DDL takes effect immediately (not inside a
+    /// transaction); DML outside a transaction runs as a complete
+    /// transaction (operation block + rule processing + commit); DML
+    /// inside an open transaction just runs the operation.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome, RuleError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(stmt)
+    }
+
+    /// Execute a `;`-separated script, stopping at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<ExecOutcome>, RuleError> {
+        let stmts = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(self.execute_stmt(s)?);
+        }
+        Ok(out)
+    }
+
+    fn execute_stmt(&mut self, stmt: Statement) -> Result<ExecOutcome, RuleError> {
+        match stmt {
+            Statement::CreateTable(ct) => {
+                self.require_no_txn()?;
+                let cols = ct
+                    .columns
+                    .into_iter()
+                    .map(|(n, ty)| setrules_storage::ColumnDef::new(n, ty))
+                    .collect();
+                self.db.create_table(TableSchema::new(ct.name.clone(), cols))?;
+                Ok(ExecOutcome::Ddl(format!("table '{}' created", ct.name)))
+            }
+            Statement::DropTable(name) => {
+                self.require_no_txn()?;
+                let tid = self.db.table_id(&name)?;
+                if let Some(r) = self.rules.iter().find(|r| r.referenced_tables.contains(&tid)) {
+                    return Err(RuleError::TableReferencedByRules {
+                        table: name,
+                        rule: r.name.clone(),
+                    });
+                }
+                self.db.drop_table(&name)?;
+                Ok(ExecOutcome::Ddl(format!("table '{name}' dropped")))
+            }
+            Statement::CreateIndex { table, column } => {
+                self.require_no_txn()?;
+                let tid = self.db.table_id(&table)?;
+                let c = self.db.schema(tid).column_id(&column)?;
+                self.db.create_index(tid, c)?;
+                Ok(ExecOutcome::Ddl(format!("index on '{table}.{column}' created")))
+            }
+            Statement::DropIndex { table, column } => {
+                self.require_no_txn()?;
+                let tid = self.db.table_id(&table)?;
+                let c = self.db.schema(tid).column_id(&column)?;
+                self.db.drop_index(tid, c);
+                Ok(ExecOutcome::Ddl(format!("index on '{table}.{column}' dropped")))
+            }
+            Statement::CreateRule(def) => {
+                self.create_rule(&def)?;
+                Ok(ExecOutcome::Ddl(format!("rule '{}' created", def.name)))
+            }
+            Statement::DropRule(name) => {
+                self.drop_rule(&name)?;
+                Ok(ExecOutcome::Ddl(format!("rule '{name}' dropped")))
+            }
+            Statement::ActivateRule(name) => {
+                self.set_rule_active(&name, true)?;
+                Ok(ExecOutcome::Ddl(format!("rule '{name}' activated")))
+            }
+            Statement::DeactivateRule(name) => {
+                self.set_rule_active(&name, false)?;
+                Ok(ExecOutcome::Ddl(format!("rule '{name}' deactivated")))
+            }
+            Statement::CreatePriority { higher, lower } => {
+                self.add_priority(&higher, &lower)?;
+                Ok(ExecOutcome::Ddl(format!("priority '{higher}' before '{lower}'")))
+            }
+            Statement::ProcessRules => {
+                let report = self.process_rules()?;
+                Ok(ExecOutcome::RulesProcessed(report))
+            }
+            Statement::Dml(op) => {
+                if self.txn.is_some() {
+                    let (affected, output) = self.run_op_in_txn(&op)?;
+                    Ok(ExecOutcome::OpExecuted { affected, output })
+                } else {
+                    Ok(ExecOutcome::Txn(self.transaction_ops(&[op])?))
+                }
+            }
+        }
+    }
+
+    /// Describe the access path for each `from` item of a select — how
+    /// the planner would execute it (seq scan vs index probe).
+    pub fn explain(&self, sql: &str) -> Result<String, RuleError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Dml(DmlOp::Select(sel)) = stmt else {
+            return Err(RuleError::Unsupported("explain() accepts only select statements".into()));
+        };
+        let ctx = setrules_query::QueryCtx::plain(&self.db);
+        Ok(setrules_query::explain_select(ctx, &sel))
+    }
+
+    /// Run a read-only query (no rule processing, no effect tracking;
+    /// allowed inside or outside transactions).
+    pub fn query(&self, sql: &str) -> Result<Relation, RuleError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Dml(DmlOp::Select(sel)) = stmt else {
+            return Err(RuleError::Unsupported("query() accepts only select statements".into()));
+        };
+        Ok(execute_query(&self.db, &NoTransitionTables, &sel)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Rule administration
+    // ------------------------------------------------------------------
+
+    /// Define a rule from its parsed form.
+    pub fn create_rule(&mut self, def: &CreateRule) -> Result<RuleId, RuleError> {
+        self.require_no_txn()?;
+        if self.by_name.contains_key(&def.name) {
+            return Err(RuleError::DuplicateRule(def.name.clone()));
+        }
+        let id = RuleId(self.rules.len());
+        let rule = Rule::compile(&self.db, id, def)?;
+        self.by_name.insert(def.name.clone(), id);
+        self.rules.push(rule);
+        self.last_considered.push(None);
+        Ok(id)
+    }
+
+    /// Define a rule from SQL text (`create rule ...`).
+    pub fn create_rule_str(&mut self, sql: &str) -> Result<RuleId, RuleError> {
+        match parse_statement(sql)? {
+            Statement::CreateRule(def) => self.create_rule(&def),
+            _ => Err(RuleError::Unsupported("expected a 'create rule' statement".into())),
+        }
+    }
+
+    /// Define a rule whose action is an external procedure (§5.2). `when`
+    /// is a transition-predicate list (e.g. `"inserted into emp or updated
+    /// emp.salary"`); `condition` is an optional SQL predicate.
+    pub fn create_rule_external(
+        &mut self,
+        name: &str,
+        when: &str,
+        condition: Option<&str>,
+        action: std::sync::Arc<dyn ExternalAction>,
+    ) -> Result<RuleId, RuleError> {
+        self.require_no_txn()?;
+        if self.by_name.contains_key(name) {
+            return Err(RuleError::DuplicateRule(name.to_string()));
+        }
+        let when = setrules_sql::parse_trans_pred(when)?;
+        let condition = condition.map(setrules_sql::parse_expr).transpose()?;
+        let def = CreateRule {
+            name: name.to_string(),
+            when,
+            condition,
+            // Compile with a placeholder action; swapped below.
+            action: setrules_sql::ast::RuleAction::Rollback,
+        };
+        let id = RuleId(self.rules.len());
+        let mut rule = Rule::compile(&self.db, id, &def)?;
+        rule.action = CompiledAction::External(action);
+        self.by_name.insert(name.to_string(), id);
+        self.rules.push(rule);
+        self.last_considered.push(None);
+        Ok(id)
+    }
+
+    /// Drop a rule by name. Its priority edges are removed; its `RuleId`
+    /// is retired (ids are creation indexes and are not reused).
+    pub fn drop_rule(&mut self, name: &str) -> Result<(), RuleError> {
+        self.require_no_txn()?;
+        let id = *self.by_name.get(name).ok_or_else(|| RuleError::NoSuchRule(name.into()))?;
+        self.by_name.remove(name);
+        // Keep the slot (ids are indexes) but make it inert and invisible.
+        let rule = &mut self.rules[id.0];
+        rule.active = false;
+        rule.dropped = true;
+        rule.when.clear();
+        rule.referenced_tables.clear();
+        rule.licensed.clear();
+        self.priorities.remove_rule(id);
+        Ok(())
+    }
+
+    /// Activate or deactivate a rule.
+    pub fn set_rule_active(&mut self, name: &str, active: bool) -> Result<(), RuleError> {
+        self.require_no_txn()?;
+        let id = *self.by_name.get(name).ok_or_else(|| RuleError::NoSuchRule(name.into()))?;
+        self.rules[id.0].active = active;
+        Ok(())
+    }
+
+    /// Declare `higher` before `lower` (§4.4). Rejects cycles.
+    pub fn add_priority(&mut self, higher: &str, lower: &str) -> Result<(), RuleError> {
+        self.require_no_txn()?;
+        let h = *self.by_name.get(higher).ok_or_else(|| RuleError::NoSuchRule(higher.into()))?;
+        let l = *self.by_name.get(lower).ok_or_else(|| RuleError::NoSuchRule(lower.into()))?;
+        if !self.priorities.add(h, l) {
+            return Err(RuleError::PriorityCycle { higher: higher.into(), lower: lower.into() });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Run a `;`-separated operation block as one complete transaction.
+    pub fn transaction(&mut self, sql: &str) -> Result<TxnOutcome, RuleError> {
+        let ops = parse_op_block(sql)?;
+        self.transaction_ops(&ops)
+    }
+
+    /// Run parsed operations as one complete transaction.
+    pub fn transaction_ops(&mut self, ops: &[DmlOp]) -> Result<TxnOutcome, RuleError> {
+        self.begin()?;
+        for op in ops {
+            // On error, run_op_in_txn has already aborted the transaction.
+            self.run_op_in_txn(op)?;
+        }
+        self.commit()
+    }
+
+    /// Open a transaction explicitly (§5.3 usage: interleave operations and
+    /// `process rules` triggering points, then [`RuleSystem::commit`]).
+    pub fn begin(&mut self) -> Result<(), RuleError> {
+        self.require_no_txn()?;
+        self.txn = Some(TxnState {
+            mark: self.db.mark(),
+            rule_infos: vec![TransInfo::new(); self.rules.len()],
+            pending: TransInfo::new(),
+            trace: Vec::new(),
+            transitions_used: 0,
+            last_output: None,
+        });
+        Ok(())
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Execute one operation inside the open transaction (no rule
+    /// processing). Any error aborts and rolls back the transaction.
+    pub fn run_op(&mut self, sql: &str) -> Result<Option<Relation>, RuleError> {
+        let ops = match parse_op_block(sql) {
+            Ok(ops) => ops,
+            Err(e) => {
+                // A parse error does not abort: nothing was executed.
+                return Err(e.into());
+            }
+        };
+        let mut last = None;
+        for op in &ops {
+            let (_, out) = self.run_op_in_txn(op)?;
+            if out.is_some() {
+                last = out;
+            }
+        }
+        Ok(last)
+    }
+
+    fn run_op_in_txn(&mut self, op: &DmlOp) -> Result<(usize, Option<Relation>), RuleError> {
+        if self.txn.is_none() {
+            return Err(RuleError::NoOpenTransaction);
+        }
+        match execute_op(&mut self.db, &NoTransitionTables, op) {
+            Ok(eff) => {
+                let txn = self.txn.as_mut().expect("checked above");
+                let affected = eff.cardinality();
+                let output = match &eff {
+                    OpEffect::Select { output, .. } => {
+                        txn.last_output = Some(output.clone());
+                        Some(output.clone())
+                    }
+                    _ => None,
+                };
+                txn.pending.absorb(&eff, self.config.track_selects);
+                Ok((affected, output))
+            }
+            Err(e) => {
+                self.abort_internal();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Abandon the open transaction, restoring the start state.
+    pub fn rollback(&mut self) -> Result<(), RuleError> {
+        if self.txn.is_none() {
+            return Err(RuleError::NoOpenTransaction);
+        }
+        self.abort_internal();
+        Ok(())
+    }
+
+    fn abort_internal(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.db.rollback_to(txn.mark).expect("txn mark is valid");
+        }
+    }
+
+    /// A rule triggering point (§5.3): process rules now, mid-transaction.
+    /// "The externally-generated transition is considered complete, rules
+    /// are processed, and a new transition begins."
+    pub fn process_rules(&mut self) -> Result<ProcessReport, RuleError> {
+        if self.txn.is_none() {
+            return Err(RuleError::NoOpenTransaction);
+        }
+        let fired_before = self.txn.as_ref().expect("checked").trace.len();
+        let rolled_back_by = self.run_rule_processing()?;
+        match rolled_back_by {
+            Some(name) => {
+                let txn = self.txn.take().expect("still open on rollback path");
+                self.db.rollback_to(txn.mark).expect("txn mark is valid");
+                Ok(ProcessReport {
+                    fired: txn.trace[fired_before..].to_vec(),
+                    rolled_back_by: Some(name),
+                })
+            }
+            None => {
+                let txn = self.txn.as_ref().expect("still open");
+                Ok(ProcessReport {
+                    fired: txn.trace[fired_before..].to_vec(),
+                    rolled_back_by: None,
+                })
+            }
+        }
+    }
+
+    /// Process rules (unless already done for all changes) and commit the
+    /// open transaction.
+    pub fn commit(&mut self) -> Result<TxnOutcome, RuleError> {
+        if self.txn.is_none() {
+            return Err(RuleError::NoOpenTransaction);
+        }
+        let rolled_back_by = self.run_rule_processing()?;
+        let txn = self.txn.take().expect("open unless an error aborted");
+        match rolled_back_by {
+            Some(by_rule) => {
+                self.db.rollback_to(txn.mark).expect("txn mark is valid");
+                Ok(TxnOutcome::RolledBack { by_rule, fired: txn.trace })
+            }
+            None => {
+                self.db.commit();
+                Ok(TxnOutcome::Committed {
+                    fired: txn.trace,
+                    transitions: txn.transitions_used,
+                    output: txn.last_output,
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred rule processing across transactions (§5.3)
+    // ------------------------------------------------------------------
+
+    /// Execute and commit an operation block *without* processing rules;
+    /// its changes accumulate for a later [`RuleSystem::process_deferred`]
+    /// (§5.3: "it might be advantageous to execute several
+    /// externally-generated transactions before considering triggered
+    /// rules").
+    pub fn transaction_without_rules(&mut self, sql: &str) -> Result<(), RuleError> {
+        self.require_no_txn()?;
+        let ops = parse_op_block(sql)?;
+        let mark = self.db.mark();
+        let mut window = TransInfo::new();
+        for op in &ops {
+            match execute_op(&mut self.db, &NoTransitionTables, op) {
+                Ok(eff) => window.absorb(&eff, self.config.track_selects),
+                Err(e) => {
+                    self.db.rollback_to(mark).expect("mark valid");
+                    return Err(e.into());
+                }
+            }
+        }
+        self.db.commit();
+        self.deferred.compose(&window);
+        Ok(())
+    }
+
+    /// Process rules against everything accumulated by
+    /// [`RuleSystem::transaction_without_rules`]. Rule actions run in a
+    /// fresh transaction; a `rollback` action undoes *the rule actions
+    /// only* (the deferred external transactions already committed).
+    pub fn process_deferred(&mut self) -> Result<TxnOutcome, RuleError> {
+        self.require_no_txn()?;
+        let pending = std::mem::take(&mut self.deferred);
+        self.txn = Some(TxnState {
+            mark: self.db.mark(),
+            rule_infos: vec![TransInfo::new(); self.rules.len()],
+            pending,
+            trace: Vec::new(),
+            transitions_used: 0,
+            last_output: None,
+        });
+        self.commit()
+    }
+
+    /// Changes awaiting deferred processing.
+    pub fn deferred_window(&self) -> &TransInfo {
+        &self.deferred
+    }
+
+    /// Discard any changes awaiting deferred processing (used after bulk
+    /// loads that should not count as a pending transition).
+    pub fn clear_deferred(&mut self) {
+        self.deferred = TransInfo::new();
+    }
+
+    /// The composite window of the named rule in the open transaction —
+    /// a debugging aid; `None` when no transaction is open or the rule
+    /// does not exist.
+    pub fn current_window(&self, rule: &str) -> Option<&TransInfo> {
+        let txn = self.txn.as_ref()?;
+        let id = self.by_name.get(rule)?;
+        txn.rule_infos.get(id.0)
+    }
+
+    // ------------------------------------------------------------------
+    // The Figure 1 loop
+    // ------------------------------------------------------------------
+
+    /// Process rules until quiescence. Returns `Ok(Some(rule))` if a
+    /// rollback action fired (caller rolls back), `Ok(None)` on normal
+    /// completion. Errors abort and roll back before returning.
+    fn run_rule_processing(&mut self) -> Result<Option<String>, RuleError> {
+        self.flush_pending();
+        // Rules whose condition was already evaluated (false) against the
+        // current windows; cleared whenever a new transition occurs (§4.2:
+        // "rules are chosen … until one is found with a condition that
+        // holds or until there are none left").
+        let mut considered: BTreeSet<RuleId> = BTreeSet::new();
+        loop {
+            let candidates: Vec<RuleId> = {
+                let txn = self.txn.as_ref().expect("transaction open");
+                self.rules
+                    .iter()
+                    .filter(|r| {
+                        !considered.contains(&r.id) && r.triggered_by(&self.db, &txn.rule_infos[r.id.0])
+                    })
+                    .map(|r| r.id)
+                    .collect()
+            };
+            let Some(rid) =
+                select_rule(self.config.strategy, &self.priorities, &candidates, &self.last_considered)
+            else {
+                return Ok(None);
+            };
+            considered.insert(rid);
+            self.consider_clock += 1;
+            self.last_considered[rid.0] = Some(self.consider_clock);
+
+            // Evaluate the condition against the rule's own window.
+            let cond_holds = match self.check_condition(rid) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.abort_internal();
+                    return Err(e);
+                }
+            };
+            if !cond_holds {
+                if self.config.retrigger == RetriggerSemantics::SinceLastConsidered {
+                    // Footnote 8: the window restarts at consideration.
+                    self.txn.as_mut().expect("open").rule_infos[rid.0] = TransInfo::new();
+                }
+                continue;
+            }
+
+            match self.rules[rid.0].action.clone() {
+                CompiledAction::Rollback => {
+                    return Ok(Some(self.rules[rid.0].name.clone()));
+                }
+                action => {
+                    {
+                        let txn = self.txn.as_mut().expect("open");
+                        txn.transitions_used += 1;
+                        if txn.transitions_used > self.config.max_rule_transitions {
+                            let limit = self.config.max_rule_transitions;
+                            self.abort_internal();
+                            return Err(RuleError::LoopLimitExceeded { limit });
+                        }
+                    }
+                    let tinfo = match self.execute_rule_action(rid, &action) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            self.abort_internal();
+                            return Err(e);
+                        }
+                    };
+                    let fired = FiredRule {
+                        rule: self.rules[rid.0].name.clone(),
+                        inserted: tinfo.ins.len(),
+                        deleted: tinfo.del.len(),
+                        updated: tinfo.upd.len(),
+                    };
+                    self.txn.as_mut().expect("open").trace.push(fired);
+                    self.apply_transition(&tinfo, Some(rid));
+                    considered.clear();
+                }
+            }
+        }
+    }
+
+    /// Compose the pending external window into every rule's window.
+    fn flush_pending(&mut self) {
+        let pending = {
+            let txn = self.txn.as_mut().expect("transaction open");
+            if txn.pending.is_empty() {
+                return;
+            }
+            std::mem::take(&mut txn.pending)
+        };
+        self.apply_transition(&pending, None);
+    }
+
+    /// Merge a new transition into the per-rule windows (§4.2): the acting
+    /// rule's window becomes exactly this transition; every other rule's
+    /// window is the composition.
+    fn apply_transition(&mut self, tinfo: &TransInfo, acting: Option<RuleId>) {
+        let retrigger = self.config.retrigger;
+        let txn = self.txn.as_mut().expect("transaction open");
+        for rule in &self.rules {
+            let slot = &mut txn.rule_infos[rule.id.0];
+            if Some(rule.id) == acting {
+                *slot = tinfo.clone();
+            } else if retrigger == RetriggerSemantics::SinceLastTriggering
+                && rule.triggered_by(&self.db, tinfo)
+            {
+                // [WF89b]: this transition alone re-triggers the rule, so
+                // its window restarts here.
+                *slot = tinfo.clone();
+            } else {
+                slot.compose(tinfo);
+            }
+        }
+    }
+
+    fn check_condition(&self, rid: RuleId) -> Result<bool, RuleError> {
+        let rule = &self.rules[rid.0];
+        let Some(cond) = &rule.condition else {
+            return Ok(true); // omitted ⇒ `if true`
+        };
+        let txn = self.txn.as_ref().expect("transaction open");
+        let provider = RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
+        let cache = setrules_query::SubqueryCache::new();
+        let ctx = setrules_query::QueryCtx::with_provider(&self.db, &provider).with_cache(&cache);
+        let mut bindings = setrules_query::bindings::Bindings::new();
+        Ok(setrules_query::eval_predicate(ctx, &mut bindings, None, cond)?)
+    }
+
+    /// Execute a rule's action as one operation block, returning the
+    /// transition's window.
+    fn execute_rule_action(
+        &mut self,
+        rid: RuleId,
+        action: &CompiledAction,
+    ) -> Result<TransInfo, RuleError> {
+        let mut tinfo = TransInfo::new();
+        let mut last_output: Option<Relation> = None;
+        match action {
+            CompiledAction::Block(ops) => {
+                // Borrow the rule's window directly — `self.db` (mutable)
+                // and `self.txn`/`self.rules` (immutable) are disjoint
+                // fields, so no O(window) clone is needed.
+                let rule = &self.rules[rid.0];
+                let txn = self.txn.as_ref().expect("open");
+                let provider =
+                    RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
+                for op in ops {
+                    let eff = execute_op(&mut self.db, &provider, op)?;
+                    if let OpEffect::Select { output, .. } = &eff {
+                        last_output = Some(output.clone());
+                    }
+                    tinfo.absorb(&eff, self.config.track_selects);
+                }
+            }
+            CompiledAction::External(f) => {
+                // External actions hold the provider across arbitrary user
+                // code; give them an owning snapshot of the window.
+                let rule = &self.rules[rid.0];
+                let provider = RuleWindowProvider::licensed(
+                    self.txn.as_ref().expect("open").rule_infos[rid.0].clone(),
+                    rule.licensed.clone(),
+                );
+                let mut ctx = ActionCtx {
+                    db: &mut self.db,
+                    provider,
+                    effects: Vec::new(),
+                    track_selects: self.config.track_selects,
+                };
+                f.run(&mut ctx)?;
+                let effects = ctx.effects;
+                for eff in &effects {
+                    if let OpEffect::Select { output, .. } = eff {
+                        last_output = Some(output.clone());
+                    }
+                    tinfo.absorb(eff, self.config.track_selects);
+                }
+            }
+            CompiledAction::Rollback => unreachable!("handled by the caller"),
+        }
+        if last_output.is_some() {
+            self.txn.as_mut().expect("open").last_output = last_output;
+        }
+        Ok(tinfo)
+    }
+
+    fn require_no_txn(&self) -> Result<(), RuleError> {
+        if self.txn.is_some() {
+            Err(RuleError::TransactionOpen)
+        } else {
+            Ok(())
+        }
+    }
+}

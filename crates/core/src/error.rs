@@ -1,0 +1,114 @@
+//! Rule-system errors.
+
+use std::fmt;
+
+use setrules_query::QueryError;
+use setrules_sql::SqlError;
+use setrules_storage::StorageError;
+
+/// Errors raised by the rule system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleError {
+    /// SQL front-end error.
+    Sql(SqlError),
+    /// Storage error.
+    Storage(StorageError),
+    /// Query/DML evaluation error. When raised inside a transaction, the
+    /// transaction has been rolled back.
+    Query(QueryError),
+    /// A rule with this name already exists.
+    DuplicateRule(String),
+    /// No rule with this name exists.
+    NoSuchRule(String),
+    /// A rule references a transition table that does not correspond to
+    /// one of its basic transition predicates (the §3 syntactic
+    /// restriction).
+    IllegalTransitionTable {
+        /// The offending rule.
+        rule: String,
+        /// The transition table reference, rendered.
+        reference: String,
+    },
+    /// `create rule priority a before b` would make the priority relation
+    /// cyclic (§4.4 requires an acyclic set of pairings).
+    PriorityCycle {
+        /// Proposed higher-priority rule.
+        higher: String,
+        /// Proposed lower-priority rule.
+        lower: String,
+    },
+    /// Rule processing exceeded the configured transition limit — the
+    /// run-time divergence guard of the paper's footnote 7. The
+    /// transaction has been rolled back.
+    LoopLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An operation that requires an open transaction was invoked without
+    /// one (`process rules`, `commit`, ...).
+    NoOpenTransaction,
+    /// An operation that requires *no* open transaction was invoked inside
+    /// one (DDL, `transaction()`).
+    TransactionOpen,
+    /// A table cannot be dropped because rules still reference it.
+    TableReferencedByRules {
+        /// The table.
+        table: String,
+        /// One referencing rule.
+        rule: String,
+    },
+    /// Anything else (message explains).
+    Unsupported(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Sql(e) => write!(f, "{e}"),
+            RuleError::Storage(e) => write!(f, "{e}"),
+            RuleError::Query(e) => write!(f, "{e}"),
+            RuleError::DuplicateRule(r) => write!(f, "rule '{r}' already exists"),
+            RuleError::NoSuchRule(r) => write!(f, "no such rule '{r}'"),
+            RuleError::IllegalTransitionTable { rule, reference } => write!(
+                f,
+                "rule '{rule}' references transition table '{reference}' which does not \
+                 correspond to any of its transition predicates"
+            ),
+            RuleError::PriorityCycle { higher, lower } => write!(
+                f,
+                "priority '{higher} before {lower}' would create a cycle in the rule ordering"
+            ),
+            RuleError::LoopLimitExceeded { limit } => write!(
+                f,
+                "rule processing exceeded {limit} transitions (possible infinite loop); \
+                 transaction rolled back"
+            ),
+            RuleError::NoOpenTransaction => write!(f, "no transaction is open"),
+            RuleError::TransactionOpen => write!(f, "a transaction is already open"),
+            RuleError::TableReferencedByRules { table, rule } => {
+                write!(f, "cannot drop table '{table}': rule '{rule}' references it")
+            }
+            RuleError::Unsupported(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<SqlError> for RuleError {
+    fn from(e: SqlError) -> Self {
+        RuleError::Sql(e)
+    }
+}
+
+impl From<StorageError> for RuleError {
+    fn from(e: StorageError) -> Self {
+        RuleError::Storage(e)
+    }
+}
+
+impl From<QueryError> for RuleError {
+    fn from(e: QueryError) -> Self {
+        RuleError::Query(e)
+    }
+}

@@ -1,0 +1,65 @@
+//! # setrules-core
+//!
+//! Set-oriented production rules for a relational database — a full
+//! reproduction of **Widom & Finkelstein, "Set-Oriented Production Rules in
+//! Relational Database Systems" (SIGMOD 1990)**, the design that became the
+//! Starburst rule system and shaped SQL's statement-level triggers with
+//! transition tables.
+//!
+//! The crate provides:
+//!
+//! * [`TransitionEffect`] — the `[I, D, U]` effect triples and the
+//!   Definition 2.1 composition operator (plus the §5.1 `S` extension);
+//! * [`TransInfo`] — per-rule composite transition information with old
+//!   values (Fig. 1's `trans-info`, `init-trans-info`,
+//!   `modify-trans-info`);
+//! * [`RuleWindowProvider`] — transition tables (`inserted t`, `deleted t`,
+//!   `old/new updated t[.c]`, `selected t[.c]`) materialized into query
+//!   evaluation, enforcing §3's reference restriction;
+//! * [`RuleSystem`] — the execution engine: the Figure 1 algorithm with §4
+//!   semantics (self-triggering, composite retriggering windows, rollback
+//!   actions, consideration rounds), §4.4 selection strategies with
+//!   priorities, the footnote-7 divergence guard, and the §5 extensions
+//!   (select-triggered rules, external actions, `process rules` triggering
+//!   points, deferred processing).
+//!
+//! ```
+//! use setrules_core::RuleSystem;
+//!
+//! let mut sys = RuleSystem::new();
+//! sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+//! sys.execute(
+//!     "create rule cap when updated emp.salary \
+//!      if exists (select * from new updated emp.salary where salary > 1000000.0) \
+//!      then rollback",
+//! ).unwrap();
+//! sys.execute("insert into emp values ('Jane', 1, 95000.0, 1)").unwrap();
+//! let out = sys.transaction("update emp set salary = 2000000.0").unwrap();
+//! assert!(!out.committed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod effect;
+mod engine;
+mod error;
+pub mod external;
+pub mod priority;
+pub mod rule;
+pub mod selection;
+pub mod snapshot;
+pub mod transinfo;
+pub mod transition_tables;
+
+pub use effect::TransitionEffect;
+pub use engine::{
+    EngineConfig, ExecOutcome, FiredRule, ProcessReport, RetriggerSemantics, RuleSystem, TxnOutcome,
+};
+pub use error::RuleError;
+pub use external::{ActionCtx, ExternalAction};
+pub use priority::PriorityGraph;
+pub use rule::{CompiledAction, CompiledPred, Rule, RuleId};
+pub use selection::SelectionStrategy;
+pub use snapshot::{Snapshot, TableSnapshot};
+pub use transinfo::{DelEntry, SelEntry, TransInfo, UpdEntry};
+pub use transition_tables::{RuleWindowProvider, RuleWindowRef};

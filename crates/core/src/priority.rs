@@ -1,0 +1,143 @@
+//! The rule priority partial order (paper §4.4).
+//!
+//! `create rule priority r1 before r2` makes `r1` strictly higher than
+//! `r2`; "any acyclic group of such pairings induces a partial order on
+//! the set of defined rules". Adding a pair that would create a cycle is
+//! rejected.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rule::RuleId;
+
+/// A DAG of `higher → lower` priority edges.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityGraph {
+    edges: BTreeMap<RuleId, BTreeSet<RuleId>>,
+}
+
+impl PriorityGraph {
+    /// An empty (fully unordered) priority relation.
+    pub fn new() -> Self {
+        PriorityGraph::default()
+    }
+
+    /// Declare `higher` before `lower`. Returns `false` (and changes
+    /// nothing) if the edge would create a cycle; duplicate edges are
+    /// accepted idempotently.
+    pub fn add(&mut self, higher: RuleId, lower: RuleId) -> bool {
+        if higher == lower || self.higher_than(lower, higher) {
+            return false;
+        }
+        self.edges.entry(higher).or_default().insert(lower);
+        true
+    }
+
+    /// Whether `a` is strictly higher-priority than `b` (transitively).
+    pub fn higher_than(&self, a: RuleId, b: RuleId) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut stack = vec![a];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(lows) = self.edges.get(&n) {
+                if lows.contains(&b) {
+                    return true;
+                }
+                stack.extend(lows.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// The maximal elements of `candidates` under this partial order: those
+    /// with no strictly-higher candidate (§4.4: "a rule is chosen such that
+    /// no other triggered rule is strictly higher in the ordering").
+    pub fn maximal(&self, candidates: &[RuleId]) -> Vec<RuleId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| !candidates.iter().any(|&o| o != c && self.higher_than(o, c)))
+            .collect()
+    }
+
+    /// Remove every edge touching `r` (rule dropped).
+    pub fn remove_rule(&mut self, r: RuleId) {
+        self.edges.remove(&r);
+        for lows in self.edges.values_mut() {
+            lows.remove(&r);
+        }
+    }
+
+    /// All declared (higher, lower) pairs, for introspection.
+    pub fn pairs(&self) -> impl Iterator<Item = (RuleId, RuleId)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(h, lows)| lows.iter().map(move |l| (*h, *l)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: usize) -> RuleId {
+        RuleId(n)
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut g = PriorityGraph::new();
+        assert!(g.add(r(1), r(2)));
+        assert!(g.add(r(2), r(3)));
+        assert!(g.higher_than(r(1), r(3)));
+        assert!(!g.higher_than(r(3), r(1)));
+        assert!(!g.higher_than(r(1), r(1)));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut g = PriorityGraph::new();
+        assert!(g.add(r(1), r(2)));
+        assert!(g.add(r(2), r(3)));
+        assert!(!g.add(r(3), r(1)), "would close a cycle");
+        assert!(!g.add(r(1), r(1)), "self-loop");
+        // The failed add changed nothing.
+        assert!(!g.higher_than(r(3), r(1)));
+    }
+
+    #[test]
+    fn maximal_elements() {
+        let mut g = PriorityGraph::new();
+        g.add(r(1), r(2));
+        g.add(r(3), r(2));
+        // 1 and 3 are incomparable maxima; 2 is dominated.
+        let m = g.maximal(&[r(1), r(2), r(3)]);
+        assert_eq!(m, vec![r(1), r(3)]);
+        // Without 1 and 3 present, 2 is maximal.
+        assert_eq!(g.maximal(&[r(2)]), vec![r(2)]);
+        // Unrelated rule is always maximal.
+        assert_eq!(g.maximal(&[r(2), r(9)]), vec![r(2), r(9)]);
+    }
+
+    #[test]
+    fn remove_rule_clears_edges() {
+        let mut g = PriorityGraph::new();
+        g.add(r(1), r(2));
+        g.add(r(2), r(3));
+        g.remove_rule(r(2));
+        assert!(!g.higher_than(r(1), r(3)));
+        assert!(g.pairs().all(|(h, l)| h != r(2) && l != r(2)), "no edges touch the removed rule");
+    }
+
+    #[test]
+    fn duplicate_edge_idempotent() {
+        let mut g = PriorityGraph::new();
+        assert!(g.add(r(1), r(2)));
+        assert!(g.add(r(1), r(2)));
+        assert_eq!(g.pairs().count(), 1);
+    }
+}

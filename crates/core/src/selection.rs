@@ -1,0 +1,135 @@
+//! Rule selection strategies (paper §4.4).
+//!
+//! When several rules are triggered at once, `select-triggered-rule` must
+//! pick one. The paper discusses: arbitrary choice, a total order, a
+//! partial order from `create rule priority` pairings, and recency of
+//! consideration ("preferring those rules considered least recently or
+//! those considered most recently"). All are implemented; every strategy
+//! breaks remaining ties by creation order, so execution is deterministic.
+
+use crate::priority::PriorityGraph;
+use crate::rule::RuleId;
+
+/// How [`crate::RuleSystem`] picks among simultaneously triggered rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Respect the priority partial order; among maximal rules, pick the
+    /// one created first. This is the paper's recommended compromise and
+    /// the default.
+    #[default]
+    PartialOrder,
+    /// Ignore priorities; pick the triggered rule created first (a simple
+    /// deterministic stand-in for "arbitrary").
+    CreationOrder,
+    /// Among priority-maximal rules, prefer the one considered least
+    /// recently (never-considered rules first).
+    LeastRecentlyConsidered,
+    /// Among priority-maximal rules, prefer the one considered most
+    /// recently (never-considered rules last).
+    MostRecentlyConsidered,
+}
+
+/// Pick one rule from `candidates` (all currently triggered and not yet
+/// considered this round).
+///
+/// `last_considered[r.0]` is the logical timestamp at which rule `r` was
+/// last chosen for consideration (`None` = never).
+pub fn select_rule(
+    strategy: SelectionStrategy,
+    priorities: &PriorityGraph,
+    candidates: &[RuleId],
+    last_considered: &[Option<u64>],
+) -> Option<RuleId> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match strategy {
+        SelectionStrategy::CreationOrder => candidates.iter().copied().min(),
+        SelectionStrategy::PartialOrder => priorities.maximal(candidates).into_iter().min(),
+        SelectionStrategy::LeastRecentlyConsidered => {
+            let maximal = priorities.maximal(candidates);
+            maximal
+                .into_iter()
+                .min_by_key(|r| (last_considered[r.0].unwrap_or(0), last_considered[r.0].is_some(), *r))
+        }
+        SelectionStrategy::MostRecentlyConsidered => {
+            let maximal = priorities.maximal(candidates);
+            maximal.into_iter().min_by_key(|r| {
+                // Most recent first: invert the timestamp; never-considered last.
+                let ts = last_considered[r.0];
+                (ts.is_none(), u64::MAX - ts.unwrap_or(0), *r)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: usize) -> RuleId {
+        RuleId(n)
+    }
+
+    #[test]
+    fn creation_order_ignores_priorities() {
+        let mut g = PriorityGraph::new();
+        g.add(r(2), r(0));
+        let picked = select_rule(SelectionStrategy::CreationOrder, &g, &[r(2), r(0)], &[None; 3]);
+        assert_eq!(picked, Some(r(0)));
+    }
+
+    #[test]
+    fn partial_order_prefers_maximal() {
+        let mut g = PriorityGraph::new();
+        g.add(r(2), r(0));
+        let picked = select_rule(SelectionStrategy::PartialOrder, &g, &[r(2), r(0)], &[None; 3]);
+        assert_eq!(picked, Some(r(2)));
+        // Incomparable maxima tie-break by creation order.
+        let picked = select_rule(SelectionStrategy::PartialOrder, &g, &[r(1), r(2)], &[None; 3]);
+        assert_eq!(picked, Some(r(1)));
+    }
+
+    #[test]
+    fn lrc_prefers_never_considered_then_oldest() {
+        let g = PriorityGraph::new();
+        let last = vec![Some(5), None, Some(3)];
+        let picked =
+            select_rule(SelectionStrategy::LeastRecentlyConsidered, &g, &[r(0), r(1), r(2)], &last);
+        assert_eq!(picked, Some(r(1)), "never-considered wins");
+        let last = vec![Some(5), Some(9), Some(3)];
+        let picked =
+            select_rule(SelectionStrategy::LeastRecentlyConsidered, &g, &[r(0), r(1), r(2)], &last);
+        assert_eq!(picked, Some(r(2)), "timestamp 3 is oldest");
+    }
+
+    #[test]
+    fn mrc_prefers_most_recent_then_creation() {
+        let g = PriorityGraph::new();
+        let last = vec![Some(5), None, Some(9)];
+        let picked =
+            select_rule(SelectionStrategy::MostRecentlyConsidered, &g, &[r(0), r(1), r(2)], &last);
+        assert_eq!(picked, Some(r(2)));
+        // All never considered: creation order.
+        let picked =
+            select_rule(SelectionStrategy::MostRecentlyConsidered, &g, &[r(2), r(1)], &[None; 3]);
+        assert_eq!(picked, Some(r(1)));
+    }
+
+    #[test]
+    fn recency_strategies_respect_priorities() {
+        let mut g = PriorityGraph::new();
+        g.add(r(0), r(1));
+        // r1 is least recently considered but r0 dominates it.
+        let last = vec![Some(9), Some(1)];
+        let picked =
+            select_rule(SelectionStrategy::LeastRecentlyConsidered, &g, &[r(0), r(1)], &last);
+        assert_eq!(picked, Some(r(0)));
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let g = PriorityGraph::new();
+        assert_eq!(select_rule(SelectionStrategy::PartialOrder, &g, &[], &[]), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Snapshot and restore: serialize a whole [`RuleSystem`] — schemas, data,
+//! indexes, rules, priorities — to a serde-friendly structure (JSON via
+//! `serde_json`, or any other serde format).
+//!
+//! Restores re-execute canonical DDL and re-insert rows, so **tuple
+//! handles are not preserved** (they are never reused within one system,
+//! §2, but a restored system starts a fresh handle space). There are no
+//! open transactions or rule windows to carry: snapshots are taken at
+//! quiescence.
+//!
+//! Rules with [external actions](crate::external) are native code and
+//! cannot be serialized; snapshotting a system that has any raises
+//! [`RuleError::Unsupported`].
+
+use serde::{Deserialize, Serialize};
+use setrules_sql::ast::{BasicTransPred, CreateRule, RuleAction};
+use setrules_storage::{DataType, Value};
+
+use crate::engine::RuleSystem;
+use crate::error::RuleError;
+use crate::rule::{CompiledAction, CompiledPred};
+
+/// A serializable image of one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<(String, DataType)>,
+    /// Indexed column names.
+    pub indexes: Vec<String>,
+    /// Rows in handle (insertion) order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A serializable image of a whole rule system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Tables in creation order.
+    pub tables: Vec<TableSnapshot>,
+    /// `create rule` statements in canonical SQL, in creation order.
+    pub rules: Vec<String>,
+    /// Names of rules that were deactivated.
+    pub deactivated: Vec<String>,
+    /// Priority pairs as (higher, lower) rule names.
+    pub priorities: Vec<(String, String)>,
+}
+
+impl RuleSystem {
+    /// Capture a snapshot of this system. Fails inside a transaction or if
+    /// any rule has a native (external) action.
+    pub fn snapshot(&self) -> Result<Snapshot, RuleError> {
+        if self.in_transaction() {
+            return Err(RuleError::TransactionOpen);
+        }
+        let db = self.database();
+        let mut tables = Vec::new();
+        for tid in db.table_ids() {
+            let Some(table) = db.try_table(tid) else {
+                continue; // dropped
+            };
+            let schema = &table.schema;
+            let columns: Vec<(String, DataType)> =
+                schema.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
+            let indexes = (0..schema.arity())
+                .map(|i| setrules_storage::ColumnId(i as u16))
+                .filter(|c| db.has_index(tid, *c))
+                .map(|c| schema.column_name(c).to_string())
+                .collect();
+            let rows = table.scan().map(|(_, t)| t.0.clone()).collect();
+            tables.push(TableSnapshot { name: schema.name.clone(), columns, indexes, rows });
+        }
+
+        let mut rules = Vec::new();
+        let mut deactivated = Vec::new();
+        for r in self.rules() {
+            let def = self.rule_to_ast(r)?;
+            rules.push(setrules_sql::ast::Statement::CreateRule(def).to_string());
+            if !r.active {
+                deactivated.push(r.name.clone());
+            }
+        }
+        Ok(Snapshot { tables, rules, deactivated, priorities: self.priority_pairs() })
+    }
+
+    /// Reconstruct a system from a snapshot (with the given engine
+    /// configuration).
+    pub fn restore(snap: &Snapshot, config: crate::EngineConfig) -> Result<RuleSystem, RuleError> {
+        let mut sys = RuleSystem::with_config(config);
+        for t in &snap.tables {
+            let cols: Vec<String> =
+                t.columns.iter().map(|(n, ty)| format!("{n} {ty}")).collect();
+            sys.execute(&format!("create table {} ({})", t.name, cols.join(", ")))?;
+            for c in &t.indexes {
+                sys.execute(&format!("create index on {} ({})", t.name, c))?;
+            }
+            // Load rows without rule processing (rules are not defined yet
+            // anyway; this also keeps the deferred window clean).
+            for chunk in t.rows.chunks(256) {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let rows: Vec<String> = chunk
+                    .iter()
+                    .map(|row| {
+                        let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                sys.transaction_without_rules(&format!(
+                    "insert into {} values {}",
+                    t.name,
+                    rows.join(", ")
+                ))?;
+            }
+        }
+        // Discard the load-time deferred window: the snapshot is a start
+        // state, not a pending transition.
+        sys.clear_deferred();
+        for r in &snap.rules {
+            sys.create_rule_str(r)?;
+        }
+        for name in &snap.deactivated {
+            sys.set_rule_active(name, false)?;
+        }
+        for (h, l) in &snap.priorities {
+            sys.add_priority(h, l)?;
+        }
+        Ok(sys)
+    }
+
+    /// Rebuild the parsed form of a compiled rule (canonical SQL source).
+    fn rule_to_ast(&self, r: &crate::Rule) -> Result<CreateRule, RuleError> {
+        let db = self.database();
+        let mut when = Vec::with_capacity(r.when.len());
+        for p in &r.when {
+            when.push(match p {
+                CompiledPred::Inserted(t) => {
+                    BasicTransPred::InsertedInto(db.schema(*t).name.clone())
+                }
+                CompiledPred::Deleted(t) => BasicTransPred::DeletedFrom(db.schema(*t).name.clone()),
+                CompiledPred::Updated(t, c) => BasicTransPred::Updated {
+                    table: db.schema(*t).name.clone(),
+                    column: c.map(|c| db.schema(*t).column_name(c).to_string()),
+                },
+                CompiledPred::Selected(t, c) => BasicTransPred::Selected {
+                    table: db.schema(*t).name.clone(),
+                    column: c.map(|c| db.schema(*t).column_name(c).to_string()),
+                },
+            });
+        }
+        let action = match &r.action {
+            CompiledAction::Block(ops) => RuleAction::Block(ops.clone()),
+            CompiledAction::Rollback => RuleAction::Rollback,
+            CompiledAction::External(_) => {
+                return Err(RuleError::Unsupported(format!(
+                    "rule '{}' has a native action and cannot be snapshotted",
+                    r.name
+                )))
+            }
+        };
+        Ok(CreateRule { name: r.name.clone(), when, condition: r.condition.clone(), action })
+    }
+}

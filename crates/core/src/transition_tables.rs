@@ -1,0 +1,159 @@
+//! Materialization of transition tables (paper §3, semantics §4).
+//!
+//! Given a rule's composite window (its `trans-info`), this provider
+//! serves:
+//!
+//! * `inserted t` — tuples of `t` **in the current state** inserted within
+//!   the window (so updates made after the insert are visible);
+//! * `deleted t` — tuples of `t` with their **window-start values**;
+//! * `old updated t[.c]` — updated tuples, window-start values;
+//! * `new updated t[.c]` — the same tuples, current values;
+//! * `selected t[.c]` — read tuples, current values (§5.1 extension).
+//!
+//! References are checked against the set licensed by the rule's
+//! transition predicates (§3's restriction); a provider without a licence
+//! set (used for debugging/analysis) allows everything.
+
+use std::collections::BTreeSet;
+
+use setrules_query::{describe, QueryError, TransitionTableProvider};
+use setrules_sql::ast::TransitionKind;
+use setrules_storage::{ColumnId, Database, TableId, Value};
+
+use crate::transinfo::TransInfo;
+
+/// A [`TransitionTableProvider`] over one rule's window (owning variant,
+/// used where the provider must outlive local borrows — external actions).
+#[derive(Debug, Clone)]
+pub struct RuleWindowProvider {
+    info: TransInfo,
+    /// Licensed references; `None` = unrestricted (ad-hoc inspection).
+    licensed: Option<BTreeSet<(TransitionKind, TableId, Option<ColumnId>)>>,
+}
+
+/// A borrowing [`TransitionTableProvider`] over one rule's window — avoids
+/// cloning the (potentially large) window for declarative actions and
+/// condition checks.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleWindowRef<'a> {
+    /// The rule's composite window.
+    pub info: &'a TransInfo,
+    /// The rule's licensed transition-table references (§3).
+    pub licensed: &'a BTreeSet<(TransitionKind, TableId, Option<ColumnId>)>,
+}
+
+impl TransitionTableProvider for RuleWindowRef<'_> {
+    fn rows(
+        &self,
+        db: &Database,
+        kind: TransitionKind,
+        table: &str,
+        column: Option<&str>,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        rows_impl(self.info, Some(self.licensed), db, kind, table, column)
+    }
+}
+
+impl RuleWindowProvider {
+    /// Provider enforcing the §3 restriction with the given licence set.
+    pub fn licensed(
+        info: TransInfo,
+        licensed: BTreeSet<(TransitionKind, TableId, Option<ColumnId>)>,
+    ) -> Self {
+        RuleWindowProvider { info, licensed: Some(licensed) }
+    }
+
+    /// Provider allowing any reference (for analysis and the REPL's
+    /// post-mortem inspection).
+    pub fn unrestricted(info: TransInfo) -> Self {
+        RuleWindowProvider { info, licensed: None }
+    }
+
+    /// The underlying window.
+    pub fn info(&self) -> &TransInfo {
+        &self.info
+    }
+}
+
+impl TransitionTableProvider for RuleWindowProvider {
+    fn rows(
+        &self,
+        db: &Database,
+        kind: TransitionKind,
+        table: &str,
+        column: Option<&str>,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        rows_impl(&self.info, self.licensed.as_ref(), db, kind, table, column)
+    }
+}
+
+/// Shared materialization logic for the owning and borrowing providers.
+fn rows_impl(
+    info: &TransInfo,
+    licensed: Option<&BTreeSet<(TransitionKind, TableId, Option<ColumnId>)>>,
+    db: &Database,
+    kind: TransitionKind,
+    table: &str,
+    column: Option<&str>,
+) -> Result<Vec<Vec<Value>>, QueryError> {
+    {
+        let tid = db.table_id(table)?;
+        let col = match column {
+            Some(c) => Some(
+                db.schema(tid)
+                    .column_id(c)
+                    .map_err(|_| QueryError::UnknownColumn(format!("{table}.{c}")))?,
+            ),
+            None => None,
+        };
+        if let Some(lic) = licensed {
+            if !lic.contains(&(kind, tid, col)) {
+                return Err(QueryError::TransitionTableUnavailable(describe(
+                    kind, table, column,
+                )));
+            }
+        }
+        let rows = match kind {
+            TransitionKind::Inserted => info
+                .ins
+                .iter()
+                .filter(|h| db.table_of(**h) == Some(tid))
+                .filter_map(|h| db.get(tid, *h))
+                .map(|t| t.0.clone())
+                .collect(),
+            TransitionKind::Deleted => info
+                .del
+                .values()
+                .filter(|e| e.table == tid)
+                .map(|e| e.old.0.clone())
+                .collect(),
+            TransitionKind::OldUpdated => info
+                .upd
+                .values()
+                .filter(|e| e.table == tid && col.is_none_or(|c| e.columns.contains(&c)))
+                .map(|e| e.old.0.clone())
+                .collect(),
+            TransitionKind::NewUpdated => info
+                .upd
+                .iter()
+                .filter(|(_, e)| e.table == tid && col.is_none_or(|c| e.columns.contains(&c)))
+                .filter_map(|(h, _)| db.get(tid, *h))
+                .map(|t| t.0.clone())
+                .collect(),
+            TransitionKind::Selected => info
+                .sel
+                .iter()
+                .filter(|(_, e)| {
+                    e.table == tid
+                        && col.is_none_or(|c| match &e.columns {
+                            None => true,
+                            Some(cols) => cols.contains(&c),
+                        })
+                })
+                .filter_map(|(h, _)| db.get(tid, *h))
+                .map(|t| t.0.clone())
+                .collect(),
+        };
+        Ok(rows)
+    }
+}

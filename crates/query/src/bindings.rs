@@ -1,0 +1,173 @@
+//! Name resolution scopes for expression evaluation.
+//!
+//! A [`Bindings`] is a stack of *levels*, one per nested query; each level
+//! holds one [`Frame`] per `from` item of that query. Unqualified column
+//! names resolve innermost-level-first; within a level, resolving against
+//! more than one frame is ambiguous. Qualified names (`tvar.col`) match the
+//! frame bound to `tvar`, again innermost-first — this is what makes the
+//! paper's correlated conditions (`e2.dept_no = e1.dept_no`, Example 3.3)
+//! work.
+
+use std::sync::Arc;
+
+use setrules_storage::Value;
+
+use crate::error::QueryError;
+
+/// One `from`-item binding: a variable name, its column names, and the
+/// current row's values.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The table variable (alias, or the base table name).
+    pub name: String,
+    /// Column names, shared across all rows of the scan.
+    pub columns: Arc<Vec<String>>,
+    /// The current row.
+    pub row: Vec<Value>,
+}
+
+impl Frame {
+    /// Position of `column` in this frame, if present.
+    fn position(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+}
+
+/// One scope level: the frames of a single query's `from` clause.
+pub type Level = Vec<Frame>;
+
+/// A stack of scope levels, innermost last.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    levels: Vec<Level>,
+}
+
+impl Bindings {
+    /// An empty scope (constant expressions only).
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Enter a query: push its frames.
+    pub fn push_level(&mut self, level: Level) {
+        self.levels.push(level);
+    }
+
+    /// Leave a query.
+    pub fn pop_level(&mut self) -> Option<Level> {
+        self.levels.pop()
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Resolve a (possibly qualified) column reference to its current value.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, QueryError> {
+        for level in self.levels.iter().rev() {
+            match qualifier {
+                Some(q) => {
+                    // Qualified: innermost frame with that variable name wins.
+                    let mut matched_var = false;
+                    for frame in level {
+                        if frame.name == q {
+                            matched_var = true;
+                            if let Some(i) = frame.position(name) {
+                                return Ok(frame.row[i].clone());
+                            }
+                        }
+                    }
+                    if matched_var {
+                        // The variable exists at this level but lacks the
+                        // column — that is an error, not a reason to search
+                        // outer scopes.
+                        return Err(QueryError::UnknownColumn(format!("{q}.{name}")));
+                    }
+                }
+                None => {
+                    let mut found: Option<Value> = None;
+                    for frame in level {
+                        if let Some(i) = frame.position(name) {
+                            if found.is_some() {
+                                return Err(QueryError::AmbiguousColumn(name.to_string()));
+                            }
+                            found = Some(frame.row[i].clone());
+                        }
+                    }
+                    if let Some(v) = found {
+                        return Ok(v);
+                    }
+                }
+            }
+        }
+        let full = match qualifier {
+            Some(q) => format!("{q}.{name}"),
+            None => name.to_string(),
+        };
+        Err(QueryError::UnknownColumn(full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(name: &str, cols: &[&str], vals: &[i64]) -> Frame {
+        Frame {
+            name: name.into(),
+            columns: Arc::new(cols.iter().map(|s| s.to_string()).collect()),
+            row: vals.iter().map(|v| Value::Int(*v)).collect(),
+        }
+    }
+
+    #[test]
+    fn unqualified_resolution() {
+        let mut b = Bindings::new();
+        b.push_level(vec![frame("emp", &["name_len", "salary"], &[4, 100])]);
+        assert_eq!(b.resolve(None, "salary").unwrap(), Value::Int(100));
+        assert!(matches!(b.resolve(None, "bogus"), Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn ambiguity_within_level() {
+        let mut b = Bindings::new();
+        b.push_level(vec![
+            frame("e1", &["dept_no"], &[1]),
+            frame("e2", &["dept_no"], &[2]),
+        ]);
+        assert!(matches!(b.resolve(None, "dept_no"), Err(QueryError::AmbiguousColumn(_))));
+        assert_eq!(b.resolve(Some("e1"), "dept_no").unwrap(), Value::Int(1));
+        assert_eq!(b.resolve(Some("e2"), "dept_no").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn inner_level_shadows_outer() {
+        let mut b = Bindings::new();
+        b.push_level(vec![frame("emp", &["salary"], &[100])]);
+        b.push_level(vec![frame("emp", &["salary"], &[200])]);
+        assert_eq!(b.resolve(None, "salary").unwrap(), Value::Int(200));
+        assert_eq!(b.resolve(Some("emp"), "salary").unwrap(), Value::Int(200));
+        b.pop_level();
+        assert_eq!(b.resolve(None, "salary").unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn correlated_outer_reference() {
+        let mut b = Bindings::new();
+        b.push_level(vec![frame("e1", &["dept_no"], &[7])]);
+        b.push_level(vec![frame("e2", &["dept_no"], &[8])]);
+        // Example 3.3's `e2.dept_no = e1.dept_no`: e1 from outer, e2 inner.
+        assert_eq!(b.resolve(Some("e1"), "dept_no").unwrap(), Value::Int(7));
+        assert_eq!(b.resolve(Some("e2"), "dept_no").unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn qualified_match_with_missing_column_does_not_leak_outward() {
+        let mut b = Bindings::new();
+        b.push_level(vec![frame("e", &["salary"], &[1])]);
+        b.push_level(vec![frame("e", &["dept_no"], &[2])]);
+        // Inner `e` exists but has no `salary`; resolution stops there.
+        assert!(matches!(b.resolve(Some("e"), "salary"), Err(QueryError::UnknownColumn(_))));
+    }
+}

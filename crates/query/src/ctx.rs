@@ -1,0 +1,72 @@
+//! Evaluation context: the database, the transition-table provider, and
+//! the per-statement subquery cache.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use setrules_storage::Database;
+
+use crate::provider::TransitionTableProvider;
+use crate::relation::Relation;
+
+/// Per-statement memo for uncorrelated subqueries, keyed by AST node
+/// address. `None` records that the subquery was found to be correlated
+/// (it references outer columns), so re-evaluation per row is required.
+///
+/// This is the representative optimization behind the paper's §1 claim
+/// that set-oriented rules keep relational optimization applicable: a
+/// rule-action predicate like `fk in (select pk from deleted parent)`
+/// evaluates its subquery once per statement, not once per scanned row.
+#[derive(Debug, Default)]
+pub struct SubqueryCache {
+    entries: RefCell<HashMap<usize, Option<Relation>>>,
+}
+
+impl SubqueryCache {
+    /// A fresh, empty cache (one per executed statement).
+    pub fn new() -> Self {
+        SubqueryCache::default()
+    }
+
+    pub(crate) fn get(&self, key: usize) -> Option<Option<Relation>> {
+        self.entries.borrow().get(&key).cloned()
+    }
+
+    pub(crate) fn put(&self, key: usize, value: Option<Relation>) {
+        self.entries.borrow_mut().insert(key, value);
+    }
+}
+
+/// Everything expression evaluation may consult: the current database state
+/// and the transition tables of the rule being processed (if any).
+///
+/// The paper's rule conditions "may refer to the current state of the
+/// database \[and\] to the logical transition tables" (§4.1) — `db` is the
+/// current state, `virt` supplies the transition tables.
+#[derive(Clone, Copy)]
+pub struct QueryCtx<'a> {
+    /// The current database state.
+    pub db: &'a Database,
+    /// Transition tables visible in this context.
+    pub virt: &'a dyn TransitionTableProvider,
+    /// Uncorrelated-subquery memo for the statement being evaluated;
+    /// `None` disables hoisting (every subquery re-evaluates).
+    pub cache: Option<&'a SubqueryCache>,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Context for plain user queries: no transition tables, no cache.
+    pub fn plain(db: &'a Database) -> Self {
+        QueryCtx { db, virt: &crate::provider::NoTransitionTables, cache: None }
+    }
+
+    /// Context with an explicit transition-table provider (no cache).
+    pub fn with_provider(db: &'a Database, virt: &'a dyn TransitionTableProvider) -> Self {
+        QueryCtx { db, virt, cache: None }
+    }
+
+    /// Attach a per-statement subquery cache.
+    pub fn with_cache(self, cache: &'a SubqueryCache) -> Self {
+        QueryCtx { cache: Some(cache), ..self }
+    }
+}

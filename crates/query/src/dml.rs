@@ -1,0 +1,573 @@
+//! DML execution with affected-set capture (paper §2.1).
+//!
+//! Every operation runs in two phases:
+//!
+//! 1. **Plan** (immutable): evaluate predicates and expressions against the
+//!    pre-operation state, producing the exact set of insertions, deletions,
+//!    or per-tuple assignments. This matches the paper's operational
+//!    definitions ("the tuples … satisfying the given predicate are
+//!    identified", then changed) and gives correct set-oriented semantics —
+//!    an update cannot observe its own writes.
+//! 2. **Apply** (mutable): perform the mutations, capturing old values.
+//!
+//! The result of an operation is an [`OpEffect`]: the paper's *affected
+//! set*, enriched with the old tuple values the rule system needs for its
+//! transition information (§4.3) — so no historical database states are
+//! ever retained.
+
+use setrules_sql::ast::{DeleteStmt, DmlOp, InsertSource, InsertStmt, SelectStmt, UpdateStmt};
+use setrules_storage::{ColumnId, Database, TableId, Tuple, TupleHandle, Value};
+
+use crate::bindings::{Bindings, Frame, Level};
+use crate::ctx::QueryCtx;
+use crate::error::QueryError;
+use crate::eval::{eval_expr, eval_predicate};
+use crate::planner::{choose_access, scan_handles};
+use crate::provider::TransitionTableProvider;
+use crate::refs::referenced_columns;
+use crate::relation::Relation;
+use crate::select::run_select_traced;
+
+/// The affected set of one executed operation, with captured old values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpEffect {
+    /// Tuples inserted into `table` (values live in the database).
+    Insert {
+        /// Target table.
+        table: TableId,
+        /// Handles of the inserted tuples.
+        handles: Vec<TupleHandle>,
+    },
+    /// Tuples deleted from `table`, with their final values.
+    Delete {
+        /// Target table.
+        table: TableId,
+        /// Deleted handles and the tuples' values at deletion time.
+        tuples: Vec<(TupleHandle, Tuple)>,
+    },
+    /// Tuples updated in `table`. Per the paper, a tuple/column pair is
+    /// affected even if the assigned value equals the old one.
+    Update {
+        /// Target table.
+        table: TableId,
+        /// Updated handle, the columns assigned, and the tuple's
+        /// pre-update value.
+        tuples: Vec<(TupleHandle, Vec<ColumnId>, Tuple)>,
+    },
+    /// A data retrieval (§5.1 extension): the tuples/columns read and the
+    /// query output.
+    Select {
+        /// `(table, handle, columns)` for every stored tuple that
+        /// contributed to a result row; `None` columns = all columns.
+        reads: Vec<(TableId, TupleHandle, Option<Vec<ColumnId>>)>,
+        /// The materialized result.
+        output: Relation,
+    },
+}
+
+impl OpEffect {
+    /// Number of affected tuples (result rows for `select`).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            OpEffect::Insert { handles, .. } => handles.len(),
+            OpEffect::Delete { tuples, .. } => tuples.len(),
+            OpEffect::Update { tuples, .. } => tuples.len(),
+            OpEffect::Select { output, .. } => output.len(),
+        }
+    }
+}
+
+/// Execute one SQL operation against the database, returning its effect.
+pub fn execute_op(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    op: &DmlOp,
+) -> Result<OpEffect, QueryError> {
+    match op {
+        DmlOp::Insert(s) => execute_insert(db, virt, s),
+        DmlOp::Delete(s) => execute_delete(db, virt, s),
+        DmlOp::Update(s) => execute_update(db, virt, s),
+        DmlOp::Select(s) => execute_select_op(db, virt, s),
+    }
+}
+
+/// Run a read-only `select` (no effect tracking).
+pub fn execute_query(
+    db: &Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &SelectStmt,
+) -> Result<Relation, QueryError> {
+    let cache = crate::SubqueryCache::new();
+    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+    crate::select::run_select(ctx, stmt, &mut Bindings::new())
+}
+
+fn execute_insert(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &InsertStmt,
+) -> Result<OpEffect, QueryError> {
+    let table = db.table_id(&stmt.table)?;
+    let arity = db.schema(table).arity();
+
+    // Phase 1: compute the rows to insert.
+    let cache = crate::SubqueryCache::new();
+    let rows: Vec<Tuple> = {
+        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+        match &stmt.source {
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != arity {
+                        return Err(QueryError::InsertArity {
+                            table: stmt.table.clone(),
+                            expected: arity,
+                            got: row.len(),
+                        });
+                    }
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(eval_expr(ctx, &mut Bindings::new(), None, e)?);
+                    }
+                    out.push(Tuple(vals));
+                }
+                out
+            }
+            InsertSource::Select(sel) => {
+                let rel = run_select_traced(ctx, sel, &mut Bindings::new(), None)?;
+                if rel.columns.len() != arity {
+                    return Err(QueryError::InsertArity {
+                        table: stmt.table.clone(),
+                        expected: arity,
+                        got: rel.columns.len(),
+                    });
+                }
+                rel.rows.into_iter().map(Tuple).collect()
+            }
+        }
+    };
+
+    // Phase 2: insert.
+    let mut handles = Vec::with_capacity(rows.len());
+    for t in rows {
+        handles.push(db.insert(table, t)?);
+    }
+    Ok(OpEffect::Insert { table, handles })
+}
+
+/// Identify the tuples of `table` satisfying `predicate` (phase 1 of
+/// delete/update). Returns matching handles in handle order.
+fn identify(
+    db: &Database,
+    virt: &dyn TransitionTableProvider,
+    table: TableId,
+    table_name: &str,
+    predicate: Option<&setrules_sql::ast::Expr>,
+) -> Result<Vec<TupleHandle>, QueryError> {
+    let cache = crate::SubqueryCache::new();
+    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+    let schema = db.schema(table);
+    let columns =
+        std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+    let access = choose_access(ctx, table, table_name, true, predicate);
+    let mut bindings = Bindings::new();
+    let mut out = Vec::new();
+    for h in scan_handles(db, table, &access) {
+        let tuple = db.get(table, h).expect("scanned handle is live");
+        let keep = match predicate {
+            None => true,
+            Some(p) => {
+                let level: Level = vec![Frame {
+                    name: table_name.to_string(),
+                    columns: std::sync::Arc::clone(&columns),
+                    row: tuple.0.clone(),
+                }];
+                bindings.push_level(level);
+                let r = eval_predicate(ctx, &mut bindings, None, p);
+                bindings.pop_level();
+                r?
+            }
+        };
+        if keep {
+            out.push(h);
+        }
+    }
+    Ok(out)
+}
+
+fn execute_delete(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &DeleteStmt,
+) -> Result<OpEffect, QueryError> {
+    let table = db.table_id(&stmt.table)?;
+    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref())?;
+    let mut tuples = Vec::with_capacity(handles.len());
+    for h in handles {
+        let old = db.delete(table, h)?;
+        tuples.push((h, old));
+    }
+    Ok(OpEffect::Delete { table, tuples })
+}
+
+fn execute_update(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &UpdateStmt,
+) -> Result<OpEffect, QueryError> {
+    let table = db.table_id(&stmt.table)?;
+
+    // Resolve assigned columns once; deduplicate repeated assignments to
+    // the same column (last one wins, like SQL).
+    let mut set_cols = Vec::with_capacity(stmt.sets.len());
+    {
+        let schema = db.schema(table);
+        for (name, _) in &stmt.sets {
+            set_cols.push(schema.column_id(name)?);
+        }
+    }
+
+    // Phase 1: identify tuples and compute per-tuple assignments against
+    // the pre-update state.
+    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref())?;
+    let mut planned: Vec<(TupleHandle, Vec<(ColumnId, Value)>)> = Vec::with_capacity(handles.len());
+    let cache = crate::SubqueryCache::new();
+    {
+        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+        let schema = db.schema(table);
+        let columns =
+            std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+        let mut bindings = Bindings::new();
+        for &h in &handles {
+            let tuple = db.get(table, h).expect("identified handle is live");
+            bindings.push_level(vec![Frame {
+                name: stmt.table.clone(),
+                columns: std::sync::Arc::clone(&columns),
+                row: tuple.0.clone(),
+            }]);
+            let mut assignments: Vec<(ColumnId, Value)> = Vec::with_capacity(stmt.sets.len());
+            let mut err = None;
+            for (i, (_, e)) in stmt.sets.iter().enumerate() {
+                match eval_expr(ctx, &mut bindings, None, e) {
+                    Ok(v) => {
+                        // Last assignment to a column wins.
+                        assignments.retain(|(c, _)| *c != set_cols[i]);
+                        assignments.push((set_cols[i], v));
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            bindings.pop_level();
+            if let Some(e) = err {
+                return Err(e);
+            }
+            planned.push((h, assignments));
+        }
+    }
+
+    // Phase 2: apply.
+    let mut tuples = Vec::with_capacity(planned.len());
+    for (h, assignments) in planned {
+        let cols: Vec<ColumnId> = assignments.iter().map(|(c, _)| *c).collect();
+        let old = db.update(table, h, &assignments)?;
+        tuples.push((h, cols, old));
+    }
+    Ok(OpEffect::Update { table, tuples })
+}
+
+fn execute_select_op(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &SelectStmt,
+) -> Result<OpEffect, QueryError> {
+    let cache = crate::SubqueryCache::new();
+    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+    let mut trace: Vec<(TableId, TupleHandle)> = Vec::new();
+    let output = run_select_traced(ctx, stmt, &mut Bindings::new(), Some(&mut trace))?;
+
+    // Column attribution per top-level from item (§5.1; embedded selects'
+    // tuples are excluded from S by our documented choice, but their
+    // column references on traced tables are counted).
+    let per_item = referenced_columns(db, stmt);
+    // Map (table) -> columns for items; trace entries are per contributing
+    // tuple, in from-item iteration order. We attribute columns by table id.
+    let mut item_for_table: Vec<(TableId, Option<Vec<ColumnId>>)> = Vec::new();
+    for (i, tref) in stmt.from.iter().enumerate() {
+        if let setrules_sql::ast::TableSource::Named(name) = &tref.source {
+            if let Ok(tid) = db.table_id(name) {
+                let cols = per_item[i].clone().map(|s| s.into_iter().collect::<Vec<_>>());
+                item_for_table.push((tid, cols));
+            }
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut reads = Vec::new();
+    for (tid, h) in trace {
+        if !seen.insert((tid, h)) {
+            continue;
+        }
+        let cols = item_for_table
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .and_then(|(_, c)| c.clone());
+        reads.push((tid, h, cols));
+    }
+    Ok(OpEffect::Select { reads, output })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::NoTransitionTables;
+    use setrules_sql::{ast::Statement, parse_statement};
+    use setrules_storage::{paper_example_schemas, tuple};
+
+    fn setup() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let (emp, dept) = paper_example_schemas();
+        let emp = db.create_table(emp).unwrap();
+        let dept = db.create_table(dept).unwrap();
+        (db, emp, dept)
+    }
+
+    fn op(sql: &str) -> DmlOp {
+        match parse_statement(sql).unwrap() {
+            Statement::Dml(op) => op,
+            other => panic!("not dml: {other:?}"),
+        }
+    }
+
+    fn exec(db: &mut Database, sql: &str) -> OpEffect {
+        execute_op(db, &NoTransitionTables, &op(sql)).unwrap()
+    }
+
+    #[test]
+    fn insert_values_affected_set() {
+        let (mut db, emp, _) = setup();
+        let eff = exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1), ('Bill', 2, 25000.0, 2)");
+        let OpEffect::Insert { table, handles } = eff else { panic!() };
+        assert_eq!(table, emp);
+        assert_eq!(handles.len(), 2);
+        assert_eq!(db.table(emp).len(), 2);
+    }
+
+    #[test]
+    fn insert_select_copies_rows() {
+        let (mut db, _emp, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1), ('Bill', 2, 25000.0, 2)");
+        let mut db2 = db;
+        db2.create_table(setrules_storage::TableSchema::new(
+            "rich",
+            paper_example_schemas().0.columns.clone(),
+        ))
+        .unwrap();
+        let eff = exec(&mut db2, "insert into rich (select * from emp where salary > 50000)");
+        let OpEffect::Insert { handles, .. } = eff else { panic!() };
+        assert_eq!(handles.len(), 1);
+    }
+
+    #[test]
+    fn delete_captures_old_values() {
+        let (mut db, emp, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1), ('Bill', 2, 25000.0, 2)");
+        let eff = exec(&mut db, "delete from emp where salary < 50000");
+        let OpEffect::Delete { table, tuples } = eff else { panic!() };
+        assert_eq!(table, emp);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].1, tuple!["Bill", 2, 25000.0, 2]);
+        assert_eq!(db.table(emp).len(), 1);
+    }
+
+    #[test]
+    fn delete_without_predicate_means_where_true() {
+        let (mut db, emp, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1), ('Bill', 2, 25000.0, 2)");
+        let eff = exec(&mut db, "delete from emp");
+        assert_eq!(eff.cardinality(), 2);
+        assert!(db.table(emp).is_empty());
+    }
+
+    #[test]
+    fn update_affected_even_when_value_unchanged() {
+        let (mut db, _, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1)");
+        // Assign salary to itself: value unchanged but still "affected"
+        // (paper §2.1: U is not derivable from states).
+        let eff = exec(&mut db, "update emp set salary = salary");
+        let OpEffect::Update { tuples, .. } = eff else { panic!() };
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].1, vec![ColumnId(2)]);
+    }
+
+    #[test]
+    fn update_is_set_oriented_reads_pre_state() {
+        let (mut db, emp, _) = setup();
+        exec(&mut db, "insert into emp values ('a', 1, 100.0, 1), ('b', 2, 200.0, 1)");
+        // Swap-like self-reference: every salary becomes the pre-statement
+        // max. If evaluation leaked intermediate writes, results would
+        // depend on scan order.
+        let eff = exec(&mut db, "update emp set salary = salary * 2 where salary < 1000");
+        assert_eq!(eff.cardinality(), 2);
+        let rel = execute_query(
+            &db,
+            &NoTransitionTables,
+            &match op("select salary from emp order by salary") {
+                DmlOp::Select(s) => s,
+                _ => unreachable!(),
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.rows, vec![vec![Value::Float(200.0)], vec![Value::Float(400.0)]]);
+        assert_eq!(db.table(emp).len(), 2);
+    }
+
+    #[test]
+    fn update_captures_old_tuple() {
+        let (mut db, _, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1)");
+        let eff = exec(&mut db, "update emp set salary = 1.0, dept_no = 9");
+        let OpEffect::Update { tuples, .. } = eff else { panic!() };
+        assert_eq!(tuples[0].2, tuple!["Jane", 1, 95000.0, 1]);
+        assert_eq!(tuples[0].1, vec![ColumnId(2), ColumnId(3)]);
+    }
+
+    #[test]
+    fn duplicate_column_assignment_last_wins() {
+        let (mut db, emp, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1)");
+        let eff = exec(&mut db, "update emp set salary = 1.0, salary = 2.0");
+        let OpEffect::Update { tuples, .. } = eff else { panic!() };
+        assert_eq!(tuples[0].1, vec![ColumnId(2)], "column listed once");
+        let h = tuples[0].0;
+        assert_eq!(db.get(emp, h).unwrap().get(ColumnId(2)), &Value::Float(2.0));
+    }
+
+    #[test]
+    fn select_op_traces_reads() {
+        let (mut db, emp, _) = setup();
+        exec(&mut db, "insert into emp values ('Jane', 1, 95000.0, 1), ('Bill', 2, 25000.0, 2)");
+        let eff = exec(&mut db, "select name from emp where salary > 50000");
+        let OpEffect::Select { reads, output } = eff else { panic!() };
+        assert_eq!(output.len(), 1);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].0, emp);
+        let cols = reads[0].2.as_ref().unwrap();
+        assert!(cols.contains(&ColumnId(0)) && cols.contains(&ColumnId(2)));
+    }
+
+    #[test]
+    fn correlated_subquery_example_3_3_condition() {
+        let (mut db, _, _) = setup();
+        exec(
+            &mut db,
+            "insert into emp values ('a', 1, 100.0, 1), ('b', 2, 100.0, 1), ('c', 3, 500.0, 1)",
+        );
+        // c's salary (500) exceeds 2 * avg(233.3).
+        let DmlOp::Select(sel) = op(
+            "select name from emp e1 where salary > 2 * (select avg(salary) from emp e2 where e2.dept_no = e1.dept_no)",
+        ) else {
+            unreachable!()
+        };
+        let rel = execute_query(&db, &NoTransitionTables, &sel).unwrap();
+        assert_eq!(rel.rows, vec![vec![Value::Text("c".into())]]);
+    }
+
+    #[test]
+    fn aggregate_queries() {
+        let (mut db, _, _) = setup();
+        exec(
+            &mut db,
+            "insert into emp values ('a', 1, 100.0, 1), ('b', 2, 300.0, 1), ('c', 3, 500.0, 2)",
+        );
+        let q = |db: &Database, s: &str| {
+            let DmlOp::Select(sel) = op(s) else { unreachable!() };
+            execute_query(db, &NoTransitionTables, &sel).unwrap()
+        };
+        assert_eq!(q(&db, "select count(*) from emp").rows, vec![vec![Value::Int(3)]]);
+        assert_eq!(q(&db, "select sum(salary) from emp").rows, vec![vec![Value::Float(900.0)]]);
+        assert_eq!(q(&db, "select avg(salary) from emp where dept_no = 1").rows, vec![vec![Value::Float(200.0)]]);
+        assert_eq!(q(&db, "select min(salary), max(salary) from emp").rows, vec![vec![Value::Float(100.0), Value::Float(500.0)]]);
+        let grouped = q(&db, "select dept_no, count(*) from emp group by dept_no order by dept_no");
+        assert_eq!(
+            grouped.rows,
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(2), Value::Int(1)]]
+        );
+        let having = q(&db, "select dept_no from emp group by dept_no having count(*) > 1");
+        assert_eq!(having.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn empty_table_aggregates() {
+        let (db, _, _) = setup();
+        let q = |s: &str| {
+            let DmlOp::Select(sel) = op(s) else { unreachable!() };
+            execute_query(&db, &NoTransitionTables, &sel).unwrap()
+        };
+        assert_eq!(q("select count(*) from emp").rows, vec![vec![Value::Int(0)]]);
+        assert_eq!(q("select sum(salary) from emp").rows, vec![vec![Value::Null]]);
+        // Grouped query over empty input: no groups, no rows.
+        assert_eq!(q("select dept_no, count(*) from emp group by dept_no").len(), 0);
+    }
+
+    #[test]
+    fn join_cross_product_with_predicate() {
+        let (mut db, _, _) = setup();
+        exec(&mut db, "insert into emp values ('a', 1, 100.0, 1), ('b', 2, 300.0, 2)");
+        exec(&mut db, "insert into dept values (1, 1), (2, 2)");
+        let DmlOp::Select(sel) =
+            op("select name, mgr_no from emp, dept where emp.dept_no = dept.dept_no")
+        else {
+            unreachable!()
+        };
+        let rel = execute_query(&db, &NoTransitionTables, &sel).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let (mut db, _, _) = setup();
+        exec(&mut db, "insert into emp values ('a', 1, 100.0, 1), ('b', 2, 300.0, 1), ('c', 3, 1.0, 2)");
+        let q = |s: &str| {
+            let DmlOp::Select(sel) = op(s) else { unreachable!() };
+            execute_query(&db, &NoTransitionTables, &sel).unwrap()
+        };
+        assert_eq!(q("select distinct dept_no from emp").len(), 2);
+        assert_eq!(q("select name from emp order by salary desc limit 2").rows.len(), 2);
+        assert_eq!(
+            q("select name from emp order by salary desc limit 2").rows[0],
+            vec![Value::Text("b".into())]
+        );
+    }
+
+    #[test]
+    fn scalar_subquery_in_insert() {
+        let (mut db, _, dept) = setup();
+        exec(&mut db, "insert into emp values ('a', 7, 100.0, 1)");
+        let eff = exec(&mut db, "insert into dept values (1, (select emp_no from emp))");
+        assert_eq!(eff.cardinality(), 1);
+        let row = db.table(dept).scan().next().unwrap().1.clone();
+        assert_eq!(row, tuple![1, 7]);
+    }
+
+    #[test]
+    fn insert_arity_mismatch_rejected() {
+        let (mut db, _, _) = setup();
+        let err = execute_op(&mut db, &NoTransitionTables, &op("insert into emp values (1, 2)"))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InsertArity { expected: 4, got: 2, .. }));
+    }
+
+    #[test]
+    fn failed_op_leaves_no_partial_planning_effects() {
+        let (mut db, emp, _) = setup();
+        exec(&mut db, "insert into emp values ('a', 1, 100.0, 1)");
+        // Type error in the predicate aborts before any mutation.
+        let err =
+            execute_op(&mut db, &NoTransitionTables, &op("delete from emp where name > 5"));
+        assert!(err.is_err());
+        assert_eq!(db.table(emp).len(), 1);
+    }
+}

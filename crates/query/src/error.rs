@@ -1,0 +1,71 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use setrules_storage::StorageError;
+
+/// Errors raised during query planning, evaluation, or DML execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// A column name did not resolve against any visible table variable.
+    UnknownColumn(String),
+    /// A column name resolved against more than one table variable at the
+    /// same scope level.
+    AmbiguousColumn(String),
+    /// An operand had an unusable type (message explains).
+    Type(String),
+    /// A scalar subquery produced more than one row.
+    ScalarSubqueryRows(usize),
+    /// A subquery used with `in` or as a scalar produced a number of
+    /// columns other than one.
+    SubqueryColumns(usize),
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// A transition table was referenced in a context that provides none
+    /// (e.g. a user query outside any rule), or one the rule may not
+    /// reference (paper §3's syntactic restriction).
+    TransitionTableUnavailable(String),
+    /// `insert ... (select ...)` produced rows of the wrong arity.
+    InsertArity {
+        /// Target table.
+        table: String,
+        /// Expected column count.
+        expected: usize,
+        /// Produced column count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "{e}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            QueryError::AmbiguousColumn(c) => write!(f, "ambiguous column '{c}'"),
+            QueryError::Type(m) => write!(f, "type error: {m}"),
+            QueryError::ScalarSubqueryRows(n) => {
+                write!(f, "scalar subquery produced {n} rows (at most 1 allowed)")
+            }
+            QueryError::SubqueryColumns(n) => {
+                write!(f, "subquery must produce exactly 1 column, produced {n}")
+            }
+            QueryError::DivisionByZero => write!(f, "integer division by zero"),
+            QueryError::TransitionTableUnavailable(t) => {
+                write!(f, "transition table '{t}' is not available in this context")
+            }
+            QueryError::InsertArity { table, expected, got } => {
+                write!(f, "insert into '{table}' expects {expected} columns, select produced {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}

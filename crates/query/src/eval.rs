@@ -1,0 +1,515 @@
+//! Scalar and predicate evaluation under SQL three-valued logic.
+//!
+//! `NULL` propagates through arithmetic and comparisons; `and`/`or` use
+//! Kleene logic; `where` keeps a row only when the predicate is *true*
+//! (not unknown). Aggregates are evaluated over the current group, supplied
+//! by the `select` executor.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use setrules_sql::ast::{AggFunc, BinaryOp, Expr, SelectStmt, UnaryOp};
+use setrules_storage::Value;
+
+use crate::bindings::{Bindings, Level};
+use crate::ctx::QueryCtx;
+use crate::error::QueryError;
+use crate::like::like_match;
+use crate::relation::Relation;
+use crate::select::run_select;
+
+/// Evaluate `e` to a value.
+///
+/// `group` carries the rows of the current aggregation group (one
+/// [`Level`] per row); aggregate expressions are only legal when it is
+/// `Some`.
+pub fn eval_expr(
+    ctx: QueryCtx<'_>,
+    bindings: &mut Bindings,
+    group: Option<&[Level]>,
+    e: &Expr,
+) -> Result<Value, QueryError> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => bindings.resolve(qualifier.as_deref(), name),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(ctx, bindings, group, expr)?;
+            match op {
+                UnaryOp::Not => match truth(&v)? {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None => Ok(Value::Null),
+                },
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => i
+                        .checked_neg()
+                        .map(Value::Int)
+                        .ok_or_else(|| QueryError::Type("integer overflow in negation".into())),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(QueryError::Type(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => eval_binary(ctx, bindings, group, left, *op, right),
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(ctx, bindings, group, expr)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let needle = eval_expr(ctx, bindings, group, expr)?;
+            let mut vals = Vec::with_capacity(list.len());
+            for item in list {
+                vals.push(eval_expr(ctx, bindings, group, item)?);
+            }
+            in_semantics(&needle, vals.iter(), *negated)
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            let needle = eval_expr(ctx, bindings, group, expr)?;
+            let rel = eval_subquery(ctx, bindings, subquery)?;
+            if rel.columns.len() != 1 {
+                return Err(QueryError::SubqueryColumns(rel.columns.len()));
+            }
+            in_semantics(&needle, rel.column0(), *negated)
+        }
+        Expr::Exists { subquery, negated } => {
+            let rel = eval_subquery(ctx, bindings, subquery)?;
+            Ok(Value::Bool(rel.is_empty() == *negated))
+        }
+        Expr::ScalarSubquery(subquery) => {
+            let rel = eval_subquery(ctx, bindings, subquery)?;
+            if rel.columns.len() != 1 {
+                return Err(QueryError::SubqueryColumns(rel.columns.len()));
+            }
+            match rel.rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rel.rows[0][0].clone()),
+                n => Err(QueryError::ScalarSubqueryRows(n)),
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval_expr(ctx, bindings, group, expr)?;
+            let lo = eval_expr(ctx, bindings, group, low)?;
+            let hi = eval_expr(ctx, bindings, group, high)?;
+            let ge = compare(&v, &lo).map(|o| o.map(|o| o != Ordering::Less))?;
+            let le = compare(&v, &hi).map(|o| o.map(|o| o != Ordering::Greater))?;
+            let both = kleene_and(ge, le);
+            Ok(match both {
+                Some(b) => Value::Bool(b != *negated),
+                None => Value::Null,
+            })
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval_expr(ctx, bindings, group, expr)?;
+            let p = eval_expr(ctx, bindings, group, pattern)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(t), Value::Text(pat)) => Ok(Value::Bool(like_match(&t, &pat) != *negated)),
+                (a, b) => Err(QueryError::Type(format!("like requires text operands, got {a} and {b}"))),
+            }
+        }
+        Expr::Aggregate { func, arg, distinct } => {
+            let Some(rows) = group else {
+                return Err(QueryError::Type(format!(
+                    "aggregate {}() not allowed in this context",
+                    func.name()
+                )));
+            };
+            eval_aggregate(ctx, bindings, rows, *func, arg.as_deref(), *distinct)
+        }
+    }
+}
+
+/// Evaluate a subquery, hoisting it out of the per-row loop when it is
+/// uncorrelated and a per-statement cache is attached to the context.
+///
+/// Correlation is detected operationally: the subquery is first tried in
+/// an *empty* outer scope; success means its result cannot depend on outer
+/// bindings (memoized), while an unknown-column error means it references
+/// the outer row (memoized as correlated, then evaluated normally).
+fn eval_subquery(
+    ctx: QueryCtx<'_>,
+    bindings: &mut Bindings,
+    sub: &SelectStmt,
+) -> Result<Relation, QueryError> {
+    let Some(cache) = ctx.cache else {
+        return run_select(ctx, sub, bindings);
+    };
+    let key = sub as *const SelectStmt as usize;
+    match cache.get(key) {
+        Some(Some(rel)) => return Ok(rel),
+        Some(None) => return run_select(ctx, sub, bindings), // known correlated
+        None => {}
+    }
+    match run_select(ctx, sub, &mut Bindings::new()) {
+        Ok(rel) => {
+            cache.put(key, Some(rel.clone()));
+            Ok(rel)
+        }
+        Err(QueryError::UnknownColumn(_)) => {
+            cache.put(key, None);
+            run_select(ctx, sub, bindings)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Truth value of a predicate result: `Some(bool)` or `None` (unknown).
+/// Non-boolean, non-null values are a type error.
+pub fn truth(v: &Value) -> Result<Option<bool>, QueryError> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(QueryError::Type(format!("expected boolean predicate, got {other}"))),
+    }
+}
+
+/// Evaluate a predicate; a row qualifies only when the result is *true*.
+pub fn eval_predicate(
+    ctx: QueryCtx<'_>,
+    bindings: &mut Bindings,
+    group: Option<&[Level]>,
+    e: &Expr,
+) -> Result<bool, QueryError> {
+    let v = eval_expr(ctx, bindings, group, e)?;
+    Ok(truth(&v)? == Some(true))
+}
+
+fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// SQL comparison distinguishing *unknown* (`Ok(None)`, a `NULL` operand)
+/// from incomparable types (`Err`).
+fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>, QueryError> {
+    if a.is_null() || b.is_null() {
+        return Ok(None);
+    }
+    a.sql_cmp(b)
+        .map(Some)
+        .ok_or_else(|| QueryError::Type(format!("cannot compare {a} with {b}")))
+}
+
+fn in_semantics<'v>(
+    needle: &Value,
+    haystack: impl Iterator<Item = &'v Value>,
+    negated: bool,
+) -> Result<Value, QueryError> {
+    let mut saw_unknown = false;
+    for v in haystack {
+        match compare(needle, v)? {
+            Some(Ordering::Equal) => return Ok(Value::Bool(!negated)),
+            Some(_) => {}
+            None => saw_unknown = true,
+        }
+    }
+    if saw_unknown {
+        Ok(Value::Null)
+    } else {
+        Ok(Value::Bool(negated))
+    }
+}
+
+fn eval_binary(
+    ctx: QueryCtx<'_>,
+    bindings: &mut Bindings,
+    group: Option<&[Level]>,
+    left: &Expr,
+    op: BinaryOp,
+    right: &Expr,
+) -> Result<Value, QueryError> {
+    // Logical operators get Kleene short-circuit behaviour.
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        let l = truth(&eval_expr(ctx, bindings, group, left)?)?;
+        // Short-circuit when the left operand decides the result.
+        match (op, l) {
+            (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = truth(&eval_expr(ctx, bindings, group, right)?)?;
+        let out = match op {
+            BinaryOp::And => kleene_and(l, r),
+            _ => kleene_or(l, r),
+        };
+        return Ok(out.map_or(Value::Null, Value::Bool));
+    }
+
+    let l = eval_expr(ctx, bindings, group, left)?;
+    let r = eval_expr(ctx, bindings, group, right)?;
+
+    if op.is_comparison() {
+        let cmp = compare(&l, &r)?;
+        let out = cmp.map(|o| match op {
+            BinaryOp::Eq => o == Ordering::Equal,
+            BinaryOp::NotEq => o != Ordering::Equal,
+            BinaryOp::Lt => o == Ordering::Less,
+            BinaryOp::LtEq => o != Ordering::Greater,
+            BinaryOp::Gt => o == Ordering::Greater,
+            BinaryOp::GtEq => o != Ordering::Less,
+            _ => unreachable!(),
+        });
+        return Ok(out.map_or(Value::Null, Value::Bool));
+    }
+
+    // Arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let out = match op {
+                BinaryOp::Add => a.checked_add(b),
+                BinaryOp::Sub => a.checked_sub(b),
+                BinaryOp::Mul => a.checked_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return Err(QueryError::DivisionByZero);
+                    }
+                    a.checked_div(b)
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return Err(QueryError::DivisionByZero);
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| QueryError::Type("integer overflow".into()))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(QueryError::Type(format!("cannot apply {op} to {l} and {r}")));
+            };
+            // Float arithmetic follows IEEE-754 (division by zero yields
+            // ±inf, 0/0 yields NaN), matching common SQL engines' float
+            // behaviour.
+            let out = match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => a / b,
+                BinaryOp::Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+fn eval_aggregate(
+    ctx: QueryCtx<'_>,
+    bindings: &mut Bindings,
+    rows: &[Level],
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+) -> Result<Value, QueryError> {
+    // count(*) counts rows, including those where other columns are NULL.
+    let Some(arg) = arg else {
+        debug_assert_eq!(func, AggFunc::Count);
+        return Ok(Value::Int(rows.len() as i64));
+    };
+
+    // Evaluate the argument once per group row; NULLs are discarded
+    // (SQL aggregate semantics).
+    let mut vals = Vec::with_capacity(rows.len());
+    for level in rows {
+        bindings.push_level(level.clone());
+        // Aggregates do not nest: the argument is evaluated without a group.
+        let v = eval_expr(ctx, bindings, None, arg);
+        bindings.pop_level();
+        let v = v?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = BTreeSet::new();
+        vals.retain(|v| seen.insert(v.clone()));
+    }
+
+    match func {
+        AggFunc::Count => Ok(Value::Int(vals.len() as i64)),
+        AggFunc::Sum => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                let mut acc: i64 = 0;
+                for v in &vals {
+                    acc = acc
+                        .checked_add(v.as_i64().expect("all ints"))
+                        .ok_or_else(|| QueryError::Type("integer overflow in sum".into()))?;
+                }
+                Ok(Value::Int(acc))
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v
+                        .as_f64()
+                        .ok_or_else(|| QueryError::Type(format!("sum of non-numeric value {v}")))?;
+                }
+                Ok(Value::Float(acc))
+            }
+        }
+        AggFunc::Avg => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc = 0.0;
+            for v in &vals {
+                acc += v
+                    .as_f64()
+                    .ok_or_else(|| QueryError::Type(format!("avg of non-numeric value {v}")))?;
+            }
+            Ok(Value::Float(acc / vals.len() as f64))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for v in vals {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = b
+                            .sql_cmp(&v)
+                            .ok_or_else(|| QueryError::Type(format!("cannot compare {b} with {v}")))?;
+                        let keep_b = match func {
+                            AggFunc::Min => ord != Ordering::Greater,
+                            _ => ord != Ordering::Less,
+                        };
+                        if keep_b {
+                            b
+                        } else {
+                            v
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setrules_sql::parse_expr;
+    use setrules_storage::Database;
+
+    fn eval(src: &str) -> Result<Value, QueryError> {
+        let db = Database::new();
+        let ctx = QueryCtx::plain(&db);
+        let e = parse_expr(src).unwrap();
+        eval_expr(ctx, &mut Bindings::new(), None, &e)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(eval("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval("7.0 / 2").unwrap(), Value::Float(3.5));
+        assert_eq!(eval("7 % 3").unwrap(), Value::Int(1));
+        assert_eq!(eval("-(3) + 1").unwrap(), Value::Int(-2));
+        assert_eq!(eval("0.95 * 100").unwrap(), Value::Float(95.0));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(eval("1 / 0"), Err(QueryError::DivisionByZero));
+        assert_eq!(eval("1 % 0"), Err(QueryError::DivisionByZero));
+        // Float division by zero is IEEE.
+        assert_eq!(eval("1.0 / 0").unwrap(), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        assert!(matches!(eval("9223372036854775807 + 1"), Err(QueryError::Type(_))));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(eval("1 + NULL").unwrap(), Value::Null);
+        assert_eq!(eval("NULL = NULL").unwrap(), Value::Null);
+        assert_eq!(eval("NULL is null").unwrap(), Value::Bool(true));
+        assert_eq!(eval("1 is not null").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        assert_eq!(eval("false and NULL").unwrap(), Value::Bool(false));
+        assert_eq!(eval("true and NULL").unwrap(), Value::Null);
+        assert_eq!(eval("true or NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval("false or NULL").unwrap(), Value::Null);
+        assert_eq!(eval("not NULL").unwrap(), Value::Null);
+        assert_eq!(eval("not false").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn and_short_circuits_errors_on_right() {
+        // `false and (1/0 = 1)` must not raise: left decides.
+        assert_eq!(eval("false and 1 / 0 = 1").unwrap(), Value::Bool(false));
+        assert_eq!(eval("true or 1 / 0 = 1").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("2 < 3").unwrap(), Value::Bool(true));
+        assert_eq!(eval("2 >= 2.0").unwrap(), Value::Bool(true));
+        assert_eq!(eval("'a' < 'b'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("2 <> 3").unwrap(), Value::Bool(true));
+        assert!(matches!(eval("1 < 'a'"), Err(QueryError::Type(_))));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        assert_eq!(eval("2 in (1, 2, 3)").unwrap(), Value::Bool(true));
+        assert_eq!(eval("5 in (1, 2, 3)").unwrap(), Value::Bool(false));
+        assert_eq!(eval("5 in (1, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval("1 in (1, NULL)").unwrap(), Value::Bool(true));
+        assert_eq!(eval("5 not in (1, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval("5 not in (1, 2)").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between() {
+        assert_eq!(eval("2 between 1 and 3").unwrap(), Value::Bool(true));
+        assert_eq!(eval("0 between 1 and 3").unwrap(), Value::Bool(false));
+        assert_eq!(eval("2 not between 1 and 3").unwrap(), Value::Bool(false));
+        assert_eq!(eval("2 between NULL and 3").unwrap(), Value::Null);
+        assert_eq!(eval("0 between 1 and NULL").unwrap(), Value::Bool(false), "0 >= 1 is false, so unknown upper bound cannot matter");
+    }
+
+    #[test]
+    fn like() {
+        assert_eq!(eval("'Jane' like 'J%'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("'Jane' not like '%z%'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("NULL like 'J%'").unwrap(), Value::Null);
+        assert!(matches!(eval("1 like 'J%'"), Err(QueryError::Type(_))));
+    }
+
+    #[test]
+    fn aggregates_require_group_context() {
+        assert!(matches!(eval("sum(1)"), Err(QueryError::Type(_))));
+    }
+
+    #[test]
+    fn truth_rejects_non_boolean() {
+        assert!(matches!(eval("not 5"), Err(QueryError::Type(_))));
+    }
+}

@@ -1,0 +1,42 @@
+//! # setrules-query
+//!
+//! Query and DML execution for the `setrules` system: set-oriented
+//! evaluation of the paper's SQL dialect against the in-memory storage
+//! engine, with the **affected-set** capture (§2.1) the rule system is
+//! built on.
+//!
+//! Key pieces:
+//!
+//! * [`execute_op`] — run one `insert`/`delete`/`update`/`select` and
+//!   return its [`OpEffect`] (affected handles + old values);
+//! * [`execute_query`] — run a read-only `select` to a [`Relation`];
+//! * [`TransitionTableProvider`] — how the rule engine injects
+//!   `inserted t` / `deleted t` / `old|new updated t[.c]` / `selected t`
+//!   tables into evaluation (§3, §4);
+//! * a small planner ([`planner`]) exploiting hash indexes for equality
+//!   predicates, applying the same optimization to rule bodies as to user
+//!   queries (§1).
+
+#![warn(missing_docs)]
+
+pub mod bindings;
+mod ctx;
+mod dml;
+mod error;
+mod eval;
+mod explain;
+pub mod like;
+pub mod planner;
+mod provider;
+pub mod refs;
+mod relation;
+mod select;
+
+pub use ctx::{QueryCtx, SubqueryCache};
+pub use dml::{execute_op, execute_query, OpEffect};
+pub use error::QueryError;
+pub use eval::{eval_expr, eval_predicate, truth};
+pub use explain::explain_select;
+pub use provider::{describe, NoTransitionTables, TransitionTableProvider};
+pub use relation::Relation;
+pub use select::{has_aggregate, run_select, run_select_traced};

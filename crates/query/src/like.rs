@@ -1,0 +1,97 @@
+//! SQL `LIKE` pattern matching: `%` matches any sequence (including empty),
+//! `_` matches exactly one character. No escape character (the dialect does
+//! not need one for the paper's workloads).
+
+/// Match `text` against `pattern` with SQL `LIKE` semantics.
+///
+/// Implemented with the classic two-pointer backtracking algorithm, which
+/// is linear in practice and never pathological (no nested `%` blow-up).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn underscore() {
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("ac", "a_c"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("abc", "____"));
+    }
+
+    #[test]
+    fn percent() {
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "%b%"));
+        assert!(!like_match("abc", "%d%"));
+        assert!(like_match("abc", "a%c"));
+        assert!(!like_match("abc", "a%d"));
+    }
+
+    #[test]
+    fn multiple_percents_backtrack() {
+        assert!(like_match("aXbXc", "a%b%c"));
+        assert!(like_match("abbbc", "a%b%c"));
+        assert!(!like_match("ac", "a%b%c"));
+        assert!(like_match("mississippi", "m%iss%ppi"));
+        assert!(!like_match("mississippi", "m%iss%ppix"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("Jane", "J_n%"));
+        assert!(like_match("Jones", "J%s"));
+        assert!(!like_match("Jane", "J_n"));
+    }
+
+    #[test]
+    fn unicode_chars_count_once() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("日本語", "__語"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(like_match("", ""));
+        assert!(!like_match("a", ""));
+        assert!(!like_match("", "a"));
+        assert!(like_match("", "%%"));
+    }
+}

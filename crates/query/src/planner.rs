@@ -1,0 +1,247 @@
+//! Access-path selection: the one optimization the paper's argument needs.
+//!
+//! §1: set-oriented rules keep relational optimization applicable, and that
+//! optimization "is directly applicable to the rules themselves". We
+//! implement the representative case: an equality predicate on an indexed
+//! column turns a full scan into an index probe, whether the scan comes
+//! from a user query or from the body of a rule. Benchmark B7 measures the
+//! effect.
+
+use setrules_sql::ast::{BinaryOp, Expr};
+use setrules_storage::{ColumnId, DataType, Database, TableId, Value};
+
+use crate::bindings::Bindings;
+use crate::ctx::QueryCtx;
+use crate::eval::eval_expr;
+
+/// How a base-table `from` item will be scanned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Scan every live tuple.
+    FullScan,
+    /// Probe the hash index on `column` for `value`.
+    IndexEq {
+        /// The indexed column.
+        column: ColumnId,
+        /// The probe value (already coerced to the column type).
+        value: Value,
+    },
+    /// The predicate can never be true for any tuple (e.g. `c = NULL`,
+    /// or an equality with a value outside the column's domain).
+    Empty,
+}
+
+/// Choose an access path for scanning `table` bound as `binding`, given the
+/// query's `where` predicate.
+///
+/// Only top-level `and`-conjuncts of the shape `col = const` (either
+/// operand order) are considered, and unqualified column names are only
+/// trusted when this is the sole `from` item (`sole_item`) — otherwise the
+/// name might belong to a different item. The full predicate is still
+/// re-checked per row by the executor, so a missed opportunity costs time,
+/// never correctness.
+pub fn choose_access(
+    ctx: QueryCtx<'_>,
+    table: TableId,
+    binding: &str,
+    sole_item: bool,
+    predicate: Option<&Expr>,
+) -> Access {
+    let Some(pred) = predicate else {
+        return Access::FullScan;
+    };
+    let schema = ctx.db.schema(table);
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+    for c in conjuncts {
+        let Expr::Binary { left, op: BinaryOp::Eq, right } = c else {
+            continue;
+        };
+        for (col_side, const_side) in [(left, right), (right, left)] {
+            let Expr::Column { qualifier, name } = col_side.as_ref() else {
+                continue;
+            };
+            match qualifier.as_deref() {
+                Some(q) if q == binding => {}
+                None if sole_item => {}
+                _ => continue,
+            }
+            let Ok(column) = schema.column_id(name) else {
+                continue;
+            };
+            if !ctx.db.has_index(table, column) {
+                continue;
+            }
+            if !is_constant(const_side) {
+                continue;
+            }
+            let Ok(v) = eval_expr(ctx, &mut Bindings::new(), None, const_side) else {
+                continue;
+            };
+            return match probe_value(&v, schema.column_type(column)) {
+                Some(value) => Access::IndexEq { column, value },
+                None => Access::Empty,
+            };
+        }
+    }
+    Access::FullScan
+}
+
+/// Handles matching an access path, in handle order.
+pub fn scan_handles(
+    db: &Database,
+    table: TableId,
+    access: &Access,
+) -> Vec<setrules_storage::TupleHandle> {
+    match access {
+        Access::FullScan => db.table(table).handles().collect(),
+        Access::IndexEq { column, value } => db
+            .index_lookup(table, *column, value)
+            .expect("planner only chooses IndexEq when the index exists"),
+        Access::Empty => Vec::new(),
+    }
+}
+
+/// Flatten a predicate into its top-level `and`-conjuncts (shared with the
+/// hash-join detector).
+pub(crate) fn collect_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary { left, op: BinaryOp::And, right } = e {
+        collect_conjuncts(left, out);
+        collect_conjuncts(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Whether an expression is evaluable without row bindings, transition
+/// tables, or the database (literals and arithmetic over them).
+fn is_constant(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) => true,
+        Expr::Unary { expr, .. } => is_constant(expr),
+        Expr::Binary { left, right, .. } => is_constant(left) && is_constant(right),
+        _ => false,
+    }
+}
+
+/// Coerce an equality probe value to the stored column type. `None` means
+/// no stored value can compare equal (`NULL`, or a fractional float probed
+/// against an int column, or a cross-domain type).
+fn probe_value(v: &Value, ty: DataType) -> Option<Value> {
+    match (v, ty) {
+        (Value::Null, _) => None, // `c = NULL` is unknown for every row
+        (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+        (Value::Float(f), DataType::Int) => {
+            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                Some(Value::Int(*f as i64))
+            } else {
+                None
+            }
+        }
+        (v, ty) if v.data_type() == Some(ty) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setrules_sql::parse_expr;
+    use setrules_storage::{paper_example_schemas, Database};
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new();
+        let (emp, _) = paper_example_schemas();
+        let t = db.create_table(emp).unwrap();
+        db.create_index(t, ColumnId(3)).unwrap(); // dept_no
+        (db, t)
+    }
+
+    fn access(db: &Database, t: TableId, pred: &str, sole: bool) -> Access {
+        let e = parse_expr(pred).unwrap();
+        choose_access(QueryCtx::plain(db), t, "emp", sole, Some(&e))
+    }
+
+    #[test]
+    fn picks_index_for_equality() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "dept_no = 5", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+        // Reversed operands too.
+        assert_eq!(
+            access(&db, t, "5 = dept_no", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+        // Constant arithmetic is folded.
+        assert_eq!(
+            access(&db, t, "dept_no = 2 + 3", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+    }
+
+    #[test]
+    fn finds_conjunct_inside_and() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "salary > 100 and dept_no = 5", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+    }
+
+    #[test]
+    fn falls_back_to_scan() {
+        let (db, t) = setup();
+        assert_eq!(access(&db, t, "salary = 100.0", true), Access::FullScan, "salary not indexed");
+        assert_eq!(access(&db, t, "dept_no > 5", true), Access::FullScan, "not equality");
+        assert_eq!(
+            access(&db, t, "dept_no = 5 or salary > 1", true),
+            Access::FullScan,
+            "disjunction cannot use the probe"
+        );
+        assert_eq!(
+            access(&db, t, "dept_no = salary", true),
+            Access::FullScan,
+            "rhs not constant"
+        );
+    }
+
+    #[test]
+    fn unqualified_requires_sole_item() {
+        let (db, t) = setup();
+        assert_eq!(access(&db, t, "dept_no = 5", false), Access::FullScan);
+        assert_eq!(
+            access(&db, t, "emp.dept_no = 5", false),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+    }
+
+    #[test]
+    fn impossible_probes_yield_empty() {
+        let (db, t) = setup();
+        assert_eq!(access(&db, t, "dept_no = NULL", true), Access::Empty);
+        assert_eq!(access(&db, t, "dept_no = 2.5", true), Access::Empty);
+    }
+
+    #[test]
+    fn cross_type_probe_coerces() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "dept_no = 5.0", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+    }
+
+    #[test]
+    fn scan_handles_respects_access() {
+        let (mut db, t) = setup();
+        use setrules_storage::tuple;
+        let h1 = db.insert(t, tuple!["a", 1, 1.0, 5]).unwrap();
+        let _h2 = db.insert(t, tuple!["b", 2, 1.0, 6]).unwrap();
+        let acc = access(&db, t, "dept_no = 5", true);
+        assert_eq!(scan_handles(&db, t, &acc), vec![h1]);
+        assert_eq!(scan_handles(&db, t, &Access::Empty), vec![]);
+        assert_eq!(scan_handles(&db, t, &Access::FullScan).len(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Transition-table access for query evaluation.
+//!
+//! The rule engine (in `setrules-core`) supplies the contents of
+//! `inserted t`, `deleted t`, `old/new updated t[.c]`, and `selected t[.c]`
+//! when evaluating a rule's condition or action (paper §3/§4). The query
+//! layer only needs a way to ask for those rows, so the dependency points
+//! this way: `setrules-core` implements [`TransitionTableProvider`].
+
+use setrules_sql::ast::TransitionKind;
+use setrules_storage::{Database, Value};
+
+use crate::error::QueryError;
+
+/// Supplies transition-table rows during evaluation.
+pub trait TransitionTableProvider {
+    /// The rows of the requested transition table, each with the schema of
+    /// the underlying stored table `table`. Implementations return
+    /// [`QueryError::TransitionTableUnavailable`] for references that are
+    /// not legal in the current context (paper §3: a rule may only
+    /// reference transition tables corresponding to its basic transition
+    /// predicates).
+    fn rows(
+        &self,
+        db: &Database,
+        kind: TransitionKind,
+        table: &str,
+        column: Option<&str>,
+    ) -> Result<Vec<Vec<Value>>, QueryError>;
+}
+
+/// The provider used outside rule processing: every transition-table
+/// reference is an error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTransitionTables;
+
+impl TransitionTableProvider for NoTransitionTables {
+    fn rows(
+        &self,
+        _db: &Database,
+        kind: TransitionKind,
+        table: &str,
+        column: Option<&str>,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        Err(QueryError::TransitionTableUnavailable(describe(kind, table, column)))
+    }
+}
+
+/// Human-readable name of a transition table reference.
+pub fn describe(kind: TransitionKind, table: &str, column: Option<&str>) -> String {
+    let kw = match kind {
+        TransitionKind::Inserted => "inserted",
+        TransitionKind::Deleted => "deleted",
+        TransitionKind::OldUpdated => "old updated",
+        TransitionKind::NewUpdated => "new updated",
+        TransitionKind::Selected => "selected",
+    };
+    match column {
+        Some(c) => format!("{kw} {table}.{c}"),
+        None => format!("{kw} {table}"),
+    }
+}

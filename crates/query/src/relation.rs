@@ -1,0 +1,120 @@
+//! Materialized query results.
+
+use std::fmt;
+
+use serde::Serialize;
+use setrules_storage::Value;
+
+/// A materialized result: named columns and a multiset of rows (order is
+/// the deterministic evaluation order, or the `order by` order if given).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Relation {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows, each with one value per column.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        Relation { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a 1×1 relation, if it is one.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (&self.rows[..], self.columns.len()) {
+            ([row], 1) => Some(&row[0]),
+            _ => None,
+        }
+    }
+
+    /// The values of the first column, in row order.
+    pub fn column0(&self) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(|r| &r[0])
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Render as an aligned ASCII table (used by the REPL and examples).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_extraction() {
+        let r = Relation { columns: vec!["x".into()], rows: vec![vec![Value::Int(7)]] };
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+        let r2 = Relation { columns: vec!["x".into()], rows: vec![] };
+        assert_eq!(r2.scalar(), None);
+        let r3 = Relation {
+            columns: vec!["x".into(), "y".into()],
+            rows: vec![vec![Value::Int(1), Value::Int(2)]],
+        };
+        assert_eq!(r3.scalar(), None);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = Relation {
+            columns: vec!["name".into(), "salary".into()],
+            rows: vec![
+                vec![Value::Text("Jane".into()), Value::Float(95000.0)],
+                vec![Value::Null, Value::Int(1)],
+            ],
+        };
+        let s = r.to_string();
+        assert!(s.contains("name"), "{s}");
+        assert!(s.contains("'Jane'"), "{s}");
+        assert!(s.contains("(2 rows)"), "{s}");
+    }
+}

@@ -1,0 +1,421 @@
+//! `select` execution: nested-loop joins over `from` items (stored tables
+//! and transition tables), three-valued `where` filtering, grouping and
+//! aggregation, `distinct`, `order by`, and `limit`.
+//!
+//! Everything is set-oriented and deterministic: scans run in handle order,
+//! groups appear in first-seen order, and `order by` uses the storage total
+//! order, so repeated runs produce identical results.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use setrules_sql::ast::{BinaryOp, Expr, SelectItem, SelectStmt, TableSource};
+use setrules_storage::{DataType, TableId, TupleHandle, Value};
+
+use crate::bindings::{Bindings, Frame, Level};
+use crate::ctx::QueryCtx;
+use crate::error::QueryError;
+use crate::eval::{eval_expr, eval_predicate};
+use crate::planner::{choose_access, scan_handles};
+use crate::relation::Relation;
+
+/// Run a `select` in the given outer scope (empty for top-level queries,
+/// populated for correlated subqueries). Returns the materialized result.
+pub fn run_select(
+    ctx: QueryCtx<'_>,
+    stmt: &SelectStmt,
+    bindings: &mut Bindings,
+) -> Result<Relation, QueryError> {
+    run_select_traced(ctx, stmt, bindings, None)
+}
+
+/// Like [`run_select`], additionally recording, into `trace`, the handle of
+/// every stored-table tuple that contributed to a row satisfying `where`.
+/// The rule engine uses this for the `S` (selected) component of transition
+/// effects (§5.1 extension).
+pub fn run_select_traced(
+    ctx: QueryCtx<'_>,
+    stmt: &SelectStmt,
+    bindings: &mut Bindings,
+    trace: Option<&mut Vec<(TableId, TupleHandle)>>,
+) -> Result<Relation, QueryError> {
+    // ------------------------------------------------------------------
+    // 1. Materialize each `from` item.
+    // ------------------------------------------------------------------
+    /// One scanned row: its origin (stored tuples only) and field values.
+    type ScanRow = (Option<(TableId, TupleHandle)>, Vec<Value>);
+    struct FromItem {
+        binding: String,
+        columns: Arc<Vec<String>>,
+        types: Vec<DataType>,
+        rows: Vec<ScanRow>,
+    }
+
+    /// Resolve a (possibly qualified) column reference against the from
+    /// items: `Some((item, column))` only when unambiguous.
+    fn resolve_col(items: &[FromItem], qualifier: Option<&str>, name: &str) -> Option<(usize, usize)> {
+        match qualifier {
+            Some(q) => {
+                let idx = items.iter().position(|it| it.binding == q)?;
+                let c = items[idx].columns.iter().position(|cn| cn == name)?;
+                Some((idx, c))
+            }
+            None => {
+                let mut found = None;
+                for (idx, it) in items.iter().enumerate() {
+                    if let Some(c) = it.columns.iter().position(|cn| cn == name) {
+                        if found.is_some() {
+                            return None; // ambiguous
+                        }
+                        found = Some((idx, c));
+                    }
+                }
+                found
+            }
+        }
+    }
+
+    /// Detect a two-item equi-join: a top-level `and`-conjunct
+    /// `items[0].c0 = items[1].c1` (either operand order) whose columns
+    /// share a non-float declared type. Float keys are excluded so that
+    /// storage-level hash equality provably agrees with SQL equality
+    /// (`-0.0`/`0.0` and NaN make floats unsafe as hash keys).
+    fn find_equi_join(stmt: &SelectStmt, items: &[FromItem]) -> Option<(usize, usize)> {
+        if items.len() != 2 {
+            return None;
+        }
+        let pred = stmt.predicate.as_ref()?;
+        let mut conjuncts = Vec::new();
+        crate::planner::collect_conjuncts(pred, &mut conjuncts);
+        for c in conjuncts {
+            let Expr::Binary { left, op: BinaryOp::Eq, right } = c else { continue };
+            let (
+                Expr::Column { qualifier: lq, name: ln },
+                Expr::Column { qualifier: rq, name: rn },
+            ) = (left.as_ref(), right.as_ref())
+            else {
+                continue;
+            };
+            let a = resolve_col(items, lq.as_deref(), ln);
+            let b = resolve_col(items, rq.as_deref(), rn);
+            let (Some((ia, ca)), Some((ib, cb))) = (a, b) else { continue };
+            let (c0, c1) = match (ia, ib) {
+                (0, 1) => (ca, cb),
+                (1, 0) => (cb, ca),
+                _ => continue,
+            };
+            let (t0, t1) = (items[0].types[c0], items[1].types[c1]);
+            if t0 == t1 && t0 != DataType::Float {
+                return Some((c0, c1));
+            }
+        }
+        None
+    }
+
+    let sole = stmt.from.len() == 1;
+    let mut items = Vec::with_capacity(stmt.from.len());
+    for tref in &stmt.from {
+        let binding = tref.binding_name().to_string();
+        match &tref.source {
+            TableSource::Named(name) => {
+                let tid = ctx.db.table_id(name)?;
+                let schema = ctx.db.schema(tid);
+                let columns =
+                    Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+                let types = schema.columns.iter().map(|c| c.ty).collect();
+                let access = choose_access(ctx, tid, &binding, sole, stmt.predicate.as_ref());
+                let rows = scan_handles(ctx.db, tid, &access)
+                    .into_iter()
+                    .map(|h| {
+                        let t = ctx.db.get(tid, h).expect("scanned handle is live");
+                        (Some((tid, h)), t.0.clone())
+                    })
+                    .collect();
+                items.push(FromItem { binding, columns, types, rows });
+            }
+            TableSource::Transition { kind, table, column } => {
+                let tid = ctx.db.table_id(table)?;
+                let schema = ctx.db.schema(tid);
+                let columns =
+                    Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+                let types = schema.columns.iter().map(|c| c.ty).collect();
+                let rows = ctx
+                    .virt
+                    .rows(ctx.db, *kind, table, column.as_deref())?
+                    .into_iter()
+                    .map(|vals| (None, vals))
+                    .collect();
+                items.push(FromItem { binding, columns, types, rows });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Join + `where`: hash join for two-item equi-joins, nested-loop
+    //    odometer otherwise. Both paths evaluate the *full* predicate per
+    //    assembled combination, so the hash probe is only a sound
+    //    prefilter, and both emit combinations in the same (row-index
+    //    lexicographic) order, keeping execution deterministic.
+    // ------------------------------------------------------------------
+    let mut matching: Vec<Level> = Vec::new();
+    let mut origins: Vec<Vec<(TableId, TupleHandle)>> = Vec::new();
+    let want_trace = trace.is_some();
+    {
+        let mut consider =
+            |cursor: &[usize], bindings: &mut Bindings| -> Result<(), QueryError> {
+                let level: Level = items
+                    .iter()
+                    .zip(cursor)
+                    .map(|(it, &i)| Frame {
+                        name: it.binding.clone(),
+                        columns: Arc::clone(&it.columns),
+                        row: it.rows[i].1.clone(),
+                    })
+                    .collect();
+                bindings.push_level(level);
+                let keep = match &stmt.predicate {
+                    Some(p) => eval_predicate(ctx, bindings, None, p),
+                    None => Ok(true),
+                };
+                let level = bindings.pop_level().expect("pushed above");
+                if keep? {
+                    if want_trace {
+                        origins.push(
+                            items
+                                .iter()
+                                .zip(cursor)
+                                .filter_map(|(it, &i)| it.rows[i].0)
+                                .collect(),
+                        );
+                    }
+                    matching.push(level);
+                }
+                Ok(())
+            };
+
+        let all_nonempty = items.iter().all(|it| !it.rows.is_empty());
+        if let Some((c0, c1)) = find_equi_join(stmt, &items) {
+            // Hash join: build on the right item, probe with the left.
+            // NULL keys never join (SQL equality with NULL is unknown);
+            // the type-equality requirement in find_equi_join makes the
+            // storage-level hash equality agree with SQL equality.
+            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (j, row) in items[1].rows.iter().enumerate() {
+                let key = &row.1[c1];
+                if !key.is_null() {
+                    table.entry(key).or_default().push(j);
+                }
+            }
+            for i in 0..items[0].rows.len() {
+                let key = &items[0].rows[i].1[c0];
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(js) = table.get(key) {
+                    for &j in js {
+                        consider(&[i, j], bindings)?;
+                    }
+                }
+            }
+        } else if all_nonempty {
+            let mut cursor = vec![0usize; items.len()];
+            'outer: loop {
+                consider(&cursor, bindings)?;
+                // Advance the odometer.
+                for pos in (0..items.len()).rev() {
+                    cursor[pos] += 1;
+                    if cursor[pos] < items[pos].rows.len() {
+                        continue 'outer;
+                    }
+                    cursor[pos] = 0;
+                    if pos == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(trace) = trace {
+        for row_origins in &origins {
+            trace.extend(row_origins.iter().copied());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Expand wildcards into concrete projection expressions.
+    // ------------------------------------------------------------------
+    let mut proj: Vec<(Expr, String)> = Vec::new();
+    for item in &stmt.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for it in &items {
+                    for c in it.columns.iter() {
+                        proj.push((Expr::qcol(it.binding.clone(), c.clone()), c.clone()));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let it = items
+                    .iter()
+                    .find(|it| it.binding == *q)
+                    .ok_or_else(|| QueryError::UnknownColumn(format!("{q}.*")))?;
+                for c in it.columns.iter() {
+                    proj.push((Expr::qcol(q.clone(), c.clone()), c.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    other => other.to_string(),
+                });
+                proj.push((expr.clone(), name));
+            }
+        }
+    }
+    let columns: Vec<String> = proj.iter().map(|(_, n)| n.clone()).collect();
+
+    // ------------------------------------------------------------------
+    // 4. Project — grouped or row-by-row.
+    // ------------------------------------------------------------------
+    let grouped = !stmt.group_by.is_empty()
+        || proj.iter().any(|(e, _)| has_aggregate(e))
+        || stmt.having.as_ref().is_some_and(has_aggregate);
+
+    // Each produced row carries its order-by key for step 5.
+    type KeyedRow = (Vec<Value>, Vec<Value>);
+    let mut keyed_rows: Vec<KeyedRow> = Vec::new();
+
+    if grouped {
+        // Partition matching rows into groups.
+        let mut group_rows: Vec<Vec<Level>> = Vec::new();
+        if stmt.group_by.is_empty() {
+            group_rows.push(matching);
+        } else {
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            for level in matching {
+                bindings.push_level(level);
+                let mut key = Vec::with_capacity(stmt.group_by.len());
+                let mut key_err = None;
+                for g in &stmt.group_by {
+                    match eval_expr(ctx, bindings, None, g) {
+                        Ok(v) => key.push(v),
+                        Err(e) => {
+                            key_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let level = bindings.pop_level().expect("pushed above");
+                if let Some(e) = key_err {
+                    return Err(e);
+                }
+                let slot = *index.entry(key).or_insert_with(|| {
+                    group_rows.push(Vec::new());
+                    group_rows.len() - 1
+                });
+                group_rows[slot].push(level);
+            }
+        }
+
+        for rows in group_rows {
+            // Representative bindings for non-aggregate expressions: the
+            // first row of the group, or all-NULL frames for the empty
+            // ungrouped case (`select count(*) from empty_table`).
+            let repr: Level = match rows.first() {
+                Some(l) => l.clone(),
+                None => items
+                    .iter()
+                    .map(|it| Frame {
+                        name: it.binding.clone(),
+                        columns: Arc::clone(&it.columns),
+                        row: vec![Value::Null; it.columns.len()],
+                    })
+                    .collect(),
+            };
+            bindings.push_level(repr);
+            let result = (|| -> Result<Option<KeyedRow>, QueryError> {
+                if let Some(h) = &stmt.having {
+                    let v = eval_expr(ctx, bindings, Some(&rows), h)?;
+                    if crate::eval::truth(&v)? != Some(true) {
+                        return Ok(None);
+                    }
+                }
+                let mut out = Vec::with_capacity(proj.len());
+                for (e, _) in &proj {
+                    out.push(eval_expr(ctx, bindings, Some(&rows), e)?);
+                }
+                let mut key = Vec::with_capacity(stmt.order_by.len());
+                for (e, _) in &stmt.order_by {
+                    key.push(eval_expr(ctx, bindings, Some(&rows), e)?);
+                }
+                Ok(Some((key, out)))
+            })();
+            bindings.pop_level();
+            if let Some(pair) = result? {
+                keyed_rows.push(pair);
+            }
+        }
+    } else {
+        for level in matching {
+            bindings.push_level(level);
+            let result = (|| -> Result<(Vec<Value>, Vec<Value>), QueryError> {
+                let mut out = Vec::with_capacity(proj.len());
+                for (e, _) in &proj {
+                    out.push(eval_expr(ctx, bindings, None, e)?);
+                }
+                let mut key = Vec::with_capacity(stmt.order_by.len());
+                for (e, _) in &stmt.order_by {
+                    key.push(eval_expr(ctx, bindings, None, e)?);
+                }
+                Ok((key, out))
+            })();
+            bindings.pop_level();
+            keyed_rows.push(result?);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 5. distinct → order by → limit.
+    // ------------------------------------------------------------------
+    if stmt.distinct {
+        let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+        keyed_rows.retain(|(_, row)| seen.insert(row.clone(), ()).is_none());
+    }
+    if !stmt.order_by.is_empty() {
+        keyed_rows.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, asc)) in stmt.order_by.iter().enumerate() {
+                let ord = ka[i].cmp(&kb[i]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = stmt.limit {
+        keyed_rows.truncate(n as usize);
+    }
+
+    Ok(Relation { columns, rows: keyed_rows.into_iter().map(|(_, r)| r).collect() })
+}
+
+/// Whether an expression contains an aggregate call *at this query level*
+/// (aggregates inside subqueries belong to the subquery).
+pub fn has_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Aggregate { .. } => true,
+        Expr::Literal(_) | Expr::Column { .. } => false,
+        Expr::Unary { expr, .. } => has_aggregate(expr),
+        Expr::Binary { left, right, .. } => has_aggregate(left) || has_aggregate(right),
+        Expr::IsNull { expr, .. } => has_aggregate(expr),
+        Expr::InList { expr, list, .. } => has_aggregate(expr) || list.iter().any(has_aggregate),
+        Expr::InSubquery { expr, .. } => has_aggregate(expr),
+        Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
+        Expr::Between { expr, low, high, .. } => {
+            has_aggregate(expr) || has_aggregate(low) || has_aggregate(high)
+        }
+        Expr::Like { expr, pattern, .. } => has_aggregate(expr) || has_aggregate(pattern),
+    }
+}

@@ -1,0 +1,315 @@
+//! Canonical SQL rendering of the AST.
+//!
+//! The printer emits text the parser accepts, and printing then reparsing
+//! yields the same AST (property-tested in `tests/sql_roundtrip.rs`).
+//! Parenthesization is conservative: every binary sub-expression is
+//! parenthesized, which keeps the printer trivially correct w.r.t.
+//! precedence.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable(ct) => write!(f, "{ct}"),
+            Statement::DropTable(t) => write!(f, "drop table {t}"),
+            Statement::CreateIndex { table, column } => {
+                write!(f, "create index on {table} ({column})")
+            }
+            Statement::DropIndex { table, column } => write!(f, "drop index on {table} ({column})"),
+            Statement::CreateRule(r) => write!(f, "{r}"),
+            Statement::DropRule(r) => write!(f, "drop rule {r}"),
+            Statement::ActivateRule(r) => write!(f, "activate rule {r}"),
+            Statement::DeactivateRule(r) => write!(f, "deactivate rule {r}"),
+            Statement::CreatePriority { higher, lower } => {
+                write!(f, "create rule priority {higher} before {lower}")
+            }
+            Statement::ProcessRules => write!(f, "process rules"),
+            Statement::Dml(op) => write!(f, "{op}"),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create table {} (", self.name)?;
+        for (i, (c, ty)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c} {ty}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for CreateRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "create rule {} when ", self.name)?;
+        for (i, p) in self.when.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        if let Some(c) = &self.condition {
+            write!(f, " if {c}")?;
+        }
+        write!(f, " then {}", self.action)
+    }
+}
+
+impl fmt::Display for BasicTransPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicTransPred::InsertedInto(t) => write!(f, "inserted into {t}"),
+            BasicTransPred::DeletedFrom(t) => write!(f, "deleted from {t}"),
+            BasicTransPred::Updated { table, column: Some(c) } => write!(f, "updated {table}.{c}"),
+            BasicTransPred::Updated { table, column: None } => write!(f, "updated {table}"),
+            BasicTransPred::Selected { table, column: Some(c) } => write!(f, "selected {table}.{c}"),
+            BasicTransPred::Selected { table, column: None } => write!(f, "selected {table}"),
+        }
+    }
+}
+
+impl fmt::Display for RuleAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleAction::Rollback => write!(f, "rollback"),
+            RuleAction::Block(ops) => {
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{op}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for DmlOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmlOp::Insert(s) => write!(f, "{s}"),
+            DmlOp::Delete(s) => write!(f, "{s}"),
+            DmlOp::Update(s) => write!(f, "{s}"),
+            DmlOp::Select(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "insert into {}", self.table)?;
+        match &self.source {
+            InsertSource::Values(rows) => {
+                write!(f, " values ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            InsertSource::Select(sel) => write!(f, " ({sel})"),
+        }
+    }
+}
+
+impl fmt::Display for DeleteStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delete from {}", self.table)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " where {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UpdateStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update {} set ", self.table)?;
+        for (i, (c, e)) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c} = {e}")?;
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " where {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.distinct {
+            write!(f, "distinct ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " from ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " where {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " group by ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " having {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " order by ")?;
+            for (i, (e, asc)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+                if !asc {
+                    write!(f, " desc")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*"),
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} as {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)?;
+        if let Some(a) = &self.alias {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableSource::Named(n) => write!(f, "{n}"),
+            TableSource::Transition { kind, table, column } => {
+                let kw = match kind {
+                    TransitionKind::Inserted => "inserted",
+                    TransitionKind::Deleted => "deleted",
+                    TransitionKind::OldUpdated => "old updated",
+                    TransitionKind::NewUpdated => "new updated",
+                    TransitionKind::Selected => "selected",
+                };
+                write!(f, "{kw} {table}")?;
+                if let Some(c) = column {
+                    write!(f, ".{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(not ({expr}))"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::IsNull { expr, negated: false } => write!(f, "(({expr}) is null)"),
+            Expr::IsNull { expr, negated: true } => write!(f, "(({expr}) is not null)"),
+            Expr::InList { expr, list, negated } => {
+                write!(f, "(({expr}) {}in (", if *negated { "not " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                write!(f, "(({expr}) {}in ({subquery}))", if *negated { "not " } else { "" })
+            }
+            Expr::Exists { subquery, negated: false } => write!(f, "exists ({subquery})"),
+            Expr::Exists { subquery, negated: true } => write!(f, "(not exists ({subquery}))"),
+            Expr::ScalarSubquery(s) => write!(f, "({s})"),
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "(({expr}) {}between ({low}) and ({high}))",
+                if *negated { "not " } else { "" }
+            ),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "(({expr}) {}like ({pattern}))", if *negated { "not " } else { "" })
+            }
+            Expr::Aggregate { func, arg: None, .. } => write!(f, "{}(*)", func.name()),
+            Expr::Aggregate { func, arg: Some(a), distinct } => {
+                write!(f, "{}({}{a})", func.name(), if *distinct { "distinct " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "and",
+            BinaryOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}

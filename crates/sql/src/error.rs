@@ -1,0 +1,36 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// An error from the lexer or parser, carrying the byte offset at which it
+/// was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Byte offset in the source text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether the error came from the lexer (`true`) or parser (`false`).
+    pub lexical: bool,
+}
+
+impl SqlError {
+    /// Build a lexer error.
+    pub fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SqlError { offset, message: message.into(), lexical: true }
+    }
+
+    /// Build a parser error.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        SqlError { offset, message: message.into(), lexical: false }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = if self.lexical { "lex" } else { "parse" };
+        write!(f, "{stage} error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,323 @@
+//! Hand-written lexer for the SQL dialect.
+//!
+//! Case-insensitive; `--` line comments; string literals in single quotes
+//! with `''` escaping. Transition-table words (`inserted`, `deleted`,
+//! `updated`, `selected`, `old`, `new`) are deliberately *not* reserved —
+//! the parser treats them as soft keywords so ordinary tables may use those
+//! names.
+
+use crate::error::SqlError;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenize `input`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    Lexer { input, bytes: input.as_bytes(), pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let offset = self.pos;
+            let Some(&b) = self.bytes.get(self.pos) else {
+                out.push(Token { kind: TokenKind::Eof, offset });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b',' => self.one(TokenKind::Comma),
+                b';' => self.one(TokenKind::Semicolon),
+                b'*' => self.one(TokenKind::Star),
+                b'/' => self.one(TokenKind::Slash),
+                b'%' => self.one(TokenKind::Percent),
+                b'+' => self.one(TokenKind::Plus),
+                b'-' => self.one(TokenKind::Minus),
+                b'=' => self.one(TokenKind::Eq),
+                b'.' => {
+                    // A dot may start a float literal (e.g. `.95`).
+                    if self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) {
+                        self.number(offset)?
+                    } else {
+                        self.one(TokenKind::Dot)
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.one(TokenKind::LtEq),
+                        Some(b'>') => self.one(TokenKind::NotEq),
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.one(TokenKind::GtEq),
+                        _ => TokenKind::Gt,
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.one(TokenKind::NotEq),
+                        _ => {
+                            return Err(SqlError::lex(offset, "unexpected character '!'"));
+                        }
+                    }
+                }
+                b'\'' => self.string(offset)?,
+                b'0'..=b'9' => self.number(offset)?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.word(),
+                _ => {
+                    let ch = self.input[self.pos..].chars().next().unwrap();
+                    return Err(SqlError::lex(offset, format!("unexpected character '{ch}'")));
+                }
+            };
+            out.push(Token { kind, offset });
+        }
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            if self.bytes.get(self.pos) == Some(&b'-') && self.bytes.get(self.pos + 1) == Some(&b'-') {
+                while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let word = self.input[start..self.pos].to_ascii_lowercase();
+        match Keyword::from_str(&word) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(word),
+        }
+    }
+
+    fn number(&mut self, offset: usize) -> Result<TokenKind, SqlError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
+        {
+            is_float = true;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        } else if self.bytes.get(self.pos) == Some(&b'.')
+            && start < self.pos
+            && !self.bytes.get(self.pos + 1).is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_')
+        {
+            // Trailing dot as in `1.` — accept as float.
+            is_float = true;
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+') | Some(b'-')) {
+                look += 1;
+            }
+            if self.bytes.get(look).is_some_and(u8::is_ascii_digit) {
+                is_float = true;
+                self.pos = look;
+                while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| SqlError::lex(offset, format!("invalid float literal '{text}'")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| SqlError::lex(offset, format!("integer literal '{text}' out of range")))
+        }
+    }
+
+    fn string(&mut self, offset: usize) -> Result<TokenKind, SqlError> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(SqlError::lex(offset, "unterminated string literal")),
+                Some(b'\'') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(_) => {
+                    let ch = self.input[self.pos..].chars().next().unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents_case_insensitive() {
+        assert_eq!(
+            kinds("SELECT Name FROM Emp"),
+            vec![
+                TokenKind::Keyword(K::Select),
+                TokenKind::Ident("name".into()),
+                TokenKind::Keyword(K::From),
+                TokenKind::Ident("emp".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn soft_keywords_are_identifiers() {
+        assert_eq!(
+            kinds("inserted deleted updated old new selected"),
+            vec![
+                TokenKind::Ident("inserted".into()),
+                TokenKind::Ident("deleted".into()),
+                TokenKind::Ident("updated".into()),
+                TokenKind::Ident("old".into()),
+                TokenKind::Ident("new".into()),
+                TokenKind::Ident("selected".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0.95 2.5e3 1e-2 7."),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(0.95),
+                TokenKind::Float(2500.0),
+                TokenKind::Float(0.01),
+                TokenKind::Float(7.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_dot_float() {
+        assert_eq!(kinds(".95"), vec![TokenKind::Float(0.95), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn dotted_column_not_a_float() {
+        assert_eq!(
+            kinds("emp.salary"),
+            vec![
+                TokenKind::Ident("emp".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("salary".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s' ''"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Str(String::new()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= + - * / %"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- the projection\n 1"),
+            vec![TokenKind::Keyword(K::Select), TokenKind::Int(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn bare_bang_is_error() {
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("select  x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 8);
+    }
+}

@@ -1,0 +1,77 @@
+//! Parsing of `create rule` (paper §3):
+//!
+//! ```text
+//! prod-rule-def ::= create rule name
+//!                     when trans-pred
+//!                     [ if condition ]
+//!                     then action
+//! trans-pred       ::= basic-trans-pred | basic-trans-pred or trans-pred
+//! basic-trans-pred ::= inserted into table | deleted from table
+//!                    | updated table.column | updated table
+//!                    | selected table[.column]            -- §5.1 extension
+//! action           ::= op-block | rollback
+//! ```
+
+use crate::ast::{BasicTransPred, CreateRule, RuleAction};
+use crate::error::SqlError;
+use crate::token::{Keyword, TokenKind};
+
+use super::Parser;
+
+impl Parser {
+    /// Parse the body of `create rule` (the `create rule` tokens already
+    /// consumed).
+    pub(crate) fn create_rule(&mut self) -> Result<CreateRule, SqlError> {
+        let name = self.ident()?;
+        self.expect_kw(Keyword::When)?;
+        let mut when = vec![self.basic_trans_pred()?];
+        while self.eat_kw(Keyword::Or) {
+            when.push(self.basic_trans_pred()?);
+        }
+        let condition = if self.eat_kw(Keyword::If) { Some(self.expr()?) } else { None };
+        self.expect_kw(Keyword::Then)?;
+        let action = if self.eat_kw(Keyword::Rollback) {
+            RuleAction::Rollback
+        } else {
+            RuleAction::Block(self.op_block()?)
+        };
+        Ok(CreateRule { name, when, condition, action })
+    }
+
+    /// Parse one basic transition predicate.
+    pub(crate) fn basic_trans_pred(&mut self) -> Result<BasicTransPred, SqlError> {
+        if self.eat_word("inserted") {
+            self.expect_kw(Keyword::Into)?;
+            return Ok(BasicTransPred::InsertedInto(self.ident()?));
+        }
+        if self.eat_word("deleted") {
+            self.expect_kw(Keyword::From)?;
+            return Ok(BasicTransPred::DeletedFrom(self.ident()?));
+        }
+        for (word, selected) in [("updated", false), ("selected", true)] {
+            if self.eat_word(word) {
+                let table = self.ident()?;
+                let column =
+                    if self.eat(&TokenKind::Dot) { Some(self.ident()?) } else { None };
+                return Ok(if selected {
+                    BasicTransPred::Selected { table, column }
+                } else {
+                    BasicTransPred::Updated { table, column }
+                });
+            }
+        }
+        Err(self.unexpected("a transition predicate ('inserted into', 'deleted from', 'updated', 'selected')"))
+    }
+}
+
+/// Parse a standalone transition predicate list (`p1 or p2 or ...`), used
+/// by programmatic rule construction.
+pub fn parse_trans_pred(src: &str) -> Result<Vec<BasicTransPred>, SqlError> {
+    let mut p = Parser::new(src)?;
+    let mut preds = vec![p.basic_trans_pred()?];
+    while p.eat_kw(Keyword::Or) {
+        preds.push(p.basic_trans_pred()?);
+    }
+    p.expect_eof()?;
+    Ok(preds)
+}

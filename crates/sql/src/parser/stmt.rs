@@ -1,0 +1,334 @@
+//! Statement parsing: DDL, DML, and `select`.
+
+use setrules_storage::DataType;
+
+use crate::ast::{
+    CreateTable, DeleteStmt, DmlOp, InsertSource, InsertStmt, SelectItem, SelectStmt, Statement,
+    TableRef, TableSource, TransitionKind, UpdateStmt,
+};
+use crate::error::SqlError;
+use crate::token::{Keyword, TokenKind};
+
+use super::Parser;
+
+impl Parser {
+    pub(crate) fn statement(&mut self) -> Result<Statement, SqlError> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Create) => self.create(),
+            TokenKind::Keyword(Keyword::Drop) => self.drop(),
+            TokenKind::Keyword(Keyword::Activate) => {
+                self.advance();
+                self.expect_kw(Keyword::Rule)?;
+                Ok(Statement::ActivateRule(self.ident()?))
+            }
+            TokenKind::Keyword(Keyword::Deactivate) => {
+                self.advance();
+                self.expect_kw(Keyword::Rule)?;
+                Ok(Statement::DeactivateRule(self.ident()?))
+            }
+            TokenKind::Keyword(Keyword::Process) => {
+                self.advance();
+                self.expect_kw(Keyword::Rules)?;
+                Ok(Statement::ProcessRules)
+            }
+            TokenKind::Keyword(Keyword::Select | Keyword::Insert | Keyword::Delete | Keyword::Update) => {
+                Ok(Statement::Dml(self.dml_op()?))
+            }
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Create)?;
+        if self.eat_kw(Keyword::Table) {
+            return self.create_table();
+        }
+        if self.eat_kw(Keyword::Index) {
+            self.expect_kw(Keyword::On)?;
+            let table = self.ident()?;
+            self.expect(&TokenKind::LParen)?;
+            let column = self.ident()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Statement::CreateIndex { table, column });
+        }
+        if self.eat_kw(Keyword::Rule) {
+            if self.eat_kw(Keyword::Priority) {
+                let higher = self.ident()?;
+                self.expect_kw(Keyword::Before)?;
+                let lower = self.ident()?;
+                return Ok(Statement::CreatePriority { higher, lower });
+            }
+            return self.create_rule().map(Statement::CreateRule);
+        }
+        Err(self.unexpected("'table', 'index', or 'rule' after 'create'"))
+    }
+
+    fn drop(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Drop)?;
+        if self.eat_kw(Keyword::Table) {
+            return Ok(Statement::DropTable(self.ident()?));
+        }
+        if self.eat_kw(Keyword::Index) {
+            self.expect_kw(Keyword::On)?;
+            let table = self.ident()?;
+            self.expect(&TokenKind::LParen)?;
+            let column = self.ident()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Statement::DropIndex { table, column });
+        }
+        if self.eat_kw(Keyword::Rule) {
+            return Ok(Statement::DropRule(self.ident()?));
+        }
+        Err(self.unexpected("'table', 'index', or 'rule' after 'drop'"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, SqlError> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable(CreateTable { name, columns }))
+    }
+
+    fn data_type(&mut self) -> Result<DataType, SqlError> {
+        let ty = match self.peek() {
+            TokenKind::Keyword(Keyword::Int | Keyword::Integer) => DataType::Int,
+            TokenKind::Keyword(Keyword::Float | Keyword::Real) => DataType::Float,
+            TokenKind::Keyword(Keyword::Text) => DataType::Text,
+            TokenKind::Keyword(Keyword::Bool | Keyword::Boolean) => DataType::Bool,
+            _ => return Err(self.unexpected("a column type (int, float, text, bool)")),
+        };
+        self.advance();
+        Ok(ty)
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// An operation block: DML ops separated by `;` (paper §2.1). Stops at
+    /// EOF or before a non-DML statement.
+    pub(crate) fn op_block(&mut self) -> Result<Vec<DmlOp>, SqlError> {
+        let mut ops = vec![self.dml_op()?];
+        while self.check(&TokenKind::Semicolon) {
+            // Only continue if what follows the semicolon is another DML op.
+            if !matches!(
+                self.peek_at(1),
+                TokenKind::Keyword(Keyword::Select | Keyword::Insert | Keyword::Delete | Keyword::Update)
+            ) {
+                break;
+            }
+            self.advance();
+            ops.push(self.dml_op()?);
+        }
+        Ok(ops)
+    }
+
+    pub(crate) fn dml_op(&mut self) -> Result<DmlOp, SqlError> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Select) => Ok(DmlOp::Select(self.select_stmt()?)),
+            TokenKind::Keyword(Keyword::Insert) => self.insert_stmt().map(DmlOp::Insert),
+            TokenKind::Keyword(Keyword::Delete) => self.delete_stmt().map(DmlOp::Delete),
+            TokenKind::Keyword(Keyword::Update) => self.update_stmt().map(DmlOp::Update),
+            _ => Err(self.unexpected("an SQL operation")),
+        }
+    }
+
+    fn insert_stmt(&mut self) -> Result<InsertStmt, SqlError> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        if self.eat_kw(Keyword::Values) {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut row = vec![self.expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    row.push(self.expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            return Ok(InsertStmt { table, source: InsertSource::Values(rows) });
+        }
+        if self.eat(&TokenKind::LParen) {
+            let sel = self.select_stmt()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(InsertStmt { table, source: InsertSource::Select(Box::new(sel)) });
+        }
+        Err(self.unexpected("'values' or '(select ...)' in insert"))
+    }
+
+    fn delete_stmt(&mut self) -> Result<DeleteStmt, SqlError> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(DeleteStmt { table, predicate })
+    }
+
+    fn update_stmt(&mut self) -> Result<UpdateStmt, SqlError> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.expr()?;
+            sets.push((col, value));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(UpdateStmt { table, sets, predicate })
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    pub(crate) fn select_stmt(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut projection = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            projection.push(self.select_item()?);
+        }
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let predicate = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::parse(
+                        self.offset(),
+                        format!("expected non-negative integer after 'limit', found {other}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { distinct, projection, from, predicate, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if matches!(self.peek(), TokenKind::Ident(_))
+            && matches!(self.peek_at(1), TokenKind::Dot)
+            && matches!(self.peek_at(2), TokenKind::Star)
+        {
+            let q = self.ident()?;
+            self.advance(); // dot
+            self.advance(); // star
+            return Ok(SelectItem::QualifiedWildcard(q));
+        }
+        let expr = self.expr()?;
+        // Projection aliases are bare identifiers after `as` or directly
+        // after the expression (transition-table soft keywords never appear
+        // in projection position, so no boundary issues arise).
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek(), TokenKind::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// A `from` item: a stored table or a transition table (paper §3),
+    /// optionally followed by a table-variable alias.
+    ///
+    /// Transition-table words win over same-named stored tables: in
+    /// `from inserted x`, `x` is the underlying table of transition table
+    /// `inserted x`, not an alias for a stored table named `inserted`.
+    pub(crate) fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        // old updated t[.c] | new updated t[.c]
+        for (word, kind) in [("old", TransitionKind::OldUpdated), ("new", TransitionKind::NewUpdated)] {
+            if self.check_word(word) && matches!(self.peek_at(1), TokenKind::Ident(s) if s == "updated") {
+                self.advance();
+                self.advance();
+                return self.transition_tail(kind, true);
+            }
+        }
+        for (word, kind, cols) in [
+            ("inserted", TransitionKind::Inserted, false),
+            ("deleted", TransitionKind::Deleted, false),
+            ("selected", TransitionKind::Selected, true),
+        ] {
+            if self.check_word(word) && matches!(self.peek_at(1), TokenKind::Ident(_)) {
+                self.advance();
+                return self.transition_tail(kind, cols);
+            }
+        }
+        let name = self.ident()?;
+        let alias = self.maybe_alias();
+        Ok(TableRef { source: TableSource::Named(name), alias })
+    }
+
+    fn transition_tail(&mut self, kind: TransitionKind, allow_column: bool) -> Result<TableRef, SqlError> {
+        let table = self.ident()?;
+        let column = if allow_column && self.eat(&TokenKind::Dot) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let alias = self.maybe_alias();
+        Ok(TableRef { source: TableSource::Transition { kind, table, column }, alias })
+    }
+
+    fn maybe_alias(&mut self) -> Option<String> {
+        if self.eat_kw(Keyword::As) {
+            return self.ident().ok();
+        }
+        if matches!(self.peek(), TokenKind::Ident(_)) {
+            return self.ident().ok();
+        }
+        None
+    }
+}

@@ -1,0 +1,142 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// A lexical token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character in the input.
+    pub offset: usize,
+}
+
+/// Token kinds.
+///
+/// Keywords are recognized case-insensitively by the lexer and carried as
+/// [`TokenKind::Keyword`]; all other words become lower-cased
+/// [`TokenKind::Ident`]s (the dialect is case-insensitive throughout,
+/// matching the paper's free mixing of cases).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved word (stored lower-case).
+    Keyword(Keyword),
+    /// An identifier (stored lower-case).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+macro_rules! keywords {
+    ($($kw:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words of the dialect.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($kw,)+
+        }
+
+        impl Keyword {
+            /// Look up a lower-cased word.
+            #[allow(clippy::should_implement_trait)] // fallible lookup, not parsing
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$kw),)+
+                    _ => None,
+                }
+            }
+
+            /// Canonical (lower-case) spelling.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$kw => $text,)+
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "select", Insert => "insert", Delete => "delete", Update => "update",
+    Into => "into", From => "from", Where => "where", Set => "set", Values => "values",
+    Create => "create", Drop => "drop", Table => "table", Index => "index", On => "on",
+    Rule => "rule", When => "when", If => "if", Then => "then", Priority => "priority",
+    Before => "before", Activate => "activate", Deactivate => "deactivate",
+    Process => "process", Rules => "rules", Rollback => "rollback",
+    And => "and", Or => "or", Not => "not", In => "in", Exists => "exists",
+    Between => "between", Like => "like", Is => "is", Null => "null",
+    True => "true", False => "false",
+    Distinct => "distinct", Group => "group", By => "by", Having => "having",
+    Order => "order", Asc => "asc", Desc => "desc", Limit => "limit",
+    As => "as",
+    Count => "count", Sum => "sum", Avg => "avg", Min => "min", Max => "max",
+    Int => "int", Integer => "integer", Float => "float", Real => "real",
+    Text => "text", Bool => "bool", Boolean => "boolean",
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword '{}'", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Percent => write!(f, "'%'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::NotEq => write!(f, "'<>'"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::LtEq => write!(f, "'<='"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::GtEq => write!(f, "'>='"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The database: a catalog of tables plus the handle generator, handle
+//! provenance, undo log, and index maintenance.
+//!
+//! This is the substrate the paper takes for granted (it was designed for
+//! Starburst): all mutations flow through [`Database::insert`],
+//! [`Database::delete`], and [`Database::update`], which validate types,
+//! maintain indexes, log undo records, and preserve the invariant that
+//! tuple handles are never reused (§2).
+
+use std::collections::HashMap;
+
+use crate::error::StorageError;
+use crate::index::{HashIndex, TableIndexes};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::tuple::{ColumnId, TableId, Tuple, TupleHandle};
+use crate::undo::{UndoLog, UndoMark, UndoRecord};
+use crate::value::Value;
+
+/// An in-memory relational database.
+#[derive(Debug, Default)]
+pub struct Database {
+    /// Table slots; `None` marks a dropped table (ids are never reused, so
+    /// handle provenance stays meaningful).
+    tables: Vec<Option<Table>>,
+    indexes: Vec<TableIndexes>,
+    by_name: HashMap<String, TableId>,
+    /// Table provenance for every handle ever issued, indexed by handle
+    /// value − 1 (handles start at 1). Deleted tuples keep their provenance:
+    /// transition effects must still know which table a deleted handle
+    /// belonged to.
+    handle_tables: Vec<TableId>,
+    undo: UndoLog,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog
+    // ------------------------------------------------------------------
+
+    /// Create a table. DDL is not transactional (it is not part of the
+    /// paper's operation blocks, which contain only DML).
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId, StorageError> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(StorageError::TableExists(schema.name));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(Some(Table::new(schema)));
+        self.indexes.push(TableIndexes::new());
+        Ok(id)
+    }
+
+    /// Drop a table and its indexes. DDL is not transactional; callers (the
+    /// rule engine) must first ensure no production rule references the
+    /// table. Its [`TableId`] is never reused.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableId, StorageError> {
+        let id = self.table_id(name)?;
+        self.by_name.remove(name);
+        self.tables[id.0 as usize] = None;
+        self.indexes[id.0 as usize] = TableIndexes::new();
+        Ok(id)
+    }
+
+    /// The table with id `t`, if it has not been dropped.
+    pub fn try_table(&self, t: TableId) -> Option<&Table> {
+        self.tables.get(t.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// The table with id `t`.
+    ///
+    /// # Panics
+    /// If the table has been dropped; use [`Database::try_table`] when a
+    /// dropped table is possible.
+    pub fn table(&self, t: TableId) -> &Table {
+        self.tables[t.0 as usize].as_ref().expect("table was dropped")
+    }
+
+    /// The schema of table `t`.
+    ///
+    /// # Panics
+    /// If the table has been dropped.
+    pub fn schema(&self, t: TableId) -> &TableSchema {
+        &self.table(t).schema
+    }
+
+    /// All table ids in creation order.
+    pub fn table_ids(&self) -> impl Iterator<Item = TableId> + '_ {
+        (0..self.tables.len() as u32).map(TableId)
+    }
+
+    /// The table a handle was issued for, whether or not the tuple is
+    /// still live. `None` only for handles never issued.
+    pub fn table_of(&self, h: TupleHandle) -> Option<TableId> {
+        if h.0 == 0 {
+            return None;
+        }
+        self.handle_tables.get((h.0 - 1) as usize).copied()
+    }
+
+    /// Number of handles ever issued.
+    pub fn handles_issued(&self) -> u64 {
+        self.handle_tables.len() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes
+    // ------------------------------------------------------------------
+
+    /// Create (and populate) a hash index on `t.c`.
+    pub fn create_index(&mut self, t: TableId, c: ColumnId) -> Result<(), StorageError> {
+        let table = self.tables[t.0 as usize].as_ref().expect("table was dropped");
+        if self.indexes[t.0 as usize].has(c) {
+            return Err(StorageError::IndexExists {
+                table: table.schema.name.clone(),
+                column: table.schema.column_name(c).to_string(),
+            });
+        }
+        let mut idx = HashIndex::new();
+        for (h, tuple) in table.scan() {
+            idx.insert(tuple.get(c).clone(), h);
+        }
+        self.indexes[t.0 as usize].add(c, idx);
+        Ok(())
+    }
+
+    /// Drop the index on `t.c`, if present. Returns whether one existed.
+    pub fn drop_index(&mut self, t: TableId, c: ColumnId) -> bool {
+        self.indexes[t.0 as usize].drop(c)
+    }
+
+    /// Whether `t.c` is indexed.
+    pub fn has_index(&self, t: TableId, c: ColumnId) -> bool {
+        self.indexes[t.0 as usize].has(c)
+    }
+
+    /// Probe the index on `t.c` for tuples whose column equals `v`
+    /// (storage-level equality — callers coerce `v` to the column type
+    /// first). Returns `None` if no index exists.
+    pub fn index_lookup(&self, t: TableId, c: ColumnId, v: &Value) -> Option<Vec<TupleHandle>> {
+        self.indexes[t.0 as usize]
+            .get(c)
+            .map(|idx| idx.get(v).map(|s| s.iter().copied().collect()).unwrap_or_default())
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Insert a tuple into table `t`, returning its fresh handle.
+    pub fn insert(&mut self, t: TableId, tuple: Tuple) -> Result<TupleHandle, StorageError> {
+        let slot = self.tables[t.0 as usize].as_mut().expect("table was dropped");
+        let tuple = slot.schema.check_tuple(tuple)?;
+        let h = TupleHandle(self.handle_tables.len() as u64 + 1);
+        self.handle_tables.push(t);
+        self.indexes[t.0 as usize].on_insert(h, &tuple.0);
+        self.tables[t.0 as usize].as_mut().expect("checked").insert(h, tuple);
+        self.undo.push(UndoRecord::Insert { table: t, handle: h });
+        Ok(h)
+    }
+
+    /// Delete the tuple with handle `h` from table `t`, returning its
+    /// final value.
+    pub fn delete(&mut self, t: TableId, h: TupleHandle) -> Result<Tuple, StorageError> {
+        let slot = self.tables[t.0 as usize].as_mut().expect("table was dropped");
+        let name = slot.schema.name.clone();
+        let old = slot.remove(h).ok_or(StorageError::NoSuchTuple { table: name })?;
+        self.indexes[t.0 as usize].on_delete(h, &old.0);
+        self.undo.push(UndoRecord::Delete { table: t, handle: h, old: old.clone() });
+        Ok(old)
+    }
+
+    /// Apply column assignments to the tuple with handle `h` in table `t`,
+    /// returning the tuple's value *before* the update (needed by the rule
+    /// system's trans-info; §4.3).
+    pub fn update(
+        &mut self,
+        t: TableId,
+        h: TupleHandle,
+        assignments: &[(ColumnId, Value)],
+    ) -> Result<Tuple, StorageError> {
+        // Validate all assignments before mutating anything.
+        let mut checked = Vec::with_capacity(assignments.len());
+        {
+            let schema = &self.table(t).schema;
+            for (c, v) in assignments {
+                checked.push((*c, schema.check_value(*c, v.clone())?));
+            }
+        }
+        let table = self.tables[t.0 as usize].as_mut().expect("table was dropped");
+        let Some(slot) = table.get_mut(h) else {
+            return Err(StorageError::NoSuchTuple { table: table.schema.name.clone() });
+        };
+        let old = slot.clone();
+        for (c, v) in checked {
+            slot.set(c, v);
+        }
+        let new_fields = slot.0.clone();
+        self.indexes[t.0 as usize].on_update(h, &old.0, &new_fields);
+        self.undo.push(UndoRecord::Update { table: t, handle: h, old: old.clone() });
+        Ok(old)
+    }
+
+    /// Get the live tuple `h` in table `t`.
+    pub fn get(&self, t: TableId, h: TupleHandle) -> Option<&Tuple> {
+        self.try_table(t).and_then(|tab| tab.get(h))
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Record the current undo-log position. Rolling back to the mark
+    /// undoes every mutation made after this call.
+    pub fn mark(&self) -> UndoMark {
+        self.undo.mark()
+    }
+
+    /// Undo every mutation made after `mark`, restoring tuples with their
+    /// original handles.
+    pub fn rollback_to(&mut self, mark: UndoMark) -> Result<(), StorageError> {
+        if !self.undo.mark_valid(mark) {
+            return Err(StorageError::InvalidMark);
+        }
+        let records: Vec<UndoRecord> = self.undo.drain_from(mark).collect();
+        for rec in records {
+            match rec {
+                UndoRecord::Insert { table, handle } => {
+                    let slot = self.tables[table.0 as usize].as_mut().expect("undo targets live table");
+                    if let Some(old) = slot.remove(handle) {
+                        self.indexes[table.0 as usize].on_delete(handle, &old.0);
+                    }
+                }
+                UndoRecord::Delete { table, handle, old } => {
+                    self.indexes[table.0 as usize].on_insert(handle, &old.0);
+                    self.tables[table.0 as usize]
+                        .as_mut()
+                        .expect("undo targets live table")
+                        .insert(handle, old);
+                }
+                UndoRecord::Update { table, handle, old } => {
+                    let slot = self.tables[table.0 as usize].as_mut().expect("undo targets live table");
+                    if let Some(new) = slot.replace(handle, old.clone()) {
+                        self.indexes[table.0 as usize].on_update(handle, &new.0, &old.0);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forget the undo log (the transaction is durable).
+    pub fn commit(&mut self) {
+        self.undo.clear();
+    }
+
+    /// Number of undo records pending (0 right after commit).
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_example_schemas;
+    use crate::tuple;
+
+    fn db_with_emp() -> (Database, TableId) {
+        let mut db = Database::new();
+        let (emp, dept) = paper_example_schemas();
+        let emp = db.create_table(emp).unwrap();
+        db.create_table(dept).unwrap();
+        (db, emp)
+    }
+
+    #[test]
+    fn handles_are_monotone_and_never_reused() {
+        let (mut db, emp) = db_with_emp();
+        let h1 = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        let h2 = db.insert(emp, tuple!["Mary", 2, 85000.0, 1]).unwrap();
+        assert!(h2 > h1);
+        db.delete(emp, h1).unwrap();
+        let h3 = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        assert!(h3 > h2, "re-inserting the same value yields a fresh handle");
+        assert_eq!(db.table_of(h1), Some(emp), "provenance survives deletion");
+    }
+
+    #[test]
+    fn type_checking_on_insert_and_update() {
+        let (mut db, emp) = db_with_emp();
+        assert!(db.insert(emp, tuple!["Jane", "not an int", 1.0, 1]).is_err());
+        let h = db.insert(emp, tuple!["Jane", 1, 95000, 1]).unwrap();
+        // Int 95000 was coerced into the float column.
+        assert_eq!(db.get(emp, h).unwrap().get(ColumnId(2)), &Value::Float(95000.0));
+        assert!(db.update(emp, h, &[(ColumnId(1), Value::Text("x".into()))]).is_err());
+        let old = db.update(emp, h, &[(ColumnId(2), Value::Float(99000.0))]).unwrap();
+        assert_eq!(old.get(ColumnId(2)), &Value::Float(95000.0));
+    }
+
+    #[test]
+    fn update_failed_validation_mutates_nothing() {
+        let (mut db, emp) = db_with_emp();
+        let h = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        let before = db.get(emp, h).unwrap().clone();
+        let res = db.update(
+            emp,
+            h,
+            &[(ColumnId(2), Value::Float(0.0)), (ColumnId(1), Value::Text("bad".into()))],
+        );
+        assert!(res.is_err());
+        assert_eq!(db.get(emp, h).unwrap(), &before);
+    }
+
+    #[test]
+    fn rollback_restores_exact_state_and_handles() {
+        let (mut db, emp) = db_with_emp();
+        let h1 = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        db.commit();
+        let mark = db.mark();
+        let h2 = db.insert(emp, tuple!["Mary", 2, 85000.0, 1]).unwrap();
+        db.update(emp, h1, &[(ColumnId(2), Value::Float(1.0))]).unwrap();
+        db.delete(emp, h1).unwrap();
+        db.rollback_to(mark).unwrap();
+        assert!(db.get(emp, h2).is_none());
+        assert_eq!(db.get(emp, h1).unwrap(), &tuple!["Jane", 1, 95000.0, 1]);
+        assert_eq!(db.table(emp).len(), 1);
+    }
+
+    #[test]
+    fn rollback_maintains_indexes() {
+        let (mut db, emp) = db_with_emp();
+        let dept_no = ColumnId(3);
+        db.create_index(emp, dept_no).unwrap();
+        let h1 = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        db.commit();
+        let mark = db.mark();
+        db.update(emp, h1, &[(dept_no, Value::Int(2))]).unwrap();
+        let h2 = db.insert(emp, tuple!["Mary", 2, 85000.0, 2]).unwrap();
+        assert_eq!(db.index_lookup(emp, dept_no, &Value::Int(2)).unwrap(), vec![h1, h2]);
+        db.rollback_to(mark).unwrap();
+        assert_eq!(db.index_lookup(emp, dept_no, &Value::Int(2)).unwrap(), Vec::<TupleHandle>::new());
+        assert_eq!(db.index_lookup(emp, dept_no, &Value::Int(1)).unwrap(), vec![h1]);
+    }
+
+    #[test]
+    fn index_populated_on_creation() {
+        let (mut db, emp) = db_with_emp();
+        let h1 = db.insert(emp, tuple!["Jane", 1, 95000.0, 7]).unwrap();
+        db.insert(emp, tuple!["Mary", 2, 85000.0, 8]).unwrap();
+        db.create_index(emp, ColumnId(3)).unwrap();
+        assert_eq!(db.index_lookup(emp, ColumnId(3), &Value::Int(7)).unwrap(), vec![h1]);
+        assert!(db.create_index(emp, ColumnId(3)).is_err());
+        assert!(db.drop_index(emp, ColumnId(3)));
+        assert!(db.index_lookup(emp, ColumnId(3), &Value::Int(7)).is_none());
+    }
+
+    #[test]
+    fn commit_invalidates_older_marks() {
+        let (mut db, emp) = db_with_emp();
+        let mark = db.mark();
+        db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        db.insert(emp, tuple!["Mary", 2, 1.0, 1]).unwrap();
+        db.commit();
+        // Mark 0 is still "valid" (log empty, nothing to undo).
+        db.rollback_to(mark).unwrap();
+        assert_eq!(db.table(emp).len(), 2, "committed work survives");
+    }
+}

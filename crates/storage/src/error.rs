@@ -1,0 +1,63 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum StorageError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    NoSuchTable(String),
+    /// No column with this name exists in the named table.
+    NoSuchColumn { table: String, column: String },
+    /// A tuple handle does not identify a live tuple in the given table.
+    NoSuchTuple { table: String },
+    /// A tuple has the wrong number of fields for the table.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A field value does not match (and cannot be coerced to) the column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: DataType,
+        got: Option<DataType>,
+    },
+    /// An index already exists on this column.
+    IndexExists { table: String, column: String },
+    /// An undo mark is no longer valid (the log was truncated past it).
+    InvalidMark,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            StorageError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no column '{column}' in table '{table}'")
+            }
+            StorageError::NoSuchTuple { table } => {
+                write!(f, "tuple handle does not identify a live tuple in '{table}'")
+            }
+            StorageError::ArityMismatch { table, expected, got } => {
+                write!(f, "table '{table}' has {expected} columns but tuple has {got} fields")
+            }
+            StorageError::TypeMismatch { table, column, expected, got } => match got {
+                Some(g) => write!(
+                    f,
+                    "column '{table}.{column}' has type {expected} but value has type {g}"
+                ),
+                None => write!(f, "column '{table}.{column}' has type {expected}"),
+            },
+            StorageError::IndexExists { table, column } => {
+                write!(f, "index on '{table}.{column}' already exists")
+            }
+            StorageError::InvalidMark => write!(f, "undo mark is no longer valid"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,182 @@
+//! Hash indexes on single columns.
+//!
+//! The paper argues (§1) that set-oriented rules keep relational
+//! optimization applicable "to the rules themselves". Equality indexes are
+//! the optimization our planner exploits; benchmark B7 measures the effect.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::tuple::{ColumnId, TupleHandle};
+use crate::value::Value;
+
+/// A hash index mapping the values of one column to the handles of the
+/// tuples holding that value. `NULL`s are indexed too (under `Value::Null`),
+/// but the planner never uses the index for `= NULL` predicates because SQL
+/// equality with `NULL` is unknown.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, BTreeSet<TupleHandle>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        HashIndex::default()
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Handles of tuples whose indexed column equals `v` exactly
+    /// (storage-level equality; the caller handles `Int`/`Float`
+    /// cross-type probing).
+    pub fn get(&self, v: &Value) -> Option<&BTreeSet<TupleHandle>> {
+        self.map.get(v)
+    }
+
+    /// Record that tuple `h` holds `v` in the indexed column.
+    pub fn insert(&mut self, v: Value, h: TupleHandle) {
+        if self.map.entry(v).or_default().insert(h) {
+            self.entries += 1;
+        }
+    }
+
+    /// Remove the entry for tuple `h` holding `v`.
+    pub fn remove(&mut self, v: &Value, h: TupleHandle) {
+        if let Some(set) = self.map.get_mut(v) {
+            if set.remove(&h) {
+                self.entries -= 1;
+            }
+            if set.is_empty() {
+                self.map.remove(v);
+            }
+        }
+    }
+}
+
+/// The set of indexes defined on one table: at most one per column.
+#[derive(Debug, Clone, Default)]
+pub struct TableIndexes {
+    by_column: HashMap<ColumnId, HashIndex>,
+}
+
+impl TableIndexes {
+    /// Create an empty index set.
+    pub fn new() -> Self {
+        TableIndexes::default()
+    }
+
+    /// Whether column `c` has an index.
+    pub fn has(&self, c: ColumnId) -> bool {
+        self.by_column.contains_key(&c)
+    }
+
+    /// The index on column `c`, if any.
+    pub fn get(&self, c: ColumnId) -> Option<&HashIndex> {
+        self.by_column.get(&c)
+    }
+
+    /// Add an (already-populated) index for column `c`. Returns `false` if
+    /// one already exists.
+    pub fn add(&mut self, c: ColumnId, idx: HashIndex) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.by_column.entry(c) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(idx);
+                true
+            }
+        }
+    }
+
+    /// Drop the index on column `c`, if present.
+    pub fn drop(&mut self, c: ColumnId) -> bool {
+        self.by_column.remove(&c).is_some()
+    }
+
+    /// Indexed columns.
+    pub fn columns(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.by_column.keys().copied()
+    }
+
+    /// Maintain all indexes for a newly inserted tuple.
+    pub fn on_insert(&mut self, h: TupleHandle, fields: &[Value]) {
+        for (c, idx) in self.by_column.iter_mut() {
+            idx.insert(fields[c.index()].clone(), h);
+        }
+    }
+
+    /// Maintain all indexes for a deleted tuple.
+    pub fn on_delete(&mut self, h: TupleHandle, fields: &[Value]) {
+        for (c, idx) in self.by_column.iter_mut() {
+            idx.remove(&fields[c.index()], h);
+        }
+    }
+
+    /// Maintain all indexes for an updated tuple.
+    pub fn on_update(&mut self, h: TupleHandle, old: &[Value], new: &[Value]) {
+        for (c, idx) in self.by_column.iter_mut() {
+            let (o, n) = (&old[c.index()], &new[c.index()]);
+            if o != n {
+                idx.remove(o, h);
+                idx.insert(n.clone(), h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::Int(5), TupleHandle(1));
+        idx.insert(Value::Int(5), TupleHandle(2));
+        idx.insert(Value::Int(6), TupleHandle(3));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get(&Value::Int(5)).unwrap().len(), 2);
+        idx.remove(&Value::Int(5), TupleHandle(1));
+        assert_eq!(idx.get(&Value::Int(5)).unwrap().len(), 1);
+        idx.remove(&Value::Int(5), TupleHandle(2));
+        assert!(idx.get(&Value::Int(5)).is_none());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn table_indexes_maintenance() {
+        let mut ti = TableIndexes::new();
+        assert!(ti.add(ColumnId(1), HashIndex::new()));
+        assert!(!ti.add(ColumnId(1), HashIndex::new()));
+        let row1 = vec![Value::Text("a".into()), Value::Int(10)];
+        let row2 = vec![Value::Text("b".into()), Value::Int(10)];
+        ti.on_insert(TupleHandle(1), &row1);
+        ti.on_insert(TupleHandle(2), &row2);
+        assert_eq!(ti.get(ColumnId(1)).unwrap().get(&Value::Int(10)).unwrap().len(), 2);
+
+        let row1b = vec![Value::Text("a".into()), Value::Int(20)];
+        ti.on_update(TupleHandle(1), &row1, &row1b);
+        assert_eq!(ti.get(ColumnId(1)).unwrap().get(&Value::Int(10)).unwrap().len(), 1);
+        assert_eq!(ti.get(ColumnId(1)).unwrap().get(&Value::Int(20)).unwrap().len(), 1);
+
+        ti.on_delete(TupleHandle(2), &row2);
+        assert!(ti.get(ColumnId(1)).unwrap().get(&Value::Int(10)).is_none());
+    }
+
+    #[test]
+    fn idempotent_duplicate_insert() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::Int(1), TupleHandle(1));
+        idx.insert(Value::Int(1), TupleHandle(1));
+        assert_eq!(idx.len(), 1);
+    }
+}

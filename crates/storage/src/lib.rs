@@ -1,0 +1,39 @@
+//! # setrules-storage
+//!
+//! The in-memory relational storage substrate for the `setrules` system — a
+//! from-scratch reproduction of the database machinery that Widom &
+//! Finkelstein's *Set-Oriented Production Rules in Relational Database
+//! Systems* (SIGMOD 1990) assumes:
+//!
+//! * named tables with fixed, typed columns (§2);
+//! * multisets of tuples — duplicates allowed — each carrying a **distinct,
+//!   non-reusable tuple handle** (§2);
+//! * handle → table provenance that survives deletion, so transition effects
+//!   can be filtered per table even for tuples that no longer exist;
+//! * a physical undo log supporting the `rollback` rule action (§4);
+//! * hash indexes so relational optimization "is directly applicable to the
+//!   rules themselves" (§1).
+//!
+//! The paper abstracts away concurrency and failures ("multiple users,
+//! concurrent processing, and failures are all transparent", §2.1); this
+//! engine is accordingly single-threaded and volatile.
+
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod index;
+mod schema;
+mod table;
+pub mod tuple;
+mod undo;
+mod value;
+
+pub use database::Database;
+pub use error::StorageError;
+pub use index::{HashIndex, TableIndexes};
+pub use schema::{paper_example_schemas, ColumnDef, TableSchema};
+pub use table::Table;
+pub use tuple::{ColumnId, TableId, Tuple, TupleHandle};
+pub use undo::{UndoLog, UndoMark, UndoRecord};
+pub use value::{DataType, Value};

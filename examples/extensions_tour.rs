@@ -1,0 +1,93 @@
+//! A tour of the §5 extensions: select-triggered rules (§5.1), an external
+//! native-code action (§5.2), mid-transaction triggering points and
+//! deferred cross-transaction processing (§5.3) — plus snapshot/restore.
+//!
+//! ```sh
+//! cargo run --example extensions_tour
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use setrules_core::{EngineConfig, RuleSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // §5.1 needs select tracking switched on.
+    let mut sys = RuleSystem::with_config(EngineConfig { track_selects: true, ..Default::default() });
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)")?;
+    sys.execute("create table audit (who text, what text)")?;
+    sys.execute("insert into emp values ('Jane', 1, 95000.0, 1), ('Bill', 2, 25000.0, 2)")?;
+
+    // ------------------------------------------------------------------
+    // §5.1: a rule triggered by data retrieval — audit salary reads.
+    // ------------------------------------------------------------------
+    sys.execute(
+        "create rule audit_reads when selected emp.salary \
+         then insert into audit (select name, 'salary-read' from selected emp.salary)",
+    )?;
+    println!("-- §5.1: reading salaries (as a transaction) triggers the audit rule --");
+    let out = sys.transaction("select name, salary from emp where dept_no = 1")?;
+    println!("   fired: {:?}", out.fired().iter().map(|f| f.rule.as_str()).collect::<Vec<_>>());
+    println!("{}", sys.query("select who, what from audit")?);
+
+    // ------------------------------------------------------------------
+    // §5.2: an external (native Rust) action.
+    // ------------------------------------------------------------------
+    let pages = Arc::new(AtomicUsize::new(0));
+    let pages2 = Arc::clone(&pages);
+    sys.create_rule_external(
+        "page_hr",
+        "inserted into emp",
+        Some("exists (select * from inserted emp where salary > 90000)"),
+        Arc::new(move |ctx: &mut setrules_core::ActionCtx<'_>| {
+            // "Page" HR (a side effect) and stamp the audit trail via DML,
+            // which joins this rule's transition like any SQL action.
+            pages2.fetch_add(1, Ordering::SeqCst);
+            ctx.run_sql("insert into audit values ('HR', 'high-salary-hire')")?;
+            Ok(())
+        }),
+    )?;
+    println!("-- §5.2: hiring above 90K runs native code --");
+    sys.execute("insert into emp values ('Mia', 3, 120000.0, 1)")?;
+    sys.execute("insert into emp values ('Lou', 4, 30000.0, 2)")?;
+    println!("   HR paged {} time(s)", pages.load(Ordering::SeqCst));
+
+    // ------------------------------------------------------------------
+    // §5.3a: a triggering point inside an open transaction.
+    // ------------------------------------------------------------------
+    println!("\n-- §5.3: process rules mid-transaction --");
+    sys.begin()?;
+    sys.run_op("select name, salary from emp where dept_no = 1")?;
+    let report = sys.process_rules()?;
+    println!("   at the triggering point: {} firing(s)", report.fired.len());
+    sys.run_op("select name, salary from emp where dept_no = 2")?;
+    let out = sys.commit()?;
+    println!("   at commit: {} more firing(s)", out.fired().len() - report.fired.len());
+
+    // ------------------------------------------------------------------
+    // §5.3b: deferred processing across several transactions.
+    // ------------------------------------------------------------------
+    println!("\n-- §5.3: deferred processing --");
+    sys.transaction_without_rules("insert into emp values ('Ada', 5, 200000.0, 1)")?;
+    sys.transaction_without_rules("insert into emp values ('Bob', 6, 210000.0, 1)")?;
+    println!("   two hires committed, rules deferred; window holds {} insert(s)",
+             sys.deferred_window().ins.len());
+    let out = sys.process_deferred()?;
+    println!("   deferred pass fired {:?}", out.fired().iter().map(|f| f.rule.as_str()).collect::<Vec<_>>());
+    println!("   HR paged {} time(s) total (one set-oriented call for both hires)",
+             pages.load(Ordering::SeqCst));
+
+    // ------------------------------------------------------------------
+    // Snapshot/restore (external actions cannot serialize: drop it first).
+    // ------------------------------------------------------------------
+    println!("\n-- snapshot/restore --");
+    sys.drop_rule("page_hr")?;
+    let snap = sys.snapshot()?;
+    println!("   snapshot: {} table(s), {} rule(s)", snap.tables.len(), snap.rules.len());
+    let restored = RuleSystem::restore(&snap, EngineConfig { track_selects: true, ..Default::default() })?;
+    println!(
+        "   restored employees: {}",
+        restored.query("select count(*) from emp")?.scalar().unwrap()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: define the paper's running schema, create Example 3.1's
+//! cascaded-delete rule, run a few transactions, and inspect results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use setrules_core::{RuleSystem, TxnOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = RuleSystem::new();
+
+    // The paper's running schema (§3.1).
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)")?;
+    sys.execute("create table dept (dept_no int, mgr_no int)")?;
+
+    // Example 3.1: "Whenever departments are deleted, delete all employees
+    // in the deleted departments."
+    sys.execute(
+        "create rule cascade_delete \
+         when deleted from dept \
+         then delete from emp where dept_no in (select dept_no from deleted dept)",
+    )?;
+
+    // Load some data.
+    sys.execute("insert into dept values (1, 101), (2, 102), (3, 103)")?;
+    sys.execute(
+        "insert into emp values \
+         ('Jane', 101, 95000.0, 1), ('Mary', 102, 70000.0, 1), \
+         ('Jim',  103, 60000.0, 2), ('Bill', 104, 25000.0, 2), \
+         ('Sam',  105, 40000.0, 3)",
+    )?;
+
+    println!("== before ==");
+    println!("{}", sys.query("select name, dept_no from emp order by emp_no")?);
+
+    // One set-oriented transaction deletes two departments; the rule fires
+    // once over the whole set of deleted departments.
+    let outcome = sys.transaction("delete from dept where dept_no < 3")?;
+    match &outcome {
+        TxnOutcome::Committed { fired, transitions, .. } => {
+            println!("\ncommitted after {transitions} rule transition(s):");
+            for f in fired {
+                println!(
+                    "  rule '{}' fired: +{} inserted, -{} deleted, ~{} updated",
+                    f.rule, f.inserted, f.deleted, f.updated
+                );
+            }
+        }
+        TxnOutcome::RolledBack { by_rule, .. } => {
+            println!("\nrolled back by rule '{by_rule}'");
+        }
+    }
+
+    println!("\n== after ==");
+    println!("{}", sys.query("select name, dept_no from emp order by emp_no")?);
+    println!("\n{}", sys.query("select count(*) as depts from dept")?);
+
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! An interactive shell for the rule system: type SQL (DDL, DML, rule
+//! definitions, `process rules`, `begin`/`commit`/`rollback`) and watch
+//! rules fire. Also accepts `\analyze`, `\rules`, `\help`, `\quit`.
+//!
+//! ```sh
+//! cargo run --example repl
+//! # or pipe a script:
+//! echo "create table t (k int); insert into t values (1); select * from t" \
+//!   | cargo run --example repl
+//! ```
+
+use std::io::{BufRead, Write};
+
+use setrules_core::{ExecOutcome, RuleSystem, TxnOutcome};
+
+fn main() {
+    let mut sys = RuleSystem::new();
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("setrules — set-oriented production rules (Widom & Finkelstein, SIGMOD 1990)");
+        println!("type SQL statements; \\help for meta-commands");
+    }
+    let mut lock = stdin.lock();
+    let mut line = String::new();
+    loop {
+        if interactive {
+            print!("setrules> ");
+            std::io::stdout().flush().ok();
+        }
+        line.clear();
+        match lock.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if let Some(meta) = input.strip_prefix('\\') {
+            if !meta_command(&mut sys, meta) {
+                break;
+            }
+            continue;
+        }
+        match input {
+            "begin" => print_result(sys.begin().map(|_| "transaction opened".to_string())),
+            "commit" => match sys.commit() {
+                Ok(out) => print_txn(&out),
+                Err(e) => println!("error: {e}"),
+            },
+            "rollback" => print_result(sys.rollback().map(|_| "rolled back".to_string())),
+            _ => run_statements(&mut sys, input),
+        }
+    }
+}
+
+fn run_statements(sys: &mut RuleSystem, input: &str) {
+    match sys.execute_script(input) {
+        Ok(outcomes) => {
+            for out in outcomes {
+                match out {
+                    ExecOutcome::Ddl(msg) => println!("{msg}"),
+                    ExecOutcome::Txn(t) => print_txn(&t),
+                    ExecOutcome::OpExecuted { affected, output } => {
+                        if let Some(rel) = output {
+                            println!("{rel}");
+                        } else {
+                            println!("{affected} row(s) affected (transaction open)");
+                        }
+                    }
+                    ExecOutcome::RulesProcessed(rep) => {
+                        println!(
+                            "processed rules: {} firing(s){}",
+                            rep.fired.len(),
+                            rep.rolled_back_by
+                                .map(|r| format!("; ROLLED BACK by '{r}'"))
+                                .unwrap_or_default()
+                        );
+                    }
+                }
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn print_txn(out: &TxnOutcome) {
+    match out {
+        TxnOutcome::Committed { fired, output, .. } => {
+            if let Some(rel) = output {
+                println!("{rel}");
+            }
+            if fired.is_empty() {
+                println!("ok");
+            } else {
+                let names: Vec<&str> = fired.iter().map(|f| f.rule.as_str()).collect();
+                println!("ok — rules fired: {}", names.join(", "));
+            }
+        }
+        TxnOutcome::RolledBack { by_rule, .. } => println!("ROLLED BACK by rule '{by_rule}'"),
+    }
+}
+
+fn print_result(r: Result<String, setrules_core::RuleError>) {
+    match r {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+/// Handle a `\` meta-command; returns `false` to quit.
+fn meta_command(sys: &mut RuleSystem, meta: &str) -> bool {
+    match meta.trim() {
+        "q" | "quit" | "exit" => return false,
+        "rules" => {
+            for r in sys.rules() {
+                let state = if r.active { "active" } else { "inactive" };
+                println!("  {} [{state}] when {:?}", r.name, r.when.len());
+            }
+            for (h, l) in sys.priority_pairs() {
+                println!("  priority: {h} before {l}");
+            }
+        }
+        "analyze" => println!("{}", setrules_analysis::analyze(sys)),
+        "dot" => print!("{}", setrules_analysis::TriggerGraph::build(sys).to_dot()),
+        m if m.starts_with("explain ") => match sys.explain(m.trim_start_matches("explain ")) {
+            Ok(plan) => print!("{plan}"),
+            Err(e) => println!("error: {e}"),
+        },
+        m if m.starts_with("json ") => match sys.query(m.trim_start_matches("json ")) {
+            Ok(rel) => println!("{}", serde_json::to_string_pretty(&rel).expect("relation serializes")),
+            Err(e) => println!("error: {e}"),
+        },
+        "help" => {
+            println!("SQL: create table/index/rule, drop ..., insert/delete/update/select,");
+            println!("     create rule priority A before B, activate/deactivate rule,");
+            println!("     begin / process rules / commit / rollback");
+            println!("meta: \\rules  \\analyze  \\dot  \\explain <select>  \\json <select>  \\quit");
+        }
+        other => println!("unknown meta-command '\\{other}' (try \\help)"),
+    }
+    true
+}
+
+/// Crude interactivity detection without extra dependencies: honor a
+/// SETRULES_FORCE_PROMPT env var, otherwise assume non-interactive when
+/// stdin is redirected (best effort — prompts to a pipe are harmless).
+fn atty_stdin() -> bool {
+    std::env::var_os("SETRULES_FORCE_PROMPT").is_some()
+}

@@ -1,0 +1,76 @@
+//! Salary-policy rules: Example 3.2's total-salary compensation rule plus
+//! a rollback guard, showing conditions over `old`/`new` transition tables
+//! and transaction rollback as an integrity mechanism.
+//!
+//! ```sh
+//! cargo run --example salary_policy
+//! ```
+
+use setrules_core::{RuleSystem, TxnOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)")?;
+
+    // Example 3.2: if the total of updated salaries rose, cut department 2
+    // by 5% and department 3 by 15%.
+    sys.execute(
+        "create rule rebalance when updated emp.salary \
+         if (select sum(salary) from new updated emp.salary) > \
+            (select sum(salary) from old updated emp.salary) \
+         then update emp set salary = 0.95 * salary where dept_no = 2; \
+              update emp set salary = 0.85 * salary where dept_no = 3",
+    )?;
+
+    // A hard cap: any salary above 500K rolls the whole transaction back.
+    sys.execute(
+        "create rule cap when updated emp.salary or inserted into emp \
+         if exists (select * from emp where salary > 500000) \
+         then rollback",
+    )?;
+    // The cap is checked before the rebalance runs.
+    sys.execute("create rule priority cap before rebalance")?;
+
+    sys.execute(
+        "insert into emp values \
+         ('u1', 1, 100000.0, 1), ('u2', 2, 110000.0, 1), \
+         ('v1', 3, 90000.0, 2), ('w1', 4, 80000.0, 3)",
+    )?;
+
+    println!("== initial salaries ==");
+    println!("{}", sys.query("select name, salary, dept_no from emp order by emp_no")?);
+
+    // 1. A raise for department 1: total rises, departments 2/3 get cut.
+    println!("\n-- raising dept 1 by 20% --");
+    let out = sys.transaction("update emp set salary = 1.2 * salary where dept_no = 1")?;
+    report(&out);
+    println!("{}", sys.query("select name, salary from emp order by emp_no")?);
+
+    // 2. A salary cut: the rebalance condition is false, nothing fires.
+    println!("\n-- cutting u1 back --");
+    let out = sys.transaction("update emp set salary = 100000.0 where name = 'u1'")?;
+    report(&out);
+
+    // 3. An absurd raise: the cap rule rolls the transaction back before
+    //    the rebalance ever runs.
+    println!("\n-- trying to set u2 to 1M --");
+    let out = sys.transaction("update emp set salary = 1000000.0 where name = 'u2'")?;
+    report(&out);
+    println!("{}", sys.query("select name, salary from emp order by emp_no")?);
+
+    Ok(())
+}
+
+fn report(out: &TxnOutcome) {
+    match out {
+        TxnOutcome::Committed { fired, .. } if fired.is_empty() => {
+            println!("committed; no rules fired");
+        }
+        TxnOutcome::Committed { fired, .. } => {
+            println!("committed; fired: {:?}", fired.iter().map(|f| f.rule.as_str()).collect::<Vec<_>>());
+        }
+        TxnOutcome::RolledBack { by_rule, .. } => {
+            println!("ROLLED BACK by rule '{by_rule}'");
+        }
+    }
+}

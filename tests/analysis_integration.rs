@@ -1,0 +1,127 @@
+//! Static analysis (§6) run against the paper's own rule sets: the
+//! analyzer must flag exactly the behaviours the examples exhibit.
+
+use setrules_analysis::{analyze, ConflictKind, TriggerGraph};
+use setrules_core::RuleSystem;
+
+fn paper_db() -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+    sys
+}
+
+/// Example 4.1's rule is recursive by design — the analyzer must warn
+/// about the (intentional) self-loop.
+#[test]
+fn example_4_1_flagged_as_self_triggering() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r41 when deleted from emp \
+         then delete from emp where dept_no in \
+                (select dept_no from dept where mgr_no in (select emp_no from deleted emp)); \
+              delete from dept where mgr_no in (select emp_no from deleted emp)",
+    )
+    .unwrap();
+    let report = analyze(&sys);
+    assert_eq!(report.loops.len(), 1);
+    assert_eq!(report.loops[0].rules, vec!["r41"]);
+}
+
+/// Example 3.2's rule updates the very column it watches: self-loop
+/// warning (the paper's footnote 7 scenario — it terminates only because
+/// the condition eventually fails, which static analysis cannot know).
+#[test]
+fn example_3_2_flagged_as_potential_loop() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r32 when updated emp.salary \
+         if (select sum(salary) from new updated emp.salary) > \
+            (select sum(salary) from old updated emp.salary) \
+         then update emp set salary = 0.95 * salary where dept_no = 2",
+    )
+    .unwrap();
+    let report = analyze(&sys);
+    assert_eq!(report.loops.len(), 1);
+}
+
+/// Example 3.1's cascade is acyclic (dept-delete → emp-delete, and
+/// nothing watches emp): no loop warning.
+#[test]
+fn example_3_1_is_loop_free() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r31 when deleted from dept \
+         then delete from emp where dept_no in (select dept_no from deleted dept)",
+    )
+    .unwrap();
+    let report = analyze(&sys);
+    assert!(report.loops.is_empty(), "{report}");
+}
+
+/// Example 4.3's R1/R2 pair: before the paper adds the priority, the pair
+/// is unordered and interferes on `emp` — exactly the situation §6 wants
+/// flagged; declaring the priority clears it.
+#[test]
+fn example_4_3_conflict_cleared_by_priority() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r1 when deleted from emp \
+         then delete from emp where dept_no in \
+                (select dept_no from dept where mgr_no in (select emp_no from deleted emp)); \
+              delete from dept where mgr_no in (select emp_no from deleted emp)",
+    )
+    .unwrap();
+    sys.execute(
+        "create rule r2 when updated emp.salary \
+         if (select avg(salary) from new updated emp.salary) > 50000 \
+         then delete from emp where emp_no in (select emp_no from new updated emp.salary) \
+              and salary > 80000",
+    )
+    .unwrap();
+    let report = analyze(&sys);
+    assert!(
+        report
+            .conflicts
+            .iter()
+            .any(|c| c.kind == ConflictKind::WriteWrite && c.tables.contains(&"emp".to_string())),
+        "{report}"
+    );
+
+    sys.execute("create rule priority r2 before r1").unwrap();
+    let report = analyze(&sys);
+    assert!(report.conflicts.is_empty(), "{report}");
+    // R1 still self-loops (by design) and R2's delete feeds R1.
+    let g = TriggerGraph::build(&sys);
+    let (r1, r2) = (sys.rule("r1").unwrap().id, sys.rule("r2").unwrap().id);
+    assert!(g.triggers(r2, r1), "R2's emp-delete can trigger R1");
+    assert!(!g.triggers(r1, r2), "R1 never updates salaries");
+}
+
+/// The analyzer and the runtime guard agree: a rule set the analyzer calls
+/// a potential loop actually trips the footnote-7 limit when the data
+/// diverges.
+#[test]
+fn analyzer_warning_matches_runtime_divergence() {
+    let mut sys = RuleSystem::with_config(setrules_core::EngineConfig {
+        max_rule_transitions: 10,
+        ..Default::default()
+    });
+    sys.execute("create table t (v int)").unwrap();
+    sys.execute("create rule up when updated t.v then update t set v = v + 1").unwrap();
+    assert_eq!(analyze(&sys).loops.len(), 1, "flagged statically");
+    sys.execute("insert into t values (0)").unwrap();
+    let err = sys.transaction("update t set v = 1").unwrap_err();
+    assert!(matches!(err, setrules_core::RuleError::LoopLimitExceeded { .. }));
+}
+
+/// Deactivated rules still analyze (they may be reactivated); dropped
+/// rules vanish from the analysis.
+#[test]
+fn dropped_rules_leave_the_graph() {
+    let mut sys = paper_db();
+    sys.execute("create rule loopy when updated emp.salary then update emp set salary = salary").unwrap();
+    assert_eq!(analyze(&sys).loops.len(), 1);
+    sys.execute("drop rule loopy").unwrap();
+    assert!(analyze(&sys).is_clean());
+}

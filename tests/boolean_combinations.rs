@@ -1,0 +1,111 @@
+//! The paper's §3 note: "In [WF89a], we show that it is possible to use
+//! the condition part of a rule to obtain the effect of arbitrary boolean
+//! combinations of basic transition predicates."
+//!
+//! The trick: the `when` list is a disjunction (it only controls
+//! *triggering*), and the condition can test whether a particular
+//! transition table is non-empty — `exists (select * from inserted t)` is
+//! exactly "the transition inserted into t". These tests encode
+//! conjunction and negation that way.
+
+use setrules_core::RuleSystem;
+use setrules_storage::Value;
+
+fn sys3() -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table a (k int)").unwrap();
+    sys.execute("create table b (k int)").unwrap();
+    sys.execute("create table log (tag text)").unwrap();
+    sys
+}
+
+/// Conjunction: fire only when the transition inserted into `a` AND
+/// deleted from `b`.
+#[test]
+fn conjunction_of_basic_predicates() {
+    let mut sys = sys3();
+    sys.execute(
+        "create rule both when inserted into a or deleted from b \
+         if exists (select * from inserted a) and exists (select * from deleted b) \
+         then insert into log values ('both')",
+    )
+    .unwrap();
+    sys.execute("insert into b values (1), (2)").unwrap();
+
+    // Only the insert: triggered (disjunction) but condition false.
+    let out = sys.transaction("insert into a values (1)").unwrap();
+    assert!(out.fired().is_empty());
+
+    // Only the delete: same.
+    let out = sys.transaction("delete from b where k = 1").unwrap();
+    assert!(out.fired().is_empty());
+
+    // Both in one transition: fires.
+    let out = sys.transaction("insert into a values (2); delete from b where k = 2").unwrap();
+    assert_eq!(out.fired().len(), 1);
+    assert_eq!(
+        sys.query("select count(*) from log").unwrap().scalar().unwrap(),
+        &Value::Int(1)
+    );
+}
+
+/// Negation within a combination: inserted into `a` AND NOT deleted
+/// from `b`.
+#[test]
+fn negated_conjunct() {
+    let mut sys = sys3();
+    sys.execute(
+        "create rule only_insert when inserted into a or deleted from b \
+         if exists (select * from inserted a) and not exists (select * from deleted b) \
+         then insert into log values ('pure-insert')",
+    )
+    .unwrap();
+    sys.execute("insert into b values (1)").unwrap();
+
+    let out = sys.transaction("insert into a values (1)").unwrap();
+    assert_eq!(out.fired().len(), 1, "insert without delete fires");
+
+    let out = sys.transaction("insert into a values (2); delete from b where k = 1").unwrap();
+    assert!(out.fired().is_empty(), "insert accompanied by a delete does not");
+}
+
+/// Exclusive-or: exactly one of the two events occurred.
+#[test]
+fn exclusive_or() {
+    let mut sys = sys3();
+    sys.execute(
+        "create rule xor_rule when inserted into a or inserted into b \
+         if (exists (select * from inserted a) and not exists (select * from inserted b)) \
+            or (not exists (select * from inserted a) and exists (select * from inserted b)) \
+         then insert into log values ('xor')",
+    )
+    .unwrap();
+    assert_eq!(sys.transaction("insert into a values (1)").unwrap().fired().len(), 1);
+    assert_eq!(sys.transaction("insert into b values (1)").unwrap().fired().len(), 1);
+    let out = sys
+        .transaction("insert into a values (2); insert into b values (2)")
+        .unwrap();
+    assert!(out.fired().is_empty(), "both sides present: XOR false");
+}
+
+/// Thresholded combination: "at least 2 rows inserted into a AND at least
+/// 1 deleted from b" — set-oriented conditions compose with cardinality
+/// tests, which instance-oriented per-row rules cannot express at all.
+#[test]
+fn cardinality_qualified_combination() {
+    let mut sys = sys3();
+    sys.execute(
+        "create rule bulk when inserted into a or deleted from b \
+         if (select count(*) from inserted a) >= 2 \
+            and exists (select * from deleted b) \
+         then insert into log values ('bulk')",
+    )
+    .unwrap();
+    sys.execute("insert into b values (1), (2)").unwrap();
+    let out = sys.transaction("insert into a values (1); delete from b where k = 1").unwrap();
+    assert!(out.fired().is_empty(), "only one insert");
+    let out = sys
+        .transaction("insert into a values (2), (3); delete from b where k = 2")
+        .unwrap();
+    assert_eq!(out.fired().len(), 1);
+}

@@ -1,0 +1,164 @@
+//! End-to-end constraint-maintenance scenarios ([CW90] / §6): several
+//! constraints installed together, interacting with user-defined rules,
+//! checked against hand-written equivalents.
+
+use setrules_constraints::{compile, install, Constraint, RepairPolicy};
+use setrules_core::RuleSystem;
+use setrules_storage::Value;
+
+fn org_schema(sys: &mut RuleSystem) {
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+}
+
+/// A realistic multi-constraint setup: unique employee numbers, non-null
+/// names, non-negative salaries, employees reference departments with
+/// cascade.
+fn constrained_system() -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    org_schema(&mut sys);
+    for c in [
+        Constraint::Unique { name: "uq_emp".into(), table: "emp".into(), column: "emp_no".into() },
+        Constraint::NotNull { name: "nn_name".into(), table: "emp".into(), column: "name".into() },
+        Constraint::Check {
+            name: "pos_salary".into(),
+            table: "emp".into(),
+            predicate: "salary >= 0".into(),
+        },
+        Constraint::referential("fk_dept", "emp", "dept_no", "dept", "dept_no", RepairPolicy::Cascade),
+    ] {
+        install(&mut sys, &c).unwrap();
+    }
+    sys.execute("insert into dept values (1, 10), (2, 20)").unwrap();
+    sys
+}
+
+#[test]
+fn all_constraints_enforced_together() {
+    let mut sys = constrained_system();
+    assert!(sys.transaction("insert into emp values ('a', 1, 100.0, 1)").unwrap().committed());
+    // Each violation rejected independently:
+    assert!(!sys.transaction("insert into emp values ('b', 1, 100.0, 1)").unwrap().committed(), "dup emp_no");
+    assert!(!sys.transaction("insert into emp values (NULL, 2, 100.0, 1)").unwrap().committed(), "null name");
+    assert!(!sys.transaction("insert into emp values ('b', 2, -1.0, 1)").unwrap().committed(), "neg salary");
+    assert!(!sys.transaction("insert into emp values ('b', 2, 100.0, 9)").unwrap().committed(), "orphan");
+    assert!(sys.transaction("insert into emp values ('b', 2, 100.0, 2)").unwrap().committed());
+    // Cascade still repairs:
+    sys.execute("delete from dept where dept_no = 1").unwrap();
+    let rel = sys.query("select name from emp").unwrap();
+    assert_eq!(rel.rows, vec![vec![Value::Text("b".into())]]);
+}
+
+/// A violating block containing *several* operations is rejected as a
+/// whole (set-oriented, transaction-level enforcement).
+#[test]
+fn multi_op_block_rejected_atomically() {
+    let mut sys = constrained_system();
+    let out = sys
+        .transaction(
+            "insert into emp values ('a', 1, 100.0, 1); \
+             insert into emp values ('b', 2, -5.0, 2)",
+        )
+        .unwrap();
+    assert!(!out.committed());
+    assert_eq!(
+        sys.query("select count(*) from emp").unwrap().scalar().unwrap(),
+        &Value::Int(0),
+        "the valid first insert was rolled back with the block"
+    );
+}
+
+/// A block that transiently violates but repairs itself within the same
+/// transition commits — conditions are evaluated against the *net* effect.
+#[test]
+fn transient_violation_within_block_is_invisible() {
+    let mut sys = constrained_system();
+    sys.execute("insert into emp values ('a', 1, 100.0, 1)").unwrap();
+    // Insert a duplicate emp_no, then delete it again in the same block.
+    let out = sys
+        .transaction(
+            "insert into emp values ('tmp', 1, 1.0, 1); \
+             delete from emp where name = 'tmp'",
+        )
+        .unwrap();
+    assert!(out.committed(), "insert+delete nets out; no rule ever triggers");
+}
+
+/// Constraint-generated rules and hand-written rules produce identical
+/// behaviour for Example 3.1's cascade.
+#[test]
+fn generated_cascade_equals_hand_written() {
+    let run = |generated: bool| -> Vec<Vec<Value>> {
+        let mut sys = RuleSystem::new();
+        org_schema(&mut sys);
+        if generated {
+            install(
+                &mut sys,
+                &Constraint::referential(
+                    "fk", "emp", "dept_no", "dept", "dept_no", RepairPolicy::Cascade,
+                ),
+            )
+            .unwrap();
+        } else {
+            sys.execute(
+                "create rule hand when deleted from dept \
+                 then delete from emp where dept_no in (select dept_no from deleted dept)",
+            )
+            .unwrap();
+        }
+        sys.execute("insert into dept values (1, 10), (2, 20)").unwrap();
+        sys.execute(
+            "insert into emp values ('a', 1, 1.0, 1), ('b', 2, 1.0, 2), ('c', 3, 1.0, 1)",
+        )
+        .unwrap();
+        sys.execute("delete from dept where dept_no = 1").unwrap();
+        sys.query("select name from emp order by emp_no").unwrap().rows
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// The compiled rule text is stable, inspectable SQL.
+#[test]
+fn compiled_text_is_inspectable() {
+    let c = Constraint::referential("fk", "emp", "dept_no", "dept", "dept_no", RepairPolicy::Restrict);
+    let sqls = compile(&c);
+    assert_eq!(sqls.len(), 3);
+    assert!(sqls[0].contains("then rollback"), "{}", sqls[0]);
+    assert!(sqls[2].contains("inserted emp"), "{}", sqls[2]);
+}
+
+/// Constraints compose with the static analyzer: RI rules on distinct
+/// tables are conflict-free once priorities are set between overlapping
+/// repairs.
+#[test]
+fn constraints_analyze_cleanly_for_loops() {
+    let sys = constrained_system();
+    let report = setrules_analysis::analyze(&sys);
+    assert!(report.loops.is_empty(), "constraint rules must not self-trigger: {report}");
+}
+
+/// Self-referential RI (employee → manager employee) with cascade: the
+/// generated rule is recursive, like Example 4.1.
+#[test]
+fn self_referential_cascade() {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table emp (name text, emp_no int, salary float, mgr_no int)").unwrap();
+    install(
+        &mut sys,
+        &Constraint::referential("chain", "emp", "mgr_no", "emp", "emp_no", RepairPolicy::Cascade),
+    )
+    .unwrap();
+    // r(1) ← m(2) ← w(3); the root manages itself to satisfy the FK.
+    sys.execute(
+        "insert into emp values ('r', 1, 1.0, 1), ('m', 2, 1.0, 1), ('w', 3, 1.0, 2)",
+    )
+    .unwrap();
+    let report = setrules_analysis::analyze(&sys);
+    assert!(!report.loops.is_empty(), "self-referential cascade is recursive by design");
+    sys.execute("delete from emp where emp_no = 1").unwrap();
+    assert_eq!(
+        sys.query("select count(*) from emp").unwrap().scalar().unwrap(),
+        &Value::Int(0),
+        "the whole chain cascades"
+    );
+}

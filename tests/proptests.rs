@@ -1,0 +1,340 @@
+//! Property tests of the paper's formal core, driven by randomly generated
+//! but *valid* operation sequences over a model database:
+//!
+//! * Definition 2.1 composition is associative and preserves the
+//!   disjointness invariant;
+//! * `TransInfo` absorption is grouping-independent (op-by-op ≡ any block
+//!   split) and agrees with the pure effect composition;
+//! * the `deleted` / `old updated` values recorded in a window equal the
+//!   ground-truth values at the window start;
+//! * storage rollback restores the exact prior state, indexes included.
+
+use proptest::prelude::*;
+use setrules_core::{TransInfo, TransitionEffect};
+use setrules_query::OpEffect;
+use setrules_storage::{ColumnId, Database, Tuple, TupleHandle, Value};
+
+/// An abstract operation in the model: what a DML statement did.
+#[derive(Debug, Clone)]
+enum ModelOp {
+    /// Insert `n` fresh tuples with the given starting values.
+    Insert(Vec<i64>),
+    /// Delete the live tuples at these (modulo-mapped) positions.
+    Delete(Vec<usize>),
+    /// Update these positions: add `delta`, touching column 0.
+    Update(Vec<usize>, i64),
+}
+
+fn model_ops() -> impl Strategy<Value = Vec<ModelOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(0i64..100, 1..4).prop_map(ModelOp::Insert),
+            prop::collection::vec(0usize..64, 1..4).prop_map(ModelOp::Delete),
+            (prop::collection::vec(0usize..64, 1..4), 1i64..50)
+                .prop_map(|(ps, d)| ModelOp::Update(ps, d)),
+        ],
+        1..12,
+    )
+}
+
+/// Ground-truth interpreter: a single-column table with explicit handles.
+#[derive(Debug, Clone, Default)]
+struct Model {
+    live: Vec<(u64, i64)>, // (handle, value), in handle order
+    next: u64,
+}
+
+const T: setrules_storage::TableId = setrules_storage::TableId(0);
+
+impl Model {
+    /// Apply one op; return its `OpEffect` (with old values, like the real
+    /// executor) and the equivalent pure `TransitionEffect`.
+    fn apply(&mut self, op: &ModelOp) -> (OpEffect, TransitionEffect) {
+        match op {
+            ModelOp::Insert(vals) => {
+                let mut handles = Vec::new();
+                for v in vals {
+                    self.next += 1;
+                    self.live.push((self.next, *v));
+                    handles.push(TupleHandle(self.next));
+                }
+                let eff = TransitionEffect::of_insert(handles.iter().copied());
+                (OpEffect::Insert { table: T, handles }, eff)
+            }
+            ModelOp::Delete(positions) => {
+                let mut tuples = Vec::new();
+                for p in positions {
+                    if self.live.is_empty() {
+                        break;
+                    }
+                    let idx = p % self.live.len();
+                    let (h, v) = self.live.remove(idx);
+                    tuples.push((TupleHandle(h), Tuple(vec![Value::Int(v)])));
+                }
+                let eff = TransitionEffect::of_delete(tuples.iter().map(|(h, _)| *h));
+                (OpEffect::Delete { table: T, tuples }, eff)
+            }
+            ModelOp::Update(positions, delta) => {
+                let mut tuples = Vec::new();
+                let mut seen = std::collections::BTreeSet::new();
+                for p in positions {
+                    if self.live.is_empty() {
+                        break;
+                    }
+                    let idx = p % self.live.len();
+                    if !seen.insert(idx) {
+                        continue; // one statement touches a tuple once
+                    }
+                    let (h, v) = self.live[idx];
+                    tuples.push((TupleHandle(h), vec![ColumnId(0)], Tuple(vec![Value::Int(v)])));
+                    self.live[idx].1 = v + delta;
+                }
+                let eff =
+                    TransitionEffect::of_update(tuples.iter().map(|(h, _, _)| (*h, ColumnId(0))));
+                (OpEffect::Update { table: T, tuples }, eff)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Definition 2.1: `⊕` is associative over any valid op sequence, and
+    /// every composite satisfies the I/D/U-disjointness invariant.
+    #[test]
+    fn effect_composition_associative(ops in model_ops(), split1 in 0usize..12, split2 in 0usize..12) {
+        let mut model = Model::default();
+        let effects: Vec<TransitionEffect> =
+            ops.iter().map(|op| model.apply(op).1).collect();
+
+        // Left fold.
+        let left = effects.iter().fold(TransitionEffect::new(), |acc, e| acc.compose(e));
+        prop_assert!(left.check_disjoint());
+
+        // Arbitrary two-split grouping.
+        let n = effects.len();
+        let (a, b) = {
+            let mut s = [split1 % (n + 1), split2 % (n + 1)];
+            s.sort_unstable();
+            (s[0], s[1])
+        };
+        let fold = |es: &[TransitionEffect]| {
+            es.iter().fold(TransitionEffect::new(), |acc, e| acc.compose(e))
+        };
+        let (p, m, s) = (fold(&effects[..a]), fold(&effects[a..b]), fold(&effects[b..]));
+        prop_assert_eq!(p.compose(&m).compose(&s), p.compose(&m.compose(&s)));
+        prop_assert_eq!(p.compose(&m).compose(&s), left);
+    }
+
+    /// `TransInfo` absorption is grouping-independent and its projected
+    /// effect equals the pure Definition 2.1 composite.
+    #[test]
+    fn transinfo_grouping_independent(ops in model_ops(), split in 0usize..12) {
+        let mut model = Model::default();
+        let results: Vec<(OpEffect, TransitionEffect)> =
+            ops.iter().map(|op| model.apply(op)).collect();
+
+        // Op by op.
+        let mut whole = TransInfo::new();
+        for (eff, _) in &results {
+            whole.absorb(eff, false);
+        }
+        // Split into two windows, composed.
+        let k = split % (results.len() + 1);
+        let mut w1 = TransInfo::new();
+        for (eff, _) in &results[..k] {
+            w1.absorb(eff, false);
+        }
+        let mut w2 = TransInfo::new();
+        for (eff, _) in &results[k..] {
+            w2.absorb(eff, false);
+        }
+        w1.compose(&w2);
+        prop_assert_eq!(&whole, &w1);
+
+        // Projection agrees with the pure composition.
+        let pure = results
+            .iter()
+            .fold(TransitionEffect::new(), |acc, (_, e)| acc.compose(e));
+        prop_assert_eq!(whole.effect(|_| 1), pure);
+    }
+
+    /// The old values recorded in a window are the ground-truth values at
+    /// the window start — Fig. 1's `get-old-value` invariant.
+    #[test]
+    fn window_old_values_are_window_start_values(pre in model_ops(), ops in model_ops()) {
+        let mut model = Model::default();
+        // Establish an arbitrary start state.
+        for op in &pre {
+            model.apply(op);
+        }
+        let start: std::collections::BTreeMap<u64, i64> = model.live.iter().copied().collect();
+
+        let mut window = TransInfo::new();
+        for op in &ops {
+            let (eff, _) = model.apply(op);
+            window.absorb(&eff, false);
+        }
+        for (h, del) in &window.del {
+            prop_assert!(start.contains_key(&h.0), "insert-then-delete must cancel");
+            let v0 = start[&h.0];
+            prop_assert_eq!(&del.old, &Tuple(vec![Value::Int(v0)]),
+                "deleted tuple {} must show its window-start value", h);
+        }
+        for (h, upd) in &window.upd {
+            let v0 = start.get(&h.0).expect("updated tuples existed at window start");
+            prop_assert_eq!(&upd.old, &Tuple(vec![Value::Int(*v0)]));
+        }
+        for h in &window.ins {
+            prop_assert!(!start.contains_key(&h.0), "inserted handles are fresh");
+        }
+    }
+
+    /// Rollback restores the exact prior state, and indexes stay
+    /// consistent with scans throughout.
+    #[test]
+    fn storage_rollback_restores_state(pre in model_ops(), ops in model_ops()) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(setrules_storage::TableSchema::new(
+                "t",
+                vec![setrules_storage::ColumnDef::new("v", setrules_storage::DataType::Int)],
+            ))
+            .unwrap();
+        db.create_index(t, ColumnId(0)).unwrap();
+
+        let apply = |db: &mut Database, op: &ModelOp| {
+            match op {
+                ModelOp::Insert(vals) => {
+                    for v in vals {
+                        db.insert(t, Tuple(vec![Value::Int(*v)])).unwrap();
+                    }
+                }
+                ModelOp::Delete(ps) => {
+                    for p in ps {
+                        let handles: Vec<_> = db.table(t).handles().collect();
+                        if handles.is_empty() {
+                            break;
+                        }
+                        db.delete(t, handles[p % handles.len()]).unwrap();
+                    }
+                }
+                ModelOp::Update(ps, d) => {
+                    for p in ps {
+                        let handles: Vec<_> = db.table(t).handles().collect();
+                        if handles.is_empty() {
+                            break;
+                        }
+                        let h = handles[p % handles.len()];
+                        let old = db.get(t, h).unwrap().get(ColumnId(0)).as_i64().unwrap();
+                        db.update(t, h, &[(ColumnId(0), Value::Int(old + d))]).unwrap();
+                    }
+                }
+            }
+        };
+
+        for op in &pre {
+            apply(&mut db, op);
+        }
+        db.commit();
+        let snapshot: Vec<(TupleHandle, Tuple)> =
+            db.table(t).scan().map(|(h, tu)| (h, tu.clone())).collect();
+
+        let mark = db.mark();
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        db.rollback_to(mark).unwrap();
+
+        let after: Vec<(TupleHandle, Tuple)> =
+            db.table(t).scan().map(|(h, tu)| (h, tu.clone())).collect();
+        prop_assert_eq!(&snapshot, &after);
+
+        // Index ≡ scan for every live value.
+        for (h, tu) in &after {
+            let v = tu.get(ColumnId(0));
+            let via_index = db.index_lookup(t, ColumnId(0), v).unwrap();
+            prop_assert!(via_index.contains(h));
+            for ih in via_index {
+                prop_assert_eq!(db.get(t, ih).unwrap().get(ColumnId(0)), v);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hash equi-join ≡ reference nested-loop semantics.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The hash-join fast path must agree exactly with a reference
+    /// nested-loop join computed in the test, including NULL keys (never
+    /// matching) and duplicate keys (multiset semantics), and preserve
+    /// row order.
+    #[test]
+    fn hash_join_matches_reference(
+        a_rows in prop::collection::vec((prop::option::of(0i64..6), 0i64..100), 0..14),
+        b_rows in prop::collection::vec((prop::option::of(0i64..6), 0i64..100), 0..14),
+    ) {
+        use setrules_query::{execute_op, execute_query, NoTransitionTables};
+        use setrules_sql::ast::{DmlOp, Statement};
+        use setrules_sql::parse_statement;
+        use setrules_storage::{ColumnDef, DataType, TableSchema};
+
+        let mut db = Database::new();
+        let ta = db
+            .create_table(TableSchema::new(
+                "a",
+                vec![ColumnDef::new("k", DataType::Int), ColumnDef::new("v", DataType::Int)],
+            ))
+            .unwrap();
+        let tb = db
+            .create_table(TableSchema::new(
+                "b",
+                vec![ColumnDef::new("k", DataType::Int), ColumnDef::new("w", DataType::Int)],
+            ))
+            .unwrap();
+        let to_val = |o: &Option<i64>| o.map(Value::Int).unwrap_or(Value::Null);
+        for (k, v) in &a_rows {
+            db.insert(ta, Tuple(vec![to_val(k), Value::Int(*v)])).unwrap();
+        }
+        for (k, w) in &b_rows {
+            db.insert(tb, Tuple(vec![to_val(k), Value::Int(*w)])).unwrap();
+        }
+
+        let Statement::Dml(DmlOp::Select(sel)) = parse_statement(
+            "select x.v, y.w from a x, b y where x.k = y.k and x.v + y.w < 150",
+        )
+        .unwrap() else {
+            unreachable!()
+        };
+        let got = execute_query(&db, &NoTransitionTables, &sel).unwrap();
+
+        // Reference: nested loop with SQL semantics.
+        let mut expect: Vec<Vec<Value>> = Vec::new();
+        for (ka, v) in &a_rows {
+            for (kb, w) in &b_rows {
+                if let (Some(ka), Some(kb)) = (ka, kb) {
+                    if ka == kb && v + w < 150 {
+                        expect.push(vec![Value::Int(*v), Value::Int(*w)]);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got.rows, expect.clone());
+
+        // And an execute_op select (the traced path) agrees too.
+        let mut db2 = db;
+        let eff = execute_op(
+            &mut db2,
+            &NoTransitionTables,
+            &DmlOp::Select(sel),
+        )
+        .unwrap();
+        let setrules_query::OpEffect::Select { output, .. } = eff else { unreachable!() };
+        prop_assert_eq!(output.rows, expect);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rule selection strategies (§4.4) observed through firing order.
+
+use setrules_core::{EngineConfig, RuleError, RuleSystem, SelectionStrategy};
+
+/// Build a system with three independent logging rules all triggered by
+/// the same insert. The log table records firing order via a counter read
+/// from the table itself.
+fn three_rules(strategy: SelectionStrategy) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(EngineConfig { strategy, ..Default::default() });
+    sys.execute("create table t (k int)").unwrap();
+    sys.execute("create table log (rule_name text, seq int)").unwrap();
+    for name in ["alpha", "beta", "gamma"] {
+        sys.execute(&format!(
+            "create rule {name} when inserted into t \
+             then insert into log values ('{name}', (select count(*) from log))"
+        ))
+        .unwrap();
+    }
+    sys
+}
+
+fn firing_order(sys: &RuleSystem) -> Vec<String> {
+    sys.query("select rule_name from log order by seq")
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn creation_order_fires_in_creation_order() {
+    let mut sys = three_rules(SelectionStrategy::CreationOrder);
+    sys.transaction("insert into t values (1)").unwrap();
+    assert_eq!(firing_order(&sys), vec!["alpha", "beta", "gamma"]);
+}
+
+#[test]
+fn partial_order_respects_priorities() {
+    let mut sys = three_rules(SelectionStrategy::PartialOrder);
+    sys.execute("create rule priority gamma before alpha").unwrap();
+    sys.execute("create rule priority alpha before beta").unwrap();
+    sys.transaction("insert into t values (1)").unwrap();
+    assert_eq!(firing_order(&sys), vec!["gamma", "alpha", "beta"]);
+}
+
+#[test]
+fn partial_order_incomparable_rules_fall_back_to_creation_order() {
+    let mut sys = three_rules(SelectionStrategy::PartialOrder);
+    // Only beta < gamma declared; alpha incomparable to both.
+    sys.execute("create rule priority gamma before beta").unwrap();
+    sys.transaction("insert into t values (1)").unwrap();
+    // Maximal set initially = {alpha, gamma}: alpha (created first) wins,
+    // then gamma, then beta.
+    assert_eq!(firing_order(&sys), vec!["alpha", "gamma", "beta"]);
+}
+
+#[test]
+fn priority_cycle_rejected() {
+    let mut sys = three_rules(SelectionStrategy::PartialOrder);
+    sys.execute("create rule priority alpha before beta").unwrap();
+    sys.execute("create rule priority beta before gamma").unwrap();
+    let err = sys.execute("create rule priority gamma before alpha").unwrap_err();
+    assert!(matches!(err, RuleError::PriorityCycle { .. }));
+}
+
+#[test]
+fn priority_on_unknown_rule_rejected() {
+    let mut sys = three_rules(SelectionStrategy::PartialOrder);
+    let err = sys.execute("create rule priority alpha before nobody").unwrap_err();
+    assert!(matches!(err, RuleError::NoSuchRule(_)));
+}
+
+/// Least-recently-considered rotates fairness across transactions.
+#[test]
+fn least_recently_considered_rotates() {
+    let mut sys = three_rules(SelectionStrategy::LeastRecentlyConsidered);
+    sys.transaction("insert into t values (1)").unwrap();
+    // First txn: never-considered rules go in creation order.
+    assert_eq!(firing_order(&sys), vec!["alpha", "beta", "gamma"]);
+    sys.execute("delete from log").unwrap();
+    sys.transaction("insert into t values (2)").unwrap();
+    // Second txn: all were considered; oldest timestamps first — same
+    // relative order (alpha considered least recently again).
+    assert_eq!(firing_order(&sys), vec!["alpha", "beta", "gamma"]);
+}
+
+/// Most-recently-considered reverses that preference on the second
+/// transaction.
+#[test]
+fn most_recently_considered_prefers_recent() {
+    let mut sys = three_rules(SelectionStrategy::MostRecentlyConsidered);
+    sys.transaction("insert into t values (1)").unwrap();
+    assert_eq!(firing_order(&sys), vec!["alpha", "beta", "gamma"]);
+    sys.execute("delete from log").unwrap();
+    sys.transaction("insert into t values (2)").unwrap();
+    // gamma was considered most recently in txn 1 → goes first now.
+    assert_eq!(firing_order(&sys), vec!["gamma", "beta", "alpha"]);
+}
+
+/// Strategy changes are rejected mid-transaction.
+#[test]
+fn strategy_change_requires_no_txn() {
+    let mut sys = three_rules(SelectionStrategy::CreationOrder);
+    sys.begin().unwrap();
+    assert!(matches!(
+        sys.set_strategy(SelectionStrategy::PartialOrder),
+        Err(RuleError::TransactionOpen)
+    ));
+    sys.rollback().unwrap();
+    sys.set_strategy(SelectionStrategy::PartialOrder).unwrap();
+}
+
+/// §4.4's note that selection strategy can change the final state: a
+/// one-slot table written by whichever rule goes first.
+#[test]
+fn strategy_affects_final_state() {
+    let build = |strategy: SelectionStrategy, prio: Option<(&str, &str)>| -> String {
+        let mut sys = RuleSystem::with_config(EngineConfig { strategy, ..Default::default() });
+        sys.execute("create table t (k int)").unwrap();
+        sys.execute("create table winner (name text)").unwrap();
+        for name in ["first", "second"] {
+            // Each rule claims the slot only if it is still empty.
+            sys.execute(&format!(
+                "create rule {name} when inserted into t \
+                 if not exists (select * from winner) \
+                 then insert into winner values ('{name}')"
+            ))
+            .unwrap();
+        }
+        if let Some((h, l)) = prio {
+            sys.execute(&format!("create rule priority {h} before {l}")).unwrap();
+        }
+        sys.transaction("insert into t values (1)").unwrap();
+        sys.query("select name from winner").unwrap().rows[0][0]
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(build(SelectionStrategy::CreationOrder, None), "first");
+    assert_eq!(
+        build(SelectionStrategy::PartialOrder, Some(("second", "first"))),
+        "second",
+        "priorities flip the outcome"
+    );
+}

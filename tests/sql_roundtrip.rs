@@ -1,0 +1,276 @@
+//! Property test: printing any AST and reparsing it yields the same AST.
+//!
+//! Literal caveat baked into the generators: negative numeric literals are
+//! excluded (`-2` parses as unary negation of `2`, as in standard SQL),
+//! floats are finite non-negative, and identifiers avoid keywords and the
+//! transition-table soft keywords.
+
+use proptest::prelude::*;
+use setrules_sql::ast::*;
+use setrules_sql::token::Keyword;
+use setrules_sql::{parse_expr, parse_statement};
+use setrules_storage::Value;
+
+const SOFT_KEYWORDS: &[&str] = &["inserted", "deleted", "updated", "selected", "old", "new"];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,7}".prop_filter("not a keyword", |s| {
+        Keyword::from_str(s).is_none() && !SOFT_KEYWORDS.contains(&s.as_str())
+    })
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (0i64..=i64::MAX).prop_map(Value::Int),
+        (0.0f64..1e12).prop_map(Value::Float),
+        "[ -~]{0,12}".prop_map(Value::Text),
+    ]
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+    ]
+}
+
+fn expr() -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        ident().prop_map(|name| Expr::Column { qualifier: None, name }),
+        (ident(), ident()).prop_map(|(q, name)| Expr::Column { qualifier: Some(q), name }),
+        Just(Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), binop(), inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, n)| Expr::IsNull { expr: Box::new(e), negated: n }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
+                |(e, list, n)| Expr::InList { expr: Box::new(e), list, negated: n }
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, n)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: n,
+                }
+            ),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::Like {
+                expr: Box::new(e.clone()),
+                pattern: Box::new(e),
+                negated: n,
+            }),
+            (agg_func(), inner.clone(), any::<bool>()).prop_map(|(func, a, distinct)| {
+                Expr::Aggregate { func, arg: Some(Box::new(a)), distinct }
+            }),
+            // Subquery forms over a one-item select.
+            (inner.clone(), simple_select(inner.clone()), any::<bool>()).prop_map(
+                |(e, s, n)| Expr::InSubquery {
+                    expr: Box::new(e),
+                    subquery: Box::new(s),
+                    negated: n,
+                }
+            ),
+            (simple_select(inner.clone()), any::<bool>())
+                .prop_map(|(s, n)| Expr::Exists { subquery: Box::new(s), negated: n }),
+            simple_select(inner).prop_map(|s| Expr::ScalarSubquery(Box::new(s))),
+        ]
+    })
+    .boxed()
+}
+
+fn transition_source() -> impl Strategy<Value = TableSource> {
+    prop_oneof![
+        ident().prop_map(|t| TableSource::Transition {
+            kind: TransitionKind::Inserted,
+            table: t,
+            column: None
+        }),
+        ident().prop_map(|t| TableSource::Transition {
+            kind: TransitionKind::Deleted,
+            table: t,
+            column: None
+        }),
+        (ident(), prop::option::of(ident()), any::<bool>()).prop_map(|(t, c, old)| {
+            TableSource::Transition {
+                kind: if old { TransitionKind::OldUpdated } else { TransitionKind::NewUpdated },
+                table: t,
+                column: c,
+            }
+        }),
+        (ident(), prop::option::of(ident())).prop_map(|(t, c)| TableSource::Transition {
+            kind: TransitionKind::Selected,
+            table: t,
+            column: c
+        }),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    prop_oneof![
+        (ident(), prop::option::of(ident()))
+            .prop_map(|(n, alias)| TableRef { source: TableSource::Named(n), alias }),
+        (transition_source(), prop::option::of(ident()))
+            .prop_map(|(source, alias)| TableRef { source, alias }),
+    ]
+}
+
+fn simple_select(e: BoxedStrategy<Expr>) -> BoxedStrategy<SelectStmt> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                ident().prop_map(SelectItem::QualifiedWildcard),
+                (e.clone(), prop::option::of(ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..3,
+        ),
+        prop::collection::vec(table_ref(), 1..3),
+        prop::option::of(e.clone()),
+        any::<bool>(),
+    )
+        .prop_map(|(projection, from, predicate, distinct)| SelectStmt {
+            distinct,
+            projection,
+            from,
+            predicate,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        })
+        .boxed()
+}
+
+fn full_select() -> impl Strategy<Value = SelectStmt> {
+    (
+        simple_select(expr()),
+        prop::collection::vec(expr(), 0..2),
+        prop::option::of(expr()),
+        prop::collection::vec((expr(), any::<bool>()), 0..2),
+        prop::option::of(0u64..1000),
+    )
+        .prop_map(|(mut s, group_by, having, order_by, limit)| {
+            s.group_by = group_by;
+            s.having = having;
+            s.order_by = order_by;
+            s.limit = limit;
+            s
+        })
+}
+
+fn dml_op() -> impl Strategy<Value = DmlOp> {
+    prop_oneof![
+        full_select().prop_map(DmlOp::Select),
+        (ident(), prop::collection::vec(prop::collection::vec(expr(), 1..4), 1..3)).prop_map(
+            |(table, rows)| DmlOp::Insert(InsertStmt { table, source: InsertSource::Values(rows) })
+        ),
+        (ident(), full_select()).prop_map(|(table, s)| DmlOp::Insert(InsertStmt {
+            table,
+            source: InsertSource::Select(Box::new(s)),
+        })),
+        (ident(), prop::option::of(expr()))
+            .prop_map(|(table, predicate)| DmlOp::Delete(DeleteStmt { table, predicate })),
+        (
+            ident(),
+            prop::collection::vec((ident(), expr()), 1..3),
+            prop::option::of(expr())
+        )
+            .prop_map(|(table, sets, predicate)| DmlOp::Update(UpdateStmt {
+                table,
+                sets,
+                predicate
+            })),
+    ]
+}
+
+fn basic_pred() -> impl Strategy<Value = BasicTransPred> {
+    prop_oneof![
+        ident().prop_map(BasicTransPred::InsertedInto),
+        ident().prop_map(BasicTransPred::DeletedFrom),
+        (ident(), prop::option::of(ident()))
+            .prop_map(|(table, column)| BasicTransPred::Updated { table, column }),
+        (ident(), prop::option::of(ident()))
+            .prop_map(|(table, column)| BasicTransPred::Selected { table, column }),
+    ]
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        dml_op().prop_map(Statement::Dml),
+        (
+            ident(),
+            prop::collection::vec(basic_pred(), 1..4),
+            prop::option::of(expr()),
+            prop_oneof![
+                Just(RuleAction::Rollback),
+                prop::collection::vec(dml_op(), 1..3).prop_map(RuleAction::Block),
+            ],
+        )
+            .prop_map(|(name, when, condition, action)| {
+                Statement::CreateRule(CreateRule { name, when, condition, action })
+            }),
+        (ident(), prop::collection::vec((ident(), data_type()), 1..4)).prop_map(
+            |(name, columns)| Statement::CreateTable(CreateTable { name, columns })
+        ),
+        (ident(), ident()).prop_map(|(higher, lower)| Statement::CreatePriority { higher, lower }),
+        ident().prop_map(Statement::DropRule),
+    ]
+}
+
+fn data_type() -> impl Strategy<Value = setrules_storage::DataType> {
+    use setrules_storage::DataType::*;
+    prop_oneof![Just(Int), Just(Float), Just(Text), Just(Bool)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_round_trips(e in expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for `{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn statement_round_trips(s in statement()) {
+        let printed = s.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for `{printed}`: {err}"));
+        prop_assert_eq!(s, reparsed, "printed: {}", printed);
+    }
+}

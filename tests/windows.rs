@@ -1,0 +1,94 @@
+//! Direct inspection of per-rule composite windows (`R.trans-info`)
+//! through `RuleSystem::current_window`, validating the §4.2 window
+//! bookkeeping at each step of a transaction.
+
+use setrules_core::RuleSystem;
+use setrules_storage::Value;
+
+fn sys2() -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table t (k int)").unwrap();
+    sys.execute("create table u (k int)").unwrap();
+    // watcher_t fires once, copying t-inserts into u.
+    sys.execute(
+        "create rule watcher_t when inserted into t \
+         then insert into u (select k from inserted t)",
+    )
+    .unwrap();
+    // watcher_u never fires (condition false) but accumulates a window.
+    sys.execute(
+        "create rule watcher_u when inserted into u if false then delete from u",
+    )
+    .unwrap();
+    sys
+}
+
+#[test]
+fn windows_outside_transaction_are_absent() {
+    let sys = sys2();
+    assert!(sys.current_window("watcher_t").is_none());
+    assert!(sys.current_window("nope").is_none());
+}
+
+#[test]
+fn pending_ops_reach_windows_only_at_processing() {
+    let mut sys = sys2();
+    sys.begin().unwrap();
+    sys.run_op("insert into t values (1), (2)").unwrap();
+    // Before any rule processing, windows are still empty (changes sit in
+    // the pending external window).
+    assert!(sys.current_window("watcher_t").unwrap().is_empty());
+    let report = sys.process_rules().unwrap();
+    assert_eq!(report.fired.len(), 1);
+    // watcher_t acted: its window is its own transition (2 u-inserts).
+    let w_t = sys.current_window("watcher_t").unwrap();
+    assert_eq!(w_t.ins.len(), 2, "watcher_t's window = its own insert-into-u transition");
+    // watcher_u did not act: its window is the composite of the external
+    // block and watcher_t's transition = 2 t-inserts + 2 u-inserts.
+    let w_u = sys.current_window("watcher_u").unwrap();
+    assert_eq!(w_u.ins.len(), 4);
+    sys.commit().unwrap();
+    assert!(sys.current_window("watcher_t").is_none(), "windows die with the transaction");
+}
+
+#[test]
+fn net_effects_visible_in_windows() {
+    let mut sys = sys2();
+    sys.begin().unwrap();
+    sys.run_op("insert into t values (1)").unwrap();
+    sys.run_op("delete from t where k = 1").unwrap();
+    sys.run_op("insert into t values (2)").unwrap();
+    let report = sys.process_rules().unwrap();
+    assert_eq!(report.fired.len(), 1);
+    // Only the surviving insert is in watcher_u's composite view of t.
+    let w_u = sys.current_window("watcher_u").unwrap();
+    let t_inserts = w_u
+        .ins
+        .iter()
+        .filter(|h| {
+            let db = sys.database();
+            db.table_of(**h) == Some(db.table_id("t").unwrap())
+        })
+        .count();
+    assert_eq!(t_inserts, 1);
+    assert!(w_u.del.is_empty(), "insert-then-delete cancelled");
+    sys.rollback().unwrap();
+    assert_eq!(sys.query("select count(*) from t").unwrap().scalar().unwrap(), &Value::Int(0));
+}
+
+#[test]
+fn update_windows_capture_old_tuples() {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table t (k int, v int)").unwrap();
+    sys.execute("create rule w when updated t.v if false then delete from t").unwrap();
+    sys.execute("insert into t values (1, 10)").unwrap();
+    sys.begin().unwrap();
+    sys.run_op("update t set v = 20 where k = 1").unwrap();
+    sys.run_op("update t set v = 30 where k = 1").unwrap();
+    sys.process_rules().unwrap();
+    let w = sys.current_window("w").unwrap();
+    assert_eq!(w.upd.len(), 1, "two updates to one tuple collapse");
+    let entry = w.upd.values().next().unwrap();
+    assert_eq!(entry.old.0[1], Value::Int(10), "old tuple is the window-start value");
+    sys.rollback().unwrap();
+}
