@@ -24,9 +24,12 @@
 //!   level.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use setrules_bench::{instance_cascade_system, load_emps, set_cascade_system};
+use setrules_bench::{
+    instance_cascade_system, load_emps, set_cascade_system, write_bench_snapshot,
+};
 use setrules_core::RuleSystem;
 use setrules_instance::{InstanceEngine, TriggerEvent};
+use setrules_json::Json;
 
 const PARENTS: usize = 10;
 
@@ -110,7 +113,37 @@ fn bulk_emp_insert(n: usize) -> String {
     format!("insert into emp values {}", rows.join(", "))
 }
 
+/// One instrumented pass of the audit workload on each engine: the
+/// engine-work counters behind B1's wall-clock numbers. The set engine
+/// reports its per-transaction `TxnStats`; the instance engine reports
+/// the same three sections from its mirror counters.
+fn engine_stats_snapshot(n: usize) {
+    let mut sys = set_audit_system(n);
+    let out = sys.transaction("update emp set salary = salary + 1").unwrap();
+    let set_json = out.stats().to_json();
+
+    let mut eng = instance_audit_system(n);
+    let (i0, q0, s0) = (eng.stats(), eng.exec_stats(), eng.storage_stats());
+    eng.execute("update emp set salary = salary + 1").unwrap();
+    let inst_json = Json::obj([
+        ("engine", eng.stats().since(&i0).to_json()),
+        ("query", eng.exec_stats().since(&q0).to_json()),
+        ("storage", eng.storage_stats().since(&s0).to_json()),
+    ]);
+
+    write_bench_snapshot(
+        "engine_stats",
+        &Json::obj([
+            ("workload", Json::Str("b1_audit_bulk_update".into())),
+            ("rows", Json::Int(n as i64)),
+            ("set_oriented", set_json),
+            ("instance_oriented", inst_json),
+        ]),
+    );
+}
+
 fn bench(c: &mut Criterion) {
+    engine_stats_snapshot(1_000);
     let mut g = c.benchmark_group("b1_aggregate_maintenance");
     g.warm_up_time(std::time::Duration::from_millis(400));
     g.measurement_time(std::time::Duration::from_secs(2));

@@ -8,6 +8,24 @@
 
 use setrules_core::{EngineConfig, RuleSystem};
 use setrules_instance::{InstanceEngine, TriggerEvent};
+use setrules_json::Json;
+
+/// Write a `BENCH_<name>.json` counters snapshot into the directory named
+/// by `BENCH_OUT_DIR` (default: the current directory). Benches call this
+/// once per run so perf trajectories can diff engine work counters — rows
+/// scanned, tuples touched, undo records — alongside wall-clock numbers.
+/// Write failures only warn: counters must never fail a bench run.
+pub fn write_bench_snapshot(name: &str, json: &Json) {
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let mut body = json.pretty();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
 
 /// Build a parent/child schema with `parents` parent rows, each referenced
 /// by `children_per` child rows, plus Example 3.1's set-oriented cascade

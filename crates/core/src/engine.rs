@@ -11,19 +11,23 @@
 //! `rollback` action restores the transaction's start state.
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 use setrules_query::{
-    execute_op, execute_query, NoTransitionTables, OpEffect, Relation,
+    execute_op_with_stats, execute_query_with_stats, ExecStats, NoTransitionTables, OpEffect,
+    Relation, StatsCell,
 };
 use setrules_sql::ast::{CreateRule, DmlOp, Statement};
 use setrules_sql::{parse_op_block, parse_statement, parse_statements};
-use setrules_storage::{Database, TableSchema, UndoMark};
+use setrules_storage::{Database, StorageStats, TableSchema, UndoMark};
 
 use crate::error::RuleError;
+use crate::events::{EngineEvent, EventBus, EventSink};
 use crate::external::{ActionCtx, ExternalAction};
 use crate::priority::PriorityGraph;
 use crate::rule::{CompiledAction, Rule, RuleId};
 use crate::selection::{select_rule, SelectionStrategy};
+use crate::stats::{EngineStats, TxnStats};
 use crate::transinfo::TransInfo;
 use crate::transition_tables::{RuleWindowProvider, RuleWindowRef};
 
@@ -57,6 +61,9 @@ pub struct EngineConfig {
     pub retrigger: RetriggerSemantics,
     /// Rule selection strategy (§4.4).
     pub strategy: SelectionStrategy,
+    /// Capacity of the always-on in-memory event ring (most recent N
+    /// [`EngineEvent`]s retained; `0` disables retention).
+    pub event_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +73,7 @@ impl Default for EngineConfig {
             track_selects: false,
             retrigger: RetriggerSemantics::default(),
             strategy: SelectionStrategy::default(),
+            event_capacity: 1024,
         }
     }
 }
@@ -95,6 +103,8 @@ pub enum TxnOutcome {
         /// Output of the last `select` operation in the transaction
         /// (external or rule-generated), if any.
         output: Option<Relation>,
+        /// Work counters for the whole transaction.
+        stats: TxnStats,
     },
     /// A rule with a `rollback` action fired; the database is back at the
     /// transaction's start state.
@@ -103,6 +113,9 @@ pub enum TxnOutcome {
         by_rule: String,
         /// Firings that happened (and were undone) before the rollback.
         fired: Vec<FiredRule>,
+        /// Work counters for the whole transaction (including the
+        /// rollback replay itself).
+        stats: TxnStats,
     },
 }
 
@@ -118,6 +131,13 @@ impl TxnOutcome {
             TxnOutcome::Committed { fired, .. } | TxnOutcome::RolledBack { fired, .. } => fired,
         }
     }
+
+    /// The transaction's work counters.
+    pub fn stats(&self) -> &TxnStats {
+        match self {
+            TxnOutcome::Committed { stats, .. } | TxnOutcome::RolledBack { stats, .. } => stats,
+        }
+    }
 }
 
 /// Report of a `process rules` triggering point (§5.3).
@@ -127,6 +147,9 @@ pub struct ProcessReport {
     pub fired: Vec<FiredRule>,
     /// Set when a `rollback` action fired — the transaction is gone.
     pub rolled_back_by: Option<String>,
+    /// Work counters for this processing pass (per-rule timing and
+    /// per-phase counts, plus query- and storage-layer work).
+    pub stats: TxnStats,
 }
 
 /// Outcome of [`RuleSystem::execute`].
@@ -158,6 +181,8 @@ struct TxnState {
     trace: Vec<FiredRule>,
     transitions_used: usize,
     last_output: Option<Relation>,
+    /// Cumulative counters at transaction begin, for outcome deltas.
+    base: TxnStats,
 }
 
 /// A relational database with a set-oriented production rules facility —
@@ -192,6 +217,12 @@ pub struct RuleSystem {
     /// Windows accumulated by [`RuleSystem::transaction_without_rules`]
     /// awaiting [`RuleSystem::process_deferred`] (§5.3).
     deferred: TransInfo,
+    /// Cumulative engine-phase counters and per-rule timing.
+    stats: EngineStats,
+    /// Cumulative query-execution work (threaded into every executor call).
+    qstats: StatsCell,
+    /// Event fan-out: the always-on ring plus attached sinks.
+    events: EventBus,
 }
 
 impl Default for RuleSystem {
@@ -208,6 +239,7 @@ impl RuleSystem {
 
     /// A fresh system with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        let events = EventBus::new(config.event_capacity);
         RuleSystem {
             db: Database::new(),
             rules: Vec::new(),
@@ -218,12 +250,67 @@ impl RuleSystem {
             last_considered: Vec::new(),
             consider_clock: 0,
             deferred: TransInfo::new(),
+            stats: EngineStats::default(),
+            qstats: StatsCell::new(),
+            events,
         }
     }
 
     /// Read-only access to the database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Cumulative engine-phase counters and per-rule timing.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Cumulative query-execution work counters.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.qstats.snapshot()
+    }
+
+    /// Cumulative storage-layer work counters.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.db.stats()
+    }
+
+    /// The full cumulative observability bundle (engine + query +
+    /// storage). Snapshot two of these and [`TxnStats::since`] them for
+    /// a windowed view.
+    pub fn full_stats(&self) -> TxnStats {
+        TxnStats { engine: self.stats.clone(), exec: self.qstats.snapshot(), storage: self.db.stats() }
+    }
+
+    /// The most recent events, oldest first (bounded by
+    /// [`EngineConfig::event_capacity`]).
+    pub fn recent_events(&self) -> Vec<EngineEvent> {
+        self.events.ring.events()
+    }
+
+    /// The most recent `(seq, event)` pairs, oldest first.
+    pub fn recent_event_entries(&self) -> Vec<(u64, EngineEvent)> {
+        self.events.ring.entries().cloned().collect()
+    }
+
+    /// Drop the retained events (the sequence counter keeps increasing).
+    pub fn clear_events(&mut self) {
+        self.events.ring.clear();
+    }
+
+    /// Total events emitted over the system's lifetime.
+    pub fn events_emitted(&self) -> u64 {
+        self.events.seq()
+    }
+
+    /// Attach an additional [`EventSink`] receiving every future event.
+    pub fn add_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.events.attach(sink);
     }
 
     /// The engine configuration.
@@ -376,7 +463,7 @@ impl RuleSystem {
         let Statement::Dml(DmlOp::Select(sel)) = stmt else {
             return Err(RuleError::Unsupported("query() accepts only select statements".into()));
         };
-        Ok(execute_query(&self.db, &NoTransitionTables, &sel)?)
+        Ok(execute_query_with_stats(&self.db, &NoTransitionTables, &sel, Some(&self.qstats))?)
     }
 
     // ------------------------------------------------------------------
@@ -497,6 +584,7 @@ impl RuleSystem {
     /// `process rules` triggering points, then [`RuleSystem::commit`]).
     pub fn begin(&mut self) -> Result<(), RuleError> {
         self.require_no_txn()?;
+        self.events.emit(EngineEvent::TxnBegin);
         self.txn = Some(TxnState {
             mark: self.db.mark(),
             rule_infos: vec![TransInfo::new(); self.rules.len()],
@@ -504,6 +592,7 @@ impl RuleSystem {
             trace: Vec::new(),
             transitions_used: 0,
             last_output: None,
+            base: self.full_stats(),
         });
         Ok(())
     }
@@ -537,7 +626,7 @@ impl RuleSystem {
         if self.txn.is_none() {
             return Err(RuleError::NoOpenTransaction);
         }
-        match execute_op(&mut self.db, &NoTransitionTables, op) {
+        match execute_op_with_stats(&mut self.db, &NoTransitionTables, op, Some(&self.qstats)) {
             Ok(eff) => {
                 let txn = self.txn.as_mut().expect("checked above");
                 let affected = eff.cardinality();
@@ -570,6 +659,8 @@ impl RuleSystem {
     fn abort_internal(&mut self) {
         if let Some(txn) = self.txn.take() {
             self.db.rollback_to(txn.mark).expect("txn mark is valid");
+            self.stats.txns_rolled_back += 1;
+            self.events.emit(EngineEvent::Rollback { by_rule: None });
         }
     }
 
@@ -580,22 +671,28 @@ impl RuleSystem {
         if self.txn.is_none() {
             return Err(RuleError::NoOpenTransaction);
         }
+        let base = self.full_stats();
         let fired_before = self.txn.as_ref().expect("checked").trace.len();
         let rolled_back_by = self.run_rule_processing()?;
         match rolled_back_by {
             Some(name) => {
                 let txn = self.txn.take().expect("still open on rollback path");
                 self.db.rollback_to(txn.mark).expect("txn mark is valid");
+                self.stats.txns_rolled_back += 1;
+                self.events.emit(EngineEvent::Rollback { by_rule: Some(name.clone()) });
                 Ok(ProcessReport {
                     fired: txn.trace[fired_before..].to_vec(),
                     rolled_back_by: Some(name),
+                    stats: self.full_stats().since(&base),
                 })
             }
             None => {
+                let stats = self.full_stats().since(&base);
                 let txn = self.txn.as_ref().expect("still open");
                 Ok(ProcessReport {
                     fired: txn.trace[fired_before..].to_vec(),
                     rolled_back_by: None,
+                    stats,
                 })
             }
         }
@@ -612,14 +709,24 @@ impl RuleSystem {
         match rolled_back_by {
             Some(by_rule) => {
                 self.db.rollback_to(txn.mark).expect("txn mark is valid");
-                Ok(TxnOutcome::RolledBack { by_rule, fired: txn.trace })
+                self.stats.txns_rolled_back += 1;
+                self.events.emit(EngineEvent::Rollback { by_rule: Some(by_rule.clone()) });
+                let stats = self.full_stats().since(&txn.base);
+                Ok(TxnOutcome::RolledBack { by_rule, fired: txn.trace, stats })
             }
             None => {
                 self.db.commit();
+                self.stats.txns_committed += 1;
+                self.events.emit(EngineEvent::TxnCommit {
+                    fired: txn.trace.len(),
+                    transitions: txn.transitions_used,
+                });
+                let stats = self.full_stats().since(&txn.base);
                 Ok(TxnOutcome::Committed {
                     fired: txn.trace,
                     transitions: txn.transitions_used,
                     output: txn.last_output,
+                    stats,
                 })
             }
         }
@@ -638,17 +745,23 @@ impl RuleSystem {
         self.require_no_txn()?;
         let ops = parse_op_block(sql)?;
         let mark = self.db.mark();
+        self.events.emit(EngineEvent::TxnBegin);
         let mut window = TransInfo::new();
         for op in &ops {
-            match execute_op(&mut self.db, &NoTransitionTables, op) {
+            match execute_op_with_stats(&mut self.db, &NoTransitionTables, op, Some(&self.qstats))
+            {
                 Ok(eff) => window.absorb(&eff, self.config.track_selects),
                 Err(e) => {
                     self.db.rollback_to(mark).expect("mark valid");
+                    self.stats.txns_rolled_back += 1;
+                    self.events.emit(EngineEvent::Rollback { by_rule: None });
                     return Err(e.into());
                 }
             }
         }
         self.db.commit();
+        self.stats.txns_committed += 1;
+        self.events.emit(EngineEvent::TxnCommit { fired: 0, transitions: 0 });
         self.deferred.compose(&window);
         Ok(())
     }
@@ -660,6 +773,7 @@ impl RuleSystem {
     pub fn process_deferred(&mut self) -> Result<TxnOutcome, RuleError> {
         self.require_no_txn()?;
         let pending = std::mem::take(&mut self.deferred);
+        self.events.emit(EngineEvent::TxnBegin);
         self.txn = Some(TxnState {
             mark: self.db.mark(),
             rule_infos: vec![TransInfo::new(); self.rules.len()],
@@ -667,6 +781,7 @@ impl RuleSystem {
             trace: Vec::new(),
             transitions_used: 0,
             last_output: None,
+            base: self.full_stats(),
         });
         self.commit()
     }
@@ -705,6 +820,10 @@ impl RuleSystem {
         // "rules are chosen … until one is found with a condition that
         // holds or until there are none left").
         let mut considered: BTreeSet<RuleId> = BTreeSet::new();
+        // Rules considered at least once in this pass, for re-trigger
+        // detection (a second consideration means later transitions
+        // re-triggered the rule, §4.2).
+        let mut ever_considered: BTreeSet<RuleId> = BTreeSet::new();
         loop {
             let candidates: Vec<RuleId> = {
                 let txn = self.txn.as_ref().expect("transaction open");
@@ -725,8 +844,22 @@ impl RuleSystem {
             self.consider_clock += 1;
             self.last_considered[rid.0] = Some(self.consider_clock);
 
+            let name = self.rules[rid.0].name.clone();
+            if !ever_considered.insert(rid) {
+                self.stats.rules_retriggered += 1;
+                self.stats.rule_mut(&name).retriggered += 1;
+                self.events.emit(EngineEvent::RuleRetriggered { rule: name.clone() });
+            }
+            self.stats.rules_considered += 1;
+            self.stats.rule_mut(&name).considered += 1;
+            self.events.emit(EngineEvent::RuleConsidered { rule: name.clone() });
+
             // Evaluate the condition against the rule's own window.
-            let cond_holds = match self.check_condition(rid) {
+            let cond_start = Instant::now();
+            let cond = self.check_condition(rid);
+            self.stats.rule_mut(&name).condition_nanos +=
+                cond_start.elapsed().as_nanos() as u64;
+            let cond_holds = match cond {
                 Ok(b) => b,
                 Err(e) => {
                     self.abort_internal();
@@ -734,6 +867,9 @@ impl RuleSystem {
                 }
             };
             if !cond_holds {
+                self.stats.conditions_false += 1;
+                self.stats.rule_mut(&name).condition_false += 1;
+                self.events.emit(EngineEvent::RuleConditionFalse { rule: name.clone() });
                 if self.config.retrigger == RetriggerSemantics::SinceLastConsidered {
                     // Footnote 8: the window restarts at consideration.
                     self.txn.as_mut().expect("open").rule_infos[rid.0] = TransInfo::new();
@@ -743,7 +879,7 @@ impl RuleSystem {
 
             match self.rules[rid.0].action.clone() {
                 CompiledAction::Rollback => {
-                    return Ok(Some(self.rules[rid.0].name.clone()));
+                    return Ok(Some(name));
                 }
                 action => {
                     {
@@ -751,10 +887,13 @@ impl RuleSystem {
                         txn.transitions_used += 1;
                         if txn.transitions_used > self.config.max_rule_transitions {
                             let limit = self.config.max_rule_transitions;
+                            self.stats.loop_aborts += 1;
+                            self.events.emit(EngineEvent::LoopSafeguardAbort { limit });
                             self.abort_internal();
                             return Err(RuleError::LoopLimitExceeded { limit });
                         }
                     }
+                    let action_start = Instant::now();
                     let tinfo = match self.execute_rule_action(rid, &action) {
                         Ok(t) => t,
                         Err(e) => {
@@ -762,8 +901,18 @@ impl RuleSystem {
                             return Err(e);
                         }
                     };
+                    self.stats.rule_mut(&name).action_nanos +=
+                        action_start.elapsed().as_nanos() as u64;
+                    self.stats.rules_executed += 1;
+                    self.stats.rule_mut(&name).executed += 1;
+                    self.events.emit(EngineEvent::RuleExecuted {
+                        rule: name.clone(),
+                        inserted: tinfo.ins.len(),
+                        deleted: tinfo.del.len(),
+                        updated: tinfo.upd.len(),
+                    });
                     let fired = FiredRule {
-                        rule: self.rules[rid.0].name.clone(),
+                        rule: name,
                         inserted: tinfo.ins.len(),
                         deleted: tinfo.del.len(),
                         updated: tinfo.upd.len(),
@@ -785,6 +934,13 @@ impl RuleSystem {
             }
             std::mem::take(&mut txn.pending)
         };
+        self.stats.external_blocks += 1;
+        self.events.emit(EngineEvent::ExternalBlockAbsorbed {
+            inserted: pending.ins.len(),
+            deleted: pending.del.len(),
+            updated: pending.upd.len(),
+            selected: pending.sel.len(),
+        });
         self.apply_transition(&pending, None);
     }
 
@@ -795,17 +951,29 @@ impl RuleSystem {
         let retrigger = self.config.retrigger;
         let txn = self.txn.as_mut().expect("transaction open");
         for rule in &self.rules {
+            // Fig. 1 emits trans-info maintenance only for rules this
+            // transition triggers by itself (plus the acting rule, whose
+            // window always restarts).
+            let triggered_by_this = !rule.dropped && rule.triggered_by(&self.db, tinfo);
             let slot = &mut txn.rule_infos[rule.id.0];
             if Some(rule.id) == acting {
                 *slot = tinfo.clone();
-            } else if retrigger == RetriggerSemantics::SinceLastTriggering
-                && rule.triggered_by(&self.db, tinfo)
-            {
+                self.events.emit(EngineEvent::TransInfoInit { rule: rule.name.clone() });
+            } else if retrigger == RetriggerSemantics::SinceLastTriggering && triggered_by_this {
                 // [WF89b]: this transition alone re-triggers the rule, so
                 // its window restarts here.
                 *slot = tinfo.clone();
+                self.events.emit(EngineEvent::TransInfoInit { rule: rule.name.clone() });
             } else {
+                let was_empty = slot.is_empty();
                 slot.compose(tinfo);
+                if triggered_by_this {
+                    self.events.emit(if was_empty {
+                        EngineEvent::TransInfoInit { rule: rule.name.clone() }
+                    } else {
+                        EngineEvent::TransInfoModify { rule: rule.name.clone() }
+                    });
+                }
             }
         }
     }
@@ -818,7 +986,9 @@ impl RuleSystem {
         let txn = self.txn.as_ref().expect("transaction open");
         let provider = RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
         let cache = setrules_query::SubqueryCache::new();
-        let ctx = setrules_query::QueryCtx::with_provider(&self.db, &provider).with_cache(&cache);
+        let ctx = setrules_query::QueryCtx::with_provider(&self.db, &provider)
+            .with_cache(&cache)
+            .with_stats(Some(&self.qstats));
         let mut bindings = setrules_query::bindings::Bindings::new();
         Ok(setrules_query::eval_predicate(ctx, &mut bindings, None, cond)?)
     }
@@ -842,7 +1012,7 @@ impl RuleSystem {
                 let provider =
                     RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
                 for op in ops {
-                    let eff = execute_op(&mut self.db, &provider, op)?;
+                    let eff = execute_op_with_stats(&mut self.db, &provider, op, Some(&self.qstats))?;
                     if let OpEffect::Select { output, .. } = &eff {
                         last_output = Some(output.clone());
                     }

@@ -43,11 +43,13 @@
 pub mod effect;
 mod engine;
 mod error;
+pub mod events;
 pub mod external;
 pub mod priority;
 pub mod rule;
 pub mod selection;
 pub mod snapshot;
+pub mod stats;
 pub mod transinfo;
 pub mod transition_tables;
 
@@ -56,10 +58,12 @@ pub use engine::{
     EngineConfig, ExecOutcome, FiredRule, ProcessReport, RetriggerSemantics, RuleSystem, TxnOutcome,
 };
 pub use error::RuleError;
+pub use events::{EngineEvent, EventSink, JsonLinesSink, RingBufferSink};
 pub use external::{ActionCtx, ExternalAction};
 pub use priority::PriorityGraph;
 pub use rule::{CompiledAction, CompiledPred, Rule, RuleId};
 pub use selection::SelectionStrategy;
 pub use snapshot::{Snapshot, TableSnapshot};
+pub use stats::{EngineStats, RuleTiming, TxnStats};
 pub use transinfo::{DelEntry, SelEntry, TransInfo, UpdEntry};
 pub use transition_tables::{RuleWindowProvider, RuleWindowRef};

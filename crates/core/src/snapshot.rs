@@ -1,6 +1,6 @@
 //! Snapshot and restore: serialize a whole [`RuleSystem`] — schemas, data,
-//! indexes, rules, priorities — to a serde-friendly structure (JSON via
-//! `serde_json`, or any other serde format).
+//! indexes, rules, priorities — to a plain structure with a JSON encoding
+//! ([`Snapshot::to_json`] / [`Snapshot::from_json`]).
 //!
 //! Restores re-execute canonical DDL and re-insert rows, so **tuple
 //! handles are not preserved** (they are never reused within one system,
@@ -12,7 +12,7 @@
 //! cannot be serialized; snapshotting a system that has any raises
 //! [`RuleError::Unsupported`].
 
-use serde::{Deserialize, Serialize};
+use setrules_json::{Json, JsonError};
 use setrules_sql::ast::{BasicTransPred, CreateRule, RuleAction};
 use setrules_storage::{DataType, Value};
 
@@ -21,7 +21,7 @@ use crate::error::RuleError;
 use crate::rule::{CompiledAction, CompiledPred};
 
 /// A serializable image of one table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableSnapshot {
     /// Table name.
     pub name: String,
@@ -34,7 +34,7 @@ pub struct TableSnapshot {
 }
 
 /// A serializable image of a whole rule system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Tables in creation order.
     pub tables: Vec<TableSnapshot>,
@@ -44,6 +44,140 @@ pub struct Snapshot {
     pub deactivated: Vec<String>,
     /// Priority pairs as (higher, lower) rule names.
     pub priorities: Vec<(String, String)>,
+}
+
+fn str_array(items: &[String]) -> Json {
+    Json::Array(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn read_str_array(json: &Json, field: &str) -> Result<Vec<String>, RuleError> {
+    json.get(field)
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad_snapshot(field))?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string).ok_or_else(|| bad_snapshot(field)))
+        .collect()
+}
+
+fn bad_snapshot(what: &str) -> RuleError {
+    RuleError::Unsupported(format!("malformed snapshot JSON: bad or missing '{what}'"))
+}
+
+impl TableSnapshot {
+    /// JSON form of one table image.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            (
+                "columns",
+                Json::Array(
+                    self.columns
+                        .iter()
+                        .map(|(n, ty)| Json::Array(vec![Json::Str(n.clone()), ty.to_json()]))
+                        .collect(),
+                ),
+            ),
+            ("indexes", str_array(&self.indexes)),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Array(r.iter().map(Value::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form written by [`TableSnapshot::to_json`].
+    pub fn from_json(json: &Json) -> Result<TableSnapshot, RuleError> {
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_snapshot("name"))?
+            .to_string();
+        let mut columns = Vec::new();
+        for col in json.get("columns").and_then(Json::as_array).ok_or_else(|| bad_snapshot("columns"))? {
+            let pair = col.as_array().ok_or_else(|| bad_snapshot("columns"))?;
+            let [n, ty] = pair else {
+                return Err(bad_snapshot("columns"));
+            };
+            columns.push((
+                n.as_str().ok_or_else(|| bad_snapshot("columns"))?.to_string(),
+                DataType::from_json(ty).ok_or_else(|| bad_snapshot("columns"))?,
+            ));
+        }
+        let indexes = read_str_array(json, "indexes")?;
+        let mut rows = Vec::new();
+        for row in json.get("rows").and_then(Json::as_array).ok_or_else(|| bad_snapshot("rows"))? {
+            let vals = row.as_array().ok_or_else(|| bad_snapshot("rows"))?;
+            rows.push(
+                vals.iter()
+                    .map(|v| Value::from_json(v).ok_or_else(|| bad_snapshot("rows")))
+                    .collect::<Result<Vec<Value>, RuleError>>()?,
+            );
+        }
+        Ok(TableSnapshot { name, columns, indexes, rows })
+    }
+}
+
+impl Snapshot {
+    /// JSON form of the whole snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tables", Json::Array(self.tables.iter().map(TableSnapshot::to_json).collect())),
+            ("rules", str_array(&self.rules)),
+            ("deactivated", str_array(&self.deactivated)),
+            (
+                "priorities",
+                Json::Array(
+                    self.priorities
+                        .iter()
+                        .map(|(h, l)| Json::Array(vec![Json::Str(h.clone()), Json::Str(l.clone())]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form written by [`Snapshot::to_json`].
+    pub fn from_json(json: &Json) -> Result<Snapshot, RuleError> {
+        let mut tables = Vec::new();
+        for t in json.get("tables").and_then(Json::as_array).ok_or_else(|| bad_snapshot("tables"))? {
+            tables.push(TableSnapshot::from_json(t)?);
+        }
+        let rules = read_str_array(json, "rules")?;
+        let deactivated = read_str_array(json, "deactivated")?;
+        let mut priorities = Vec::new();
+        for p in json
+            .get("priorities")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_snapshot("priorities"))?
+        {
+            let pair = p.as_array().ok_or_else(|| bad_snapshot("priorities"))?;
+            let [h, l] = pair else {
+                return Err(bad_snapshot("priorities"));
+            };
+            priorities.push((
+                h.as_str().ok_or_else(|| bad_snapshot("priorities"))?.to_string(),
+                l.as_str().ok_or_else(|| bad_snapshot("priorities"))?.to_string(),
+            ));
+        }
+        Ok(Snapshot { tables, rules, deactivated, priorities })
+    }
+
+    /// Serialize to a pretty-printed JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parse a JSON string produced by [`Snapshot::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Snapshot, RuleError> {
+        let json = Json::parse(text)
+            .map_err(|e: JsonError| RuleError::Unsupported(format!("snapshot parse: {e}")))?;
+        Snapshot::from_json(&json)
+    }
 }
 
 impl RuleSystem {

@@ -1,0 +1,303 @@
+//! Offline drop-in replacement for the `criterion` benchmark harness.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! reimplements exactly the API surface the workspace's benches use:
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`BatchSize`], and a [`Bencher`]
+//! with `iter` / `iter_batched`. Timing is wall-clock via
+//! [`std::time::Instant`]; each benchmark reports the median of its
+//! samples. Statistical rigor is intentionally lighter than real
+//! criterion — the goal is that `cargo bench` runs, produces comparable
+//! numbers, and exercises the same code paths.
+//!
+//! Environment knobs:
+//! * `BENCH_FAST=1` shrinks warm-up/measurement budgets (used by CI to
+//!   smoke-test benches quickly).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, passed to each `criterion_group!` target.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+        if fast {
+            Criterion {
+                warm_up_time: Duration::from_millis(20),
+                measurement_time: Duration::from_millis(80),
+                sample_size: 10,
+            }
+        } else {
+            Criterion {
+                warm_up_time: Duration::from_millis(500),
+                measurement_time: Duration::from_secs(2),
+                sample_size: 50,
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            fast: std::env::var("BENCH_FAST").map(|v| v == "1").unwrap_or(false),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    fast: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how long to warm up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if !self.fast {
+            self.warm_up_time = d;
+        }
+        self
+    }
+
+    /// Set the target total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if !self.fast {
+            self.measurement_time = d;
+        }
+        self
+    }
+
+    /// Set how many samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !self.fast {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Benchmark a routine parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine with no parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        match summarize(&mut b.samples) {
+            Some((median, n)) => eprintln!("  {label}: {} /iter ({n} samples)", fmt_ns(median)),
+            None => eprintln!("  {label}: no samples collected"),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// How `iter_batched` sizes its setup batches. Only `PerIteration` is
+/// used by this workspace; all variants behave identically here (fresh
+/// setup per iteration), which is the most conservative interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Run setup before every routine invocation.
+    PerIteration,
+    /// Nominally few large batches; treated as `PerIteration` here.
+    SmallInput,
+    /// Nominally one large batch; treated as `PerIteration` here.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; drives timed iterations.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time a routine with no per-iteration setup.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let per_iter = {
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < self.warm_up_time || n == 0 {
+                black_box(f());
+                n += 1;
+            }
+            start.elapsed().as_secs_f64() / n as f64
+        };
+        // Pick an inner-loop count so one sample is long enough to time.
+        let inner = ((1e-4 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1_000_000);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed().as_secs_f64() / inner as f64);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Time a routine whose input is rebuilt by `setup` each iteration;
+    /// only the routine is timed.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Warm up once (setup cost excluded from the estimate's use).
+        {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn summarize(samples: &mut [f64]) -> Option<(f64, usize)> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    Some((samples[samples.len() / 2], samples.len()))
+}
+
+fn fmt_ns(secs: f64) -> String {
+    let ns = secs * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_samples() {
+        std::env::set_var("BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            ran += 1;
+            b.iter(|| n + 1);
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration);
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("set", 10).0, "set/10");
+        assert_eq!(BenchmarkId::from_parameter("d3_f4").0, "d3_f4");
+    }
+}

@@ -7,13 +7,14 @@
 //! through the same path, so cascades happen one row at a time.
 
 use setrules_query::{
-    eval_predicate, execute_op, execute_query, NoTransitionTables, OpEffect, QueryCtx, QueryError,
-    Relation,
+    eval_predicate, execute_op_with_stats, execute_query_with_stats, ExecStats,
+    NoTransitionTables, OpEffect, QueryCtx, QueryError, Relation, StatsCell,
 };
 use setrules_sql::ast::{DmlOp, Expr, Statement};
 use setrules_sql::{parse_expr, parse_op_block, parse_statement, SqlError};
 use setrules_storage::{ColumnId, Database, StorageError, TableId, TableSchema, Tuple};
 
+use crate::stats::InstanceStats;
 use crate::subst::{bind_op, RowEnv, SubstError};
 
 /// Which row-level event a trigger watches.
@@ -106,6 +107,8 @@ pub struct InstanceEngine {
     triggers: Vec<std::sync::Arc<RowTrigger>>,
     max_depth: usize,
     firings: u64,
+    stats: InstanceStats,
+    qstats: StatsCell,
 }
 
 impl Default for InstanceEngine {
@@ -117,7 +120,14 @@ impl Default for InstanceEngine {
 impl InstanceEngine {
     /// A fresh engine (trigger recursion depth 64).
     pub fn new() -> Self {
-        InstanceEngine { db: Database::new(), triggers: Vec::new(), max_depth: 64, firings: 0 }
+        InstanceEngine {
+            db: Database::new(),
+            triggers: Vec::new(),
+            max_depth: 64,
+            firings: 0,
+            stats: InstanceStats::default(),
+            qstats: StatsCell::new(),
+        }
     }
 
     /// Read-only access to the database.
@@ -128,6 +138,22 @@ impl InstanceEngine {
     /// Total trigger firings so far (each is one per-row activation).
     pub fn firings(&self) -> u64 {
         self.firings
+    }
+
+    /// Cumulative per-row engine counters (the mirror of the set engine's
+    /// `EngineStats`, for side-by-side comparison).
+    pub fn stats(&self) -> InstanceStats {
+        self.stats
+    }
+
+    /// Cumulative query-execution work counters.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.qstats.snapshot()
+    }
+
+    /// Cumulative storage-layer work counters.
+    pub fn storage_stats(&self) -> setrules_storage::StorageStats {
+        self.db.stats()
     }
 
     /// Create a table from a `create table` statement.
@@ -181,9 +207,12 @@ impl InstanceEngine {
     /// Run a read-only query.
     pub fn query(&self, sql: &str) -> Result<Relation, InstanceError> {
         match parse_statement(sql)? {
-            Statement::Dml(DmlOp::Select(sel)) => {
-                Ok(execute_query(&self.db, &NoTransitionTables, &sel)?)
-            }
+            Statement::Dml(DmlOp::Select(sel)) => Ok(execute_query_with_stats(
+                &self.db,
+                &NoTransitionTables,
+                &sel,
+                Some(&self.qstats),
+            )?),
             _ => Err(InstanceError::Unsupported("query() accepts only select".into())),
         }
     }
@@ -206,7 +235,8 @@ impl InstanceEngine {
         }
         // Plan set-oriented-ly (one statement = one logical change set),
         // then apply + fire per row.
-        let eff = execute_op(&mut self.db, &NoTransitionTables, op)?;
+        self.stats.statements_executed += 1;
+        let eff = execute_op_with_stats(&mut self.db, &NoTransitionTables, op, Some(&self.qstats))?;
         match eff {
             OpEffect::Insert { table, handles } => {
                 let n = handles.len();
@@ -252,17 +282,20 @@ impl InstanceEngine {
             .cloned()
             .collect();
         for trig in matching {
+            self.stats.triggers_considered += 1;
             let schema = self.db.schema(table).clone();
             let env = RowEnv { schema: &schema, old: old.as_ref(), new: new.as_ref() };
             if let Some(cond) = &trig.condition {
                 let bound = crate::subst::bind_expr(cond, env)?;
-                let ctx = QueryCtx::plain(&self.db);
+                let ctx = QueryCtx::plain(&self.db).with_stats(Some(&self.qstats));
                 let mut b = setrules_query::bindings::Bindings::new();
                 if !eval_predicate(ctx, &mut b, None, &bound)? {
+                    self.stats.conditions_false += 1;
                     continue;
                 }
             }
             self.firings += 1;
+            self.stats.triggers_fired += 1;
             for action_op in &trig.action {
                 let bound = bind_op(action_op, env)?;
                 self.execute_dml(&bound, depth + 1)?;

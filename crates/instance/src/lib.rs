@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod stats;
 pub mod subst;
 
 pub use engine::{InstanceEngine, InstanceError, RowTrigger, TriggerEvent};
+pub use stats::InstanceStats;
 pub use subst::{bind_expr, bind_op, RowEnv, SubstError};
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Mirror counters for set-vs-instance comparisons.
+//!
+//! [`InstanceStats`] counts the per-row engine's work in the same
+//! vocabulary as `setrules-core`'s `EngineStats` (considerations,
+//! condition-false outcomes, firings), so benchmark B1 and the
+//! differential tests can put the two engines side by side. The physical
+//! half of the comparison comes from the shared storage layer
+//! (`Database::stats().tuples_touched()`), which both engines report
+//! identically by construction.
+
+use setrules_json::Json;
+
+/// Cumulative counters of per-row trigger work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// DML statements executed, including trigger-action recursion (each
+    /// per-row action statement counts once).
+    pub statements_executed: u64,
+    /// Per-row trigger activations examined (a matching trigger on an
+    /// affected row, before its condition ran).
+    pub triggers_considered: u64,
+    /// Activations whose condition evaluated to not-true.
+    pub conditions_false: u64,
+    /// Activations whose action ran (one per affected row — the
+    /// instance-oriented analogue of a rule execution).
+    pub triggers_fired: u64,
+}
+
+impl InstanceStats {
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &InstanceStats) -> InstanceStats {
+        InstanceStats {
+            statements_executed: self.statements_executed + other.statements_executed,
+            triggers_considered: self.triggers_considered + other.triggers_considered,
+            conditions_false: self.conditions_false + other.conditions_false,
+            triggers_fired: self.triggers_fired + other.triggers_fired,
+        }
+    }
+
+    /// Counter-wise difference from an earlier snapshot.
+    pub fn since(&self, earlier: &InstanceStats) -> InstanceStats {
+        InstanceStats {
+            statements_executed: self.statements_executed - earlier.statements_executed,
+            triggers_considered: self.triggers_considered - earlier.triggers_considered,
+            conditions_false: self.conditions_false - earlier.conditions_false,
+            triggers_fired: self.triggers_fired - earlier.triggers_fired,
+        }
+    }
+
+    /// JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("statements_executed", Json::Int(self.statements_executed as i64)),
+            ("triggers_considered", Json::Int(self.triggers_considered as i64)),
+            ("conditions_false", Json::Int(self.conditions_false as i64)),
+            ("triggers_fired", Json::Int(self.triggers_fired as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_and_since_are_inverse() {
+        let a = InstanceStats { statements_executed: 2, triggers_fired: 1, ..Default::default() };
+        let b = InstanceStats {
+            statements_executed: 9,
+            triggers_considered: 4,
+            conditions_false: 1,
+            triggers_fired: 3,
+        };
+        assert_eq!(a.plus(&b.since(&a)), b);
+    }
+
+    #[test]
+    fn json_has_all_counters() {
+        let j = InstanceStats { triggers_fired: 2, ..Default::default() }.to_json();
+        assert_eq!(j.get("triggers_fired").unwrap().as_i64(), Some(2));
+        assert_eq!(j.as_object().unwrap().len(), 4);
+    }
+}

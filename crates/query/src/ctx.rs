@@ -8,6 +8,7 @@ use setrules_storage::Database;
 
 use crate::provider::TransitionTableProvider;
 use crate::relation::Relation;
+use crate::stats::StatsCell;
 
 /// Per-statement memo for uncorrelated subqueries, keyed by AST node
 /// address. `None` records that the subquery was found to be correlated
@@ -52,21 +53,29 @@ pub struct QueryCtx<'a> {
     /// Uncorrelated-subquery memo for the statement being evaluated;
     /// `None` disables hoisting (every subquery re-evaluates).
     pub cache: Option<&'a SubqueryCache>,
+    /// Execution-work accumulator; `None` (the default) disables
+    /// instrumentation.
+    pub stats: Option<&'a StatsCell>,
 }
 
 impl<'a> QueryCtx<'a> {
     /// Context for plain user queries: no transition tables, no cache.
     pub fn plain(db: &'a Database) -> Self {
-        QueryCtx { db, virt: &crate::provider::NoTransitionTables, cache: None }
+        QueryCtx { db, virt: &crate::provider::NoTransitionTables, cache: None, stats: None }
     }
 
     /// Context with an explicit transition-table provider (no cache).
     pub fn with_provider(db: &'a Database, virt: &'a dyn TransitionTableProvider) -> Self {
-        QueryCtx { db, virt, cache: None }
+        QueryCtx { db, virt, cache: None, stats: None }
     }
 
     /// Attach a per-statement subquery cache.
     pub fn with_cache(self, cache: &'a SubqueryCache) -> Self {
         QueryCtx { cache: Some(cache), ..self }
+    }
+
+    /// Attach an execution-stats accumulator (pass `None` to detach).
+    pub fn with_stats(self, stats: Option<&'a StatsCell>) -> Self {
+        QueryCtx { stats, ..self }
     }
 }

@@ -24,9 +24,11 @@ use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
 use crate::planner::{choose_access, scan_handles};
 use crate::provider::TransitionTableProvider;
+use crate::planner::Access;
 use crate::refs::referenced_columns;
 use crate::relation::Relation;
 use crate::select::run_select_traced;
+use crate::stats::{self, StatsCell};
 
 /// The affected set of one executed operation, with captured old values.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,11 +85,22 @@ pub fn execute_op(
     virt: &dyn TransitionTableProvider,
     op: &DmlOp,
 ) -> Result<OpEffect, QueryError> {
+    execute_op_with_stats(db, virt, op, None)
+}
+
+/// [`execute_op`] with an optional [`StatsCell`] accumulating the
+/// execution work performed.
+pub fn execute_op_with_stats(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    op: &DmlOp,
+    st: Option<&StatsCell>,
+) -> Result<OpEffect, QueryError> {
     match op {
-        DmlOp::Insert(s) => execute_insert(db, virt, s),
-        DmlOp::Delete(s) => execute_delete(db, virt, s),
-        DmlOp::Update(s) => execute_update(db, virt, s),
-        DmlOp::Select(s) => execute_select_op(db, virt, s),
+        DmlOp::Insert(s) => execute_insert(db, virt, s, st),
+        DmlOp::Delete(s) => execute_delete(db, virt, s, st),
+        DmlOp::Update(s) => execute_update(db, virt, s, st),
+        DmlOp::Select(s) => execute_select_op(db, virt, s, st),
     }
 }
 
@@ -97,8 +110,19 @@ pub fn execute_query(
     virt: &dyn TransitionTableProvider,
     stmt: &SelectStmt,
 ) -> Result<Relation, QueryError> {
+    execute_query_with_stats(db, virt, stmt, None)
+}
+
+/// [`execute_query`] with an optional [`StatsCell`] accumulating the
+/// execution work performed.
+pub fn execute_query_with_stats(
+    db: &Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &SelectStmt,
+    st: Option<&StatsCell>,
+) -> Result<Relation, QueryError> {
     let cache = crate::SubqueryCache::new();
-    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
     crate::select::run_select(ctx, stmt, &mut Bindings::new())
 }
 
@@ -106,6 +130,7 @@ fn execute_insert(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &InsertStmt,
+    st: Option<&StatsCell>,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
     let arity = db.schema(table).arity();
@@ -113,7 +138,7 @@ fn execute_insert(
     // Phase 1: compute the rows to insert.
     let cache = crate::SubqueryCache::new();
     let rows: Vec<Tuple> = {
-        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
         match &stmt.source {
             InsertSource::Values(rows) => {
                 let mut out = Vec::with_capacity(rows.len());
@@ -163,16 +188,23 @@ fn identify(
     table: TableId,
     table_name: &str,
     predicate: Option<&setrules_sql::ast::Expr>,
+    st: Option<&StatsCell>,
 ) -> Result<Vec<TupleHandle>, QueryError> {
     let cache = crate::SubqueryCache::new();
-    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
     let schema = db.schema(table);
     let columns =
         std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
     let access = choose_access(ctx, table, table_name, true, predicate);
+    stats::bump(st, |s| match access {
+        Access::FullScan => s.full_scans += 1,
+        Access::IndexEq { .. } => s.index_lookups += 1,
+        Access::Empty => s.empty_scans += 1,
+    });
     let mut bindings = Bindings::new();
     let mut out = Vec::new();
     for h in scan_handles(db, table, &access) {
+        stats::bump(st, |s| s.rows_scanned += 1);
         let tuple = db.get(table, h).expect("scanned handle is live");
         let keep = match predicate {
             None => true,
@@ -189,6 +221,7 @@ fn identify(
             }
         };
         if keep {
+            stats::bump(st, |s| s.rows_matched += 1);
             out.push(h);
         }
     }
@@ -199,9 +232,10 @@ fn execute_delete(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &DeleteStmt,
+    st: Option<&StatsCell>,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
-    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref())?;
+    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st)?;
     let mut tuples = Vec::with_capacity(handles.len());
     for h in handles {
         let old = db.delete(table, h)?;
@@ -214,6 +248,7 @@ fn execute_update(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &UpdateStmt,
+    st: Option<&StatsCell>,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
 
@@ -229,11 +264,11 @@ fn execute_update(
 
     // Phase 1: identify tuples and compute per-tuple assignments against
     // the pre-update state.
-    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref())?;
+    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st)?;
     let mut planned: Vec<(TupleHandle, Vec<(ColumnId, Value)>)> = Vec::with_capacity(handles.len());
     let cache = crate::SubqueryCache::new();
     {
-        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
         let schema = db.schema(table);
         let columns =
             std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
@@ -282,9 +317,10 @@ fn execute_select_op(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &SelectStmt,
+    st: Option<&StatsCell>,
 ) -> Result<OpEffect, QueryError> {
     let cache = crate::SubqueryCache::new();
-    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache);
+    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
     let mut trace: Vec<(TableId, TupleHandle)> = Vec::new();
     let output = run_select_traced(ctx, stmt, &mut Bindings::new(), Some(&mut trace))?;
 

@@ -136,9 +136,16 @@ fn eval_subquery(
     };
     let key = sub as *const SelectStmt as usize;
     match cache.get(key) {
-        Some(Some(rel)) => return Ok(rel),
-        Some(None) => return run_select(ctx, sub, bindings), // known correlated
-        None => {}
+        Some(Some(rel)) => {
+            crate::stats::bump(ctx.stats, |s| s.subquery_cache_hits += 1);
+            return Ok(rel);
+        }
+        Some(None) => {
+            // Known correlated: the memo still saves the probe evaluation.
+            crate::stats::bump(ctx.stats, |s| s.subquery_cache_hits += 1);
+            return run_select(ctx, sub, bindings);
+        }
+        None => crate::stats::bump(ctx.stats, |s| s.subquery_cache_misses += 1),
     }
     match run_select(ctx, sub, &mut Bindings::new()) {
         Ok(rel) => {

@@ -31,12 +31,16 @@ mod provider;
 pub mod refs;
 mod relation;
 mod select;
+mod stats;
 
 pub use ctx::{QueryCtx, SubqueryCache};
-pub use dml::{execute_op, execute_query, OpEffect};
+pub use dml::{
+    execute_op, execute_op_with_stats, execute_query, execute_query_with_stats, OpEffect,
+};
 pub use error::QueryError;
 pub use eval::{eval_expr, eval_predicate, truth};
 pub use explain::explain_select;
 pub use provider::{describe, NoTransitionTables, TransitionTableProvider};
 pub use relation::Relation;
 pub use select::{has_aggregate, run_select, run_select_traced};
+pub use stats::{ExecStats, StatsCell};

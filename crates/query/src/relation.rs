@@ -2,12 +2,12 @@
 
 use std::fmt;
 
-use serde::Serialize;
+use setrules_json::Json;
 use setrules_storage::Value;
 
 /// A materialized result: named columns and a multiset of rows (order is
 /// the deterministic evaluation order, or the `order by` order if given).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     /// Output column names.
     pub columns: Vec<String>,
@@ -42,6 +42,26 @@ impl Relation {
     /// The values of the first column, in row order.
     pub fn column0(&self) -> impl Iterator<Item = &Value> {
         self.rows.iter().map(|r| &r[0])
+    }
+
+    /// JSON form: `{"columns": [...], "rows": [[...], ...]}` with values
+    /// in their untagged encoding (see [`Value::to_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "columns",
+                Json::Array(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Array(r.iter().map(Value::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -16,8 +16,9 @@ use crate::bindings::{Bindings, Frame, Level};
 use crate::ctx::QueryCtx;
 use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
-use crate::planner::{choose_access, scan_handles};
+use crate::planner::{choose_access, scan_handles, Access};
 use crate::relation::Relation;
+use crate::stats;
 
 /// Run a `select` in the given outer scope (empty for top-level queries,
 /// populated for correlated subqueries). Returns the materialized result.
@@ -124,13 +125,19 @@ pub fn run_select_traced(
                     Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
                 let types = schema.columns.iter().map(|c| c.ty).collect();
                 let access = choose_access(ctx, tid, &binding, sole, stmt.predicate.as_ref());
-                let rows = scan_handles(ctx.db, tid, &access)
+                stats::bump(ctx.stats, |s| match access {
+                    Access::FullScan => s.full_scans += 1,
+                    Access::IndexEq { .. } => s.index_lookups += 1,
+                    Access::Empty => s.empty_scans += 1,
+                });
+                let rows: Vec<ScanRow> = scan_handles(ctx.db, tid, &access)
                     .into_iter()
                     .map(|h| {
                         let t = ctx.db.get(tid, h).expect("scanned handle is live");
                         (Some((tid, h)), t.0.clone())
                     })
                     .collect();
+                stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
                 items.push(FromItem { binding, columns, types, rows });
             }
             TableSource::Transition { kind, table, column } => {
@@ -139,12 +146,13 @@ pub fn run_select_traced(
                 let columns =
                     Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
                 let types = schema.columns.iter().map(|c| c.ty).collect();
-                let rows = ctx
+                let rows: Vec<ScanRow> = ctx
                     .virt
                     .rows(ctx.db, *kind, table, column.as_deref())?
                     .into_iter()
                     .map(|vals| (None, vals))
                     .collect();
+                stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
                 items.push(FromItem { binding, columns, types, rows });
             }
         }
@@ -179,6 +187,7 @@ pub fn run_select_traced(
                 };
                 let level = bindings.pop_level().expect("pushed above");
                 if keep? {
+                    stats::bump(ctx.stats, |s| s.rows_matched += 1);
                     if want_trace {
                         origins.push(
                             items
@@ -195,6 +204,7 @@ pub fn run_select_traced(
 
         let all_nonempty = items.iter().all(|it| !it.rows.is_empty());
         if let Some((c0, c1)) = find_equi_join(stmt, &items) {
+            stats::bump(ctx.stats, |s| s.hash_joins += 1);
             // Hash join: build on the right item, probe with the left.
             // NULL keys never join (SQL equality with NULL is unknown);
             // the type-equality requirement in find_equi_join makes the
@@ -218,6 +228,9 @@ pub fn run_select_traced(
                 }
             }
         } else if all_nonempty {
+            if items.len() > 1 {
+                stats::bump(ctx.stats, |s| s.nested_loop_joins += 1);
+            }
             let mut cursor = vec![0usize; items.len()];
             'outer: loop {
                 consider(&cursor, bindings)?;

@@ -1,0 +1,166 @@
+//! Query-execution work counters.
+//!
+//! [`ExecStats`] counts the *logical* work the executor performs — rows
+//! scanned and matched, access paths chosen, join strategies, subquery
+//! memo effectiveness — as opposed to the storage layer's physical
+//! counters. An optional [`StatsCell`] rides on [`crate::QueryCtx`]; when
+//! absent (the default), instrumentation is a no-op branch.
+//!
+//! `StatsCell` uses interior mutability (`Cell`) because `QueryCtx` is a
+//! `Copy` bundle of shared references threaded through recursive
+//! evaluation; counters must accumulate across all copies.
+
+use std::cell::Cell;
+
+use setrules_json::Json;
+
+/// Counters of logical query-execution work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows materialized from `from` items (stored tables and transition
+    /// tables alike) before predicate filtering.
+    pub rows_scanned: u64,
+    /// Row combinations that satisfied the `where` predicate (or rows
+    /// kept by DML identification).
+    pub rows_matched: u64,
+    /// Scans answered by a hash-index probe.
+    pub index_lookups: u64,
+    /// Scans that had to walk every live tuple.
+    pub full_scans: u64,
+    /// Scans proven empty by the planner (impossible predicates).
+    pub empty_scans: u64,
+    /// Uncorrelated-subquery memo hits (including the cheap "known
+    /// correlated" verdict).
+    pub subquery_cache_hits: u64,
+    /// Subquery evaluations that had to run (first sight of the node).
+    pub subquery_cache_misses: u64,
+    /// Two-item equi-joins executed via the hash-join fast path.
+    pub hash_joins: u64,
+    /// Multi-item joins executed via the nested-loop odometer.
+    pub nested_loop_joins: u64,
+}
+
+impl ExecStats {
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &ExecStats) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.rows_scanned + other.rows_scanned,
+            rows_matched: self.rows_matched + other.rows_matched,
+            index_lookups: self.index_lookups + other.index_lookups,
+            full_scans: self.full_scans + other.full_scans,
+            empty_scans: self.empty_scans + other.empty_scans,
+            subquery_cache_hits: self.subquery_cache_hits + other.subquery_cache_hits,
+            subquery_cache_misses: self.subquery_cache_misses + other.subquery_cache_misses,
+            hash_joins: self.hash_joins + other.hash_joins,
+            nested_loop_joins: self.nested_loop_joins + other.nested_loop_joins,
+        }
+    }
+
+    /// Counter-wise difference from an earlier snapshot.
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            rows_matched: self.rows_matched - earlier.rows_matched,
+            index_lookups: self.index_lookups - earlier.index_lookups,
+            full_scans: self.full_scans - earlier.full_scans,
+            empty_scans: self.empty_scans - earlier.empty_scans,
+            subquery_cache_hits: self.subquery_cache_hits - earlier.subquery_cache_hits,
+            subquery_cache_misses: self.subquery_cache_misses - earlier.subquery_cache_misses,
+            hash_joins: self.hash_joins - earlier.hash_joins,
+            nested_loop_joins: self.nested_loop_joins - earlier.nested_loop_joins,
+        }
+    }
+
+    /// JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows_scanned", Json::Int(self.rows_scanned as i64)),
+            ("rows_matched", Json::Int(self.rows_matched as i64)),
+            ("index_lookups", Json::Int(self.index_lookups as i64)),
+            ("full_scans", Json::Int(self.full_scans as i64)),
+            ("empty_scans", Json::Int(self.empty_scans as i64)),
+            ("subquery_cache_hits", Json::Int(self.subquery_cache_hits as i64)),
+            ("subquery_cache_misses", Json::Int(self.subquery_cache_misses as i64)),
+            ("hash_joins", Json::Int(self.hash_joins as i64)),
+            ("nested_loop_joins", Json::Int(self.nested_loop_joins as i64)),
+        ])
+    }
+}
+
+/// A shared, interior-mutable accumulator for [`ExecStats`].
+///
+/// Attach one to a [`crate::QueryCtx`] with
+/// [`QueryCtx::with_stats`](crate::QueryCtx::with_stats); every executor
+/// path consulting that context adds its work here.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    inner: Cell<ExecStats>,
+}
+
+impl StatsCell {
+    /// A fresh, zeroed accumulator.
+    pub fn new() -> Self {
+        StatsCell::default()
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> ExecStats {
+        self.inner.get()
+    }
+
+    /// Current counter values, resetting the accumulator to zero.
+    pub fn take(&self) -> ExecStats {
+        self.inner.replace(ExecStats::default())
+    }
+
+    /// Apply a mutation to the counters (used by executor instrumentation).
+    pub fn bump(&self, f: impl FnOnce(&mut ExecStats)) {
+        let mut s = self.inner.get();
+        f(&mut s);
+        self.inner.set(s);
+    }
+}
+
+/// Bump the optional stats cell carried by a context: a no-op when no
+/// accumulator is attached.
+pub(crate) fn bump(stats: Option<&StatsCell>, f: impl FnOnce(&mut ExecStats)) {
+    if let Some(cell) = stats {
+        cell.bump(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_and_since_are_inverse() {
+        let a = ExecStats { rows_scanned: 10, rows_matched: 4, hash_joins: 1, ..Default::default() };
+        let b = ExecStats {
+            rows_scanned: 25,
+            rows_matched: 9,
+            hash_joins: 2,
+            full_scans: 3,
+            ..Default::default()
+        };
+        assert_eq!(a.plus(&b.since(&a)), b);
+    }
+
+    #[test]
+    fn cell_accumulates_and_takes() {
+        let cell = StatsCell::new();
+        cell.bump(|s| s.rows_scanned += 5);
+        cell.bump(|s| s.rows_scanned += 2);
+        assert_eq!(cell.snapshot().rows_scanned, 7);
+        assert_eq!(cell.take().rows_scanned, 7);
+        assert_eq!(cell.snapshot(), ExecStats::default());
+    }
+
+    #[test]
+    fn json_has_all_counters() {
+        let j = ExecStats { nested_loop_joins: 3, ..Default::default() }.to_json();
+        assert_eq!(j.get("nested_loop_joins").unwrap().as_i64(), Some(3));
+        assert_eq!(j.get("rows_scanned").unwrap().as_i64(), Some(0));
+        assert_eq!(j.as_object().unwrap().len(), 9);
+    }
+}

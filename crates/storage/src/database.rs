@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use crate::error::StorageError;
 use crate::index::{HashIndex, TableIndexes};
 use crate::schema::TableSchema;
+use crate::stats::StorageStats;
 use crate::table::Table;
 use crate::tuple::{ColumnId, TableId, Tuple, TupleHandle};
 use crate::undo::{UndoLog, UndoMark, UndoRecord};
@@ -31,6 +32,7 @@ pub struct Database {
     /// belonged to.
     handle_tables: Vec<TableId>,
     undo: UndoLog,
+    stats: StorageStats,
 }
 
 impl Database {
@@ -132,6 +134,7 @@ impl Database {
         let mut idx = HashIndex::new();
         for (h, tuple) in table.scan() {
             idx.insert(tuple.get(c).clone(), h);
+            self.stats.index_maintenance_ops += 1;
         }
         self.indexes[t.0 as usize].add(c, idx);
         Ok(())
@@ -166,9 +169,11 @@ impl Database {
         let tuple = slot.schema.check_tuple(tuple)?;
         let h = TupleHandle(self.handle_tables.len() as u64 + 1);
         self.handle_tables.push(t);
-        self.indexes[t.0 as usize].on_insert(h, &tuple.0);
+        self.stats.index_maintenance_ops += self.indexes[t.0 as usize].on_insert(h, &tuple.0);
         self.tables[t.0 as usize].as_mut().expect("checked").insert(h, tuple);
         self.undo.push(UndoRecord::Insert { table: t, handle: h });
+        self.stats.tuples_inserted += 1;
+        self.stats.undo_records_written += 1;
         Ok(h)
     }
 
@@ -178,8 +183,10 @@ impl Database {
         let slot = self.tables[t.0 as usize].as_mut().expect("table was dropped");
         let name = slot.schema.name.clone();
         let old = slot.remove(h).ok_or(StorageError::NoSuchTuple { table: name })?;
-        self.indexes[t.0 as usize].on_delete(h, &old.0);
+        self.stats.index_maintenance_ops += self.indexes[t.0 as usize].on_delete(h, &old.0);
         self.undo.push(UndoRecord::Delete { table: t, handle: h, old: old.clone() });
+        self.stats.tuples_deleted += 1;
+        self.stats.undo_records_written += 1;
         Ok(old)
     }
 
@@ -209,8 +216,10 @@ impl Database {
             slot.set(c, v);
         }
         let new_fields = slot.0.clone();
-        self.indexes[t.0 as usize].on_update(h, &old.0, &new_fields);
+        self.stats.index_maintenance_ops += self.indexes[t.0 as usize].on_update(h, &old.0, &new_fields);
         self.undo.push(UndoRecord::Update { table: t, handle: h, old: old.clone() });
+        self.stats.tuples_updated += 1;
+        self.stats.undo_records_written += 1;
         Ok(old)
     }
 
@@ -237,15 +246,18 @@ impl Database {
         }
         let records: Vec<UndoRecord> = self.undo.drain_from(mark).collect();
         for rec in records {
+            self.stats.undo_records_applied += 1;
             match rec {
                 UndoRecord::Insert { table, handle } => {
                     let slot = self.tables[table.0 as usize].as_mut().expect("undo targets live table");
                     if let Some(old) = slot.remove(handle) {
-                        self.indexes[table.0 as usize].on_delete(handle, &old.0);
+                        self.stats.index_maintenance_ops +=
+                            self.indexes[table.0 as usize].on_delete(handle, &old.0);
                     }
                 }
                 UndoRecord::Delete { table, handle, old } => {
-                    self.indexes[table.0 as usize].on_insert(handle, &old.0);
+                    self.stats.index_maintenance_ops +=
+                        self.indexes[table.0 as usize].on_insert(handle, &old.0);
                     self.tables[table.0 as usize]
                         .as_mut()
                         .expect("undo targets live table")
@@ -254,7 +266,8 @@ impl Database {
                 UndoRecord::Update { table, handle, old } => {
                     let slot = self.tables[table.0 as usize].as_mut().expect("undo targets live table");
                     if let Some(new) = slot.replace(handle, old.clone()) {
-                        self.indexes[table.0 as usize].on_update(handle, &new.0, &old.0);
+                        self.stats.index_maintenance_ops +=
+                            self.indexes[table.0 as usize].on_update(handle, &new.0, &old.0);
                     }
                 }
             }
@@ -270,6 +283,17 @@ impl Database {
     /// Number of undo records pending (0 right after commit).
     pub fn undo_len(&self) -> usize {
         self.undo.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Cumulative physical-work counters for this database's lifetime.
+    /// Snapshot before a unit of work and use [`StorageStats::since`] for
+    /// a delta.
+    pub fn stats(&self) -> StorageStats {
+        self.stats
     }
 }
 

@@ -107,29 +107,42 @@ impl TableIndexes {
         self.by_column.keys().copied()
     }
 
-    /// Maintain all indexes for a newly inserted tuple.
-    pub fn on_insert(&mut self, h: TupleHandle, fields: &[Value]) {
+    /// Maintain all indexes for a newly inserted tuple. Returns the number
+    /// of index entry operations performed.
+    pub fn on_insert(&mut self, h: TupleHandle, fields: &[Value]) -> u64 {
+        let mut ops = 0;
         for (c, idx) in self.by_column.iter_mut() {
             idx.insert(fields[c.index()].clone(), h);
+            ops += 1;
         }
+        ops
     }
 
-    /// Maintain all indexes for a deleted tuple.
-    pub fn on_delete(&mut self, h: TupleHandle, fields: &[Value]) {
+    /// Maintain all indexes for a deleted tuple. Returns the number of
+    /// index entry operations performed.
+    pub fn on_delete(&mut self, h: TupleHandle, fields: &[Value]) -> u64 {
+        let mut ops = 0;
         for (c, idx) in self.by_column.iter_mut() {
             idx.remove(&fields[c.index()], h);
+            ops += 1;
         }
+        ops
     }
 
-    /// Maintain all indexes for an updated tuple.
-    pub fn on_update(&mut self, h: TupleHandle, old: &[Value], new: &[Value]) {
+    /// Maintain all indexes for an updated tuple. Returns the number of
+    /// index entry operations performed (a changed indexed value costs a
+    /// removal plus an insertion; unchanged values cost nothing).
+    pub fn on_update(&mut self, h: TupleHandle, old: &[Value], new: &[Value]) -> u64 {
+        let mut ops = 0;
         for (c, idx) in self.by_column.iter_mut() {
             let (o, n) = (&old[c.index()], &new[c.index()]);
             if o != n {
                 idx.remove(o, h);
                 idx.insert(n.clone(), h);
+                ops += 2;
             }
         }
+        ops
     }
 }
 

@@ -24,6 +24,7 @@ mod database;
 mod error;
 mod index;
 mod schema;
+mod stats;
 mod table;
 pub mod tuple;
 mod undo;
@@ -33,6 +34,7 @@ pub use database::Database;
 pub use error::StorageError;
 pub use index::{HashIndex, TableIndexes};
 pub use schema::{paper_example_schemas, ColumnDef, TableSchema};
+pub use stats::StorageStats;
 pub use table::Table;
 pub use tuple::{ColumnId, TableId, Tuple, TupleHandle};
 pub use undo::{UndoLog, UndoMark, UndoRecord};

@@ -1,0 +1,119 @@
+//! Storage-level work counters.
+//!
+//! [`StorageStats`] counts the physical work the database performs:
+//! tuples touched by DML, undo-log volume, and index maintenance. The
+//! counters are cumulative over the lifetime of a [`crate::Database`];
+//! callers that want per-transaction or per-phase numbers snapshot the
+//! struct (it is `Copy`) and subtract with [`StorageStats::since`].
+//!
+//! These are the storage half of the engine-wide observability layer —
+//! the query layer's `ExecStats` counts logical work (rows scanned and
+//! matched), while this struct counts mutations that actually landed.
+
+use setrules_json::Json;
+
+/// Cumulative counters of physical storage work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Tuples inserted via [`crate::Database::insert`].
+    pub tuples_inserted: u64,
+    /// Tuples deleted via [`crate::Database::delete`].
+    pub tuples_deleted: u64,
+    /// Tuples updated via [`crate::Database::update`].
+    pub tuples_updated: u64,
+    /// Undo records appended to the log (one per successful mutation).
+    pub undo_records_written: u64,
+    /// Undo records reverse-applied by rollbacks.
+    pub undo_records_applied: u64,
+    /// Individual index entry insertions/removals (forward DML, rollback
+    /// replay, and bulk index builds all count).
+    pub index_maintenance_ops: u64,
+}
+
+impl StorageStats {
+    /// Total tuples touched by forward DML (inserted + deleted + updated).
+    ///
+    /// Rollback replay is *not* included: it undoes work rather than
+    /// doing new work, so engines that roll back report the work they
+    /// attempted, which is what set-vs-instance comparisons need.
+    pub fn tuples_touched(&self) -> u64 {
+        self.tuples_inserted + self.tuples_deleted + self.tuples_updated
+    }
+
+    /// Counter-wise difference from an earlier snapshot of the same
+    /// database (all counters are monotone, so this never underflows for
+    /// a genuine earlier snapshot).
+    pub fn since(&self, earlier: &StorageStats) -> StorageStats {
+        StorageStats {
+            tuples_inserted: self.tuples_inserted - earlier.tuples_inserted,
+            tuples_deleted: self.tuples_deleted - earlier.tuples_deleted,
+            tuples_updated: self.tuples_updated - earlier.tuples_updated,
+            undo_records_written: self.undo_records_written - earlier.undo_records_written,
+            undo_records_applied: self.undo_records_applied - earlier.undo_records_applied,
+            index_maintenance_ops: self.index_maintenance_ops - earlier.index_maintenance_ops,
+        }
+    }
+
+    /// Counter-wise sum (for aggregating deltas across phases).
+    pub fn plus(&self, other: &StorageStats) -> StorageStats {
+        StorageStats {
+            tuples_inserted: self.tuples_inserted + other.tuples_inserted,
+            tuples_deleted: self.tuples_deleted + other.tuples_deleted,
+            tuples_updated: self.tuples_updated + other.tuples_updated,
+            undo_records_written: self.undo_records_written + other.undo_records_written,
+            undo_records_applied: self.undo_records_applied + other.undo_records_applied,
+            index_maintenance_ops: self.index_maintenance_ops + other.index_maintenance_ops,
+        }
+    }
+
+    /// JSON object with one field per counter plus the derived
+    /// `tuples_touched` total.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tuples_inserted", Json::Int(self.tuples_inserted as i64)),
+            ("tuples_deleted", Json::Int(self.tuples_deleted as i64)),
+            ("tuples_updated", Json::Int(self.tuples_updated as i64)),
+            ("tuples_touched", Json::Int(self.tuples_touched() as i64)),
+            ("undo_records_written", Json::Int(self.undo_records_written as i64)),
+            ("undo_records_applied", Json::Int(self.undo_records_applied as i64)),
+            ("index_maintenance_ops", Json::Int(self.index_maintenance_ops as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_and_plus_are_inverse() {
+        let a = StorageStats {
+            tuples_inserted: 5,
+            tuples_deleted: 2,
+            tuples_updated: 3,
+            undo_records_written: 10,
+            undo_records_applied: 1,
+            index_maintenance_ops: 7,
+        };
+        let b = StorageStats {
+            tuples_inserted: 8,
+            tuples_deleted: 2,
+            tuples_updated: 4,
+            undo_records_written: 14,
+            undo_records_applied: 3,
+            index_maintenance_ops: 9,
+        };
+        let d = b.since(&a);
+        assert_eq!(a.plus(&d), b);
+        assert_eq!(d.tuples_touched(), 4, "3 inserted + 0 deleted + 1 updated");
+    }
+
+    #[test]
+    fn json_includes_every_counter() {
+        let s = StorageStats { tuples_inserted: 1, ..StorageStats::default() };
+        let j = s.to_json();
+        assert_eq!(j.get("tuples_inserted").unwrap().as_i64(), Some(1));
+        assert_eq!(j.get("tuples_touched").unwrap().as_i64(), Some(1));
+        assert_eq!(j.get("index_maintenance_ops").unwrap().as_i64(), Some(0));
+    }
+}

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// A distinct, non-reusable identifier for a tuple (paper §2).
@@ -44,7 +42,7 @@ impl ColumnId {
 ///
 /// Duplicate tuples may appear in a table (paper §2); identity is carried by
 /// the [`TupleHandle`], not the values.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tuple(pub Vec<Value>);
 
 impl Tuple {

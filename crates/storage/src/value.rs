@@ -14,11 +14,10 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
+use setrules_json::Json;
 
 /// The declared type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Boolean truth value.
     Bool,
@@ -41,14 +40,31 @@ impl fmt::Display for DataType {
     }
 }
 
+impl DataType {
+    /// JSON form: the lowercase type name as a string.
+    pub fn to_json(self) -> Json {
+        Json::Str(self.to_string())
+    }
+
+    /// Parse the JSON form written by [`DataType::to_json`].
+    pub fn from_json(json: &Json) -> Option<DataType> {
+        match json.as_str()? {
+            "bool" => Some(DataType::Bool),
+            "int" => Some(DataType::Int),
+            "float" => Some(DataType::Float),
+            "text" => Some(DataType::Text),
+            _ => None,
+        }
+    }
+}
+
 /// A single field value: one of the scalar types, or `NULL`.
 ///
 /// `Value` implements `Eq`, `Ord`, and `Hash` with *total* semantics so it
 /// can serve as an index key and be sorted deterministically: `NULL` sorts
 /// first, floats use IEEE total ordering, and integers compare numerically
 /// with floats.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL `NULL` — the absence of a value.
     Null,
@@ -146,6 +162,32 @@ impl Value {
     /// SQL equality under three-valued logic: `None` = unknown.
     pub fn sql_eq(&self, other: &Value) -> Option<bool> {
         self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Untagged JSON form: `NULL` → `null`, numbers and strings map
+    /// directly. The writer keeps `Int` and `Float` distinct (floats
+    /// always carry a decimal point or exponent), so the mapping is
+    /// invertible via [`Value::from_json`].
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Bool(b) => Json::Bool(*b),
+            Value::Int(i) => Json::Int(*i),
+            Value::Float(f) => Json::float(*f),
+            Value::Text(s) => Json::Str(s.clone()),
+        }
+    }
+
+    /// Parse the untagged JSON form written by [`Value::to_json`].
+    pub fn from_json(json: &Json) -> Option<Value> {
+        match json {
+            Json::Null => Some(Value::Null),
+            Json::Bool(b) => Some(Value::Bool(*b)),
+            Json::Int(i) => Some(Value::Int(*i)),
+            Json::Float(f) => Some(Value::Float(*f)),
+            Json::Str(s) => Some(Value::Text(s.clone())),
+            Json::Array(_) | Json::Object(_) => None,
+        }
     }
 
     /// Storage-level total ordering rank of the variant, used by `Ord`.

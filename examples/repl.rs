@@ -133,14 +133,28 @@ fn meta_command(sys: &mut RuleSystem, meta: &str) -> bool {
             Err(e) => println!("error: {e}"),
         },
         m if m.starts_with("json ") => match sys.query(m.trim_start_matches("json ")) {
-            Ok(rel) => println!("{}", serde_json::to_string_pretty(&rel).expect("relation serializes")),
+            Ok(rel) => println!("{}", rel.to_json().pretty()),
             Err(e) => println!("error: {e}"),
         },
+        "stats" => println!("{}", sys.full_stats().to_json().pretty()),
+        m if m.starts_with("events") => {
+            let n: usize = m
+                .trim_start_matches("events")
+                .trim()
+                .parse()
+                .unwrap_or(usize::MAX);
+            let entries = sys.recent_event_entries();
+            let skip = entries.len().saturating_sub(n);
+            for (seq, ev) in entries.into_iter().skip(skip) {
+                println!("  [{seq}] {ev}");
+            }
+        }
         "help" => {
             println!("SQL: create table/index/rule, drop ..., insert/delete/update/select,");
             println!("     create rule priority A before B, activate/deactivate rule,");
             println!("     begin / process rules / commit / rollback");
-            println!("meta: \\rules  \\analyze  \\dot  \\explain <select>  \\json <select>  \\quit");
+            println!("meta: \\rules  \\analyze  \\dot  \\explain <select>  \\json <select>");
+            println!("      \\stats  \\events [n]  \\quit");
         }
         other => println!("unknown meta-command '\\{other}' (try \\help)"),
     }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, and guard the observability vocabulary.
+#
+#   ./scripts/ci.sh
+#
+# The last step extracts every `EngineEvent` variant from
+# crates/core/src/events.rs and fails if any is missing from
+# tests/observability.rs — adding an event without display/serde test
+# coverage is a CI failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> EngineEvent enum guard"
+# Variant names: capitalized identifiers at 4-space indent inside the
+# `pub enum EngineEvent { ... }` block.
+variants=$(awk '/^pub enum EngineEvent \{/,/^\}/' crates/core/src/events.rs \
+  | sed -n 's/^    \([A-Z][A-Za-z0-9]*\).*$/\1/p' | sort -u)
+if [ -z "$variants" ]; then
+  echo "error: could not extract EngineEvent variants" >&2
+  exit 1
+fi
+missing=0
+for v in $variants; do
+  if ! grep -q "EngineEvent::$v" tests/observability.rs; then
+    echo "error: EngineEvent::$v has no display/serde coverage in tests/observability.rs" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "add a sample for each new variant to event_samples()" >&2
+  exit 1
+fi
+echo "    all $(echo "$variants" | wc -l) EngineEvent variants covered"
+
+echo "CI OK"

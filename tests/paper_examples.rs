@@ -27,6 +27,13 @@ fn count(sys: &RuleSystem, sql: &str) -> i64 {
     sys.query(sql).unwrap().scalar().unwrap().as_i64().unwrap()
 }
 
+/// The engine's event stream rendered one line per event — the golden
+/// traces below assert these against the execution narratives in the
+/// paper's prose.
+fn trace(sys: &RuleSystem) -> Vec<String> {
+    sys.recent_events().iter().map(|e| e.to_string()).collect()
+}
+
 /// Example 3.1: cascaded delete for referential integrity.
 #[test]
 fn example_3_1_cascaded_delete() {
@@ -378,4 +385,213 @@ fn example_4_3_reversed_priority_untriggers_r2() {
         ],
     );
     assert_eq!(count(&sys, "select count(*) from emp"), 0);
+}
+
+// ----------------------------------------------------------------------
+// Golden event traces: the same examples, asserted at the granularity of
+// the engine's structured event stream. Each trace is checked line by
+// line against the paper's execution narrative.
+// ----------------------------------------------------------------------
+
+/// Example 3.1 as a golden trace: one external transition, one rule
+/// firing, and a window restart after the action (the rule's own
+/// transition deletes no departments, so the cascade ends).
+#[test]
+fn example_3_1_golden_trace() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r31 when deleted from dept \
+         then delete from emp where dept_no in (select dept_no from deleted dept)",
+    )
+    .unwrap();
+    sys.execute("insert into dept values (1, 10), (2, 20)").unwrap();
+    sys.execute(
+        "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 10.0, 1), ('c', 3, 10.0, 2)",
+    )
+    .unwrap();
+    sys.clear_events();
+    sys.transaction("delete from dept where dept_no = 1").unwrap();
+    assert_eq!(
+        trace(&sys),
+        vec![
+            "txn begin",
+            "external block absorbed (I=0 D=1 U=0 S=0)",
+            "trans-info init for 'r31'",
+            "rule 'r31' considered",
+            "rule 'r31' executed (I=0 D=2 U=0)",
+            "trans-info init for 'r31'",
+            "txn commit (1 fired, 1 transitions)",
+        ],
+    );
+}
+
+/// Example 3.2's no-op update as a golden trace: the update still
+/// triggers the rule (§2.1 records `U` even for identity assignments),
+/// but the strict `>` condition is false — consideration without
+/// execution.
+#[test]
+fn example_3_2_condition_false_golden_trace() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r32 when updated emp.salary \
+         if (select sum(salary) from new updated emp.salary) > \
+            (select sum(salary) from old updated emp.salary) \
+         then update emp set salary = 0.95 * salary where dept_no = 2",
+    )
+    .unwrap();
+    sys.execute("insert into emp values ('v', 2, 1000.0, 2)").unwrap();
+    sys.clear_events();
+    sys.transaction("update emp set salary = salary where name = 'v'").unwrap();
+    assert_eq!(
+        trace(&sys),
+        vec![
+            "txn begin",
+            "external block absorbed (I=0 D=0 U=1 S=0)",
+            "trans-info init for 'r32'",
+            "rule 'r32' considered",
+            "rule 'r32' condition false",
+            "txn commit (0 fired, 0 transitions)",
+        ],
+    );
+}
+
+/// Example 4.1 as a golden trace: the recursive cascade shows the §4.2
+/// re-triggering discipline — after each execution the acting rule's
+/// window restarts (`trans-info init`), and each further consideration is
+/// flagged as a re-trigger.
+#[test]
+fn example_4_1_golden_trace() {
+    let mut sys = paper_db();
+    sys.execute(
+        "create rule r41 when deleted from emp \
+         then delete from emp where dept_no in \
+                (select dept_no from dept where mgr_no in \
+                  (select emp_no from deleted emp)); \
+              delete from dept where mgr_no in \
+                (select emp_no from deleted emp)",
+    )
+    .unwrap();
+    sys.execute("insert into dept values (1, 1), (2, 2)").unwrap();
+    sys.execute(
+        "insert into emp values ('r', 1, 1.0, 0), ('m1', 2, 1.0, 1), \
+         ('m2', 3, 1.0, 1), ('w1', 4, 1.0, 2), ('w2', 5, 1.0, 2)",
+    )
+    .unwrap();
+    sys.clear_events();
+    sys.transaction("delete from emp where name = 'r'").unwrap();
+    assert_eq!(
+        trace(&sys),
+        vec![
+            "txn begin",
+            "external block absorbed (I=0 D=1 U=0 S=0)",
+            "trans-info init for 'r41'",
+            // Firing 1 w.r.t. deleted {r}: m1, m2 and dept 1 go.
+            "rule 'r41' considered",
+            "rule 'r41' executed (I=0 D=3 U=0)",
+            "trans-info init for 'r41'",
+            // Firing 2 w.r.t. deleted {m1, m2}: w1, w2 and dept 2 go.
+            "rule 'r41' re-triggered",
+            "rule 'r41' considered",
+            "rule 'r41' executed (I=0 D=3 U=0)",
+            "trans-info init for 'r41'",
+            // Firing 3 w.r.t. deleted {w1, w2}: nothing managed — the
+            // empty transition ends the cascade.
+            "rule 'r41' re-triggered",
+            "rule 'r41' considered",
+            "rule 'r41' executed (I=0 D=0 U=0)",
+            "trans-info init for 'r41'",
+            "txn commit (3 fired, 3 transitions)",
+        ],
+    );
+}
+
+/// Example 4.3 as a golden trace: the paper's full R1/R2 interleaving,
+/// event by event. The `trans-info modify for 'r1'` line after R2's
+/// execution is the composition step the prose describes: "Rule R1 is
+/// considered with respect to the composite change since the initial
+/// state, thus the set of deleted employees is now {Jane, Mary}."
+#[test]
+fn example_4_3_golden_trace() {
+    let mut sys = paper_db();
+    define_r1_r2(&mut sys);
+    sys.execute("create rule priority r2 before r1").unwrap();
+    load_org(&mut sys);
+    sys.clear_events();
+    sys.transaction(EXAMPLE_4_3_BLOCK).unwrap();
+    assert_eq!(
+        trace(&sys),
+        vec![
+            "txn begin",
+            // One external block: delete Jane, update Bill's and Mary's
+            // salaries. Both rules are triggered and get fresh windows.
+            "external block absorbed (I=0 D=1 U=2 S=0)",
+            "trans-info init for 'r1'",
+            "trans-info init for 'r2'",
+            // R2 has priority: it executes, deleting Mary. Its deletion
+            // composes into R1's window (Jane + Mary) and cancels Mary's
+            // salary update out of its own restarted window — "R2 is not
+            // triggered again".
+            "rule 'r2' considered",
+            "rule 'r2' executed (I=0 D=1 U=0)",
+            "trans-info modify for 'r1'",
+            "trans-info init for 'r2'",
+            // R1 w.r.t. deleted {Jane, Mary}: Bill, Jim and depts 1, 2.
+            "rule 'r1' considered",
+            "rule 'r1' executed (I=0 D=4 U=0)",
+            "trans-info init for 'r1'",
+            // R1 re-triggered w.r.t. deleted {Bill, Jim}: Sam, Sue, dept 3.
+            "rule 'r1' re-triggered",
+            "rule 'r1' considered",
+            "rule 'r1' executed (I=0 D=3 U=0)",
+            "trans-info init for 'r1'",
+            // R1 re-triggered w.r.t. deleted {Sam, Sue}: "no additional
+            // employees are deleted".
+            "rule 'r1' re-triggered",
+            "rule 'r1' considered",
+            "rule 'r1' executed (I=0 D=0 U=0)",
+            "trans-info init for 'r1'",
+            "txn commit (4 fired, 4 transitions)",
+        ],
+        "the paper's Example 4.3 interleaving, at event granularity"
+    );
+}
+
+/// The reversed-priority variant at event granularity: R2 receives its
+/// initial window but is never even *considered* — R1's deletions
+/// composed the salary updates away before R2's turn came (Definition
+/// 2.1 untriggering).
+#[test]
+fn example_4_3_reversed_golden_trace() {
+    let mut sys = paper_db();
+    define_r1_r2(&mut sys);
+    sys.execute("create rule priority r1 before r2").unwrap();
+    load_org(&mut sys);
+    sys.clear_events();
+    sys.transaction(EXAMPLE_4_3_BLOCK).unwrap();
+    let t = trace(&sys);
+    assert_eq!(
+        t,
+        vec![
+            "txn begin",
+            "external block absorbed (I=0 D=1 U=2 S=0)",
+            "trans-info init for 'r1'",
+            "trans-info init for 'r2'",
+            "rule 'r1' considered",
+            "rule 'r1' executed (I=0 D=3 U=0)",
+            "trans-info init for 'r1'",
+            "rule 'r1' re-triggered",
+            "rule 'r1' considered",
+            "rule 'r1' executed (I=0 D=5 U=0)",
+            "trans-info init for 'r1'",
+            "rule 'r1' re-triggered",
+            "rule 'r1' considered",
+            "rule 'r1' executed (I=0 D=0 U=0)",
+            "trans-info init for 'r1'",
+            "txn commit (3 fired, 3 transitions)",
+        ],
+    );
+    assert!(
+        !t.iter().any(|l| l.contains("'r2' considered")),
+        "r2 was untriggered before it could be considered"
+    );
 }

@@ -79,7 +79,7 @@ fn rollback_undoes_earlier_rule_actions() {
     .unwrap();
     sys.execute("create rule priority auditor before guard").unwrap();
     let out = sys.transaction("insert into t values (-1)").unwrap();
-    let TxnOutcome::RolledBack { by_rule, fired } = out else { panic!() };
+    let TxnOutcome::RolledBack { by_rule, fired, .. } = out else { panic!() };
     assert_eq!(by_rule, "guard");
     assert_eq!(fired.len(), 1, "auditor fired before the rollback");
     assert_eq!(

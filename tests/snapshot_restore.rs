@@ -37,8 +37,8 @@ fn build() -> RuleSystem {
 fn snapshot_round_trips_through_json() {
     let sys = build();
     let snap = sys.snapshot().unwrap();
-    let json = serde_json::to_string_pretty(&snap).unwrap();
-    let back: setrules_core::Snapshot = serde_json::from_str(&json).unwrap();
+    let json = snap.to_json_string();
+    let back = setrules_core::Snapshot::from_json_str(&json).unwrap();
     let restored = RuleSystem::restore(&back, EngineConfig::default()).unwrap();
 
     // Data identical (including NULLs).
