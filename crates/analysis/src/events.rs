@@ -55,7 +55,7 @@ pub fn footprint(db: &Database, rule: &Rule) -> Footprint {
             fp.opaque = true;
         }
         CompiledAction::Block(ops) => {
-            for op in ops {
+            for op in ops.iter() {
                 match op {
                     DmlOp::Insert(i) => {
                         if let Ok(t) = db.table_id(&i.table) {

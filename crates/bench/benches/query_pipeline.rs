@@ -1,0 +1,174 @@
+//! **B11 — compile-once query pipeline** (ablation for the expression
+//! compiler, the N-way join planner, and the per-rule plan cache).
+//!
+//! Two workloads, each run under `ExecMode::Compiled` (default) and
+//! `ExecMode::Interpreted` (the pre-pipeline executor):
+//!
+//! * **three-way join**: `emp (200) ⋈ dept (40) ⋈ proj (10)` on int keys.
+//!   The interpreted executor hashes only 2-item joins and falls back to
+//!   the full odometer for three items (200·40·10 = 80 000 predicate
+//!   evaluations); the compiled executor plans a greedy hash-join chain,
+//!   so `join_combinations` collapses to roughly the number of matches.
+//!   The snapshot records the per-row-work ratio — the acceptance bar is
+//!   ≥ 2×, the observed ratio is orders of magnitude.
+//! * **rule refire**: a countdown rule that fires ~30 times per
+//!   transaction. Every consideration after the first hits the per-rule
+//!   plan cache, so condition/action expressions compile once, not per
+//!   firing; the snapshot records the hit/miss counters.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::write_bench_snapshot;
+use setrules_core::{EngineConfig, ExecMode, RuleSystem};
+use setrules_json::Json;
+
+const EMPS: usize = 200;
+const DEPTS: usize = 40;
+const PROJS: usize = 10;
+
+const JOIN_QUERY: &str = "select count(*) from emp, dept, proj \
+     where emp.dept_no = dept.dept_no and dept.proj_no = proj.proj_no";
+
+fn join_system(mode: ExecMode) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(EngineConfig { exec_mode: mode, ..Default::default() });
+    sys.execute("create table emp (emp_no int, dept_no int)").unwrap();
+    sys.execute("create table dept (dept_no int, proj_no int)").unwrap();
+    sys.execute("create table proj (proj_no int, budget int)").unwrap();
+    let rows: Vec<String> = (0..EMPS).map(|i| format!("({i}, {})", i % DEPTS)).collect();
+    sys.transaction_without_rules(&format!("insert into emp values {}", rows.join(", "))).unwrap();
+    let rows: Vec<String> = (0..DEPTS).map(|d| format!("({d}, {})", d % PROJS)).collect();
+    sys.transaction_without_rules(&format!("insert into dept values {}", rows.join(", "))).unwrap();
+    let rows: Vec<String> = (0..PROJS).map(|p| format!("({p}, {p})")).collect();
+    sys.transaction_without_rules(&format!("insert into proj values {}", rows.join(", "))).unwrap();
+    sys
+}
+
+fn refire_system(mode: ExecMode) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(EngineConfig { exec_mode: mode, ..Default::default() });
+    sys.execute("create table q (v int)").unwrap();
+    sys.execute(
+        "create rule countdown when inserted into q \
+         if exists (select * from inserted q where v > 0) \
+         then insert into q (select v - 1 from inserted q where v > 0)",
+    )
+    .unwrap();
+    sys
+}
+
+/// One instrumented pass per mode: the work counters behind the
+/// wall-clock numbers, written to `BENCH_query_pipeline.json`.
+fn pipeline_snapshot() {
+    let mode_json = |mode: ExecMode| {
+        // Three-way join: per-query exec counters plus wall time.
+        let sys = join_system(mode);
+        let base = sys.exec_stats();
+        let rel = sys.query(JOIN_QUERY).unwrap();
+        assert_eq!(rel.scalar().unwrap().as_i64(), Some(EMPS as i64));
+        let join = sys.exec_stats().since(&base);
+        let reps = 20u32;
+        let start = Instant::now();
+        for _ in 0..reps {
+            sys.query(JOIN_QUERY).unwrap();
+        }
+        let join_millis = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        // Rule refire: engine counters for one 30-firing transaction.
+        let mut sys = refire_system(mode);
+        let start = Instant::now();
+        let out = sys.transaction("insert into q values (30)").unwrap();
+        let refire_millis = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.fired().len(), 30);
+        (
+            Json::obj([
+                ("millis", Json::Float(join_millis)),
+                ("join_combinations", Json::Int(join.join_combinations as i64)),
+                ("rows_scanned", Json::Int(join.rows_scanned as i64)),
+            ]),
+            Json::obj([
+                ("millis", Json::Float(refire_millis)),
+                ("firings", Json::Int(out.fired().len() as i64)),
+                ("plan_cache_hits", Json::Int(sys.stats().plan_cache_hits as i64)),
+                ("plan_cache_misses", Json::Int(sys.stats().plan_cache_misses as i64)),
+            ]),
+        )
+    };
+    let (join_c, refire_c) = mode_json(ExecMode::Compiled);
+    let (join_i, refire_i) = mode_json(ExecMode::Interpreted);
+
+    let combos = |j: &Json| j.get("join_combinations").unwrap().as_i64().unwrap() as f64;
+    let ratio = combos(&join_i) / combos(&join_c).max(1.0);
+    assert!(
+        ratio >= 2.0,
+        "acceptance: compiled 3-way join must do ≥2x less per-row work (got {ratio:.1}x)"
+    );
+    let hits = refire_c.get("plan_cache_hits").unwrap().as_i64().unwrap();
+    assert!(hits > 0, "acceptance: repeated rule processing must hit the plan cache");
+
+    write_bench_snapshot(
+        "query_pipeline",
+        &Json::obj([
+            (
+                "three_way_join",
+                Json::obj([
+                    (
+                        "rows",
+                        Json::Array(
+                            [EMPS, DEPTS, PROJS].map(|n| Json::Int(n as i64)).to_vec(),
+                        ),
+                    ),
+                    ("compiled", join_c),
+                    ("interpreted", join_i),
+                    ("combination_ratio", Json::Float(ratio)),
+                ]),
+            ),
+            (
+                "rule_refire",
+                Json::obj([("compiled", refire_c), ("interpreted", refire_i)]),
+            ),
+        ]),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    pipeline_snapshot();
+
+    let mut g = c.benchmark_group("b11_three_way_join");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (label, mode) in [("compiled", ExecMode::Compiled), ("interpreted", ExecMode::Interpreted)]
+    {
+        let sys = join_system(mode);
+        g.bench_with_input(BenchmarkId::new(label, EMPS), &sys, |b, sys| {
+            b.iter(|| {
+                let rel = sys.query(JOIN_QUERY).unwrap();
+                assert_eq!(rel.scalar().unwrap().as_i64(), Some(EMPS as i64));
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("b11_rule_refire");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (label, mode) in [("compiled", ExecMode::Compiled), ("interpreted", ExecMode::Interpreted)]
+    {
+        g.bench_with_input(BenchmarkId::new(label, 30), &mode, |b, &mode| {
+            b.iter_batched(
+                || refire_system(mode),
+                |mut sys| {
+                    let out = sys.transaction("insert into q values (30)").unwrap();
+                    assert_eq!(out.fired().len(), 30);
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

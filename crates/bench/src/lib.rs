@@ -17,6 +17,9 @@ use setrules_json::Json;
 /// Write failures only warn: counters must never fail a bench run.
 pub fn write_bench_snapshot(name: &str, json: &Json) {
     let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {dir}: {e}");
+    }
     let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
     let mut body = json.pretty();
     body.push('\n');

@@ -14,8 +14,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
 use setrules_query::{
-    execute_op_with_stats, execute_query_with_stats, ExecStats, NoTransitionTables, OpEffect,
-    Relation, StatsCell,
+    compile_cached, eval_compiled_predicate, execute_op_with_opts, execute_query_with_opts,
+    ExecMode, ExecStats, NoTransitionTables, OpEffect, PlanCache, Relation, StatsCell,
 };
 use setrules_sql::ast::{CreateRule, DmlOp, Statement};
 use setrules_sql::{parse_op_block, parse_statement, parse_statements};
@@ -64,6 +64,11 @@ pub struct EngineConfig {
     /// Capacity of the always-on in-memory event ring (most recent N
     /// [`EngineEvent`]s retained; `0` disables retention).
     pub event_capacity: usize,
+    /// Expression execution mode: `Compiled` (default) lowers predicates
+    /// and projections to slot-addressed form once per statement, with a
+    /// per-rule plan cache across firings; `Interpreted` walks the AST
+    /// per row (kept for differential testing).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +79,7 @@ impl Default for EngineConfig {
             retrigger: RetriggerSemantics::default(),
             strategy: SelectionStrategy::default(),
             event_capacity: 1024,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -217,6 +223,11 @@ pub struct RuleSystem {
     /// Windows accumulated by [`RuleSystem::transaction_without_rules`]
     /// awaiting [`RuleSystem::process_deferred`] (§5.3).
     deferred: TransInfo,
+    /// Per-rule compiled-plan caches, keyed by rule id. A cache holds the
+    /// rule's condition and action expressions in slot-resolved form;
+    /// plans embed catalog-derived positions and AST addresses, so the
+    /// whole map is dropped on any DDL.
+    rule_plans: HashMap<RuleId, PlanCache>,
     /// Cumulative engine-phase counters and per-rule timing.
     stats: EngineStats,
     /// Cumulative query-execution work (threaded into every executor call).
@@ -250,6 +261,7 @@ impl RuleSystem {
             last_considered: Vec::new(),
             consider_clock: 0,
             deferred: TransInfo::new(),
+            rule_plans: HashMap::new(),
             stats: EngineStats::default(),
             qstats: StatsCell::new(),
             events,
@@ -382,6 +394,7 @@ impl RuleSystem {
                     .map(|(n, ty)| setrules_storage::ColumnDef::new(n, ty))
                     .collect();
                 self.db.create_table(TableSchema::new(ct.name.clone(), cols))?;
+                self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("table '{}' created", ct.name)))
             }
             Statement::DropTable(name) => {
@@ -394,6 +407,7 @@ impl RuleSystem {
                     });
                 }
                 self.db.drop_table(&name)?;
+                self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("table '{name}' dropped")))
             }
             Statement::CreateIndex { table, column } => {
@@ -401,6 +415,7 @@ impl RuleSystem {
                 let tid = self.db.table_id(&table)?;
                 let c = self.db.schema(tid).column_id(&column)?;
                 self.db.create_index(tid, c)?;
+                self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("index on '{table}.{column}' created")))
             }
             Statement::DropIndex { table, column } => {
@@ -408,6 +423,7 @@ impl RuleSystem {
                 let tid = self.db.table_id(&table)?;
                 let c = self.db.schema(tid).column_id(&column)?;
                 self.db.drop_index(tid, c);
+                self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("index on '{table}.{column}' dropped")))
             }
             Statement::CreateRule(def) => {
@@ -463,12 +479,26 @@ impl RuleSystem {
         let Statement::Dml(DmlOp::Select(sel)) = stmt else {
             return Err(RuleError::Unsupported("query() accepts only select statements".into()));
         };
-        Ok(execute_query_with_stats(&self.db, &NoTransitionTables, &sel, Some(&self.qstats))?)
+        Ok(execute_query_with_opts(
+            &self.db,
+            &NoTransitionTables,
+            &sel,
+            Some(&self.qstats),
+            self.config.exec_mode,
+            None,
+        )?)
     }
 
     // ------------------------------------------------------------------
     // Rule administration
     // ------------------------------------------------------------------
+
+    /// Drop every cached compiled plan. Called on any DDL: plans embed
+    /// slot positions derived from the catalog and are keyed by AST
+    /// addresses inside the `rules` vector, both of which DDL may move.
+    fn invalidate_plans(&mut self) {
+        self.rule_plans.clear();
+    }
 
     /// Define a rule from its parsed form.
     pub fn create_rule(&mut self, def: &CreateRule) -> Result<RuleId, RuleError> {
@@ -481,6 +511,7 @@ impl RuleSystem {
         self.by_name.insert(def.name.clone(), id);
         self.rules.push(rule);
         self.last_considered.push(None);
+        self.invalidate_plans();
         Ok(id)
     }
 
@@ -521,6 +552,7 @@ impl RuleSystem {
         self.by_name.insert(name.to_string(), id);
         self.rules.push(rule);
         self.last_considered.push(None);
+        self.invalidate_plans();
         Ok(id)
     }
 
@@ -538,6 +570,7 @@ impl RuleSystem {
         rule.referenced_tables.clear();
         rule.licensed.clear();
         self.priorities.remove_rule(id);
+        self.invalidate_plans();
         Ok(())
     }
 
@@ -626,7 +659,14 @@ impl RuleSystem {
         if self.txn.is_none() {
             return Err(RuleError::NoOpenTransaction);
         }
-        match execute_op_with_stats(&mut self.db, &NoTransitionTables, op, Some(&self.qstats)) {
+        match execute_op_with_opts(
+            &mut self.db,
+            &NoTransitionTables,
+            op,
+            Some(&self.qstats),
+            self.config.exec_mode,
+            None,
+        ) {
             Ok(eff) => {
                 let txn = self.txn.as_mut().expect("checked above");
                 let affected = eff.cardinality();
@@ -748,8 +788,14 @@ impl RuleSystem {
         self.events.emit(EngineEvent::TxnBegin);
         let mut window = TransInfo::new();
         for op in &ops {
-            match execute_op_with_stats(&mut self.db, &NoTransitionTables, op, Some(&self.qstats))
-            {
+            match execute_op_with_opts(
+                &mut self.db,
+                &NoTransitionTables,
+                op,
+                Some(&self.qstats),
+                self.config.exec_mode,
+                None,
+            ) {
                 Ok(eff) => window.absorb(&eff, self.config.track_selects),
                 Err(e) => {
                     self.db.rollback_to(mark).expect("mark valid");
@@ -853,6 +899,20 @@ impl RuleSystem {
             self.stats.rules_considered += 1;
             self.stats.rule_mut(&name).considered += 1;
             self.events.emit(EngineEvent::RuleConsidered { rule: name.clone() });
+
+            // Plan-cache bookkeeping: a rule considered before (since the
+            // last DDL) reuses its compiled condition and action plans; a
+            // first consideration creates the cache they compile into.
+            if self.config.exec_mode == ExecMode::Compiled {
+                let hit = self.rule_plans.contains_key(&rid);
+                self.rule_plans.entry(rid).or_default();
+                if hit {
+                    self.stats.plan_cache_hits += 1;
+                } else {
+                    self.stats.plan_cache_misses += 1;
+                }
+                self.events.emit(EngineEvent::PlanCache { rule: name.clone(), hit });
+            }
 
             // Evaluate the condition against the rule's own window.
             let cond_start = Instant::now();
@@ -988,9 +1048,22 @@ impl RuleSystem {
         let cache = setrules_query::SubqueryCache::new();
         let ctx = setrules_query::QueryCtx::with_provider(&self.db, &provider)
             .with_cache(&cache)
-            .with_stats(Some(&self.qstats));
+            .with_stats(Some(&self.qstats))
+            .with_mode(self.config.exec_mode)
+            .with_plans(self.rule_plans.get(&rid));
         let mut bindings = setrules_query::bindings::Bindings::new();
-        Ok(setrules_query::eval_predicate(ctx, &mut bindings, None, cond)?)
+        match self.config.exec_mode {
+            ExecMode::Compiled => {
+                // The condition is a rule-owned AST whose address is stable
+                // between DDLs, so the per-rule cache makes repeated
+                // considerations compile-free.
+                let compiled = compile_cached(ctx, cond, &bindings.layout());
+                Ok(eval_compiled_predicate(ctx, &mut bindings, None, &compiled)?)
+            }
+            ExecMode::Interpreted => {
+                Ok(setrules_query::eval_predicate(ctx, &mut bindings, None, cond)?)
+            }
+        }
     }
 
     /// Execute a rule's action as one operation block, returning the
@@ -1011,8 +1084,19 @@ impl RuleSystem {
                 let txn = self.txn.as_ref().expect("open");
                 let provider =
                     RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
-                for op in ops {
-                    let eff = execute_op_with_stats(&mut self.db, &provider, op, Some(&self.qstats))?;
+                // `ops` shares the rule-owned allocation (the action clone
+                // is an `Arc` copy), so plan-cache pointer keys see the
+                // same AST addresses on every firing.
+                let plans = self.rule_plans.get(&rid);
+                for op in ops.iter() {
+                    let eff = execute_op_with_opts(
+                        &mut self.db,
+                        &provider,
+                        op,
+                        Some(&self.qstats),
+                        self.config.exec_mode,
+                        plans,
+                    )?;
                     if let OpEffect::Select { output, .. } = &eff {
                         last_output = Some(output.clone());
                     }

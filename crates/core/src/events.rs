@@ -53,6 +53,16 @@ pub enum EngineEvent {
         /// The rule's name.
         rule: String,
     },
+    /// The considered rule's plan cache was consulted before condition
+    /// evaluation: a hit reuses the rule's compiled plans, a miss means
+    /// they compile fresh (first consideration, or after a DDL
+    /// invalidated every rule's cache).
+    PlanCache {
+        /// The rule's name.
+        rule: String,
+        /// Whether compiled plans were already cached.
+        hit: bool,
+    },
     /// The considered rule's condition evaluated to not-true.
     RuleConditionFalse {
         /// The rule's name.
@@ -104,6 +114,7 @@ impl EngineEvent {
             EngineEvent::Rollback { .. } => "rollback",
             EngineEvent::ExternalBlockAbsorbed { .. } => "external_block_absorbed",
             EngineEvent::RuleConsidered { .. } => "rule_considered",
+            EngineEvent::PlanCache { .. } => "plan_cache",
             EngineEvent::RuleConditionFalse { .. } => "rule_condition_false",
             EngineEvent::RuleExecuted { .. } => "rule_executed",
             EngineEvent::RuleRetriggered { .. } => "rule_retriggered",
@@ -117,6 +128,7 @@ impl EngineEvent {
     pub fn rule(&self) -> Option<&str> {
         match self {
             EngineEvent::RuleConsidered { rule }
+            | EngineEvent::PlanCache { rule, .. }
             | EngineEvent::RuleConditionFalse { rule }
             | EngineEvent::RuleExecuted { rule, .. }
             | EngineEvent::RuleRetriggered { rule }
@@ -166,6 +178,10 @@ impl EngineEvent {
                 put("deleted", Json::Int(*deleted as i64));
                 put("updated", Json::Int(*updated as i64));
             }
+            EngineEvent::PlanCache { rule, hit } => {
+                put("rule", Json::Str(rule.clone()));
+                put("hit", Json::Bool(*hit));
+            }
             EngineEvent::LoopSafeguardAbort { limit } => {
                 put("limit", Json::Int(*limit as i64));
             }
@@ -190,6 +206,12 @@ impl fmt::Display for EngineEvent {
                 )
             }
             EngineEvent::RuleConsidered { rule } => write!(f, "rule '{rule}' considered"),
+            EngineEvent::PlanCache { rule, hit: true } => {
+                write!(f, "plan cache hit for '{rule}'")
+            }
+            EngineEvent::PlanCache { rule, hit: false } => {
+                write!(f, "plan cache miss for '{rule}'")
+            }
             EngineEvent::RuleConditionFalse { rule } => {
                 write!(f, "rule '{rule}' condition false")
             }
@@ -345,6 +367,7 @@ mod tests {
             EngineEvent::Rollback { by_rule: None },
             EngineEvent::ExternalBlockAbsorbed { inserted: 1, deleted: 0, updated: 2, selected: 0 },
             EngineEvent::RuleConsidered { rule: "r".into() },
+            EngineEvent::PlanCache { rule: "r".into(), hit: true },
             EngineEvent::RuleConditionFalse { rule: "r".into() },
             EngineEvent::RuleExecuted { rule: "r".into(), inserted: 1, deleted: 1, updated: 0 },
             EngineEvent::RuleRetriggered { rule: "r".into() },
@@ -360,7 +383,7 @@ mod tests {
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.dedup();
         // Rollback appears twice in samples (named / unnamed).
-        assert_eq!(kinds.len(), 11);
+        assert_eq!(kinds.len(), 12);
         for e in &evs {
             assert_eq!(e.to_json().get("event").unwrap().as_str(), Some(e.kind()));
             assert!(!format!("{e}").is_empty());

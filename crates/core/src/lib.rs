@@ -59,6 +59,9 @@ pub use engine::{
 };
 pub use error::RuleError;
 pub use events::{EngineEvent, EventSink, JsonLinesSink, RingBufferSink};
+// Re-exported so [`EngineConfig::exec_mode`]'s type is nameable from this
+// crate's API without depending on the query crate directly.
+pub use setrules_query::ExecMode;
 pub use external::{ActionCtx, ExternalAction};
 pub use priority::PriorityGraph;
 pub use rule::{CompiledAction, CompiledPred, Rule, RuleId};

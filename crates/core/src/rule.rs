@@ -96,8 +96,11 @@ impl CompiledPred {
 /// A compiled rule action.
 #[derive(Clone)]
 pub enum CompiledAction {
-    /// An operation block (one transition when executed).
-    Block(Vec<DmlOp>),
+    /// An operation block (one transition when executed). `Arc`d so the
+    /// per-firing clone the engine takes (to release the rules borrow) is
+    /// a pointer copy, and so the ops' AST addresses stay stable for the
+    /// rule's plan cache.
+    Block(Arc<Vec<DmlOp>>),
     /// Roll the transaction back to its start state.
     Rollback,
     /// An external procedure (§5.2 extension). Its database operations
@@ -206,7 +209,7 @@ impl Rule {
         }
 
         let action = match &def.action {
-            RuleAction::Block(ops) => CompiledAction::Block(ops.clone()),
+            RuleAction::Block(ops) => CompiledAction::Block(Arc::new(ops.clone())),
             RuleAction::Rollback => CompiledAction::Rollback,
         };
         Ok(Rule {

@@ -284,7 +284,7 @@ impl RuleSystem {
             });
         }
         let action = match &r.action {
-            CompiledAction::Block(ops) => RuleAction::Block(ops.clone()),
+            CompiledAction::Block(ops) => RuleAction::Block(ops.as_ref().clone()),
             CompiledAction::Rollback => RuleAction::Rollback,
             CompiledAction::External(_) => {
                 return Err(RuleError::Unsupported(format!(

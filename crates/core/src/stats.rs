@@ -92,6 +92,11 @@ pub struct EngineStats {
     pub rules_retriggered: u64,
     /// Footnote-7 loop-safeguard aborts.
     pub loop_aborts: u64,
+    /// Rule considerations that reused the rule's cached compiled plans.
+    pub plan_cache_hits: u64,
+    /// Rule considerations that had to compile plans fresh (first
+    /// consideration, or after a DDL invalidation).
+    pub plan_cache_misses: u64,
     /// Per-rule breakdown, keyed by rule name (deterministic order).
     pub per_rule: BTreeMap<String, RuleTiming>,
 }
@@ -118,6 +123,8 @@ impl EngineStats {
             rules_executed: self.rules_executed + other.rules_executed,
             rules_retriggered: self.rules_retriggered + other.rules_retriggered,
             loop_aborts: self.loop_aborts + other.loop_aborts,
+            plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses + other.plan_cache_misses,
             per_rule,
         }
     }
@@ -142,6 +149,8 @@ impl EngineStats {
             rules_executed: self.rules_executed - earlier.rules_executed,
             rules_retriggered: self.rules_retriggered - earlier.rules_retriggered,
             loop_aborts: self.loop_aborts - earlier.loop_aborts,
+            plan_cache_hits: self.plan_cache_hits - earlier.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
             per_rule,
         }
     }
@@ -159,6 +168,8 @@ impl EngineStats {
             ("rules_executed", Json::Int(self.rules_executed as i64)),
             ("rules_retriggered", Json::Int(self.rules_retriggered as i64)),
             ("loop_aborts", Json::Int(self.loop_aborts as i64)),
+            ("plan_cache_hits", Json::Int(self.plan_cache_hits as i64)),
+            ("plan_cache_misses", Json::Int(self.plan_cache_misses as i64)),
             ("per_rule", Json::Object(per_rule)),
         ])
     }

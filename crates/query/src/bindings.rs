@@ -63,6 +63,34 @@ impl Bindings {
         self.levels.len()
     }
 
+    /// The scope levels, innermost last (used to snapshot a compile-time
+    /// [`Layout`](crate::compile::Layout)).
+    pub(crate) fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Fetch a value by compiled slot coordinates: `level_up` scopes above
+    /// the innermost level, frame `frame` within it, column `col`. The
+    /// bounds check only fails when a compiled expression is evaluated
+    /// against a scope of a different shape than its compilation
+    /// [`Layout`](crate::compile::Layout) — an executor bug, reported as an
+    /// error rather than a panic.
+    pub fn slot(&self, level_up: usize, frame: usize, col: usize) -> Result<Value, QueryError> {
+        let depth = self.levels.len();
+        depth
+            .checked_sub(1 + level_up)
+            .and_then(|li| self.levels.get(li))
+            .and_then(|level| level.get(frame))
+            .and_then(|f| f.row.get(col))
+            .cloned()
+            .ok_or_else(|| {
+                QueryError::Type(format!(
+                    "internal: compiled slot ({level_up}, {frame}, {col}) \
+                     out of range for scope depth {depth}"
+                ))
+            })
+    }
+
     /// Resolve a (possibly qualified) column reference to its current value.
     pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, QueryError> {
         for level in self.levels.iter().rev() {

@@ -6,9 +6,28 @@ use std::collections::HashMap;
 
 use setrules_storage::Database;
 
+use crate::compile::PlanCache;
 use crate::provider::TransitionTableProvider;
 use crate::relation::Relation;
 use crate::stats::StatsCell;
+
+/// Which executor evaluates expressions and plans joins.
+///
+/// `Compiled` (the default) lowers expressions to slot-addressed
+/// [`CompiledExpr`](crate::compile::CompiledExpr) form and runs the N-way
+/// join planner; `Interpreted` keeps the original string-resolving
+/// walk-the-AST path. The two must produce identical relations — the
+/// interpreted path remains as the differential-testing reference and as
+/// the bench baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compile-once pipeline: slot-resolved expressions, planned joins.
+    #[default]
+    Compiled,
+    /// Reference interpreter: per-row string resolution, odometer joins
+    /// with the historical 2-way hash special case.
+    Interpreted,
+}
 
 /// Per-statement memo for uncorrelated subqueries, keyed by AST node
 /// address. `None` records that the subquery was found to be correlated
@@ -56,17 +75,29 @@ pub struct QueryCtx<'a> {
     /// Execution-work accumulator; `None` (the default) disables
     /// instrumentation.
     pub stats: Option<&'a StatsCell>,
+    /// Which executor to run (compiled pipeline vs reference interpreter).
+    pub mode: ExecMode,
+    /// Compiled-expression memo shared across statements (the rule engine
+    /// attaches one per rule); `None` compiles fresh per statement.
+    pub plans: Option<&'a PlanCache>,
 }
 
 impl<'a> QueryCtx<'a> {
     /// Context for plain user queries: no transition tables, no cache.
     pub fn plain(db: &'a Database) -> Self {
-        QueryCtx { db, virt: &crate::provider::NoTransitionTables, cache: None, stats: None }
+        QueryCtx {
+            db,
+            virt: &crate::provider::NoTransitionTables,
+            cache: None,
+            stats: None,
+            mode: ExecMode::default(),
+            plans: None,
+        }
     }
 
     /// Context with an explicit transition-table provider (no cache).
     pub fn with_provider(db: &'a Database, virt: &'a dyn TransitionTableProvider) -> Self {
-        QueryCtx { db, virt, cache: None, stats: None }
+        QueryCtx { db, virt, ..QueryCtx::plain(db) }
     }
 
     /// Attach a per-statement subquery cache.
@@ -77,5 +108,15 @@ impl<'a> QueryCtx<'a> {
     /// Attach an execution-stats accumulator (pass `None` to detach).
     pub fn with_stats(self, stats: Option<&'a StatsCell>) -> Self {
         QueryCtx { stats, ..self }
+    }
+
+    /// Select the execution mode (compiled pipeline vs interpreter).
+    pub fn with_mode(self, mode: ExecMode) -> Self {
+        QueryCtx { mode, ..self }
+    }
+
+    /// Attach a compiled-expression plan cache (pass `None` to detach).
+    pub fn with_plans(self, plans: Option<&'a PlanCache>) -> Self {
+        QueryCtx { plans, ..self }
     }
 }

@@ -19,7 +19,8 @@ use setrules_sql::ast::{DeleteStmt, DmlOp, InsertSource, InsertStmt, SelectStmt,
 use setrules_storage::{ColumnId, Database, TableId, Tuple, TupleHandle, Value};
 
 use crate::bindings::{Bindings, Frame, Level};
-use crate::ctx::QueryCtx;
+use crate::compile::{compile_cached, eval_compiled_predicate, Layout, LayoutFrame, PlanCache};
+use crate::ctx::{ExecMode, QueryCtx};
 use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
 use crate::planner::{choose_access, scan_handles};
@@ -96,11 +97,25 @@ pub fn execute_op_with_stats(
     op: &DmlOp,
     st: Option<&StatsCell>,
 ) -> Result<OpEffect, QueryError> {
+    execute_op_with_opts(db, virt, op, st, ExecMode::default(), None)
+}
+
+/// [`execute_op_with_stats`] with an explicit execution mode and an
+/// optional [`PlanCache`] (the rule engine attaches one per rule so
+/// repeated firings compile their statements once).
+pub fn execute_op_with_opts(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    op: &DmlOp,
+    st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
+) -> Result<OpEffect, QueryError> {
     match op {
-        DmlOp::Insert(s) => execute_insert(db, virt, s, st),
-        DmlOp::Delete(s) => execute_delete(db, virt, s, st),
-        DmlOp::Update(s) => execute_update(db, virt, s, st),
-        DmlOp::Select(s) => execute_select_op(db, virt, s, st),
+        DmlOp::Insert(s) => execute_insert(db, virt, s, st, mode, plans),
+        DmlOp::Delete(s) => execute_delete(db, virt, s, st, mode, plans),
+        DmlOp::Update(s) => execute_update(db, virt, s, st, mode, plans),
+        DmlOp::Select(s) => execute_select_op(db, virt, s, st, mode, plans),
     }
 }
 
@@ -121,8 +136,25 @@ pub fn execute_query_with_stats(
     stmt: &SelectStmt,
     st: Option<&StatsCell>,
 ) -> Result<Relation, QueryError> {
+    execute_query_with_opts(db, virt, stmt, st, ExecMode::default(), None)
+}
+
+/// [`execute_query_with_stats`] with an explicit execution mode and an
+/// optional [`PlanCache`].
+pub fn execute_query_with_opts(
+    db: &Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &SelectStmt,
+    st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
+) -> Result<Relation, QueryError> {
     let cache = crate::SubqueryCache::new();
-    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
+    let ctx = QueryCtx::with_provider(db, virt)
+        .with_cache(&cache)
+        .with_stats(st)
+        .with_mode(mode)
+        .with_plans(plans);
     crate::select::run_select(ctx, stmt, &mut Bindings::new())
 }
 
@@ -131,6 +163,8 @@ fn execute_insert(
     virt: &dyn TransitionTableProvider,
     stmt: &InsertStmt,
     st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
     let arity = db.schema(table).arity();
@@ -138,7 +172,11 @@ fn execute_insert(
     // Phase 1: compute the rows to insert.
     let cache = crate::SubqueryCache::new();
     let rows: Vec<Tuple> = {
-        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
+        let ctx = QueryCtx::with_provider(db, virt)
+            .with_cache(&cache)
+            .with_stats(st)
+            .with_mode(mode)
+            .with_plans(plans);
         match &stmt.source {
             InsertSource::Values(rows) => {
                 let mut out = Vec::with_capacity(rows.len());
@@ -181,7 +219,10 @@ fn execute_insert(
 }
 
 /// Identify the tuples of `table` satisfying `predicate` (phase 1 of
-/// delete/update). Returns matching handles in handle order.
+/// delete/update). Returns matching handles in handle order. In compiled
+/// mode the predicate is lowered once (through the plan cache when one is
+/// attached) instead of resolving names per scanned row.
+#[allow(clippy::too_many_arguments)]
 fn identify(
     db: &Database,
     virt: &dyn TransitionTableProvider,
@@ -189,18 +230,35 @@ fn identify(
     table_name: &str,
     predicate: Option<&setrules_sql::ast::Expr>,
     st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
 ) -> Result<Vec<TupleHandle>, QueryError> {
     let cache = crate::SubqueryCache::new();
-    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
+    let ctx = QueryCtx::with_provider(db, virt)
+        .with_cache(&cache)
+        .with_stats(st)
+        .with_mode(mode)
+        .with_plans(plans);
     let schema = db.schema(table);
     let columns =
         std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
     let access = choose_access(ctx, table, table_name, true, predicate);
     stats::bump(st, |s| match access {
         Access::FullScan => s.full_scans += 1,
-        Access::IndexEq { .. } => s.index_lookups += 1,
+        Access::IndexEq { .. } | Access::IndexIn { .. } => s.index_lookups += 1,
         Access::Empty => s.empty_scans += 1,
     });
+    let compiled = match (predicate, mode) {
+        (Some(p), ExecMode::Compiled) => {
+            let mut layout = Layout::new();
+            layout.push_level(vec![LayoutFrame {
+                name: table_name.to_string(),
+                columns: std::sync::Arc::clone(&columns),
+            }]);
+            Some(compile_cached(ctx, p, &layout))
+        }
+        _ => None,
+    };
     let mut bindings = Bindings::new();
     let mut out = Vec::new();
     for h in scan_handles(db, table, &access) {
@@ -215,7 +273,10 @@ fn identify(
                     row: tuple.0.clone(),
                 }];
                 bindings.push_level(level);
-                let r = eval_predicate(ctx, &mut bindings, None, p);
+                let r = match &compiled {
+                    Some(cp) => eval_compiled_predicate(ctx, &mut bindings, None, cp),
+                    None => eval_predicate(ctx, &mut bindings, None, p),
+                };
                 bindings.pop_level();
                 r?
             }
@@ -233,9 +294,12 @@ fn execute_delete(
     virt: &dyn TransitionTableProvider,
     stmt: &DeleteStmt,
     st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
-    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st)?;
+    let handles =
+        identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st, mode, plans)?;
     let mut tuples = Vec::with_capacity(handles.len());
     for h in handles {
         let old = db.delete(table, h)?;
@@ -249,6 +313,8 @@ fn execute_update(
     virt: &dyn TransitionTableProvider,
     stmt: &UpdateStmt,
     st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
 
@@ -264,11 +330,16 @@ fn execute_update(
 
     // Phase 1: identify tuples and compute per-tuple assignments against
     // the pre-update state.
-    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st)?;
+    let handles =
+        identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st, mode, plans)?;
     let mut planned: Vec<(TupleHandle, Vec<(ColumnId, Value)>)> = Vec::with_capacity(handles.len());
     let cache = crate::SubqueryCache::new();
     {
-        let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
+        let ctx = QueryCtx::with_provider(db, virt)
+            .with_cache(&cache)
+            .with_stats(st)
+            .with_mode(mode)
+            .with_plans(plans);
         let schema = db.schema(table);
         let columns =
             std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
@@ -318,9 +389,15 @@ fn execute_select_op(
     virt: &dyn TransitionTableProvider,
     stmt: &SelectStmt,
     st: Option<&StatsCell>,
+    mode: ExecMode,
+    plans: Option<&PlanCache>,
 ) -> Result<OpEffect, QueryError> {
     let cache = crate::SubqueryCache::new();
-    let ctx = QueryCtx::with_provider(db, virt).with_cache(&cache).with_stats(st);
+    let ctx = QueryCtx::with_provider(db, virt)
+        .with_cache(&cache)
+        .with_stats(st)
+        .with_mode(mode)
+        .with_plans(plans);
     let mut trace: Vec<(TableId, TupleHandle)> = Vec::new();
     let output = run_select_traced(ctx, stmt, &mut Bindings::new(), Some(&mut trace))?;
 

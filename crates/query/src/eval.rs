@@ -34,21 +34,7 @@ pub fn eval_expr(
         Expr::Column { qualifier, name } => bindings.resolve(qualifier.as_deref(), name),
         Expr::Unary { op, expr } => {
             let v = eval_expr(ctx, bindings, group, expr)?;
-            match op {
-                UnaryOp::Not => match truth(&v)? {
-                    Some(b) => Ok(Value::Bool(!b)),
-                    None => Ok(Value::Null),
-                },
-                UnaryOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => i
-                        .checked_neg()
-                        .map(Value::Int)
-                        .ok_or_else(|| QueryError::Type("integer overflow in negation".into())),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(QueryError::Type(format!("cannot negate {other}"))),
-                },
-            }
+            apply_unary(*op, &v)
         }
         Expr::Binary { left, op, right } => eval_binary(ctx, bindings, group, left, *op, right),
         Expr::IsNull { expr, negated } => {
@@ -90,13 +76,7 @@ pub fn eval_expr(
             let v = eval_expr(ctx, bindings, group, expr)?;
             let lo = eval_expr(ctx, bindings, group, low)?;
             let hi = eval_expr(ctx, bindings, group, high)?;
-            let ge = compare(&v, &lo).map(|o| o.map(|o| o != Ordering::Less))?;
-            let le = compare(&v, &hi).map(|o| o.map(|o| o != Ordering::Greater))?;
-            let both = kleene_and(ge, le);
-            Ok(match both {
-                Some(b) => Value::Bool(b != *negated),
-                None => Value::Null,
-            })
+            between_semantics(&v, &lo, &hi, *negated)
         }
         Expr::Like { expr, pattern, negated } => {
             let v = eval_expr(ctx, bindings, group, expr)?;
@@ -126,7 +106,7 @@ pub fn eval_expr(
 /// an *empty* outer scope; success means its result cannot depend on outer
 /// bindings (memoized), while an unknown-column error means it references
 /// the outer row (memoized as correlated, then evaluated normally).
-fn eval_subquery(
+pub(crate) fn eval_subquery(
     ctx: QueryCtx<'_>,
     bindings: &mut Bindings,
     sub: &SelectStmt,
@@ -181,7 +161,7 @@ pub fn eval_predicate(
     Ok(truth(&v)? == Some(true))
 }
 
-fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -189,7 +169,7 @@ fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(true), _) | (_, Some(true)) => Some(true),
         (Some(false), Some(false)) => Some(false),
@@ -199,7 +179,7 @@ fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
 
 /// SQL comparison distinguishing *unknown* (`Ok(None)`, a `NULL` operand)
 /// from incomparable types (`Err`).
-fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>, QueryError> {
+pub(crate) fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>, QueryError> {
     if a.is_null() || b.is_null() {
         return Ok(None);
     }
@@ -208,7 +188,7 @@ fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>, QueryError> {
         .ok_or_else(|| QueryError::Type(format!("cannot compare {a} with {b}")))
 }
 
-fn in_semantics<'v>(
+pub(crate) fn in_semantics<'v>(
     needle: &Value,
     haystack: impl Iterator<Item = &'v Value>,
     negated: bool,
@@ -255,9 +235,53 @@ fn eval_binary(
 
     let l = eval_expr(ctx, bindings, group, left)?;
     let r = eval_expr(ctx, bindings, group, right)?;
+    apply_binary(&l, op, &r)
+}
 
+/// Apply a unary operator to an already-evaluated operand — the scalar
+/// kernel shared by the interpreter and the compiled evaluator.
+pub(crate) fn apply_unary(op: UnaryOp, v: &Value) -> Result<Value, QueryError> {
+    match op {
+        UnaryOp::Not => match truth(v)? {
+            Some(b) => Ok(Value::Bool(!b)),
+            None => Ok(Value::Null),
+        },
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| QueryError::Type("integer overflow in negation".into())),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(QueryError::Type(format!("cannot negate {other}"))),
+        },
+    }
+}
+
+/// `v [not] between lo and hi` over already-evaluated operands (shared
+/// kernel; Kleene conjunction of the two bound comparisons).
+pub(crate) fn between_semantics(
+    v: &Value,
+    lo: &Value,
+    hi: &Value,
+    negated: bool,
+) -> Result<Value, QueryError> {
+    let ge = compare(v, lo).map(|o| o.map(|o| o != Ordering::Less))?;
+    let le = compare(v, hi).map(|o| o.map(|o| o != Ordering::Greater))?;
+    Ok(match kleene_and(ge, le) {
+        Some(b) => Value::Bool(b != negated),
+        None => Value::Null,
+    })
+}
+
+/// Apply a non-logical binary operator (comparison or arithmetic) to
+/// already-evaluated operands — the scalar kernel shared by the
+/// interpreter and the compiled evaluator. `and`/`or` never reach here:
+/// both callers short-circuit them before operand evaluation.
+pub(crate) fn apply_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, QueryError> {
+    debug_assert!(!matches!(op, BinaryOp::And | BinaryOp::Or));
     if op.is_comparison() {
-        let cmp = compare(&l, &r)?;
+        let cmp = compare(l, r)?;
         let out = cmp.map(|o| match op {
             BinaryOp::Eq => o == Ordering::Equal,
             BinaryOp::NotEq => o != Ordering::Equal,
@@ -274,7 +298,7 @@ fn eval_binary(
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
-    match (&l, &r) {
+    match (l, r) {
         (Value::Int(a), Value::Int(b)) => {
             let a = *a;
             let b = *b;

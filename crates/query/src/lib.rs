@@ -13,13 +13,18 @@
 //! * [`TransitionTableProvider`] — how the rule engine injects
 //!   `inserted t` / `deleted t` / `old|new updated t[.c]` / `selected t`
 //!   tables into evaluation (§3, §4);
-//! * a small planner ([`planner`]) exploiting hash indexes for equality
-//!   predicates, applying the same optimization to rule bodies as to user
-//!   queries (§1).
+//! * a small planner ([`planner`]) exploiting hash indexes for equality,
+//!   `in`-list, and range predicates, applying the same optimization to
+//!   rule bodies as to user queries (§1);
+//! * a compile-once pipeline ([`compile`]) lowering expressions to
+//!   slot-addressed [`compile::CompiledExpr`] form, with an N-way join
+//!   planner in the `select` executor and a [`compile::PlanCache`] the
+//!   rule engine keys per rule.
 
 #![warn(missing_docs)]
 
 pub mod bindings;
+pub mod compile;
 mod ctx;
 mod dml;
 mod error;
@@ -33,9 +38,14 @@ mod relation;
 mod select;
 mod stats;
 
-pub use ctx::{QueryCtx, SubqueryCache};
+pub use compile::{
+    compile, compile_cached, eval_compiled, eval_compiled_predicate, CompiledExpr, Layout,
+    LayoutFrame, PlanCache,
+};
+pub use ctx::{ExecMode, QueryCtx, SubqueryCache};
 pub use dml::{
-    execute_op, execute_op_with_stats, execute_query, execute_query_with_stats, OpEffect,
+    execute_op, execute_op_with_opts, execute_op_with_stats, execute_query,
+    execute_query_with_opts, execute_query_with_stats, OpEffect,
 };
 pub use error::QueryError;
 pub use eval::{eval_expr, eval_predicate, truth};

@@ -11,6 +11,7 @@ use setrules_sql::ast::{BinaryOp, Expr};
 use setrules_storage::{ColumnId, DataType, Database, TableId, Value};
 
 use crate::bindings::Bindings;
+use crate::compile::{compile, CompiledExpr, Layout};
 use crate::ctx::QueryCtx;
 use crate::eval::eval_expr;
 
@@ -26,20 +27,47 @@ pub enum Access {
         /// The probe value (already coerced to the column type).
         value: Value,
     },
+    /// Probe the hash index on `column` once per value (`col in (...)`,
+    /// or `col between lo and hi` over an enumerable integer range).
+    IndexIn {
+        /// The indexed column.
+        column: ColumnId,
+        /// Deduplicated probe values (already coerced to the column type).
+        values: Vec<Value>,
+    },
     /// The predicate can never be true for any tuple (e.g. `c = NULL`,
     /// or an equality with a value outside the column's domain).
     Empty,
 }
 
+impl Access {
+    /// Selectivity rank for comparing candidate paths: lower is better.
+    fn rank(&self) -> u8 {
+        match self {
+            Access::Empty => 0,
+            Access::IndexEq { .. } => 1,
+            Access::IndexIn { .. } => 2,
+            Access::FullScan => 3,
+        }
+    }
+}
+
+/// `between` ranges wider than this stay full scans: enumerating the range
+/// would out-probe a scan's sequential pass.
+const MAX_BETWEEN_PROBES: i64 = 256;
+
 /// Choose an access path for scanning `table` bound as `binding`, given the
 /// query's `where` predicate.
 ///
-/// Only top-level `and`-conjuncts of the shape `col = const` (either
-/// operand order) are considered, and unqualified column names are only
-/// trusted when this is the sole `from` item (`sole_item`) — otherwise the
-/// name might belong to a different item. The full predicate is still
-/// re-checked per row by the executor, so a missed opportunity costs time,
-/// never correctness.
+/// Top-level `and`-conjuncts of three shapes are considered: `col = const`
+/// (either operand order), `col in (const, ...)`, and `col between const
+/// and const` over an integer column with an enumerable range. Unqualified
+/// column names are only trusted when this is the sole `from` item
+/// (`sole_item`) — otherwise the name might belong to a different item.
+/// The full predicate is still re-checked per row by the executor, so a
+/// missed opportunity costs time, never correctness. When several
+/// conjuncts are usable the most selective shape wins (empty > equality
+/// probe > multi-probe > scan).
 pub fn choose_access(
     ctx: QueryCtx<'_>,
     table: TableId,
@@ -53,41 +81,172 @@ pub fn choose_access(
     let schema = ctx.db.schema(table);
     let mut conjuncts = Vec::new();
     collect_conjuncts(pred, &mut conjuncts);
+    let mut best = Access::FullScan;
     for c in conjuncts {
-        let Expr::Binary { left, op: BinaryOp::Eq, right } = c else {
-            continue;
+        let candidate = match c {
+            Expr::Binary { left, op: BinaryOp::Eq, right } => {
+                eq_candidate(ctx, schema, table, binding, sole_item, left, right)
+            }
+            Expr::InList { expr, list, negated: false } => {
+                in_candidate(ctx, schema, table, binding, sole_item, expr, list)
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                between_candidate(ctx, schema, table, binding, sole_item, expr, low, high)
+            }
+            _ => None,
         };
-        for (col_side, const_side) in [(left, right), (right, left)] {
-            let Expr::Column { qualifier, name } = col_side.as_ref() else {
-                continue;
-            };
-            match qualifier.as_deref() {
-                Some(q) if q == binding => {}
-                None if sole_item => {}
-                _ => continue,
+        if let Some(cand) = candidate {
+            if cand == Access::Empty {
+                return Access::Empty; // nothing beats scanning zero rows
             }
-            let Ok(column) = schema.column_id(name) else {
-                continue;
-            };
-            if !ctx.db.has_index(table, column) {
-                continue;
+            if cand.rank() < best.rank() {
+                best = cand;
             }
-            if !is_constant(const_side) {
-                continue;
-            }
-            let Ok(v) = eval_expr(ctx, &mut Bindings::new(), None, const_side) else {
-                continue;
-            };
-            return match probe_value(&v, schema.column_type(column)) {
-                Some(value) => Access::IndexEq { column, value },
-                None => Access::Empty,
-            };
         }
     }
-    Access::FullScan
+    best
+}
+
+/// The indexed column behind `col_side`, if it is a column reference
+/// attributable to this `from` item with an index on it.
+fn indexed_column(
+    ctx: QueryCtx<'_>,
+    schema: &setrules_storage::TableSchema,
+    table: TableId,
+    binding: &str,
+    sole_item: bool,
+    col_side: &Expr,
+) -> Option<ColumnId> {
+    let Expr::Column { qualifier, name } = col_side else {
+        return None;
+    };
+    match qualifier.as_deref() {
+        Some(q) if q == binding => {}
+        None if sole_item => {}
+        _ => return None,
+    }
+    let column = schema.column_id(name).ok()?;
+    ctx.db.has_index(table, column).then_some(column)
+}
+
+/// Evaluate a constant expression to its value (`None`: not constant, or
+/// evaluation fails — leave the error to per-row evaluation).
+fn const_value(ctx: QueryCtx<'_>, e: &Expr) -> Option<Value> {
+    if !is_constant(e) {
+        return None;
+    }
+    eval_expr(ctx, &mut Bindings::new(), None, e).ok()
+}
+
+fn eq_candidate(
+    ctx: QueryCtx<'_>,
+    schema: &setrules_storage::TableSchema,
+    table: TableId,
+    binding: &str,
+    sole_item: bool,
+    left: &Expr,
+    right: &Expr,
+) -> Option<Access> {
+    for (col_side, const_side) in [(left, right), (right, left)] {
+        let Some(column) = indexed_column(ctx, schema, table, binding, sole_item, col_side) else {
+            continue;
+        };
+        let Some(v) = const_value(ctx, const_side) else {
+            continue;
+        };
+        return Some(match probe_value(&v, schema.column_type(column)) {
+            Some(value) => Access::IndexEq { column, value },
+            None => Access::Empty,
+        });
+    }
+    None
+}
+
+fn in_candidate(
+    ctx: QueryCtx<'_>,
+    schema: &setrules_storage::TableSchema,
+    table: TableId,
+    binding: &str,
+    sole_item: bool,
+    col_side: &Expr,
+    list: &[Expr],
+) -> Option<Access> {
+    let column = indexed_column(ctx, schema, table, binding, sole_item, col_side)?;
+    let ty = schema.column_type(column);
+    let mut values: Vec<Value> = Vec::with_capacity(list.len());
+    for item in list {
+        let v = const_value(ctx, item)?;
+        match in_probe_value(&v, ty) {
+            // Comparable but unmatchable (NULL, fractional float vs int):
+            // skip the probe; the row set is unaffected because `where`
+            // only keeps rows where the predicate is *true*.
+            Ok(None) => {}
+            Ok(Some(p)) => {
+                if !values.contains(&p) {
+                    values.push(p);
+                }
+            }
+            // Cross-domain item: per-row evaluation would raise a type
+            // error, so probing would change semantics — full scan.
+            Err(()) => return None,
+        }
+    }
+    Some(if values.is_empty() { Access::Empty } else { Access::IndexIn { column, values } })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn between_candidate(
+    ctx: QueryCtx<'_>,
+    schema: &setrules_storage::TableSchema,
+    table: TableId,
+    binding: &str,
+    sole_item: bool,
+    col_side: &Expr,
+    low: &Expr,
+    high: &Expr,
+) -> Option<Access> {
+    let column = indexed_column(ctx, schema, table, binding, sole_item, col_side)?;
+    if schema.column_type(column) != DataType::Int {
+        return None; // only integer ranges are enumerable
+    }
+    let lo_v = const_value(ctx, low)?;
+    let hi_v = const_value(ctx, high)?;
+    // Integer bounds of the range; fractional bounds tighten inward.
+    // `None` = NULL bound (comparison is unknown, never an error);
+    // bailing out keeps per-row type errors from non-numeric bounds.
+    let int_bound = |v: &Value, toward_hi: bool| -> Result<Option<i64>, ()> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Int(i) => Ok(Some(*i)),
+            Value::Float(f) if f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+                Ok(Some(if toward_hi { f.floor() } else { f.ceil() } as i64))
+            }
+            _ => Err(()),
+        }
+    };
+    let (lo, hi) = match (int_bound(&lo_v, false), int_bound(&hi_v, true)) {
+        (Ok(Some(lo)), Ok(Some(hi))) => (lo, hi),
+        // A NULL bound makes the conjunct unknown-or-false for every row,
+        // and `where` only keeps *true* — provably empty.
+        (Ok(None), Ok(_)) | (Ok(_), Ok(None)) => return Some(Access::Empty),
+        _ => return None,
+    };
+    if lo > hi {
+        return Some(Access::Empty);
+    }
+    let span = (hi as i128) - (lo as i128) + 1;
+    if span > MAX_BETWEEN_PROBES as i128 {
+        return None;
+    }
+    Some(Access::IndexIn { column, values: (lo..=hi).map(Value::Int).collect() })
 }
 
 /// Handles matching an access path, in handle order.
+///
+/// Index probes return handles in index-bucket order, so they are sorted
+/// (and, for multi-probe paths, deduplicated) before returning — the
+/// executor's determinism guarantee (`select.rs` module docs) requires
+/// index-backed and full-scan plans to produce identical row order.
 pub fn scan_handles(
     db: &Database,
     table: TableId,
@@ -95,11 +254,159 @@ pub fn scan_handles(
 ) -> Vec<setrules_storage::TupleHandle> {
     match access {
         Access::FullScan => db.table(table).handles().collect(),
-        Access::IndexEq { column, value } => db
-            .index_lookup(table, *column, value)
-            .expect("planner only chooses IndexEq when the index exists"),
+        Access::IndexEq { column, value } => {
+            let mut hs = db
+                .index_lookup(table, *column, value)
+                .expect("planner only chooses IndexEq when the index exists");
+            hs.sort_unstable();
+            hs
+        }
+        Access::IndexIn { column, values } => {
+            let mut hs = Vec::new();
+            for v in values {
+                hs.extend(
+                    db.index_lookup(table, *column, v)
+                        .expect("planner only chooses IndexIn when the index exists"),
+                );
+            }
+            hs.sort_unstable();
+            hs.dedup();
+            hs
+        }
         Access::Empty => Vec::new(),
     }
+}
+
+// ----------------------------------------------------------------------
+// N-way join planning
+// ----------------------------------------------------------------------
+
+/// An equi-join connection between two `from` items, written as
+/// `(item_a, col_a, item_b, col_b)`: a top-level `and`-conjunct
+/// `a.col_a = b.col_b` whose columns share a non-float declared type.
+pub type EquiEdge = (usize, usize, usize, usize);
+
+/// One step of a [`JoinPlan`]: attach `item` to the already-joined prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStep {
+    /// The `from`-item index being attached.
+    pub item: usize,
+    /// Equi-join keys connecting `item` to already-placed items, as
+    /// `(placed_item, placed_col, new_col)`. Empty = cross (nested-loop)
+    /// step; non-empty = hash step on the composite key.
+    pub edges: Vec<(usize, usize, usize)>,
+}
+
+/// A greedy join order over the `from` items: start from the most
+/// selective item (fewest rows after access-path selection and predicate
+/// pushdown), then repeatedly attach the smallest item reachable through
+/// an equi-join edge, falling back to the smallest remaining item as a
+/// cross step only when nothing connects. Hash probes are a sound
+/// prefilter — the executor still evaluates the full predicate per
+/// assembled combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// The item the join starts from.
+    pub first: usize,
+    /// The remaining items, in attach order.
+    pub steps: Vec<JoinStep>,
+}
+
+impl JoinPlan {
+    /// Item indices in join order (`first`, then each step's item).
+    pub fn order(&self) -> Vec<usize> {
+        let mut o = Vec::with_capacity(1 + self.steps.len());
+        o.push(self.first);
+        o.extend(self.steps.iter().map(|s| s.item));
+        o
+    }
+}
+
+/// Extract the equi-join edges of `predicate` between the items of the
+/// innermost `layout` level: conjuncts `col = col` whose two sides resolve
+/// to *different* items of this query and share a non-float declared type.
+/// Float keys are excluded so that storage-level hash equality provably
+/// agrees with SQL equality (`-0.0`/`0.0` and NaN make floats unsafe as
+/// hash keys).
+pub fn equi_join_edges(
+    predicate: Option<&Expr>,
+    layout: &Layout,
+    types: &[Vec<DataType>],
+) -> Vec<EquiEdge> {
+    let Some(pred) = predicate else {
+        return Vec::new();
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+    let mut edges = Vec::new();
+    for c in conjuncts {
+        let Expr::Binary { left, op: BinaryOp::Eq, right } = c else {
+            continue;
+        };
+        if !matches!(left.as_ref(), Expr::Column { .. })
+            || !matches!(right.as_ref(), Expr::Column { .. })
+        {
+            continue;
+        }
+        let (
+            CompiledExpr::Slot { level_up: 0, frame: fa, col: ca },
+            CompiledExpr::Slot { level_up: 0, frame: fb, col: cb },
+        ) = (compile(left, layout), compile(right, layout))
+        else {
+            continue;
+        };
+        if fa == fb {
+            continue;
+        }
+        let (ta, tb) = (types[fa][ca], types[fb][cb]);
+        if ta == tb && ta != DataType::Float && !edges.contains(&(fa, ca, fb, cb)) {
+            edges.push((fa, ca, fb, cb));
+        }
+    }
+    edges
+}
+
+/// Build a greedy [`JoinPlan`] from per-item cardinalities and equi-join
+/// edges. Ties break toward the lower item index, keeping plans
+/// deterministic.
+pub fn build_join_plan(cards: &[usize], edges: &[EquiEdge]) -> JoinPlan {
+    let n = cards.len();
+    assert!(n > 0, "join plan requires at least one from item");
+    let by_size = |&i: &usize| (cards[i], i);
+    let first = (0..n).min_by_key(by_size).expect("n > 0");
+    let mut placed = vec![false; n];
+    placed[first] = true;
+    let mut steps = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let connected = |i: usize| {
+            edges
+                .iter()
+                .any(|&(a, _, b, _)| (placed[a] && b == i) || (placed[b] && a == i))
+        };
+        let next = (0..n)
+            .filter(|&i| !placed[i] && connected(i))
+            .min_by_key(by_size)
+            .unwrap_or_else(|| {
+                (0..n).filter(|&i| !placed[i]).min_by_key(by_size).expect("some item unplaced")
+            });
+        let mut step_edges: Vec<(usize, usize, usize)> = edges
+            .iter()
+            .filter_map(|&(a, ca, b, cb)| {
+                if placed[a] && b == next {
+                    Some((a, ca, cb))
+                } else if placed[b] && a == next {
+                    Some((b, cb, ca))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        step_edges.sort_unstable();
+        step_edges.dedup();
+        placed[next] = true;
+        steps.push(JoinStep { item: next, edges: step_edges });
+    }
+    JoinPlan { first, steps }
 }
 
 /// Flatten a predicate into its top-level `and`-conjuncts (shared with the
@@ -121,6 +428,27 @@ fn is_constant(e: &Expr) -> bool {
         Expr::Unary { expr, .. } => is_constant(expr),
         Expr::Binary { left, right, .. } => is_constant(left) && is_constant(right),
         _ => false,
+    }
+}
+
+/// Coerce an `in`-list probe value to the stored column type.
+/// `Ok(None)`: the value can never match, but comparing it is well-defined
+/// (`NULL`, fractional float vs int) — safe to skip. `Err(())`: per-row
+/// comparison would raise a type error, so the probe cannot soundly
+/// replace evaluation.
+fn in_probe_value(v: &Value, ty: DataType) -> Result<Option<Value>, ()> {
+    match (v, ty) {
+        (Value::Null, _) => Ok(None),
+        (Value::Int(i), DataType::Float) => Ok(Some(Value::Float(*i as f64))),
+        (Value::Float(f), DataType::Int) => {
+            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                Ok(Some(Value::Int(*f as i64)))
+            } else {
+                Ok(None)
+            }
+        }
+        (v, ty) if v.data_type() == Some(ty) => Ok(Some(v.clone())),
+        _ => Err(()),
     }
 }
 
@@ -243,5 +571,168 @@ mod tests {
         assert_eq!(scan_handles(&db, t, &acc), vec![h1]);
         assert_eq!(scan_handles(&db, t, &Access::Empty), vec![]);
         assert_eq!(scan_handles(&db, t, &Access::FullScan).len(), 2);
+    }
+
+    #[test]
+    fn picks_index_for_in_list() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "dept_no in (5, 7)", true),
+            Access::IndexIn { column: ColumnId(3), values: vec![Value::Int(5), Value::Int(7)] }
+        );
+        // Inside a conjunction, with duplicate and folded values.
+        assert_eq!(
+            access(&db, t, "salary > 100 and dept_no in (5, 2 + 3, 7)", true),
+            Access::IndexIn { column: ColumnId(3), values: vec![Value::Int(5), Value::Int(7)] }
+        );
+        // NULL and fractional items can never match: skipped, not probed.
+        assert_eq!(
+            access(&db, t, "dept_no in (5, NULL, 2.5)", true),
+            Access::IndexIn { column: ColumnId(3), values: vec![Value::Int(5)] }
+        );
+        // Entirely unmatchable list: provably empty.
+        assert_eq!(access(&db, t, "dept_no in (NULL, 2.5)", true), Access::Empty);
+    }
+
+    #[test]
+    fn in_list_fallbacks() {
+        let (db, t) = setup();
+        assert_eq!(access(&db, t, "salary in (1.0, 2.0)", true), Access::FullScan, "not indexed");
+        assert_eq!(
+            access(&db, t, "dept_no not in (5, 7)", true),
+            Access::FullScan,
+            "negation cannot probe"
+        );
+        assert_eq!(
+            access(&db, t, "dept_no in (5, emp_no)", true),
+            Access::FullScan,
+            "non-constant item"
+        );
+        // A cross-domain item would raise a per-row type error; probing
+        // would swallow it.
+        assert_eq!(access(&db, t, "dept_no in (5, 'x')", true), Access::FullScan);
+        assert_eq!(access(&db, t, "dept_no in (5)", false), Access::FullScan, "not sole item");
+    }
+
+    #[test]
+    fn picks_index_for_between() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "dept_no between 5 and 7", true),
+            Access::IndexIn {
+                column: ColumnId(3),
+                values: vec![Value::Int(5), Value::Int(6), Value::Int(7)],
+            }
+        );
+        // Fractional bounds tighten inward.
+        assert_eq!(
+            access(&db, t, "dept_no between 4.5 and 6.5", true),
+            Access::IndexIn { column: ColumnId(3), values: vec![Value::Int(5), Value::Int(6)] }
+        );
+        // Inverted or NULL-bounded ranges are provably empty.
+        assert_eq!(access(&db, t, "dept_no between 7 and 5", true), Access::Empty);
+        assert_eq!(access(&db, t, "dept_no between NULL and 5", true), Access::Empty);
+    }
+
+    #[test]
+    fn between_fallbacks() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "dept_no between 0 and 100000", true),
+            Access::FullScan,
+            "range too wide to enumerate"
+        );
+        assert_eq!(
+            access(&db, t, "salary between 1.0 and 2.0", true),
+            Access::FullScan,
+            "float column ranges are not enumerable"
+        );
+        assert_eq!(
+            access(&db, t, "dept_no not between 5 and 7", true),
+            Access::FullScan,
+            "negation cannot probe"
+        );
+        // Non-numeric bound: per-row evaluation must keep its type error.
+        assert_eq!(access(&db, t, "dept_no between 'a' and 'b'", true), Access::FullScan);
+        assert_eq!(access(&db, t, "dept_no between 'a' and NULL", true), Access::FullScan);
+    }
+
+    #[test]
+    fn equality_beats_multi_probe() {
+        let (db, t) = setup();
+        assert_eq!(
+            access(&db, t, "dept_no in (5, 7) and dept_no = 5", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+    }
+
+    #[test]
+    fn multi_probe_handles_are_sorted_and_deduped() {
+        let (mut db, t) = setup();
+        use setrules_storage::tuple;
+        // Insert in an order that makes bucket order differ from handle
+        // order for a naive concat (7 before 5, interleaved).
+        let h7a = db.insert(t, tuple!["a", 1, 1.0, 7]).unwrap();
+        let h5a = db.insert(t, tuple!["b", 2, 1.0, 5]).unwrap();
+        let h7b = db.insert(t, tuple!["c", 3, 1.0, 7]).unwrap();
+        let h5b = db.insert(t, tuple!["d", 4, 1.0, 5]).unwrap();
+        let acc = access(&db, t, "dept_no in (5, 7)", true);
+        let mut expect = vec![h7a, h5a, h7b, h5b];
+        expect.sort_unstable();
+        assert_eq!(scan_handles(&db, t, &acc), expect, "handle order, not probe order");
+        // Overlapping between-range: each handle exactly once.
+        let acc = access(&db, t, "dept_no between 5 and 7", true);
+        assert_eq!(scan_handles(&db, t, &acc), expect);
+    }
+
+    #[test]
+    fn greedy_join_plan_orders_by_cardinality() {
+        // Items: 0 (100 rows), 1 (5 rows), 2 (50 rows); edges 0-1 and 0-2.
+        let edges: Vec<EquiEdge> = vec![(0, 0, 1, 0), (2, 1, 0, 1)];
+        let plan = build_join_plan(&[100, 5, 50], &edges);
+        assert_eq!(plan.first, 1, "fewest rows starts");
+        assert_eq!(plan.order(), vec![1, 0, 2]);
+        // Step 1 attaches item 0 through the 0-1 edge (placed item first).
+        assert_eq!(plan.steps[0], JoinStep { item: 0, edges: vec![(1, 0, 0)] });
+        // Step 2 attaches item 2 through the 2-0 edge, reoriented.
+        assert_eq!(plan.steps[1], JoinStep { item: 2, edges: vec![(0, 1, 1)] });
+    }
+
+    #[test]
+    fn disconnected_items_become_cross_steps() {
+        let plan = build_join_plan(&[10, 3, 7], &[]);
+        assert_eq!(plan.order(), vec![1, 2, 0], "smallest-first cross order");
+        assert!(plan.steps.iter().all(|s| s.edges.is_empty()));
+    }
+
+    #[test]
+    fn equi_edges_require_distinct_items_and_joinable_types() {
+        use crate::compile::LayoutFrame;
+        use setrules_sql::parse_expr;
+        use std::sync::Arc;
+        let mut layout = Layout::new();
+        layout.push_level(vec![
+            LayoutFrame {
+                name: "emp".into(),
+                columns: Arc::new(vec!["dept_no".into(), "salary".into()]),
+            },
+            LayoutFrame { name: "dept".into(), columns: Arc::new(vec!["dept_no".into()]) },
+        ]);
+        let types =
+            vec![vec![DataType::Int, DataType::Float], vec![DataType::Int]];
+        let edge_for = |src: &str| {
+            let e = parse_expr(src).unwrap();
+            equi_join_edges(Some(&e), &layout, &types)
+        };
+        assert_eq!(edge_for("emp.dept_no = dept.dept_no"), vec![(0, 0, 1, 0)]);
+        assert_eq!(
+            edge_for("salary > 10 and emp.dept_no = dept.dept_no"),
+            vec![(0, 0, 1, 0)],
+            "found inside a conjunction"
+        );
+        assert!(edge_for("emp.dept_no = emp.dept_no").is_empty(), "same item");
+        assert!(edge_for("emp.salary = dept.dept_no").is_empty(), "type mismatch");
+        assert!(edge_for("emp.dept_no = dept.dept_no or salary > 1").is_empty(), "disjunction");
+        assert!(edge_for("dept_no = 5").is_empty(), "ambiguous unqualified name");
     }
 }

@@ -1,10 +1,26 @@
-//! `select` execution: nested-loop joins over `from` items (stored tables
-//! and transition tables), three-valued `where` filtering, grouping and
+//! `select` execution: joins over `from` items (stored tables and
+//! transition tables), three-valued `where` filtering, grouping and
 //! aggregation, `distinct`, `order by`, and `limit`.
 //!
-//! Everything is set-oriented and deterministic: scans run in handle order,
-//! groups appear in first-seen order, and `order by` uses the storage total
-//! order, so repeated runs produce identical results.
+//! Two executors share this front-end, selected by
+//! [`ExecMode`](crate::ExecMode) on the context:
+//!
+//! * **Compiled** (default): the predicate is lowered once to a
+//!   slot-addressed [`CompiledExpr`], single-item conjuncts are pushed
+//!   down to their scan, and an N-way greedy
+//!   [`JoinPlan`](crate::planner::JoinPlan) joins items with hash tables
+//!   on equi-join keys (cross steps only when nothing connects).
+//! * **Interpreted**: per-row string resolution, the historical nested-loop
+//!   odometer with a 2-item hash equi-join special case — kept as the
+//!   differential-testing reference.
+//!
+//! Both evaluate the *full* predicate per assembled combination (hash
+//! probes and pushdown are sound prefilters) and emit combinations in
+//! row-index lexicographic order, so results are identical and
+//! deterministic: scans run in handle order, groups appear in first-seen
+//! order, and `order by` uses the storage total order. The one accepted
+//! divergence: prefilters may skip combinations whose evaluation would
+//! *error* (the historical 2-way hash path already did this).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -13,10 +29,13 @@ use setrules_sql::ast::{BinaryOp, Expr, SelectItem, SelectStmt, TableSource};
 use setrules_storage::{DataType, TableId, TupleHandle, Value};
 
 use crate::bindings::{Bindings, Frame, Level};
-use crate::ctx::QueryCtx;
+use crate::compile::{
+    compile, compile_cached, eval_compiled, eval_compiled_predicate, CompiledExpr, LayoutFrame,
+};
+use crate::ctx::{ExecMode, QueryCtx};
 use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
-use crate::planner::{choose_access, scan_handles, Access};
+use crate::planner::{build_join_plan, choose_access, equi_join_edges, scan_handles, Access};
 use crate::relation::Relation;
 use crate::stats;
 
@@ -114,56 +133,178 @@ pub fn run_select_traced(
     }
 
     let sole = stmt.from.len() == 1;
-    let mut items = Vec::with_capacity(stmt.from.len());
+    let compiled_mode = ctx.mode == ExecMode::Compiled;
+
+    // 1a. Per-item metadata — no rows yet. The compile-once front-end
+    // needs every item's binding and columns before scanning, so it can
+    // lower the predicate and classify pushdown conjuncts first.
+    enum Source {
+        Named { tid: TableId, access: Access },
+        Transition,
+    }
+    struct ItemMeta {
+        binding: String,
+        columns: Arc<Vec<String>>,
+        types: Vec<DataType>,
+        source: Source,
+    }
+    let mut metas = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
         let binding = tref.binding_name().to_string();
-        match &tref.source {
-            TableSource::Named(name) => {
-                let tid = ctx.db.table_id(name)?;
-                let schema = ctx.db.schema(tid);
-                let columns =
-                    Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
-                let types = schema.columns.iter().map(|c| c.ty).collect();
-                let access = choose_access(ctx, tid, &binding, sole, stmt.predicate.as_ref());
-                stats::bump(ctx.stats, |s| match access {
-                    Access::FullScan => s.full_scans += 1,
-                    Access::IndexEq { .. } => s.index_lookups += 1,
-                    Access::Empty => s.empty_scans += 1,
+        let (table_name, named) = match &tref.source {
+            TableSource::Named(name) => (name, true),
+            TableSource::Transition { table, .. } => (table, false),
+        };
+        let tid = ctx.db.table_id(table_name)?;
+        let schema = ctx.db.schema(tid);
+        let columns = Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+        let types = schema.columns.iter().map(|c| c.ty).collect();
+        let source = if named {
+            let access = choose_access(ctx, tid, &binding, sole, stmt.predicate.as_ref());
+            Source::Named { tid, access }
+        } else {
+            Source::Transition
+        };
+        metas.push(ItemMeta { binding, columns, types, source });
+    }
+
+    // 1b. Compile-once front-end: the scope layout is the outer scopes
+    // plus one innermost level holding this query's items. The full
+    // predicate compiles once (through the plan cache, when one is
+    // attached) against it.
+    let mut layout = bindings.layout();
+    layout.push_level(
+        metas
+            .iter()
+            .map(|m| LayoutFrame { name: m.binding.clone(), columns: Arc::clone(&m.columns) })
+            .collect(),
+    );
+    let full_pred: Option<Arc<CompiledExpr>> = match (&stmt.predicate, compiled_mode) {
+        (Some(p), true) => Some(compile_cached(ctx, p, &layout)),
+        _ => None,
+    };
+
+    // Pushdown classification: a conjunct whose innermost-level slots all
+    // land in one item filters that item's scan directly. Only fully
+    // slot-resolved conjuncts qualify (no subqueries, no interpreter
+    // fallbacks), and only rows it evaluates to non-*true* on are dropped
+    // — errors defer to the full predicate, so pushdown never surfaces an
+    // error early. Re-compiling against the single-item scope the scan
+    // evaluates in is sound because resolution is innermost-first:
+    // removing sibling frames cannot redirect a reference that already
+    // resolved into this item.
+    let mut pushed: Vec<Vec<CompiledExpr>> = (0..metas.len()).map(|_| Vec::new()).collect();
+    if compiled_mode && metas.len() > 1 {
+        if let Some(p) = &stmt.predicate {
+            let mut conjuncts = Vec::new();
+            crate::planner::collect_conjuncts(p, &mut conjuncts);
+            for c in conjuncts {
+                let cc = compile(c, &layout);
+                if !cc.slots_only() {
+                    continue;
+                }
+                // All level-0 slots must target a single item. Conjuncts
+                // with no level-0 slots (constants, outer-only references)
+                // are left to the full predicate: evaluating them per scan
+                // row would be wasted work, not a correctness issue.
+                let mut target = None;
+                let mut single_item = true;
+                cc.for_each_slot(&mut |up, frame, _| {
+                    if up == 0 {
+                        match target {
+                            None => target = Some(frame),
+                            Some(t) if t == frame => {}
+                            Some(_) => single_item = false,
+                        }
+                    }
                 });
-                let rows: Vec<ScanRow> = scan_handles(ctx.db, tid, &access)
-                    .into_iter()
-                    .map(|h| {
-                        let t = ctx.db.get(tid, h).expect("scanned handle is live");
-                        (Some((tid, h)), t.0.clone())
-                    })
-                    .collect();
-                stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
-                items.push(FromItem { binding, columns, types, rows });
-            }
-            TableSource::Transition { kind, table, column } => {
-                let tid = ctx.db.table_id(table)?;
-                let schema = ctx.db.schema(tid);
-                let columns =
-                    Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
-                let types = schema.columns.iter().map(|c| c.ty).collect();
-                let rows: Vec<ScanRow> = ctx
-                    .virt
-                    .rows(ctx.db, *kind, table, column.as_deref())?
-                    .into_iter()
-                    .map(|vals| (None, vals))
-                    .collect();
-                stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
-                items.push(FromItem { binding, columns, types, rows });
+                if !single_item {
+                    continue;
+                }
+                let Some(i) = target else { continue };
+                let mut scan_layout = bindings.layout();
+                scan_layout.push_level(vec![LayoutFrame {
+                    name: metas[i].binding.clone(),
+                    columns: Arc::clone(&metas[i].columns),
+                }]);
+                pushed[i].push(compile(c, &scan_layout));
             }
         }
     }
 
+    // 1c. Materialize each item, filtering through its pushed conjuncts.
+    let mut items: Vec<FromItem> = Vec::with_capacity(metas.len());
+    for (idx, (meta, tref)) in metas.into_iter().zip(&stmt.from).enumerate() {
+        let mut rows: Vec<ScanRow> = match (&meta.source, &tref.source) {
+            (Source::Named { tid, access }, _) => {
+                stats::bump(ctx.stats, |s| match access {
+                    Access::FullScan => s.full_scans += 1,
+                    Access::IndexEq { .. } | Access::IndexIn { .. } => s.index_lookups += 1,
+                    Access::Empty => s.empty_scans += 1,
+                });
+                scan_handles(ctx.db, *tid, access)
+                    .into_iter()
+                    .map(|h| {
+                        let t = ctx.db.get(*tid, h).expect("scanned handle is live");
+                        (Some((*tid, h)), t.0.clone())
+                    })
+                    .collect()
+            }
+            (Source::Transition, TableSource::Transition { kind, table, column }) => ctx
+                .virt
+                .rows(ctx.db, *kind, table, column.as_deref())?
+                .into_iter()
+                .map(|vals| (None, vals))
+                .collect(),
+            (Source::Transition, TableSource::Named(_)) => {
+                unreachable!("meta source mirrors the from item")
+            }
+        };
+        stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
+        if !pushed[idx].is_empty() {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                bindings.push_level(vec![Frame {
+                    name: meta.binding.clone(),
+                    columns: Arc::clone(&meta.columns),
+                    row: row.1.clone(),
+                }]);
+                let mut keep = true;
+                for cc in &pushed[idx] {
+                    // Drop only on a definite non-`true`; keep on error so
+                    // the full predicate raises it (or a hash step shows
+                    // the combination never forms, as the historical
+                    // 2-way hash path already allowed).
+                    if matches!(eval_compiled_predicate(ctx, bindings, None, cc), Ok(false)) {
+                        keep = false;
+                        break;
+                    }
+                }
+                bindings.pop_level();
+                if keep {
+                    kept.push(row);
+                } else {
+                    stats::bump(ctx.stats, |s| s.pushdown_filtered += 1);
+                }
+            }
+            rows = kept;
+        }
+        items.push(FromItem {
+            binding: meta.binding,
+            columns: meta.columns,
+            types: meta.types,
+            rows,
+        });
+    }
+
     // ------------------------------------------------------------------
-    // 2. Join + `where`: hash join for two-item equi-joins, nested-loop
-    //    odometer otherwise. Both paths evaluate the *full* predicate per
-    //    assembled combination, so the hash probe is only a sound
-    //    prefilter, and both emit combinations in the same (row-index
-    //    lexicographic) order, keeping execution deterministic.
+    // 2. Join + `where`. Compiled mode executes the greedy N-way
+    //    `JoinPlan` (hash steps on equi-join keys, cross steps only when
+    //    nothing connects); interpreted mode keeps the historical 2-item
+    //    hash special case and nested-loop odometer. All paths evaluate
+    //    the *full* predicate per assembled combination — hash probes and
+    //    pushdown are sound prefilters — and emit combinations in
+    //    row-index lexicographic order, keeping execution deterministic.
     // ------------------------------------------------------------------
     let mut matching: Vec<Level> = Vec::new();
     let mut origins: Vec<Vec<(TableId, TupleHandle)>> = Vec::new();
@@ -171,6 +312,7 @@ pub fn run_select_traced(
     {
         let mut consider =
             |cursor: &[usize], bindings: &mut Bindings| -> Result<(), QueryError> {
+                stats::bump(ctx.stats, |s| s.join_combinations += 1);
                 let level: Level = items
                     .iter()
                     .zip(cursor)
@@ -181,9 +323,10 @@ pub fn run_select_traced(
                     })
                     .collect();
                 bindings.push_level(level);
-                let keep = match &stmt.predicate {
-                    Some(p) => eval_predicate(ctx, bindings, None, p),
-                    None => Ok(true),
+                let keep = match (&full_pred, &stmt.predicate) {
+                    (Some(cp), _) => eval_compiled_predicate(ctx, bindings, None, cp),
+                    (None, Some(p)) => eval_predicate(ctx, bindings, None, p),
+                    (None, None) => Ok(true),
                 };
                 let level = bindings.pop_level().expect("pushed above");
                 if keep? {
@@ -203,7 +346,108 @@ pub fn run_select_traced(
             };
 
         let all_nonempty = items.iter().all(|it| !it.rows.is_empty());
-        if let Some((c0, c1)) = find_equi_join(stmt, &items) {
+        if compiled_mode {
+            // An empty item means zero combinations (matching the
+            // odometer), so only plan when every item has rows.
+            if all_nonempty {
+                if items.len() == 1 {
+                    for i in 0..items[0].rows.len() {
+                        consider(&[i], bindings)?;
+                    }
+                } else {
+                    let types: Vec<Vec<DataType>> =
+                        items.iter().map(|it| it.types.clone()).collect();
+                    let edges = equi_join_edges(stmt.predicate.as_ref(), &layout, &types);
+                    let cards: Vec<usize> = items.iter().map(|it| it.rows.len()).collect();
+                    let plan = build_join_plan(&cards, &edges);
+                    stats::bump(ctx.stats, |s| {
+                        for step in &plan.steps {
+                            if step.edges.is_empty() {
+                                s.nested_loop_joins += 1;
+                            } else {
+                                s.hash_joins += 1;
+                            }
+                        }
+                    });
+                    let order = plan.order();
+                    // pos_of[item] = position of that item in join order;
+                    // a partial combination stores row indices in join
+                    // order, one per placed item.
+                    let mut pos_of = vec![0usize; items.len()];
+                    for (p, &it) in order.iter().enumerate() {
+                        pos_of[it] = p;
+                    }
+                    let mut partials: Vec<Vec<usize>> =
+                        (0..items[plan.first].rows.len()).map(|i| vec![i]).collect();
+                    for step in &plan.steps {
+                        if partials.is_empty() {
+                            break;
+                        }
+                        let new_rows = &items[step.item].rows;
+                        if step.edges.is_empty() {
+                            // Cross step: no equi-edge reaches this item.
+                            let mut next = Vec::with_capacity(partials.len() * new_rows.len());
+                            for p in &partials {
+                                for j in 0..new_rows.len() {
+                                    let mut q = p.clone();
+                                    q.push(j);
+                                    next.push(q);
+                                }
+                            }
+                            partials = next;
+                        } else {
+                            // Hash step: build on the incoming item over
+                            // the composite key. NULL key components never
+                            // join (SQL equality with NULL is unknown);
+                            // the type-equality requirement on edges makes
+                            // storage-level hash equality agree with SQL
+                            // equality.
+                            let mut table: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
+                            'build: for (j, row) in new_rows.iter().enumerate() {
+                                let mut key = Vec::with_capacity(step.edges.len());
+                                for &(_, _, nc) in &step.edges {
+                                    let v = &row.1[nc];
+                                    if v.is_null() {
+                                        continue 'build;
+                                    }
+                                    key.push(v);
+                                }
+                                table.entry(key).or_default().push(j);
+                            }
+                            let mut next = Vec::new();
+                            'probe: for p in &partials {
+                                let mut key = Vec::with_capacity(step.edges.len());
+                                for &(pi, pc, _) in &step.edges {
+                                    let v = &items[pi].rows[p[pos_of[pi]]].1[pc];
+                                    if v.is_null() {
+                                        continue 'probe;
+                                    }
+                                    key.push(v);
+                                }
+                                if let Some(js) = table.get(&key) {
+                                    for &j in js {
+                                        let mut q = p.clone();
+                                        q.push(j);
+                                        next.push(q);
+                                    }
+                                }
+                            }
+                            partials = next;
+                        }
+                    }
+                    // Back to item order, emitted lexicographically so the
+                    // two executors produce identical result order.
+                    let mut cursors: Vec<Vec<usize>> = partials
+                        .into_iter()
+                        .map(|p| (0..items.len()).map(|i| p[pos_of[i]]).collect())
+                        .collect();
+                    cursors.sort_unstable();
+                    for c in &cursors {
+                        consider(c, bindings)?;
+                    }
+                }
+            }
+        } else if let Some((c0, c1)) = find_equi_join(stmt, &items) {
             stats::bump(ctx.stats, |s| s.hash_joins += 1);
             // Hash join: build on the right item, probe with the left.
             // NULL keys never join (SQL equality with NULL is unknown);
@@ -370,18 +614,45 @@ pub fn run_select_traced(
             }
         }
     } else {
+        // Compiled mode lowers projections and order-by keys once instead
+        // of resolving names per output row. (These include synthesized
+        // wildcard expansions, so they compile fresh — never through the
+        // plan cache, whose keys require stable AST addresses.)
+        let compiled_proj: Option<(Vec<CompiledExpr>, Vec<CompiledExpr>)> = if compiled_mode {
+            Some((
+                proj.iter().map(|(e, _)| compile(e, &layout)).collect(),
+                stmt.order_by.iter().map(|(e, _)| compile(e, &layout)).collect(),
+            ))
+        } else {
+            None
+        };
         for level in matching {
             bindings.push_level(level);
             let result = (|| -> Result<(Vec<Value>, Vec<Value>), QueryError> {
-                let mut out = Vec::with_capacity(proj.len());
-                for (e, _) in &proj {
-                    out.push(eval_expr(ctx, bindings, None, e)?);
+                match &compiled_proj {
+                    Some((ps, ks)) => {
+                        let mut out = Vec::with_capacity(ps.len());
+                        for e in ps {
+                            out.push(eval_compiled(ctx, bindings, None, e)?);
+                        }
+                        let mut key = Vec::with_capacity(ks.len());
+                        for e in ks {
+                            key.push(eval_compiled(ctx, bindings, None, e)?);
+                        }
+                        Ok((key, out))
+                    }
+                    None => {
+                        let mut out = Vec::with_capacity(proj.len());
+                        for (e, _) in &proj {
+                            out.push(eval_expr(ctx, bindings, None, e)?);
+                        }
+                        let mut key = Vec::with_capacity(stmt.order_by.len());
+                        for (e, _) in &stmt.order_by {
+                            key.push(eval_expr(ctx, bindings, None, e)?);
+                        }
+                        Ok((key, out))
+                    }
                 }
-                let mut key = Vec::with_capacity(stmt.order_by.len());
-                for (e, _) in &stmt.order_by {
-                    key.push(eval_expr(ctx, bindings, None, e)?);
-                }
-                Ok((key, out))
             })();
             bindings.pop_level();
             keyed_rows.push(result?);

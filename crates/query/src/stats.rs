@@ -36,8 +36,17 @@ pub struct ExecStats {
     pub subquery_cache_misses: u64,
     /// Two-item equi-joins executed via the hash-join fast path.
     pub hash_joins: u64,
-    /// Multi-item joins executed via the nested-loop odometer.
+    /// Multi-item joins executed via the nested-loop odometer (or, in the
+    /// compiled pipeline, cross-product join steps with no usable
+    /// equi-join key).
     pub nested_loop_joins: u64,
+    /// Rows dropped during the scan by predicate conjuncts the compiled
+    /// pipeline pushed down to their `from` item.
+    pub pushdown_filtered: u64,
+    /// Row combinations assembled by the join (each is one full-predicate
+    /// evaluation) — the per-row-work figure the compile-once pipeline
+    /// exists to shrink.
+    pub join_combinations: u64,
 }
 
 impl ExecStats {
@@ -53,6 +62,8 @@ impl ExecStats {
             subquery_cache_misses: self.subquery_cache_misses + other.subquery_cache_misses,
             hash_joins: self.hash_joins + other.hash_joins,
             nested_loop_joins: self.nested_loop_joins + other.nested_loop_joins,
+            pushdown_filtered: self.pushdown_filtered + other.pushdown_filtered,
+            join_combinations: self.join_combinations + other.join_combinations,
         }
     }
 
@@ -68,6 +79,8 @@ impl ExecStats {
             subquery_cache_misses: self.subquery_cache_misses - earlier.subquery_cache_misses,
             hash_joins: self.hash_joins - earlier.hash_joins,
             nested_loop_joins: self.nested_loop_joins - earlier.nested_loop_joins,
+            pushdown_filtered: self.pushdown_filtered - earlier.pushdown_filtered,
+            join_combinations: self.join_combinations - earlier.join_combinations,
         }
     }
 
@@ -83,6 +96,8 @@ impl ExecStats {
             ("subquery_cache_misses", Json::Int(self.subquery_cache_misses as i64)),
             ("hash_joins", Json::Int(self.hash_joins as i64)),
             ("nested_loop_joins", Json::Int(self.nested_loop_joins as i64)),
+            ("pushdown_filtered", Json::Int(self.pushdown_filtered as i64)),
+            ("join_combinations", Json::Int(self.join_combinations as i64)),
         ])
     }
 }
@@ -161,6 +176,6 @@ mod tests {
         let j = ExecStats { nested_loop_joins: 3, ..Default::default() }.to_json();
         assert_eq!(j.get("nested_loop_joins").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("rows_scanned").unwrap().as_i64(), Some(0));
-        assert_eq!(j.as_object().unwrap().len(), 9);
+        assert_eq!(j.as_object().unwrap().len(), 11);
     }
 }

@@ -20,6 +20,13 @@ cargo test -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke (query pipeline acceptance counters)"
+# BENCH_FAST shrinks warm-up/measurement budgets; the bench itself asserts
+# the pipeline acceptance bars (>=2x per-row-work reduction on the 3-way
+# join, plan-cache hits on rule refire) and writes the counters snapshot.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench query_pipeline
+
 echo "==> EngineEvent enum guard"
 # Variant names: capitalized identifiers at 4-space indent inside the
 # `pub enum EngineEvent { ... }` block.

@@ -75,18 +75,28 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
             "loop safeguard abort (limit 7)",
             "loop_safeguard_abort",
         ),
+        (
+            EngineEvent::PlanCache { rule: "r".into(), hit: true },
+            "plan cache hit for 'r'",
+            "plan_cache",
+        ),
+        (
+            EngineEvent::PlanCache { rule: "r".into(), hit: false },
+            "plan cache miss for 'r'",
+            "plan_cache",
+        ),
     ]
 }
 
 #[test]
 fn every_variant_displays_and_serializes() {
     let samples = event_samples();
-    // The sample list must cover the whole enum: 11 distinct kinds (the
-    // rollback variant appears twice, named and unnamed).
+    // The sample list must cover the whole enum: 12 distinct kinds (the
+    // rollback and plan-cache variants appear twice each).
     let mut kinds: Vec<&str> = samples.iter().map(|(e, _, _)| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 11, "event_samples() must cover every EngineEvent variant");
+    assert_eq!(kinds.len(), 12, "event_samples() must cover every EngineEvent variant");
 
     for (ev, display, tag) in samples {
         assert_eq!(ev.to_string(), display);
@@ -114,7 +124,8 @@ fn rule_accessor_names_the_concerned_rule() {
             | EngineEvent::RuleExecuted { rule, .. }
             | EngineEvent::RuleRetriggered { rule }
             | EngineEvent::TransInfoInit { rule }
-            | EngineEvent::TransInfoModify { rule } => assert_eq!(ev.rule(), Some(rule.as_str())),
+            | EngineEvent::TransInfoModify { rule }
+            | EngineEvent::PlanCache { rule, .. } => assert_eq!(ev.rule(), Some(rule.as_str())),
             EngineEvent::Rollback { by_rule } => assert_eq!(ev.rule(), by_rule.as_deref()),
             _ => assert_eq!(ev.rule(), None),
         }
@@ -166,6 +177,8 @@ fn random_exec(rng: &mut Rng) -> ExecStats {
         subquery_cache_misses: rng.below(10) as u64,
         hash_joins: rng.below(5) as u64,
         nested_loop_joins: rng.below(5) as u64,
+        pushdown_filtered: rng.below(50) as u64,
+        join_combinations: rng.below(100) as u64,
     }
 }
 

@@ -1,0 +1,382 @@
+//! The compile-once query pipeline, end to end:
+//!
+//! * **differential property**: every randomly generated (type-correct)
+//!   select returns byte-identical relations under `ExecMode::Compiled`
+//!   and `ExecMode::Interpreted` — compilation is an execution strategy,
+//!   never a semantics change;
+//! * **golden plans**: `explain` output for the paper's Example 3.1 / 4.1
+//!   query shapes and for a three-way join is locked down exactly;
+//! * **plan cache**: repeated rule processing hits the per-rule cache,
+//!   any DDL invalidates it, and the `plan_cache` events narrate both;
+//! * **access-path determinism**: index-backed scans return handles in
+//!   the same order a full scan would (sorted), even after updates have
+//!   scrambled index-bucket insertion order.
+
+use setrules_core::{EngineConfig, FiredRule, RuleSystem};
+use setrules_query::planner::{scan_handles, Access};
+use setrules_query::{execute_op, execute_query_with_opts, ExecMode, NoTransitionTables, Relation};
+use setrules_sql::ast::{DmlOp, SelectStmt, Statement};
+use setrules_sql::parse_statement;
+use setrules_storage::{tuple, ColumnId, Database, TableId, Value};
+use setrules_testkit::{check, Rng};
+
+fn exec(db: &mut Database, sql: &str) {
+    let Statement::Dml(op) = parse_statement(sql).unwrap() else { panic!("not DML: {sql}") };
+    execute_op(db, &NoTransitionTables, &op).unwrap();
+}
+
+fn sel(sql: &str) -> SelectStmt {
+    match parse_statement(sql).unwrap() {
+        Statement::Dml(DmlOp::Select(s)) => s,
+        _ => panic!("not a select: {sql}"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Differential property: compiled ≡ interpreted
+// ----------------------------------------------------------------------
+
+/// Tables for the generator: `(name, int columns, text columns)`.
+const TABLES: &[(&str, &[&str], &[&str])] =
+    &[("t1", &["a", "b"], &["s"]), ("t2", &["a", "c"], &[]), ("t3", &["a", "d"], &[])];
+
+fn random_database(rng: &mut Rng) -> Database {
+    let mut db = Database::new();
+    let mut create = |sql: &str| {
+        let Statement::CreateTable(ct) = parse_statement(sql).unwrap() else { panic!() };
+        let cols = ct
+            .columns
+            .into_iter()
+            .map(|(n, ty)| setrules_storage::ColumnDef::new(n, ty))
+            .collect();
+        db.create_table(setrules_storage::TableSchema::new(ct.name, cols)).unwrap()
+    };
+    let t1 = create("create table t1 (a int, b int, s text)");
+    let t2 = create("create table t2 (a int, c int)");
+    let t3 = create("create table t3 (a int, d int)");
+    // Index column `a` of a random subset of tables, so the same queries
+    // run through probe, multi-probe, and seq-scan access paths.
+    for t in [t1, t2, t3] {
+        if rng.chance(1, 2) {
+            db.create_index(t, ColumnId(0)).unwrap();
+        }
+    }
+    let int_lit = |rng: &mut Rng| {
+        if rng.chance(1, 6) {
+            "NULL".to_string()
+        } else {
+            rng.range_i64(-2, 5).to_string()
+        }
+    };
+    for (name, ints, texts) in TABLES {
+        for _ in 0..rng.below(8) {
+            let mut vals: Vec<String> = ints.iter().map(|_| int_lit(rng)).collect();
+            for _ in texts.iter() {
+                vals.push(rng.pick(&["'ab'", "'ba'", "'abc'", "NULL"]).to_string());
+            }
+            exec(&mut db, &format!("insert into {name} values ({})", vals.join(", ")));
+        }
+    }
+    db
+}
+
+/// A random predicate over the given qualified column names; always
+/// type-correct (int comparisons on int columns, `like` on text).
+fn random_pred(rng: &mut Rng, ints: &[String], texts: &[String], depth: usize) -> String {
+    if depth > 0 && rng.chance(1, 2) {
+        let left = random_pred(rng, ints, texts, depth - 1);
+        let right = random_pred(rng, ints, texts, depth - 1);
+        return match rng.below(3) {
+            0 => format!("({left} and {right})"),
+            1 => format!("({left} or {right})"),
+            _ => format!("not ({left})"),
+        };
+    }
+    let term = |rng: &mut Rng| {
+        if rng.chance(1, 3) {
+            rng.range_i64(-2, 5).to_string()
+        } else {
+            rng.pick_cloned(ints)
+        }
+    };
+    match rng.below(if texts.is_empty() { 5 } else { 6 }) {
+        0 | 1 => {
+            let op = rng.pick(&["=", "<>", "<", "<=", ">", ">="]);
+            format!("{} {op} {}", term(rng), term(rng))
+        }
+        2 => {
+            let vals: Vec<String> =
+                (0..1 + rng.below(3)).map(|_| rng.range_i64(-2, 5).to_string()).collect();
+            let not = if rng.chance(1, 4) { "not " } else { "" };
+            format!("{} {not}in ({})", rng.pick_cloned(ints), vals.join(", "))
+        }
+        3 => {
+            let lo = rng.range_i64(-2, 3);
+            format!("{} between {lo} and {}", rng.pick_cloned(ints), lo + rng.range_i64(0, 3))
+        }
+        4 => {
+            let not = if rng.chance(1, 2) { " not" } else { "" };
+            format!("{} is{not} null", rng.pick_cloned(ints))
+        }
+        _ => {
+            let pat = rng.pick(&["'a%'", "'%b'", "'_b%'", "'ab'"]);
+            format!("{} like {pat}", rng.pick_cloned(texts))
+        }
+    }
+}
+
+#[test]
+fn compiled_and_interpreted_agree_on_random_queries() {
+    check("compiled_vs_interpreted", 300, 0xc0_4411ed, |rng| {
+        let db = random_database(rng);
+        // 1–3 from items (repeats allowed — distinct aliases).
+        let n_items = 1 + rng.below(3);
+        let aliases = ["x", "y", "z"];
+        let mut from = Vec::new();
+        let mut ints = Vec::new();
+        let mut texts = Vec::new();
+        for alias in aliases.iter().take(n_items) {
+            let (table, tints, ttexts) = rng.pick(TABLES);
+            from.push(format!("{table} {alias}"));
+            ints.extend(tints.iter().map(|c| format!("{alias}.{c}")));
+            texts.extend(ttexts.iter().map(|c| format!("{alias}.{c}")));
+        }
+        let proj = match rng.below(3) {
+            0 => "*".to_string(),
+            1 => "count(*)".to_string(),
+            _ => {
+                let k = 1 + rng.below(ints.len().min(3));
+                (0..k).map(|_| rng.pick_cloned(&ints)).collect::<Vec<_>>().join(", ")
+            }
+        };
+        let mut sql = format!("select {proj} from {}", from.join(", "));
+        if rng.chance(3, 4) {
+            sql.push_str(&format!(" where {}", random_pred(rng, &ints, &texts, 2)));
+        }
+        let stmt = sel(&sql);
+        let run = |mode: ExecMode| {
+            execute_query_with_opts(&db, &NoTransitionTables, &stmt, None, mode, None)
+        };
+        match (run(ExecMode::Compiled), run(ExecMode::Interpreted)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "result diverged for: {sql}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "error diverged for: {sql}")
+            }
+            (a, b) => panic!("outcome diverged for {sql}: {a:?} vs {b:?}"),
+        }
+    });
+}
+
+/// The full engine produces identical rule firings and final state in
+/// both modes on the paper's cascading-delete scenarios.
+#[test]
+fn engine_modes_agree_end_to_end() {
+    let run = |mode: ExecMode| -> (Vec<FiredRule>, Relation, Relation) {
+        let mut sys = RuleSystem::with_config(EngineConfig { exec_mode: mode, ..Default::default() });
+        sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+        sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+        sys.execute("create index on emp (dept_no)").unwrap();
+        sys.execute(
+            "create rule r31 when deleted from dept \
+             then delete from emp where dept_no in (select dept_no from deleted dept)",
+        )
+        .unwrap();
+        sys.execute(
+            "create rule r41 when deleted from emp \
+             then delete from dept where mgr_no in (select emp_no from deleted emp)",
+        )
+        .unwrap();
+        sys.execute("insert into dept values (1, 2), (2, 3), (3, 99)").unwrap();
+        sys.execute(
+            "insert into emp values ('r', 1, 1.0, 0), ('m1', 2, 1.0, 1), \
+             ('m2', 3, 1.0, 2), ('w', 4, 1.0, 3)",
+        )
+        .unwrap();
+        let out = sys.transaction("delete from dept where dept_no = 1").unwrap();
+        let emp = sys.query("select name, emp_no, salary, dept_no from emp order by emp_no").unwrap();
+        let dept = sys.query("select dept_no, mgr_no from dept order by dept_no").unwrap();
+        (out.fired().to_vec(), emp, dept)
+    };
+    assert_eq!(run(ExecMode::Compiled), run(ExecMode::Interpreted));
+}
+
+// ----------------------------------------------------------------------
+// Golden explain plans
+// ----------------------------------------------------------------------
+
+fn paper_system() -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("insert into dept values (1, 10), (2, 20)").unwrap();
+    sys.execute(
+        "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 10.0, 1), ('c', 3, 10.0, 2)",
+    )
+    .unwrap();
+    sys
+}
+
+/// Example 3.1's action body: `delete from emp where dept_no in (select
+/// dept_no from deleted dept)`. The subquery's probe values exist only
+/// per firing, so the general plan is a seq scan; once the values are
+/// literal (what the firing sees), an index turns it into a multi-probe.
+#[test]
+fn golden_explain_example_3_1_action_shape() {
+    let mut sys = paper_system();
+    let shape = "select * from emp where dept_no in (select dept_no from deleted dept)";
+    assert_eq!(sys.explain(shape).unwrap(), "emp: seq scan (3 rows)\n");
+    sys.execute("create index on emp (dept_no)").unwrap();
+    assert_eq!(sys.explain(shape).unwrap(), "emp: seq scan (3 rows)\n");
+    assert_eq!(
+        sys.explain("select * from emp where dept_no in (1, 2)").unwrap(),
+        "emp: index multi-probe on emp.dept_no in (1, 2)\n"
+    );
+}
+
+/// Example 4.1's recursive-cascade action body, with its two-level
+/// subquery chain: `delete from emp where dept_no in (select dept_no from
+/// dept where mgr_no in (select emp_no from deleted emp))`.
+#[test]
+fn golden_explain_example_4_1_action_shape() {
+    let mut sys = paper_system();
+    sys.execute("create index on emp (dept_no)").unwrap();
+    assert_eq!(
+        sys.explain(
+            "select * from emp where dept_no in \
+             (select dept_no from dept where mgr_no in (select emp_no from deleted emp))"
+        )
+        .unwrap(),
+        "emp: seq scan (3 rows)\n"
+    );
+    // The inner dept lookup, as the executor sees it with literal probe
+    // values, keys on the equality probe.
+    assert_eq!(
+        sys.explain("select dept_no from dept where dept_no = 1").unwrap(),
+        "dept: seq scan (2 rows)\n"
+    );
+}
+
+#[test]
+fn golden_explain_three_way_join_order() {
+    let mut sys = paper_system();
+    sys.execute("create table proj (proj_no int, dept_no int)").unwrap();
+    sys.execute("insert into proj values (100, 1)").unwrap();
+    let plan = sys
+        .explain(
+            "select name from emp, dept, proj \
+             where emp.dept_no = dept.dept_no and proj.dept_no = dept.dept_no",
+        )
+        .unwrap();
+    assert_eq!(
+        plan,
+        "emp: seq scan (3 rows)\n\
+         dept: seq scan (2 rows)\n\
+         proj: seq scan (1 rows)\n\
+         join order: proj (1 rows) -> dept (hash on dept.dept_no = proj.dept_no, 2 rows) \
+         -> emp (hash on emp.dept_no = dept.dept_no, 3 rows)\n"
+    );
+    // Disconnected item: the planner attaches it as a cross step, last.
+    let plan = sys.explain("select name from emp, dept, proj where emp.dept_no = dept.dept_no").unwrap();
+    assert!(plan.contains("(cross, "), "{plan}");
+}
+
+// ----------------------------------------------------------------------
+// Plan cache lifecycle
+// ----------------------------------------------------------------------
+
+#[test]
+fn plan_cache_hits_on_repeated_processing_and_clears_on_ddl() {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table t (k int)").unwrap();
+    sys.execute("create table log (k int)").unwrap();
+    sys.execute(
+        "create rule copy when inserted into t \
+         if exists (select * from inserted t) \
+         then insert into log (select k from inserted t)",
+    )
+    .unwrap();
+
+    sys.execute("insert into t values (1)").unwrap();
+    let s1 = sys.stats().clone();
+    assert_eq!(s1.plan_cache_hits, 0, "first consideration compiles fresh");
+    assert!(s1.plan_cache_misses >= 1);
+
+    sys.execute("insert into t values (2)").unwrap();
+    let s2 = sys.stats().clone();
+    assert!(s2.plan_cache_hits >= 1, "second transaction reuses the rule's plans");
+
+    // The event stream narrates the cache: at least one miss then a hit.
+    let kinds: Vec<String> = sys
+        .recent_events()
+        .iter()
+        .filter(|e| e.kind() == "plan_cache")
+        .map(|e| e.to_string())
+        .collect();
+    assert!(kinds.contains(&"plan cache miss for 'copy'".to_string()), "{kinds:?}");
+    assert!(kinds.contains(&"plan cache hit for 'copy'".to_string()), "{kinds:?}");
+
+    // Any DDL drops every cached plan: the next consideration is a miss.
+    sys.execute("create index on t (k)").unwrap();
+    sys.execute("insert into t values (3)").unwrap();
+    let s3 = sys.stats().clone();
+    assert_eq!(s3.plan_cache_misses, s2.plan_cache_misses + 1, "DDL invalidated the cache");
+    assert_eq!(s3.plan_cache_hits, s2.plan_cache_hits, "no stale hit after DDL");
+
+    // Interpreted mode never touches the cache.
+    let mut isys = RuleSystem::with_config(EngineConfig {
+        exec_mode: ExecMode::Interpreted,
+        ..Default::default()
+    });
+    isys.execute("create table t (k int)").unwrap();
+    isys.execute("create table log (k int)").unwrap();
+    isys.execute(
+        "create rule copy when inserted into t then insert into log (select k from inserted t)",
+    )
+    .unwrap();
+    isys.execute("insert into t values (1)").unwrap();
+    isys.execute("insert into t values (2)").unwrap();
+    assert_eq!(isys.stats().plan_cache_hits, 0);
+    assert_eq!(isys.stats().plan_cache_misses, 0);
+    assert!(isys.recent_events().iter().all(|e| e.kind() != "plan_cache"));
+}
+
+// ----------------------------------------------------------------------
+// Access-path determinism
+// ----------------------------------------------------------------------
+
+#[test]
+fn index_scans_return_handles_in_full_scan_order() {
+    let mut db = Database::new();
+    let t = {
+        let cols = vec![setrules_storage::ColumnDef::new("k", setrules_storage::DataType::Int)];
+        db.create_table(setrules_storage::TableSchema::new("t", cols)).unwrap()
+    };
+    db.create_index(t, ColumnId(0)).unwrap();
+    for k in [3i64, 5, 7, 5, 3, 7, 5] {
+        db.insert(t, tuple![k]).unwrap();
+    }
+    // Move early-handle rows across buckets so bucket insertion order no
+    // longer matches handle order.
+    exec(&mut db, "update t set k = 5 where k = 3");
+    exec(&mut db, "update t set k = 7 where k = 5");
+    exec(&mut db, "update t set k = 5 where k = 7");
+
+    let expect = |db: &Database, t: TableId, keys: &[i64]| {
+        scan_handles(db, t, &Access::FullScan)
+            .into_iter()
+            .filter(|h| {
+                let row = db.table(t).get(*h).unwrap();
+                keys.iter().any(|k| row.0[0] == Value::Int(*k))
+            })
+            .collect::<Vec<_>>()
+    };
+    let eq5 = scan_handles(&db, t, &Access::IndexEq { column: ColumnId(0), value: Value::Int(5) });
+    assert_eq!(eq5, expect(&db, t, &[5]), "IndexEq must match full-scan order");
+    let multi = scan_handles(
+        &db,
+        t,
+        &Access::IndexIn { column: ColumnId(0), values: vec![Value::Int(5), Value::Int(7)] },
+    );
+    assert_eq!(multi, expect(&db, t, &[5, 7]), "IndexIn must match full-scan order");
+    assert!(multi.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+}
