@@ -15,11 +15,13 @@ use std::time::Instant;
 
 use setrules_query::{
     compile_cached, eval_compiled_predicate, execute_op_with_opts, execute_query_with_opts,
-    ExecMode, ExecStats, NoTransitionTables, OpEffect, PlanCache, Relation, StatsCell,
+    ExecMode, ExecStats, NoTransitionTables, OpEffect, PlanCache, QueryError, Relation, StatsCell,
 };
 use setrules_sql::ast::{CreateRule, DmlOp, Statement};
 use setrules_sql::{parse_op_block, parse_statement, parse_statements};
-use setrules_storage::{Database, StorageStats, TableSchema, UndoMark};
+use setrules_storage::{
+    Database, FaultInjector, FaultPlan, StorageError, StorageStats, TableSchema, UndoMark,
+};
 
 use crate::error::RuleError;
 use crate::events::{EngineEvent, EventBus, EventSink};
@@ -69,6 +71,11 @@ pub struct EngineConfig {
     /// per-rule plan cache across firings; `Interpreted` walks the AST
     /// per row (kept for differential testing).
     pub exec_mode: ExecMode,
+    /// Deterministic fault plan armed onto the storage layer's
+    /// [`FaultInjector`] at construction: the Nth storage operation of the
+    /// planned kind fails. For crash-consistency testing; `None` (the
+    /// default) injects nothing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +87,7 @@ impl Default for EngineConfig {
             strategy: SelectionStrategy::default(),
             event_capacity: 1024,
             exec_mode: ExecMode::default(),
+            fault: None,
         }
     }
 }
@@ -251,8 +259,12 @@ impl RuleSystem {
     /// A fresh system with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
         let events = EventBus::new(config.event_capacity);
+        let mut db = Database::new();
+        if let Some(plan) = config.fault {
+            db.fault_injector_mut().arm(plan.kind, plan.nth);
+        }
         RuleSystem {
-            db: Database::new(),
+            db,
             rules: Vec::new(),
             by_name: HashMap::new(),
             priorities: PriorityGraph::new(),
@@ -271,6 +283,17 @@ impl RuleSystem {
     /// Read-only access to the database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The storage layer's fault injector (counters and armed plan).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        self.db.fault_injector()
+    }
+
+    /// Mutable access to the fault injector, to arm/disarm plans or reset
+    /// site counters between workloads.
+    pub fn fault_injector_mut(&mut self) -> &mut FaultInjector {
+        self.db.fault_injector_mut()
     }
 
     // ------------------------------------------------------------------
@@ -681,8 +704,10 @@ impl RuleSystem {
                 Ok((affected, output))
             }
             Err(e) => {
+                let e: RuleError = e.into();
+                self.note_statement_failure(&e);
                 self.abort_internal();
-                Err(e.into())
+                Err(e)
             }
         }
     }
@@ -702,6 +727,25 @@ impl RuleSystem {
             self.stats.txns_rolled_back += 1;
             self.events.emit(EngineEvent::Rollback { by_rule: None });
         }
+    }
+
+    /// Record a failed DML statement: the query layer has already undone
+    /// its partial effects to the statement savepoint, so emit
+    /// [`EngineEvent::StatementRollback`] (plus [`EngineEvent::Fault`]
+    /// when the cause was an armed fault plan) before the transaction
+    /// itself rolls back.
+    fn note_statement_failure(&mut self, e: &RuleError) {
+        let storage_err = match e {
+            RuleError::Storage(se) => Some(se),
+            RuleError::Query(QueryError::Storage(se)) => Some(se),
+            _ => None,
+        };
+        if let Some(StorageError::FaultInjected { kind, op }) = storage_err {
+            self.stats.faults_injected += 1;
+            self.events.emit(EngineEvent::Fault { kind: kind.name().to_string(), n: *op });
+        }
+        self.stats.stmt_rollbacks += 1;
+        self.events.emit(EngineEvent::StatementRollback);
     }
 
     /// A rule triggering point (§5.3): process rules now, mid-transaction.
@@ -798,10 +842,12 @@ impl RuleSystem {
             ) {
                 Ok(eff) => window.absorb(&eff, self.config.track_selects),
                 Err(e) => {
+                    let e: RuleError = e.into();
+                    self.note_statement_failure(&e);
                     self.db.rollback_to(mark).expect("mark valid");
                     self.stats.txns_rolled_back += 1;
                     self.events.emit(EngineEvent::Rollback { by_rule: None });
-                    return Err(e.into());
+                    return Err(e);
                 }
             }
         }
@@ -957,6 +1003,10 @@ impl RuleSystem {
                     let tinfo = match self.execute_rule_action(rid, &action) {
                         Ok(t) => t,
                         Err(e) => {
+                            // §4: an aborted rule action aborts the whole
+                            // transaction — partial statement effects were
+                            // already undone at the statement boundary.
+                            self.note_statement_failure(&e);
                             self.abort_internal();
                             return Err(e);
                         }
@@ -1116,9 +1166,15 @@ impl RuleSystem {
                     provider,
                     effects: Vec::new(),
                     track_selects: self.config.track_selects,
+                    did_ddl: false,
                 };
                 f.run(&mut ctx)?;
                 let effects = ctx.effects;
+                if ctx.did_ddl {
+                    // Mid-transaction DDL (index creation) moved the
+                    // catalog under every cached plan's feet.
+                    self.invalidate_plans();
+                }
                 for eff in &effects {
                     if let OpEffect::Select { output, .. } = eff {
                         last_output = Some(output.clone());

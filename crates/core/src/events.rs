@@ -103,6 +103,20 @@ pub enum EngineEvent {
         /// The configured transition limit that was exceeded.
         limit: usize,
     },
+    /// An armed [`setrules_storage::FaultInjector`] fired: the Nth storage
+    /// operation of the planned kind failed deliberately. Always followed
+    /// by [`EngineEvent::StatementRollback`] and a transaction rollback.
+    Fault {
+        /// The faulted operation kind (stable snake_case name).
+        kind: String,
+        /// Which occurrence of that kind failed (1-based).
+        n: u64,
+    },
+    /// A DML statement failed mid-flight and its partial effects (if any)
+    /// were undone to the statement savepoint, leaving the database
+    /// exactly at the pre-statement state before the transaction itself
+    /// rolls back.
+    StatementRollback,
 }
 
 impl EngineEvent {
@@ -121,6 +135,8 @@ impl EngineEvent {
             EngineEvent::TransInfoInit { .. } => "trans_info_init",
             EngineEvent::TransInfoModify { .. } => "trans_info_modify",
             EngineEvent::LoopSafeguardAbort { .. } => "loop_safeguard_abort",
+            EngineEvent::Fault { .. } => "fault",
+            EngineEvent::StatementRollback => "statement_rollback",
         }
     }
 
@@ -185,6 +201,11 @@ impl EngineEvent {
             EngineEvent::LoopSafeguardAbort { limit } => {
                 put("limit", Json::Int(*limit as i64));
             }
+            EngineEvent::Fault { kind, n } => {
+                put("kind", Json::Str(kind.clone()));
+                put("n", Json::Int(*n as i64));
+            }
+            EngineEvent::StatementRollback => {}
         }
         Json::Object(fields)
     }
@@ -226,6 +247,10 @@ impl fmt::Display for EngineEvent {
             EngineEvent::LoopSafeguardAbort { limit } => {
                 write!(f, "loop safeguard abort (limit {limit})")
             }
+            EngineEvent::Fault { kind, n } => {
+                write!(f, "injected fault: {kind} #{n}")
+            }
+            EngineEvent::StatementRollback => write!(f, "statement rollback"),
         }
     }
 }
@@ -374,6 +399,8 @@ mod tests {
             EngineEvent::TransInfoInit { rule: "r".into() },
             EngineEvent::TransInfoModify { rule: "r".into() },
             EngineEvent::LoopSafeguardAbort { limit: 10 },
+            EngineEvent::Fault { kind: "tuple_insert".into(), n: 3 },
+            EngineEvent::StatementRollback,
         ]
     }
 
@@ -383,7 +410,7 @@ mod tests {
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.dedup();
         // Rollback appears twice in samples (named / unnamed).
-        assert_eq!(kinds.len(), 12);
+        assert_eq!(kinds.len(), 14);
         for e in &evs {
             assert_eq!(e.to_json().get("event").unwrap().as_str(), Some(e.kind()));
             assert!(!format!("{e}").is_empty());

@@ -44,6 +44,10 @@ pub struct ActionCtx<'a> {
     pub(crate) provider: RuleWindowProvider,
     pub(crate) effects: Vec<OpEffect>,
     pub(crate) track_selects: bool,
+    /// Set when the action ran DDL (e.g. [`ActionCtx::create_index`]);
+    /// the engine drops every cached compiled plan after the action
+    /// returns, since plans embed catalog-derived positions.
+    pub(crate) did_ddl: bool,
 }
 
 impl ActionCtx<'_> {
@@ -83,6 +87,18 @@ impl ActionCtx<'_> {
     ) -> Result<Vec<Vec<setrules_storage::Value>>, QueryError> {
         use setrules_query::TransitionTableProvider;
         self.provider.rows(self.db, kind, table, column)
+    }
+
+    /// Create an index on `table.column` from inside a rule action — the
+    /// one DDL operation permitted mid-transaction (indexes are redundant
+    /// structures, so this cannot change logical state). The engine
+    /// invalidates every cached compiled plan when the action returns.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), RuleError> {
+        let tid = self.db.table_id(table)?;
+        let c = self.db.schema(tid).column_id(column)?;
+        self.db.create_index(tid, c)?;
+        self.did_ddl = true;
+        Ok(())
     }
 
     /// Read-only access to the current database state.

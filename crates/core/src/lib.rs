@@ -62,6 +62,8 @@ pub use events::{EngineEvent, EventSink, JsonLinesSink, RingBufferSink};
 // Re-exported so [`EngineConfig::exec_mode`]'s type is nameable from this
 // crate's API without depending on the query crate directly.
 pub use setrules_query::ExecMode;
+// Likewise for [`EngineConfig::fault`] and the injector it arms.
+pub use setrules_storage::{FaultInjector, FaultKind, FaultPlan};
 pub use external::{ActionCtx, ExternalAction};
 pub use priority::PriorityGraph;
 pub use rule::{CompiledAction, CompiledPred, Rule, RuleId};

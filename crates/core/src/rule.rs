@@ -277,9 +277,12 @@ fn collect_trefs_expr(e: &Expr, out: &mut Vec<(TransitionKind, String, Option<St
             collect_trefs_expr(low, out);
             collect_trefs_expr(high, out);
         }
-        Expr::Like { expr, pattern, .. } => {
+        Expr::Like { expr, pattern, escape, .. } => {
             collect_trefs_expr(expr, out);
             collect_trefs_expr(pattern, out);
+            if let Some(e) = escape {
+                collect_trefs_expr(e, out);
+            }
         }
         Expr::Aggregate { arg, .. } => {
             if let Some(a) = arg {
@@ -370,9 +373,12 @@ fn collect_tables_expr(e: &Expr, out: &mut BTreeSet<String>) {
             collect_tables_expr(low, out);
             collect_tables_expr(high, out);
         }
-        Expr::Like { expr, pattern, .. } => {
+        Expr::Like { expr, pattern, escape, .. } => {
             collect_tables_expr(expr, out);
             collect_tables_expr(pattern, out);
+            if let Some(e) = escape {
+                collect_tables_expr(e, out);
+            }
         }
         Expr::Aggregate { arg, .. } => {
             if let Some(a) = arg {

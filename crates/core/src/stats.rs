@@ -97,6 +97,12 @@ pub struct EngineStats {
     /// Rule considerations that had to compile plans fresh (first
     /// consideration, or after a DDL invalidation).
     pub plan_cache_misses: u64,
+    /// Storage faults deliberately injected by an armed
+    /// `setrules_storage::FaultInjector` plan.
+    pub faults_injected: u64,
+    /// Failed DML statements whose partial effects were undone to the
+    /// statement savepoint (each is followed by a transaction rollback).
+    pub stmt_rollbacks: u64,
     /// Per-rule breakdown, keyed by rule name (deterministic order).
     pub per_rule: BTreeMap<String, RuleTiming>,
 }
@@ -125,6 +131,8 @@ impl EngineStats {
             loop_aborts: self.loop_aborts + other.loop_aborts,
             plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses + other.plan_cache_misses,
+            faults_injected: self.faults_injected + other.faults_injected,
+            stmt_rollbacks: self.stmt_rollbacks + other.stmt_rollbacks,
             per_rule,
         }
     }
@@ -151,6 +159,8 @@ impl EngineStats {
             loop_aborts: self.loop_aborts - earlier.loop_aborts,
             plan_cache_hits: self.plan_cache_hits - earlier.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            stmt_rollbacks: self.stmt_rollbacks - earlier.stmt_rollbacks,
             per_rule,
         }
     }
@@ -170,6 +180,8 @@ impl EngineStats {
             ("loop_aborts", Json::Int(self.loop_aborts as i64)),
             ("plan_cache_hits", Json::Int(self.plan_cache_hits as i64)),
             ("plan_cache_misses", Json::Int(self.plan_cache_misses as i64)),
+            ("faults_injected", Json::Int(self.faults_injected as i64)),
+            ("stmt_rollbacks", Json::Int(self.stmt_rollbacks as i64)),
             ("per_rule", Json::Object(per_rule)),
         ])
     }

@@ -117,9 +117,10 @@ pub fn bind_expr(e: &Expr, env: RowEnv<'_>) -> Result<Expr, SubstError> {
             high: Box::new(bind_expr(high, env)?),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like { expr, pattern, escape, negated } => Expr::Like {
             expr: Box::new(bind_expr(expr, env)?),
             pattern: Box::new(bind_expr(pattern, env)?),
+            escape: escape.as_ref().map(|e| bind_expr(e, env).map(Box::new)).transpose()?,
             negated: *negated,
         },
         Expr::Aggregate { func, arg, distinct } => Expr::Aggregate {

@@ -37,7 +37,6 @@ use crate::bindings::{Bindings, Level};
 use crate::ctx::QueryCtx;
 use crate::error::QueryError;
 use crate::eval;
-use crate::like::like_match;
 
 // ----------------------------------------------------------------------
 // Layout: the compile-time shadow of a Bindings stack.
@@ -213,12 +212,14 @@ pub enum CompiledExpr {
         /// `NOT BETWEEN` when true.
         negated: bool,
     },
-    /// `expr [NOT] LIKE pattern`.
+    /// `expr [NOT] LIKE pattern [ESCAPE c]`.
     Like {
         /// The tested operand.
         expr: Box<CompiledExpr>,
         /// The pattern.
         pattern: Box<CompiledExpr>,
+        /// The escape character expression, if given.
+        escape: Option<Box<CompiledExpr>>,
         /// `NOT LIKE` when true.
         negated: bool,
     },
@@ -265,8 +266,10 @@ impl CompiledExpr {
             CompiledExpr::Between { expr, low, high, .. } => {
                 expr.slots_only() && low.slots_only() && high.slots_only()
             }
-            CompiledExpr::Like { expr, pattern, .. } => {
-                expr.slots_only() && pattern.slots_only()
+            CompiledExpr::Like { expr, pattern, escape, .. } => {
+                expr.slots_only()
+                    && pattern.slots_only()
+                    && escape.as_ref().is_none_or(|e| e.slots_only())
             }
             CompiledExpr::InSubquery { .. }
             | CompiledExpr::Exists { .. }
@@ -298,9 +301,12 @@ impl CompiledExpr {
                 low.for_each_slot(f);
                 high.for_each_slot(f);
             }
-            CompiledExpr::Like { expr, pattern, .. } => {
+            CompiledExpr::Like { expr, pattern, escape, .. } => {
                 expr.for_each_slot(f);
                 pattern.for_each_slot(f);
+                if let Some(e) = escape {
+                    e.for_each_slot(f);
+                }
             }
             CompiledExpr::InSubquery { expr, .. } => expr.for_each_slot(f),
             CompiledExpr::Exists { .. } | CompiledExpr::ScalarSubquery(_) => {}
@@ -345,9 +351,10 @@ pub fn compile(e: &Expr, layout: &Layout) -> CompiledExpr {
             high: Box::new(compile(high, layout)),
             negated: *negated,
         }),
-        Expr::Like { expr, pattern, negated } => fold(CompiledExpr::Like {
+        Expr::Like { expr, pattern, escape, negated } => fold(CompiledExpr::Like {
             expr: Box::new(compile(expr, layout)),
             pattern: Box::new(compile(pattern, layout)),
+            escape: escape.as_ref().map(|e| Box::new(compile(e, layout))),
             negated: *negated,
         }),
         Expr::InSubquery { expr, subquery, negated } => CompiledExpr::InSubquery {
@@ -387,9 +394,10 @@ fn fold(node: CompiledExpr) -> CompiledExpr {
                     && matches!(**low, CompiledExpr::Const(_))
                     && matches!(**high, CompiledExpr::Const(_))
             }
-            CompiledExpr::Like { expr, pattern, .. } => {
+            CompiledExpr::Like { expr, pattern, escape, .. } => {
                 matches!(**expr, CompiledExpr::Const(_))
                     && matches!(**pattern, CompiledExpr::Const(_))
+                    && escape.as_ref().is_none_or(|e| matches!(**e, CompiledExpr::Const(_)))
             }
             _ => false,
         }
@@ -463,18 +471,14 @@ pub fn eval_compiled(
             let hi = eval_compiled(ctx, bindings, group, high)?;
             eval::between_semantics(&v, &lo, &hi, *negated)
         }
-        CompiledExpr::Like { expr, pattern, negated } => {
+        CompiledExpr::Like { expr, pattern, escape, negated } => {
             let v = eval_compiled(ctx, bindings, group, expr)?;
             let p = eval_compiled(ctx, bindings, group, pattern)?;
-            match (v, p) {
-                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                (Value::Text(t), Value::Text(pat)) => {
-                    Ok(Value::Bool(like_match(&t, &pat) != *negated))
-                }
-                (a, b) => {
-                    Err(QueryError::Type(format!("like requires text operands, got {a} and {b}")))
-                }
-            }
+            let e = match escape {
+                Some(ex) => Some(eval_compiled(ctx, bindings, group, ex)?),
+                None => None,
+            };
+            eval::like_semantics(&v, &p, e.as_ref(), *negated)
         }
         CompiledExpr::InSubquery { expr, subquery, negated } => {
             let needle = eval_compiled(ctx, bindings, group, expr)?;

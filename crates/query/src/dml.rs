@@ -158,6 +158,27 @@ pub fn execute_query_with_opts(
     crate::select::run_select(ctx, stmt, &mut Bindings::new())
 }
 
+/// Run the apply phase of a statement under a statement-level savepoint:
+/// if any row fails (type error, injected fault, …), the database is
+/// rolled back to the pre-statement state before the error propagates, so
+/// a multi-row statement never leaves partial effects inside an
+/// otherwise-live transaction (see `docs/robustness.md`).
+fn apply_atomically<T>(
+    db: &mut Database,
+    apply: impl FnOnce(&mut Database) -> Result<T, QueryError>,
+) -> Result<T, QueryError> {
+    let sp = db.mark();
+    match apply(db) {
+        Ok(v) => Ok(v),
+        Err(e) => {
+            // The mark was taken on this same log and nothing commits
+            // mid-statement, so it is always still valid.
+            db.rollback_to(sp).expect("statement savepoint is valid");
+            Err(e)
+        }
+    }
+}
+
 fn execute_insert(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
@@ -210,11 +231,14 @@ fn execute_insert(
         }
     };
 
-    // Phase 2: insert.
-    let mut handles = Vec::with_capacity(rows.len());
-    for t in rows {
-        handles.push(db.insert(table, t)?);
-    }
+    // Phase 2: insert (statement-atomic).
+    let handles = apply_atomically(db, |db| {
+        let mut handles = Vec::with_capacity(rows.len());
+        for t in rows {
+            handles.push(db.insert(table, t)?);
+        }
+        Ok(handles)
+    })?;
     Ok(OpEffect::Insert { table, handles })
 }
 
@@ -300,11 +324,15 @@ fn execute_delete(
     let table = db.table_id(&stmt.table)?;
     let handles =
         identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st, mode, plans)?;
-    let mut tuples = Vec::with_capacity(handles.len());
-    for h in handles {
-        let old = db.delete(table, h)?;
-        tuples.push((h, old));
-    }
+    // Phase 2: delete (statement-atomic).
+    let tuples = apply_atomically(db, |db| {
+        let mut tuples = Vec::with_capacity(handles.len());
+        for h in handles {
+            let old = db.delete(table, h)?;
+            tuples.push((h, old));
+        }
+        Ok(tuples)
+    })?;
     Ok(OpEffect::Delete { table, tuples })
 }
 
@@ -374,13 +402,17 @@ fn execute_update(
         }
     }
 
-    // Phase 2: apply.
-    let mut tuples = Vec::with_capacity(planned.len());
-    for (h, assignments) in planned {
-        let cols: Vec<ColumnId> = assignments.iter().map(|(c, _)| *c).collect();
-        let old = db.update(table, h, &assignments)?;
-        tuples.push((h, cols, old));
-    }
+    // Phase 2: apply (statement-atomic — previously a failed row left the
+    // earlier rows modified).
+    let tuples = apply_atomically(db, |db| {
+        let mut tuples = Vec::with_capacity(planned.len());
+        for (h, assignments) in planned {
+            let cols: Vec<ColumnId> = assignments.iter().map(|(c, _)| *c).collect();
+            let old = db.update(table, h, &assignments)?;
+            tuples.push((h, cols, old));
+        }
+        Ok(tuples)
+    })?;
     Ok(OpEffect::Update { table, tuples })
 }
 
@@ -671,6 +703,51 @@ mod tests {
         let err = execute_op(&mut db, &NoTransitionTables, &op("insert into emp values (1, 2)"))
             .unwrap_err();
         assert!(matches!(err, QueryError::InsertArity { expected: 4, got: 2, .. }));
+    }
+
+    #[test]
+    fn mid_statement_fault_rolls_back_to_pre_statement_state() {
+        use setrules_storage::FaultKind;
+        let (mut db, _, _) = setup();
+        exec(&mut db, "insert into emp values ('a', 1, 100.0, 1), ('b', 2, 200.0, 1), ('c', 3, 300.0, 1)");
+        db.commit();
+        let image = db.state_image();
+        // Fail the 2nd tuple update: row 'a' is modified, then 'b' faults.
+        // The statement savepoint must also undo 'a'.
+        db.fault_injector_mut().reset_counts();
+        db.fault_injector_mut().arm(FaultKind::TupleUpdate, 2);
+        let err = execute_op(
+            &mut db,
+            &NoTransitionTables,
+            &op("update emp set salary = salary * 2"),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Storage(setrules_storage::StorageError::FaultInjected { .. })
+        ));
+        db.fault_injector_mut().disarm();
+        assert_eq!(db.state_image(), image, "partial update survived the rollback");
+        assert_eq!(db.undo_len(), 0, "statement savepoint left ghost undo records");
+
+        // Same for a multi-row delete (2nd delete faults)...
+        db.fault_injector_mut().reset_counts();
+        db.fault_injector_mut().arm(FaultKind::TupleDelete, 2);
+        assert!(execute_op(&mut db, &NoTransitionTables, &op("delete from emp")).is_err());
+        db.fault_injector_mut().disarm();
+        assert_eq!(db.state_image(), image, "partial delete survived the rollback");
+
+        // ... and a multi-row insert (2nd undo append faults).
+        db.fault_injector_mut().reset_counts();
+        db.fault_injector_mut().arm(FaultKind::UndoAppend, 2);
+        assert!(execute_op(
+            &mut db,
+            &NoTransitionTables,
+            &op("insert into emp values ('x', 8, 1.0, 1), ('y', 9, 1.0, 1)"),
+        )
+        .is_err());
+        db.fault_injector_mut().disarm();
+        assert_eq!(db.state_image(), image, "partial insert survived the rollback");
     }
 
     #[test]

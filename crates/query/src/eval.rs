@@ -14,7 +14,7 @@ use setrules_storage::Value;
 use crate::bindings::{Bindings, Level};
 use crate::ctx::QueryCtx;
 use crate::error::QueryError;
-use crate::like::like_match;
+use crate::like::{like_match_tokens, like_tokens};
 use crate::relation::Relation;
 use crate::select::run_select;
 
@@ -78,14 +78,14 @@ pub fn eval_expr(
             let hi = eval_expr(ctx, bindings, group, high)?;
             between_semantics(&v, &lo, &hi, *negated)
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like { expr, pattern, escape, negated } => {
             let v = eval_expr(ctx, bindings, group, expr)?;
             let p = eval_expr(ctx, bindings, group, pattern)?;
-            match (v, p) {
-                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                (Value::Text(t), Value::Text(pat)) => Ok(Value::Bool(like_match(&t, &pat) != *negated)),
-                (a, b) => Err(QueryError::Type(format!("like requires text operands, got {a} and {b}"))),
-            }
+            let e = match escape {
+                Some(ex) => Some(eval_expr(ctx, bindings, group, ex)?),
+                None => None,
+            };
+            like_semantics(&v, &p, e.as_ref(), *negated)
         }
         Expr::Aggregate { func, arg, distinct } => {
             let Some(rows) = group else {
@@ -183,9 +183,52 @@ pub(crate) fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>, QueryErr
     if a.is_null() || b.is_null() {
         return Ok(None);
     }
-    a.sql_cmp(b)
-        .map(Some)
-        .ok_or_else(|| QueryError::Type(format!("cannot compare {a} with {b}")))
+    match a.sql_cmp(b) {
+        Some(o) => Ok(Some(o)),
+        // Two numeric operands that won't order means a NaN is involved.
+        // Every predicate comparison against NaN is UNKNOWN — not a type
+        // error — even though ORDER BY's total order can still sort it.
+        None if a.as_f64().is_some() && b.as_f64().is_some() => Ok(None),
+        None => Err(QueryError::Type(format!("cannot compare {a} with {b}"))),
+    }
+}
+
+/// `v [not] like p [escape e]` over already-evaluated operands — the
+/// kernel shared by the interpreter and the compiled evaluator, so both
+/// modes agree on escape validation and error wording.
+pub(crate) fn like_semantics(
+    v: &Value,
+    p: &Value,
+    esc: Option<&Value>,
+    negated: bool,
+) -> Result<Value, QueryError> {
+    if v.is_null() || p.is_null() || esc.is_some_and(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let escape = match esc {
+        None => None,
+        Some(Value::Text(s)) => {
+            let mut cs = s.chars();
+            match (cs.next(), cs.next()) {
+                (Some(c), None) => Some(c),
+                _ => {
+                    return Err(QueryError::Type(format!(
+                        "escape must be a single character, got '{s}'"
+                    )))
+                }
+            }
+        }
+        Some(other) => {
+            return Err(QueryError::Type(format!("escape must be text, got {other}")))
+        }
+    };
+    match (v, p) {
+        (Value::Text(t), Value::Text(pat)) => {
+            let toks = like_tokens(pat, escape).map_err(QueryError::Type)?;
+            Ok(Value::Bool(like_match_tokens(t, &toks) != negated))
+        }
+        (a, b) => Err(QueryError::Type(format!("like requires text operands, got {a} and {b}"))),
+    }
 }
 
 pub(crate) fn in_semantics<'v>(
@@ -532,6 +575,30 @@ mod tests {
         assert_eq!(eval("'Jane' not like '%z%'").unwrap(), Value::Bool(true));
         assert_eq!(eval("NULL like 'J%'").unwrap(), Value::Null);
         assert!(matches!(eval("1 like 'J%'"), Err(QueryError::Type(_))));
+    }
+
+    #[test]
+    fn like_escape() {
+        assert_eq!(eval("'100%' like '100!%' escape '!'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("'100x' like '100!%' escape '!'").unwrap(), Value::Bool(false));
+        assert_eq!(eval("'a_b' not like 'a!_b' escape '!'").unwrap(), Value::Bool(false));
+        assert_eq!(eval("'50% off' like '%!%%' escape '!'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("'x' like 'x' escape NULL").unwrap(), Value::Null);
+        assert!(matches!(eval("'x' like 'x' escape 'ab'"), Err(QueryError::Type(_))));
+        assert!(matches!(eval("'x' like 'x' escape 1"), Err(QueryError::Type(_))));
+        assert!(matches!(eval("'x' like 'a!b' escape '!'"), Err(QueryError::Type(_))), "malformed pattern");
+    }
+
+    #[test]
+    fn nan_comparisons_are_unknown_not_errors() {
+        // 0.0/0.0 is IEEE NaN; every comparison with it is UNKNOWN.
+        assert_eq!(eval("0.0 / 0.0 = 0.0 / 0.0").unwrap(), Value::Null);
+        assert_eq!(eval("1.0 < 0.0 / 0.0").unwrap(), Value::Null);
+        assert_eq!(eval("0.0 / 0.0 <> 1").unwrap(), Value::Null);
+        assert_eq!(eval("1 in (2, 0.0 / 0.0)").unwrap(), Value::Null);
+        assert_eq!(eval("0.0 / 0.0 between 0.0 and 1.0").unwrap(), Value::Null);
+        // Mixed non-numeric operands are still type errors.
+        assert!(matches!(eval("0.0 / 0.0 = 'x'"), Err(QueryError::Type(_))));
     }
 
     #[test]

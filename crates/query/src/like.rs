@@ -1,21 +1,63 @@
 //! SQL `LIKE` pattern matching: `%` matches any sequence (including empty),
-//! `_` matches exactly one character. No escape character (the dialect does
-//! not need one for the paper's workloads).
+//! `_` matches exactly one character. An optional `ESCAPE 'c'` character
+//! makes the following `%`, `_`, or `c` literal, so `%`/`_` themselves are
+//! matchable (e.g. `'100%' like '100\%' escape '\'`).
 
-/// Match `text` against `pattern` with SQL `LIKE` semantics.
+/// One element of a tokenized `LIKE` pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LikeTok {
+    /// `%`: any sequence of characters, including empty.
+    AnySeq,
+    /// `_`: exactly one character.
+    AnyOne,
+    /// A literal character (including escaped `%`/`_`/escape-char).
+    Lit(char),
+}
+
+/// Tokenize a pattern, resolving the escape character. The escape must be
+/// followed by `%`, `_`, or the escape character itself; anything else
+/// (including a trailing escape) is a malformed pattern.
+pub fn like_tokens(pattern: &str, escape: Option<char>) -> Result<Vec<LikeTok>, String> {
+    let mut toks = Vec::with_capacity(pattern.len());
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            match chars.next() {
+                Some(n) if n == '%' || n == '_' || Some(n) == escape => toks.push(LikeTok::Lit(n)),
+                Some(n) => {
+                    return Err(format!("escape character '{c}' must precede %, _, or '{c}', found '{n}'"))
+                }
+                None => return Err(format!("pattern ends with escape character '{c}'")),
+            }
+        } else {
+            toks.push(match c {
+                '%' => LikeTok::AnySeq,
+                '_' => LikeTok::AnyOne,
+                other => LikeTok::Lit(other),
+            });
+        }
+    }
+    Ok(toks)
+}
+
+/// Match `text` against a tokenized pattern.
 ///
 /// Implemented with the classic two-pointer backtracking algorithm, which
 /// is linear in practice and never pathological (no nested `%` blow-up).
-pub fn like_match(text: &str, pattern: &str) -> bool {
+pub fn like_match_tokens(text: &str, p: &[LikeTok]) -> bool {
     let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
     let (mut ti, mut pi) = (0usize, 0usize);
     let mut star: Option<(usize, usize)> = None; // (pattern pos after %, text pos)
+    let tok_hits = |tok: LikeTok, c: char| match tok {
+        LikeTok::AnyOne => true,
+        LikeTok::Lit(l) => l == c,
+        LikeTok::AnySeq => false,
+    };
     while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+        if pi < p.len() && tok_hits(p[pi], t[ti]) {
             ti += 1;
             pi += 1;
-        } else if pi < p.len() && p[pi] == '%' {
+        } else if pi < p.len() && p[pi] == LikeTok::AnySeq {
             star = Some((pi + 1, ti));
             pi += 1;
         } else if let Some((sp, st)) = star {
@@ -27,15 +69,26 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
             return false;
         }
     }
-    while pi < p.len() && p[pi] == '%' {
+    while pi < p.len() && p[pi] == LikeTok::AnySeq {
         pi += 1;
     }
     pi == p.len()
 }
 
+/// Match `text` against `pattern` with SQL `LIKE` semantics and no escape
+/// character (tokenization cannot fail without one).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let toks = like_tokens(pattern, None).expect("escape-free patterns always tokenize");
+    like_match_tokens(text, &toks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn esc_match(text: &str, pattern: &str, escape: char) -> bool {
+        like_match_tokens(text, &like_tokens(pattern, Some(escape)).unwrap())
+    }
 
     #[test]
     fn literal_match() {
@@ -93,5 +146,37 @@ mod tests {
         assert!(!like_match("a", ""));
         assert!(!like_match("", "a"));
         assert!(like_match("", "%%"));
+    }
+
+    #[test]
+    fn escaped_wildcards_are_literal() {
+        assert!(esc_match("100%", "100\\%", '\\'));
+        assert!(!esc_match("100x", "100\\%", '\\'));
+        assert!(esc_match("a_b", "a\\_b", '\\'));
+        assert!(!esc_match("axb", "a\\_b", '\\'));
+        // The escape character escapes itself.
+        assert!(esc_match("a\\b", "a\\\\b", '\\'));
+        // Unescaped wildcards still work alongside escaped ones.
+        assert!(esc_match("50% off", "%\\%%", '\\'));
+        assert!(!esc_match("half off", "%\\%%", '\\'));
+        // Any character can serve as the escape.
+        assert!(esc_match("100%", "100x%", 'x'));
+    }
+
+    #[test]
+    fn malformed_escapes_are_errors() {
+        assert!(like_tokens("ab\\", Some('\\')).is_err(), "trailing escape");
+        assert!(like_tokens("a\\bc", Some('\\')).is_err(), "escape before ordinary char");
+        assert!(like_tokens("a\\bc", None).is_ok(), "no escape declared: backslash literal");
+    }
+
+    #[test]
+    fn escape_free_tokenization_matches_legacy() {
+        for (t, p) in [("abc", "a%c"), ("", "%"), ("Jane", "J_n%"), ("a%b", "a%b")] {
+            assert_eq!(
+                like_match(t, p),
+                like_match_tokens(t, &like_tokens(p, None).unwrap()),
+            );
+        }
     }
 }

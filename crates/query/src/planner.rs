@@ -154,6 +154,13 @@ fn eq_candidate(
         let Some(v) = const_value(ctx, const_side) else {
             continue;
         };
+        // Never probe with NaN: the hash index stores NaN by bit pattern,
+        // so a probe would *find* stored NaNs even though `= NaN` is
+        // UNKNOWN for every row — fall back to the scan, whose per-row
+        // predicate check gets the semantics right.
+        if matches!(v, Value::Float(f) if f.is_nan()) {
+            continue;
+        }
         return Some(match probe_value(&v, schema.column_type(column)) {
             Some(value) => Access::IndexEq { column, value },
             None => Access::Empty,
@@ -439,6 +446,10 @@ fn is_constant(e: &Expr) -> bool {
 fn in_probe_value(v: &Value, ty: DataType) -> Result<Option<Value>, ()> {
     match (v, ty) {
         (Value::Null, _) => Ok(None),
+        // NaN compares UNKNOWN with everything (never Equal), so like NULL
+        // it can never make the membership test true — skip the probe
+        // rather than hit bit-equal stored NaNs.
+        (Value::Float(f), _) if f.is_nan() => Ok(None),
         (Value::Int(i), DataType::Float) => Ok(Some(Value::Float(*i as f64))),
         (Value::Float(f), DataType::Int) => {
             if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
@@ -655,6 +666,23 @@ mod tests {
         // Non-numeric bound: per-row evaluation must keep its type error.
         assert_eq!(access(&db, t, "dept_no between 'a' and 'b'", true), Access::FullScan);
         assert_eq!(access(&db, t, "dept_no between 'a' and NULL", true), Access::FullScan);
+    }
+
+    #[test]
+    fn nan_probes_fall_back_to_scan_or_skip() {
+        let (mut db, t) = setup();
+        db.create_index(t, ColumnId(2)).unwrap(); // salary (float)
+        assert_eq!(
+            access(&db, t, "salary = 0.0 / 0.0", true),
+            Access::FullScan,
+            "NaN equi-probe must scan: the hash index would match stored NaNs bitwise"
+        );
+        assert_eq!(
+            access(&db, t, "salary in (1.0, 0.0 / 0.0)", true),
+            Access::IndexIn { column: ColumnId(2), values: vec![Value::Float(1.0)] },
+            "NaN in-list item can never match: skipped like NULL"
+        );
+        assert_eq!(access(&db, t, "salary in (0.0 / 0.0)", true), Access::Empty);
     }
 
     #[test]

@@ -101,9 +101,12 @@ fn collect_expr(e: &Expr, out: &mut BTreeSet<(Option<String>, String)>) {
             collect_expr(low, out);
             collect_expr(high, out);
         }
-        Expr::Like { expr, pattern, .. } => {
+        Expr::Like { expr, pattern, escape, .. } => {
             collect_expr(expr, out);
             collect_expr(pattern, out);
+            if let Some(e) = escape {
+                collect_expr(e, out);
+            }
         }
         Expr::Aggregate { arg, .. } => {
             if let Some(a) = arg {

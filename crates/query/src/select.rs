@@ -700,6 +700,10 @@ pub fn has_aggregate(e: &Expr) -> bool {
         Expr::Between { expr, low, high, .. } => {
             has_aggregate(expr) || has_aggregate(low) || has_aggregate(high)
         }
-        Expr::Like { expr, pattern, .. } => has_aggregate(expr) || has_aggregate(pattern),
+        Expr::Like { expr, pattern, escape, .. } => {
+            has_aggregate(expr)
+                || has_aggregate(pattern)
+                || escape.as_ref().is_some_and(|e| has_aggregate(e))
+        }
     }
 }

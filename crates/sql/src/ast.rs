@@ -360,12 +360,16 @@ pub enum Expr {
         /// `not between`?
         negated: bool,
     },
-    /// `e [not] like pattern` — `%` and `_` wildcards.
+    /// `e [not] like pattern [escape c]` — `%` and `_` wildcards; the
+    /// escape character makes the following wildcard (or itself) literal.
     Like {
         /// The tested expression.
         expr: Box<Expr>,
         /// The pattern expression.
         pattern: Box<Expr>,
+        /// The `escape` expression, if given (must evaluate to a
+        /// single-character string).
+        escape: Option<Box<Expr>>,
         /// `not like`?
         negated: bool,
     },

@@ -282,8 +282,12 @@ impl fmt::Display for Expr {
                 "(({expr}) {}between ({low}) and ({high}))",
                 if *negated { "not " } else { "" }
             ),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "(({expr}) {}like ({pattern}))", if *negated { "not " } else { "" })
+            Expr::Like { expr, pattern, escape, negated } => {
+                write!(f, "(({expr}) {}like ({pattern})", if *negated { "not " } else { "" })?;
+                if let Some(e) = escape {
+                    write!(f, " escape ({e})")?;
+                }
+                write!(f, ")")
             }
             Expr::Aggregate { func, arg: None, .. } => write!(f, "{}(*)", func.name()),
             Expr::Aggregate { func, arg: Some(a), distinct } => {

@@ -87,7 +87,17 @@ impl Parser {
         }
         if self.eat_kw(Keyword::Like) {
             let pattern = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            let escape = if self.eat_kw(Keyword::Escape) {
+                Some(Box::new(self.additive()?))
+            } else {
+                None
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                escape,
+                negated,
+            });
         }
         if negated {
             return Err(self.unexpected("'in', 'between', or 'like' after 'not'"));

@@ -102,7 +102,7 @@ keywords! {
     Before => "before", Activate => "activate", Deactivate => "deactivate",
     Process => "process", Rules => "rules", Rollback => "rollback",
     And => "and", Or => "or", Not => "not", In => "in", Exists => "exists",
-    Between => "between", Like => "like", Is => "is", Null => "null",
+    Between => "between", Like => "like", Escape => "escape", Is => "is", Null => "null",
     True => "true", False => "false",
     Distinct => "distinct", Group => "group", By => "by", Having => "having",
     Order => "order", Asc => "asc", Desc => "desc", Limit => "limit",

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use crate::error::StorageError;
+use crate::fault::{FaultInjector, FaultKind};
 use crate::index::{HashIndex, TableIndexes};
 use crate::schema::TableSchema;
 use crate::stats::StorageStats;
@@ -33,6 +34,7 @@ pub struct Database {
     handle_tables: Vec<TableId>,
     undo: UndoLog,
     stats: StorageStats,
+    fault: FaultInjector,
 }
 
 impl Database {
@@ -131,6 +133,9 @@ impl Database {
                 column: table.schema.column_name(c).to_string(),
             });
         }
+        // Bulk build counts as one index-maintenance site; polled before
+        // anything is built, so a fault leaves the catalog untouched.
+        self.fault.check(FaultKind::IndexMaintenance)?;
         let mut idx = HashIndex::new();
         for (h, tuple) in table.scan() {
             idx.insert(tuple.get(c).clone(), h);
@@ -167,6 +172,15 @@ impl Database {
     pub fn insert(&mut self, t: TableId, tuple: Tuple) -> Result<TupleHandle, StorageError> {
         let slot = self.tables[t.0 as usize].as_mut().expect("table was dropped");
         let tuple = slot.schema.check_tuple(tuple)?;
+        // Every fault site this operation touches is polled before any
+        // mutation, so an injected failure leaves the operation entirely
+        // unapplied (single-operation atomicity by construction).
+        self.fault.check(FaultKind::TupleInsert)?;
+        self.fault.check(FaultKind::HandleAlloc)?;
+        if !self.indexes[t.0 as usize].is_empty() {
+            self.fault.check(FaultKind::IndexMaintenance)?;
+        }
+        self.fault.check(FaultKind::UndoAppend)?;
         let h = TupleHandle(self.handle_tables.len() as u64 + 1);
         self.handle_tables.push(t);
         self.stats.index_maintenance_ops += self.indexes[t.0 as usize].on_insert(h, &tuple.0);
@@ -180,9 +194,21 @@ impl Database {
     /// Delete the tuple with handle `h` from table `t`, returning its
     /// final value.
     pub fn delete(&mut self, t: TableId, h: TupleHandle) -> Result<Tuple, StorageError> {
-        let slot = self.tables[t.0 as usize].as_mut().expect("table was dropped");
-        let name = slot.schema.name.clone();
-        let old = slot.remove(h).ok_or(StorageError::NoSuchTuple { table: name })?;
+        {
+            let slot = self.tables[t.0 as usize].as_ref().expect("table was dropped");
+            if slot.get(h).is_none() {
+                return Err(StorageError::NoSuchTuple { table: slot.schema.name.clone() });
+            }
+        }
+        // Fault sites polled after validation, before any mutation (see
+        // `insert`).
+        self.fault.check(FaultKind::TupleDelete)?;
+        if !self.indexes[t.0 as usize].is_empty() {
+            self.fault.check(FaultKind::IndexMaintenance)?;
+        }
+        self.fault.check(FaultKind::UndoAppend)?;
+        let slot = self.tables[t.0 as usize].as_mut().expect("checked");
+        let old = slot.remove(h).expect("checked live");
         self.stats.index_maintenance_ops += self.indexes[t.0 as usize].on_delete(h, &old.0);
         self.undo.push(UndoRecord::Delete { table: t, handle: h, old: old.clone() });
         self.stats.tuples_deleted += 1;
@@ -207,10 +233,21 @@ impl Database {
                 checked.push((*c, schema.check_value(*c, v.clone())?));
             }
         }
-        let table = self.tables[t.0 as usize].as_mut().expect("table was dropped");
-        let Some(slot) = table.get_mut(h) else {
-            return Err(StorageError::NoSuchTuple { table: table.schema.name.clone() });
-        };
+        {
+            let table = self.tables[t.0 as usize].as_ref().expect("table was dropped");
+            if table.get(h).is_none() {
+                return Err(StorageError::NoSuchTuple { table: table.schema.name.clone() });
+            }
+        }
+        // Fault sites polled after validation, before any mutation (see
+        // `insert`).
+        self.fault.check(FaultKind::TupleUpdate)?;
+        if !self.indexes[t.0 as usize].is_empty() {
+            self.fault.check(FaultKind::IndexMaintenance)?;
+        }
+        self.fault.check(FaultKind::UndoAppend)?;
+        let table = self.tables[t.0 as usize].as_mut().expect("checked");
+        let slot = table.get_mut(h).expect("checked live");
         let old = slot.clone();
         for (c, v) in checked {
             slot.set(c, v);
@@ -294,6 +331,61 @@ impl Database {
     /// a delta.
     pub fn stats(&self) -> StorageStats {
         self.stats
+    }
+
+    /// The fault injector (counters and armed plan).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
+    /// The fault injector, mutably (arm / disarm / reset counters).
+    pub fn fault_injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.fault
+    }
+
+    /// Canonical dump of the full logical database state: every live table
+    /// in id order with its rows in handle order, plus every index's entry
+    /// count and the handle set it returns for each live value. Two
+    /// databases are logically identical iff their images are equal, so
+    /// crash-consistency tests compare images before a faulted statement
+    /// and after its rollback. Deliberately *excluded*: the undo log and
+    /// the handle high-water mark (handles are never reused, so a rolled
+    /// back insert legitimately consumes handle numbers).
+    pub fn state_image(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for t in self.table_ids() {
+            let Some(table) = self.try_table(t) else { continue };
+            let _ = writeln!(out, "table {} (id {})", table.schema.name, t.0);
+            for (h, tuple) in table.scan() {
+                let _ = write!(out, "  {}:", h.0);
+                for v in &tuple.0 {
+                    let _ = write!(out, " {v:?}");
+                }
+                out.push('\n');
+            }
+            let mut cols: Vec<ColumnId> = self.indexes[t.0 as usize].columns().collect();
+            cols.sort_by_key(|c| c.index());
+            for c in cols {
+                let idx = self.indexes[t.0 as usize].get(c).expect("listed column is indexed");
+                let _ = writeln!(
+                    out,
+                    "  index on {} entries={}",
+                    table.schema.column_name(c),
+                    idx.len()
+                );
+                // Probing every live value proves the index agrees with the
+                // table; the entry count above catches ghost entries for
+                // values no live row holds.
+                for (h, tuple) in table.scan() {
+                    let hs = self
+                        .index_lookup(t, c, tuple.get(c))
+                        .expect("listed column is indexed");
+                    let _ = writeln!(out, "    {}@{:?} -> {:?}", h.0, tuple.get(c), hs);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -390,6 +482,87 @@ mod tests {
         assert!(db.create_index(emp, ColumnId(3)).is_err());
         assert!(db.drop_index(emp, ColumnId(3)));
         assert!(db.index_lookup(emp, ColumnId(3), &Value::Int(7)).is_none());
+    }
+
+    #[test]
+    fn injected_fault_leaves_single_op_unapplied() {
+        use crate::fault::FaultKind;
+        let (mut db, emp) = db_with_emp();
+        db.create_index(emp, ColumnId(3)).unwrap();
+        let h = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        db.commit();
+        let image = db.state_image();
+        let undo_before = db.undo_len();
+        // Each DML entry point polls every site before mutating: whichever
+        // site fires, the operation must be a complete no-op.
+        for kind in FaultKind::ALL {
+            for (op, expect_hit) in [
+                ("insert", true),
+                ("delete", true),
+                ("update", true),
+            ] {
+                db.fault_injector_mut().reset_counts();
+                db.fault_injector_mut().arm(kind, 1);
+                let res: Result<(), StorageError> = match op {
+                    "insert" => db.insert(emp, tuple!["Mary", 2, 1.0, 1]).map(|_| ()),
+                    "delete" => db.delete(emp, h).map(|_| ()),
+                    _ => db.update(emp, h, &[(ColumnId(2), Value::Float(1.0))]).map(|_| ()),
+                };
+                db.fault_injector_mut().disarm();
+                let applies = match (kind, op) {
+                    (FaultKind::TupleInsert | FaultKind::HandleAlloc, o) => o == "insert",
+                    (FaultKind::TupleDelete, o) => o == "delete",
+                    (FaultKind::TupleUpdate, o) => o == "update",
+                    _ => expect_hit, // UndoAppend / IndexMaintenance hit all three
+                };
+                if applies {
+                    assert!(
+                        matches!(res, Err(StorageError::FaultInjected { .. })),
+                        "{kind} should fail {op}"
+                    );
+                    assert_eq!(db.state_image(), image, "{kind}/{op} left partial effects");
+                    assert_eq!(db.undo_len(), undo_before, "{kind}/{op} logged undo");
+                } else {
+                    // The op succeeded; undo it so the next round starts clean.
+                    assert!(res.is_ok(), "{kind} should not affect {op}");
+                    let m = crate::undo::UndoMark(undo_before);
+                    db.rollback_to(m).unwrap();
+                    assert_eq!(db.state_image(), image);
+                }
+            }
+        }
+        assert!(db.fault_injector().injected() > 0);
+    }
+
+    #[test]
+    fn faulted_index_build_leaves_catalog_unchanged() {
+        use crate::fault::FaultKind;
+        let (mut db, emp) = db_with_emp();
+        db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        db.fault_injector_mut().arm(FaultKind::IndexMaintenance, 1);
+        assert!(matches!(
+            db.create_index(emp, ColumnId(3)),
+            Err(StorageError::FaultInjected { .. })
+        ));
+        db.fault_injector_mut().disarm();
+        assert!(!db.has_index(emp, ColumnId(3)));
+        db.create_index(emp, ColumnId(3)).unwrap();
+        assert!(db.has_index(emp, ColumnId(3)));
+    }
+
+    #[test]
+    fn state_image_distinguishes_logical_state_only() {
+        let (mut db, emp) = db_with_emp();
+        let h = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        db.commit();
+        let image = db.state_image();
+        let m = db.mark();
+        let h2 = db.insert(emp, tuple!["Mary", 2, 85000.0, 1]).unwrap();
+        assert_ne!(db.state_image(), image, "image reflects live rows");
+        db.rollback_to(m).unwrap();
+        assert_eq!(db.state_image(), image, "rollback restores the image");
+        assert!(db.handles_issued() >= h2.0, "handle high-water mark excluded by design");
+        let _ = h;
     }
 
     #[test]

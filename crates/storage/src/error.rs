@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::fault::FaultKind;
 use crate::value::DataType;
 
 /// Errors raised by the storage engine.
@@ -29,6 +30,10 @@ pub enum StorageError {
     IndexExists { table: String, column: String },
     /// An undo mark is no longer valid (the log was truncated past it).
     InvalidMark,
+    /// The fault injector failed this operation (crash-consistency
+    /// testing; see [`crate::FaultInjector`]). `op` is the 1-based
+    /// occurrence number of `kind` that was made to fail.
+    FaultInjected { kind: FaultKind, op: u64 },
 }
 
 impl fmt::Display for StorageError {
@@ -56,6 +61,9 @@ impl fmt::Display for StorageError {
                 write!(f, "index on '{table}.{column}' already exists")
             }
             StorageError::InvalidMark => write!(f, "undo mark is no longer valid"),
+            StorageError::FaultInjected { kind, op } => {
+                write!(f, "injected fault: {kind} operation #{op} failed")
+            }
         }
     }
 }

@@ -1,0 +1,206 @@
+//! Deterministic fault injection for crash-consistency testing.
+//!
+//! The paper abstracts failures away ("multiple users, concurrent
+//! processing, and failures are all transparent", §2.1) — which means the
+//! engine's §4 all-or-nothing transition semantics must hold on *every*
+//! error path, not just the ones the happy-path tests exercise. A
+//! [`FaultInjector`] lives on each [`crate::Database`] and can be armed to
+//! fail the Nth storage operation of a chosen [`FaultKind`]. Every forward
+//! DML entry point polls the injector for each site it is about to touch
+//! *before mutating anything*, so a single storage operation either happens
+//! completely or not at all; multi-row statements are then covered by the
+//! query layer's statement-level savepoints, and transactions by the
+//! engine's undo-log rollback.
+//!
+//! Undo *replay* ([`crate::Database::rollback_to`]) never polls the
+//! injector: the fault model treats the undo log as reliable, mirroring the
+//! paper's assumption that recovery itself does not fail.
+//!
+//! The injector always counts operations per kind (armed or not), so a
+//! harness can first run a workload once to discover how many injectable
+//! sites it reaches, then sweep them: arm site `n`, re-run, and assert the
+//! database rolled back to the pre-statement state. See
+//! `docs/robustness.md` and `tests/fault_injection.rs`.
+
+use std::fmt;
+
+use crate::error::StorageError;
+
+/// The kinds of storage operations that can be made to fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Inserting a tuple ([`crate::Database::insert`]).
+    TupleInsert,
+    /// Deleting a tuple ([`crate::Database::delete`]).
+    TupleDelete,
+    /// Updating a tuple ([`crate::Database::update`]).
+    TupleUpdate,
+    /// Appending a record to the undo log.
+    UndoAppend,
+    /// Index maintenance for a DML operation on an indexed table, or a
+    /// bulk index build ([`crate::Database::create_index`]). Counted once
+    /// per operation, not per index entry.
+    IndexMaintenance,
+    /// Allocating a fresh tuple handle (inserts only).
+    HandleAlloc,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order (for sweeps).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TupleInsert,
+        FaultKind::TupleDelete,
+        FaultKind::TupleUpdate,
+        FaultKind::UndoAppend,
+        FaultKind::IndexMaintenance,
+        FaultKind::HandleAlloc,
+    ];
+
+    /// Stable snake_case name (used in events and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TupleInsert => "tuple_insert",
+            FaultKind::TupleDelete => "tuple_delete",
+            FaultKind::TupleUpdate => "tuple_update",
+            FaultKind::UndoAppend => "undo_append",
+            FaultKind::IndexMaintenance => "index_maintenance",
+            FaultKind::HandleAlloc => "handle_alloc",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            FaultKind::TupleInsert => 0,
+            FaultKind::TupleDelete => 1,
+            FaultKind::TupleUpdate => 2,
+            FaultKind::UndoAppend => 3,
+            FaultKind::IndexMaintenance => 4,
+            FaultKind::HandleAlloc => 5,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Arming spec: fail the `nth` (1-based) operation of `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The operation kind to fail.
+    pub kind: FaultKind,
+    /// Which occurrence fails, 1-based (counting from the last
+    /// [`FaultInjector::reset_counts`]).
+    pub nth: u64,
+}
+
+/// Per-database fault-injection state: an optional armed [`FaultPlan`] and
+/// always-on per-kind operation counters.
+///
+/// The injector fires at most once per arming: when the counter for the
+/// armed kind reaches `nth`, [`FaultInjector::check`] returns
+/// [`StorageError::FaultInjected`] (and the counter keeps advancing, so
+/// site numbering stays aligned with an unfaulted discovery run).
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: Option<FaultPlan>,
+    counts: [u64; 6],
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Arm the injector to fail the `nth` operation of `kind` (counting
+    /// from the last [`FaultInjector::reset_counts`]).
+    pub fn arm(&mut self, kind: FaultKind, nth: u64) {
+        self.plan = Some(FaultPlan { kind, nth });
+    }
+
+    /// Disarm without touching the counters.
+    pub fn disarm(&mut self) {
+        self.plan = None;
+    }
+
+    /// The currently armed plan, if any.
+    pub fn plan(&self) -> Option<FaultPlan> {
+        self.plan
+    }
+
+    /// Zero every per-kind counter (typically after workload setup, so
+    /// site numbers refer to the workload proper).
+    pub fn reset_counts(&mut self) {
+        self.counts = [0; 6];
+    }
+
+    /// Operations of `kind` observed since the last counter reset.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.slot()]
+    }
+
+    /// Total faults this injector has fired since creation.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Poll one site: count the operation and fail it if the armed plan
+    /// targets this occurrence. Called by the [`crate::Database`] DML entry
+    /// points before they mutate anything.
+    pub(crate) fn check(&mut self, kind: FaultKind) -> Result<(), StorageError> {
+        let c = &mut self.counts[kind.slot()];
+        *c += 1;
+        if let Some(p) = self.plan {
+            if p.kind == kind && p.nth == *c {
+                self.injected += 1;
+                return Err(StorageError::FaultInjected { kind, op: *c });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_without_arming() {
+        let mut fi = FaultInjector::default();
+        assert!(fi.check(FaultKind::TupleInsert).is_ok());
+        assert!(fi.check(FaultKind::TupleInsert).is_ok());
+        assert!(fi.check(FaultKind::UndoAppend).is_ok());
+        assert_eq!(fi.count(FaultKind::TupleInsert), 2);
+        assert_eq!(fi.count(FaultKind::UndoAppend), 1);
+        assert_eq!(fi.count(FaultKind::HandleAlloc), 0);
+        assert_eq!(fi.injected(), 0);
+    }
+
+    #[test]
+    fn fires_exactly_the_nth_occurrence() {
+        let mut fi = FaultInjector::default();
+        fi.arm(FaultKind::UndoAppend, 2);
+        assert!(fi.check(FaultKind::UndoAppend).is_ok(), "1st passes");
+        assert!(fi.check(FaultKind::TupleDelete).is_ok(), "other kinds pass");
+        let err = fi.check(FaultKind::UndoAppend).unwrap_err();
+        assert_eq!(err, StorageError::FaultInjected { kind: FaultKind::UndoAppend, op: 2 });
+        assert!(fi.check(FaultKind::UndoAppend).is_ok(), "3rd passes: single-shot");
+        assert_eq!(fi.injected(), 1);
+    }
+
+    #[test]
+    fn reset_rebases_site_numbering() {
+        let mut fi = FaultInjector::default();
+        fi.check(FaultKind::TupleInsert).unwrap();
+        fi.reset_counts();
+        fi.arm(FaultKind::TupleInsert, 1);
+        assert!(fi.check(FaultKind::TupleInsert).is_err(), "1st after reset");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        for k in FaultKind::ALL {
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(FaultKind::IndexMaintenance.name(), "index_maintenance");
+    }
+}

@@ -79,6 +79,12 @@ impl TableIndexes {
         self.by_column.contains_key(&c)
     }
 
+    /// Whether the table has no indexes at all (DML on such a table does no
+    /// index maintenance, so the fault injector skips that site).
+    pub fn is_empty(&self) -> bool {
+        self.by_column.is_empty()
+    }
+
     /// The index on column `c`, if any.
     pub fn get(&self, c: ColumnId) -> Option<&HashIndex> {
         self.by_column.get(&c)

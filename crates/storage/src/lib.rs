@@ -22,6 +22,7 @@
 
 mod database;
 mod error;
+mod fault;
 mod index;
 mod schema;
 mod stats;
@@ -32,6 +33,7 @@ mod value;
 
 pub use database::Database;
 pub use error::StorageError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use index::{HashIndex, TableIndexes};
 pub use schema::{paper_example_schemas, ColumnDef, TableSchema};
 pub use stats::StorageStats;

@@ -5,6 +5,11 @@
 //! We log every physical mutation; rolling back replays the log in reverse,
 //! restoring tuples *with their original handles* (safe because handles are
 //! never reissued).
+//!
+//! Marks are also used at *statement* granularity: the query layer takes a
+//! mark before applying a multi-row DML statement and rolls back to it if
+//! any row fails, so a statement never leaves partial effects inside an
+//! otherwise-live transaction (see `docs/robustness.md`).
 
 use crate::tuple::{TableId, Tuple, TupleHandle};
 

@@ -17,6 +17,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-injection sweep (bounded: first/middle/last site per kind)"
+# The full sweep (every (kind, n) site on the paper workloads) runs as part
+# of `cargo test` above; this re-runs it explicitly in the env-bounded mode
+# so a CI log names the crash-consistency gate even when tests are filtered.
+FAULT_SWEEP_FAST=1 cargo test -q -p setrules-core --test fault_injection
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

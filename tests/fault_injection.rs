@@ -1,0 +1,375 @@
+//! Exhaustive fault-injection sweep over the paper-example workloads.
+//!
+//! For each scenario (Examples 3.1, 3.2, 4.1, 4.3) the sweep first runs
+//! fault-free to *discover* how many storage operations of each
+//! [`FaultKind`] the workload performs, then re-runs the workload once per
+//! `(kind, n)` site with the injector armed to fail exactly that
+//! operation. The crash-consistency contract asserted at every site:
+//!
+//! * no panics — an injected fault surfaces as an ordinary error;
+//! * the failing statement's transaction rolls back, leaving the database
+//!   **byte-identical** (via [`Database::state_image`]) to the state
+//!   before the statement;
+//! * no ghost state survives the abort: no open transaction, an empty
+//!   undo log, and an empty deferred window;
+//! * the engine reported the fault (`EngineStats::faults_injected`,
+//!   `EngineEvent::Fault` + `EngineEvent::StatementRollback`);
+//! * the system remains usable after disarming.
+//!
+//! Set `FAULT_SWEEP_FAST=1` to probe only the first, middle, and last
+//! site of each kind (the CI-bounded mode used by `scripts/ci.sh`).
+//!
+//! [`FaultKind`]: setrules_storage::FaultKind
+//! [`Database::state_image`]: setrules_storage::Database::state_image
+
+use setrules_core::{EngineEvent, RuleError, RuleSystem};
+use setrules_query::QueryError;
+use setrules_storage::{FaultKind, StorageError, Value};
+use setrules_testkit::check;
+
+// ----------------------------------------------------------------------
+// Scenarios: the paper's running examples as setup + workload statements.
+// ----------------------------------------------------------------------
+
+struct Scenario {
+    name: &'static str,
+    /// DDL and rule definitions; runs before the sweep's counters reset,
+    /// so its storage operations are not fault sites.
+    setup: fn(&mut RuleSystem),
+    /// The workload statements, each run as one transaction (operation
+    /// block + rule processing). Every storage operation any of them
+    /// performs — directly or through rule actions — is a fault site.
+    workload: &'static [&'static str],
+}
+
+fn paper_tables(sys: &mut RuleSystem) {
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+}
+
+fn setup_ex31(sys: &mut RuleSystem) {
+    paper_tables(sys);
+    sys.execute(
+        "create rule r31 when deleted from dept \
+         then delete from emp where dept_no in (select dept_no from deleted dept)",
+    )
+    .unwrap();
+    // An index makes every emp insert/delete/update an IndexMaintenance
+    // fault site as well.
+    sys.execute("create index on emp (dept_no)").unwrap();
+}
+
+fn setup_ex32(sys: &mut RuleSystem) {
+    paper_tables(sys);
+    sys.execute(
+        "create rule r32 when updated emp.salary \
+         if (select sum(salary) from new updated emp.salary) > \
+            (select sum(salary) from old updated emp.salary) \
+         then update emp set salary = 0.95 * salary where dept_no = 2; \
+              update emp set salary = 0.85 * salary where dept_no = 3",
+    )
+    .unwrap();
+    sys.execute("create index on emp (salary)").unwrap();
+}
+
+fn rule_r41(sys: &mut RuleSystem) {
+    sys.execute(
+        "create rule r41 when deleted from emp \
+         then delete from emp where dept_no in \
+                (select dept_no from dept where mgr_no in \
+                  (select emp_no from deleted emp)); \
+              delete from dept where mgr_no in \
+                (select emp_no from deleted emp)",
+    )
+    .unwrap();
+}
+
+fn setup_ex41(sys: &mut RuleSystem) {
+    paper_tables(sys);
+    rule_r41(sys);
+}
+
+fn setup_ex43(sys: &mut RuleSystem) {
+    paper_tables(sys);
+    rule_r41(sys); // r41 is Example 4.3's R1
+    sys.execute(
+        "create rule r2 when updated emp.salary \
+         if (select avg(salary) from new updated emp.salary) > 50000 \
+         then delete from emp where emp_no in \
+                (select emp_no from new updated emp.salary) \
+              and salary > 80000",
+    )
+    .unwrap();
+    sys.execute("create rule priority r2 before r41").unwrap();
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "example_3_1",
+        setup: setup_ex31,
+        workload: &[
+            "insert into dept values (1, 10), (2, 20)",
+            "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 10.0, 1), ('c', 3, 10.0, 2)",
+            "delete from dept where dept_no = 1",
+        ],
+    },
+    Scenario {
+        name: "example_3_2",
+        setup: setup_ex32,
+        workload: &[
+            "insert into emp values ('u', 1, 1000.0, 1), ('v', 2, 1000.0, 2), \
+             ('w', 3, 1000.0, 3)",
+            "update emp set salary = 2000.0 where name = 'u'",
+        ],
+    },
+    Scenario {
+        name: "example_4_1",
+        setup: setup_ex41,
+        workload: &[
+            "insert into dept values (1, 1), (2, 2)",
+            "insert into emp values ('r', 1, 1.0, 0), ('m1', 2, 1.0, 1), \
+             ('m2', 3, 1.0, 1), ('w1', 4, 1.0, 2), ('w2', 5, 1.0, 2)",
+            "delete from emp where name = 'r'",
+        ],
+    },
+    Scenario {
+        name: "example_4_3",
+        setup: setup_ex43,
+        workload: &[
+            "insert into dept values (1, 1), (2, 2), (3, 3)",
+            "insert into emp values \
+             ('Jane', 1, 100000.0, 0), ('Mary', 2, 70000.0, 1), ('Jim', 3, 60000.0, 1), \
+             ('Bill', 4, 25000.0, 2), ('Sam', 5, 40000.0, 3), ('Sue', 6, 45000.0, 3)",
+            "delete from emp where name = 'Jane'; \
+             update emp set salary = 30000.0 where name = 'Bill'; \
+             update emp set salary = 85000.0 where name = 'Mary'",
+        ],
+    },
+];
+
+// ----------------------------------------------------------------------
+// Sweep machinery.
+// ----------------------------------------------------------------------
+
+fn fresh(scenario: &Scenario) -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    (scenario.setup)(&mut sys);
+    // Rebase site numbering: setup's storage operations are not sites.
+    sys.fault_injector_mut().reset_counts();
+    sys
+}
+
+/// The injected-fault payload of an engine error, if that is what it is.
+fn fault_of(e: &RuleError) -> Option<(FaultKind, u64)> {
+    let se = match e {
+        RuleError::Storage(se) => se,
+        RuleError::Query(QueryError::Storage(se)) => se,
+        _ => return None,
+    };
+    match se {
+        StorageError::FaultInjected { kind, op } => Some((*kind, *op)),
+        _ => None,
+    }
+}
+
+/// Which site numbers of `total` to probe: all of them, or (under
+/// `FAULT_SWEEP_FAST`) the first, middle, and last.
+fn sites(total: u64) -> Vec<u64> {
+    if std::env::var_os("FAULT_SWEEP_FAST").is_some() {
+        let mut s = vec![1, total.div_ceil(2), total];
+        s.dedup();
+        s
+    } else {
+        (1..=total).collect()
+    }
+}
+
+/// Run `scenario` with the injector armed at `(kind, n)` and assert the
+/// crash-consistency contract. Returns the index of the statement that
+/// faulted.
+fn run_armed(scenario: &Scenario, kind: FaultKind, n: u64) -> usize {
+    let mut sys = fresh(scenario);
+    sys.fault_injector_mut().arm(kind, n);
+    let ctx = format!("[{} kind={kind} n={n}]", scenario.name);
+
+    for (i, stmt) in scenario.workload.iter().enumerate() {
+        let before = sys.database().state_image();
+        let faults_before = sys.stats().faults_injected;
+        match sys.transaction(stmt) {
+            Ok(_) => continue,
+            Err(e) => {
+                // (a) The error is exactly the armed fault, not a panic or
+                // an unrelated failure.
+                let (fk, fn_) = fault_of(&e)
+                    .unwrap_or_else(|| panic!("{ctx} stmt {i}: unexpected error {e}"));
+                assert_eq!((fk, fn_), (kind, n), "{ctx} stmt {i}: wrong fault surfaced");
+
+                // (b) Post-failure state is byte-identical to the
+                // pre-statement snapshot.
+                let after = sys.database().state_image();
+                assert_eq!(after, before, "{ctx} stmt {i}: state diverged after rollback");
+
+                // (c) No ghost entries from the aborted statement: the
+                // transaction is closed, its undo discarded, and nothing
+                // is pending for deferred rule processing.
+                assert!(!sys.in_transaction(), "{ctx}: transaction left open");
+                assert_eq!(sys.database().undo_len(), 0, "{ctx}: undo log not drained");
+                assert!(sys.deferred_window().is_empty(), "{ctx}: deferred window not empty");
+
+                // The engine accounted for the fault and the statement
+                // rollback, and emitted the matching events.
+                assert_eq!(sys.stats().faults_injected, faults_before + 1, "{ctx}");
+                assert!(sys.stats().stmt_rollbacks > 0, "{ctx}");
+                let events = sys.recent_events();
+                assert!(
+                    events.contains(&EngineEvent::Fault { kind: kind.name().into(), n }),
+                    "{ctx}: no Fault event"
+                );
+                assert!(events.contains(&EngineEvent::StatementRollback), "{ctx}");
+                assert!(
+                    events.contains(&EngineEvent::Rollback { by_rule: None }),
+                    "{ctx}: no transaction Rollback event"
+                );
+
+                // The system stays usable once the plan is disarmed.
+                sys.fault_injector_mut().disarm();
+                sys.transaction("insert into emp values ('probe', 99, 1.0, 9)").unwrap();
+                sys.transaction("delete from emp where emp_no = 99").unwrap();
+                assert_eq!(
+                    sys.database().state_image(),
+                    before,
+                    "{ctx}: probe transaction was not clean"
+                );
+                return i;
+            }
+        }
+    }
+    panic!("{ctx}: armed site was never reached — discovery and sweep disagree");
+}
+
+/// The sweep proper: discover every `(kind, n)` site reachable from each
+/// paper-example workload, then fail each one and assert the contract.
+#[test]
+fn sweep_every_fault_site_on_paper_workloads() {
+    for scenario in SCENARIOS {
+        // Discovery pass: fault-free run, counting operations per kind.
+        let mut sys = fresh(scenario);
+        for stmt in scenario.workload {
+            let out = sys.transaction(stmt).unwrap();
+            assert!(out.committed(), "{}: fault-free run must commit", scenario.name);
+        }
+        let totals: Vec<(FaultKind, u64)> = FaultKind::ALL
+            .iter()
+            .map(|&k| (k, sys.fault_injector().count(k)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        assert!(
+            totals.iter().any(|&(k, _)| k == FaultKind::TupleInsert),
+            "{}: workload must exercise inserts",
+            scenario.name
+        );
+
+        let mut swept = 0u64;
+        for &(kind, total) in &totals {
+            for n in sites(total) {
+                run_armed(scenario, kind, n);
+                swept += 1;
+            }
+        }
+        assert!(swept > 0, "{}: no sites swept", scenario.name);
+    }
+}
+
+/// Indexed scenarios must actually reach index-maintenance fault sites
+/// (otherwise the sweep silently loses a whole kind).
+#[test]
+fn indexed_workloads_expose_index_maintenance_sites() {
+    for scenario in SCENARIOS.iter().filter(|s| s.name.starts_with("example_3")) {
+        let mut sys = fresh(scenario);
+        for stmt in scenario.workload {
+            sys.transaction(stmt).unwrap();
+        }
+        assert!(
+            sys.fault_injector().count(FaultKind::IndexMaintenance) > 0,
+            "{}: expected index-maintenance sites",
+            scenario.name
+        );
+    }
+}
+
+/// A fault during `process_deferred` rolls back the rule actions but the
+/// already-committed external transactions stay committed — and the
+/// deferred window is consumed, not left as a ghost.
+#[test]
+fn fault_during_deferred_processing_keeps_committed_work() {
+    let mut sys = RuleSystem::new();
+    (setup_ex31)(&mut sys);
+    // Inserts commit through ordinary transactions so the later deferred
+    // delete is NOT composed away against them (Definition 2.1 nets an
+    // insert-then-delete of the same tuple to nothing).
+    sys.execute("insert into dept values (1, 10)").unwrap();
+    sys.execute("insert into emp values ('a', 1, 10.0, 1)").unwrap();
+    sys.transaction_without_rules("delete from dept where dept_no = 1").unwrap();
+    let committed = sys.database().state_image();
+
+    // r31's deferred action deletes 'a' — fail that delete.
+    sys.fault_injector_mut().reset_counts();
+    sys.fault_injector_mut().arm(FaultKind::TupleDelete, 1);
+    let err = sys.process_deferred().unwrap_err();
+    assert!(fault_of(&err).is_some(), "expected the injected fault, got {err}");
+    assert_eq!(sys.database().state_image(), committed, "committed work must survive");
+    assert!(!sys.in_transaction());
+    assert!(sys.deferred_window().is_empty(), "deferred window must be consumed");
+
+    // Disarmed, the same processing completes.
+    sys.fault_injector_mut().disarm();
+    // The deferred window was consumed by the failed attempt; re-seed it.
+    sys.execute("insert into dept values (2, 20)").unwrap();
+    sys.transaction_without_rules("delete from dept where dept_no = 2").unwrap();
+    sys.process_deferred().unwrap();
+    assert_eq!(
+        sys.query("select count(*) from emp").unwrap().scalar().unwrap(),
+        &Value::Int(1),
+        "'a' survives: dept 1's delete was processed (and lost) by the faulted pass"
+    );
+}
+
+/// Randomized savepoint property: arm a random site against a random
+/// multi-row DML statement; if the statement fails, the database must be
+/// byte-identical to its pre-statement state.
+#[test]
+fn random_multi_row_dml_rolls_back_to_statement_boundary() {
+    check("fault_savepoint_property", 150, 0xfa01_75ee, |rng| {
+        let mut sys = RuleSystem::new();
+        sys.execute("create table t (k int, v float)").unwrap();
+        if rng.chance(1, 2) {
+            sys.execute("create index on t (k)").unwrap();
+        }
+        let rows: Vec<String> =
+            (0..3 + rng.below(5)).map(|i| format!("({}, {}.5)", i, i * 10)).collect();
+        sys.transaction(&format!("insert into t values {}", rows.join(", "))).unwrap();
+
+        let kind = *rng.pick(&FaultKind::ALL);
+        let nth = 1 + rng.below(6) as u64;
+        sys.fault_injector_mut().reset_counts();
+        sys.fault_injector_mut().arm(kind, nth);
+
+        let stmt = match rng.below(3) {
+            0 => "update t set v = v * 2.0 where k >= 1".to_string(),
+            1 => "delete from t where k >= 2".to_string(),
+            _ => "insert into t values (100, 1.0), (101, 2.0), (102, 3.0)".to_string(),
+        };
+        let before = sys.database().state_image();
+        match sys.transaction(&stmt) {
+            Ok(_) => {
+                // Site never reached — the statement applied normally.
+                assert_ne!(sys.database().state_image(), before);
+            }
+            Err(e) => {
+                assert!(fault_of(&e).is_some(), "unexpected error {e}");
+                assert_eq!(sys.database().state_image(), before);
+                assert_eq!(sys.database().undo_len(), 0);
+            }
+        }
+    });
+}

@@ -85,18 +85,24 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
             "plan cache miss for 'r'",
             "plan_cache",
         ),
+        (
+            EngineEvent::Fault { kind: "undo_append".into(), n: 4 },
+            "injected fault: undo_append #4",
+            "fault",
+        ),
+        (EngineEvent::StatementRollback, "statement rollback", "statement_rollback"),
     ]
 }
 
 #[test]
 fn every_variant_displays_and_serializes() {
     let samples = event_samples();
-    // The sample list must cover the whole enum: 12 distinct kinds (the
+    // The sample list must cover the whole enum: 14 distinct kinds (the
     // rollback and plan-cache variants appear twice each).
     let mut kinds: Vec<&str> = samples.iter().map(|(e, _, _)| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 12, "event_samples() must cover every EngineEvent variant");
+    assert_eq!(kinds.len(), 14, "event_samples() must cover every EngineEvent variant");
 
     for (ev, display, tag) in samples {
         assert_eq!(ev.to_string(), display);

@@ -167,6 +167,101 @@ fn compiled_and_interpreted_agree_on_random_queries() {
     });
 }
 
+/// An error-producing predicate: division/modulo by zero, int/text type
+/// mismatches, a bad `like ... escape`, or an unknown column — all
+/// reached *lazily*, only when a row actually flows through the
+/// expression (an empty scan must succeed in both modes).
+fn error_prone_pred(rng: &mut Rng, ints: &[String], texts: &[String]) -> String {
+    let a = rng.pick_cloned(ints);
+    match rng.below(if texts.is_empty() { 4 } else { 6 }) {
+        0 => format!("{a} / ({a} - {a}) = 1"),
+        1 => format!("{a} % ({a} - {a}) = 0"),
+        2 => format!("{a} = 'oops'"),
+        3 => format!("no_such_column = {a}"),
+        4 => format!("{} > 3", rng.pick_cloned(texts)),
+        _ => format!("{} like 'a%' escape '!!'", rng.pick_cloned(texts)),
+    }
+}
+
+/// The differential extended to error paths: queries that divide by
+/// zero, compare across types, hit unknown names, or pass a bad escape
+/// must fail identically (same error text) — or succeed identically when
+/// no row reaches the poisoned expression — in both modes.
+#[test]
+fn compiled_and_interpreted_agree_on_error_producing_queries() {
+    check("compiled_vs_interpreted_errors", 200, 0xe740_4411, |rng| {
+        let db = random_database(rng);
+        let (table, tints, ttexts) = rng.pick(TABLES);
+        let ints: Vec<String> = tints.iter().map(|c| format!("x.{c}")).collect();
+        let texts: Vec<String> = ttexts.iter().map(|c| format!("x.{c}")).collect();
+        // Half the time the poison hides behind a guard that may or may
+        // not short-circuit it away, so some cases succeed in both modes.
+        let poison = error_prone_pred(rng, &ints, &texts);
+        let pred = if rng.chance(1, 2) {
+            format!("({} and {poison})", random_pred(rng, &ints, &texts, 1))
+        } else {
+            poison
+        };
+        let sql = format!("select count(*) from {table} x where {pred}");
+        let stmt = sel(&sql);
+        let run = |mode: ExecMode| {
+            execute_query_with_opts(&db, &NoTransitionTables, &stmt, None, mode, None)
+        };
+        match (run(ExecMode::Compiled), run(ExecMode::Interpreted)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "result diverged for: {sql}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "error diverged for: {sql}")
+            }
+            (a, b) => panic!("outcome diverged for {sql}: {a:?} vs {b:?}"),
+        }
+    });
+}
+
+/// Statement-level error agreement: running the same multi-statement
+/// script through full engines in both modes fails at the same statement
+/// index with the same error text, and both leave identical final state.
+#[test]
+fn engine_modes_fail_at_the_same_statement() {
+    let scripts: &[&[&str]] = &[
+        &[
+            "insert into t values (1, 'a'), (2, 'b')",
+            "update t set k = k / (k - k)", // division by zero on row 1
+            "insert into t values (3, 'c')",
+        ],
+        &[
+            "insert into t values (1, 'a')",
+            "select * from t where s > 5", // text/int mismatch, lazily
+        ],
+        &[
+            "insert into t values (1, 'a')",
+            "delete from t where ghost = 1", // unknown column, lazily
+        ],
+        &[
+            "insert into t values (1, 'a')",
+            "select * from t where s like 'a%' escape 'no'", // bad escape
+        ],
+    ];
+    for script in scripts {
+        let run = |mode: ExecMode| -> (Option<(usize, String)>, Relation) {
+            let mut sys =
+                RuleSystem::with_config(EngineConfig { exec_mode: mode, ..Default::default() });
+            sys.execute("create table t (k int, s text)").unwrap();
+            let mut failure = None;
+            for (i, stmt) in script.iter().enumerate() {
+                if let Err(e) = sys.execute(stmt) {
+                    failure = Some((i, e.to_string()));
+                    break;
+                }
+            }
+            (failure, sys.query("select k from t order by k").unwrap())
+        };
+        let compiled = run(ExecMode::Compiled);
+        let interpreted = run(ExecMode::Interpreted);
+        assert_eq!(compiled, interpreted, "modes diverged on script {script:?}");
+        assert!(compiled.0.is_some(), "script {script:?} was expected to fail");
+    }
+}
+
 /// The full engine produces identical rule firings and final state in
 /// both modes on the paper's cascading-delete scenarios.
 #[test]
@@ -340,9 +435,146 @@ fn plan_cache_hits_on_repeated_processing_and_clears_on_ddl() {
     assert!(isys.recent_events().iter().all(|e| e.kind() != "plan_cache"));
 }
 
+/// Regression: DDL executed *inside a rule action* mid-`process rules`
+/// (an external action calling [`setrules_core::ActionCtx::create_index`])
+/// must invalidate the plan cache just like top-level DDL — cached plans
+/// embed catalog-derived slot positions. (`create rule` mid-processing is
+/// architecturally impossible: statement-level DDL requires no open
+/// transaction, and `ActionCtx` exposes no rule-definition surface.)
+#[test]
+fn mid_processing_ddl_in_rule_action_invalidates_plan_cache() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut sys = RuleSystem::new();
+    sys.execute("create table t (k int)").unwrap();
+    sys.execute("create table log (k int)").unwrap();
+    sys.execute(
+        "create rule copy when inserted into t \
+         if exists (select * from inserted t) \
+         then insert into log (select k from inserted t)",
+    )
+    .unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = done.clone();
+    sys.create_rule_external(
+        "indexer",
+        "inserted into t",
+        None,
+        Arc::new(move |ctx: &mut setrules_core::ActionCtx<'_>| {
+            if !flag.swap(true, Ordering::Relaxed) {
+                ctx.create_index("t", "k")?;
+            }
+            Ok(())
+        }),
+    )
+    .unwrap();
+    sys.execute("create rule priority copy before indexer").unwrap();
+
+    // Txn 1: both rules compile fresh; indexer then creates the index,
+    // dropping every cached plan.
+    sys.execute("insert into t values (1)").unwrap();
+    let s1 = sys.stats().clone();
+    assert_eq!(s1.plan_cache_hits, 0);
+    assert!(s1.plan_cache_misses >= 2);
+    assert!(done.load(Ordering::Relaxed), "the external action ran its DDL");
+
+    // Txn 2: the mid-processing DDL invalidated the cache, so both rules
+    // miss again — no stale hit against the pre-index catalog.
+    sys.execute("insert into t values (2)").unwrap();
+    let s2 = sys.stats().clone();
+    assert_eq!(s2.plan_cache_hits, 0, "a hit here would be a stale plan surviving mid-txn DDL");
+    assert!(s2.plan_cache_misses >= s1.plan_cache_misses + 2);
+
+    // Txn 3: no further DDL — the rebuilt plans are reused.
+    sys.execute("insert into t values (3)").unwrap();
+    let s3 = sys.stats().clone();
+    assert!(s3.plan_cache_hits >= 2, "both rules reuse plans once the catalog is stable");
+
+    // The rule pipeline stayed correct throughout.
+    assert_eq!(
+        sys.query("select count(*) from log").unwrap().scalar().unwrap(),
+        &Value::Int(3)
+    );
+    assert!(sys.explain("select * from t where k = 2").unwrap().contains("index"));
+}
+
 // ----------------------------------------------------------------------
 // Access-path determinism
 // ----------------------------------------------------------------------
+
+/// NaN float semantics, scan vs index: comparisons involving NaN are
+/// UNKNOWN (never true), and NaN literals are excluded from index
+/// equi-probes (falling back to scan / skipping the `in` item) — so an
+/// indexed table must return exactly the rows an unindexed one does, in
+/// both execution modes.
+#[test]
+fn nan_rows_scan_vs_index_differential() {
+    let build = |indexed: bool| -> Database {
+        let mut db = Database::new();
+        let cols = vec![
+            setrules_storage::ColumnDef::new("k", setrules_storage::DataType::Int),
+            setrules_storage::ColumnDef::new("v", setrules_storage::DataType::Float),
+        ];
+        let t = db.create_table(setrules_storage::TableSchema::new("f", cols)).unwrap();
+        if indexed {
+            db.create_index(t, ColumnId(1)).unwrap();
+        }
+        // Two NaN rows (0.0 / 0.0 evaluates to NaN for floats) amid
+        // ordinary values; the index stores NaN under its bit pattern.
+        exec(
+            &mut db,
+            "insert into f values (1, 1.0), (2, 0.0 / 0.0), (3, 2.0), (4, 0.0 / 0.0), (5, 1.0)",
+        );
+        db
+    };
+    let queries = [
+        "select k from f where v = 1.0",
+        "select k from f where v = 0.0 / 0.0",
+        "select k from f where v <> 1.0",
+        "select k from f where v in (1.0, 0.0 / 0.0)",
+        "select k from f where v in (0.0 / 0.0)",
+        "select k from f where v between 0.5 and 1.5",
+        "select k from f where not (v = 0.0 / 0.0)",
+    ];
+    let scan_db = build(false);
+    let index_db = build(true);
+    for sql in queries {
+        let stmt = sel(sql);
+        for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+            let via_scan =
+                execute_query_with_opts(&scan_db, &NoTransitionTables, &stmt, None, mode, None)
+                    .unwrap();
+            let via_index =
+                execute_query_with_opts(&index_db, &NoTransitionTables, &stmt, None, mode, None)
+                    .unwrap();
+            assert_eq!(via_scan, via_index, "scan/index diverged for {sql} ({mode:?})");
+        }
+    }
+    // Spot-check the semantics themselves: NaN comparisons are UNKNOWN,
+    // so `v = NaN`, `v <> 1.0` on NaN rows, and `not (v = NaN)` all
+    // exclude the NaN rows.
+    let rows = |sql: &str| {
+        execute_query_with_opts(
+            &index_db,
+            &NoTransitionTables,
+            &sel(sql),
+            None,
+            ExecMode::Compiled,
+            None,
+        )
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(rows("select k from f where v = 1.0 order by k"), vec![1, 5]);
+    assert_eq!(rows("select k from f where v = 0.0 / 0.0"), Vec::<i64>::new());
+    assert_eq!(rows("select k from f where v <> 1.0"), vec![3]);
+    assert_eq!(rows("select k from f where not (v = 0.0 / 0.0)"), Vec::<i64>::new());
+    assert_eq!(rows("select k from f where v in (1.0, 0.0 / 0.0) order by k"), vec![1, 5]);
+}
 
 #[test]
 fn index_scans_return_handles_in_full_scan_order() {
