@@ -1,0 +1,174 @@
+//! **B12 — ordered secondary indexes** (range-scan access paths, order-by
+//! elimination, and min/max short-circuit).
+//!
+//! One `emp` table with 100 000 rows and distinct salaries, measured with
+//! and without an ordered (BTree) index on `salary`:
+//!
+//! * **range query**: `salary between lo and hi` selecting ~100 rows. The
+//!   ordered index walks just the matching key interval; the baseline
+//!   scans all 100 000 rows. Acceptance bar: ≥ 10× wall-clock speedup,
+//!   and the `range_rows_skipped` counter must show the skipped tuples.
+//! * **order by + limit**: `order by salary limit 10`. The ordered index
+//!   emits rows in key order and stops after 10, so nothing is
+//!   materialized or sorted; the baseline materializes and sorts all
+//!   100 000 rows. Acceptance bar: ≥ 5× speedup, `sort_elided` bumped.
+//! * **min/max**: `select min(salary), max(salary)` answered from the
+//!   index's first/last key without touching a single tuple.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setrules_bench::{emp_system, write_bench_snapshot};
+use setrules_core::RuleSystem;
+use setrules_json::Json;
+
+const ROWS: usize = 100_000;
+// Salaries are 1000.0 + i, all distinct: this interval holds exactly 100.
+const RANGE_QUERY: &str =
+    "select count(*) from emp where salary between 50000.0 and 50099.0";
+const TOP_QUERY: &str = "select name from emp order by salary limit 10";
+const MINMAX_QUERY: &str = "select min(salary), max(salary) from emp";
+
+fn check(sys: &RuleSystem, query: &str) {
+    match query {
+        RANGE_QUERY => {
+            assert_eq!(sys.query(query).unwrap().scalar().unwrap().as_i64(), Some(100));
+        }
+        TOP_QUERY => {
+            let rel = sys.query(query).unwrap();
+            assert_eq!(rel.rows.len(), 10);
+            assert_eq!(rel.rows[0][0].to_string(), "'e0'");
+        }
+        MINMAX_QUERY => {
+            let rel = sys.query(query).unwrap();
+            assert_eq!(rel.rows[0][0].to_string(), "1000.0");
+            assert_eq!(rel.rows[0][1].to_string(), format!("{}.0", 1000 + ROWS - 1));
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Median-free but warm measurement: one warm-up run, then `reps` timed.
+fn millis(sys: &RuleSystem, query: &str, reps: u32) -> f64 {
+    check(sys, query);
+    let start = Instant::now();
+    for _ in 0..reps {
+        sys.query(query).unwrap();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+/// One instrumented pass: wall times and the work counters behind them,
+/// written to `BENCH_ordered_index.json`, with the acceptance bars
+/// asserted in-bench.
+fn ordered_snapshot(indexed: &RuleSystem, baseline: &RuleSystem) {
+    let counters = |sys: &RuleSystem, query: &str| {
+        let base = sys.exec_stats();
+        sys.query(query).unwrap();
+        sys.exec_stats().since(&base)
+    };
+
+    // Range query.
+    let range_i = millis(indexed, RANGE_QUERY, 20);
+    let range_b = millis(baseline, RANGE_QUERY, 5);
+    let ci = counters(indexed, RANGE_QUERY);
+    let cb = counters(baseline, RANGE_QUERY);
+    assert_eq!(ci.range_scans, 1, "indexed range query must use a range scan");
+    assert_eq!(
+        ci.range_rows_skipped,
+        (ROWS - 100) as u64,
+        "range scan must skip every row outside the interval"
+    );
+    assert_eq!(cb.range_scans, 0);
+    assert_eq!(cb.rows_scanned, ROWS as u64);
+    let range_speedup = range_b / range_i;
+    assert!(
+        range_speedup >= 10.0,
+        "acceptance: range scan must be ≥10x a full scan on {ROWS} rows \
+         (indexed {range_i:.3}ms, full {range_b:.3}ms = {range_speedup:.1}x)"
+    );
+    let range_json = Json::obj([
+        ("indexed_millis", Json::Float(range_i)),
+        ("full_scan_millis", Json::Float(range_b)),
+        ("speedup", Json::Float(range_speedup)),
+        ("rows_visited_indexed", Json::Int(ci.rows_scanned as i64)),
+        ("range_rows_skipped", Json::Int(ci.range_rows_skipped as i64)),
+        ("rows_visited_full", Json::Int(cb.rows_scanned as i64)),
+    ]);
+
+    // Order by + limit.
+    let top_i = millis(indexed, TOP_QUERY, 20);
+    let top_b = millis(baseline, TOP_QUERY, 5);
+    let ci = counters(indexed, TOP_QUERY);
+    let cb = counters(baseline, TOP_QUERY);
+    assert_eq!(ci.sort_elided, 1, "indexed order-by must elide the sort");
+    assert_eq!(ci.rows_scanned, 10, "limit must stop the index walk after 10 rows");
+    assert_eq!(cb.sort_elided, 0);
+    assert_eq!(cb.rows_scanned, ROWS as u64);
+    let top_speedup = top_b / top_i;
+    assert!(
+        top_speedup >= 5.0,
+        "acceptance: order-by-limit via the ordered index must be ≥5x \
+         materialize-and-sort (indexed {top_i:.3}ms, sort {top_b:.3}ms = {top_speedup:.1}x)"
+    );
+    let top_json = Json::obj([
+        ("indexed_millis", Json::Float(top_i)),
+        ("full_sort_millis", Json::Float(top_b)),
+        ("speedup", Json::Float(top_speedup)),
+        ("rows_visited_indexed", Json::Int(ci.rows_scanned as i64)),
+        ("rows_visited_full", Json::Int(cb.rows_scanned as i64)),
+    ]);
+
+    // Min/max short-circuit: answered from the index extremes, no scan.
+    let mm_i = millis(indexed, MINMAX_QUERY, 20);
+    let mm_b = millis(baseline, MINMAX_QUERY, 5);
+    let ci = counters(indexed, MINMAX_QUERY);
+    assert_eq!(ci.rows_scanned, 0, "min/max must not visit any tuple");
+    assert_eq!(ci.index_lookups, 2);
+    let minmax_json = Json::obj([
+        ("indexed_millis", Json::Float(mm_i)),
+        ("full_scan_millis", Json::Float(mm_b)),
+        ("speedup", Json::Float(mm_b / mm_i)),
+        ("index_lookups", Json::Int(ci.index_lookups as i64)),
+    ]);
+
+    write_bench_snapshot(
+        "ordered_index",
+        &Json::obj([
+            ("rows", Json::Int(ROWS as i64)),
+            ("range_query", range_json),
+            ("order_by_limit", top_json),
+            ("min_max", minmax_json),
+        ]),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut indexed = emp_system(ROWS);
+    indexed.execute("create index on emp (salary) using ordered").unwrap();
+    let baseline = emp_system(ROWS);
+
+    ordered_snapshot(&indexed, &baseline);
+
+    for (group, query) in [
+        ("b12_range_scan", RANGE_QUERY),
+        ("b12_order_by_limit", TOP_QUERY),
+        ("b12_min_max", MINMAX_QUERY),
+    ] {
+        let mut g = c.benchmark_group(group);
+        g.warm_up_time(std::time::Duration::from_millis(400));
+        g.measurement_time(std::time::Duration::from_secs(2));
+        g.sample_size(10);
+        for (label, sys) in [("ordered", &indexed), ("full_scan", &baseline)] {
+            g.bench_with_input(BenchmarkId::new(label, ROWS), sys, |b, sys| {
+                b.iter(|| {
+                    sys.query(query).unwrap();
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -433,13 +433,13 @@ impl RuleSystem {
                 self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("table '{name}' dropped")))
             }
-            Statement::CreateIndex { table, column } => {
+            Statement::CreateIndex { table, column, kind } => {
                 self.require_no_txn()?;
                 let tid = self.db.table_id(&table)?;
                 let c = self.db.schema(tid).column_id(&column)?;
-                self.db.create_index(tid, c)?;
+                self.db.create_index_of(tid, c, kind)?;
                 self.invalidate_plans();
-                Ok(ExecOutcome::Ddl(format!("index on '{table}.{column}' created")))
+                Ok(ExecOutcome::Ddl(format!("{kind} index on '{table}.{column}' created")))
             }
             Statement::DropIndex { table, column } => {
                 self.require_no_txn()?;

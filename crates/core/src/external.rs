@@ -89,16 +89,42 @@ impl ActionCtx<'_> {
         self.provider.rows(self.db, kind, table, column)
     }
 
-    /// Create an index on `table.column` from inside a rule action — the
-    /// one DDL operation permitted mid-transaction (indexes are redundant
-    /// structures, so this cannot change logical state). The engine
-    /// invalidates every cached compiled plan when the action returns.
+    /// Create a hash index on `table.column` from inside a rule action —
+    /// the one DDL operation permitted mid-transaction (indexes are
+    /// redundant structures, so this cannot change logical state). The
+    /// engine invalidates every cached compiled plan when the action
+    /// returns.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), RuleError> {
+        self.create_index_of(table, column, setrules_storage::IndexKind::Hash)
+    }
+
+    /// Like [`ActionCtx::create_index`] with an explicit index kind
+    /// (`Ordered` builds a BTree index usable for range scans and sort
+    /// elision).
+    pub fn create_index_of(
+        &mut self,
+        table: &str,
+        column: &str,
+        kind: setrules_storage::IndexKind,
+    ) -> Result<(), RuleError> {
         let tid = self.db.table_id(table)?;
         let c = self.db.schema(tid).column_id(column)?;
-        self.db.create_index(tid, c)?;
+        self.db.create_index_of(tid, c, kind)?;
         self.did_ddl = true;
         Ok(())
+    }
+
+    /// Drop the index on `table.column` (any kind). Returns `true` when an
+    /// index existed. Plans are invalidated when the action returns, just
+    /// as for [`ActionCtx::create_index`].
+    pub fn drop_index(&mut self, table: &str, column: &str) -> Result<bool, RuleError> {
+        let tid = self.db.table_id(table)?;
+        let c = self.db.schema(tid).column_id(column)?;
+        let dropped = self.db.drop_index(tid, c);
+        if dropped {
+            self.did_ddl = true;
+        }
+        Ok(dropped)
     }
 
     /// Read-only access to the current database state.

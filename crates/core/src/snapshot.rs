@@ -14,7 +14,7 @@
 
 use setrules_json::{Json, JsonError};
 use setrules_sql::ast::{BasicTransPred, CreateRule, RuleAction};
-use setrules_storage::{DataType, Value};
+use setrules_storage::{DataType, IndexKind, Value};
 
 use crate::engine::RuleSystem;
 use crate::error::RuleError;
@@ -27,8 +27,8 @@ pub struct TableSnapshot {
     pub name: String,
     /// Columns in declaration order.
     pub columns: Vec<(String, DataType)>,
-    /// Indexed column names.
-    pub indexes: Vec<String>,
+    /// Indexed columns with their index kind.
+    pub indexes: Vec<(String, IndexKind)>,
     /// Rows in handle (insertion) order.
     pub rows: Vec<Vec<Value>>,
 }
@@ -77,7 +77,24 @@ impl TableSnapshot {
                         .collect(),
                 ),
             ),
-            ("indexes", str_array(&self.indexes)),
+            (
+                // Hash indexes encode as a bare column name (the format
+                // before index kinds existed); ordered indexes as a
+                // `[column, kind]` pair, so old snapshots keep parsing.
+                "indexes",
+                Json::Array(
+                    self.indexes
+                        .iter()
+                        .map(|(c, k)| match k {
+                            IndexKind::Hash => Json::Str(c.clone()),
+                            IndexKind::Ordered => Json::Array(vec![
+                                Json::Str(c.clone()),
+                                Json::Str(k.name().to_string()),
+                            ]),
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "rows",
                 Json::Array(
@@ -108,7 +125,25 @@ impl TableSnapshot {
                 DataType::from_json(ty).ok_or_else(|| bad_snapshot("columns"))?,
             ));
         }
-        let indexes = read_str_array(json, "indexes")?;
+        let mut indexes = Vec::new();
+        for idx in json.get("indexes").and_then(Json::as_array).ok_or_else(|| bad_snapshot("indexes"))? {
+            indexes.push(match idx {
+                Json::Str(c) => (c.clone(), IndexKind::Hash),
+                Json::Array(pair) => {
+                    let [c, k] = pair.as_slice() else {
+                        return Err(bad_snapshot("indexes"));
+                    };
+                    let c = c.as_str().ok_or_else(|| bad_snapshot("indexes"))?.to_string();
+                    let kind = match k.as_str() {
+                        Some("hash") => IndexKind::Hash,
+                        Some("ordered") => IndexKind::Ordered,
+                        _ => return Err(bad_snapshot("indexes")),
+                    };
+                    (c, kind)
+                }
+                _ => return Err(bad_snapshot("indexes")),
+            });
+        }
         let mut rows = Vec::new();
         for row in json.get("rows").and_then(Json::as_array).ok_or_else(|| bad_snapshot("rows"))? {
             let vals = row.as_array().ok_or_else(|| bad_snapshot("rows"))?;
@@ -198,8 +233,9 @@ impl RuleSystem {
                 schema.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
             let indexes = (0..schema.arity())
                 .map(|i| setrules_storage::ColumnId(i as u16))
-                .filter(|c| db.has_index(tid, *c))
-                .map(|c| schema.column_name(c).to_string())
+                .filter_map(|c| {
+                    db.index_kind(tid, c).map(|k| (schema.column_name(c).to_string(), k))
+                })
                 .collect();
             let rows = table.scan().map(|(_, t)| t.0.clone()).collect();
             tables.push(TableSnapshot { name: schema.name.clone(), columns, indexes, rows });
@@ -225,8 +261,8 @@ impl RuleSystem {
             let cols: Vec<String> =
                 t.columns.iter().map(|(n, ty)| format!("{n} {ty}")).collect();
             sys.execute(&format!("create table {} ({})", t.name, cols.join(", ")))?;
-            for c in &t.indexes {
-                sys.execute(&format!("create index on {} ({})", t.name, c))?;
+            for (c, kind) in &t.indexes {
+                sys.execute(&format!("create index on {} ({}) using {}", t.name, c, kind))?;
             }
             // Load rows without rule processing (rules are not defined yet
             // anyway; this also keeps the deferred window clean).

@@ -270,6 +270,7 @@ fn identify(
     stats::bump(st, |s| match access {
         Access::FullScan => s.full_scans += 1,
         Access::IndexEq { .. } | Access::IndexIn { .. } => s.index_lookups += 1,
+        Access::IndexRange { .. } => s.range_scans += 1,
         Access::Empty => s.empty_scans += 1,
     });
     let compiled = match (predicate, mode) {
@@ -285,7 +286,12 @@ fn identify(
     };
     let mut bindings = Bindings::new();
     let mut out = Vec::new();
-    for h in scan_handles(db, table, &access) {
+    let handles = scan_handles(db, table, &access);
+    if matches!(access, Access::IndexRange { .. }) {
+        let skipped = (db.table(table).len() - handles.len()) as u64;
+        stats::bump(st, |s| s.range_rows_skipped += skipped);
+    }
+    for h in handles {
         stats::bump(st, |s| s.rows_scanned += 1);
         let tuple = db.get(table, h).expect("scanned handle is live");
         let keep = match predicate {

@@ -5,13 +5,33 @@
 //! optimization applies to rule bodies unchanged.
 
 use std::fmt::Write as _;
+use std::ops::Bound;
 use std::sync::Arc;
 
 use setrules_sql::ast::{SelectStmt, TableSource};
+use setrules_storage::Value;
 
 use crate::compile::{Layout, LayoutFrame};
 use crate::ctx::QueryCtx;
 use crate::planner::{build_join_plan, choose_access, equi_join_edges, scan_handles, Access};
+
+/// A key interval in mathematical notation: `[4, 6]`, `(5, +inf)`. The
+/// `Excluded(NULL)` lower bound the planner uses to skip the NULL bucket
+/// means "unbounded below over the column's domain", so it prints as
+/// `(-inf`.
+fn describe_interval(lo: &Bound<Value>, hi: &Bound<Value>) -> String {
+    let lo = match lo {
+        Bound::Excluded(Value::Null) | Bound::Unbounded => "(-inf".to_string(),
+        Bound::Included(v) => format!("[{v}"),
+        Bound::Excluded(v) => format!("({v}"),
+    };
+    let hi = match hi {
+        Bound::Included(v) => format!("{v}]"),
+        Bound::Excluded(v) => format!("{v})"),
+        Bound::Unbounded => "+inf)".to_string(),
+    };
+    format!("{lo}, {hi}")
+}
 
 /// Describe how each `from` item of `stmt` would be scanned, and how a
 /// multi-item `from` would be joined.
@@ -42,6 +62,12 @@ pub fn explain_select(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> String {
                                 .collect::<Vec<_>>()
                                 .join(", ")
                         ),
+                        Access::IndexRange { column, ref lo, ref hi } => format!(
+                            "index range scan on {}.{} over {}",
+                            name,
+                            ctx.db.schema(tid).column_name(column),
+                            describe_interval(lo, hi)
+                        ),
                         Access::Empty => "empty (predicate unsatisfiable)".to_string(),
                     };
                     let _ = writeln!(out, "{binding}: {desc}");
@@ -57,6 +83,19 @@ pub fn explain_select(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> String {
                     crate::provider::describe(*kind, table, column.as_deref())
                 );
             }
+        }
+    }
+
+    // Sort-elision report: when the executor would answer `order by` in
+    // ordered-index order (and short-circuit `limit`) instead of sorting.
+    if let Some((tid, oc, _)) = crate::select::elidable_order_column(ctx, stmt) {
+        if let TableSource::Named(name) = &stmt.from[0].source {
+            let _ = writeln!(
+                out,
+                "order by: elided via ordered index on {}.{}",
+                name,
+                ctx.db.schema(tid).column_name(oc)
+            );
         }
     }
 
@@ -90,9 +129,9 @@ pub fn explain_select(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> String {
                     match &access {
                         Access::Empty => 0,
                         Access::FullScan => ctx.db.table(tid).len(),
-                        Access::IndexEq { .. } | Access::IndexIn { .. } => {
-                            scan_handles(ctx.db, tid, &access).len()
-                        }
+                        Access::IndexEq { .. }
+                        | Access::IndexIn { .. }
+                        | Access::IndexRange { .. } => scan_handles(ctx.db, tid, &access).len(),
                     }
                 }
             });
@@ -171,8 +210,41 @@ mod tests {
         let ctx = QueryCtx::plain(&db);
         let plan = explain_select(ctx, &sel("select * from emp where dept_no in (3, 5)"));
         assert!(plan.contains("index multi-probe on emp.dept_no in (3, 5)"), "{plan}");
+        // A hash index has no key order: `between` stays a seq scan.
         let plan = explain_select(ctx, &sel("select * from emp where dept_no between 4 and 6"));
-        assert!(plan.contains("index multi-probe on emp.dept_no in (4, 5, 6)"), "{plan}");
+        assert!(plan.contains("seq scan"), "{plan}");
+    }
+
+    #[test]
+    fn explains_range_scan() {
+        let mut db = Database::new();
+        let (emp, _) = paper_example_schemas();
+        let t = db.create_table(emp).unwrap();
+        db.create_index_of(t, ColumnId(3), setrules_storage::IndexKind::Ordered).unwrap();
+        let ctx = QueryCtx::plain(&db);
+        let plan = explain_select(ctx, &sel("select * from emp where dept_no between 4 and 6"));
+        assert!(plan.contains("index range scan on emp.dept_no over [4, 6]"), "{plan}");
+        let plan = explain_select(ctx, &sel("select * from emp where dept_no > 5"));
+        assert!(plan.contains("index range scan on emp.dept_no over (5, +inf)"), "{plan}");
+        let plan = explain_select(ctx, &sel("select * from emp where dept_no <= 9"));
+        assert!(plan.contains("index range scan on emp.dept_no over (-inf, 9]"), "{plan}");
+    }
+
+    #[test]
+    fn explains_sort_elision() {
+        let mut db = Database::new();
+        let (emp, _) = paper_example_schemas();
+        let t = db.create_table(emp).unwrap();
+        db.create_index_of(t, ColumnId(2), setrules_storage::IndexKind::Ordered).unwrap();
+        let ctx = QueryCtx::plain(&db);
+        let plan = explain_select(ctx, &sel("select name from emp order by salary limit 3"));
+        assert!(plan.contains("order by: elided via ordered index on emp.salary"), "{plan}");
+        // A second order-by key forces a real sort.
+        let plan = explain_select(ctx, &sel("select name from emp order by salary, name"));
+        assert!(!plan.contains("elided"), "{plan}");
+        // So does ordering by a column with only a hash index.
+        let plan = explain_select(ctx, &sel("select name from emp order by dept_no"));
+        assert!(!plan.contains("elided"), "{plan}");
     }
 
     #[test]

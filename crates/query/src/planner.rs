@@ -2,10 +2,14 @@
 //!
 //! §1: set-oriented rules keep relational optimization applicable, and that
 //! optimization "is directly applicable to the rules themselves". We
-//! implement the representative case: an equality predicate on an indexed
-//! column turns a full scan into an index probe, whether the scan comes
-//! from a user query or from the body of a rule. Benchmark B7 measures the
-//! effect.
+//! implement the representative cases: an equality predicate on an indexed
+//! column turns a full scan into an index probe, and range-shaped
+//! predicates (`<`, `<=`, `>`, `>=`, `between`) on an *ordered*-indexed
+//! column turn into a single BTree range scan — whether the scan comes
+//! from a user query or from the body of a rule. Benchmarks B7 and B12
+//! measure the effects.
+
+use std::ops::Bound;
 
 use setrules_sql::ast::{BinaryOp, Expr};
 use setrules_storage::{ColumnId, DataType, Database, TableId, Value};
@@ -27,16 +31,28 @@ pub enum Access {
         /// The probe value (already coerced to the column type).
         value: Value,
     },
-    /// Probe the hash index on `column` once per value (`col in (...)`,
-    /// or `col between lo and hi` over an enumerable integer range).
+    /// Probe the hash index on `column` once per value of an explicit
+    /// `col in (...)` list.
     IndexIn {
         /// The indexed column.
         column: ColumnId,
         /// Deduplicated probe values (already coerced to the column type).
         values: Vec<Value>,
     },
+    /// Scan the *ordered* index on `column` for keys within `[lo, hi]`
+    /// (storage total order; bounds already coerced to the column type and
+    /// normalized to exclude `NULL` and NaN buckets).
+    IndexRange {
+        /// The ordered-indexed column.
+        column: ColumnId,
+        /// Lower bound of the key interval.
+        lo: Bound<Value>,
+        /// Upper bound of the key interval.
+        hi: Bound<Value>,
+    },
     /// The predicate can never be true for any tuple (e.g. `c = NULL`,
-    /// or an equality with a value outside the column's domain).
+    /// an equality with a value outside the column's domain, or a range
+    /// with a `NULL`/NaN bound or a provably empty interval).
     Empty,
 }
 
@@ -47,27 +63,26 @@ impl Access {
             Access::Empty => 0,
             Access::IndexEq { .. } => 1,
             Access::IndexIn { .. } => 2,
-            Access::FullScan => 3,
+            Access::IndexRange { .. } => 3,
+            Access::FullScan => 4,
         }
     }
 }
 
-/// `between` ranges wider than this stay full scans: enumerating the range
-/// would out-probe a scan's sequential pass.
-const MAX_BETWEEN_PROBES: i64 = 256;
-
 /// Choose an access path for scanning `table` bound as `binding`, given the
 /// query's `where` predicate.
 ///
-/// Top-level `and`-conjuncts of three shapes are considered: `col = const`
-/// (either operand order), `col in (const, ...)`, and `col between const
-/// and const` over an integer column with an enumerable range. Unqualified
-/// column names are only trusted when this is the sole `from` item
-/// (`sole_item`) — otherwise the name might belong to a different item.
-/// The full predicate is still re-checked per row by the executor, so a
-/// missed opportunity costs time, never correctness. When several
-/// conjuncts are usable the most selective shape wins (empty > equality
-/// probe > multi-probe > scan).
+/// Top-level `and`-conjuncts of four shapes are considered: `col = const`
+/// (either operand order), `col in (const, ...)`, comparisons `col < / <=
+/// / > / >= const` (either operand order), and `col between const and
+/// const`. Comparison and `between` conjuncts on the same column are
+/// intersected into a single key interval, served by an *ordered* index
+/// when one exists. Unqualified column names are only trusted when this is
+/// the sole `from` item (`sole_item`) — otherwise the name might belong to
+/// a different item. The full predicate is still re-checked per row by the
+/// executor, so a missed opportunity costs time, never correctness. When
+/// several conjuncts are usable the most selective shape wins (empty >
+/// equality probe > multi-probe > range scan > full scan).
 pub fn choose_access(
     ctx: QueryCtx<'_>,
     table: TableId,
@@ -82,16 +97,29 @@ pub fn choose_access(
     let mut conjuncts = Vec::new();
     collect_conjuncts(pred, &mut conjuncts);
     let mut best = Access::FullScan;
+    // Key intervals accumulated across range-shaped conjuncts, one entry
+    // per column in first-seen order (keeps plans deterministic).
+    let mut ranges: Vec<(ColumnId, Bound<Value>, Bound<Value>)> = Vec::new();
     for c in conjuncts {
         let candidate = match c {
             Expr::Binary { left, op: BinaryOp::Eq, right } => {
                 eq_candidate(ctx, schema, table, binding, sole_item, left, right)
             }
+            Expr::Binary { left, op, right }
+                if matches!(
+                    op,
+                    BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+                ) =>
+            {
+                note_comparison(ctx, schema, table, binding, sole_item, left, *op, right, &mut ranges)
+                    .then_some(Access::Empty)
+            }
             Expr::InList { expr, list, negated: false } => {
                 in_candidate(ctx, schema, table, binding, sole_item, expr, list)
             }
             Expr::Between { expr, low, high, negated: false } => {
-                between_candidate(ctx, schema, table, binding, sole_item, expr, low, high)
+                note_between(ctx, schema, table, binding, sole_item, expr, low, high, &mut ranges)
+                    .then_some(Access::Empty)
             }
             _ => None,
         };
@@ -102,6 +130,21 @@ pub fn choose_access(
             if cand.rank() < best.rank() {
                 best = cand;
             }
+        }
+    }
+    for (column, lo, hi) in ranges {
+        // An empty interval means the range conjuncts contradict each
+        // other — provably empty whether or not an index exists.
+        if range_is_empty(&lo, &hi) {
+            return Access::Empty;
+        }
+        if !ctx.db.has_ordered_index(table, column) {
+            continue; // hash buckets have no key order to scan
+        }
+        let (lo, hi) = finalize_range(lo, hi, schema.column_type(column));
+        let cand = Access::IndexRange { column, lo, hi };
+        if cand.rank() < best.rank() {
+            best = cand;
         }
     }
     best
@@ -162,6 +205,13 @@ fn eq_candidate(
             continue;
         }
         return Some(match probe_value(&v, schema.column_type(column)) {
+            // `-0.0` and `0.0` are distinct index keys (bit-pattern
+            // storage equality) but SQL-equal, so a zero probe must
+            // cover both buckets.
+            Some(Value::Float(0.0)) => Access::IndexIn {
+                column,
+                values: vec![Value::Float(-0.0), Value::Float(0.0)],
+            },
             Some(value) => Access::IndexEq { column, value },
             None => Access::Empty,
         });
@@ -189,8 +239,20 @@ fn in_candidate(
             // only keeps rows where the predicate is *true*.
             Ok(None) => {}
             Ok(Some(p)) => {
-                if !values.contains(&p) {
-                    values.push(p);
+                // A zero float expands to both signed-zero buckets (see
+                // `eq_candidate`).
+                let expanded = match p {
+                    // A literal float pattern matches by numeric `==`,
+                    // so this covers `-0.0` as well.
+                    Value::Float(0.0) => {
+                        vec![Value::Float(-0.0), Value::Float(0.0)]
+                    }
+                    p => vec![p],
+                };
+                for p in expanded {
+                    if !values.contains(&p) {
+                        values.push(p);
+                    }
                 }
             }
             // Cross-domain item: per-row evaluation would raise a type
@@ -201,8 +263,49 @@ fn in_candidate(
     Some(if values.is_empty() { Access::Empty } else { Access::IndexIn { column, values } })
 }
 
+/// Note a comparison conjunct (`<`, `<=`, `>`, `>=`) in the per-column
+/// range accumulator. Returns `true` when the conjunct can never be true
+/// for any row (NULL/NaN bound), making the whole predicate provably empty.
 #[allow(clippy::too_many_arguments)]
-fn between_candidate(
+fn note_comparison(
+    ctx: QueryCtx<'_>,
+    schema: &setrules_storage::TableSchema,
+    table: TableId,
+    binding: &str,
+    sole_item: bool,
+    left: &Expr,
+    op: BinaryOp,
+    right: &Expr,
+    ranges: &mut Vec<(ColumnId, Bound<Value>, Bound<Value>)>,
+) -> bool {
+    for (col_side, const_side, flipped) in [(left, right, false), (right, left, true)] {
+        let Some(column) = indexed_column(ctx, schema, table, binding, sole_item, col_side) else {
+            continue;
+        };
+        let Some(v) = const_value(ctx, const_side) else {
+            continue;
+        };
+        // Orient the operator so the column sits on the left.
+        let (is_lo, inclusive) = match (op, flipped) {
+            (BinaryOp::Gt, false) | (BinaryOp::Lt, true) => (true, false), // col > v
+            (BinaryOp::GtEq, false) | (BinaryOp::LtEq, true) => (true, true), // col >= v
+            (BinaryOp::Lt, false) | (BinaryOp::Gt, true) => (false, false), // col < v
+            _ => (false, true),                                            // col <= v
+        };
+        match coerce_bound(&v, schema.column_type(column), is_lo, inclusive) {
+            BoundRes::Use(b) => add_bound(ranges, column, is_lo, b),
+            BoundRes::Never => return true,
+            BoundRes::Keep => {}
+        }
+        return false;
+    }
+    false
+}
+
+/// Note a non-negated `between` conjunct in the range accumulator.
+/// Returns `true` when the conjunct is provably empty (NULL/NaN bound).
+#[allow(clippy::too_many_arguments)]
+fn note_between(
     ctx: QueryCtx<'_>,
     schema: &setrules_storage::TableSchema,
     table: TableId,
@@ -211,41 +314,192 @@ fn between_candidate(
     col_side: &Expr,
     low: &Expr,
     high: &Expr,
-) -> Option<Access> {
-    let column = indexed_column(ctx, schema, table, binding, sole_item, col_side)?;
-    if schema.column_type(column) != DataType::Int {
-        return None; // only integer ranges are enumerable
+    ranges: &mut Vec<(ColumnId, Bound<Value>, Bound<Value>)>,
+) -> bool {
+    let Some(column) = indexed_column(ctx, schema, table, binding, sole_item, col_side) else {
+        return false;
+    };
+    let ty = schema.column_type(column);
+    let (Some(lo_v), Some(hi_v)) = (const_value(ctx, low), const_value(ctx, high)) else {
+        return false;
+    };
+    let lo_res = coerce_bound(&lo_v, ty, true, true);
+    let hi_res = coerce_bound(&hi_v, ty, false, true);
+    // A cross-domain bound disables the whole conjunct — even when the
+    // other bound is NULL — so the per-row type error still surfaces.
+    if matches!(lo_res, BoundRes::Keep) || matches!(hi_res, BoundRes::Keep) {
+        return false;
     }
-    let lo_v = const_value(ctx, low)?;
-    let hi_v = const_value(ctx, high)?;
-    // Integer bounds of the range; fractional bounds tighten inward.
-    // `None` = NULL bound (comparison is unknown, never an error);
-    // bailing out keeps per-row type errors from non-numeric bounds.
-    let int_bound = |v: &Value, toward_hi: bool| -> Result<Option<i64>, ()> {
-        match v {
-            Value::Null => Ok(None),
-            Value::Int(i) => Ok(Some(*i)),
-            Value::Float(f) if f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
-                Ok(Some(if toward_hi { f.floor() } else { f.ceil() } as i64))
+    match (lo_res, hi_res) {
+        (BoundRes::Use(lo), BoundRes::Use(hi)) => {
+            add_bound(ranges, column, true, lo);
+            add_bound(ranges, column, false, hi);
+            false
+        }
+        // A NULL/NaN bound makes the conjunct unknown-or-false for every
+        // row, and `where` only keeps *true* — provably empty.
+        _ => true,
+    }
+}
+
+/// Result of coercing a range-bound constant to a column's stored type.
+enum BoundRes {
+    /// A usable bound in the storage total order.
+    Use(Bound<Value>),
+    /// The conjunct can never be true for any row (NULL or NaN bound, or
+    /// a bound past the column domain's edge on the shrinking side).
+    Never,
+    /// Per-row evaluation could raise a type error; leave the conjunct to
+    /// the executor and don't prefilter on it.
+    Keep,
+}
+
+fn coerce_bound(v: &Value, ty: DataType, is_lo: bool, inclusive: bool) -> BoundRes {
+    let mk = |v: Value| if inclusive { Bound::Included(v) } else { Bound::Excluded(v) };
+    match (v, ty) {
+        // Comparisons with NULL or NaN are UNKNOWN for every row, and
+        // `where` only keeps *true*.
+        (Value::Null, _) => BoundRes::Never,
+        (Value::Float(f), _) if f.is_nan() => BoundRes::Never,
+        (Value::Int(i), DataType::Int) => BoundRes::Use(mk(Value::Int(*i))),
+        (Value::Float(f), DataType::Int) => {
+            // Int-vs-float comparison widens to f64, so a bound beyond the
+            // i64 range compares the same way against every stored int:
+            // always-false on the shrinking side, no-constraint otherwise.
+            if *f > i64::MAX as f64 {
+                if is_lo {
+                    BoundRes::Never
+                } else {
+                    BoundRes::Use(Bound::Unbounded)
+                }
+            } else if *f < i64::MIN as f64 {
+                if is_lo {
+                    BoundRes::Use(Bound::Unbounded)
+                } else {
+                    BoundRes::Never
+                }
+            } else if f.fract() == 0.0 {
+                BoundRes::Use(mk(Value::Int(*f as i64)))
+            } else if is_lo {
+                // `col > 4.5` and `col >= 4.5` both mean `col >= 5`.
+                BoundRes::Use(Bound::Included(Value::Int(f.ceil() as i64)))
+            } else {
+                BoundRes::Use(Bound::Included(Value::Int(f.floor() as i64)))
             }
-            _ => Err(()),
+        }
+        (Value::Int(i), DataType::Float) => BoundRes::Use(float_bound(*i as f64, is_lo, inclusive)),
+        (Value::Float(f), DataType::Float) => BoundRes::Use(float_bound(*f, is_lo, inclusive)),
+        (Value::Text(s), DataType::Text) => BoundRes::Use(mk(Value::Text(s.clone()))),
+        // Cross-domain bound: per-row comparison raises a type error that
+        // a prefilter would swallow.
+        _ => BoundRes::Keep,
+    }
+}
+
+/// Build a float bound, normalizing signed zeros so the storage total
+/// order (where `-0.0 < 0.0` as distinct index keys) agrees with SQL
+/// comparison (where they are equal): an inclusive bound lands on the far
+/// zero bucket, an exclusive bound on the near one, so both buckets end up
+/// on the same side of the cut.
+fn float_bound(f: f64, is_lo: bool, inclusive: bool) -> Bound<Value> {
+    let f = if f == 0.0 {
+        match (is_lo, inclusive) {
+            (true, true) => -0.0,   // >= 0 keeps the -0.0 bucket
+            (true, false) => 0.0,   // > 0 skips both zero buckets
+            (false, true) => 0.0,   // <= 0 keeps the 0.0 bucket
+            (false, false) => -0.0, // < 0 skips both zero buckets
+        }
+    } else {
+        f
+    };
+    if inclusive {
+        Bound::Included(Value::Float(f))
+    } else {
+        Bound::Excluded(Value::Float(f))
+    }
+}
+
+/// Record one side of a column's key interval, keeping the tighter bound
+/// when one is already recorded.
+fn add_bound(
+    ranges: &mut Vec<(ColumnId, Bound<Value>, Bound<Value>)>,
+    column: ColumnId,
+    is_lo: bool,
+    b: Bound<Value>,
+) {
+    if matches!(b, Bound::Unbounded) {
+        return; // no constraint to record
+    }
+    let entry = match ranges.iter_mut().find(|(c, _, _)| *c == column) {
+        Some(e) => e,
+        None => {
+            ranges.push((column, Bound::Unbounded, Bound::Unbounded));
+            ranges.last_mut().expect("just pushed")
         }
     };
-    let (lo, hi) = match (int_bound(&lo_v, false), int_bound(&hi_v, true)) {
-        (Ok(Some(lo)), Ok(Some(hi))) => (lo, hi),
-        // A NULL bound makes the conjunct unknown-or-false for every row,
-        // and `where` only keeps *true* — provably empty.
-        (Ok(None), Ok(_)) | (Ok(_), Ok(None)) => return Some(Access::Empty),
-        _ => return None,
+    let side = if is_lo { &mut entry.1 } else { &mut entry.2 };
+    *side = tighter(std::mem::replace(side, Bound::Unbounded), b, is_lo);
+}
+
+/// The tighter of two bounds on the same side of an interval: for lower
+/// bounds the larger value wins, for upper bounds the smaller; at equal
+/// values exclusion wins.
+fn tighter(a: Bound<Value>, b: Bound<Value>, is_lo: bool) -> Bound<Value> {
+    let pick_a = match (&a, &b) {
+        (Bound::Unbounded, _) => false,
+        (_, Bound::Unbounded) => true,
+        (Bound::Included(va) | Bound::Excluded(va), Bound::Included(vb) | Bound::Excluded(vb)) => {
+            match va.cmp(vb) {
+                std::cmp::Ordering::Equal => matches!(a, Bound::Excluded(_)),
+                std::cmp::Ordering::Greater => is_lo,
+                std::cmp::Ordering::Less => !is_lo,
+            }
+        }
     };
-    if lo > hi {
-        return Some(Access::Empty);
+    if pick_a {
+        a
+    } else {
+        b
     }
-    let span = (hi as i128) - (lo as i128) + 1;
-    if span > MAX_BETWEEN_PROBES as i128 {
-        return None;
+}
+
+/// Whether a key interval is provably empty. The coercions in
+/// [`coerce_bound`] are exact w.r.t. SQL comparison on the column's
+/// domain, so an empty interval means no stored value can satisfy all the
+/// range conjuncts that produced it.
+fn range_is_empty(lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    match (lo, hi) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => false,
+        (Bound::Included(a), Bound::Included(b)) => a > b,
+        (Bound::Included(a), Bound::Excluded(b))
+        | (Bound::Excluded(a), Bound::Included(b))
+        | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
     }
-    Some(Access::IndexIn { column, values: (lo..=hi).map(Value::Int).collect() })
+}
+
+/// Normalize the open sides of a key interval for the BTree walk: skip the
+/// `NULL` bucket (which sorts first) and, for float columns, the NaN
+/// buckets (IEEE total order puts -NaN before -inf and +NaN after +inf).
+/// Every skipped bucket is provably rejected by the range conjuncts
+/// themselves — NULL and NaN compare UNKNOWN with any bound — so the
+/// prefilter stays exact.
+fn finalize_range(
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+    ty: DataType,
+) -> (Bound<Value>, Bound<Value>) {
+    let lo = match lo {
+        Bound::Unbounded if ty == DataType::Float => {
+            Bound::Included(Value::Float(f64::NEG_INFINITY))
+        }
+        Bound::Unbounded => Bound::Excluded(Value::Null),
+        b => b,
+    };
+    let hi = match hi {
+        Bound::Unbounded if ty == DataType::Float => Bound::Included(Value::Float(f64::INFINITY)),
+        b => b,
+    };
+    (lo, hi)
 }
 
 /// Handles matching an access path, in handle order.
@@ -254,6 +508,7 @@ fn between_candidate(
 /// (and, for multi-probe paths, deduplicated) before returning — the
 /// executor's determinism guarantee (`select.rs` module docs) requires
 /// index-backed and full-scan plans to produce identical row order.
+/// Range scans come back already sorted by the storage layer.
 pub fn scan_handles(
     db: &Database,
     table: TableId,
@@ -280,6 +535,9 @@ pub fn scan_handles(
             hs.dedup();
             hs
         }
+        Access::IndexRange { column, lo, hi } => db
+            .index_range(table, *column, lo.clone(), hi.clone())
+            .expect("planner only chooses IndexRange when the ordered index exists"),
         Access::Empty => Vec::new(),
     }
 }
@@ -486,7 +744,7 @@ fn probe_value(v: &Value, ty: DataType) -> Option<Value> {
 mod tests {
     use super::*;
     use setrules_sql::parse_expr;
-    use setrules_storage::{paper_example_schemas, Database};
+    use setrules_storage::{paper_example_schemas, Database, IndexKind};
 
     fn setup() -> (Database, TableId) {
         let mut db = Database::new();
@@ -625,20 +883,40 @@ mod tests {
         assert_eq!(access(&db, t, "dept_no in (5)", false), Access::FullScan, "not sole item");
     }
 
+    /// `setup()` plus an *ordered* index on `dept_no` (replacing the hash
+    /// one) and on `salary`.
+    fn setup_ordered() -> (Database, TableId) {
+        let (mut db, t) = setup();
+        db.drop_index(t, ColumnId(3));
+        db.create_index_of(t, ColumnId(3), IndexKind::Ordered).unwrap(); // dept_no
+        db.create_index_of(t, ColumnId(2), IndexKind::Ordered).unwrap(); // salary
+        (db, t)
+    }
+
+    fn int_range(column: ColumnId, lo: Bound<i64>, hi: Bound<i64>) -> Access {
+        Access::IndexRange {
+            column,
+            lo: lo.map(Value::Int),
+            hi: hi.map(Value::Int),
+        }
+    }
+
     #[test]
-    fn picks_index_for_between() {
-        let (db, t) = setup();
+    fn picks_range_for_between() {
+        let (db, t) = setup_ordered();
         assert_eq!(
             access(&db, t, "dept_no between 5 and 7", true),
-            Access::IndexIn {
-                column: ColumnId(3),
-                values: vec![Value::Int(5), Value::Int(6), Value::Int(7)],
-            }
+            int_range(ColumnId(3), Bound::Included(5), Bound::Included(7))
         );
-        // Fractional bounds tighten inward.
+        // An arbitrarily wide range is one BTree walk — no enumeration cap.
+        assert_eq!(
+            access(&db, t, "dept_no between 0 and 100000", true),
+            int_range(ColumnId(3), Bound::Included(0), Bound::Included(100000))
+        );
+        // Fractional bounds tighten inward for int columns.
         assert_eq!(
             access(&db, t, "dept_no between 4.5 and 6.5", true),
-            Access::IndexIn { column: ColumnId(3), values: vec![Value::Int(5), Value::Int(6)] }
+            int_range(ColumnId(3), Bound::Included(5), Bound::Included(6))
         );
         // Inverted or NULL-bounded ranges are provably empty.
         assert_eq!(access(&db, t, "dept_no between 7 and 5", true), Access::Empty);
@@ -646,26 +924,179 @@ mod tests {
     }
 
     #[test]
+    fn picks_range_for_comparisons() {
+        let (db, t) = setup_ordered();
+        // One-sided bounds leave the other side open; the int-column open
+        // lower side starts just past the NULL bucket.
+        assert_eq!(
+            access(&db, t, "dept_no > 5", true),
+            int_range(ColumnId(3), Bound::Excluded(5), Bound::Unbounded)
+        );
+        assert_eq!(
+            access(&db, t, "5 < dept_no", true),
+            int_range(ColumnId(3), Bound::Excluded(5), Bound::Unbounded),
+            "flipped operand order"
+        );
+        assert_eq!(
+            access(&db, t, "dept_no <= 7", true),
+            Access::IndexRange {
+                column: ColumnId(3),
+                lo: Bound::Excluded(Value::Null),
+                hi: Bound::Included(Value::Int(7)),
+            }
+        );
+        // Conjuncts on the same column intersect to the tightest interval.
+        assert_eq!(
+            access(&db, t, "dept_no > 2 and dept_no <= 7 and dept_no >= 4", true),
+            int_range(ColumnId(3), Bound::Included(4), Bound::Included(7))
+        );
+        // Contradictory conjuncts are provably empty.
+        assert_eq!(access(&db, t, "dept_no > 5 and dept_no < 3", true), Access::Empty);
+        assert_eq!(access(&db, t, "dept_no > 5 and dept_no <= 5", true), Access::Empty);
+    }
+
+    #[test]
+    fn float_ranges_normalize_zeros_infinities_and_nan() {
+        let (db, t) = setup_ordered();
+        // `>= 0.0` must keep the -0.0 bucket (a distinct BTree key that is
+        // SQL-equal to 0.0); the open upper side stops at +inf so stored
+        // NaNs — which compare UNKNOWN with any bound — stay out.
+        assert_eq!(
+            access(&db, t, "salary >= 0.0", true),
+            Access::IndexRange {
+                column: ColumnId(2),
+                lo: Bound::Included(Value::Float(-0.0)),
+                hi: Bound::Included(Value::Float(f64::INFINITY)),
+            }
+        );
+        assert_eq!(
+            access(&db, t, "salary < 0.0", true),
+            Access::IndexRange {
+                column: ColumnId(2),
+                lo: Bound::Included(Value::Float(f64::NEG_INFINITY)),
+                hi: Bound::Excluded(Value::Float(-0.0)),
+            },
+            "< 0 skips both zero buckets; -inf itself is a legal stored value"
+        );
+        assert_eq!(
+            access(&db, t, "salary > 0.0", true),
+            Access::IndexRange {
+                column: ColumnId(2),
+                lo: Bound::Excluded(Value::Float(0.0)),
+                hi: Bound::Included(Value::Float(f64::INFINITY)),
+            },
+            "> 0 starts past the 0.0 bucket (and the -0.0 bucket below it)"
+        );
+        // NaN bounds make the predicate provably empty.
+        assert_eq!(access(&db, t, "salary > 0.0 / 0.0", true), Access::Empty);
+        assert_eq!(access(&db, t, "salary between 1.0 and 0.0 / 0.0", true), Access::Empty);
+    }
+
+    #[test]
+    fn zero_equality_probes_cover_both_signed_zero_buckets() {
+        let (db, t) = setup_ordered();
+        // `= 0.0` is true for stored `-0.0` too, but the index keys the
+        // two zeros separately — the probe must cover both buckets.
+        let both = Access::IndexIn {
+            column: ColumnId(2),
+            values: vec![Value::Float(-0.0), Value::Float(0.0)],
+        };
+        assert_eq!(access(&db, t, "salary = 0.0", true), both);
+        assert_eq!(access(&db, t, "salary = -0.0", true), both);
+        assert_eq!(
+            access(&db, t, "salary in (0.0, 1.5)", true),
+            Access::IndexIn {
+                column: ColumnId(2),
+                values: vec![Value::Float(-0.0), Value::Float(0.0), Value::Float(1.5)],
+            }
+        );
+    }
+
+    #[test]
+    fn int_ranges_with_out_of_domain_float_bounds() {
+        let (db, t) = setup_ordered();
+        // Every int is below 1e300, so `>` can never hold and `<` always
+        // does (the latter constrains nothing — scan, not a full-index walk).
+        assert_eq!(access(&db, t, "dept_no > 1e300", true), Access::Empty);
+        assert_eq!(access(&db, t, "dept_no < 1e300", true), Access::FullScan);
+        assert_eq!(access(&db, t, "dept_no < -1e300", true), Access::Empty);
+        // Int-column comparisons widen to f64: +inf behaves like 1e300.
+        assert_eq!(access(&db, t, "dept_no >= 1e400", true), Access::Empty);
+    }
+
+    #[test]
+    fn text_ranges_use_the_ordered_index() {
+        let (mut db, t) = setup_ordered();
+        db.create_index_of(t, ColumnId(0), IndexKind::Ordered).unwrap(); // name
+        assert_eq!(
+            access(&db, t, "name >= 'e' and name < 'f'", true),
+            Access::IndexRange {
+                column: ColumnId(0),
+                lo: Bound::Included(Value::Text("e".into())),
+                hi: Bound::Excluded(Value::Text("f".into())),
+            }
+        );
+    }
+
+    #[test]
     fn between_fallbacks() {
         let (db, t) = setup();
-        assert_eq!(
-            access(&db, t, "dept_no between 0 and 100000", true),
-            Access::FullScan,
-            "range too wide to enumerate"
-        );
-        assert_eq!(
-            access(&db, t, "salary between 1.0 and 2.0", true),
-            Access::FullScan,
-            "float column ranges are not enumerable"
-        );
+        // `setup()` has only a *hash* index on dept_no: no key order to
+        // scan, so range-shaped predicates stay full scans...
+        assert_eq!(access(&db, t, "dept_no between 5 and 7", true), Access::FullScan);
+        assert_eq!(access(&db, t, "dept_no > 5 and dept_no < 7", true), Access::FullScan);
+        // ...but provable emptiness doesn't need an index at all.
+        assert_eq!(access(&db, t, "dept_no between 7 and 5", true), Access::Empty);
+        assert_eq!(access(&db, t, "dept_no between NULL and 5", true), Access::Empty);
+        let (db, t) = setup_ordered();
         assert_eq!(
             access(&db, t, "dept_no not between 5 and 7", true),
             Access::FullScan,
-            "negation cannot probe"
+            "negation cannot use the range"
         );
-        // Non-numeric bound: per-row evaluation must keep its type error.
+        // Cross-domain bound: per-row evaluation must keep its type error.
         assert_eq!(access(&db, t, "dept_no between 'a' and 'b'", true), Access::FullScan);
         assert_eq!(access(&db, t, "dept_no between 'a' and NULL", true), Access::FullScan);
+        assert_eq!(access(&db, t, "dept_no < 'a'", true), Access::FullScan);
+        // Non-constant bound is left to the executor.
+        assert_eq!(access(&db, t, "dept_no < emp_no", true), Access::FullScan);
+    }
+
+    #[test]
+    fn equality_beats_range() {
+        let (db, t) = setup_ordered();
+        assert_eq!(
+            access(&db, t, "dept_no > 1 and dept_no = 5", true),
+            Access::IndexEq { column: ColumnId(3), value: Value::Int(5) }
+        );
+        // ...but a range beats a full scan even when another conjunct is
+        // unusable.
+        assert_eq!(
+            access(&db, t, "name like 'e%' and dept_no > 1", true),
+            int_range(ColumnId(3), Bound::Excluded(1), Bound::Unbounded)
+        );
+    }
+
+    #[test]
+    fn range_scan_handles_are_sorted_and_exclude_null() {
+        let (mut db, t) = setup_ordered();
+        use setrules_storage::tuple;
+        // Insert out of key order so bucket order differs from handle order.
+        let h7 = db.insert(t, tuple!["a", 1, 1.0, 7]).unwrap();
+        let h5a = db.insert(t, tuple!["b", 2, 1.0, 5]).unwrap();
+        let _h9 = db.insert(t, tuple!["c", 3, 1.0, 9]).unwrap();
+        let h5b = db.insert(t, tuple!["d", 4, 1.0, 5]).unwrap();
+        let hnull = db.insert(t, tuple!["e", 5, 1.0, Value::Null]).unwrap();
+        let acc = access(&db, t, "dept_no between 5 and 7", true);
+        assert!(matches!(acc, Access::IndexRange { .. }));
+        let mut expect = vec![h7, h5a, h5b];
+        expect.sort_unstable();
+        assert_eq!(scan_handles(&db, t, &acc), expect, "handle order, not key order");
+        // An open-ended range skips the NULL bucket.
+        let acc = access(&db, t, "dept_no <= 100", true);
+        let hs = scan_handles(&db, t, &acc);
+        assert_eq!(hs.len(), 4);
+        assert!(!hs.contains(&hnull));
     }
 
     #[test]
@@ -708,9 +1139,6 @@ mod tests {
         let mut expect = vec![h7a, h5a, h7b, h5b];
         expect.sort_unstable();
         assert_eq!(scan_handles(&db, t, &acc), expect, "handle order, not probe order");
-        // Overlapping between-range: each handle exactly once.
-        let acc = access(&db, t, "dept_no between 5 and 7", true);
-        assert_eq!(scan_handles(&db, t, &acc), expect);
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! *error* (the historical 2-way hash path already did this).
 
 use std::collections::HashMap;
+use std::ops::Bound;
 use std::sync::Arc;
 
-use setrules_sql::ast::{BinaryOp, Expr, SelectItem, SelectStmt, TableSource};
-use setrules_storage::{DataType, TableId, TupleHandle, Value};
+use setrules_sql::ast::{AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, TableSource};
+use setrules_storage::{ColumnId, DataType, TableId, TupleHandle, Value};
 
 use crate::bindings::{Bindings, Frame, Level};
 use crate::compile::{
@@ -59,6 +60,20 @@ pub fn run_select_traced(
     bindings: &mut Bindings,
     trace: Option<&mut Vec<(TableId, TupleHandle)>>,
 ) -> Result<Relation, QueryError> {
+    // Ordered-index fast paths: answer bare `min`/`max` from the index
+    // boundary keys, and answer a single-key `order by` in index order
+    // (short-circuiting `limit` without materializing or sorting). Both
+    // are gated off when a trace is requested — early stopping would
+    // change the selected-transition effects the trace feeds.
+    if trace.is_none() {
+        if let Some(rel) = min_max_shortcircuit(ctx, stmt)? {
+            return Ok(rel);
+        }
+        if let Some(rel) = index_order_scan(ctx, stmt, bindings)? {
+            return Ok(rel);
+        }
+    }
+
     // ------------------------------------------------------------------
     // 1. Materialize each `from` item.
     // ------------------------------------------------------------------
@@ -240,9 +255,15 @@ pub fn run_select_traced(
                 stats::bump(ctx.stats, |s| match access {
                     Access::FullScan => s.full_scans += 1,
                     Access::IndexEq { .. } | Access::IndexIn { .. } => s.index_lookups += 1,
+                    Access::IndexRange { .. } => s.range_scans += 1,
                     Access::Empty => s.empty_scans += 1,
                 });
-                scan_handles(ctx.db, *tid, access)
+                let handles = scan_handles(ctx.db, *tid, access);
+                if matches!(access, Access::IndexRange { .. }) {
+                    let skipped = (ctx.db.table(*tid).len() - handles.len()) as u64;
+                    stats::bump(ctx.stats, |s| s.range_rows_skipped += skipped);
+                }
+                handles
                     .into_iter()
                     .map(|h| {
                         let t = ctx.db.get(*tid, h).expect("scanned handle is live");
@@ -683,6 +704,310 @@ pub fn run_select_traced(
     }
 
     Ok(Relation { columns, rows: keyed_rows.into_iter().map(|(_, r)| r).collect() })
+}
+
+/// When `stmt`'s `order by` can be answered by walking an ordered index
+/// instead of sorting, the shape of that walk: the table, the key column,
+/// and the access path (`FullScan` = whole-index walk, or an `IndexRange`
+/// on the key column itself). `None` means the generic pipeline must run.
+///
+/// The shape gate requires: a sole named `from` item, a single `order by`
+/// key that is a bare column of that item with an ordered index, no
+/// `distinct`/`group by`/`having`/aggregates. Soundness argument: the
+/// generic pipeline scans in handle order and stably sorts by the key's
+/// storage total order, which is exactly the index walk — buckets in key
+/// order, ascending handles within a bucket (descending keys reverse the
+/// bucket order only).
+pub(crate) fn elidable_order_column(
+    ctx: QueryCtx<'_>,
+    stmt: &SelectStmt,
+) -> Option<(TableId, ColumnId, Access)> {
+    if stmt.from.len() != 1
+        || stmt.distinct
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.order_by.len() != 1
+    {
+        return None;
+    }
+    let TableSource::Named(table_name) = &stmt.from[0].source else {
+        return None;
+    };
+    let binding = stmt.from[0].binding_name();
+    let Expr::Column { qualifier, name } = &stmt.order_by[0].0 else {
+        return None;
+    };
+    match qualifier.as_deref() {
+        None => {}
+        Some(q) if q == binding => {}
+        _ => return None,
+    }
+    let tid = ctx.db.table_id(table_name).ok()?;
+    let oc = ctx.db.schema(tid).column_id(name).ok()?;
+    ctx.db.ordered_index(tid, oc)?;
+    if stmt
+        .projection
+        .iter()
+        .any(|it| matches!(it, SelectItem::Expr { expr, .. } if has_aggregate(expr)))
+    {
+        return None;
+    }
+    let access = choose_access(ctx, tid, binding, true, stmt.predicate.as_ref());
+    match &access {
+        Access::FullScan => {}
+        Access::IndexRange { column, .. } if *column == oc => {}
+        // Probe paths and ranges on a different column would emit handles
+        // out of key order; `Empty` is trivial either way.
+        _ => return None,
+    }
+    Some((tid, oc, access))
+}
+
+/// Sort-elision fast path: emit rows in ordered-index order and stop at
+/// `limit`, instead of materializing every match and sorting. Returns
+/// `None` when the query shape doesn't qualify (the generic pipeline runs).
+fn index_order_scan(
+    ctx: QueryCtx<'_>,
+    stmt: &SelectStmt,
+    bindings: &mut Bindings,
+) -> Result<Option<Relation>, QueryError> {
+    let Some((tid, oc, access)) = elidable_order_column(ctx, stmt) else {
+        return Ok(None);
+    };
+    let asc = stmt.order_by[0].1;
+    let binding = stmt.from[0].binding_name();
+    let schema = ctx.db.schema(tid);
+    let columns_arc =
+        Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+    let index = ctx.db.ordered_index(tid, oc).expect("elidable_order_column checked");
+
+    // Expand the projection exactly as the generic pipeline does.
+    let mut proj: Vec<(Expr, String)> = Vec::new();
+    for item in &stmt.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for c in columns_arc.iter() {
+                    proj.push((Expr::qcol(binding.to_string(), c.clone()), c.clone()));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                if q != binding {
+                    return Err(QueryError::UnknownColumn(format!("{q}.*")));
+                }
+                for c in columns_arc.iter() {
+                    proj.push((Expr::qcol(q.clone(), c.clone()), c.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    other => other.to_string(),
+                });
+                proj.push((expr.clone(), name));
+            }
+        }
+    }
+    let out_columns: Vec<String> = proj.iter().map(|(_, n)| n.clone()).collect();
+
+    // Compile once against the same scope layout the generic pipeline
+    // would use (outer scopes plus this item's level).
+    let mut layout = bindings.layout();
+    layout.push_level(vec![LayoutFrame {
+        name: binding.to_string(),
+        columns: Arc::clone(&columns_arc),
+    }]);
+    let compiled_mode = ctx.mode == ExecMode::Compiled;
+    let full_pred: Option<Arc<CompiledExpr>> = match (&stmt.predicate, compiled_mode) {
+        (Some(p), true) => Some(compile_cached(ctx, p, &layout)),
+        _ => None,
+    };
+    let compiled_proj: Option<Vec<CompiledExpr>> =
+        compiled_mode.then(|| proj.iter().map(|(e, _)| compile(e, &layout)).collect());
+
+    stats::bump(ctx.stats, |s| {
+        s.sort_elided += 1;
+        match &access {
+            Access::FullScan => s.full_scans += 1,
+            Access::IndexRange { .. } => s.range_scans += 1,
+            _ => unreachable!("elidable_order_column allows only these"),
+        }
+    });
+
+    // The walk: a `FullScan` access visits the whole index (including the
+    // NULL bucket, which sorts first — just as the generic sort puts NULL
+    // rows first); a range visits its key interval. Descending order
+    // reverses bucket order; handles inside a bucket stay ascending.
+    let walk = match &access {
+        Access::FullScan => index.range(Bound::Unbounded, Bound::Unbounded),
+        Access::IndexRange { lo, hi, .. } => index.range(lo.clone(), hi.clone()),
+        _ => unreachable!("elidable_order_column allows only these"),
+    };
+    let walk: Box<dyn Iterator<Item = _>> =
+        if asc { Box::new(walk) } else { Box::new(walk.rev()) };
+
+    let limit = stmt.limit.map(|n| n as usize);
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut visited: u64 = 0;
+    'walk: for (_, bucket) in walk {
+        for &h in bucket {
+            if limit.is_some_and(|n| rows.len() >= n) {
+                break 'walk;
+            }
+            visited += 1;
+            stats::bump(ctx.stats, |s| s.rows_scanned += 1);
+            let tuple = ctx.db.get(tid, h).expect("indexed handle is live");
+            bindings.push_level(vec![Frame {
+                name: binding.to_string(),
+                columns: Arc::clone(&columns_arc),
+                row: tuple.0.clone(),
+            }]);
+            let result = (|| -> Result<Option<Vec<Value>>, QueryError> {
+                let keep = match (&full_pred, &stmt.predicate) {
+                    (Some(cp), _) => eval_compiled_predicate(ctx, bindings, None, cp)?,
+                    (None, Some(p)) => eval_predicate(ctx, bindings, None, p)?,
+                    (None, None) => true,
+                };
+                if !keep {
+                    return Ok(None);
+                }
+                let mut out = Vec::with_capacity(proj.len());
+                match &compiled_proj {
+                    Some(ps) => {
+                        for e in ps {
+                            out.push(eval_compiled(ctx, bindings, None, e)?);
+                        }
+                    }
+                    None => {
+                        for (e, _) in &proj {
+                            out.push(eval_expr(ctx, bindings, None, e)?);
+                        }
+                    }
+                }
+                Ok(Some(out))
+            })();
+            bindings.pop_level();
+            if let Some(row) = result? {
+                stats::bump(ctx.stats, |s| s.rows_matched += 1);
+                rows.push(row);
+            }
+        }
+    }
+    if matches!(access, Access::IndexRange { .. }) {
+        let skipped = ctx.db.table(tid).len() as u64 - visited;
+        stats::bump(ctx.stats, |s| s.range_rows_skipped += skipped);
+    }
+    Ok(Some(Relation { columns: out_columns, rows }))
+}
+
+/// Min/max short-circuit: a projection made entirely of bare `min`/`max`
+/// aggregates over ordered-indexed columns of a sole named item — with no
+/// predicate, grouping, having, ordering, or distinct — is answered from
+/// the index boundary keys without scanning a single tuple. Returns `None`
+/// when the shape doesn't qualify.
+fn min_max_shortcircuit(
+    ctx: QueryCtx<'_>,
+    stmt: &SelectStmt,
+) -> Result<Option<Relation>, QueryError> {
+    if stmt.from.len() != 1
+        || stmt.distinct
+        || stmt.predicate.is_some()
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || !stmt.order_by.is_empty()
+        || stmt.projection.is_empty()
+    {
+        return Ok(None);
+    }
+    let TableSource::Named(table_name) = &stmt.from[0].source else {
+        return Ok(None);
+    };
+    let binding = stmt.from[0].binding_name();
+    let Ok(tid) = ctx.db.table_id(table_name) else {
+        return Ok(None); // let the generic pipeline raise the error
+    };
+    let schema = ctx.db.schema(tid);
+    let mut wanted: Vec<(ColumnId, bool, String)> = Vec::with_capacity(stmt.projection.len());
+    for item in &stmt.projection {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Ok(None);
+        };
+        // `min(distinct c)` equals `min(c)`: distinct is a no-op here.
+        let Expr::Aggregate { func, arg: Some(arg), .. } = expr else {
+            return Ok(None);
+        };
+        let is_min = match func {
+            AggFunc::Min => true,
+            AggFunc::Max => false,
+            _ => return Ok(None),
+        };
+        let Expr::Column { qualifier, name } = arg.as_ref() else {
+            return Ok(None);
+        };
+        match qualifier.as_deref() {
+            None => {}
+            Some(q) if q == binding => {}
+            _ => return Ok(None),
+        }
+        let Ok(col) = schema.column_id(name) else {
+            return Ok(None);
+        };
+        // Bool columns aside (no meaningful order shortcut), the column
+        // needs an ordered index for its boundary keys.
+        if schema.column_type(col) == DataType::Bool || ctx.db.ordered_index(tid, col).is_none() {
+            return Ok(None);
+        }
+        let out_name = alias.clone().unwrap_or_else(|| expr.to_string());
+        wanted.push((col, is_min, out_name));
+    }
+    let mut row = Vec::with_capacity(wanted.len());
+    let mut names = Vec::with_capacity(wanted.len());
+    for (col, is_min, name) in wanted {
+        let index = ctx.db.ordered_index(tid, col).expect("checked above");
+        // Any stored NaN sits at an extreme of the IEEE total order; the
+        // aggregate's fold may raise "cannot compare" on it, so let the
+        // generic pipeline reproduce that exactly.
+        let is_nan = |k: Option<&Value>| matches!(k, Some(Value::Float(f)) if f.is_nan());
+        if is_nan(index.first_key()) || is_nan(index.last_key()) {
+            return Ok(None);
+        }
+        let boundary = if is_min { index.first_key() } else { index.last_key() };
+        let v = match boundary {
+            // No non-NULL values: the aggregate over them is NULL.
+            None => Value::Null,
+            Some(v) => resolve_zero_tie(index, v.clone()),
+        };
+        stats::bump(ctx.stats, |s| s.index_lookups += 1);
+        row.push(v);
+        names.push(name);
+    }
+    let rows = if stmt.limit == Some(0) { Vec::new() } else { vec![row] };
+    Ok(Some(Relation { columns: names, rows }))
+}
+
+/// `-0.0` and `0.0` are distinct index keys but SQL-equal, and the
+/// aggregate fold keeps the first-encountered (smallest-handle) value of a
+/// tied pair — so when the boundary key is a zero and both zero buckets
+/// exist, return the value from the bucket holding the smaller handle.
+fn resolve_zero_tie(index: &setrules_storage::OrderedIndex, v: Value) -> Value {
+    let Value::Float(f) = v else {
+        return v;
+    };
+    if f != 0.0 {
+        return v;
+    }
+    let neg = index.get(&Value::Float(-0.0)).and_then(|b| b.first());
+    let pos = index.get(&Value::Float(0.0)).and_then(|b| b.first());
+    match (neg, pos) {
+        (Some(hn), Some(hp)) => {
+            if hn < hp {
+                Value::Float(-0.0)
+            } else {
+                Value::Float(0.0)
+            }
+        }
+        (Some(_), None) => Value::Float(-0.0),
+        _ => Value::Float(0.0),
+    }
 }
 
 /// Whether an expression contains an aggregate call *at this query level*

@@ -47,6 +47,13 @@ pub struct ExecStats {
     /// evaluation) — the per-row-work figure the compile-once pipeline
     /// exists to shrink.
     pub join_combinations: u64,
+    /// Scans answered by an ordered-index range walk.
+    pub range_scans: u64,
+    /// Live tuples a range scan did *not* visit (table size minus range
+    /// result) — the work the ordered index saved over a full scan.
+    pub range_rows_skipped: u64,
+    /// `order by` clauses answered by index order instead of a sort.
+    pub sort_elided: u64,
 }
 
 impl ExecStats {
@@ -64,6 +71,9 @@ impl ExecStats {
             nested_loop_joins: self.nested_loop_joins + other.nested_loop_joins,
             pushdown_filtered: self.pushdown_filtered + other.pushdown_filtered,
             join_combinations: self.join_combinations + other.join_combinations,
+            range_scans: self.range_scans + other.range_scans,
+            range_rows_skipped: self.range_rows_skipped + other.range_rows_skipped,
+            sort_elided: self.sort_elided + other.sort_elided,
         }
     }
 
@@ -81,6 +91,9 @@ impl ExecStats {
             nested_loop_joins: self.nested_loop_joins - earlier.nested_loop_joins,
             pushdown_filtered: self.pushdown_filtered - earlier.pushdown_filtered,
             join_combinations: self.join_combinations - earlier.join_combinations,
+            range_scans: self.range_scans - earlier.range_scans,
+            range_rows_skipped: self.range_rows_skipped - earlier.range_rows_skipped,
+            sort_elided: self.sort_elided - earlier.sort_elided,
         }
     }
 
@@ -98,6 +111,9 @@ impl ExecStats {
             ("nested_loop_joins", Json::Int(self.nested_loop_joins as i64)),
             ("pushdown_filtered", Json::Int(self.pushdown_filtered as i64)),
             ("join_combinations", Json::Int(self.join_combinations as i64)),
+            ("range_scans", Json::Int(self.range_scans as i64)),
+            ("range_rows_skipped", Json::Int(self.range_rows_skipped as i64)),
+            ("sort_elided", Json::Int(self.sort_elided as i64)),
         ])
     }
 }
@@ -176,6 +192,6 @@ mod tests {
         let j = ExecStats { nested_loop_joins: 3, ..Default::default() }.to_json();
         assert_eq!(j.get("nested_loop_joins").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("rows_scanned").unwrap().as_i64(), Some(0));
-        assert_eq!(j.as_object().unwrap().len(), 11);
+        assert_eq!(j.as_object().unwrap().len(), 14);
     }
 }

@@ -1,7 +1,7 @@
 //! Abstract syntax for the SQL dialect, including the production-rule DDL
 //! of the paper (§3) and its §5 extensions.
 
-use setrules_storage::{DataType, Value};
+use setrules_storage::{DataType, IndexKind, Value};
 
 /// A top-level statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,12 +10,14 @@ pub enum Statement {
     CreateTable(CreateTable),
     /// `drop table t`
     DropTable(String),
-    /// `create index on t (c)`
+    /// `create index on t (c) [using hash | using ordered]`
     CreateIndex {
         /// Table name.
         table: String,
         /// Column name.
         column: String,
+        /// Physical structure (`using ...`); hash when omitted.
+        kind: IndexKind,
     },
     /// `drop index on t (c)`
     DropIndex {

@@ -15,8 +15,14 @@ impl fmt::Display for Statement {
         match self {
             Statement::CreateTable(ct) => write!(f, "{ct}"),
             Statement::DropTable(t) => write!(f, "drop table {t}"),
-            Statement::CreateIndex { table, column } => {
-                write!(f, "create index on {table} ({column})")
+            Statement::CreateIndex { table, column, kind } => {
+                write!(f, "create index on {table} ({column})")?;
+                // Hash is the default; printing it bare keeps pre-ordered
+                // scripts byte-stable.
+                if *kind == setrules_storage::IndexKind::Ordered {
+                    write!(f, " using ordered")?;
+                }
+                Ok(())
             }
             Statement::DropIndex { table, column } => write!(f, "drop index on {table} ({column})"),
             Statement::CreateRule(r) => write!(f, "{r}"),

@@ -329,6 +329,40 @@ mod tests {
     }
 
     #[test]
+    fn create_index_using_clause() {
+        use setrules_storage::IndexKind;
+        let plain = parse_statement("create index on emp (dept_no)").unwrap();
+        assert_eq!(
+            plain,
+            Statement::CreateIndex {
+                table: "emp".into(),
+                column: "dept_no".into(),
+                kind: IndexKind::Hash
+            }
+        );
+        let hash = parse_statement("create index on emp (dept_no) using hash").unwrap();
+        assert_eq!(hash, plain);
+        let ordered = parse_statement("create index on emp (salary) using ordered").unwrap();
+        assert_eq!(
+            ordered,
+            Statement::CreateIndex {
+                table: "emp".into(),
+                column: "salary".into(),
+                kind: IndexKind::Ordered
+            }
+        );
+        assert!(parse_statement("create index on emp (salary) using btree").is_err());
+        // Printing round-trips both kinds; hash stays bare for
+        // byte-stability of pre-ordered scripts.
+        assert_eq!(plain.to_string(), "create index on emp (dept_no)");
+        assert_eq!(ordered.to_string(), "create index on emp (salary) using ordered");
+        assert_eq!(parse_statement(&ordered.to_string()).unwrap(), ordered);
+        // `using` stays an ordinary identifier elsewhere.
+        let s = parse_statement("select using from ordered where hash = 1").unwrap();
+        assert!(matches!(s, Statement::Dml(DmlOp::Select(_))));
+    }
+
+    #[test]
     fn display_round_trips_paper_rules() {
         let srcs = [
             "create rule r31 when deleted from dept then delete from emp where dept_no in (select dept_no from deleted dept)",

@@ -1,6 +1,6 @@
 //! Statement parsing: DDL, DML, and `select`.
 
-use setrules_storage::DataType;
+use setrules_storage::{DataType, IndexKind};
 
 use crate::ast::{
     CreateTable, DeleteStmt, DmlOp, InsertSource, InsertStmt, SelectItem, SelectStmt, Statement,
@@ -49,7 +49,20 @@ impl Parser {
             self.expect(&TokenKind::LParen)?;
             let column = self.ident()?;
             self.expect(&TokenKind::RParen)?;
-            return Ok(Statement::CreateIndex { table, column });
+            // `using` and the kind names are soft words, not keywords, so
+            // they stay usable as identifiers everywhere else.
+            let kind = if self.eat_word("using") {
+                if self.eat_word("hash") {
+                    IndexKind::Hash
+                } else if self.eat_word("ordered") {
+                    IndexKind::Ordered
+                } else {
+                    return Err(self.unexpected("'hash' or 'ordered' after 'using'"));
+                }
+            } else {
+                IndexKind::Hash
+            };
+            return Ok(Statement::CreateIndex { table, column, kind });
         }
         if self.eat_kw(Keyword::Rule) {
             if self.eat_kw(Keyword::Priority) {

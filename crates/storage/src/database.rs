@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use crate::error::StorageError;
 use crate::fault::{FaultInjector, FaultKind};
-use crate::index::{HashIndex, TableIndexes};
+use crate::index::{ColumnIndex, IndexKind, OrderedIndex, TableIndexes};
 use crate::schema::TableSchema;
 use crate::stats::StorageStats;
 use crate::table::Table;
@@ -126,6 +126,16 @@ impl Database {
 
     /// Create (and populate) a hash index on `t.c`.
     pub fn create_index(&mut self, t: TableId, c: ColumnId) -> Result<(), StorageError> {
+        self.create_index_of(t, c, IndexKind::Hash)
+    }
+
+    /// Create (and populate) an index of the given kind on `t.c`.
+    pub fn create_index_of(
+        &mut self,
+        t: TableId,
+        c: ColumnId,
+        kind: IndexKind,
+    ) -> Result<(), StorageError> {
         let table = self.tables[t.0 as usize].as_ref().expect("table was dropped");
         if self.indexes[t.0 as usize].has(c) {
             return Err(StorageError::IndexExists {
@@ -136,7 +146,7 @@ impl Database {
         // Bulk build counts as one index-maintenance site; polled before
         // anything is built, so a fault leaves the catalog untouched.
         self.fault.check(FaultKind::IndexMaintenance)?;
-        let mut idx = HashIndex::new();
+        let mut idx = ColumnIndex::new(kind);
         for (h, tuple) in table.scan() {
             idx.insert(tuple.get(c).clone(), h);
             self.stats.index_maintenance_ops += 1;
@@ -153,6 +163,36 @@ impl Database {
     /// Whether `t.c` is indexed.
     pub fn has_index(&self, t: TableId, c: ColumnId) -> bool {
         self.indexes[t.0 as usize].has(c)
+    }
+
+    /// The kind of the index on `t.c`, if one exists.
+    pub fn index_kind(&self, t: TableId, c: ColumnId) -> Option<IndexKind> {
+        self.indexes[t.0 as usize].get(c).map(|i| i.kind())
+    }
+
+    /// The ordered index on `t.c`, if one exists *and* it is ordered.
+    pub fn ordered_index(&self, t: TableId, c: ColumnId) -> Option<&OrderedIndex> {
+        self.indexes[t.0 as usize].get(c).and_then(|i| i.ordered())
+    }
+
+    /// Whether `t.c` has an *ordered* index (the precondition for range
+    /// access paths, sort elimination, and min/max short-circuits).
+    pub fn has_ordered_index(&self, t: TableId, c: ColumnId) -> bool {
+        self.ordered_index(t, c).is_some()
+    }
+
+    /// Scan the ordered index on `t.c` for handles of tuples whose column
+    /// falls within `[lo, hi]` (storage total order; callers coerce bounds
+    /// to the column type first). Handles come back sorted ascending.
+    /// Returns `None` if the column has no ordered index.
+    pub fn index_range(
+        &self,
+        t: TableId,
+        c: ColumnId,
+        lo: std::ops::Bound<Value>,
+        hi: std::ops::Bound<Value>,
+    ) -> Option<Vec<TupleHandle>> {
+        self.ordered_index(t, c).map(|idx| idx.range_handles(lo, hi))
     }
 
     /// Probe the index on `t.c` for tuples whose column equals `v`
@@ -370,10 +410,18 @@ impl Database {
                 let idx = self.indexes[t.0 as usize].get(c).expect("listed column is indexed");
                 let _ = writeln!(
                     out,
-                    "  index on {} entries={}",
+                    "  index on {} kind={} entries={}",
                     table.schema.column_name(c),
+                    idx.kind(),
                     idx.len()
                 );
+                // Ordered indexes additionally expose their key sequence:
+                // BTree ordering corruption shows up here even when every
+                // per-value probe still answers correctly.
+                if let Some(ord) = idx.ordered() {
+                    let keys: Vec<String> = ord.keys().map(|k| format!("{k:?}")).collect();
+                    let _ = writeln!(out, "    order: [{}]", keys.join(", "));
+                }
                 // Probing every live value proves the index agrees with the
                 // table; the entry count above catches ghost entries for
                 // values no live row holds.
@@ -563,6 +611,53 @@ mod tests {
         assert_eq!(db.state_image(), image, "rollback restores the image");
         assert!(db.handles_issued() >= h2.0, "handle high-water mark excluded by design");
         let _ = h;
+    }
+
+    #[test]
+    fn ordered_index_range_and_rollback() {
+        use std::ops::Bound;
+        let (mut db, emp) = db_with_emp();
+        let salary = ColumnId(2);
+        let h1 = db.insert(emp, tuple!["Jane", 1, 95000.0, 1]).unwrap();
+        let h2 = db.insert(emp, tuple!["Mary", 2, 85000.0, 1]).unwrap();
+        db.create_index_of(emp, salary, IndexKind::Ordered).unwrap();
+        assert_eq!(db.index_kind(emp, salary), Some(IndexKind::Ordered));
+        assert!(db.has_ordered_index(emp, salary));
+        // Range probing sees the bulk-built contents.
+        assert_eq!(
+            db.index_range(emp, salary, Bound::Included(Value::Float(90000.0)), Bound::Unbounded)
+                .unwrap(),
+            vec![h1]
+        );
+        // Equality probes keep working through the common interface.
+        assert_eq!(db.index_lookup(emp, salary, &Value::Float(85000.0)).unwrap(), vec![h2]);
+        db.commit();
+
+        let image = db.state_image();
+        assert!(image.contains("kind=ordered"), "state image names the kind:\n{image}");
+        assert!(image.contains("order: ["), "state image lists the key order:\n{image}");
+        let mark = db.mark();
+        let h3 = db.insert(emp, tuple!["Lee", 3, 70000.0, 2]).unwrap();
+        db.update(emp, h2, &[(salary, Value::Float(99000.0))]).unwrap();
+        db.delete(emp, h1).unwrap();
+        assert_eq!(
+            db.index_range(emp, salary, Bound::Unbounded, Bound::Excluded(Value::Float(80000.0)))
+                .unwrap(),
+            vec![h3]
+        );
+        db.rollback_to(mark).unwrap();
+        assert_eq!(db.state_image(), image, "rollback restores ordered-index contents");
+    }
+
+    #[test]
+    fn hash_index_has_no_ordered_capabilities() {
+        let (mut db, emp) = db_with_emp();
+        db.create_index(emp, ColumnId(3)).unwrap();
+        assert_eq!(db.index_kind(emp, ColumnId(3)), Some(IndexKind::Hash));
+        assert!(!db.has_ordered_index(emp, ColumnId(3)));
+        assert!(db
+            .index_range(emp, ColumnId(3), std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            .is_none());
     }
 
     #[test]

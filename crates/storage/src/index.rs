@@ -1,13 +1,47 @@
-//! Hash indexes on single columns.
+//! Secondary indexes on single columns: hash (equality) and ordered
+//! (range) variants.
 //!
 //! The paper argues (§1) that set-oriented rules keep relational
 //! optimization applicable "to the rules themselves". Equality indexes are
-//! the optimization our planner exploits; benchmark B7 measures the effect.
+//! the optimization our planner exploits for `=` and `in` predicates;
+//! ordered indexes extend that to range-shaped conditions (`<`, `<=`, `>`,
+//! `>=`, `between`) and to `order by` / `min` / `max` elimination.
+//! Benchmarks B7 and B12 measure the effects.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::ops::Bound;
 
 use crate::tuple::{ColumnId, TupleHandle};
 use crate::value::Value;
+
+/// Which physical structure backs an index on a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexKind {
+    /// Hash map from value to handle set: equality/IN probes only.
+    #[default]
+    Hash,
+    /// BTree map from value to handle set: equality probes plus range
+    /// scans, ordered emission, and first/last-key answers.
+    Ordered,
+}
+
+impl IndexKind {
+    /// Stable lowercase name (`"hash"` / `"ordered"`), used by
+    /// `state_image`, snapshots, and DDL display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Hash => "hash",
+            IndexKind::Ordered => "ordered",
+        }
+    }
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A hash index mapping the values of one column to the handles of the
 /// tuples holding that value. `NULL`s are indexed too (under `Value::Null`),
@@ -62,10 +96,198 @@ impl HashIndex {
     }
 }
 
+/// An ordered index: a BTree keyed by [`Value`]'s total storage order
+/// (`NULL < bool < numeric < text`, floats in IEEE total order), each key
+/// bucketing the handles that hold it. Bucket sets iterate in handle
+/// order, so a full in-order walk yields exactly the stable
+/// sort-by-key-then-handle order the executor's `order by` produces —
+/// that equivalence is what licenses sort elimination.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedIndex {
+    map: BTreeMap<Value, BTreeSet<TupleHandle>>,
+    entries: usize,
+}
+
+/// `true` when the `(lo, hi)` pair denotes a non-empty interval that
+/// `BTreeMap::range` accepts without panicking.
+fn bounds_nonempty(lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    let (a, a_incl) = match lo {
+        Bound::Unbounded => return true,
+        Bound::Included(v) => (v, true),
+        Bound::Excluded(v) => (v, false),
+    };
+    let (b, b_incl) = match hi {
+        Bound::Unbounded => return true,
+        Bound::Included(v) => (v, true),
+        Bound::Excluded(v) => (v, false),
+    };
+    match a.cmp(b) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => a_incl && b_incl,
+        std::cmp::Ordering::Greater => false,
+    }
+}
+
+impl OrderedIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        OrderedIndex::default()
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Handles of tuples whose indexed column equals `v` exactly.
+    pub fn get(&self, v: &Value) -> Option<&BTreeSet<TupleHandle>> {
+        self.map.get(v)
+    }
+
+    /// Record that tuple `h` holds `v` in the indexed column.
+    pub fn insert(&mut self, v: Value, h: TupleHandle) {
+        if self.map.entry(v).or_default().insert(h) {
+            self.entries += 1;
+        }
+    }
+
+    /// Remove the entry for tuple `h` holding `v`.
+    pub fn remove(&mut self, v: &Value, h: TupleHandle) {
+        if let Some(set) = self.map.get_mut(v) {
+            if set.remove(&h) {
+                self.entries -= 1;
+            }
+            if set.is_empty() {
+                self.map.remove(v);
+            }
+        }
+    }
+
+    /// Keys in ascending storage order.
+    pub fn keys(&self) -> impl DoubleEndedIterator<Item = &Value> {
+        self.map.keys()
+    }
+
+    /// `(key, bucket)` pairs within `[lo, hi]` in ascending storage order.
+    /// An inverted or degenerate interval yields nothing (never panics).
+    pub fn range(
+        &self,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> Box<dyn DoubleEndedIterator<Item = (&Value, &BTreeSet<TupleHandle>)> + '_> {
+        if bounds_nonempty(&lo, &hi) {
+            Box::new(self.map.range((lo, hi)))
+        } else {
+            Box::new(std::iter::empty())
+        }
+    }
+
+    /// Handles within `[lo, hi]`, sorted ascending (matching the
+    /// determinism contract of the other index scan paths).
+    pub fn range_handles(&self, lo: Bound<Value>, hi: Bound<Value>) -> Vec<TupleHandle> {
+        let mut out = Vec::new();
+        for (_, set) in self.range(lo, hi) {
+            out.extend(set.iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The smallest non-`NULL` key, if any (`NULL` sorts first in the
+    /// storage order, so it is a skip of at most one bucket).
+    pub fn first_key(&self) -> Option<&Value> {
+        self.map.keys().find(|k| !matches!(k, Value::Null))
+    }
+
+    /// The largest key, unless the index holds only `NULL`s.
+    pub fn last_key(&self) -> Option<&Value> {
+        self.map.keys().next_back().filter(|k| !matches!(k, Value::Null))
+    }
+}
+
+/// One index on one column: either structure behind a common maintenance
+/// interface, so insert/delete/update and undo-rollback paths are
+/// kind-agnostic.
+#[derive(Debug, Clone)]
+pub enum ColumnIndex {
+    /// Equality-only hash index.
+    Hash(HashIndex),
+    /// Range-capable ordered index.
+    Ordered(OrderedIndex),
+}
+
+impl ColumnIndex {
+    /// Create an empty index of the given kind.
+    pub fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Hash => ColumnIndex::Hash(HashIndex::new()),
+            IndexKind::Ordered => ColumnIndex::Ordered(OrderedIndex::new()),
+        }
+    }
+
+    /// The physical structure backing this index.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            ColumnIndex::Hash(_) => IndexKind::Hash,
+            ColumnIndex::Ordered(_) => IndexKind::Ordered,
+        }
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnIndex::Hash(i) => i.len(),
+            ColumnIndex::Ordered(i) => i.len(),
+        }
+    }
+
+    /// Whether the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Handles of tuples whose indexed column equals `v` exactly.
+    pub fn get(&self, v: &Value) -> Option<&BTreeSet<TupleHandle>> {
+        match self {
+            ColumnIndex::Hash(i) => i.get(v),
+            ColumnIndex::Ordered(i) => i.get(v),
+        }
+    }
+
+    /// Record that tuple `h` holds `v` in the indexed column.
+    pub fn insert(&mut self, v: Value, h: TupleHandle) {
+        match self {
+            ColumnIndex::Hash(i) => i.insert(v, h),
+            ColumnIndex::Ordered(i) => i.insert(v, h),
+        }
+    }
+
+    /// Remove the entry for tuple `h` holding `v`.
+    pub fn remove(&mut self, v: &Value, h: TupleHandle) {
+        match self {
+            ColumnIndex::Hash(i) => i.remove(v, h),
+            ColumnIndex::Ordered(i) => i.remove(v, h),
+        }
+    }
+
+    /// The ordered structure, when this is an ordered index.
+    pub fn ordered(&self) -> Option<&OrderedIndex> {
+        match self {
+            ColumnIndex::Ordered(i) => Some(i),
+            ColumnIndex::Hash(_) => None,
+        }
+    }
+}
+
 /// The set of indexes defined on one table: at most one per column.
 #[derive(Debug, Clone, Default)]
 pub struct TableIndexes {
-    by_column: HashMap<ColumnId, HashIndex>,
+    by_column: HashMap<ColumnId, ColumnIndex>,
 }
 
 impl TableIndexes {
@@ -74,7 +296,7 @@ impl TableIndexes {
         TableIndexes::default()
     }
 
-    /// Whether column `c` has an index.
+    /// Whether column `c` has an index (of either kind).
     pub fn has(&self, c: ColumnId) -> bool {
         self.by_column.contains_key(&c)
     }
@@ -86,13 +308,13 @@ impl TableIndexes {
     }
 
     /// The index on column `c`, if any.
-    pub fn get(&self, c: ColumnId) -> Option<&HashIndex> {
+    pub fn get(&self, c: ColumnId) -> Option<&ColumnIndex> {
         self.by_column.get(&c)
     }
 
     /// Add an (already-populated) index for column `c`. Returns `false` if
     /// one already exists.
-    pub fn add(&mut self, c: ColumnId, idx: HashIndex) -> bool {
+    pub fn add(&mut self, c: ColumnId, idx: ColumnIndex) -> bool {
         use std::collections::hash_map::Entry;
         match self.by_column.entry(c) {
             Entry::Occupied(_) => false,
@@ -174,8 +396,8 @@ mod tests {
     #[test]
     fn table_indexes_maintenance() {
         let mut ti = TableIndexes::new();
-        assert!(ti.add(ColumnId(1), HashIndex::new()));
-        assert!(!ti.add(ColumnId(1), HashIndex::new()));
+        assert!(ti.add(ColumnId(1), ColumnIndex::new(IndexKind::Hash)));
+        assert!(!ti.add(ColumnId(1), ColumnIndex::new(IndexKind::Ordered)));
         let row1 = vec![Value::Text("a".into()), Value::Int(10)];
         let row2 = vec![Value::Text("b".into()), Value::Int(10)];
         ti.on_insert(TupleHandle(1), &row1);
@@ -197,5 +419,52 @@ mod tests {
         idx.insert(Value::Int(1), TupleHandle(1));
         idx.insert(Value::Int(1), TupleHandle(1));
         assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn ordered_index_keys_stay_sorted() {
+        let mut idx = OrderedIndex::new();
+        idx.insert(Value::Int(5), TupleHandle(2));
+        idx.insert(Value::Null, TupleHandle(9));
+        idx.insert(Value::Int(-3), TupleHandle(1));
+        idx.insert(Value::Float(4.5), TupleHandle(3));
+        idx.insert(Value::Int(5), TupleHandle(7));
+        let keys: Vec<&Value> = idx.keys().collect();
+        assert_eq!(
+            keys,
+            vec![&Value::Null, &Value::Int(-3), &Value::Float(4.5), &Value::Int(5)]
+        );
+        assert_eq!(idx.first_key(), Some(&Value::Int(-3)));
+        assert_eq!(idx.last_key(), Some(&Value::Int(5)));
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn ordered_index_range_handles() {
+        let mut idx = OrderedIndex::new();
+        for (v, h) in [(1, 4), (2, 3), (2, 1), (3, 2), (9, 5)] {
+            idx.insert(Value::Int(v), TupleHandle(h));
+        }
+        idx.insert(Value::Null, TupleHandle(6));
+        let hs = idx.range_handles(Bound::Included(Value::Int(2)), Bound::Excluded(Value::Int(9)));
+        assert_eq!(hs, vec![TupleHandle(1), TupleHandle(2), TupleHandle(3)]);
+        // Inverted and degenerate intervals are empty, not a panic.
+        assert!(idx
+            .range_handles(Bound::Included(Value::Int(9)), Bound::Included(Value::Int(2)))
+            .is_empty());
+        assert!(idx
+            .range_handles(Bound::Excluded(Value::Int(2)), Bound::Excluded(Value::Int(2)))
+            .is_empty());
+        // A NULL-excluding open range: start just above NULL.
+        let hs = idx.range_handles(Bound::Excluded(Value::Null), Bound::Unbounded);
+        assert_eq!(hs.len(), 5);
+    }
+
+    #[test]
+    fn ordered_index_null_only_boundaries() {
+        let mut idx = OrderedIndex::new();
+        idx.insert(Value::Null, TupleHandle(1));
+        assert_eq!(idx.first_key(), None);
+        assert_eq!(idx.last_key(), None);
     }
 }

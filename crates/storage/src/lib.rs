@@ -11,8 +11,8 @@
 //! * handle → table provenance that survives deletion, so transition effects
 //!   can be filtered per table even for tuples that no longer exist;
 //! * a physical undo log supporting the `rollback` rule action (§4);
-//! * hash indexes so relational optimization "is directly applicable to the
-//!   rules themselves" (§1).
+//! * hash and ordered (BTree) indexes so relational optimization "is
+//!   directly applicable to the rules themselves" (§1).
 //!
 //! The paper abstracts away concurrency and failures ("multiple users,
 //! concurrent processing, and failures are all transparent", §2.1); this
@@ -34,7 +34,7 @@ mod value;
 pub use database::Database;
 pub use error::StorageError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
-pub use index::{HashIndex, TableIndexes};
+pub use index::{ColumnIndex, HashIndex, IndexKind, OrderedIndex, TableIndexes};
 pub use schema::{paper_example_schemas, ColumnDef, TableSchema};
 pub use stats::StorageStats;
 pub use table::Table;

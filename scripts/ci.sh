@@ -33,6 +33,14 @@ echo "==> bench smoke (query pipeline acceptance counters)"
 BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench query_pipeline
 
+echo "==> bench smoke (ordered-index acceptance counters)"
+# In-bench asserts: >=10x range scan over full scan on 100k rows, >=5x
+# order-by-limit via sort elision, min/max answered without a scan.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench ordered_index
+test -f "$PWD/target/bench-snapshots/BENCH_ordered_index.json" \
+  || { echo "error: BENCH_ordered_index.json not written" >&2; exit 1; }
+
 echo "==> EngineEvent enum guard"
 # Variant names: capitalized identifiers at 4-space indent inside the
 # `pub enum EngineEvent { ... }` block.

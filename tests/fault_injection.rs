@@ -103,6 +103,21 @@ fn setup_ex43(sys: &mut RuleSystem) {
     sys.execute("create rule priority r2 before r41").unwrap();
 }
 
+fn setup_ordered(sys: &mut RuleSystem) {
+    paper_tables(sys);
+    sys.execute(
+        "create rule r31 when deleted from dept \
+         then delete from emp where dept_no in (select dept_no from deleted dept)",
+    )
+    .unwrap();
+    // Ordered + hash indexes on the same table: every emp insert, delete,
+    // and update is an IndexMaintenance fault site in *both* index
+    // implementations, and the rollback contract must restore the BTree
+    // buckets byte-identically (state_image orders each index image).
+    sys.execute("create index on emp (salary) using ordered").unwrap();
+    sys.execute("create index on emp (dept_no)").unwrap();
+}
+
 const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "example_3_1",
@@ -143,6 +158,21 @@ const SCENARIOS: &[Scenario] = &[
             "delete from emp where name = 'Jane'; \
              update emp set salary = 30000.0 where name = 'Bill'; \
              update emp set salary = 85000.0 where name = 'Mary'",
+        ],
+    },
+    Scenario {
+        name: "ordered_index",
+        setup: setup_ordered,
+        workload: &[
+            "insert into dept values (1, 10), (2, 20)",
+            "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 20.0, 1), ('c', 3, 30.0, 2)",
+            // Update through the ordered-index maintenance path (delete
+            // from the old salary bucket, insert into the new one).
+            "update emp set salary = salary + 5.0 where salary between 15.0 and 35.0",
+            // Range-predicate delete: the statement itself range-scans the
+            // ordered index while its undo must restore the same buckets.
+            "delete from emp where salary >= 25.0",
+            "delete from dept where dept_no = 1",
         ],
     },
 ];
@@ -284,7 +314,10 @@ fn sweep_every_fault_site_on_paper_workloads() {
 /// (otherwise the sweep silently loses a whole kind).
 #[test]
 fn indexed_workloads_expose_index_maintenance_sites() {
-    for scenario in SCENARIOS.iter().filter(|s| s.name.starts_with("example_3")) {
+    for scenario in SCENARIOS
+        .iter()
+        .filter(|s| s.name.starts_with("example_3") || s.name == "ordered_index")
+    {
         let mut sys = fresh(scenario);
         for stmt in scenario.workload {
             sys.transaction(stmt).unwrap();

@@ -185,6 +185,9 @@ fn random_exec(rng: &mut Rng) -> ExecStats {
         nested_loop_joins: rng.below(5) as u64,
         pushdown_filtered: rng.below(50) as u64,
         join_combinations: rng.below(100) as u64,
+        range_scans: rng.below(10) as u64,
+        range_rows_skipped: rng.below(100) as u64,
+        sort_elided: rng.below(5) as u64,
     }
 }
 

@@ -1,0 +1,395 @@
+//! Ordered secondary indexes, end to end:
+//!
+//! * **differential property**: random tables and random
+//!   range / order-by / limit / min-max queries return byte-identical
+//!   relations with and without ordered indexes, under both
+//!   `ExecMode::Compiled` and `ExecMode::Interpreted` — an access path is
+//!   an execution strategy, never a semantics change;
+//! * **boundary semantics**: NULLs never match a range, NaN bounds make a
+//!   predicate unsatisfiable, NaN *values* are excluded from every range;
+//! * **plan-cache lifecycle**: creating or dropping an ordered index from
+//!   inside a rule action mid-`process rules` invalidates every cached
+//!   plan, exactly like hash-index DDL;
+//! * **§4 abort**: rolling back a transaction (explicitly or through a
+//!   `rollback` rule action) restores the ordered index's BTree buckets
+//!   byte-identically (via `Database::state_image`).
+
+use setrules_core::{RuleSystem, TxnOutcome};
+use setrules_query::{execute_op, execute_query_with_opts, ExecMode, NoTransitionTables};
+use setrules_sql::ast::{DmlOp, SelectStmt, Statement};
+use setrules_sql::parse_statement;
+use setrules_storage::{ColumnDef, ColumnId, DataType, Database, IndexKind, TableSchema, Value};
+use setrules_testkit::{check, Rng};
+
+fn exec(db: &mut Database, sql: &str) {
+    let Statement::Dml(op) = parse_statement(sql).unwrap() else { panic!("not DML: {sql}") };
+    execute_op(db, &NoTransitionTables, &op).unwrap();
+}
+
+fn sel(sql: &str) -> SelectStmt {
+    match parse_statement(sql).unwrap() {
+        Statement::Dml(DmlOp::Select(s)) => s,
+        _ => panic!("not a select: {sql}"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Differential property: ordered-indexed ≡ unindexed, compiled ≡ interpreted
+// ----------------------------------------------------------------------
+
+/// Literal pools per column. All predicates built from these are
+/// type-safe for every row (numeric-vs-numeric or text-vs-text), so no
+/// row's evaluation can error — required because the `limit` fast path
+/// legitimately stops before visiting every row.
+const INT_LITS: &[&str] = &["-3", "0", "2", "5", "8", "1.5", "-2.5", "1e300", "-1e300", "NULL"];
+const FLOAT_LITS: &[&str] = &[
+    "0.0",
+    "-0.0",
+    "1.5",
+    "-2.5",
+    "7.25",
+    "1e300",
+    "-1e300",
+    "(0.0 / 0.0)",
+    "2",
+    "NULL",
+];
+const TEXT_LITS: &[&str] = &["'a'", "'ab'", "'b'", "'c'", "NULL"];
+
+fn lits_for(col: &str) -> &'static [&'static str] {
+    match col {
+        "k" => INT_LITS,
+        "v" => FLOAT_LITS,
+        _ => TEXT_LITS,
+    }
+}
+
+/// Build the same random `t (k int, v float, s text)` twice: once bare,
+/// once with ordered indexes on a random non-empty subset of columns.
+fn build_pair(rng: &mut Rng) -> (Database, Database) {
+    let schema = || {
+        TableSchema::new(
+            "t".to_string(),
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("v", DataType::Float),
+                ColumnDef::new("s", DataType::Text),
+            ],
+        )
+    };
+    let mut plain = Database::new();
+    let mut indexed = Database::new();
+    plain.create_table(schema()).unwrap();
+    let t = indexed.create_table(schema()).unwrap();
+    let mut any = false;
+    for c in 0..3u16 {
+        if rng.chance(1, 2) {
+            indexed.create_index_of(t, ColumnId(c), IndexKind::Ordered).unwrap();
+            any = true;
+        }
+    }
+    if !any {
+        indexed.create_index_of(t, ColumnId(rng.below(3) as u16), IndexKind::Ordered).unwrap();
+    }
+    for _ in 0..rng.below(12) {
+        let k = if rng.chance(1, 6) {
+            "NULL".to_string()
+        } else {
+            rng.range_i64(-3, 8).to_string()
+        };
+        let v = rng.pick(&["0.0", "-0.0", "1.5", "-2.5", "7.25", "1e300", "(0.0 / 0.0)", "NULL"]);
+        let s = rng.pick(TEXT_LITS);
+        let sql = format!("insert into t values ({k}, {v}, {s})");
+        exec(&mut plain, &sql);
+        exec(&mut indexed, &sql);
+    }
+    (plain, indexed)
+}
+
+/// A random range-flavoured conjunct on one column, type-safe by
+/// construction (numeric literals on `k`/`v`, text on `s`).
+fn range_conjunct(rng: &mut Rng) -> String {
+    let col = *rng.pick(&["k", "v", "s"]);
+    let lits = lits_for(col);
+    match rng.below(4) {
+        0 | 1 => {
+            let op = rng.pick(&["<", "<=", ">", ">=", "="]);
+            format!("{col} {op} {}", rng.pick(lits))
+        }
+        2 => format!("{col} between {} and {}", rng.pick(lits), rng.pick(lits)),
+        _ => {
+            let vals: Vec<&str> = (0..1 + rng.below(3)).map(|_| *rng.pick(lits)).collect();
+            format!("{col} in ({})", vals.join(", "))
+        }
+    }
+}
+
+fn random_query(rng: &mut Rng) -> String {
+    let proj = match rng.below(6) {
+        0 => "*",
+        1 => "count(*)",
+        2 => "k, v, s",
+        3 => "min(k)",
+        4 => "max(v), min(v)",
+        _ => "min(s), max(s)",
+    };
+    let mut sql = format!("select {proj} from t");
+    if rng.chance(3, 4) {
+        let mut pred = range_conjunct(rng);
+        if rng.chance(1, 3) {
+            let glue = if rng.chance(2, 3) { "and" } else { "or" };
+            pred = format!("({pred}) {glue} ({})", range_conjunct(rng));
+        }
+        sql.push_str(&format!(" where {pred}"));
+    }
+    // Aggregates and order-by don't mix in this grammar; bare columns may
+    // order (the sort-elision path needs exactly one order key).
+    if proj == "*" || proj == "k, v, s" {
+        if rng.chance(2, 3) {
+            let col = rng.pick(&["k", "v", "s"]);
+            sql.push_str(&format!(" order by {col}"));
+            if rng.chance(1, 2) {
+                sql.push_str(" desc");
+            }
+        }
+        if rng.chance(1, 2) {
+            sql.push_str(&format!(" limit {}", rng.below(5)));
+        }
+    }
+    sql
+}
+
+#[test]
+fn ordered_index_and_full_scan_agree_on_random_queries() {
+    check("ordered_vs_scan", 300, 0x0b1204de4ed, |rng| {
+        let (plain, indexed) = build_pair(rng);
+        for _ in 0..4 {
+            let sql = random_query(rng);
+            let stmt = sel(&sql);
+            let run = |db: &Database, mode: ExecMode| {
+                execute_query_with_opts(db, &NoTransitionTables, &stmt, None, mode, None)
+            };
+            let reference = run(&plain, ExecMode::Compiled);
+            for (db, label) in [(&plain, "plain"), (&indexed, "indexed")] {
+                for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+                    let got = run(db, mode);
+                    match (&reference, &got) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a, b, "{label}/{mode:?} diverged for: {sql}")
+                        }
+                        (Err(a), Err(b)) => assert_eq!(
+                            a.to_string(),
+                            b.to_string(),
+                            "{label}/{mode:?} error diverged for: {sql}"
+                        ),
+                        (a, b) => {
+                            panic!("{label}/{mode:?} outcome diverged for {sql}: {a:?} vs {b:?}")
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The boundary semantics the differential can only probabilistically
+/// hit, pinned down: NULL rows never match a range, a NULL or NaN bound
+/// makes the predicate unsatisfiable, NaN values fall outside every
+/// range (even `v <= 1e300` / `v >= -1e300`).
+#[test]
+fn null_and_nan_range_boundaries() {
+    let build = |ordered: bool| {
+        let mut db = Database::new();
+        let t = db
+            .create_table(TableSchema::new(
+                "t".to_string(),
+                vec![ColumnDef::new("k", DataType::Int), ColumnDef::new("v", DataType::Float)],
+            ))
+            .unwrap();
+        if ordered {
+            db.create_index_of(t, ColumnId(0), IndexKind::Ordered).unwrap();
+            db.create_index_of(t, ColumnId(1), IndexKind::Ordered).unwrap();
+        }
+        exec(
+            &mut db,
+            "insert into t values (1, 1.0), (NULL, NULL), (3, 0.0 / 0.0), (4, -1e300), (5, 1e300)",
+        );
+        db
+    };
+    let count = |db: &Database, sql: &str| -> i64 {
+        execute_query_with_opts(db, &NoTransitionTables, &sel(sql), None, ExecMode::Compiled, None)
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    };
+    for db in [build(false), build(true)] {
+        // NULL k-row and NaN v-row match no range.
+        assert_eq!(count(&db, "select count(*) from t where k >= -100"), 4);
+        assert_eq!(count(&db, "select count(*) from t where v >= -1e300"), 3);
+        assert_eq!(count(&db, "select count(*) from t where v <= 1e300"), 3);
+        // NULL / NaN bounds are unsatisfiable.
+        assert_eq!(count(&db, "select count(*) from t where k < NULL"), 0);
+        assert_eq!(count(&db, "select count(*) from t where v > (0.0 / 0.0)"), 0);
+        assert_eq!(count(&db, "select count(*) from t where v between 0.0 and (0.0 / 0.0)"), 0);
+        // Inverted range.
+        assert_eq!(count(&db, "select count(*) from t where k between 7 and 5"), 0);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Plan-cache lifecycle with ordered-index DDL mid-`process rules`
+// ----------------------------------------------------------------------
+
+/// Regression: `create index ... using ordered` and `drop index` executed
+/// *inside a rule action* mid-`process rules` must invalidate the plan
+/// cache — cached plans embed the chosen access paths, and a stale plan
+/// would keep range-scanning a dropped index (or full-scanning past a new
+/// one).
+#[test]
+fn ordered_index_ddl_in_rule_action_invalidates_plan_cache() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let mut sys = RuleSystem::new();
+    sys.execute("create table t (k int)").unwrap();
+    sys.execute("create table log (k int)").unwrap();
+    sys.execute(
+        "create rule copy when inserted into t \
+         if exists (select * from inserted t) \
+         then insert into log (select k from inserted t)",
+    )
+    .unwrap();
+    let firings = Arc::new(AtomicUsize::new(0));
+    let counter = firings.clone();
+    sys.create_rule_external(
+        "ddl",
+        "inserted into t",
+        None,
+        Arc::new(move |ctx: &mut setrules_core::ActionCtx<'_>| {
+            match counter.fetch_add(1, Ordering::Relaxed) {
+                0 => ctx.create_index_of("t", "k", IndexKind::Ordered)?,
+                1 => {
+                    assert!(ctx.drop_index("t", "k")?, "the ordered index exists to drop");
+                }
+                _ => {}
+            }
+            Ok(())
+        }),
+    )
+    .unwrap();
+    sys.execute("create rule priority copy before ddl").unwrap();
+
+    // Txn 1: both rules compile fresh; the action then creates the
+    // ordered index, dropping every cached plan.
+    sys.execute("insert into t values (1)").unwrap();
+    let s1 = sys.stats().clone();
+    assert_eq!(s1.plan_cache_hits, 0);
+    assert!(s1.plan_cache_misses >= 2);
+    let plan = sys.explain("select * from t where k between 0 and 9").unwrap();
+    assert!(plan.contains("index range scan"), "{plan}");
+
+    // Txn 2: no stale hit against the pre-index catalog; the action now
+    // drops the index, invalidating again.
+    sys.execute("insert into t values (2)").unwrap();
+    let s2 = sys.stats().clone();
+    assert_eq!(s2.plan_cache_hits, 0, "a hit here would be a stale plan surviving the create");
+    assert!(s2.plan_cache_misses >= s1.plan_cache_misses + 2);
+    let plan = sys.explain("select * from t where k between 0 and 9").unwrap();
+    assert!(plan.contains("seq scan"), "{plan}");
+
+    // Txn 3: another miss round (the drop invalidated), no DDL this time.
+    sys.execute("insert into t values (3)").unwrap();
+    let s3 = sys.stats().clone();
+    assert_eq!(s3.plan_cache_hits, 0, "a hit here would be a stale plan surviving the drop");
+    assert!(s3.plan_cache_misses >= s2.plan_cache_misses + 2);
+
+    // Txn 4: the catalog is finally stable — plans are reused.
+    sys.execute("insert into t values (4)").unwrap();
+    assert!(sys.stats().plan_cache_hits >= 2, "both rules reuse plans once the catalog settles");
+
+    assert_eq!(firings.load(Ordering::Relaxed), 4);
+    assert_eq!(
+        sys.query("select count(*) from log").unwrap().scalar().unwrap(),
+        &Value::Int(4),
+        "the declarative rule stayed correct across both invalidations"
+    );
+}
+
+// ----------------------------------------------------------------------
+// §4 transaction abort restores ordered-index contents
+// ----------------------------------------------------------------------
+
+fn salary_system() -> RuleSystem {
+    let mut sys = RuleSystem::new();
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("create index on emp (salary) using ordered").unwrap();
+    sys.execute(
+        "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 20.0, 1), \
+         ('c', 3, 30.0, 2), ('d', 4, 40.0, 2)",
+    )
+    .unwrap();
+    sys
+}
+
+fn salaries_in_range(sys: &RuleSystem) -> Vec<String> {
+    sys.query("select name from emp where salary between 15.0 and 35.0 order by salary")
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|r| r[0].to_string())
+        .collect()
+}
+
+#[test]
+fn explicit_abort_restores_ordered_index_contents() {
+    let mut sys = salary_system();
+    let before = sys.database().state_image();
+    assert!(before.contains("kind=ordered"), "state_image must show the index kind:\n{before}");
+
+    sys.begin().unwrap();
+    sys.run_op("insert into emp values ('e', 5, 25.0, 3)").unwrap();
+    sys.run_op("update emp set salary = salary + 100.0 where salary >= 20.0").unwrap();
+    sys.run_op("delete from emp where name = 'a'").unwrap();
+    sys.rollback().unwrap();
+
+    assert_eq!(
+        sys.database().state_image(),
+        before,
+        "undo must restore the BTree buckets byte-identically"
+    );
+    assert_eq!(salaries_in_range(&sys), vec!["'b'", "'c'"]);
+    // The index still answers order-by and min/max correctly post-abort.
+    let top = sys.query("select name from emp order by salary desc limit 1").unwrap();
+    assert_eq!(top.rows[0][0].to_string(), "'d'");
+    assert_eq!(
+        sys.query("select min(salary) from emp").unwrap().scalar().unwrap(),
+        &Value::Float(10.0)
+    );
+}
+
+#[test]
+fn rollback_rule_restores_ordered_index_contents() {
+    let mut sys = salary_system();
+    sys.execute(
+        "create rule ceiling when updated emp.salary \
+         if exists (select * from new updated emp.salary where salary > 1000.0) then rollback",
+    )
+    .unwrap();
+    let before = sys.database().state_image();
+
+    let out = sys.transaction("update emp set salary = salary * 100.0").unwrap();
+    assert!(matches!(out, TxnOutcome::RolledBack { .. }), "the ceiling rule vetoes");
+    assert_eq!(
+        sys.database().state_image(),
+        before,
+        "a rule-initiated §4 rollback must restore the ordered index too"
+    );
+    assert_eq!(salaries_in_range(&sys), vec!["'b'", "'c'"]);
+
+    // A conforming update commits, and the index reflects it.
+    let out = sys.transaction("update emp set salary = 35.5 where name = 'b'").unwrap();
+    assert!(out.committed());
+    assert_eq!(salaries_in_range(&sys), vec!["'c'"], "'b' moved out of the range bucket");
+}

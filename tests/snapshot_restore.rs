@@ -58,6 +58,30 @@ fn snapshot_round_trips_through_json() {
 }
 
 #[test]
+fn ordered_index_kind_survives_the_round_trip() {
+    let mut sys = build();
+    sys.execute("create index on emp (salary) using ordered").unwrap();
+    let snap = sys.snapshot().unwrap();
+    let json = snap.to_json_string();
+    // The hash index encodes as a bare column name, the ordered one as a
+    // [column, kind] pair.
+    assert!(json.contains("\"dept_no\""), "{json}");
+    assert!(json.contains("\"ordered\""), "{json}");
+    let back = setrules_core::Snapshot::from_json_str(&json).unwrap();
+    let restored = RuleSystem::restore(&back, EngineConfig::default()).unwrap();
+    // The restored index is still ordered: range scans and sort elision
+    // remain available.
+    let plan = restored.explain("select * from emp where salary > 50000.0").unwrap();
+    assert!(plan.contains("index range scan on emp.salary"), "{plan}");
+    let plan = restored.explain("select name from emp order by salary").unwrap();
+    assert!(plan.contains("order by: elided via ordered index on emp.salary"), "{plan}");
+    assert_eq!(
+        sys.query("select name from emp order by salary").unwrap().rows,
+        restored.query("select name from emp order by salary").unwrap().rows,
+    );
+}
+
+#[test]
 fn restored_rules_behave_identically() {
     let sys = build();
     let snap = sys.snapshot().unwrap();
