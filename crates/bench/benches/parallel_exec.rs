@@ -1,0 +1,145 @@
+//! **B13 — deterministic intra-query parallelism** (partitioned scans,
+//! parallel hash-join probe, parallel WHERE pass).
+//!
+//! One `emp` table with 100 000 rows (plus a 10-row `dept` dimension),
+//! measured with the worker pool pinned to one thread versus all
+//! available cores:
+//!
+//! * **filter scan**: a row-local predicate over all 100 000 rows,
+//!   evaluated in contiguous partitions across the pool;
+//! * **hash join**: `emp ⋈ dept` with a residual predicate — the build
+//!   side is tiny, the 100 000-row probe side runs partitioned.
+//!
+//! Acceptance bars, asserted in-bench: both thread budgets return
+//! **byte-identical relations** and identical row-level `ExecStats`
+//! counters (parallelism is an execution strategy, never a semantics
+//! change); the parallel engine's `parallel_scans` counter proves the
+//! pool engaged; and on machines with ≥ 4 cores the parallel filter scan
+//! is ≥ 2× the single-threaded one.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setrules_bench::write_bench_snapshot;
+use setrules_core::{EngineConfig, RuleSystem};
+use setrules_json::Json;
+use setrules_query::ExecStats;
+
+const ROWS: usize = 100_000;
+const FILTER_QUERY: &str =
+    "select count(*) from emp where salary > 50999.0 and dept_no <> 3";
+const JOIN_QUERY: &str = "select count(*) from emp e, dept d \
+     where e.dept_no = d.dept_no and e.salary > 2000.0 and d.mgr_no < 8";
+
+fn system(threads: usize) -> RuleSystem {
+    let mut sys =
+        RuleSystem::with_config(EngineConfig { parallelism: Some(threads), ..Default::default() });
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+    setrules_bench::load_emps(&mut sys, ROWS);
+    let depts: Vec<String> = (0..10).map(|d| format!("({d}, {})", d * 11)).collect();
+    sys.transaction_without_rules(&format!("insert into dept values {}", depts.join(", ")))
+        .unwrap();
+    sys
+}
+
+/// Warm measurement: one checked warm-up run, then `reps` timed.
+fn millis(sys: &RuleSystem, query: &str, reps: u32) -> f64 {
+    sys.query(query).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        sys.query(query).unwrap();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+/// Row-level counters with the parallelism bookkeeping masked out — the
+/// part of `ExecStats` a parallel run must reproduce exactly.
+fn row_counters(sys: &RuleSystem, query: &str) -> (ExecStats, ExecStats) {
+    let base = sys.exec_stats();
+    sys.query(query).unwrap();
+    let full = sys.exec_stats().since(&base);
+    let mut masked = full;
+    masked.parallel_scans = 0;
+    masked.parallel_partitions = 0;
+    masked.serial_fallbacks = 0;
+    (masked, full)
+}
+
+fn parallel_snapshot(parallel: &RuleSystem, serial: &RuleSystem, cores: usize, threads: usize) {
+    let mut queries = Vec::new();
+    for (label, query) in [("filter_scan", FILTER_QUERY), ("hash_join", JOIN_QUERY)] {
+        // Determinism bars first: identical relations, identical row-level
+        // counters, and proof the pool actually engaged.
+        let rel_p = parallel.query(query).unwrap();
+        let rel_s = serial.query(query).unwrap();
+        assert_eq!(rel_p, rel_s, "{label}: parallel and serial relations must be identical");
+        let (rows_p, full_p) = row_counters(parallel, query);
+        let (rows_s, full_s) = row_counters(serial, query);
+        assert_eq!(rows_p, rows_s, "{label}: row-level counters must be identical");
+        assert!(
+            full_p.parallel_scans > 0 && full_p.parallel_partitions > 1,
+            "{label}: the parallel engine must engage the pool: {full_p:?}"
+        );
+        assert_eq!(full_s.parallel_scans, 0, "{label}: the pinned engine must stay serial");
+
+        let par_ms = millis(parallel, query, 20);
+        let ser_ms = millis(serial, query, 10);
+        let speedup = ser_ms / par_ms;
+        if label == "filter_scan" && cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "acceptance: partitioned filter scan must be ≥2x single-threaded \
+                 on {cores} cores ({par_ms:.3}ms vs {ser_ms:.3}ms = {speedup:.2}x)"
+            );
+        }
+        queries.push((
+            label,
+            Json::obj([
+                ("parallel_millis", Json::Float(par_ms)),
+                ("serial_millis", Json::Float(ser_ms)),
+                ("speedup", Json::Float(speedup)),
+                ("partitions", Json::Int(full_p.parallel_partitions as i64)),
+                ("rows_scanned", Json::Int(rows_p.rows_scanned as i64)),
+            ]),
+        ));
+    }
+    write_bench_snapshot(
+        "parallel_exec",
+        &Json::obj(
+            [("rows", Json::Int(ROWS as i64)), ("threads", Json::Int(threads as i64))]
+                .into_iter()
+                .chain(queries)
+                .collect::<Vec<_>>(),
+        ),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // Partition even on small machines so the determinism bars always run;
+    // the wall-clock bar below only applies from 4 real cores up.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = cores.max(2);
+    let parallel = system(threads);
+    let serial = system(1);
+
+    parallel_snapshot(&parallel, &serial, cores, threads);
+
+    for (group, query) in [("b13_filter_scan", FILTER_QUERY), ("b13_hash_join", JOIN_QUERY)] {
+        let mut g = c.benchmark_group(group);
+        g.warm_up_time(std::time::Duration::from_millis(400));
+        g.measurement_time(std::time::Duration::from_secs(2));
+        g.sample_size(10);
+        for (label, sys) in [("parallel", &parallel), ("single_thread", &serial)] {
+            g.bench_with_input(BenchmarkId::new(label, ROWS), sys, |b, sys| {
+                b.iter(|| {
+                    sys.query(query).unwrap();
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

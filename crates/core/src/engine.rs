@@ -14,8 +14,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
 use setrules_query::{
-    compile_cached, eval_compiled_predicate, execute_op_with_opts, execute_query_with_opts,
-    ExecMode, ExecStats, NoTransitionTables, OpEffect, PlanCache, QueryError, Relation, StatsCell,
+    compile_cached, eval_compiled_predicate, execute_op_ext, execute_query_ext, ExecMode,
+    ExecOpts, ExecStats, NoTransitionTables, OpEffect, PlanCache, QueryError, Relation, StatsCell,
 };
 use setrules_sql::ast::{CreateRule, DmlOp, Statement};
 use setrules_sql::{parse_op_block, parse_statement, parse_statements};
@@ -76,6 +76,13 @@ pub struct EngineConfig {
     /// planned kind fails. For crash-consistency testing; `None` (the
     /// default) injects nothing.
     pub fault: Option<FaultPlan>,
+    /// Thread budget for deterministic intra-query parallelism.
+    /// `Some(n)` pins it; `None` (the default) defers to the
+    /// `SETRULES_THREADS` environment variable and then to
+    /// `std::thread::available_parallelism()`. `Some(1)` forces fully
+    /// serial execution. Results are bit-identical either way (see
+    /// `docs/parallel-execution.md`).
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +95,7 @@ impl Default for EngineConfig {
             event_capacity: 1024,
             exec_mode: ExecMode::default(),
             fault: None,
+            parallelism: None,
         }
     }
 }
@@ -502,14 +510,39 @@ impl RuleSystem {
         let Statement::Dml(DmlOp::Select(sel)) = stmt else {
             return Err(RuleError::Unsupported("query() accepts only select statements".into()));
         };
-        Ok(execute_query_with_opts(
+        Ok(execute_query_ext(
             &self.db,
             &NoTransitionTables,
             &sel,
-            Some(&self.qstats),
-            self.config.exec_mode,
-            None,
+            &ExecOpts {
+                stats: Some(&self.qstats),
+                mode: self.config.exec_mode,
+                plans: None,
+                threads: self.threads(),
+            },
         )?)
+    }
+
+    /// The resolved thread budget for query execution: the config's
+    /// `parallelism` if pinned, else the `SETRULES_THREADS` environment
+    /// variable, else `std::thread::available_parallelism()`.
+    fn threads(&self) -> usize {
+        setrules_exec::resolve_threads(self.config.parallelism)
+    }
+
+    /// Emit a [`EngineEvent::ParallelScan`] (and mirror the engine-level
+    /// counters) if query execution since `before` used the pool.
+    fn note_parallelism(&mut self, before: &setrules_query::ExecStats) {
+        let d = self.qstats.snapshot().since(before);
+        self.stats.parallel_scans += d.parallel_scans;
+        self.stats.parallel_partitions += d.parallel_partitions;
+        self.stats.serial_fallbacks += d.serial_fallbacks;
+        if d.parallel_scans > 0 {
+            self.events.emit(EngineEvent::ParallelScan {
+                partitions: d.parallel_partitions,
+                rows: d.rows_scanned,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -682,14 +715,21 @@ impl RuleSystem {
         if self.txn.is_none() {
             return Err(RuleError::NoOpenTransaction);
         }
-        match execute_op_with_opts(
+        let before = self.qstats.snapshot();
+        let threads = self.threads();
+        let result = execute_op_ext(
             &mut self.db,
             &NoTransitionTables,
             op,
-            Some(&self.qstats),
-            self.config.exec_mode,
-            None,
-        ) {
+            &ExecOpts {
+                stats: Some(&self.qstats),
+                mode: self.config.exec_mode,
+                plans: None,
+                threads,
+            },
+        );
+        self.note_parallelism(&before);
+        match result {
             Ok(eff) => {
                 let txn = self.txn.as_mut().expect("checked above");
                 let affected = eff.cardinality();
@@ -831,15 +871,22 @@ impl RuleSystem {
         let mark = self.db.mark();
         self.events.emit(EngineEvent::TxnBegin);
         let mut window = TransInfo::new();
+        let threads = self.threads();
         for op in &ops {
-            match execute_op_with_opts(
+            let before = self.qstats.snapshot();
+            let result = execute_op_ext(
                 &mut self.db,
                 &NoTransitionTables,
                 op,
-                Some(&self.qstats),
-                self.config.exec_mode,
-                None,
-            ) {
+                &ExecOpts {
+                    stats: Some(&self.qstats),
+                    mode: self.config.exec_mode,
+                    plans: None,
+                    threads,
+                },
+            );
+            self.note_parallelism(&before);
+            match result {
                 Ok(eff) => window.absorb(&eff, self.config.track_selects),
                 Err(e) => {
                     let e: RuleError = e.into();
@@ -1100,7 +1147,8 @@ impl RuleSystem {
             .with_cache(&cache)
             .with_stats(Some(&self.qstats))
             .with_mode(self.config.exec_mode)
-            .with_plans(self.rule_plans.get(&rid));
+            .with_plans(self.rule_plans.get(&rid))
+            .with_threads(self.threads());
         let mut bindings = setrules_query::bindings::Bindings::new();
         match self.config.exec_mode {
             ExecMode::Compiled => {
@@ -1125,34 +1173,40 @@ impl RuleSystem {
     ) -> Result<TransInfo, RuleError> {
         let mut tinfo = TransInfo::new();
         let mut last_output: Option<Relation> = None;
-        match action {
-            CompiledAction::Block(ops) => {
-                // Borrow the rule's window directly — `self.db` (mutable)
-                // and `self.txn`/`self.rules` (immutable) are disjoint
-                // fields, so no O(window) clone is needed.
-                let rule = &self.rules[rid.0];
-                let txn = self.txn.as_ref().expect("open");
-                let provider =
-                    RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
-                // `ops` shares the rule-owned allocation (the action clone
-                // is an `Arc` copy), so plan-cache pointer keys see the
-                // same AST addresses on every firing.
-                let plans = self.rule_plans.get(&rid);
-                for op in ops.iter() {
-                    let eff = execute_op_with_opts(
-                        &mut self.db,
-                        &provider,
-                        op,
-                        Some(&self.qstats),
-                        self.config.exec_mode,
-                        plans,
-                    )?;
-                    if let OpEffect::Select { output, .. } = &eff {
-                        last_output = Some(output.clone());
+        let threads = self.threads();
+        let before = self.qstats.snapshot();
+        let result: Result<(), RuleError> = (|| {
+            match action {
+                CompiledAction::Block(ops) => {
+                    // Borrow the rule's window directly — `self.db` (mutable)
+                    // and `self.txn`/`self.rules` (immutable) are disjoint
+                    // fields, so no O(window) clone is needed.
+                    let rule = &self.rules[rid.0];
+                    let txn = self.txn.as_ref().expect("open");
+                    let provider =
+                        RuleWindowRef { info: &txn.rule_infos[rid.0], licensed: &rule.licensed };
+                    // `ops` shares the rule-owned allocation (the action clone
+                    // is an `Arc` copy), so plan-cache pointer keys see the
+                    // same AST addresses on every firing.
+                    let plans = self.rule_plans.get(&rid);
+                    for op in ops.iter() {
+                        let eff = execute_op_ext(
+                            &mut self.db,
+                            &provider,
+                            op,
+                            &ExecOpts {
+                                stats: Some(&self.qstats),
+                                mode: self.config.exec_mode,
+                                plans,
+                                threads,
+                            },
+                        )?;
+                        if let OpEffect::Select { output, .. } = &eff {
+                            last_output = Some(output.clone());
+                        }
+                        tinfo.absorb(&eff, self.config.track_selects);
                     }
-                    tinfo.absorb(&eff, self.config.track_selects);
                 }
-            }
             CompiledAction::External(f) => {
                 // External actions hold the provider across arbitrary user
                 // code; give them an owning snapshot of the window.
@@ -1183,7 +1237,11 @@ impl RuleSystem {
                 }
             }
             CompiledAction::Rollback => unreachable!("handled by the caller"),
-        }
+            }
+            Ok(())
+        })();
+        self.note_parallelism(&before);
+        result?;
         if last_output.is_some() {
             self.txn.as_mut().expect("open").last_output = last_output;
         }

@@ -117,6 +117,16 @@ pub enum EngineEvent {
     /// exactly at the pre-statement state before the transaction itself
     /// rolls back.
     StatementRollback,
+    /// One or more read-only query phases of a statement ran partitioned
+    /// across the worker pool (see `docs/parallel-execution.md`); results
+    /// are bit-identical to serial execution.
+    ParallelScan {
+        /// Total partitions handed to the pool across the statement's
+        /// parallel phases.
+        partitions: u64,
+        /// Rows scanned by the statement (parallel and serial phases).
+        rows: u64,
+    },
 }
 
 impl EngineEvent {
@@ -137,6 +147,7 @@ impl EngineEvent {
             EngineEvent::LoopSafeguardAbort { .. } => "loop_safeguard_abort",
             EngineEvent::Fault { .. } => "fault",
             EngineEvent::StatementRollback => "statement_rollback",
+            EngineEvent::ParallelScan { .. } => "parallel_scan",
         }
     }
 
@@ -206,6 +217,10 @@ impl EngineEvent {
                 put("n", Json::Int(*n as i64));
             }
             EngineEvent::StatementRollback => {}
+            EngineEvent::ParallelScan { partitions, rows } => {
+                put("partitions", Json::Int(*partitions as i64));
+                put("rows", Json::Int(*rows as i64));
+            }
         }
         Json::Object(fields)
     }
@@ -251,6 +266,9 @@ impl fmt::Display for EngineEvent {
                 write!(f, "injected fault: {kind} #{n}")
             }
             EngineEvent::StatementRollback => write!(f, "statement rollback"),
+            EngineEvent::ParallelScan { partitions, rows } => {
+                write!(f, "parallel scan ({partitions} partitions, {rows} rows)")
+            }
         }
     }
 }
@@ -401,6 +419,7 @@ mod tests {
             EngineEvent::LoopSafeguardAbort { limit: 10 },
             EngineEvent::Fault { kind: "tuple_insert".into(), n: 3 },
             EngineEvent::StatementRollback,
+            EngineEvent::ParallelScan { partitions: 4, rows: 100_000 },
         ]
     }
 
@@ -410,7 +429,7 @@ mod tests {
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.dedup();
         // Rollback appears twice in samples (named / unnamed).
-        assert_eq!(kinds.len(), 14);
+        assert_eq!(kinds.len(), 15);
         for e in &evs {
             assert_eq!(e.to_json().get("event").unwrap().as_str(), Some(e.kind()));
             assert!(!format!("{e}").is_empty());

@@ -103,6 +103,15 @@ pub struct EngineStats {
     /// Failed DML statements whose partial effects were undone to the
     /// statement savepoint (each is followed by a transaction rollback).
     pub stmt_rollbacks: u64,
+    /// Query phases (scan, hash build/probe, where) that ran partitioned
+    /// on the worker pool (mirrors the query layer's counter).
+    pub parallel_scans: u64,
+    /// Total partitions across those parallel phases.
+    pub parallel_partitions: u64,
+    /// Query phases big enough to parallelize that fell back to serial
+    /// because their predicate was not row-local (correlated subqueries,
+    /// interpreter fallback).
+    pub serial_fallbacks: u64,
     /// Per-rule breakdown, keyed by rule name (deterministic order).
     pub per_rule: BTreeMap<String, RuleTiming>,
 }
@@ -133,6 +142,9 @@ impl EngineStats {
             plan_cache_misses: self.plan_cache_misses + other.plan_cache_misses,
             faults_injected: self.faults_injected + other.faults_injected,
             stmt_rollbacks: self.stmt_rollbacks + other.stmt_rollbacks,
+            parallel_scans: self.parallel_scans + other.parallel_scans,
+            parallel_partitions: self.parallel_partitions + other.parallel_partitions,
+            serial_fallbacks: self.serial_fallbacks + other.serial_fallbacks,
             per_rule,
         }
     }
@@ -161,6 +173,9 @@ impl EngineStats {
             plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
             faults_injected: self.faults_injected - earlier.faults_injected,
             stmt_rollbacks: self.stmt_rollbacks - earlier.stmt_rollbacks,
+            parallel_scans: self.parallel_scans - earlier.parallel_scans,
+            parallel_partitions: self.parallel_partitions - earlier.parallel_partitions,
+            serial_fallbacks: self.serial_fallbacks - earlier.serial_fallbacks,
             per_rule,
         }
     }
@@ -182,6 +197,9 @@ impl EngineStats {
             ("plan_cache_misses", Json::Int(self.plan_cache_misses as i64)),
             ("faults_injected", Json::Int(self.faults_injected as i64)),
             ("stmt_rollbacks", Json::Int(self.stmt_rollbacks as i64)),
+            ("parallel_scans", Json::Int(self.parallel_scans as i64)),
+            ("parallel_partitions", Json::Int(self.parallel_partitions as i64)),
+            ("serial_fallbacks", Json::Int(self.serial_fallbacks as i64)),
             ("per_rule", Json::Object(per_rule)),
         ])
     }

@@ -80,6 +80,11 @@ pub struct QueryCtx<'a> {
     /// Compiled-expression memo shared across statements (the rule engine
     /// attaches one per rule); `None` compiles fresh per statement.
     pub plans: Option<&'a PlanCache>,
+    /// Worker-thread budget for the read-only parallel phases (scan +
+    /// pushdown filtering, hash-join build/probe, WHERE pass). `1` (the
+    /// default) keeps execution fully serial; see
+    /// [`crate::parallel`] for the determinism argument.
+    pub threads: usize,
 }
 
 impl<'a> QueryCtx<'a> {
@@ -92,6 +97,7 @@ impl<'a> QueryCtx<'a> {
             stats: None,
             mode: ExecMode::default(),
             plans: None,
+            threads: 1,
         }
     }
 
@@ -118,5 +124,11 @@ impl<'a> QueryCtx<'a> {
     /// Attach a compiled-expression plan cache (pass `None` to detach).
     pub fn with_plans(self, plans: Option<&'a PlanCache>) -> Self {
         QueryCtx { plans, ..self }
+    }
+
+    /// Set the worker-thread budget for parallel query phases (clamped to
+    /// at least 1; `1` means fully serial).
+    pub fn with_threads(self, threads: usize) -> Self {
+        QueryCtx { threads: threads.max(1), ..self }
     }
 }

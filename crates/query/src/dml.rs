@@ -80,6 +80,28 @@ impl OpEffect {
     }
 }
 
+/// Options for the `_ext` entry points: stats sink, execution mode,
+/// plan cache, and the thread budget for deterministic intra-query
+/// parallelism (see [`crate::parallel`]).
+#[derive(Clone, Copy)]
+pub struct ExecOpts<'a> {
+    /// Optional statistics accumulator.
+    pub stats: Option<&'a StatsCell>,
+    /// Compiled or interpreted execution.
+    pub mode: ExecMode,
+    /// Optional plan cache (the rule engine attaches one per rule).
+    pub plans: Option<&'a PlanCache>,
+    /// Thread budget for read-only query phases (clamped to at least 1;
+    /// `1` means fully serial execution).
+    pub threads: usize,
+}
+
+impl Default for ExecOpts<'_> {
+    fn default() -> Self {
+        ExecOpts { stats: None, mode: ExecMode::default(), plans: None, threads: 1 }
+    }
+}
+
 /// Execute one SQL operation against the database, returning its effect.
 pub fn execute_op(
     db: &mut Database,
@@ -111,11 +133,24 @@ pub fn execute_op_with_opts(
     mode: ExecMode,
     plans: Option<&PlanCache>,
 ) -> Result<OpEffect, QueryError> {
+    execute_op_ext(db, virt, op, &ExecOpts { stats: st, mode, plans, threads: 1 })
+}
+
+/// [`execute_op_with_opts`] generalized over [`ExecOpts`], adding the
+/// thread budget for deterministic intra-query parallelism. Only the
+/// read-only phases (identification scans, select evaluation) ever use
+/// more than one thread; mutation is always applied serially.
+pub fn execute_op_ext(
+    db: &mut Database,
+    virt: &dyn TransitionTableProvider,
+    op: &DmlOp,
+    opts: &ExecOpts,
+) -> Result<OpEffect, QueryError> {
     match op {
-        DmlOp::Insert(s) => execute_insert(db, virt, s, st, mode, plans),
-        DmlOp::Delete(s) => execute_delete(db, virt, s, st, mode, plans),
-        DmlOp::Update(s) => execute_update(db, virt, s, st, mode, plans),
-        DmlOp::Select(s) => execute_select_op(db, virt, s, st, mode, plans),
+        DmlOp::Insert(s) => execute_insert(db, virt, s, opts),
+        DmlOp::Delete(s) => execute_delete(db, virt, s, opts),
+        DmlOp::Update(s) => execute_update(db, virt, s, opts),
+        DmlOp::Select(s) => execute_select_op(db, virt, s, opts),
     }
 }
 
@@ -149,12 +184,24 @@ pub fn execute_query_with_opts(
     mode: ExecMode,
     plans: Option<&PlanCache>,
 ) -> Result<Relation, QueryError> {
+    execute_query_ext(db, virt, stmt, &ExecOpts { stats: st, mode, plans, threads: 1 })
+}
+
+/// [`execute_query_with_opts`] generalized over [`ExecOpts`], adding the
+/// thread budget for deterministic intra-query parallelism.
+pub fn execute_query_ext(
+    db: &Database,
+    virt: &dyn TransitionTableProvider,
+    stmt: &SelectStmt,
+    opts: &ExecOpts,
+) -> Result<Relation, QueryError> {
     let cache = crate::SubqueryCache::new();
     let ctx = QueryCtx::with_provider(db, virt)
         .with_cache(&cache)
-        .with_stats(st)
-        .with_mode(mode)
-        .with_plans(plans);
+        .with_stats(opts.stats)
+        .with_mode(opts.mode)
+        .with_plans(opts.plans)
+        .with_threads(opts.threads);
     crate::select::run_select(ctx, stmt, &mut Bindings::new())
 }
 
@@ -183,9 +230,7 @@ fn execute_insert(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &InsertStmt,
-    st: Option<&StatsCell>,
-    mode: ExecMode,
-    plans: Option<&PlanCache>,
+    opts: &ExecOpts,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
     let arity = db.schema(table).arity();
@@ -195,9 +240,10 @@ fn execute_insert(
     let rows: Vec<Tuple> = {
         let ctx = QueryCtx::with_provider(db, virt)
             .with_cache(&cache)
-            .with_stats(st)
-            .with_mode(mode)
-            .with_plans(plans);
+            .with_stats(opts.stats)
+            .with_mode(opts.mode)
+            .with_plans(opts.plans)
+            .with_threads(opts.threads);
         match &stmt.source {
             InsertSource::Values(rows) => {
                 let mut out = Vec::with_capacity(rows.len());
@@ -246,23 +292,22 @@ fn execute_insert(
 /// delete/update). Returns matching handles in handle order. In compiled
 /// mode the predicate is lowered once (through the plan cache when one is
 /// attached) instead of resolving names per scanned row.
-#[allow(clippy::too_many_arguments)]
 fn identify(
     db: &Database,
     virt: &dyn TransitionTableProvider,
     table: TableId,
     table_name: &str,
     predicate: Option<&setrules_sql::ast::Expr>,
-    st: Option<&StatsCell>,
-    mode: ExecMode,
-    plans: Option<&PlanCache>,
+    opts: &ExecOpts,
 ) -> Result<Vec<TupleHandle>, QueryError> {
+    let st = opts.stats;
     let cache = crate::SubqueryCache::new();
     let ctx = QueryCtx::with_provider(db, virt)
         .with_cache(&cache)
         .with_stats(st)
-        .with_mode(mode)
-        .with_plans(plans);
+        .with_mode(opts.mode)
+        .with_plans(opts.plans)
+        .with_threads(opts.threads);
     let schema = db.schema(table);
     let columns =
         std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
@@ -273,7 +318,7 @@ fn identify(
         Access::IndexRange { .. } => s.range_scans += 1,
         Access::Empty => s.empty_scans += 1,
     });
-    let compiled = match (predicate, mode) {
+    let compiled = match (predicate, opts.mode) {
         (Some(p), ExecMode::Compiled) => {
             let mut layout = Layout::new();
             layout.push_level(vec![LayoutFrame {
@@ -290,6 +335,40 @@ fn identify(
     if matches!(access, Access::IndexRange { .. }) {
         let skipped = (db.table(table).len() - handles.len()) as u64;
         stats::bump(st, |s| s.range_rows_skipped += skipped);
+    }
+
+    // Parallel identification: with a row-local compiled predicate the
+    // scan partitions exactly like the select scan (see
+    // [`crate::parallel`]); merge order keeps handles, counters, and the
+    // earliest error bit-identical to the serial walk below.
+    let big_enough = ctx.threads > 1 && handles.len() >= crate::parallel::PAR_THRESHOLD;
+    if big_enough {
+        if let Some(cp) = compiled.as_ref().filter(|cp| crate::parallel::is_rowlocal(cp)) {
+            let verdicts = crate::parallel::judge_chunks(handles.len(), ctx.threads, |i| {
+                let tuple = db.get(table, handles[i]).expect("scanned handle is live");
+                crate::parallel::eval_rowlocal_predicate(cp, &[tuple.0.as_slice()])
+            });
+            if verdicts.len() > 1 {
+                stats::bump(st, |s| {
+                    s.parallel_scans += 1;
+                    s.parallel_partitions += verdicts.len() as u64;
+                });
+            }
+            for v in verdicts {
+                stats::bump(st, |s| {
+                    s.rows_scanned += v.combos;
+                    s.rows_matched += v.matched;
+                });
+                out.extend(v.kept.into_iter().map(|i| handles[i]));
+                if let Some(e) = v.err {
+                    return Err(e);
+                }
+            }
+            return Ok(out);
+        }
+        if predicate.is_some() {
+            stats::bump(st, |s| s.serial_fallbacks += 1);
+        }
     }
     for h in handles {
         stats::bump(st, |s| s.rows_scanned += 1);
@@ -323,13 +402,10 @@ fn execute_delete(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &DeleteStmt,
-    st: Option<&StatsCell>,
-    mode: ExecMode,
-    plans: Option<&PlanCache>,
+    opts: &ExecOpts,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
-    let handles =
-        identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st, mode, plans)?;
+    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), opts)?;
     // Phase 2: delete (statement-atomic).
     let tuples = apply_atomically(db, |db| {
         let mut tuples = Vec::with_capacity(handles.len());
@@ -346,9 +422,7 @@ fn execute_update(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &UpdateStmt,
-    st: Option<&StatsCell>,
-    mode: ExecMode,
-    plans: Option<&PlanCache>,
+    opts: &ExecOpts,
 ) -> Result<OpEffect, QueryError> {
     let table = db.table_id(&stmt.table)?;
 
@@ -364,16 +438,16 @@ fn execute_update(
 
     // Phase 1: identify tuples and compute per-tuple assignments against
     // the pre-update state.
-    let handles =
-        identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), st, mode, plans)?;
+    let handles = identify(db, virt, table, &stmt.table, stmt.predicate.as_ref(), opts)?;
     let mut planned: Vec<(TupleHandle, Vec<(ColumnId, Value)>)> = Vec::with_capacity(handles.len());
     let cache = crate::SubqueryCache::new();
     {
         let ctx = QueryCtx::with_provider(db, virt)
             .with_cache(&cache)
-            .with_stats(st)
-            .with_mode(mode)
-            .with_plans(plans);
+            .with_stats(opts.stats)
+            .with_mode(opts.mode)
+            .with_plans(opts.plans)
+            .with_threads(opts.threads);
         let schema = db.schema(table);
         let columns =
             std::sync::Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
@@ -426,16 +500,15 @@ fn execute_select_op(
     db: &mut Database,
     virt: &dyn TransitionTableProvider,
     stmt: &SelectStmt,
-    st: Option<&StatsCell>,
-    mode: ExecMode,
-    plans: Option<&PlanCache>,
+    opts: &ExecOpts,
 ) -> Result<OpEffect, QueryError> {
     let cache = crate::SubqueryCache::new();
     let ctx = QueryCtx::with_provider(db, virt)
         .with_cache(&cache)
-        .with_stats(st)
-        .with_mode(mode)
-        .with_plans(plans);
+        .with_stats(opts.stats)
+        .with_mode(opts.mode)
+        .with_plans(opts.plans)
+        .with_threads(opts.threads);
     let mut trace: Vec<(TableId, TupleHandle)> = Vec::new();
     let output = run_select_traced(ctx, stmt, &mut Bindings::new(), Some(&mut trace))?;
 

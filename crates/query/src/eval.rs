@@ -6,7 +6,7 @@
 //! by the `select` executor.
 
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 use setrules_sql::ast::{AggFunc, BinaryOp, Expr, SelectStmt, UnaryOp};
 use setrules_storage::Value;
@@ -414,8 +414,14 @@ fn eval_aggregate(
         }
     }
     if distinct {
-        let mut seen = BTreeSet::new();
-        vals.retain(|v| seen.insert(v.clone()));
+        // Dedup without cloning values: a borrowing seen-set marks first
+        // occurrences (keeping first-seen order — float sums fold in
+        // encounter order), then the mask drives `retain`.
+        let mut seen: HashSet<&Value> = HashSet::with_capacity(vals.len());
+        let keep: Vec<bool> = vals.iter().map(|v| seen.insert(v)).collect();
+        drop(seen);
+        let mut mask = keep.iter();
+        vals.retain(|_| *mask.next().expect("one mask bit per value"));
     }
 
     match func {

@@ -99,6 +99,18 @@ pub fn explain_select(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> String {
         }
     }
 
+    // Top-K report: an ordered, limited select that cannot elide its sort
+    // is eligible for the partial-selection fast path (see the order/limit
+    // step of the select executor); it engages at run time when the limit
+    // is small relative to the result.
+    if !stmt.order_by.is_empty()
+        && stmt.limit.is_some_and(|k| k > 0)
+        && crate::select::elidable_order_column(ctx, stmt).is_none()
+    {
+        let k = stmt.limit.expect("checked above");
+        let _ = writeln!(out, "limit: top-{k} selection eligible (engages when {k} < rows / 4)");
+    }
+
     // Join-order report: the same greedy planning the compiled executor
     // performs, over estimated per-item cardinalities (index probes are
     // estimated from the index buckets; transition tables are unknown at
@@ -245,6 +257,25 @@ mod tests {
         // So does ordering by a column with only a hash index.
         let plan = explain_select(ctx, &sel("select name from emp order by dept_no"));
         assert!(!plan.contains("elided"), "{plan}");
+    }
+
+    #[test]
+    fn explains_topk_eligibility() {
+        let mut db = Database::new();
+        let (emp, _) = paper_example_schemas();
+        let t = db.create_table(emp).unwrap();
+        let ctx = QueryCtx::plain(&db);
+        // Ordered + limited, no ordered index: top-K eligible.
+        let plan = explain_select(ctx, &sel("select name from emp order by salary limit 3"));
+        assert!(plan.contains("limit: top-3 selection eligible"), "{plan}");
+        // No limit: a full sort, no top-K line.
+        let plan = explain_select(ctx, &sel("select name from emp order by salary"));
+        assert!(!plan.contains("top-"), "{plan}");
+        // With an ordered index the sort is elided instead.
+        db.create_index_of(t, ColumnId(2), setrules_storage::IndexKind::Ordered).unwrap();
+        let ctx = QueryCtx::plain(&db);
+        let plan = explain_select(ctx, &sel("select name from emp order by salary limit 3"));
+        assert!(plan.contains("elided") && !plan.contains("top-"), "{plan}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod error;
 mod eval;
 mod explain;
 pub mod like;
+pub mod parallel;
 pub mod planner;
 mod provider;
 pub mod refs;
@@ -44,8 +45,8 @@ pub use compile::{
 };
 pub use ctx::{ExecMode, QueryCtx, SubqueryCache};
 pub use dml::{
-    execute_op, execute_op_with_opts, execute_op_with_stats, execute_query,
-    execute_query_with_opts, execute_query_with_stats, OpEffect,
+    execute_op, execute_op_ext, execute_op_with_opts, execute_op_with_stats, execute_query,
+    execute_query_ext, execute_query_with_opts, execute_query_with_stats, ExecOpts, OpEffect,
 };
 pub use error::QueryError;
 pub use eval::{eval_expr, eval_predicate, truth};

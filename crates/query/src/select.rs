@@ -22,7 +22,7 @@
 //! divergence: prefilters may skip combinations whose evaluation would
 //! *error* (the historical 2-way hash path already did this).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -36,6 +36,7 @@ use crate::compile::{
 use crate::ctx::{ExecMode, QueryCtx};
 use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
+use crate::parallel;
 use crate::planner::{build_join_plan, choose_access, equi_join_edges, scan_handles, Access};
 use crate::relation::Relation;
 use crate::stats;
@@ -248,8 +249,17 @@ pub fn run_select_traced(
     }
 
     // 1c. Materialize each item, filtering through its pushed conjuncts.
+    // With a thread budget, a big-enough stored-table scan whose pushed
+    // conjuncts are all row-local runs on the pool: the handle vector is
+    // split into contiguous ranges, each worker materializes + filters its
+    // range, and the kept rows are concatenated in partition order — which
+    // is exactly the serial handle-order walk. Pushed conjuncts that
+    // reference outer scopes (correlated) are not row-local; those scans
+    // stay serial and count a fallback.
     let mut items: Vec<FromItem> = Vec::with_capacity(metas.len());
     for (idx, (meta, tref)) in metas.into_iter().zip(&stmt.from).enumerate() {
+        let conjs = std::mem::take(&mut pushed[idx]);
+        let mut prefiltered = false;
         let mut rows: Vec<ScanRow> = match (&meta.source, &tref.source) {
             (Source::Named { tid, access }, _) => {
                 stats::bump(ctx.stats, |s| match access {
@@ -263,26 +273,88 @@ pub fn run_select_traced(
                     let skipped = (ctx.db.table(*tid).len() - handles.len()) as u64;
                     stats::bump(ctx.stats, |s| s.range_rows_skipped += skipped);
                 }
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        let t = ctx.db.get(*tid, h).expect("scanned handle is live");
-                        (Some((*tid, h)), t.0.clone())
-                    })
-                    .collect()
+                stats::bump(ctx.stats, |s| s.rows_scanned += handles.len() as u64);
+                let big_enough =
+                    ctx.threads > 1 && handles.len() >= parallel::PAR_THRESHOLD;
+                if big_enough && conjs.iter().all(parallel::is_rowlocal) {
+                    prefiltered = true;
+                    let db = ctx.db;
+                    let tid = *tid;
+                    let handles = &handles;
+                    let conjs = &conjs;
+                    let chunks = parallel::pool().run_chunked(
+                        handles.len(),
+                        ctx.threads,
+                        parallel::MIN_CHUNK,
+                        |range| {
+                            let mut kept: Vec<ScanRow> =
+                                Vec::with_capacity(range.end - range.start);
+                            let mut dropped = 0u64;
+                            for &h in &handles[range] {
+                                let t = db.get(tid, h).expect("scanned handle is live");
+                                // Drop only on a definite non-`true` (the
+                                // same rule as the serial path below).
+                                let keep = conjs.iter().all(|cc| {
+                                    !matches!(
+                                        parallel::eval_rowlocal_predicate(
+                                            cc,
+                                            &[t.0.as_slice()]
+                                        ),
+                                        Ok(false)
+                                    )
+                                });
+                                if keep {
+                                    kept.push((Some((tid, h)), t.0.clone()));
+                                } else {
+                                    dropped += 1;
+                                }
+                            }
+                            (kept, dropped)
+                        },
+                    );
+                    let parts = chunks.len() as u64;
+                    let dropped: u64 = chunks.iter().map(|(_, d)| *d).sum();
+                    stats::bump(ctx.stats, |s| {
+                        s.pushdown_filtered += dropped;
+                        if parts > 1 {
+                            s.parallel_scans += 1;
+                            s.parallel_partitions += parts;
+                        }
+                    });
+                    let mut merged =
+                        Vec::with_capacity(chunks.iter().map(|(k, _)| k.len()).sum());
+                    for (kept, _) in chunks {
+                        merged.extend(kept);
+                    }
+                    merged
+                } else {
+                    if big_enough && !conjs.is_empty() {
+                        stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            let t = ctx.db.get(*tid, h).expect("scanned handle is live");
+                            (Some((*tid, h)), t.0.clone())
+                        })
+                        .collect()
+                }
             }
-            (Source::Transition, TableSource::Transition { kind, table, column }) => ctx
-                .virt
-                .rows(ctx.db, *kind, table, column.as_deref())?
-                .into_iter()
-                .map(|vals| (None, vals))
-                .collect(),
+            (Source::Transition, TableSource::Transition { kind, table, column }) => {
+                let rows: Vec<ScanRow> = ctx
+                    .virt
+                    .rows(ctx.db, *kind, table, column.as_deref())?
+                    .into_iter()
+                    .map(|vals| (None, vals))
+                    .collect();
+                stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
+                rows
+            }
             (Source::Transition, TableSource::Named(_)) => {
                 unreachable!("meta source mirrors the from item")
             }
         };
-        stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
-        if !pushed[idx].is_empty() {
+        if !prefiltered && !conjs.is_empty() {
             let mut kept = Vec::with_capacity(rows.len());
             for row in rows {
                 bindings.push_level(vec![Frame {
@@ -291,7 +363,7 @@ pub fn run_select_traced(
                     row: row.1.clone(),
                 }]);
                 let mut keep = true;
-                for cc in &pushed[idx] {
+                for cc in &conjs {
                     // Drop only on a definite non-`true`; keep on error so
                     // the full predicate raises it (or a hash step shows
                     // the combination never forms, as the historical
@@ -331,40 +403,133 @@ pub fn run_select_traced(
     let mut origins: Vec<Vec<(TableId, TupleHandle)>> = Vec::new();
     let want_trace = trace.is_some();
     {
-        let mut consider =
-            |cursor: &[usize], bindings: &mut Bindings| -> Result<(), QueryError> {
-                stats::bump(ctx.stats, |s| s.join_combinations += 1);
-                let level: Level = items
-                    .iter()
-                    .zip(cursor)
-                    .map(|(it, &i)| Frame {
-                        name: it.binding.clone(),
-                        columns: Arc::clone(&it.columns),
-                        row: it.rows[i].1.clone(),
-                    })
-                    .collect();
-                bindings.push_level(level);
-                let keep = match (&full_pred, &stmt.predicate) {
-                    (Some(cp), _) => eval_compiled_predicate(ctx, bindings, None, cp),
-                    (None, Some(p)) => eval_predicate(ctx, bindings, None, p),
-                    (None, None) => Ok(true),
-                };
-                let level = bindings.pop_level().expect("pushed above");
-                if keep? {
-                    stats::bump(ctx.stats, |s| s.rows_matched += 1);
-                    if want_trace {
-                        origins.push(
-                            items
-                                .iter()
-                                .zip(cursor)
-                                .filter_map(|(it, &i)| it.rows[i].0)
-                                .collect(),
-                        );
-                    }
-                    matching.push(level);
-                }
-                Ok(())
+        /// Serially evaluate one assembled combination: count it, run the
+        /// full predicate, and keep the level (plus origins) on *true*.
+        #[allow(clippy::too_many_arguments)]
+        fn consider(
+            ctx: QueryCtx<'_>,
+            items: &[FromItem],
+            full_pred: Option<&CompiledExpr>,
+            predicate: Option<&Expr>,
+            want_trace: bool,
+            cursor: &[usize],
+            bindings: &mut Bindings,
+            matching: &mut Vec<Level>,
+            origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
+        ) -> Result<(), QueryError> {
+            stats::bump(ctx.stats, |s| s.join_combinations += 1);
+            let level: Level = items
+                .iter()
+                .zip(cursor)
+                .map(|(it, &i)| Frame {
+                    name: it.binding.clone(),
+                    columns: Arc::clone(&it.columns),
+                    row: it.rows[i].1.clone(),
+                })
+                .collect();
+            bindings.push_level(level);
+            let keep = match (full_pred, predicate) {
+                (Some(cp), _) => eval_compiled_predicate(ctx, bindings, None, cp),
+                (None, Some(p)) => eval_predicate(ctx, bindings, None, p),
+                (None, None) => Ok(true),
             };
+            let level = bindings.pop_level().expect("pushed above");
+            if keep? {
+                stats::bump(ctx.stats, |s| s.rows_matched += 1);
+                if want_trace {
+                    origins.push(
+                        items
+                            .iter()
+                            .zip(cursor)
+                            .filter_map(|(it, &i)| it.rows[i].0)
+                            .collect(),
+                    );
+                }
+                matching.push(level);
+            }
+            Ok(())
+        }
+
+        /// Record a combination a parallel WHERE pass already judged as
+        /// kept (counters were merged from the partition verdicts).
+        fn emit_kept(
+            items: &[FromItem],
+            cursor: &[usize],
+            want_trace: bool,
+            matching: &mut Vec<Level>,
+            origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
+        ) {
+            let level: Level = items
+                .iter()
+                .zip(cursor)
+                .map(|(it, &i)| Frame {
+                    name: it.binding.clone(),
+                    columns: Arc::clone(&it.columns),
+                    row: it.rows[i].1.clone(),
+                })
+                .collect();
+            if want_trace {
+                origins.push(
+                    items.iter().zip(cursor).filter_map(|(it, &i)| it.rows[i].0).collect(),
+                );
+            }
+            matching.push(level);
+        }
+
+        /// The WHERE pass may run on the pool only when the full predicate
+        /// is row-local; with a thread budget and enough combinations, a
+        /// non-row-local predicate (correlated subquery needing the shared
+        /// memo, interpreter fallback) counts an observable fallback.
+        fn parallel_where<'p>(
+            ctx: QueryCtx<'_>,
+            full_pred: &'p Option<Arc<CompiledExpr>>,
+            combinations: usize,
+        ) -> Option<&'p CompiledExpr> {
+            let cp = full_pred.as_deref()?;
+            if ctx.threads <= 1 || combinations < parallel::PAR_THRESHOLD {
+                return None;
+            }
+            if parallel::is_rowlocal(cp) {
+                Some(cp)
+            } else {
+                stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
+                None
+            }
+        }
+
+        /// Merge partition verdicts in partition order: counters first,
+        /// then the kept combinations, stopping at the earliest error —
+        /// reproducing the serial combination walk exactly.
+        fn merge_verdicts(
+            ctx: QueryCtx<'_>,
+            items: &[FromItem],
+            verdicts: Vec<parallel::ChunkVerdict>,
+            cursor_of: impl Fn(usize) -> Vec<usize>,
+            want_trace: bool,
+            matching: &mut Vec<Level>,
+            origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
+        ) -> Result<(), QueryError> {
+            let parts = verdicts.len() as u64;
+            if parts > 1 {
+                stats::bump(ctx.stats, |s| {
+                    s.parallel_scans += 1;
+                    s.parallel_partitions += parts;
+                });
+            }
+            for v in verdicts {
+                stats::bump(ctx.stats, |s| {
+                    s.join_combinations += v.combos;
+                    s.rows_matched += v.matched;
+                });
+                for i in v.kept {
+                    emit_kept(items, &cursor_of(i), want_trace, matching, origins);
+                }
+                if let Some(e) = v.err {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
 
         let all_nonempty = items.iter().all(|it| !it.rows.is_empty());
         if compiled_mode {
@@ -372,8 +537,35 @@ pub fn run_select_traced(
             // odometer), so only plan when every item has rows.
             if all_nonempty {
                 if items.len() == 1 {
-                    for i in 0..items[0].rows.len() {
-                        consider(&[i], bindings)?;
+                    let n = items[0].rows.len();
+                    if let Some(cp) = parallel_where(ctx, &full_pred, n) {
+                        let rows = &items[0].rows;
+                        let verdicts = parallel::judge_chunks(n, ctx.threads, |i| {
+                            parallel::eval_rowlocal_predicate(cp, &[rows[i].1.as_slice()])
+                        });
+                        merge_verdicts(
+                            ctx,
+                            &items,
+                            verdicts,
+                            |i| vec![i],
+                            want_trace,
+                            &mut matching,
+                            &mut origins,
+                        )?;
+                    } else {
+                        for i in 0..n {
+                            consider(
+                                ctx,
+                                &items,
+                                full_pred.as_deref(),
+                                stmt.predicate.as_ref(),
+                                want_trace,
+                                &[i],
+                                bindings,
+                                &mut matching,
+                                &mut origins,
+                            )?;
+                        }
                     }
                 } else {
                     let types: Vec<Vec<DataType>> =
@@ -423,37 +615,106 @@ pub fn run_select_traced(
                             // the type-equality requirement on edges makes
                             // storage-level hash equality agree with SQL
                             // equality.
-                            let mut table: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
-                            'build: for (j, row) in new_rows.iter().enumerate() {
-                                let mut key = Vec::with_capacity(step.edges.len());
-                                for &(_, _, nc) in &step.edges {
-                                    let v = &row.1[nc];
-                                    if v.is_null() {
-                                        continue 'build;
+                            //
+                            // Build a range of rows into a local map.
+                            let build_range =
+                                |range: std::ops::Range<usize>| -> HashMap<Vec<&Value>, Vec<usize>> {
+                                    let mut local: HashMap<Vec<&Value>, Vec<usize>> =
+                                        HashMap::new();
+                                    'build: for j in range {
+                                        let row = &new_rows[j];
+                                        let mut key = Vec::with_capacity(step.edges.len());
+                                        for &(_, _, nc) in &step.edges {
+                                            let v = &row.1[nc];
+                                            if v.is_null() {
+                                                continue 'build;
+                                            }
+                                            key.push(v);
+                                        }
+                                        local.entry(key).or_default().push(j);
                                     }
-                                    key.push(v);
-                                }
-                                table.entry(key).or_default().push(j);
-                            }
-                            let mut next = Vec::new();
-                            'probe: for p in &partials {
-                                let mut key = Vec::with_capacity(step.edges.len());
-                                for &(pi, pc, _) in &step.edges {
-                                    let v = &items[pi].rows[p[pos_of[pi]]].1[pc];
-                                    if v.is_null() {
-                                        continue 'probe;
+                                    local
+                                };
+                            let table: HashMap<Vec<&Value>, Vec<usize>> = if ctx.threads > 1
+                                && new_rows.len() >= parallel::PAR_THRESHOLD
+                            {
+                                // Partition the build side; merging the
+                                // per-worker maps in partition order keeps
+                                // every bucket's row indices ascending —
+                                // identical to the serial build.
+                                let maps = parallel::pool().run_chunked(
+                                    new_rows.len(),
+                                    ctx.threads,
+                                    parallel::MIN_CHUNK,
+                                    build_range,
+                                );
+                                let parts = maps.len() as u64;
+                                stats::bump(ctx.stats, |s| {
+                                    if parts > 1 {
+                                        s.parallel_scans += 1;
+                                        s.parallel_partitions += parts;
                                     }
-                                    key.push(v);
-                                }
-                                if let Some(js) = table.get(&key) {
-                                    for &j in js {
-                                        let mut q = p.clone();
-                                        q.push(j);
-                                        next.push(q);
+                                });
+                                let mut merged: HashMap<Vec<&Value>, Vec<usize>> =
+                                    HashMap::new();
+                                for local in maps {
+                                    for (key, mut js) in local {
+                                        merged.entry(key).or_default().append(&mut js);
                                     }
                                 }
-                            }
-                            partials = next;
+                                merged
+                            } else {
+                                build_range(0..new_rows.len())
+                            };
+                            // Probe a range of partials against the map,
+                            // emitting extended combinations in order.
+                            let probe_range =
+                                |range: std::ops::Range<usize>| -> Vec<Vec<usize>> {
+                                    let mut out = Vec::new();
+                                    'probe: for p in &partials[range] {
+                                        let mut key =
+                                            Vec::with_capacity(step.edges.len());
+                                        for &(pi, pc, _) in &step.edges {
+                                            let v =
+                                                &items[pi].rows[p[pos_of[pi]]].1[pc];
+                                            if v.is_null() {
+                                                continue 'probe;
+                                            }
+                                            key.push(v);
+                                        }
+                                        if let Some(js) = table.get(&key) {
+                                            for &j in js {
+                                                let mut q = p.clone();
+                                                q.push(j);
+                                                out.push(q);
+                                            }
+                                        }
+                                    }
+                                    out
+                                };
+                            partials = if ctx.threads > 1
+                                && partials.len() >= parallel::PAR_THRESHOLD
+                            {
+                                // Partition the probe side; concatenating
+                                // per-partition outputs in partition order
+                                // reproduces the serial probe order.
+                                let chunks = parallel::pool().run_chunked(
+                                    partials.len(),
+                                    ctx.threads,
+                                    parallel::MIN_CHUNK,
+                                    probe_range,
+                                );
+                                let parts = chunks.len() as u64;
+                                stats::bump(ctx.stats, |s| {
+                                    if parts > 1 {
+                                        s.parallel_scans += 1;
+                                        s.parallel_partitions += parts;
+                                    }
+                                });
+                                chunks.concat()
+                            } else {
+                                probe_range(0..partials.len())
+                            };
                         }
                     }
                     // Back to item order, emitted lexicographically so the
@@ -463,8 +724,41 @@ pub fn run_select_traced(
                         .map(|p| (0..items.len()).map(|i| p[pos_of[i]]).collect())
                         .collect();
                     cursors.sort_unstable();
-                    for c in &cursors {
-                        consider(c, bindings)?;
+                    if let Some(cp) = parallel_where(ctx, &full_pred, cursors.len()) {
+                        let cursors_ref = &cursors;
+                        let items_ref = &items;
+                        let verdicts =
+                            parallel::judge_chunks(cursors.len(), ctx.threads, |i| {
+                                let frames: Vec<&[Value]> = cursors_ref[i]
+                                    .iter()
+                                    .zip(items_ref.iter())
+                                    .map(|(&r, it)| it.rows[r].1.as_slice())
+                                    .collect();
+                                parallel::eval_rowlocal_predicate(cp, &frames)
+                            });
+                        merge_verdicts(
+                            ctx,
+                            &items,
+                            verdicts,
+                            |i| cursors[i].clone(),
+                            want_trace,
+                            &mut matching,
+                            &mut origins,
+                        )?;
+                    } else {
+                        for c in &cursors {
+                            consider(
+                                ctx,
+                                &items,
+                                full_pred.as_deref(),
+                                stmt.predicate.as_ref(),
+                                want_trace,
+                                c,
+                                bindings,
+                                &mut matching,
+                                &mut origins,
+                            )?;
+                        }
                     }
                 }
             }
@@ -488,7 +782,17 @@ pub fn run_select_traced(
                 }
                 if let Some(js) = table.get(key) {
                     for &j in js {
-                        consider(&[i, j], bindings)?;
+                        consider(
+                            ctx,
+                            &items,
+                            full_pred.as_deref(),
+                            stmt.predicate.as_ref(),
+                            want_trace,
+                            &[i, j],
+                            bindings,
+                            &mut matching,
+                            &mut origins,
+                        )?;
                     }
                 }
             }
@@ -498,7 +802,17 @@ pub fn run_select_traced(
             }
             let mut cursor = vec![0usize; items.len()];
             'outer: loop {
-                consider(&cursor, bindings)?;
+                consider(
+                    ctx,
+                    &items,
+                    full_pred.as_deref(),
+                    stmt.predicate.as_ref(),
+                    want_trace,
+                    &cursor,
+                    bindings,
+                    &mut matching,
+                    &mut origins,
+                )?;
                 // Advance the odometer.
                 for pos in (0..items.len()).rev() {
                     cursor[pos] += 1;
@@ -684,23 +998,52 @@ pub fn run_select_traced(
     // 5. distinct → order by → limit.
     // ------------------------------------------------------------------
     if stmt.distinct {
-        let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
-        keyed_rows.retain(|(_, row)| seen.insert(row.clone(), ()).is_none());
+        // Dedup without cloning rows: a borrowing seen-set marks the first
+        // occurrence of each row, then the mask drives `retain`.
+        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(keyed_rows.len());
+        let keep: Vec<bool> =
+            keyed_rows.iter().map(|(_, row)| seen.insert(row.as_slice())).collect();
+        drop(seen);
+        let mut mask = keep.iter();
+        keyed_rows.retain(|_| *mask.next().expect("one mask bit per row"));
     }
-    if !stmt.order_by.is_empty() {
-        keyed_rows.sort_by(|(ka, _), (kb, _)| {
-            for (i, (_, asc)) in stmt.order_by.iter().enumerate() {
-                let ord = ka[i].cmp(&kb[i]);
-                let ord = if *asc { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
+    let order_cmp = |ka: &[Value], kb: &[Value]| {
+        for (i, (_, asc)) in stmt.order_by.iter().enumerate() {
+            let ord = ka[i].cmp(&kb[i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
             }
-            std::cmp::Ordering::Equal
-        });
-    }
-    if let Some(n) = stmt.limit {
-        keyed_rows.truncate(n as usize);
+        }
+        std::cmp::Ordering::Equal
+    };
+    match stmt.limit.map(|n| n as usize) {
+        // Top-k fast path: when only a small prefix of the sorted output
+        // survives `limit`, partial-select the k smallest and sort just
+        // those instead of sorting everything. The original row index
+        // breaks order-key ties, making the order strict and total — so
+        // the unstable partial select + prefix sort reproduces the stable
+        // full sort's first k rows exactly.
+        Some(k) if !stmt.order_by.is_empty() && k > 0 && k < keyed_rows.len() / 4 => {
+            stats::bump(ctx.stats, |s| s.topk_selected += 1);
+            let mut indexed: Vec<(usize, KeyedRow)> =
+                keyed_rows.into_iter().enumerate().collect();
+            let cmp = |a: &(usize, KeyedRow), b: &(usize, KeyedRow)| {
+                order_cmp(&a.1 .0, &b.1 .0).then(a.0.cmp(&b.0))
+            };
+            indexed.select_nth_unstable_by(k - 1, cmp);
+            indexed.truncate(k);
+            indexed.sort_unstable_by(cmp);
+            keyed_rows = indexed.into_iter().map(|(_, kr)| kr).collect();
+        }
+        limit => {
+            if !stmt.order_by.is_empty() {
+                keyed_rows.sort_by(|(ka, _), (kb, _)| order_cmp(ka, kb));
+            }
+            if let Some(n) = limit {
+                keyed_rows.truncate(n);
+            }
+        }
     }
 
     Ok(Relation { columns, rows: keyed_rows.into_iter().map(|(_, r)| r).collect() })

@@ -54,6 +54,20 @@ pub struct ExecStats {
     pub range_rows_skipped: u64,
     /// `order by` clauses answered by index order instead of a sort.
     pub sort_elided: u64,
+    /// Query phases (scan+pushdown, hash build, hash probe, WHERE pass)
+    /// executed on the worker pool instead of serially.
+    pub parallel_scans: u64,
+    /// Total partitions handed to the worker pool across all parallel
+    /// phases (a phase with 4 partitions adds 4).
+    pub parallel_partitions: u64,
+    /// Phases that met the size threshold for parallel execution but ran
+    /// serially because evaluation is not row-local (correlated
+    /// subqueries needing the shared memo, interpreter fallbacks, outer
+    /// references) — proof the executor never races shared state.
+    pub serial_fallbacks: u64,
+    /// `order by ... limit k` clauses answered by top-k selection
+    /// (partial select + prefix sort) instead of a full sort.
+    pub topk_selected: u64,
 }
 
 impl ExecStats {
@@ -74,6 +88,10 @@ impl ExecStats {
             range_scans: self.range_scans + other.range_scans,
             range_rows_skipped: self.range_rows_skipped + other.range_rows_skipped,
             sort_elided: self.sort_elided + other.sort_elided,
+            parallel_scans: self.parallel_scans + other.parallel_scans,
+            parallel_partitions: self.parallel_partitions + other.parallel_partitions,
+            serial_fallbacks: self.serial_fallbacks + other.serial_fallbacks,
+            topk_selected: self.topk_selected + other.topk_selected,
         }
     }
 
@@ -94,6 +112,10 @@ impl ExecStats {
             range_scans: self.range_scans - earlier.range_scans,
             range_rows_skipped: self.range_rows_skipped - earlier.range_rows_skipped,
             sort_elided: self.sort_elided - earlier.sort_elided,
+            parallel_scans: self.parallel_scans - earlier.parallel_scans,
+            parallel_partitions: self.parallel_partitions - earlier.parallel_partitions,
+            serial_fallbacks: self.serial_fallbacks - earlier.serial_fallbacks,
+            topk_selected: self.topk_selected - earlier.topk_selected,
         }
     }
 
@@ -114,6 +136,10 @@ impl ExecStats {
             ("range_scans", Json::Int(self.range_scans as i64)),
             ("range_rows_skipped", Json::Int(self.range_rows_skipped as i64)),
             ("sort_elided", Json::Int(self.sort_elided as i64)),
+            ("parallel_scans", Json::Int(self.parallel_scans as i64)),
+            ("parallel_partitions", Json::Int(self.parallel_partitions as i64)),
+            ("serial_fallbacks", Json::Int(self.serial_fallbacks as i64)),
+            ("topk_selected", Json::Int(self.topk_selected as i64)),
         ])
     }
 }
@@ -192,6 +218,6 @@ mod tests {
         let j = ExecStats { nested_loop_joins: 3, ..Default::default() }.to_json();
         assert_eq!(j.get("nested_loop_joins").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("rows_scanned").unwrap().as_i64(), Some(0));
-        assert_eq!(j.as_object().unwrap().len(), 14);
+        assert_eq!(j.as_object().unwrap().len(), 18);
     }
 }

@@ -16,7 +16,12 @@
 //!
 //! The paper abstracts away concurrency and failures ("multiple users,
 //! concurrent processing, and failures are all transparent", §2.1); this
-//! engine is accordingly single-threaded and volatile.
+//! engine is accordingly volatile and follows a **read-parallel,
+//! write-serial** model: all mutation happens on one thread, but the core
+//! types ([`Value`], [`Tuple`], [`Table`], [`Database`]) are `Send + Sync`,
+//! so the query layer may scan a frozen database from a worker pool
+//! between mutations (see the `setrules-exec` crate and
+//! `docs/parallel-execution.md`).
 
 #![warn(missing_docs)]
 
@@ -41,3 +46,14 @@ pub use table::Table;
 pub use tuple::{ColumnId, TableId, Tuple, TupleHandle};
 pub use undo::{UndoLog, UndoMark, UndoRecord};
 pub use value::{DataType, Value};
+
+// The read-parallel model above is load-bearing for the query layer's
+// worker pool: shared scans hand `&Value` / `&Tuple` / `&Database` across
+// threads. Keep the compiler checking that these types stay `Send + Sync`.
+const _: () = {
+    const fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<Value>();
+    assert_sync::<Tuple>();
+    assert_sync::<Table>();
+    assert_sync::<Database>();
+};

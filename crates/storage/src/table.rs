@@ -74,6 +74,13 @@ impl Table {
     pub fn handles(&self) -> impl Iterator<Item = TupleHandle> + '_ {
         self.rows.keys().copied()
     }
+
+    /// Materialize the scan as an indexable vector in handle order — the
+    /// shape partitioned parallel scans hand across worker threads, each
+    /// worker reading a disjoint contiguous range.
+    pub fn snapshot(&self) -> Vec<(TupleHandle, &Tuple)> {
+        self.rows.iter().map(|(h, t)| (*h, t)).collect()
+    }
 }
 
 #[cfg(test)]

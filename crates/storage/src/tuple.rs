@@ -70,6 +70,12 @@ impl Tuple {
     pub fn values(&self) -> impl Iterator<Item = &Value> {
         self.0.iter()
     }
+
+    /// The fields as a read-only slice — the shape the query layer's
+    /// parallel row-local evaluation shares across worker threads.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.0
+    }
 }
 
 impl fmt::Display for Tuple {

@@ -14,8 +14,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (default thread budget)"
 cargo test -q
+
+echo "==> cargo test -q (SETRULES_THREADS=1: exact serial paths)"
+# Parallelism must be invisible — the whole suite has to pass with the
+# worker pool pinned off just as it does with the default budget.
+SETRULES_THREADS=1 cargo test -q
 
 echo "==> fault-injection sweep (bounded: first/middle/last site per kind)"
 # The full sweep (every (kind, n) site on the paper workloads) runs as part
@@ -40,6 +45,15 @@ BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench ordered_index
 test -f "$PWD/target/bench-snapshots/BENCH_ordered_index.json" \
   || { echo "error: BENCH_ordered_index.json not written" >&2; exit 1; }
+
+echo "==> bench smoke (parallel-execution determinism + speedup bars)"
+# In-bench asserts: byte-identical relations and row-level counters for
+# pooled vs single-threaded execution, parallel_scans > 0 on the pooled
+# engine, and (on >=4 cores) >=2x on the partitioned filter scan.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench parallel_exec
+test -f "$PWD/target/bench-snapshots/BENCH_parallel_exec.json" \
+  || { echo "error: BENCH_parallel_exec.json not written" >&2; exit 1; }
 
 echo "==> EngineEvent enum guard"
 # Variant names: capitalized identifiers at 4-space indent inside the

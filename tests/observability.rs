@@ -91,18 +91,23 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
             "fault",
         ),
         (EngineEvent::StatementRollback, "statement rollback", "statement_rollback"),
+        (
+            EngineEvent::ParallelScan { partitions: 4, rows: 100000 },
+            "parallel scan (4 partitions, 100000 rows)",
+            "parallel_scan",
+        ),
     ]
 }
 
 #[test]
 fn every_variant_displays_and_serializes() {
     let samples = event_samples();
-    // The sample list must cover the whole enum: 14 distinct kinds (the
+    // The sample list must cover the whole enum: 15 distinct kinds (the
     // rollback and plan-cache variants appear twice each).
     let mut kinds: Vec<&str> = samples.iter().map(|(e, _, _)| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 14, "event_samples() must cover every EngineEvent variant");
+    assert_eq!(kinds.len(), 15, "event_samples() must cover every EngineEvent variant");
 
     for (ev, display, tag) in samples {
         assert_eq!(ev.to_string(), display);
@@ -188,6 +193,10 @@ fn random_exec(rng: &mut Rng) -> ExecStats {
         range_scans: rng.below(10) as u64,
         range_rows_skipped: rng.below(100) as u64,
         sort_elided: rng.below(5) as u64,
+        parallel_scans: rng.below(5) as u64,
+        parallel_partitions: rng.below(20) as u64,
+        serial_fallbacks: rng.below(5) as u64,
+        topk_selected: rng.below(5) as u64,
     }
 }
 
