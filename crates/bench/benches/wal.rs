@@ -1,0 +1,203 @@
+//! **B14 — write-ahead-log group commit vs sync-per-record.**
+//!
+//! The same rule-firing workload (multi-row inserts triggering an audit
+//! rule, each statement one transaction) run against three engines: pure
+//! in-memory, durable with group commit (one sink append + one sync per
+//! transaction, rule-action records in the same commit unit), and durable
+//! with a sync on every record.
+//!
+//! Acceptance bars, asserted in-bench before criterion runs:
+//!
+//! * **semantics are policy-free**: all three engines end byte-identical
+//!   (`state_image`), and each durable log recovers to exactly that image;
+//! * **group commit really batches**: exactly one sink append and one sync
+//!   per transaction, versus one per record for the baseline — a
+//!   deterministic ≥ 20× sync-amplification gap on this workload;
+//! * recovery replay cost is reported (`recovery_millis`, records
+//!   replayed) for both policies.
+//!
+//! Counters land in `BENCH_wal.json` (`BENCH_OUT_DIR` overrides the
+//! directory).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::write_bench_snapshot;
+use setrules_core::{EngineConfig, RuleSystem, SharedMemSink, SyncPolicy, WalConfig};
+use setrules_json::Json;
+
+const TXNS: usize = 50;
+const ROWS_PER_TXN: usize = 20;
+
+fn durable_config(sink: &SharedMemSink, sync: SyncPolicy) -> EngineConfig {
+    EngineConfig {
+        durability: Some(WalConfig::memory(sink.clone()).with_sync(sync)),
+        ..Default::default()
+    }
+}
+
+fn setup(sys: &mut RuleSystem) {
+    sys.execute("create table t (k int, v float)").unwrap();
+    sys.execute("create table audit_log (k int)").unwrap();
+    // Fires on every transaction; its action rows ride in the same commit.
+    sys.execute(
+        "create rule audit when inserted into t \
+         then insert into audit_log (select k from inserted t where k < 4)",
+    )
+    .unwrap();
+}
+
+fn stmt(txn: usize) -> String {
+    let rows: Vec<String> = (0..ROWS_PER_TXN)
+        .map(|r| format!("({}, {r}.5)", txn * ROWS_PER_TXN + r))
+        .collect();
+    format!("insert into t values {}", rows.join(", "))
+}
+
+fn run_workload(sys: &mut RuleSystem, txns: usize) {
+    for i in 0..txns {
+        sys.transaction(&stmt(i)).unwrap();
+    }
+}
+
+fn wal_snapshot() {
+    // In-memory reference: the semantics and the zero-durability floor.
+    let mut mem = RuleSystem::new();
+    setup(&mut mem);
+    let start = Instant::now();
+    run_workload(&mut mem, TXNS);
+    let mem_millis = start.elapsed().as_secs_f64() * 1e3;
+    let reference = mem.database().state_image();
+
+    let mut policies = Vec::new();
+    let mut metrics = Vec::new(); // (appends, syncs) per policy
+    for (label, sync) in
+        [("group_commit", SyncPolicy::GroupCommit), ("each_record", SyncPolicy::EachRecord)]
+    {
+        let sink = SharedMemSink::new();
+        let mut sys = RuleSystem::open(durable_config(&sink, sync)).unwrap();
+        setup(&mut sys);
+        let (a0, s0) = (sink.appends(), sink.syncs());
+        let start = Instant::now();
+        run_workload(&mut sys, TXNS);
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        let (appends, syncs) = (sink.appends() - a0, sink.syncs() - s0);
+
+        assert_eq!(
+            sys.database().state_image(),
+            reference,
+            "{label}: durability must not change transaction semantics"
+        );
+        let start = Instant::now();
+        let rec = RuleSystem::open(durable_config(&sink, sync)).unwrap();
+        let recovery_millis = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            rec.database().state_image(),
+            reference,
+            "{label}: recovery must reproduce the committed image"
+        );
+
+        metrics.push((appends, syncs));
+        policies.push((
+            label,
+            Json::obj([
+                ("workload_millis", Json::Float(millis)),
+                ("recovery_millis", Json::Float(recovery_millis)),
+                ("sink_appends", Json::Int(appends as i64)),
+                ("sink_syncs", Json::Int(syncs as i64)),
+                ("log_bytes", Json::Int(sink.bytes().len() as i64)),
+                ("replayed_records", Json::Int(rec.stats().wal_replayed_records as i64)),
+            ]),
+        ));
+    }
+
+    // Deterministic amplification bars: group commit is one append + one
+    // sync per transaction; the baseline pays one of each per record
+    // (begin + rows + rule actions + commit).
+    let (group, each) = (metrics[0], metrics[1]);
+    assert_eq!(group, (TXNS as u64, TXNS as u64), "group commit: one append+sync per txn");
+    assert_eq!(each.0, each.1, "sync-per-record: every append is synced");
+    assert!(
+        each.0 >= (TXNS * (ROWS_PER_TXN + 2)) as u64,
+        "sync-per-record must log begin + each row + commit ({} appends)",
+        each.0
+    );
+    let amplification = each.1 as f64 / group.1 as f64;
+    assert!(
+        amplification >= 20.0,
+        "acceptance: sync-per-record amplification must be >=20x on \
+         {ROWS_PER_TXN}-row transactions, got {amplification:.1}x"
+    );
+
+    let mut fields = vec![
+        ("txns", Json::Int(TXNS as i64)),
+        ("rows_per_txn", Json::Int(ROWS_PER_TXN as i64)),
+        ("in_memory_millis", Json::Float(mem_millis)),
+        ("sync_amplification", Json::Float(amplification)),
+    ];
+    for (label, json) in policies {
+        fields.push((label, json));
+    }
+    write_bench_snapshot("wal", &Json::obj(fields));
+}
+
+fn bench(c: &mut Criterion) {
+    wal_snapshot();
+
+    // Transaction throughput per durability mode: each iteration builds a
+    // fresh engine (and log) and commits a 10-transaction workload.
+    let mut g = c.benchmark_group("b14_wal_commit");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    let modes: [(&str, Option<SyncPolicy>); 3] = [
+        ("in_memory", None),
+        ("group_commit", Some(SyncPolicy::GroupCommit)),
+        ("each_record", Some(SyncPolicy::EachRecord)),
+    ];
+    for (label, sync) in modes {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sync, |b, &sync| {
+            b.iter_batched(
+                || {
+                    let mut sys = match sync {
+                        None => RuleSystem::new(),
+                        Some(sync) => {
+                            RuleSystem::open(durable_config(&SharedMemSink::new(), sync)).unwrap()
+                        }
+                    };
+                    setup(&mut sys);
+                    sys
+                },
+                |mut sys| {
+                    run_workload(&mut sys, 10);
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+
+    // Recovery replay: reopen a log holding the full 50-transaction
+    // workload (group commit keeps it compact; sync-per-record is the
+    // same records in more frames).
+    let mut g = c.benchmark_group("b14_wal_recovery");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (label, sync) in
+        [("group_commit", SyncPolicy::GroupCommit), ("each_record", SyncPolicy::EachRecord)]
+    {
+        let sink = SharedMemSink::new();
+        let mut sys = RuleSystem::open(durable_config(&sink, sync)).unwrap();
+        setup(&mut sys);
+        run_workload(&mut sys, TXNS);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sink, |b, sink| {
+            b.iter(|| RuleSystem::open(durable_config(sink, sync)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,594 @@
+//! Durable operation: write-ahead logging, crash recovery, checkpoints.
+//!
+//! The engine logs *physical redo*: every DML statement — external or
+//! rule-generated — appends records carrying the exact tuple handles the
+//! original execution issued, and a transaction's `Commit` record is
+//! synced only after the §4 rule-processing loop finishes, so the rule
+//! actions it triggered are part of the same all-or-nothing commit unit.
+//! Replay applies a transaction only when its `Commit` is present in the
+//! durable prefix; everything after the last synced commit is a crash's
+//! lost suffix and recovery discards it.
+//!
+//! Crash model: an injected WAL fault (or a real sink error) marks the
+//! log state `crashed`, discards the unsynced suffix — exactly what a
+//! kill would have lost — and from then on the dying "process" writes
+//! nothing more. A graceful abort (statement error, `rollback` action)
+//! on a live process under [`SyncPolicy::EachRecord`] appends an `Abort`
+//! marker so the already-durable records are skipped on replay; under
+//! group commit the records never left the buffer and are simply
+//! dropped. See `docs/durability.md`.
+
+use setrules_json::Json;
+use setrules_query::OpEffect;
+use setrules_storage::{
+    ColumnDef, Database, DataType, FaultKind, StorageError, TableId, TableSchema, Tuple,
+    TupleHandle,
+};
+use setrules_wal::{
+    value_from_json, value_to_json, SyncPolicy, WalConfig, WalError, WalRecord, WalWriter,
+};
+
+use crate::engine::RuleSystem;
+use crate::error::RuleError;
+use crate::events::{EngineEvent, EventBus};
+use crate::snapshot::TableSnapshot;
+use crate::stats::EngineStats;
+
+/// Live write-ahead-log state of a durable [`RuleSystem`].
+pub(crate) struct WalState {
+    /// The buffered writer over the configured sink.
+    pub(crate) writer: WalWriter,
+    /// Set while recovery replays the log: every logging helper no-ops,
+    /// so replayed DDL/DML does not re-log itself.
+    pub(crate) replaying: bool,
+    /// Set when a WAL fault (injected or real) "killed the process":
+    /// the unsynced suffix is discarded and nothing more is written
+    /// until the next transaction begins.
+    pub(crate) crashed: bool,
+    /// Records appended since the current transaction's `Begin`.
+    pub(crate) txn_appends: u64,
+    /// Commits since the last checkpoint (for `checkpoint_every`).
+    pub(crate) commits_since_checkpoint: u64,
+}
+
+fn bad_ckpt(what: &str) -> RuleError {
+    RuleError::Wal(WalError::Record(format!("malformed checkpoint: bad or missing '{what}'")))
+}
+
+// ---------------------------------------------------------------------
+// Free-function logging helpers
+// ---------------------------------------------------------------------
+//
+// These take the engine's fields separately (rather than `&mut self`) so
+// the rule-action loop — which holds immutable borrows of `self.rules`,
+// `self.txn`, and `self.rule_plans` for its window provider and plan
+// cache — can still log each effect as it executes.
+
+/// Append one record: poll the `wal_append` fault site, encode into the
+/// group-commit buffer, and (under [`SyncPolicy::EachRecord`]) sync
+/// immediately. A fault is a crash: the unsynced suffix is discarded.
+pub(crate) fn wal_append(
+    db: &mut Database,
+    wal: &mut Option<WalState>,
+    stats: &mut EngineStats,
+    events: &mut EventBus,
+    rec: &WalRecord,
+) -> Result<(), RuleError> {
+    let each = {
+        let Some(w) = wal.as_mut() else { return Ok(()) };
+        if w.replaying {
+            return Ok(());
+        }
+        if let Err(e) = db.fault_injector_mut().poll(FaultKind::WalAppend) {
+            w.crashed = true;
+            let _ = w.writer.discard_unsynced();
+            return Err(e.into());
+        }
+        w.writer.append_record(rec);
+        w.txn_appends += 1;
+        stats.wal_appends += 1;
+        w.writer.config().sync == SyncPolicy::EachRecord
+    };
+    events.emit(EngineEvent::WalAppend { kind: rec.kind().to_string() });
+    if each {
+        wal_sync(db, wal, stats)?;
+    }
+    Ok(())
+}
+
+/// Cross the fsync boundary: poll the `wal_sync` fault site, flush the
+/// buffer, and sync the sink. A fault or sink error is a crash.
+pub(crate) fn wal_sync(
+    db: &mut Database,
+    wal: &mut Option<WalState>,
+    stats: &mut EngineStats,
+) -> Result<(), RuleError> {
+    let Some(w) = wal.as_mut() else { return Ok(()) };
+    if w.replaying {
+        return Ok(());
+    }
+    if let Err(e) = db.fault_injector_mut().poll(FaultKind::WalSync) {
+        w.crashed = true;
+        let _ = w.writer.discard_unsynced();
+        return Err(e.into());
+    }
+    if let Err(e) = w.writer.sync() {
+        w.crashed = true;
+        let _ = w.writer.discard_unsynced();
+        return Err(RuleError::Wal(e));
+    }
+    stats.wal_syncs += 1;
+    Ok(())
+}
+
+/// Sync if the policy is group commit (under [`SyncPolicy::EachRecord`]
+/// every append already synced, so there is nothing left to make durable).
+pub(crate) fn wal_ensure_synced(
+    db: &mut Database,
+    wal: &mut Option<WalState>,
+    stats: &mut EngineStats,
+) -> Result<(), RuleError> {
+    let group = match wal.as_ref() {
+        Some(w) if !w.replaying => w.writer.config().sync == SyncPolicy::GroupCommit,
+        _ => return Ok(()),
+    };
+    if group {
+        wal_sync(db, wal, stats)?;
+    }
+    Ok(())
+}
+
+/// Log the redo records for one executed statement's effect. Reads the
+/// *stored* (schema-coerced) tuples back out of the database so replay
+/// reproduces them bit for bit; `select` effects write nothing.
+pub(crate) fn wal_log_effect(
+    db: &mut Database,
+    wal: &mut Option<WalState>,
+    stats: &mut EngineStats,
+    events: &mut EventBus,
+    eff: &OpEffect,
+) -> Result<(), RuleError> {
+    match wal.as_ref() {
+        Some(w) if !w.replaying => {}
+        _ => return Ok(()),
+    }
+    match eff {
+        OpEffect::Insert { table, handles } => {
+            let name = db.schema(*table).name.clone();
+            for h in handles {
+                let values = db.get(*table, *h).expect("inserted tuple is live").0.clone();
+                let rec = WalRecord::Insert { table: name.clone(), handle: h.0, values };
+                wal_append(db, wal, stats, events, &rec)?;
+            }
+        }
+        OpEffect::Delete { table, tuples } => {
+            let name = db.schema(*table).name.clone();
+            for (h, _) in tuples {
+                let rec = WalRecord::Delete { table: name.clone(), handle: h.0 };
+                wal_append(db, wal, stats, events, &rec)?;
+            }
+        }
+        OpEffect::Update { table, tuples } => {
+            let name = db.schema(*table).name.clone();
+            for (h, _, _) in tuples {
+                let values = db.get(*table, *h).expect("updated tuple is live").0.clone();
+                let rec = WalRecord::Update { table: name.clone(), handle: h.0, values };
+                wal_append(db, wal, stats, events, &rec)?;
+            }
+        }
+        OpEffect::Select { .. } => {}
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Engine methods: transaction lifecycle, DDL, checkpoints, recovery
+// ---------------------------------------------------------------------
+
+impl RuleSystem {
+    /// Log the `Begin` of a new transaction (resetting the per-txn crash
+    /// bookkeeping first).
+    pub(crate) fn wal_begin(&mut self) -> Result<(), RuleError> {
+        if let Some(w) = self.wal.as_mut() {
+            if !w.replaying {
+                w.txn_appends = 0;
+                w.crashed = false;
+            }
+        }
+        wal_append(&mut self.db, &mut self.wal, &mut self.stats, &mut self.events, &WalRecord::Begin)
+    }
+
+    /// Log and sync the `Commit` record — called *before* the in-memory
+    /// commit, so the transaction is durable first. The handle high-water
+    /// mark rides along so handles burned by rolled-back statements stay
+    /// burned across recovery.
+    pub(crate) fn wal_commit(&mut self) -> Result<(), RuleError> {
+        match self.wal.as_ref() {
+            Some(w) if !w.replaying => {}
+            _ => return Ok(()),
+        }
+        let handles = self.db.handles_issued();
+        let rec = WalRecord::Commit { handles };
+        wal_append(&mut self.db, &mut self.wal, &mut self.stats, &mut self.events, &rec)?;
+        wal_ensure_synced(&mut self.db, &mut self.wal, &mut self.stats)?;
+        if let Some(w) = self.wal.as_mut() {
+            w.txn_appends = 0;
+        }
+        Ok(())
+    }
+
+    /// Log and immediately sync a DDL (or checkpoint) record. DDL takes
+    /// effect outside transactions, so each record is its own durability
+    /// unit under both sync policies. On failure the crash bookkeeping is
+    /// cleared (there is no transaction to abort) and a fault event is
+    /// emitted, mirroring the DML statement-failure path.
+    pub(crate) fn wal_ddl(&mut self, rec: WalRecord) -> Result<(), RuleError> {
+        let result =
+            wal_append(&mut self.db, &mut self.wal, &mut self.stats, &mut self.events, &rec)
+                .and_then(|()| wal_sync(&mut self.db, &mut self.wal, &mut self.stats));
+        if let Err(e) = result {
+            if let Some(w) = self.wal.as_mut() {
+                w.crashed = false;
+                w.txn_appends = 0;
+            }
+            if let RuleError::Storage(StorageError::FaultInjected { kind, op }) = &e {
+                self.stats.faults_injected += 1;
+                self.events.emit(EngineEvent::Fault { kind: kind.name().to_string(), n: *op });
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Roll the log back at a graceful (non-crash) transaction abort.
+    ///
+    /// A *crashed* log writes nothing — the dead process cannot append an
+    /// abort marker; its durable prefix simply lacks the `Commit`. A live
+    /// abort under group commit drops the still-buffered records; under
+    /// [`SyncPolicy::EachRecord`] the records already hit the sink, so an
+    /// `Abort` marker is appended (best effort) to carry the handle
+    /// high-water mark forward.
+    pub(crate) fn wal_graceful_abort(&mut self) {
+        let handles = self.db.handles_issued();
+        let Some(w) = self.wal.as_mut() else { return };
+        if w.replaying {
+            return;
+        }
+        if w.crashed {
+            w.crashed = false;
+            w.txn_appends = 0;
+            return;
+        }
+        let had = std::mem::take(&mut w.txn_appends);
+        let _ = w.writer.discard_unsynced();
+        if w.writer.config().sync == SyncPolicy::EachRecord && had > 0 {
+            w.writer.append_record(&WalRecord::Abort { handles });
+            if w.writer.sync().is_ok() {
+                self.stats.wal_appends += 1;
+                self.stats.wal_syncs += 1;
+                self.events.emit(EngineEvent::WalAppend { kind: "abort".to_string() });
+            } else {
+                let _ = w.writer.discard_unsynced();
+            }
+        }
+    }
+
+    /// After a successful commit: write a checkpoint if one is due.
+    ///
+    /// Checkpoints are written only at full quiescence (no deferred
+    /// window: its pending transitions live outside the database image
+    /// and a checkpoint could not carry them). A checkpoint failure is
+    /// absorbed — the commit it follows already succeeded, and the next
+    /// eligible commit retries.
+    pub(crate) fn maybe_checkpoint(&mut self) {
+        let due = match self.wal.as_mut() {
+            Some(w) if !w.replaying && w.writer.config().checkpoint_every > 0 => {
+                w.commits_since_checkpoint += 1;
+                w.commits_since_checkpoint >= w.writer.config().checkpoint_every
+            }
+            _ => false,
+        };
+        if !due || !self.deferred_window().is_empty() {
+            return;
+        }
+        let state = match self.checkpoint_state() {
+            Ok(s) => s,
+            // E.g. a rule with a native action snuck in: skip checkpoints,
+            // full-log replay still works.
+            Err(_) => return,
+        };
+        let bytes = state.compact().len() as u64;
+        match self.wal_ddl(WalRecord::Checkpoint { state }) {
+            Ok(()) => {
+                self.stats.checkpoints += 1;
+                self.events.emit(EngineEvent::Checkpoint { bytes });
+                if let Some(w) = self.wal.as_mut() {
+                    w.commits_since_checkpoint = 0;
+                }
+            }
+            Err(_) => {
+                if let Some(w) = self.wal.as_mut() {
+                    w.crashed = false;
+                }
+            }
+        }
+    }
+
+    /// Current write-ahead-log status, for introspection (the REPL's
+    /// `\wal`): sync policy, sink positions, and the cumulative counters.
+    /// `None` when the system is not durable.
+    pub fn wal_status(&self) -> Option<Json> {
+        let w = self.wal.as_ref()?;
+        let cfg = w.writer.config();
+        let policy = match cfg.sync {
+            SyncPolicy::GroupCommit => "group_commit",
+            SyncPolicy::EachRecord => "each_record",
+        };
+        Some(Json::obj([
+            ("sync_policy", Json::Str(policy.to_string())),
+            ("checkpoint_every", Json::Int(cfg.checkpoint_every as i64)),
+            ("synced_len", Json::Int(w.writer.synced_len() as i64)),
+            ("sink_len", Json::Int(w.writer.sink_len() as i64)),
+            ("buffered_len", Json::Int(w.writer.buffered_len() as i64)),
+            ("wal_appends", Json::Int(self.stats.wal_appends as i64)),
+            ("wal_syncs", Json::Int(self.stats.wal_syncs as i64)),
+            ("wal_replayed_records", Json::Int(self.stats.wal_replayed_records as i64)),
+            ("checkpoints", Json::Int(self.stats.checkpoints as i64)),
+        ]))
+    }
+
+    // -----------------------------------------------------------------
+    // Recovery
+    // -----------------------------------------------------------------
+
+    /// Open the log, truncate any torn tail, and replay the committed
+    /// image into this (fresh) system. Recovery itself is assumed
+    /// reliable — like the undo path — so it never polls fault sites,
+    /// and the injector's site counters are reset afterwards to keep
+    /// fault numbering independent of replayed history.
+    pub(crate) fn recover(&mut self, cfg: WalConfig) -> Result<(), RuleError> {
+        let (writer, outcome) = WalWriter::open(cfg).map_err(RuleError::Wal)?;
+        self.wal = Some(WalState {
+            writer,
+            replaying: true,
+            crashed: false,
+            txn_appends: 0,
+            commits_since_checkpoint: 0,
+        });
+        let result = self.replay(&outcome.records);
+        if let Some(w) = self.wal.as_mut() {
+            w.replaying = false;
+        }
+        result?;
+        self.stats.wal_replayed_records += outcome.records.len() as u64;
+        self.events.emit(EngineEvent::Recovery {
+            records: outcome.records.len() as u64,
+            truncated_bytes: outcome.truncated_bytes,
+        });
+        self.db.fault_injector_mut().reset_counts();
+        Ok(())
+    }
+
+    /// Replay scanned records: restore the last checkpoint (if any), then
+    /// apply DDL as it appears and DML transactionally — a transaction's
+    /// buffered records apply only when its `Commit` arrives; a dangling
+    /// transaction (crash after `Begin`, before `Commit`) is discarded.
+    fn replay(&mut self, records: &[WalRecord]) -> Result<(), RuleError> {
+        let mut start = 0;
+        if let Some(ci) = records.iter().rposition(|r| matches!(r, WalRecord::Checkpoint { .. }))
+        {
+            let WalRecord::Checkpoint { state } = &records[ci] else { unreachable!() };
+            self.restore_checkpoint(state)?;
+            start = ci + 1;
+        }
+        let mut open: Option<Vec<&WalRecord>> = None;
+        for rec in &records[start..] {
+            match rec {
+                WalRecord::Begin => open = Some(Vec::new()),
+                WalRecord::Insert { .. } | WalRecord::Delete { .. } | WalRecord::Update { .. } => {
+                    // A DML record outside a transaction cannot be written
+                    // by this engine; tolerate it (skip) rather than fail
+                    // recovery on a foreign log.
+                    if let Some(buf) = open.as_mut() {
+                        buf.push(rec);
+                    }
+                }
+                WalRecord::Commit { handles } => {
+                    for r in open.take().unwrap_or_default() {
+                        self.redo(r)?;
+                    }
+                    self.db.redo_handle_watermark(*handles, TableId(0));
+                    self.db.commit();
+                }
+                WalRecord::Abort { handles } => {
+                    open = None;
+                    self.db.redo_handle_watermark(*handles, TableId(0));
+                }
+                WalRecord::TableDdl { sql }
+                | WalRecord::IndexDdl { sql }
+                | WalRecord::RuleDdl { sql } => {
+                    // Normal execution path; `replaying` suppresses
+                    // re-logging.
+                    self.execute(sql)?;
+                }
+                // Only the last checkpoint is restored; earlier ones are
+                // superseded by the state they precede.
+                WalRecord::Checkpoint { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one DML record's physical redo.
+    fn redo(&mut self, rec: &WalRecord) -> Result<(), RuleError> {
+        match rec {
+            WalRecord::Insert { table, handle, values } => {
+                let t = self.db.table_id(table)?;
+                self.db.redo_insert(t, TupleHandle(*handle), Tuple(values.clone()))?;
+            }
+            WalRecord::Delete { table, handle } => {
+                let t = self.db.table_id(table)?;
+                self.db.redo_delete(t, TupleHandle(*handle))?;
+            }
+            WalRecord::Update { table, handle, values } => {
+                let t = self.db.table_id(table)?;
+                self.db.redo_update(t, TupleHandle(*handle), Tuple(values.clone()))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoints
+    // -----------------------------------------------------------------
+
+    /// Encode the full current state for a checkpoint record. Unlike the
+    /// portable [`crate::Snapshot`] encoding (which restarts the handle
+    /// space), a checkpoint must reproduce the image *exactly*: it keeps
+    /// per-row tuple handles, dropped `TableId` slots, and the handle
+    /// high-water mark, and encodes floats bit-exactly.
+    fn checkpoint_state(&self) -> Result<Json, RuleError> {
+        // Reuses the snapshot path for rules/priorities (which also
+        // rejects unserializable native-action rules).
+        let snap = self.snapshot()?;
+        let db = self.database();
+        let mut slots = Vec::new();
+        for tid in db.table_ids() {
+            let Some(table) = db.try_table(tid) else {
+                // A dropped table's id slot: recorded so later tables
+                // keep their ids on restore.
+                slots.push(Json::Null);
+                continue;
+            };
+            let schema = &table.schema;
+            let columns: Vec<(String, DataType)> =
+                schema.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
+            let indexes = (0..schema.arity())
+                .map(|i| setrules_storage::ColumnId(i as u16))
+                .filter_map(|c| {
+                    db.index_kind(tid, c).map(|k| (schema.column_name(c).to_string(), k))
+                })
+                .collect();
+            let ts = TableSnapshot {
+                name: schema.name.clone(),
+                columns,
+                indexes,
+                rows: Vec::new(),
+            };
+            let mut j = ts.to_json();
+            let rows_h: Vec<Json> = table
+                .scan()
+                .map(|(h, t)| {
+                    let mut arr = Vec::with_capacity(1 + t.0.len());
+                    arr.push(Json::Int(h.0 as i64));
+                    arr.extend(t.0.iter().map(value_to_json));
+                    Json::Array(arr)
+                })
+                .collect();
+            if let Json::Object(fields) = &mut j {
+                fields.push(("rows_h".to_string(), Json::Array(rows_h)));
+            }
+            slots.push(j);
+        }
+        let str_array =
+            |items: &[String]| Json::Array(items.iter().map(|s| Json::Str(s.clone())).collect());
+        Ok(Json::obj([
+            ("slots", Json::Array(slots)),
+            ("handles", Json::Int(db.handles_issued() as i64)),
+            ("rules", str_array(&snap.rules)),
+            ("deactivated", str_array(&snap.deactivated)),
+            (
+                "priorities",
+                Json::Array(
+                    snap.priorities
+                        .iter()
+                        .map(|(h, l)| Json::Array(vec![Json::Str(h.clone()), Json::Str(l.clone())]))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Rebuild this (fresh) system from a checkpoint record's state.
+    fn restore_checkpoint(&mut self, state: &Json) -> Result<(), RuleError> {
+        let slots = state.get("slots").and_then(Json::as_array).ok_or_else(|| bad_ckpt("slots"))?;
+        // Rows are collected across all tables and replayed in global
+        // handle order: handles interleave between tables, and
+        // `redo_insert` (rightly) asserts they arrive monotonically.
+        let mut pending_rows: Vec<(u64, TableId, Vec<setrules_storage::Value>)> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            if matches!(slot, Json::Null) {
+                // Burn the dropped table's id slot so later ids line up.
+                let ph = format!("__dropped_{i}");
+                self.db.create_table(TableSchema::new(
+                    ph.clone(),
+                    vec![ColumnDef::new("x", DataType::Int)],
+                ))?;
+                self.db.drop_table(&ph)?;
+                continue;
+            }
+            let ts = TableSnapshot::from_json(slot)?;
+            let cols: Vec<ColumnDef> =
+                ts.columns.iter().map(|(n, ty)| ColumnDef::new(n.clone(), *ty)).collect();
+            self.db.create_table(TableSchema::new(ts.name.clone(), cols))?;
+            let tid = self.db.table_id(&ts.name)?;
+            let rows =
+                slot.get("rows_h").and_then(Json::as_array).ok_or_else(|| bad_ckpt("rows_h"))?;
+            for row in rows {
+                let arr = row.as_array().ok_or_else(|| bad_ckpt("rows_h"))?;
+                let (h, vals) = arr.split_first().ok_or_else(|| bad_ckpt("rows_h"))?;
+                let h = h
+                    .as_i64()
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or_else(|| bad_ckpt("rows_h"))?;
+                let values = vals
+                    .iter()
+                    .map(value_from_json)
+                    .collect::<Result<Vec<_>, WalError>>()
+                    .map_err(RuleError::Wal)?;
+                pending_rows.push((h, tid, values));
+            }
+            // Indexes populate incrementally as redo inserts the rows.
+            for (c, kind) in &ts.indexes {
+                let cid = self.db.schema(tid).column_id(c)?;
+                self.db.create_index_of(tid, cid, *kind)?;
+            }
+        }
+        pending_rows.sort_by_key(|(h, _, _)| *h);
+        for (h, tid, values) in pending_rows {
+            self.db.redo_insert(tid, TupleHandle(h), Tuple(values))?;
+        }
+        let handles = state
+            .get("handles")
+            .and_then(Json::as_i64)
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| bad_ckpt("handles"))?;
+        self.db.redo_handle_watermark(handles, TableId(0));
+        self.db.commit();
+
+        for sql in state.get("rules").and_then(Json::as_array).ok_or_else(|| bad_ckpt("rules"))? {
+            let sql = sql.as_str().ok_or_else(|| bad_ckpt("rules"))?;
+            self.create_rule_str(sql)?;
+        }
+        let deactivated =
+            state.get("deactivated").and_then(Json::as_array).ok_or_else(|| bad_ckpt("deactivated"))?;
+        for name in deactivated {
+            let name = name.as_str().ok_or_else(|| bad_ckpt("deactivated"))?;
+            self.set_rule_active(name, false)?;
+        }
+        let priorities =
+            state.get("priorities").and_then(Json::as_array).ok_or_else(|| bad_ckpt("priorities"))?;
+        for pair in priorities {
+            let [h, l] = pair.as_array().ok_or_else(|| bad_ckpt("priorities"))? else {
+                return Err(bad_ckpt("priorities"));
+            };
+            let (h, l) = match (h.as_str(), l.as_str()) {
+                (Some(h), Some(l)) => (h, l),
+                _ => return Err(bad_ckpt("priorities")),
+            };
+            self.add_priority(h, l)?;
+        }
+        Ok(())
+    }
+}

@@ -22,7 +22,9 @@ use setrules_sql::{parse_op_block, parse_statement, parse_statements};
 use setrules_storage::{
     Database, FaultInjector, FaultPlan, StorageError, StorageStats, TableSchema, UndoMark,
 };
+use setrules_wal::{WalConfig, WalRecord};
 
+use crate::durability::{wal_log_effect, WalState};
 use crate::error::RuleError;
 use crate::events::{EngineEvent, EventBus, EventSink};
 use crate::external::{ActionCtx, ExternalAction};
@@ -83,6 +85,12 @@ pub struct EngineConfig {
     /// serial execution. Results are bit-identical either way (see
     /// `docs/parallel-execution.md`).
     pub parallelism: Option<usize>,
+    /// Durability: `Some(cfg)` logs every transaction (its DML and every
+    /// triggered rule-action write) plus all DDL to a write-ahead log,
+    /// replaying it on open so a crashed system recovers exactly the
+    /// committed image (see `docs/durability.md`). `None` (the default)
+    /// keeps the system purely in-memory.
+    pub durability: Option<WalConfig>,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +104,7 @@ impl Default for EngineConfig {
             exec_mode: ExecMode::default(),
             fault: None,
             parallelism: None,
+            durability: None,
         }
     }
 }
@@ -227,7 +236,7 @@ struct TxnState {
 /// assert_eq!(sys.query("select count(*) from emp").unwrap().scalar().unwrap().as_i64(), Some(0));
 /// ```
 pub struct RuleSystem {
-    db: Database,
+    pub(crate) db: Database,
     rules: Vec<Rule>,
     by_name: HashMap<String, RuleId>,
     priorities: PriorityGraph,
@@ -245,11 +254,13 @@ pub struct RuleSystem {
     /// whole map is dropped on any DDL.
     rule_plans: HashMap<RuleId, PlanCache>,
     /// Cumulative engine-phase counters and per-rule timing.
-    stats: EngineStats,
+    pub(crate) stats: EngineStats,
     /// Cumulative query-execution work (threaded into every executor call).
     qstats: StatsCell,
     /// Event fan-out: the always-on ring plus attached sinks.
-    events: EventBus,
+    pub(crate) events: EventBus,
+    /// Write-ahead-log state; `None` unless configured durable.
+    pub(crate) wal: Option<WalState>,
 }
 
 impl Default for RuleSystem {
@@ -265,14 +276,24 @@ impl RuleSystem {
     }
 
     /// A fresh system with explicit configuration.
+    ///
+    /// Panics if a configured write-ahead log cannot be opened or
+    /// replayed; use [`RuleSystem::open`] for the fallible form.
     pub fn with_config(config: EngineConfig) -> Self {
+        Self::open(config).expect("failed to open durable rule system (use RuleSystem::open)")
+    }
+
+    /// A fresh system with explicit configuration, recovering from the
+    /// configured write-ahead log (if any): the log is scanned, a torn
+    /// tail discarded, and the committed image — checkpoint plus every
+    /// committed transaction and all DDL — replayed before the system is
+    /// returned.
+    pub fn open(config: EngineConfig) -> Result<Self, RuleError> {
         let events = EventBus::new(config.event_capacity);
-        let mut db = Database::new();
-        if let Some(plan) = config.fault {
-            db.fault_injector_mut().arm(plan.kind, plan.nth);
-        }
-        RuleSystem {
-            db,
+        let fault_plan = config.fault;
+        let durability = config.durability.clone();
+        let mut sys = RuleSystem {
+            db: Database::new(),
             rules: Vec::new(),
             by_name: HashMap::new(),
             priorities: PriorityGraph::new(),
@@ -285,7 +306,18 @@ impl RuleSystem {
             stats: EngineStats::default(),
             qstats: StatsCell::new(),
             events,
+            wal: None,
+        };
+        if let Some(wal_cfg) = durability {
+            sys.recover(wal_cfg)?;
         }
+        // Arm the fault plan only after recovery: recovery itself is
+        // assumed reliable (like the undo path), and this keeps fault
+        // site numbering independent of replayed history.
+        if let Some(plan) = fault_plan {
+            sys.db.fault_injector_mut().arm(plan.kind, plan.nth);
+        }
+        Ok(sys)
     }
 
     /// Read-only access to the database.
@@ -416,9 +448,28 @@ impl RuleSystem {
     }
 
     fn execute_stmt(&mut self, stmt: Statement) -> Result<ExecOutcome, RuleError> {
+        // Canonical SQL for the table/index DDL arms (rule DDL is logged
+        // inside the rule-administration methods, which are public API
+        // and reachable without a statement).
+        let ddl_sql = match &stmt {
+            Statement::CreateTable(_)
+            | Statement::DropTable(_)
+            | Statement::CreateIndex { .. }
+            | Statement::DropIndex { .. } => Some(stmt.to_string()),
+            _ => None,
+        };
         match stmt {
             Statement::CreateTable(ct) => {
                 self.require_no_txn()?;
+                // Pre-check the only failure mode so the log record can
+                // precede an infallible apply: a logged statement that
+                // then failed (or an applied one that wasn't logged)
+                // would make replay diverge — and reverting a created
+                // table would burn its `TableId` slot.
+                if self.db.table_id(&ct.name).is_ok() {
+                    return Err(StorageError::TableExists(ct.name).into());
+                }
+                self.wal_ddl(WalRecord::TableDdl { sql: ddl_sql.expect("captured above") })?;
                 let cols = ct
                     .columns
                     .into_iter()
@@ -437,6 +488,8 @@ impl RuleSystem {
                         rule: r.name.clone(),
                     });
                 }
+                // All failure modes checked: log, then apply.
+                self.wal_ddl(WalRecord::TableDdl { sql: ddl_sql.expect("captured above") })?;
                 self.db.drop_table(&name)?;
                 self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("table '{name}' dropped")))
@@ -445,7 +498,14 @@ impl RuleSystem {
                 self.require_no_txn()?;
                 let tid = self.db.table_id(&table)?;
                 let c = self.db.schema(tid).column_id(&column)?;
+                // The index build itself can fault (`IndexMaintenance`),
+                // so apply first and revert cleanly if the log record
+                // cannot be written.
                 self.db.create_index_of(tid, c, kind)?;
+                if let Err(e) = self.wal_ddl(WalRecord::IndexDdl { sql: ddl_sql.expect("captured above") }) {
+                    self.db.drop_index(tid, c);
+                    return Err(e);
+                }
                 self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("{kind} index on '{table}.{column}' created")))
             }
@@ -453,6 +513,7 @@ impl RuleSystem {
                 self.require_no_txn()?;
                 let tid = self.db.table_id(&table)?;
                 let c = self.db.schema(tid).column_id(&column)?;
+                self.wal_ddl(WalRecord::IndexDdl { sql: ddl_sql.expect("captured above") })?;
                 self.db.drop_index(tid, c);
                 self.invalidate_plans();
                 Ok(ExecOutcome::Ddl(format!("index on '{table}.{column}' dropped")))
@@ -564,6 +625,10 @@ impl RuleSystem {
         }
         let id = RuleId(self.rules.len());
         let rule = Rule::compile(&self.db, id, def)?;
+        // Compiled (all failure modes checked): log, then install.
+        self.wal_ddl(WalRecord::RuleDdl {
+            sql: Statement::CreateRule(def.clone()).to_string(),
+        })?;
         self.by_name.insert(def.name.clone(), id);
         self.rules.push(rule);
         self.last_considered.push(None);
@@ -590,6 +655,13 @@ impl RuleSystem {
         action: std::sync::Arc<dyn ExternalAction>,
     ) -> Result<RuleId, RuleError> {
         self.require_no_txn()?;
+        if self.wal.is_some() {
+            return Err(RuleError::Unsupported(
+                "external-action rules are native code and cannot be logged to the \
+                 write-ahead log; use a non-durable system"
+                    .into(),
+            ));
+        }
         if self.by_name.contains_key(name) {
             return Err(RuleError::DuplicateRule(name.to_string()));
         }
@@ -617,6 +689,9 @@ impl RuleSystem {
     pub fn drop_rule(&mut self, name: &str) -> Result<(), RuleError> {
         self.require_no_txn()?;
         let id = *self.by_name.get(name).ok_or_else(|| RuleError::NoSuchRule(name.into()))?;
+        self.wal_ddl(WalRecord::RuleDdl {
+            sql: Statement::DropRule(name.to_string()).to_string(),
+        })?;
         self.by_name.remove(name);
         // Keep the slot (ids are indexes) but make it inert and invisible.
         let rule = &mut self.rules[id.0];
@@ -634,6 +709,12 @@ impl RuleSystem {
     pub fn set_rule_active(&mut self, name: &str, active: bool) -> Result<(), RuleError> {
         self.require_no_txn()?;
         let id = *self.by_name.get(name).ok_or_else(|| RuleError::NoSuchRule(name.into()))?;
+        let stmt = if active {
+            Statement::ActivateRule(name.to_string())
+        } else {
+            Statement::DeactivateRule(name.to_string())
+        };
+        self.wal_ddl(WalRecord::RuleDdl { sql: stmt.to_string() })?;
         self.rules[id.0].active = active;
         Ok(())
     }
@@ -643,9 +724,17 @@ impl RuleSystem {
         self.require_no_txn()?;
         let h = *self.by_name.get(higher).ok_or_else(|| RuleError::NoSuchRule(higher.into()))?;
         let l = *self.by_name.get(lower).ok_or_else(|| RuleError::NoSuchRule(lower.into()))?;
-        if !self.priorities.add(h, l) {
+        // Cycle-test on a scratch copy so the log record precedes an
+        // infallible apply.
+        let mut probe = self.priorities.clone();
+        if !probe.add(h, l) {
             return Err(RuleError::PriorityCycle { higher: higher.into(), lower: lower.into() });
         }
+        self.wal_ddl(WalRecord::RuleDdl {
+            sql: Statement::CreatePriority { higher: higher.to_string(), lower: lower.to_string() }
+                .to_string(),
+        })?;
+        self.priorities = probe;
         Ok(())
     }
 
@@ -683,6 +772,11 @@ impl RuleSystem {
             last_output: None,
             base: self.full_stats(),
         });
+        if let Err(e) = self.wal_begin() {
+            self.note_statement_failure(&e);
+            self.abort_internal();
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -741,6 +835,13 @@ impl RuleSystem {
                     _ => None,
                 };
                 txn.pending.absorb(&eff, self.config.track_selects);
+                if let Err(e) =
+                    wal_log_effect(&mut self.db, &mut self.wal, &mut self.stats, &mut self.events, &eff)
+                {
+                    self.note_statement_failure(&e);
+                    self.abort_internal();
+                    return Err(e);
+                }
                 Ok((affected, output))
             }
             Err(e) => {
@@ -764,6 +865,7 @@ impl RuleSystem {
     fn abort_internal(&mut self) {
         if let Some(txn) = self.txn.take() {
             self.db.rollback_to(txn.mark).expect("txn mark is valid");
+            self.wal_graceful_abort();
             self.stats.txns_rolled_back += 1;
             self.events.emit(EngineEvent::Rollback { by_rule: None });
         }
@@ -802,6 +904,7 @@ impl RuleSystem {
             Some(name) => {
                 let txn = self.txn.take().expect("still open on rollback path");
                 self.db.rollback_to(txn.mark).expect("txn mark is valid");
+                self.wal_graceful_abort();
                 self.stats.txns_rolled_back += 1;
                 self.events.emit(EngineEvent::Rollback { by_rule: Some(name.clone()) });
                 Ok(ProcessReport {
@@ -833,12 +936,24 @@ impl RuleSystem {
         match rolled_back_by {
             Some(by_rule) => {
                 self.db.rollback_to(txn.mark).expect("txn mark is valid");
+                self.wal_graceful_abort();
                 self.stats.txns_rolled_back += 1;
                 self.events.emit(EngineEvent::Rollback { by_rule: Some(by_rule.clone()) });
                 let stats = self.full_stats().since(&txn.base);
                 Ok(TxnOutcome::RolledBack { by_rule, fired: txn.trace, stats })
             }
             None => {
+                // Durability first: the transaction's records — including
+                // every rule-action write above — reach the sink and the
+                // fsync boundary before the in-memory commit.
+                if let Err(e) = self.wal_commit() {
+                    self.note_statement_failure(&e);
+                    self.db.rollback_to(txn.mark).expect("txn mark is valid");
+                    self.wal_graceful_abort();
+                    self.stats.txns_rolled_back += 1;
+                    self.events.emit(EngineEvent::Rollback { by_rule: None });
+                    return Err(e);
+                }
                 self.db.commit();
                 self.stats.txns_committed += 1;
                 self.events.emit(EngineEvent::TxnCommit {
@@ -846,6 +961,7 @@ impl RuleSystem {
                     transitions: txn.transitions_used,
                 });
                 let stats = self.full_stats().since(&txn.base);
+                self.maybe_checkpoint();
                 Ok(TxnOutcome::Committed {
                     fired: txn.trace,
                     transitions: txn.transitions_used,
@@ -870,6 +986,10 @@ impl RuleSystem {
         let ops = parse_op_block(sql)?;
         let mark = self.db.mark();
         self.events.emit(EngineEvent::TxnBegin);
+        if let Err(e) = self.wal_begin() {
+            self.fail_flat_txn(mark, &e);
+            return Err(e);
+        }
         let mut window = TransInfo::new();
         let threads = self.threads();
         for op in &ops {
@@ -887,22 +1007,47 @@ impl RuleSystem {
             );
             self.note_parallelism(&before);
             match result {
-                Ok(eff) => window.absorb(&eff, self.config.track_selects),
+                Ok(eff) => {
+                    window.absorb(&eff, self.config.track_selects);
+                    if let Err(e) = wal_log_effect(
+                        &mut self.db,
+                        &mut self.wal,
+                        &mut self.stats,
+                        &mut self.events,
+                        &eff,
+                    ) {
+                        self.fail_flat_txn(mark, &e);
+                        return Err(e);
+                    }
+                }
                 Err(e) => {
                     let e: RuleError = e.into();
-                    self.note_statement_failure(&e);
-                    self.db.rollback_to(mark).expect("mark valid");
-                    self.stats.txns_rolled_back += 1;
-                    self.events.emit(EngineEvent::Rollback { by_rule: None });
+                    self.fail_flat_txn(mark, &e);
                     return Err(e);
                 }
             }
+        }
+        if let Err(e) = self.wal_commit() {
+            self.fail_flat_txn(mark, &e);
+            return Err(e);
         }
         self.db.commit();
         self.stats.txns_committed += 1;
         self.events.emit(EngineEvent::TxnCommit { fired: 0, transitions: 0 });
         self.deferred.compose(&window);
+        self.maybe_checkpoint();
         Ok(())
+    }
+
+    /// Shared failure path for [`RuleSystem::transaction_without_rules`]
+    /// (which has no `TxnState` to abort through): record the failed
+    /// statement, undo to the transaction's mark, and roll the log back.
+    fn fail_flat_txn(&mut self, mark: UndoMark, e: &RuleError) {
+        self.note_statement_failure(e);
+        self.db.rollback_to(mark).expect("mark valid");
+        self.wal_graceful_abort();
+        self.stats.txns_rolled_back += 1;
+        self.events.emit(EngineEvent::Rollback { by_rule: None });
     }
 
     /// Process rules against everything accumulated by
@@ -911,17 +1056,25 @@ impl RuleSystem {
     /// only* (the deferred external transactions already committed).
     pub fn process_deferred(&mut self) -> Result<TxnOutcome, RuleError> {
         self.require_no_txn()?;
-        let pending = std::mem::take(&mut self.deferred);
         self.events.emit(EngineEvent::TxnBegin);
         self.txn = Some(TxnState {
             mark: self.db.mark(),
             rule_infos: vec![TransInfo::new(); self.rules.len()],
-            pending,
+            pending: TransInfo::new(),
             trace: Vec::new(),
             transitions_used: 0,
             last_output: None,
             base: self.full_stats(),
         });
+        if let Err(e) = self.wal_begin() {
+            self.note_statement_failure(&e);
+            self.abort_internal();
+            return Err(e);
+        }
+        // Move the deferred window in only after the `Begin` is logged: a
+        // failed begin must not silently drop the pending transitions.
+        let pending = std::mem::take(&mut self.deferred);
+        self.txn.as_mut().expect("just opened").pending = pending;
         self.commit()
     }
 
@@ -1205,6 +1358,16 @@ impl RuleSystem {
                             last_output = Some(output.clone());
                         }
                         tinfo.absorb(&eff, self.config.track_selects);
+                        // Rule-action writes join the transaction's commit
+                        // unit (free function: `provider`/`plans` still
+                        // borrow `self.txn`/`self.rule_plans`).
+                        wal_log_effect(
+                            &mut self.db,
+                            &mut self.wal,
+                            &mut self.stats,
+                            &mut self.events,
+                            &eff,
+                        )?;
                     }
                 }
             CompiledAction::External(f) => {

@@ -5,6 +5,7 @@ use std::fmt;
 use setrules_query::QueryError;
 use setrules_sql::SqlError;
 use setrules_storage::StorageError;
+use setrules_wal::WalError;
 
 /// Errors raised by the rule system.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +17,10 @@ pub enum RuleError {
     /// Query/DML evaluation error. When raised inside a transaction, the
     /// transaction has been rolled back.
     Query(QueryError),
+    /// Write-ahead-log error (durable configurations only). When raised
+    /// inside a transaction, the transaction has been rolled back and the
+    /// log's unsynced suffix discarded.
+    Wal(WalError),
     /// A rule with this name already exists.
     DuplicateRule(String),
     /// No rule with this name exists.
@@ -67,6 +72,7 @@ impl fmt::Display for RuleError {
             RuleError::Sql(e) => write!(f, "{e}"),
             RuleError::Storage(e) => write!(f, "{e}"),
             RuleError::Query(e) => write!(f, "{e}"),
+            RuleError::Wal(e) => write!(f, "{e}"),
             RuleError::DuplicateRule(r) => write!(f, "rule '{r}' already exists"),
             RuleError::NoSuchRule(r) => write!(f, "no such rule '{r}'"),
             RuleError::IllegalTransitionTable { rule, reference } => write!(
@@ -110,5 +116,11 @@ impl From<StorageError> for RuleError {
 impl From<QueryError> for RuleError {
     fn from(e: QueryError) -> Self {
         RuleError::Query(e)
+    }
+}
+
+impl From<WalError> for RuleError {
+    fn from(e: WalError) -> Self {
+        RuleError::Wal(e)
     }
 }

@@ -127,6 +127,26 @@ pub enum EngineEvent {
         /// Rows scanned by the statement (parallel and serial phases).
         rows: u64,
     },
+    /// One record was appended to the write-ahead log (durable
+    /// configurations only).
+    WalAppend {
+        /// The record's stable snake_case kind tag (`"begin"`,
+        /// `"insert"`, `"commit"`, ...).
+        kind: String,
+    },
+    /// A full-state checkpoint record was written to the write-ahead log.
+    Checkpoint {
+        /// Size of the encoded checkpoint state, in bytes.
+        bytes: u64,
+    },
+    /// A durable system was opened: the log was scanned and its committed
+    /// records replayed onto the fresh image.
+    Recovery {
+        /// Valid records found in the log (checkpoint + tail).
+        records: u64,
+        /// Bytes of torn or corrupt tail discarded by the scan.
+        truncated_bytes: u64,
+    },
 }
 
 impl EngineEvent {
@@ -148,6 +168,9 @@ impl EngineEvent {
             EngineEvent::Fault { .. } => "fault",
             EngineEvent::StatementRollback => "statement_rollback",
             EngineEvent::ParallelScan { .. } => "parallel_scan",
+            EngineEvent::WalAppend { .. } => "wal_append",
+            EngineEvent::Checkpoint { .. } => "checkpoint",
+            EngineEvent::Recovery { .. } => "recovery",
         }
     }
 
@@ -221,6 +244,16 @@ impl EngineEvent {
                 put("partitions", Json::Int(*partitions as i64));
                 put("rows", Json::Int(*rows as i64));
             }
+            EngineEvent::WalAppend { kind } => {
+                put("kind", Json::Str(kind.clone()));
+            }
+            EngineEvent::Checkpoint { bytes } => {
+                put("bytes", Json::Int(*bytes as i64));
+            }
+            EngineEvent::Recovery { records, truncated_bytes } => {
+                put("records", Json::Int(*records as i64));
+                put("truncated_bytes", Json::Int(*truncated_bytes as i64));
+            }
         }
         Json::Object(fields)
     }
@@ -268,6 +301,11 @@ impl fmt::Display for EngineEvent {
             EngineEvent::StatementRollback => write!(f, "statement rollback"),
             EngineEvent::ParallelScan { partitions, rows } => {
                 write!(f, "parallel scan ({partitions} partitions, {rows} rows)")
+            }
+            EngineEvent::WalAppend { kind } => write!(f, "wal append ({kind})"),
+            EngineEvent::Checkpoint { bytes } => write!(f, "checkpoint written ({bytes} bytes)"),
+            EngineEvent::Recovery { records, truncated_bytes } => {
+                write!(f, "recovery replayed {records} records ({truncated_bytes} torn bytes)")
             }
         }
     }
@@ -420,6 +458,9 @@ mod tests {
             EngineEvent::Fault { kind: "tuple_insert".into(), n: 3 },
             EngineEvent::StatementRollback,
             EngineEvent::ParallelScan { partitions: 4, rows: 100_000 },
+            EngineEvent::WalAppend { kind: "commit".into() },
+            EngineEvent::Checkpoint { bytes: 512 },
+            EngineEvent::Recovery { records: 9, truncated_bytes: 3 },
         ]
     }
 
@@ -429,7 +470,7 @@ mod tests {
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.dedup();
         // Rollback appears twice in samples (named / unnamed).
-        assert_eq!(kinds.len(), 15);
+        assert_eq!(kinds.len(), 18);
         for e in &evs {
             assert_eq!(e.to_json().get("event").unwrap().as_str(), Some(e.kind()));
             assert!(!format!("{e}").is_empty());

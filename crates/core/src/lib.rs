@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod effect;
+mod durability;
 mod engine;
 mod error;
 pub mod events;
@@ -64,6 +65,12 @@ pub use events::{EngineEvent, EventSink, JsonLinesSink, RingBufferSink};
 pub use setrules_query::ExecMode;
 // Likewise for [`EngineConfig::fault`] and the injector it arms.
 pub use setrules_storage::{FaultInjector, FaultKind, FaultPlan};
+// And for [`EngineConfig::durability`]: the log configuration plus the
+// pieces a crash-recovery harness needs (the shared test sink, its op
+// trace, and the record/error types).
+pub use setrules_wal::{
+    SharedMemSink, SinkOp, SinkSpec, SyncPolicy, WalConfig, WalError, WalRecord,
+};
 pub use external::{ActionCtx, ExternalAction};
 pub use priority::PriorityGraph;
 pub use rule::{CompiledAction, CompiledPred, Rule, RuleId};

@@ -222,6 +222,16 @@ impl RuleSystem {
         if self.in_transaction() {
             return Err(RuleError::TransactionOpen);
         }
+        if !self.deferred_window().is_empty() {
+            // A snapshot has no encoding for an in-flight deferred window;
+            // taking one here would silently drop the pending transitions
+            // on restore.
+            return Err(RuleError::Unsupported(
+                "snapshot with pending deferred transitions would silently drop them; \
+                 call process_deferred() or clear_deferred() first"
+                    .into(),
+            ));
+        }
         let db = self.database();
         let mut tables = Vec::new();
         for tid in db.table_ids() {

@@ -112,6 +112,15 @@ pub struct EngineStats {
     /// because their predicate was not row-local (correlated subqueries,
     /// interpreter fallback).
     pub serial_fallbacks: u64,
+    /// Write-ahead-log records appended (durable configurations only).
+    pub wal_appends: u64,
+    /// Write-ahead-log syncs — fsync-boundary crossings (durable
+    /// configurations only).
+    pub wal_syncs: u64,
+    /// Records replayed from the log when this system was opened.
+    pub wal_replayed_records: u64,
+    /// Checkpoint records written to the log.
+    pub checkpoints: u64,
     /// Per-rule breakdown, keyed by rule name (deterministic order).
     pub per_rule: BTreeMap<String, RuleTiming>,
 }
@@ -145,6 +154,10 @@ impl EngineStats {
             parallel_scans: self.parallel_scans + other.parallel_scans,
             parallel_partitions: self.parallel_partitions + other.parallel_partitions,
             serial_fallbacks: self.serial_fallbacks + other.serial_fallbacks,
+            wal_appends: self.wal_appends + other.wal_appends,
+            wal_syncs: self.wal_syncs + other.wal_syncs,
+            wal_replayed_records: self.wal_replayed_records + other.wal_replayed_records,
+            checkpoints: self.checkpoints + other.checkpoints,
             per_rule,
         }
     }
@@ -176,6 +189,10 @@ impl EngineStats {
             parallel_scans: self.parallel_scans - earlier.parallel_scans,
             parallel_partitions: self.parallel_partitions - earlier.parallel_partitions,
             serial_fallbacks: self.serial_fallbacks - earlier.serial_fallbacks,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            wal_replayed_records: self.wal_replayed_records - earlier.wal_replayed_records,
+            checkpoints: self.checkpoints - earlier.checkpoints,
             per_rule,
         }
     }
@@ -200,6 +217,10 @@ impl EngineStats {
             ("parallel_scans", Json::Int(self.parallel_scans as i64)),
             ("parallel_partitions", Json::Int(self.parallel_partitions as i64)),
             ("serial_fallbacks", Json::Int(self.serial_fallbacks as i64)),
+            ("wal_appends", Json::Int(self.wal_appends as i64)),
+            ("wal_syncs", Json::Int(self.wal_syncs as i64)),
+            ("wal_replayed_records", Json::Int(self.wal_replayed_records as i64)),
+            ("checkpoints", Json::Int(self.checkpoints as i64)),
             ("per_rule", Json::Object(per_rule)),
         ])
     }

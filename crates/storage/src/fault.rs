@@ -43,17 +43,25 @@ pub enum FaultKind {
     IndexMaintenance,
     /// Allocating a fresh tuple handle (inserts only).
     HandleAlloc,
+    /// Appending a record to the write-ahead log (polled by the engine's
+    /// durability layer before the record is buffered).
+    WalAppend,
+    /// Syncing the write-ahead log to its sink (the fsync boundary; polled
+    /// before the sink is asked to flush).
+    WalSync,
 }
 
 impl FaultKind {
     /// Every kind, in a fixed order (for sweeps).
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::TupleInsert,
         FaultKind::TupleDelete,
         FaultKind::TupleUpdate,
         FaultKind::UndoAppend,
         FaultKind::IndexMaintenance,
         FaultKind::HandleAlloc,
+        FaultKind::WalAppend,
+        FaultKind::WalSync,
     ];
 
     /// Stable snake_case name (used in events and error messages).
@@ -65,6 +73,8 @@ impl FaultKind {
             FaultKind::UndoAppend => "undo_append",
             FaultKind::IndexMaintenance => "index_maintenance",
             FaultKind::HandleAlloc => "handle_alloc",
+            FaultKind::WalAppend => "wal_append",
+            FaultKind::WalSync => "wal_sync",
         }
     }
 
@@ -76,6 +86,8 @@ impl FaultKind {
             FaultKind::UndoAppend => 3,
             FaultKind::IndexMaintenance => 4,
             FaultKind::HandleAlloc => 5,
+            FaultKind::WalAppend => 6,
+            FaultKind::WalSync => 7,
         }
     }
 }
@@ -106,7 +118,7 @@ pub struct FaultPlan {
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
     plan: Option<FaultPlan>,
-    counts: [u64; 6],
+    counts: [u64; 8],
     injected: u64,
 }
 
@@ -130,7 +142,7 @@ impl FaultInjector {
     /// Zero every per-kind counter (typically after workload setup, so
     /// site numbers refer to the workload proper).
     pub fn reset_counts(&mut self) {
-        self.counts = [0; 6];
+        self.counts = [0; 8];
     }
 
     /// Operations of `kind` observed since the last counter reset.
@@ -141,6 +153,14 @@ impl FaultInjector {
     /// Total faults this injector has fired since creation.
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Poll one site from outside the storage crate: count the operation
+    /// and fail it if the armed plan targets this occurrence. The engine's
+    /// durability layer calls this for [`FaultKind::WalAppend`] and
+    /// [`FaultKind::WalSync`] sites before touching the log.
+    pub fn poll(&mut self, kind: FaultKind) -> Result<(), StorageError> {
+        self.check(kind)
     }
 
     /// Poll one site: count the operation and fail it if the armed plan

@@ -1,0 +1,293 @@
+//! Typed log records and their JSON codec.
+//!
+//! Records are *physical redo*: DML records carry the exact tuple handle
+//! the original execution issued (handles are global, monotone, and never
+//! reused — §2 — and the engine's `state_image` prints them, so replay
+//! must reproduce them bit for bit). `Commit`/`Abort` carry the handle
+//! high-water mark so numbers burned by rolled-back inserts stay burned
+//! across recovery. DDL records carry the statement's canonical SQL (the
+//! `Display` form of the parsed AST, which reparses to the same AST).
+
+use setrules_json::Json;
+use setrules_storage::Value;
+
+use crate::WalError;
+
+/// One write-ahead-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A transaction opened.
+    Begin,
+    /// A tuple was inserted with handle `handle` and the given values.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// The exact handle the insert issued.
+        handle: u64,
+        /// The full tuple, in column order.
+        values: Vec<Value>,
+    },
+    /// The tuple with `handle` was deleted.
+    Delete {
+        /// Target table name.
+        table: String,
+        /// The deleted tuple's handle.
+        handle: u64,
+    },
+    /// The tuple with `handle` was updated; `values` is the complete
+    /// *post-update* tuple (physical redo, not per-column deltas).
+    Update {
+        /// Target table name.
+        table: String,
+        /// The updated tuple's handle.
+        handle: u64,
+        /// The full new tuple, in column order.
+        values: Vec<Value>,
+    },
+    /// `create table` / `drop table`, as canonical SQL.
+    TableDdl {
+        /// The statement's canonical SQL.
+        sql: String,
+    },
+    /// `create index` / `drop index`, as canonical SQL.
+    IndexDdl {
+        /// The statement's canonical SQL.
+        sql: String,
+    },
+    /// Rule DDL (`create`/`drop`/`activate`/`deactivate rule`,
+    /// `create rule priority`), as canonical SQL.
+    RuleDdl {
+        /// The statement's canonical SQL.
+        sql: String,
+    },
+    /// The transaction committed — including every triggered rule action
+    /// that precedes this record since the matching [`WalRecord::Begin`].
+    Commit {
+        /// Handle high-water mark at commit (handles ever issued).
+        handles: u64,
+    },
+    /// The transaction aborted gracefully; its preceding records must be
+    /// discarded on replay, but the handles it burned stay burned.
+    Abort {
+        /// Handle high-water mark at abort.
+        handles: u64,
+    },
+    /// A full-state checkpoint; replay restores it and then applies only
+    /// the records that follow.
+    Checkpoint {
+        /// The engine-encoded state (schema, rows with handles, rules).
+        state: Json,
+    },
+}
+
+impl WalRecord {
+    /// Stable snake_case tag for this record kind (used as the JSON `"t"`
+    /// field and in `EngineEvent::WalAppend`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalRecord::Begin => "begin",
+            WalRecord::Insert { .. } => "insert",
+            WalRecord::Delete { .. } => "delete",
+            WalRecord::Update { .. } => "update",
+            WalRecord::TableDdl { .. } => "table_ddl",
+            WalRecord::IndexDdl { .. } => "index_ddl",
+            WalRecord::RuleDdl { .. } => "rule_ddl",
+            WalRecord::Commit { .. } => "commit",
+            WalRecord::Abort { .. } => "abort",
+            WalRecord::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// Encode to the framed JSON payload.
+    pub fn to_json(&self) -> Json {
+        let tag = |t: &str| ("t".to_string(), Json::Str(t.to_string()));
+        match self {
+            WalRecord::Begin => Json::Object(vec![tag("begin")]),
+            WalRecord::Insert { table, handle, values } => Json::Object(vec![
+                tag("insert"),
+                ("table".into(), Json::Str(table.clone())),
+                ("h".into(), Json::Int(*handle as i64)),
+                ("v".into(), Json::Array(values.iter().map(value_to_json).collect())),
+            ]),
+            WalRecord::Delete { table, handle } => Json::Object(vec![
+                tag("delete"),
+                ("table".into(), Json::Str(table.clone())),
+                ("h".into(), Json::Int(*handle as i64)),
+            ]),
+            WalRecord::Update { table, handle, values } => Json::Object(vec![
+                tag("update"),
+                ("table".into(), Json::Str(table.clone())),
+                ("h".into(), Json::Int(*handle as i64)),
+                ("v".into(), Json::Array(values.iter().map(value_to_json).collect())),
+            ]),
+            WalRecord::TableDdl { sql } => {
+                Json::Object(vec![tag("table_ddl"), ("sql".into(), Json::Str(sql.clone()))])
+            }
+            WalRecord::IndexDdl { sql } => {
+                Json::Object(vec![tag("index_ddl"), ("sql".into(), Json::Str(sql.clone()))])
+            }
+            WalRecord::RuleDdl { sql } => {
+                Json::Object(vec![tag("rule_ddl"), ("sql".into(), Json::Str(sql.clone()))])
+            }
+            WalRecord::Commit { handles } => {
+                Json::Object(vec![tag("commit"), ("handles".into(), Json::Int(*handles as i64))])
+            }
+            WalRecord::Abort { handles } => {
+                Json::Object(vec![tag("abort"), ("handles".into(), Json::Int(*handles as i64))])
+            }
+            WalRecord::Checkpoint { state } => {
+                Json::Object(vec![tag("checkpoint"), ("state".into(), state.clone())])
+            }
+        }
+    }
+
+    /// Decode from a framed JSON payload.
+    pub fn from_json(j: &Json) -> Result<WalRecord, WalError> {
+        let tag = j
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WalError::Record("missing record tag".into()))?;
+        let str_field = |k: &str| -> Result<String, WalError> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| WalError::Record(format!("{tag}: missing '{k}'")))
+        };
+        let u64_field = |k: &str| -> Result<u64, WalError> {
+            j.get(k)
+                .and_then(Json::as_i64)
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| WalError::Record(format!("{tag}: missing '{k}'")))
+        };
+        let values = || -> Result<Vec<Value>, WalError> {
+            j.get("v")
+                .and_then(Json::as_array)
+                .ok_or_else(|| WalError::Record(format!("{tag}: missing 'v'")))?
+                .iter()
+                .map(value_from_json)
+                .collect()
+        };
+        match tag {
+            "begin" => Ok(WalRecord::Begin),
+            "insert" => Ok(WalRecord::Insert {
+                table: str_field("table")?,
+                handle: u64_field("h")?,
+                values: values()?,
+            }),
+            "delete" => Ok(WalRecord::Delete { table: str_field("table")?, handle: u64_field("h")? }),
+            "update" => Ok(WalRecord::Update {
+                table: str_field("table")?,
+                handle: u64_field("h")?,
+                values: values()?,
+            }),
+            "table_ddl" => Ok(WalRecord::TableDdl { sql: str_field("sql")? }),
+            "index_ddl" => Ok(WalRecord::IndexDdl { sql: str_field("sql")? }),
+            "rule_ddl" => Ok(WalRecord::RuleDdl { sql: str_field("sql")? }),
+            "commit" => Ok(WalRecord::Commit { handles: u64_field("handles")? }),
+            "abort" => Ok(WalRecord::Abort { handles: u64_field("handles")? }),
+            "checkpoint" => Ok(WalRecord::Checkpoint {
+                state: j
+                    .get("state")
+                    .cloned()
+                    .ok_or_else(|| WalError::Record("checkpoint: missing 'state'".into()))?,
+            }),
+            other => Err(WalError::Record(format!("unknown record tag '{other}'"))),
+        }
+    }
+}
+
+/// Encode a storage [`Value`] for the log.
+///
+/// Floats are written as `{"f": <IEEE-754 bits as i64>}` rather than as
+/// JSON numbers: the log must round-trip *exactly* (including `-0.0`,
+/// `NaN`, and infinities, which [`Json::float`] would flatten to `null`),
+/// because replay rebuilds an image compared byte-for-byte against the
+/// original.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Object(vec![("f".to_string(), Json::Int(f.to_bits() as i64))]),
+        Value::Text(s) => Json::Str(s.clone()),
+    }
+}
+
+/// Decode a storage [`Value`] written by [`value_to_json`].
+pub fn value_from_json(j: &Json) -> Result<Value, WalError> {
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Str(s) => Ok(Value::Text(s.clone())),
+        Json::Object(_) => {
+            let bits = j
+                .get("f")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| WalError::Record("malformed float value".into()))?;
+            Ok(Value::Float(f64::from_bits(bits as u64)))
+        }
+        Json::Float(_) | Json::Array(_) => Err(WalError::Record("malformed value".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: WalRecord) {
+        let back = WalRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        roundtrip(WalRecord::Begin);
+        roundtrip(WalRecord::Insert {
+            table: "emp".into(),
+            handle: 7,
+            values: vec![
+                Value::Text("Jane".into()),
+                Value::Int(1),
+                Value::Float(95000.0),
+                Value::Null,
+            ],
+        });
+        roundtrip(WalRecord::Delete { table: "dept".into(), handle: 3 });
+        roundtrip(WalRecord::Update {
+            table: "emp".into(),
+            handle: 7,
+            values: vec![Value::Bool(true), Value::Float(-0.0)],
+        });
+        roundtrip(WalRecord::TableDdl { sql: "create table t (k int)".into() });
+        roundtrip(WalRecord::IndexDdl { sql: "create index on t (k)".into() });
+        roundtrip(WalRecord::RuleDdl { sql: "drop rule r".into() });
+        roundtrip(WalRecord::Commit { handles: 42 });
+        roundtrip(WalRecord::Abort { handles: 42 });
+        roundtrip(WalRecord::Checkpoint { state: Json::obj([("tables", Json::Array(vec![]))]) });
+    }
+
+    #[test]
+    fn float_values_round_trip_exactly() {
+        for f in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+            let j = value_to_json(&Value::Float(f));
+            let Value::Float(back) = value_from_json(&j).unwrap() else {
+                panic!("float decoded as non-float");
+            };
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} lost bits");
+        }
+        // The bit-exact codec must not collapse 2.0 into the integer 2.
+        let j = value_to_json(&Value::Float(2.0));
+        assert!(matches!(value_from_json(&j).unwrap(), Value::Float(v) if v == 2.0));
+    }
+
+    #[test]
+    fn unknown_tags_and_malformed_fields_are_errors() {
+        assert!(WalRecord::from_json(&Json::obj([("t", Json::Str("nope".into()))])).is_err());
+        assert!(WalRecord::from_json(&Json::obj([("x", Json::Int(1))])).is_err());
+        assert!(
+            WalRecord::from_json(&Json::obj([("t", Json::Str("insert".into()))])).is_err(),
+            "insert without table/h/v"
+        );
+    }
+}

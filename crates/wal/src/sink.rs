@@ -1,0 +1,247 @@
+//! Log sinks: where framed bytes go.
+//!
+//! [`LogSink`] is the fsync-boundary abstraction — `append` hands bytes
+//! to the medium, `sync` makes everything appended so far durable. The
+//! engine treats `sync` as the only durability point: anything appended
+//! but not yet synced is assumed lost in a crash (and the test harness
+//! enforces exactly that by truncating a [`SharedMemSink`] back to the
+//! synced length when it simulates a kill).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::WalError;
+
+/// An append-only byte log with an explicit durability boundary.
+pub trait LogSink: std::fmt::Debug {
+    /// Append bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+    /// Make every appended byte durable (the fsync boundary).
+    fn sync(&mut self) -> Result<(), WalError>;
+    /// Current length in bytes (including appended-but-unsynced bytes).
+    fn len(&self) -> u64;
+    /// Whether the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Read the whole log (recovery).
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError>;
+    /// Truncate the log to `len` bytes (discarding a torn tail or
+    /// unsynced appends).
+    fn truncate(&mut self, len: u64) -> Result<(), WalError>;
+}
+
+fn io_err(e: std::io::Error) -> WalError {
+    WalError::Io(e.to_string())
+}
+
+/// A [`LogSink`] backed by a file; `sync` is `File::sync_data`.
+#[derive(Debug)]
+pub struct FileSink {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl FileSink {
+    /// Open (creating if absent) the log file at `path`.
+    pub fn open(path: &Path) -> Result<FileSink, WalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        Ok(FileSink { file, path: path.to_path_buf(), len })
+    }
+
+    /// The file path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogSink for FileSink {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        self.file.seek(SeekFrom::Start(self.len)).map_err(io_err)?;
+        self.file.write_all(bytes).map_err(io_err)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data().map_err(io_err)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        self.file.seek(SeekFrom::Start(0)).map_err(io_err)?;
+        let mut buf = Vec::with_capacity(self.len as usize);
+        self.file.read_to_end(&mut buf).map_err(io_err)?;
+        Ok(buf)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        self.file.set_len(len).map_err(io_err)?;
+        self.len = len;
+        Ok(())
+    }
+}
+
+/// One operation a [`SharedMemSink`] observed (for tests asserting the
+/// write/sync schedule, e.g. "group commit syncs once per transaction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkOp {
+    /// `append` of this many bytes.
+    Append(u64),
+    /// `sync`.
+    Sync,
+    /// `truncate` to this length.
+    Truncate(u64),
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    data: Vec<u8>,
+    ops: Vec<SinkOp>,
+    appends: u64,
+    syncs: u64,
+}
+
+/// An in-memory [`LogSink`] behind a shared handle.
+///
+/// Cloning shares the underlying buffer, so a test can keep a handle,
+/// drop the engine (simulating a kill), and reopen a new engine on the
+/// same "disk". Every `append`/`sync`/`truncate` is recorded in an op
+/// trace, and the raw bytes can be read back, replaced, truncated, or
+/// bit-flipped for torn-tail and corruption tests.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemSink {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl SharedMemSink {
+    /// A fresh, empty sink.
+    pub fn new() -> SharedMemSink {
+        SharedMemSink::default()
+    }
+
+    /// A copy of the log's raw bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.inner.lock().expect("sink lock").data.clone()
+    }
+
+    /// Replace the log's raw bytes (corruption / torn-tail harnesses).
+    pub fn set_bytes(&self, data: Vec<u8>) {
+        self.inner.lock().expect("sink lock").data = data;
+    }
+
+    /// XOR one byte at `offset` with `mask` (single-byte corruption).
+    pub fn flip_byte(&self, offset: usize, mask: u8) {
+        self.inner.lock().expect("sink lock").data[offset] ^= mask;
+    }
+
+    /// The operation trace since creation (or the last [`Self::clear_ops`]).
+    pub fn ops(&self) -> Vec<SinkOp> {
+        self.inner.lock().expect("sink lock").ops.clone()
+    }
+
+    /// Forget the operation trace (the byte log is untouched).
+    pub fn clear_ops(&self) {
+        self.inner.lock().expect("sink lock").ops.clear();
+    }
+
+    /// Total `append` calls observed.
+    pub fn appends(&self) -> u64 {
+        self.inner.lock().expect("sink lock").appends
+    }
+
+    /// Total `sync` calls observed.
+    pub fn syncs(&self) -> u64 {
+        self.inner.lock().expect("sink lock").syncs
+    }
+}
+
+impl LogSink for SharedMemSink {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut g = self.inner.lock().expect("sink lock");
+        g.data.extend_from_slice(bytes);
+        g.appends += 1;
+        let n = bytes.len() as u64;
+        g.ops.push(SinkOp::Append(n));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        let mut g = self.inner.lock().expect("sink lock");
+        g.syncs += 1;
+        g.ops.push(SinkOp::Sync);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().expect("sink lock").data.len() as u64
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        Ok(self.bytes())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        let mut g = self.inner.lock().expect("sink lock");
+        g.data.truncate(len as usize);
+        g.ops.push(SinkOp::Truncate(len));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_sink_records_every_operation() {
+        let handle = SharedMemSink::new();
+        let mut sink = handle.clone();
+        sink.append(b"abc").unwrap();
+        sink.sync().unwrap();
+        sink.append(b"de").unwrap();
+        sink.truncate(3).unwrap();
+        assert_eq!(handle.bytes(), b"abc");
+        assert_eq!(
+            handle.ops(),
+            vec![SinkOp::Append(3), SinkOp::Sync, SinkOp::Append(2), SinkOp::Truncate(3)]
+        );
+        assert_eq!((handle.appends(), handle.syncs()), (2, 1));
+    }
+
+    #[test]
+    fn file_sink_round_trips_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("setrules-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = FileSink::open(&path).unwrap();
+            sink.append(b"hello ").unwrap();
+            sink.append(b"world").unwrap();
+            sink.sync().unwrap();
+            assert_eq!(sink.len(), 11);
+        }
+        {
+            let mut sink = FileSink::open(&path).unwrap();
+            assert_eq!(sink.read_all().unwrap(), b"hello world");
+            sink.truncate(5).unwrap();
+            sink.append(b"!").unwrap();
+            assert_eq!(sink.read_all().unwrap(), b"hello!");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,193 @@
+//! The buffered log writer: group-commit batching over a [`LogSink`].
+//!
+//! [`WalWriter`] encodes records into an in-process buffer; [`flush`]
+//! hands the buffer to the sink in one append, and [`sync`] flushes then
+//! crosses the fsync boundary. Under group commit a whole transaction —
+//! `Begin`, its DML, every rule-action write, `Commit` — reaches the sink
+//! as one append and one sync. The writer never decides *when* to sync:
+//! the engine drives the schedule (and polls its fault injector first),
+//! which is what makes every append and sync an addressable crash site
+//! for the recovery sweep.
+//!
+//! [`flush`]: WalWriter::flush
+//! [`sync`]: WalWriter::sync
+
+use crate::frame;
+use crate::record::WalRecord;
+use crate::sink::{FileSink, LogSink};
+use crate::{SinkSpec, WalConfig, WalError};
+
+/// A buffered writer over a [`LogSink`], plus the recovery scan that runs
+/// when the log is opened.
+#[derive(Debug)]
+pub struct WalWriter {
+    sink: Box<dyn LogSink>,
+    buf: Vec<u8>,
+    synced_len: u64,
+    config: WalConfig,
+}
+
+/// What [`WalWriter::open`] found in the existing log.
+#[derive(Debug)]
+pub struct OpenOutcome {
+    /// Every valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn or corrupt tail that were discarded (the sink was
+    /// truncated back to the last valid frame boundary).
+    pub truncated_bytes: u64,
+}
+
+impl WalWriter {
+    /// Open the configured sink, scan whatever it holds, truncate any
+    /// torn tail, and return the writer positioned for appending.
+    pub fn open(config: WalConfig) -> Result<(WalWriter, OpenOutcome), WalError> {
+        let mut sink: Box<dyn LogSink> = match &config.sink {
+            SinkSpec::Path(p) => Box::new(FileSink::open(p)?),
+            SinkSpec::Memory(m) => Box::new(m.clone()),
+        };
+        let data = sink.read_all()?;
+        let (records, valid_len) = frame::scan(&data);
+        let truncated_bytes = data.len() as u64 - valid_len;
+        if truncated_bytes > 0 {
+            sink.truncate(valid_len)?;
+        }
+        let writer = WalWriter { sink, buf: Vec::new(), synced_len: valid_len, config };
+        Ok((writer, OpenOutcome { records, truncated_bytes }))
+    }
+
+    /// The configuration this writer was opened with.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// Encode `rec` into the group-commit buffer (no sink I/O).
+    pub fn append_record(&mut self, rec: &WalRecord) {
+        frame::encode_into(&mut self.buf, rec);
+    }
+
+    /// Hand the buffered bytes to the sink (one append), leaving them
+    /// *appended but not yet durable*.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        if !self.buf.is_empty() {
+            self.sink.append(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush, then cross the fsync boundary: everything appended so far
+    /// is durable afterwards.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.flush()?;
+        self.sink.sync()?;
+        self.synced_len = self.sink.len();
+        Ok(())
+    }
+
+    /// Drop everything that is not durable: clear the buffer and truncate
+    /// the sink back to the last synced length. This is the engine's
+    /// "crash" transition — after an injected WAL fault the unsynced
+    /// suffix is what a real kill would have lost.
+    pub fn discard_unsynced(&mut self) -> Result<(), WalError> {
+        self.buf.clear();
+        if self.sink.len() > self.synced_len {
+            self.sink.truncate(self.synced_len)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently buffered in process (not yet appended).
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes known durable (through the last successful [`Self::sync`]).
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Total sink length (appended, durable or not).
+    pub fn sink_len(&self) -> u64 {
+        self.sink.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{SharedMemSink, SinkOp};
+    use crate::SyncPolicy;
+    use setrules_storage::Value;
+
+    fn mem_config(sink: &SharedMemSink) -> WalConfig {
+        WalConfig::memory(sink.clone())
+    }
+
+    #[test]
+    fn group_commit_is_one_append_one_sync() {
+        let mem = SharedMemSink::new();
+        let (mut w, _) = WalWriter::open(mem_config(&mem)).unwrap();
+        w.append_record(&WalRecord::Begin);
+        w.append_record(&WalRecord::Insert {
+            table: "t".into(),
+            handle: 1,
+            values: vec![Value::Int(1)],
+        });
+        w.append_record(&WalRecord::Commit { handles: 1 });
+        assert_eq!(mem.appends(), 0, "records buffer in process");
+        w.sync().unwrap();
+        assert_eq!((mem.appends(), mem.syncs()), (1, 1));
+        let (records, _) = frame::scan(&mem.bytes());
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn discard_unsynced_reverts_to_the_last_sync_boundary() {
+        let mem = SharedMemSink::new();
+        let (mut w, _) = WalWriter::open(mem_config(&mem)).unwrap();
+        w.append_record(&WalRecord::Begin);
+        w.append_record(&WalRecord::Commit { handles: 0 });
+        w.sync().unwrap();
+        let durable = mem.bytes();
+
+        w.append_record(&WalRecord::Begin);
+        w.flush().unwrap(); // appended but never synced
+        w.append_record(&WalRecord::Commit { handles: 9 }); // still buffered
+        assert!(mem.bytes().len() > durable.len());
+        w.discard_unsynced().unwrap();
+        assert_eq!(mem.bytes(), durable);
+        assert_eq!(w.buffered_len(), 0);
+    }
+
+    #[test]
+    fn open_truncates_a_torn_tail_and_returns_the_valid_prefix() {
+        let mem = SharedMemSink::new();
+        let (mut w, _) = WalWriter::open(mem_config(&mem)).unwrap();
+        w.append_record(&WalRecord::Begin);
+        w.append_record(&WalRecord::Commit { handles: 0 });
+        w.sync().unwrap();
+        let clean = mem.bytes();
+        // Simulate a torn write: half of a third record.
+        let mut torn = clean.clone();
+        let mut extra = Vec::new();
+        frame::encode_into(&mut extra, &WalRecord::Begin);
+        torn.extend_from_slice(&extra[..extra.len() / 2]);
+        mem.set_bytes(torn);
+
+        let (w2, outcome) = WalWriter::open(mem_config(&mem)).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.truncated_bytes as usize, extra.len() / 2);
+        assert_eq!(mem.bytes(), clean, "tail truncated on open");
+        assert_eq!(w2.synced_len(), clean.len() as u64);
+        assert!(mem.ops().contains(&SinkOp::Truncate(clean.len() as u64)));
+    }
+
+    #[test]
+    fn sync_policy_is_carried_in_the_config() {
+        let mem = SharedMemSink::new();
+        let cfg = mem_config(&mem).with_sync(SyncPolicy::EachRecord).with_checkpoint_every(4);
+        let (w, _) = WalWriter::open(cfg).unwrap();
+        assert_eq!(w.config().sync, SyncPolicy::EachRecord);
+        assert_eq!(w.config().checkpoint_every, 4);
+    }
+}

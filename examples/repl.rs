@@ -4,6 +4,8 @@
 //!
 //! ```sh
 //! cargo run --example repl
+//! # durable session (write-ahead log; recovers on reopen):
+//! cargo run --example repl -- --wal my.wal
 //! # or pipe a script:
 //! echo "create table t (k int); insert into t values (1); select * from t" \
 //!   | cargo run --example repl
@@ -11,10 +13,38 @@
 
 use std::io::{BufRead, Write};
 
-use setrules_core::{ExecOutcome, RuleSystem, TxnOutcome};
+use setrules_core::{EngineConfig, ExecOutcome, RuleSystem, TxnOutcome, WalConfig};
 
 fn main() {
-    let mut sys = RuleSystem::new();
+    let mut args = std::env::args().skip(1);
+    let mut sys = match args.next().as_deref() {
+        Some("--wal") => {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("usage: repl [--wal <path>]");
+                std::process::exit(2);
+            });
+            let config = EngineConfig {
+                durability: Some(WalConfig::path(&path)),
+                ..Default::default()
+            };
+            match RuleSystem::open(config) {
+                Ok(sys) => {
+                    let replayed = sys.stats().wal_replayed_records;
+                    eprintln!("write-ahead log: {path} ({replayed} records replayed)");
+                    sys
+                }
+                Err(e) => {
+                    eprintln!("could not open write-ahead log {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown argument '{other}' (usage: repl [--wal <path>])");
+            std::process::exit(2);
+        }
+        None => RuleSystem::new(),
+    };
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     if interactive {
@@ -137,6 +167,10 @@ fn meta_command(sys: &mut RuleSystem, meta: &str) -> bool {
             Err(e) => println!("error: {e}"),
         },
         "stats" => println!("{}", sys.full_stats().to_json().pretty()),
+        "wal" => match sys.wal_status() {
+            Some(status) => println!("{}", status.pretty()),
+            None => println!("no write-ahead log (in-memory system)"),
+        },
         m if m.starts_with("events") => {
             let n: usize = m
                 .trim_start_matches("events")
@@ -154,7 +188,7 @@ fn meta_command(sys: &mut RuleSystem, meta: &str) -> bool {
             println!("     create rule priority A before B, activate/deactivate rule,");
             println!("     begin / process rules / commit / rollback");
             println!("meta: \\rules  \\analyze  \\dot  \\explain <select>  \\json <select>");
-            println!("      \\stats  \\events [n]  \\quit");
+            println!("      \\stats  \\events [n]  \\wal  \\quit");
         }
         other => println!("unknown meta-command '\\{other}' (try \\help)"),
     }

@@ -28,6 +28,14 @@ echo "==> fault-injection sweep (bounded: first/middle/last site per kind)"
 # so a CI log names the crash-consistency gate even when tests are filtered.
 FAULT_SWEEP_FAST=1 cargo test -q -p setrules-core --test fault_injection
 
+echo "==> WAL crash-recovery sweep (bounded: first/middle/last site per kind)"
+# Kill-at-every-WAL-record recovery: the full sweep (every wal_append /
+# wal_sync site on the paper workloads, both sync policies, plus torn-tail
+# truncation at every byte and the 300-case durable-vs-in-memory
+# differential) runs under `cargo test` above; this names the durability
+# gate explicitly in the CI log with the env-bounded site selection.
+FAULT_SWEEP_FAST=1 cargo test -q -p setrules-core --test wal_recovery
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -54,6 +62,16 @@ BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench parallel_exec
 test -f "$PWD/target/bench-snapshots/BENCH_parallel_exec.json" \
   || { echo "error: BENCH_parallel_exec.json not written" >&2; exit 1; }
+
+echo "==> bench smoke (WAL group commit vs sync-per-record)"
+# In-bench asserts: byte-identical images across in-memory / group-commit /
+# sync-per-record engines, recovery reproduces the image, exactly one sink
+# append+sync per transaction under group commit, and >=20x sync
+# amplification for the per-record baseline.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench wal
+test -f "$PWD/target/bench-snapshots/BENCH_wal.json" \
+  || { echo "error: BENCH_wal.json not written" >&2; exit 1; }
 
 echo "==> EngineEvent enum guard"
 # Variant names: capitalized identifiers at 4-space indent inside the

@@ -96,18 +96,33 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
             "parallel scan (4 partitions, 100000 rows)",
             "parallel_scan",
         ),
+        (
+            EngineEvent::WalAppend { kind: "commit".into() },
+            "wal append (commit)",
+            "wal_append",
+        ),
+        (
+            EngineEvent::Checkpoint { bytes: 512 },
+            "checkpoint written (512 bytes)",
+            "checkpoint",
+        ),
+        (
+            EngineEvent::Recovery { records: 9, truncated_bytes: 3 },
+            "recovery replayed 9 records (3 torn bytes)",
+            "recovery",
+        ),
     ]
 }
 
 #[test]
 fn every_variant_displays_and_serializes() {
     let samples = event_samples();
-    // The sample list must cover the whole enum: 15 distinct kinds (the
+    // The sample list must cover the whole enum: 18 distinct kinds (the
     // rollback and plan-cache variants appear twice each).
     let mut kinds: Vec<&str> = samples.iter().map(|(e, _, _)| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 15, "event_samples() must cover every EngineEvent variant");
+    assert_eq!(kinds.len(), 18, "event_samples() must cover every EngineEvent variant");
 
     for (ev, display, tag) in samples {
         assert_eq!(ev.to_string(), display);

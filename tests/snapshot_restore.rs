@@ -118,6 +118,31 @@ fn snapshot_refuses_external_actions_and_open_txns() {
     assert!(matches!(sys.snapshot(), Err(RuleError::Unsupported(_))));
 }
 
+/// A snapshot taken while deferred transitions are pending would silently
+/// drop them — the rules they owe would never fire on the restored
+/// system. The engine must refuse until the window is processed (or
+/// explicitly cleared).
+#[test]
+fn snapshot_refuses_pending_deferred_transitions() {
+    let mut sys = build();
+    sys.transaction_without_rules("delete from dept where dept_no = 1").unwrap();
+    assert!(
+        !sys.deferred_window().is_empty(),
+        "flat transaction must leave a deferred window"
+    );
+    assert!(matches!(sys.snapshot(), Err(RuleError::Unsupported(_))));
+
+    // Processing the window makes the snapshot legal again.
+    sys.process_deferred().unwrap();
+    sys.snapshot().unwrap();
+
+    // Clearing (consciously discarding) it also works.
+    sys.transaction_without_rules("delete from dept where dept_no = 2").unwrap();
+    assert!(matches!(sys.snapshot(), Err(RuleError::Unsupported(_))));
+    sys.clear_deferred();
+    sys.snapshot().unwrap();
+}
+
 #[test]
 fn dropped_tables_and_rules_are_omitted() {
     let mut sys = build();
