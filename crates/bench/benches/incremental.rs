@@ -1,0 +1,185 @@
+//! **B15 — incremental condition evaluation vs per-consideration re-scan.**
+//!
+//! A refire storm: one transaction updates every row of a large base
+//! table (arming 60 watcher rules whose conditions inspect the `updated
+//! big` window) and seeds a 150-step driver cascade. Every driver firing
+//! clears the considered set, so each watcher's condition is evaluated
+//! ~150 times against an unchanged window. The re-scan evaluator pays a
+//! full window scan per consideration; the incremental evaluator builds
+//! the memo once and repairs it from the (tiny) tick-insert deltas.
+//!
+//! Acceptance bars, asserted in-bench before criterion runs:
+//!
+//! * **semantics are evaluator-free**: identical firing traces and
+//!   byte-identical `state_image()` on both engines;
+//! * **the incremental path actually runs**: repairs (`incr_hits`) and
+//!   rebuilds both nonzero, zero fallbacks (every watcher condition is
+//!   incrementalizable), zero incremental activity on the re-scan engine;
+//! * **>= 10x wall-clock speedup** on the storm transaction.
+//!
+//! Counters land in `BENCH_incremental.json` (`BENCH_OUT_DIR` overrides
+//! the directory).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use setrules_bench::write_bench_snapshot;
+use setrules_core::{EngineConfig, RuleSystem};
+use setrules_json::Json;
+
+const BASE_ROWS: usize = 8_000;
+const WATCHERS: usize = 60;
+const DEPTH: i64 = 150;
+
+/// Large watched table, a cascade driver, and a firing sink. Watchers are
+/// created *before* the driver so the default partial-order selection
+/// reconsiders every watcher between driver firings — the refire storm.
+fn build(incremental: bool, base_rows: usize, watchers: usize) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(EngineConfig {
+        incremental: Some(incremental),
+        ..Default::default()
+    });
+    sys.execute("create table big (k int, v int)").unwrap();
+    sys.execute("create table tick (k int)").unwrap();
+    sys.execute("create table sink (r int)").unwrap();
+    for chunk in (0..base_rows).collect::<Vec<_>>().chunks(500) {
+        let rows: Vec<String> = chunk.iter().map(|k| format!("({k}, {})", k % 97)).collect();
+        sys.execute(&format!("insert into big values {}", rows.join(", "))).unwrap();
+    }
+    for i in 0..watchers {
+        // Always false (v never goes negative), but deciding that means
+        // inspecting the whole updated-big window. Distinct constants keep
+        // each rule's plan and memo independent.
+        sys.execute(&format!(
+            "create rule w{i} when updated big \
+             if exists (select * from new updated big where v < {}) \
+             then insert into sink values ({i})",
+            -(i as i64) - 1
+        ))
+        .unwrap();
+    }
+    sys.execute(
+        "create rule driver when inserted into tick \
+         if exists (select * from inserted tick where k > 0) \
+         then insert into tick (select k - 1 from inserted tick where k > 0)",
+    )
+    .unwrap();
+    sys
+}
+
+fn storm(depth: i64) -> String {
+    format!("update big set v = v + 1; insert into tick values ({depth})")
+}
+
+fn incremental_snapshot() {
+    let mut inc = build(true, BASE_ROWS, WATCHERS);
+    let mut scan = build(false, BASE_ROWS, WATCHERS);
+
+    let start = Instant::now();
+    let a = inc.transaction(&storm(DEPTH)).unwrap();
+    let inc_millis = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let b = scan.transaction(&storm(DEPTH)).unwrap();
+    let scan_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    // Identical semantics: same firings, same final image, same
+    // consideration counts.
+    assert_eq!(a.fired(), b.fired(), "evaluators must fire the same rules in the same order");
+    assert_eq!(a.fired().len(), DEPTH as usize, "driver cascade must run to depth {DEPTH}");
+    assert_eq!(
+        inc.database().state_image(),
+        scan.database().state_image(),
+        "incremental evaluation must not change the committed image"
+    );
+    let (si, ss) = (inc.stats(), scan.stats());
+    assert_eq!(si.rules_considered, ss.rules_considered, "same consideration schedule");
+    assert_eq!(si.conditions_false, ss.conditions_false, "same condition verdicts");
+
+    // The incremental path really ran: each watcher rebuilds once, then
+    // every reconsideration is a delta repair; nothing falls back, and the
+    // re-scan engine never touches the incremental machinery.
+    assert!(si.incr_rebuilds >= WATCHERS as u64, "one rebuild per watcher, got {}", si.incr_rebuilds);
+    assert!(
+        si.incr_hits >= (WATCHERS as u64) * (DEPTH as u64 - 1),
+        "reconsiderations must repair, not rebuild: {} hits",
+        si.incr_hits
+    );
+    assert_eq!(si.incr_fallbacks, 0, "every storm condition is incrementalizable");
+    assert_eq!(
+        (ss.incr_hits, ss.incr_rebuilds, ss.incr_fallbacks),
+        (0, 0, 0),
+        "re-scan engine must not run incremental evaluation"
+    );
+
+    let speedup = scan_millis / inc_millis;
+    assert!(
+        speedup >= 10.0,
+        "acceptance: incremental evaluation must be >=10x faster than \
+         re-scan on the refire storm ({WATCHERS} watchers x depth {DEPTH} \
+         over {BASE_ROWS} rows), got {speedup:.1}x ({inc_millis:.1}ms vs {scan_millis:.1}ms)"
+    );
+
+    write_bench_snapshot(
+        "incremental",
+        &Json::obj([
+            ("base_rows", Json::Int(BASE_ROWS as i64)),
+            ("watchers", Json::Int(WATCHERS as i64)),
+            ("cascade_depth", Json::Int(DEPTH)),
+            ("firings", Json::Int(a.fired().len() as i64)),
+            ("rules_considered", Json::Int(si.rules_considered as i64)),
+            ("incremental_millis", Json::Float(inc_millis)),
+            ("rescan_millis", Json::Float(scan_millis)),
+            ("speedup", Json::Float(speedup)),
+            ("incr_hits", Json::Int(si.incr_hits as i64)),
+            ("incr_rebuilds", Json::Int(si.incr_rebuilds as i64)),
+            ("incr_fallbacks", Json::Int(si.incr_fallbacks as i64)),
+            ("incr_delta_rows", Json::Int(si.incr_delta_rows as i64)),
+        ]),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    incremental_snapshot();
+
+    // Storm-transaction latency per evaluator on a smaller instance (the
+    // acceptance-scale comparison already ran in the snapshot above).
+    let mut g = c.benchmark_group("b15_incremental_storm");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (label, incremental) in [("incremental", true), ("rescan", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &incremental, |b, &incremental| {
+            b.iter_batched(
+                || build(incremental, 2_000, 20),
+                |mut sys| {
+                    sys.transaction(&storm(10)).unwrap();
+                    sys
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+
+    // Memo repair throughput: reconsider one watcher across repeated tiny
+    // transactions (each one a fresh delta against a warm memo).
+    let mut g = c.benchmark_group("b15_incremental_repair");
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    for (label, incremental) in [("incremental", true), ("rescan", false)] {
+        let mut sys = build(incremental, 4_000, 1);
+        let mut next = 100_000i64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                next += 1;
+                sys.transaction(&format!("update big set v = v + 1 where k = {}", next % 4_000))
+                    .unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

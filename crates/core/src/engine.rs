@@ -11,13 +11,15 @@
 //! `rollback` action restores the transaction's start state.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
+use setrules_query::incremental::{analyze, IncMemo, IncrState};
 use setrules_query::{
     compile_cached, eval_compiled_predicate, execute_op_ext, execute_query_ext, ExecMode,
     ExecOpts, ExecStats, NoTransitionTables, OpEffect, PlanCache, QueryError, Relation, StatsCell,
 };
-use setrules_sql::ast::{CreateRule, DmlOp, Statement};
+use setrules_sql::ast::{CreateRule, DmlOp, Statement, TransitionKind};
 use setrules_sql::{parse_op_block, parse_statement, parse_statements};
 use setrules_storage::{
     Database, FaultInjector, FaultPlan, StorageError, StorageStats, TableSchema, UndoMark,
@@ -25,15 +27,32 @@ use setrules_storage::{
 use setrules_wal::{WalConfig, WalRecord};
 
 use crate::durability::{wal_log_effect, WalState};
+use crate::effect::TransitionEffect;
 use crate::error::RuleError;
 use crate::events::{EngineEvent, EventBus, EventSink};
+use crate::incremental::{rebuild_memo, repair_memo};
 use crate::external::{ActionCtx, ExternalAction};
 use crate::priority::PriorityGraph;
 use crate::rule::{CompiledAction, Rule, RuleId};
-use crate::selection::{select_rule, SelectionStrategy};
+use crate::selection::{select_rule, SelectionStrategy, TriggerMemo};
 use crate::stats::{EngineStats, TxnStats};
 use crate::transinfo::TransInfo;
 use crate::transition_tables::{RuleWindowProvider, RuleWindowRef};
+
+/// Resolve the incremental-evaluation knob: a pinned config value wins,
+/// else the `SETRULES_INCR` environment variable (`0`/`false`/`off`/`no`
+/// disables), else on.
+fn resolve_incremental(pinned: Option<bool>) -> bool {
+    match pinned {
+        Some(b) => b,
+        None => match std::env::var("SETRULES_INCR") {
+            Ok(v) => {
+                !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off" | "no")
+            }
+            Err(_) => true,
+        },
+    }
+}
 
 /// Which composite window a rule is (re)considered against — the paper's
 /// default (§4.2) and the two footnote-8 alternatives.
@@ -91,6 +110,16 @@ pub struct EngineConfig {
     /// committed image (see `docs/durability.md`). `None` (the default)
     /// keeps the system purely in-memory.
     pub durability: Option<WalConfig>,
+    /// Incremental (TREAT-style) rule-condition evaluation: maintain
+    /// per-rule materialized condition state and repair it from the
+    /// composed `[I, D, U]` delta instead of re-scanning transition
+    /// tables at every consideration (see
+    /// `docs/incremental-evaluation.md`). `Some(b)` pins it; `None` (the
+    /// default) defers to the `SETRULES_INCR` environment variable
+    /// (`0`/`false`/`off`/`no` disables) and is otherwise on. Only
+    /// effective in `Compiled` mode; results are observably identical
+    /// either way.
+    pub incremental: Option<bool>,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +134,7 @@ impl Default for EngineConfig {
             fault: None,
             parallelism: None,
             durability: None,
+            incremental: None,
         }
     }
 }
@@ -214,6 +244,13 @@ struct TxnState {
     last_output: Option<Relation>,
     /// Cumulative counters at transaction begin, for outcome deltas.
     base: TxnStats,
+    /// Per-rule `[I, D, U]` effects composed since the rule's condition
+    /// state was last brought up to date, parallel to `rule_infos`.
+    /// `Some(delta)` means the rule's memo (in its plan cache) is live
+    /// and repairable; `None` means the chain is broken (fresh
+    /// transaction, window reset) and the next consideration must
+    /// rebuild from the full window.
+    incr_deltas: Vec<Option<TransitionEffect>>,
 }
 
 /// A relational database with a set-oriented production rules facility —
@@ -257,6 +294,9 @@ pub struct RuleSystem {
     pub(crate) stats: EngineStats,
     /// Cumulative query-execution work (threaded into every executor call).
     qstats: StatsCell,
+    /// Incremental condition evaluation, resolved once at open from
+    /// `EngineConfig::incremental` / `SETRULES_INCR`.
+    incr_enabled: bool,
     /// Event fan-out: the always-on ring plus attached sinks.
     pub(crate) events: EventBus,
     /// Write-ahead-log state; `None` unless configured durable.
@@ -292,6 +332,7 @@ impl RuleSystem {
         let events = EventBus::new(config.event_capacity);
         let fault_plan = config.fault;
         let durability = config.durability.clone();
+        let incr_enabled = resolve_incremental(config.incremental);
         let mut sys = RuleSystem {
             db: Database::new(),
             rules: Vec::new(),
@@ -305,6 +346,7 @@ impl RuleSystem {
             rule_plans: HashMap::new(),
             stats: EngineStats::default(),
             qstats: StatsCell::new(),
+            incr_enabled,
             events,
             wal: None,
         };
@@ -771,6 +813,7 @@ impl RuleSystem {
             transitions_used: 0,
             last_output: None,
             base: self.full_stats(),
+            incr_deltas: vec![None; self.rules.len()],
         });
         if let Err(e) = self.wal_begin() {
             self.note_statement_failure(&e);
@@ -1065,6 +1108,7 @@ impl RuleSystem {
             transitions_used: 0,
             last_output: None,
             base: self.full_stats(),
+            incr_deltas: vec![None; self.rules.len()],
         });
         if let Err(e) = self.wal_begin() {
             self.note_statement_failure(&e);
@@ -1098,6 +1142,57 @@ impl RuleSystem {
         txn.rule_infos.get(id.0)
     }
 
+    /// Whether a name-level transition reference falls inside `rule`'s
+    /// licence set (§3's reference restriction, resolved to catalog ids).
+    fn rule_licenses(
+        &self,
+        rule: &Rule,
+        kind: TransitionKind,
+        table: &str,
+        column: Option<&str>,
+    ) -> bool {
+        let Ok(tid) = self.db.table_id(table) else { return false };
+        let col = match column {
+            Some(c) => match self.db.schema(tid).column_id(c) {
+                Ok(c) => Some(c),
+                Err(_) => return false,
+            },
+            None => None,
+        };
+        rule.licensed.contains(&(kind, tid, col))
+    }
+
+    /// Whether incremental condition evaluation is enabled for this
+    /// system (the `EngineConfig::incremental` / `SETRULES_INCR` knob;
+    /// it only takes effect in compiled mode).
+    pub fn incremental_enabled(&self) -> bool {
+        self.incr_enabled && self.config.exec_mode == ExecMode::Compiled
+    }
+
+    /// Per-rule incremental-evaluation status: for each live rule, either
+    /// the materialized term state the engine maintains for its condition
+    /// or the reason it falls back to full re-scan. A debugging aid (the
+    /// REPL's `\incr`); runs the same analysis the engine caches.
+    pub fn incremental_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "incremental evaluation: {}\n",
+            if self.incremental_enabled() { "on" } else { "off" }
+        );
+        for rule in self.rules.iter().filter(|r| !r.dropped) {
+            let Some(cond) = &rule.condition else {
+                let _ = writeln!(out, "{}: no condition (always fires)", rule.name);
+                continue;
+            };
+            let licensed = |kind: TransitionKind, table: &str, column: Option<&str>| {
+                self.rule_licenses(rule, kind, table, column)
+            };
+            let desc = setrules_query::explain_condition(&self.db, cond, &licensed);
+            let _ = write!(out, "{}: {}", rule.name, desc);
+        }
+        out
+    }
+
     // ------------------------------------------------------------------
     // The Figure 1 loop
     // ------------------------------------------------------------------
@@ -1116,13 +1211,19 @@ impl RuleSystem {
         // detection (a second consideration means later transitions
         // re-triggered the rule, §4.2).
         let mut ever_considered: BTreeSet<RuleId> = BTreeSet::new();
+        // Trigger verdicts only move when windows do; memoize them across
+        // loop iterations (most iterations consider without firing).
+        let mut triggers = TriggerMemo::new(self.rules.len());
         loop {
             let candidates: Vec<RuleId> = {
                 let txn = self.txn.as_ref().expect("transaction open");
                 self.rules
                     .iter()
                     .filter(|r| {
-                        !considered.contains(&r.id) && r.triggered_by(&self.db, &txn.rule_infos[r.id.0])
+                        !considered.contains(&r.id)
+                            && triggers.check(r.id, || {
+                                r.triggered_by(&self.db, &txn.rule_infos[r.id.0])
+                            })
                     })
                     .map(|r| r.id)
                     .collect()
@@ -1162,7 +1263,7 @@ impl RuleSystem {
 
             // Evaluate the condition against the rule's own window.
             let cond_start = Instant::now();
-            let cond = self.check_condition(rid);
+            let cond = self.evaluate_condition(rid, &name);
             self.stats.rule_mut(&name).condition_nanos +=
                 cond_start.elapsed().as_nanos() as u64;
             let cond_holds = match cond {
@@ -1177,8 +1278,13 @@ impl RuleSystem {
                 self.stats.rule_mut(&name).condition_false += 1;
                 self.events.emit(EngineEvent::RuleConditionFalse { rule: name.clone() });
                 if self.config.retrigger == RetriggerSemantics::SinceLastConsidered {
-                    // Footnote 8: the window restarts at consideration.
-                    self.txn.as_mut().expect("open").rule_infos[rid.0] = TransInfo::new();
+                    // Footnote 8: the window restarts at consideration —
+                    // the memo (built against the old window) is stale, so
+                    // break the delta chain too.
+                    let txn = self.txn.as_mut().expect("open");
+                    txn.rule_infos[rid.0] = TransInfo::new();
+                    txn.incr_deltas[rid.0] = None;
+                    triggers.invalidate(rid);
                 }
                 continue;
             }
@@ -1230,6 +1336,7 @@ impl RuleSystem {
                     self.txn.as_mut().expect("open").trace.push(fired);
                     self.apply_transition(&tinfo, Some(rid));
                     considered.clear();
+                    triggers.invalidate_all();
                 }
             }
         }
@@ -1259,6 +1366,22 @@ impl RuleSystem {
     /// window is the composition.
     fn apply_transition(&mut self, tinfo: &TransInfo, acting: Option<RuleId>) {
         let retrigger = self.config.retrigger;
+        // Project this transition's pure `[I, D, U]` effect once for all
+        // rules that carry a live incremental delta; rules whose window
+        // restarts below get their delta chain broken instead (`None` ⇒
+        // next consideration rebuilds the memo from the fresh window).
+        let eff = if self
+            .txn
+            .as_ref()
+            .expect("transaction open")
+            .incr_deltas
+            .iter()
+            .any(Option::is_some)
+        {
+            Some(tinfo.effect(|t| self.db.schema(t).arity()))
+        } else {
+            None
+        };
         let txn = self.txn.as_mut().expect("transaction open");
         for rule in &self.rules {
             // Fig. 1 emits trans-info maintenance only for rules this
@@ -1268,15 +1391,20 @@ impl RuleSystem {
             let slot = &mut txn.rule_infos[rule.id.0];
             if Some(rule.id) == acting {
                 *slot = tinfo.clone();
+                txn.incr_deltas[rule.id.0] = None;
                 self.events.emit(EngineEvent::TransInfoInit { rule: rule.name.clone() });
             } else if retrigger == RetriggerSemantics::SinceLastTriggering && triggered_by_this {
                 // [WF89b]: this transition alone re-triggers the rule, so
                 // its window restarts here.
                 *slot = tinfo.clone();
+                txn.incr_deltas[rule.id.0] = None;
                 self.events.emit(EngineEvent::TransInfoInit { rule: rule.name.clone() });
             } else {
                 let was_empty = slot.is_empty();
                 slot.compose(tinfo);
+                if let Some(d) = txn.incr_deltas[rule.id.0].as_mut() {
+                    *d = d.compose(eff.as_ref().expect("effect projected above"));
+                }
                 if triggered_by_this {
                     self.events.emit(if was_empty {
                         EngineEvent::TransInfoInit { rule: rule.name.clone() }
@@ -1286,6 +1414,102 @@ impl RuleSystem {
                 }
             }
         }
+    }
+
+    /// Evaluate the considered rule's condition, preferring the
+    /// incremental path — repairing (or rebuilding) the materialized
+    /// per-term match sets from the delta since the last consideration —
+    /// and falling back to [`Self::check_condition`]'s full window scan
+    /// whenever the condition is not incrementalizable. The observable
+    /// truth value is identical on either path.
+    fn evaluate_condition(&mut self, rid: RuleId, name: &str) -> Result<bool, RuleError> {
+        if self.incr_enabled
+            && self.config.exec_mode == ExecMode::Compiled
+            && self.rules[rid.0].condition.is_some()
+        {
+            match self.try_incremental(rid)? {
+                Some((truth, mode, rows)) => {
+                    if mode == "repair" {
+                        self.stats.incr_hits += 1;
+                    } else {
+                        self.stats.incr_rebuilds += 1;
+                    }
+                    self.stats.incr_delta_rows += rows;
+                    self.events.emit(EngineEvent::IncrementalEval {
+                        rule: name.to_string(),
+                        mode: mode.to_string(),
+                        delta_rows: rows,
+                    });
+                    return Ok(truth);
+                }
+                None => {
+                    self.stats.incr_fallbacks += 1;
+                    self.events.emit(EngineEvent::IncrementalEval {
+                        rule: name.to_string(),
+                        mode: "fallback".to_string(),
+                        delta_rows: 0,
+                    });
+                }
+            }
+        }
+        self.check_condition(rid)
+    }
+
+    /// The incremental path. `Ok(None)` means the condition is not
+    /// incrementalizable (analysis fallback) and the caller must run the
+    /// full evaluator. `Ok(Some((truth, mode, rows)))` is an authoritative
+    /// answer: `mode` is `"repair"` when the delta chain was live and
+    /// `"rebuild"` when the memo was (re)populated from the whole window;
+    /// `rows` counts probed rows either way.
+    fn try_incremental(
+        &mut self,
+        rid: RuleId,
+    ) -> Result<Option<(bool, &'static str, u64)>, RuleError> {
+        let (truth, mode, rows) = {
+            let rule = &self.rules[rid.0];
+            let cond = rule.condition.as_ref().expect("caller checked");
+            let Some(cache) = self.rule_plans.get(&rid) else {
+                return Ok(None);
+            };
+            let mut state = cache.incr_state();
+            if state.is_none() {
+                // First consideration since the cache was (re)created:
+                // analyze once; the verdict is cached alongside the plans
+                // and dies with them on DDL.
+                let licensed = |kind: TransitionKind, table: &str, column: Option<&str>| {
+                    self.rule_licenses(rule, kind, table, column)
+                };
+                let plan = analyze(&self.db, cond, &licensed).map(Arc::new);
+                *state = Some(IncrState { plan, memo: None });
+            }
+            let st = state.as_mut().expect("just filled");
+            let plan = match &st.plan {
+                Ok(p) => Arc::clone(p),
+                Err(_) => return Ok(None),
+            };
+            let txn = self.txn.as_ref().expect("transaction open");
+            let window = &txn.rule_infos[rid.0];
+            let (mode, rows) = match (&txn.incr_deltas[rid.0], st.memo.as_mut()) {
+                (Some(delta), Some(memo)) => {
+                    ("repair", repair_memo(&self.db, &plan, window, delta, memo)?)
+                }
+                _ => {
+                    let mut memo = st.memo.take().unwrap_or_else(|| IncMemo::for_plan(&plan));
+                    let rows = rebuild_memo(&self.db, &plan, window, &mut memo)?;
+                    st.memo = Some(memo);
+                    ("rebuild", rows)
+                }
+            };
+            let truth = plan.truth(st.memo.as_ref().expect("memo present"))?;
+            (truth, mode, rows)
+        };
+        // The memo now reflects the window as of this consideration:
+        // restart the delta chain so the next consideration repairs from
+        // here.
+        self.txn.as_mut().expect("transaction open").incr_deltas[rid.0] =
+            Some(TransitionEffect::new());
+        self.qstats.bump(|s| s.incr_probe_rows += rows);
+        Ok(Some((truth, mode, rows)))
     }
 
     fn check_condition(&self, rid: RuleId) -> Result<bool, RuleError> {

@@ -63,6 +63,19 @@ pub enum EngineEvent {
         /// Whether compiled plans were already cached.
         hit: bool,
     },
+    /// The considered rule's condition was evaluated by the incremental
+    /// (TREAT-style) path: its materialized match sets were repaired from
+    /// the composed `[I, D, U]` delta (`mode: "repair"`), rebuilt from
+    /// the full window (`mode: "rebuild"`), or the rule fell back to full
+    /// re-scan (`mode: "fallback"`, with the analyzer's reason).
+    IncrementalEval {
+        /// The rule's name.
+        rule: String,
+        /// `"repair"`, `"rebuild"`, or `"fallback"`.
+        mode: String,
+        /// Rows probed by the repair/rebuild (0 for fallbacks).
+        delta_rows: u64,
+    },
     /// The considered rule's condition evaluated to not-true.
     RuleConditionFalse {
         /// The rule's name.
@@ -159,6 +172,7 @@ impl EngineEvent {
             EngineEvent::ExternalBlockAbsorbed { .. } => "external_block_absorbed",
             EngineEvent::RuleConsidered { .. } => "rule_considered",
             EngineEvent::PlanCache { .. } => "plan_cache",
+            EngineEvent::IncrementalEval { .. } => "incremental_eval",
             EngineEvent::RuleConditionFalse { .. } => "rule_condition_false",
             EngineEvent::RuleExecuted { .. } => "rule_executed",
             EngineEvent::RuleRetriggered { .. } => "rule_retriggered",
@@ -179,6 +193,7 @@ impl EngineEvent {
         match self {
             EngineEvent::RuleConsidered { rule }
             | EngineEvent::PlanCache { rule, .. }
+            | EngineEvent::IncrementalEval { rule, .. }
             | EngineEvent::RuleConditionFalse { rule }
             | EngineEvent::RuleExecuted { rule, .. }
             | EngineEvent::RuleRetriggered { rule }
@@ -232,6 +247,11 @@ impl EngineEvent {
                 put("rule", Json::Str(rule.clone()));
                 put("hit", Json::Bool(*hit));
             }
+            EngineEvent::IncrementalEval { rule, mode, delta_rows } => {
+                put("rule", Json::Str(rule.clone()));
+                put("mode", Json::Str(mode.clone()));
+                put("delta_rows", Json::Int(*delta_rows as i64));
+            }
             EngineEvent::LoopSafeguardAbort { limit } => {
                 put("limit", Json::Int(*limit as i64));
             }
@@ -280,6 +300,9 @@ impl fmt::Display for EngineEvent {
             }
             EngineEvent::PlanCache { rule, hit: false } => {
                 write!(f, "plan cache miss for '{rule}'")
+            }
+            EngineEvent::IncrementalEval { rule, mode, delta_rows } => {
+                write!(f, "incremental eval ({mode}) for '{rule}' ({delta_rows} delta rows)")
             }
             EngineEvent::RuleConditionFalse { rule } => {
                 write!(f, "rule '{rule}' condition false")

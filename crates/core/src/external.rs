@@ -86,7 +86,8 @@ impl ActionCtx<'_> {
         column: Option<&str>,
     ) -> Result<Vec<Vec<setrules_storage::Value>>, QueryError> {
         use setrules_query::TransitionTableProvider;
-        self.provider.rows(self.db, kind, table, column)
+        let rows = self.provider.rows(self.db, kind, table, column)?;
+        Ok(rows.into_iter().map(|r| r.into_owned()).collect())
     }
 
     /// Create a hash index on `table.column` from inside a rule action —

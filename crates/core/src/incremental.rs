@@ -1,0 +1,242 @@
+//! Delta repair for incremental rule-condition evaluation (ISSUE 7).
+//!
+//! `setrules-query::incremental` decides *whether* a condition is
+//! incrementalizable and owns the memo representation; this module owns
+//! the two operations that keep a memo truthful, because they need the
+//! engine's window ([`TransInfo`]) and delta ([`TransitionEffect`]):
+//!
+//! * [`rebuild_memo`] — populate the match sets by one full scan of the
+//!   rule's composite window (first consideration, or any time the delta
+//!   chain was broken by a window reset);
+//! * [`repair_memo`] — patch the match sets from the `[I, D, U]` effect
+//!   composed (Definition 2.1 ⊕) since the previous consideration.
+//!
+//! # Why repair is sound
+//!
+//! Term predicates are *row-local* (the analyzer guarantees it), so a
+//! tuple's membership depends only on that tuple's own old or current
+//! values. Old values (`deleted` / `old updated` views) are fixed once
+//! recorded in the window; current values change only through operations
+//! that — because every transition is composed into every rule's window
+//! and into the tracked delta at the same choke point
+//! (`apply_transition`) — are named by the delta's handle sets. Tuple
+//! handles are allocated monotonically and never reused, so a handle in
+//! the delta denotes the same tuple it denoted at memo time. Hence a
+//! tuple not named by the delta cannot have changed membership in any
+//! term, and patching exactly the named handles reproduces what a full
+//! re-scan would compute.
+//!
+//! Per view, with `W` the rule's window and `(I, D, U)` the delta:
+//!
+//! | view            | inserts `I`      | deletes `D`  | updates `U`                 |
+//! |-----------------|------------------|--------------|-----------------------------|
+//! | `inserted t`    | probe current    | remove       | re-probe if handle ∈ `W.ins`|
+//! | `deleted t`     | —                | probe `old`  | —                           |
+//! | `old updated t` | —                | remove       | probe `old` if ∈ `W.upd`    |
+//! | `new updated t` | —                | remove       | re-probe current if ∈ `W.upd`|
+//!
+//! (`I` never touches the update views: an insert-then-update tuple
+//! stays in `inserted` only — Definition 2.1 keeps `U` disjoint from
+//! `I1`. `D` removes everywhere because delete cancels window
+//! membership in the current-state views and `upd` entries migrate to
+//! `del`.) Probe errors propagate: an erroring row is met here exactly
+//! when the full evaluator would scan it, so the consideration aborts
+//! the same way re-scan would.
+
+use std::collections::BTreeSet;
+
+use setrules_query::incremental::{IncMemo, IncrementalPlan};
+use setrules_query::QueryError;
+use setrules_sql::ast::TransitionKind;
+use setrules_storage::{ColumnId, Database, TupleHandle};
+
+use crate::effect::TransitionEffect;
+use crate::transinfo::TransInfo;
+
+/// Resolved per-term addressing: the term's table/column names mapped to
+/// catalog ids once per (re)build, not per row.
+struct TermIds {
+    tid: setrules_storage::TableId,
+    col: Option<ColumnId>,
+}
+
+fn term_ids(db: &Database, plan: &IncrementalPlan) -> Result<Vec<TermIds>, QueryError> {
+    plan.terms
+        .iter()
+        .map(|t| {
+            let tid = db.table_id(&t.table)?;
+            let col = match &t.column {
+                Some(c) => Some(db.schema(tid).column_id(c).map_err(|_| {
+                    QueryError::UnknownColumn(format!("{}.{c}", t.table))
+                })?),
+                None => None,
+            };
+            Ok(TermIds { tid, col })
+        })
+        .collect()
+}
+
+/// Populate `memo` from scratch by scanning the rule's whole window.
+/// Returns the number of rows probed.
+pub fn rebuild_memo(
+    db: &Database,
+    plan: &IncrementalPlan,
+    window: &TransInfo,
+    memo: &mut IncMemo,
+) -> Result<u64, QueryError> {
+    let ids = term_ids(db, plan)?;
+    let mut probed = 0u64;
+    for ((term, ids), set) in plan.terms.iter().zip(&ids).zip(&mut memo.terms) {
+        set.clear();
+        match term.kind {
+            TransitionKind::Inserted => {
+                for h in &window.ins {
+                    if db.table_of(*h) != Some(ids.tid) {
+                        continue;
+                    }
+                    let Some(t) = db.get(ids.tid, *h) else { continue };
+                    probed += 1;
+                    if term.matches(&t.0)? {
+                        set.insert(*h);
+                    }
+                }
+            }
+            TransitionKind::Deleted => {
+                for (h, e) in &window.del {
+                    if e.table != ids.tid {
+                        continue;
+                    }
+                    probed += 1;
+                    if term.matches(&e.old.0)? {
+                        set.insert(*h);
+                    }
+                }
+            }
+            TransitionKind::OldUpdated => {
+                for (h, e) in &window.upd {
+                    if e.table != ids.tid || !ids.col.is_none_or(|c| e.columns.contains(&c)) {
+                        continue;
+                    }
+                    probed += 1;
+                    if term.matches(&e.old.0)? {
+                        set.insert(*h);
+                    }
+                }
+            }
+            TransitionKind::NewUpdated => {
+                for (h, e) in &window.upd {
+                    if e.table != ids.tid || !ids.col.is_none_or(|c| e.columns.contains(&c)) {
+                        continue;
+                    }
+                    let Some(t) = db.get(ids.tid, *h) else { continue };
+                    probed += 1;
+                    if term.matches(&t.0)? {
+                        set.insert(*h);
+                    }
+                }
+            }
+            TransitionKind::Selected => {
+                unreachable!("analyzer rejects selected windows")
+            }
+        }
+    }
+    Ok(probed)
+}
+
+/// Patch `memo` from the delta composed since the last consideration.
+/// `window` must be the rule's *current* composite window (the delta is a
+/// suffix of its composition). Returns the number of rows probed.
+pub fn repair_memo(
+    db: &Database,
+    plan: &IncrementalPlan,
+    window: &TransInfo,
+    delta: &TransitionEffect,
+    memo: &mut IncMemo,
+) -> Result<u64, QueryError> {
+    let ids = term_ids(db, plan)?;
+    // The delta names updates per column; membership probes are per
+    // tuple, so dedup once for all terms.
+    let updated_handles: BTreeSet<TupleHandle> =
+        delta.updated.iter().map(|(h, _)| *h).collect();
+    let mut probed = 0u64;
+    for ((term, ids), set) in plan.terms.iter().zip(&ids).zip(&mut memo.terms) {
+        match term.kind {
+            TransitionKind::Inserted => {
+                for h in &delta.deleted {
+                    set.remove(h);
+                }
+                // New inserts probe in, updates of window-inserted tuples
+                // re-probe (their current values changed).
+                for h in delta.inserted.iter().chain(&updated_handles) {
+                    if !window.ins.contains(h) || db.table_of(*h) != Some(ids.tid) {
+                        continue;
+                    }
+                    let Some(t) = db.get(ids.tid, *h) else { continue };
+                    probed += 1;
+                    if term.matches(&t.0)? {
+                        set.insert(*h);
+                    } else {
+                        set.remove(h);
+                    }
+                }
+            }
+            TransitionKind::Deleted => {
+                // Deletes only ever join this view; their old values are
+                // frozen, so no re-probes.
+                for h in &delta.deleted {
+                    let Some(e) = window.del.get(h) else { continue };
+                    if e.table != ids.tid {
+                        continue;
+                    }
+                    probed += 1;
+                    if term.matches(&e.old.0)? {
+                        set.insert(*h);
+                    }
+                }
+            }
+            TransitionKind::OldUpdated => {
+                for h in &delta.deleted {
+                    set.remove(h);
+                }
+                // A newly updated column can bring a tuple into a
+                // column-restricted view; its old value is frozen.
+                for h in &updated_handles {
+                    let Some(e) = window.upd.get(h) else { continue };
+                    if e.table != ids.tid || !ids.col.is_none_or(|c| e.columns.contains(&c)) {
+                        continue;
+                    }
+                    probed += 1;
+                    if term.matches(&e.old.0)? {
+                        set.insert(*h);
+                    } else {
+                        set.remove(h);
+                    }
+                }
+            }
+            TransitionKind::NewUpdated => {
+                for h in &delta.deleted {
+                    set.remove(h);
+                }
+                for h in &updated_handles {
+                    let licensed = window.upd.get(h).is_some_and(|e| {
+                        e.table == ids.tid && ids.col.is_none_or(|c| e.columns.contains(&c))
+                    });
+                    if !licensed {
+                        continue;
+                    }
+                    let Some(t) = db.get(ids.tid, *h) else { continue };
+                    probed += 1;
+                    if term.matches(&t.0)? {
+                        set.insert(*h);
+                    } else {
+                        set.remove(h);
+                    }
+                }
+            }
+            TransitionKind::Selected => {
+                unreachable!("analyzer rejects selected windows")
+            }
+        }
+    }
+    Ok(probed)
+}

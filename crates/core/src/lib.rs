@@ -46,6 +46,7 @@ mod engine;
 mod error;
 pub mod events;
 pub mod external;
+pub mod incremental;
 pub mod priority;
 pub mod rule;
 pub mod selection;

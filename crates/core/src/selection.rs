@@ -63,12 +63,77 @@ pub fn select_rule(
     }
 }
 
+/// Memoized trigger checks for one rule-processing pass.
+///
+/// The Figure 1 loop re-derives the triggered set on every iteration, but
+/// a rule's `triggered_by` verdict only changes when its composite window
+/// does — i.e. after a transition is applied ([`TriggerMemo::invalidate_all`])
+/// or after a footnote-8 per-rule window reset ([`TriggerMemo::invalidate`]).
+/// Between those points the cached verdict is authoritative, which keeps
+/// candidate collection O(rules) instead of O(rules × window).
+#[derive(Debug)]
+pub struct TriggerMemo {
+    cached: Vec<Option<bool>>,
+}
+
+impl TriggerMemo {
+    /// A memo for `n` rules with no cached verdicts.
+    pub fn new(n: usize) -> Self {
+        Self { cached: vec![None; n] }
+    }
+
+    /// The cached verdict for `rid`, computing (and caching) it on a miss.
+    pub fn check(&mut self, rid: RuleId, compute: impl FnOnce() -> bool) -> bool {
+        *self.cached[rid.0].get_or_insert_with(compute)
+    }
+
+    /// Drop one rule's verdict (its window was reset).
+    pub fn invalidate(&mut self, rid: RuleId) {
+        self.cached[rid.0] = None;
+    }
+
+    /// Drop every verdict (a transition touched all windows).
+    pub fn invalidate_all(&mut self) {
+        self.cached.fill(None);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn r(n: usize) -> RuleId {
         RuleId(n)
+    }
+
+    #[test]
+    fn trigger_memo_caches_until_invalidated() {
+        let mut memo = TriggerMemo::new(2);
+        let mut calls = 0;
+        assert!(memo.check(r(0), || {
+            calls += 1;
+            true
+        }));
+        // Hit: the closure must not run again.
+        assert!(memo.check(r(0), || unreachable!("cached")));
+        assert_eq!(calls, 1);
+
+        memo.invalidate(r(0));
+        assert!(!memo.check(r(0), || false), "recomputed after invalidate");
+        // r1 was never cached; r0 now caches `false`.
+        assert!(!memo.check(r(0), || unreachable!("cached")));
+    }
+
+    #[test]
+    fn trigger_memo_invalidate_all_clears_every_rule() {
+        let mut memo = TriggerMemo::new(3);
+        for i in 0..3 {
+            memo.check(r(i), || i % 2 == 0);
+        }
+        memo.invalidate_all();
+        for i in 0..3 {
+            assert!(memo.check(r(i), || true), "all verdicts recomputed");
+        }
     }
 
     #[test]

@@ -97,6 +97,19 @@ pub struct EngineStats {
     /// Rule considerations that had to compile plans fresh (first
     /// consideration, or after a DDL invalidation).
     pub plan_cache_misses: u64,
+    /// Considerations answered by repairing the rule's materialized
+    /// condition state from the composed `[I, D, U]` delta instead of
+    /// re-scanning its transition tables.
+    pub incr_hits: u64,
+    /// Considerations that (re)built the condition state by one full
+    /// window scan (first consideration, or after a window reset broke
+    /// the delta chain).
+    pub incr_rebuilds: u64,
+    /// Considerations of incrementally-enabled rules that fell back to
+    /// full re-scan (non-incrementalizable condition shape).
+    pub incr_fallbacks: u64,
+    /// Rows probed by incremental repairs and rebuilds combined.
+    pub incr_delta_rows: u64,
     /// Storage faults deliberately injected by an armed
     /// `setrules_storage::FaultInjector` plan.
     pub faults_injected: u64,
@@ -149,6 +162,10 @@ impl EngineStats {
             loop_aborts: self.loop_aborts + other.loop_aborts,
             plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses + other.plan_cache_misses,
+            incr_hits: self.incr_hits + other.incr_hits,
+            incr_rebuilds: self.incr_rebuilds + other.incr_rebuilds,
+            incr_fallbacks: self.incr_fallbacks + other.incr_fallbacks,
+            incr_delta_rows: self.incr_delta_rows + other.incr_delta_rows,
             faults_injected: self.faults_injected + other.faults_injected,
             stmt_rollbacks: self.stmt_rollbacks + other.stmt_rollbacks,
             parallel_scans: self.parallel_scans + other.parallel_scans,
@@ -184,6 +201,10 @@ impl EngineStats {
             loop_aborts: self.loop_aborts - earlier.loop_aborts,
             plan_cache_hits: self.plan_cache_hits - earlier.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses - earlier.plan_cache_misses,
+            incr_hits: self.incr_hits - earlier.incr_hits,
+            incr_rebuilds: self.incr_rebuilds - earlier.incr_rebuilds,
+            incr_fallbacks: self.incr_fallbacks - earlier.incr_fallbacks,
+            incr_delta_rows: self.incr_delta_rows - earlier.incr_delta_rows,
             faults_injected: self.faults_injected - earlier.faults_injected,
             stmt_rollbacks: self.stmt_rollbacks - earlier.stmt_rollbacks,
             parallel_scans: self.parallel_scans - earlier.parallel_scans,
@@ -212,6 +233,10 @@ impl EngineStats {
             ("loop_aborts", Json::Int(self.loop_aborts as i64)),
             ("plan_cache_hits", Json::Int(self.plan_cache_hits as i64)),
             ("plan_cache_misses", Json::Int(self.plan_cache_misses as i64)),
+            ("incr_hits", Json::Int(self.incr_hits as i64)),
+            ("incr_rebuilds", Json::Int(self.incr_rebuilds as i64)),
+            ("incr_fallbacks", Json::Int(self.incr_fallbacks as i64)),
+            ("incr_delta_rows", Json::Int(self.incr_delta_rows as i64)),
             ("faults_injected", Json::Int(self.faults_injected as i64)),
             ("stmt_rollbacks", Json::Int(self.stmt_rollbacks as i64)),
             ("parallel_scans", Json::Int(self.parallel_scans as i64)),

@@ -14,6 +14,7 @@
 //! transition predicates (§3's restriction); a provider without a licence
 //! set (used for debugging/analysis) allows everything.
 
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 
 use setrules_query::{describe, QueryError, TransitionTableProvider};
@@ -43,13 +44,13 @@ pub struct RuleWindowRef<'a> {
 }
 
 impl TransitionTableProvider for RuleWindowRef<'_> {
-    fn rows(
-        &self,
-        db: &Database,
+    fn rows<'a>(
+        &'a self,
+        db: &'a Database,
         kind: TransitionKind,
         table: &str,
         column: Option<&str>,
-    ) -> Result<Vec<Vec<Value>>, QueryError> {
+    ) -> Result<Vec<Cow<'a, [Value]>>, QueryError> {
         rows_impl(self.info, Some(self.licensed), db, kind, table, column)
     }
 }
@@ -76,26 +77,33 @@ impl RuleWindowProvider {
 }
 
 impl TransitionTableProvider for RuleWindowProvider {
-    fn rows(
-        &self,
-        db: &Database,
+    fn rows<'a>(
+        &'a self,
+        db: &'a Database,
         kind: TransitionKind,
         table: &str,
         column: Option<&str>,
-    ) -> Result<Vec<Vec<Value>>, QueryError> {
+    ) -> Result<Vec<Cow<'a, [Value]>>, QueryError> {
         rows_impl(&self.info, self.licensed.as_ref(), db, kind, table, column)
     }
 }
 
 /// Shared materialization logic for the owning and borrowing providers.
-fn rows_impl(
-    info: &TransInfo,
+///
+/// Rows are *lent*, not cloned: window-start values (`deleted`,
+/// `old updated`) borrow from the window's undo copies, current values
+/// (`inserted`, `new updated`, `selected`) borrow from the live tuples —
+/// the executor clones only rows that survive its filters. This is the
+/// consideration hot path: a storm of reconsiderations over a large
+/// window used to clone every row per consideration.
+fn rows_impl<'a>(
+    info: &'a TransInfo,
     licensed: Option<&BTreeSet<(TransitionKind, TableId, Option<ColumnId>)>>,
-    db: &Database,
+    db: &'a Database,
     kind: TransitionKind,
     table: &str,
     column: Option<&str>,
-) -> Result<Vec<Vec<Value>>, QueryError> {
+) -> Result<Vec<Cow<'a, [Value]>>, QueryError> {
     {
         let tid = db.table_id(table)?;
         let col = match column {
@@ -119,26 +127,26 @@ fn rows_impl(
                 .iter()
                 .filter(|h| db.table_of(**h) == Some(tid))
                 .filter_map(|h| db.get(tid, *h))
-                .map(|t| t.0.clone())
+                .map(|t| Cow::Borrowed(t.0.as_slice()))
                 .collect(),
             TransitionKind::Deleted => info
                 .del
                 .values()
                 .filter(|e| e.table == tid)
-                .map(|e| e.old.0.clone())
+                .map(|e| Cow::Borrowed(e.old.0.as_slice()))
                 .collect(),
             TransitionKind::OldUpdated => info
                 .upd
                 .values()
                 .filter(|e| e.table == tid && col.is_none_or(|c| e.columns.contains(&c)))
-                .map(|e| e.old.0.clone())
+                .map(|e| Cow::Borrowed(e.old.0.as_slice()))
                 .collect(),
             TransitionKind::NewUpdated => info
                 .upd
                 .iter()
                 .filter(|(_, e)| e.table == tid && col.is_none_or(|c| e.columns.contains(&c)))
                 .filter_map(|(h, _)| db.get(tid, *h))
-                .map(|t| t.0.clone())
+                .map(|t| Cow::Borrowed(t.0.as_slice()))
                 .collect(),
             TransitionKind::Selected => info
                 .sel
@@ -151,7 +159,7 @@ fn rows_impl(
                         })
                 })
                 .filter_map(|(h, _)| db.get(tid, *h))
-                .map(|t| t.0.clone())
+                .map(|t| Cow::Borrowed(t.0.as_slice()))
                 .collect(),
         };
         Ok(rows)

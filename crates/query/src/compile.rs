@@ -532,12 +532,25 @@ pub struct PlanCache {
     entries: RefCell<HashMap<(usize, u64), Arc<CompiledExpr>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    /// Incremental-evaluation state for the rule condition this cache
+    /// belongs to (tentpole of ISSUE 7): the one-time shape analysis and,
+    /// when incrementalizable, the materialized per-term match sets. It
+    /// lives here because its lifetime rules are exactly the plan
+    /// cache's — any DDL discards the whole cache, analysis and memo
+    /// included.
+    incr: RefCell<Option<crate::incremental::IncrState>>,
 }
 
 impl PlanCache {
     /// A fresh, empty cache.
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// Mutable access to the incremental-evaluation state slot (`None`
+    /// until the engine first analyzes the rule's condition).
+    pub fn incr_state(&self) -> std::cell::RefMut<'_, Option<crate::incremental::IncrState>> {
+        self.incr.borrow_mut()
     }
 
     /// Number of cached plans.

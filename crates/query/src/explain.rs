@@ -8,8 +8,8 @@ use std::fmt::Write as _;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use setrules_sql::ast::{SelectStmt, TableSource};
-use setrules_storage::Value;
+use setrules_sql::ast::{Expr, SelectStmt, TableSource, TransitionKind};
+use setrules_storage::{Database, Value};
 
 use crate::compile::{Layout, LayoutFrame};
 use crate::ctx::QueryCtx;
@@ -31,6 +31,25 @@ fn describe_interval(lo: &Bound<Value>, hi: &Bound<Value>) -> String {
         Bound::Unbounded => "+inf)".to_string(),
     };
     format!("{lo}, {hi}")
+}
+
+/// Describe whether a rule condition is incrementally evaluable —
+/// reporting the per-term materialized state the engine would maintain —
+/// or why it falls back to full re-scan. Runs the same analysis the
+/// engine caches per rule (`licensed` mirrors the rule's transition
+/// licence set).
+pub fn explain_condition(
+    db: &Database,
+    cond: &Expr,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+) -> String {
+    match crate::incremental::analyze(db, cond, licensed) {
+        Ok(plan) => {
+            let n = plan.terms.len();
+            format!("incremental ({n} term{})\n{}", if n == 1 { "" } else { "s" }, plan.describe())
+        }
+        Err(reason) => format!("full re-scan ({reason})\n"),
+    }
 }
 
 /// Describe how each `from` item of `stmt` would be scanned, and how a

@@ -1,0 +1,590 @@
+//! TREAT-style incremental rule-condition analysis (ISSUE 7 tentpole).
+//!
+//! A rule condition is re-evaluated at every consideration, but between
+//! two considerations the engine already knows *exactly* what changed:
+//! the `[I, D, U]` transition effect composed per Definition 2.1. This
+//! module decides, once per rule (cached in the rule's [`PlanCache`]),
+//! whether the condition can be evaluated *incrementally* — by keeping a
+//! materialized match set per condition term and repairing it from the
+//! delta — instead of re-scanning the transition tables.
+//!
+//! # Incrementalizable shape
+//!
+//! The analyzer accepts boolean combinations (`and` / `or` / `not`) of
+//! two term forms over a **single transition-table** `from` item:
+//!
+//! * `[not] exists (select <simple projection> from <transition t> [where P])`
+//! * `(select count(*) from <transition t> [where P]) <cmp> <numeric literal>`
+//!   (either operand order)
+//!
+//! where `P` compiles to *row-local* form against the transition table's
+//! single frame: slots-only, innermost-scope references, no subqueries,
+//! no interpreter fallback — the same analysis the parallel executor uses
+//! to prove a predicate safe to evaluate from one row alone. Row-local
+//! `P` is what makes delta repair sound: a tuple's membership in the term
+//! depends only on that tuple's own (old or current) value, so only
+//! tuples named by the delta can change membership.
+//!
+//! Everything else — stored-table subqueries, joins, correlated or
+//! interpreted predicates, grouped/ordered/limited subqueries, `selected`
+//! windows, unlicensed references — falls back to full evaluation with a
+//! [`FallbackReason`] naming why (surfaced as `incr_fallbacks` and in the
+//! REPL's `\incr` listing). Fallback **is** the semantics: the
+//! incremental path must be observably identical to re-scan, so anything
+//! it cannot reproduce bit-for-bit (including errors) is simply not
+//! incrementalized.
+//!
+//! # Term truth
+//!
+//! Term truth values are always two-valued (`exists` never yields NULL;
+//! `count(*)` is never NULL and numeric comparison against a non-NULL
+//! numeric literal cannot yield NULL), so the boolean combination tree is
+//! classical — Kleene three-valued logic degenerates to it — and the
+//! memoized truth equals the full evaluator's truth exactly.
+//!
+//! The *repair rules* that maintain the match sets live with the engine
+//! (`setrules-core`), which owns the windows and deltas; this module owns
+//! the shape analysis, the memo representation, the per-row probe, and
+//! the truth evaluation. See `docs/incremental-evaluation.md` for the
+//! full repair/invalidation matrix.
+
+use std::fmt;
+use std::sync::Arc;
+
+use setrules_sql::ast::{
+    AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, TableSource, TransitionKind, UnaryOp,
+};
+use setrules_storage::{Database, TupleHandle, Value};
+
+use crate::compile::{compile, CompiledExpr, Layout, LayoutFrame};
+use crate::error::QueryError;
+use crate::eval;
+use crate::parallel;
+use crate::provider::describe;
+
+/// Why a condition (or one of its terms) is not incrementalizable.
+///
+/// The taxonomy is part of the observable surface: `explain`-style output
+/// and the differential tests assert on it, and
+/// `docs/incremental-evaluation.md` documents each arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// A leaf of the boolean structure is not an `exists` / `count(*)`
+    /// comparison over a transition table.
+    Shape,
+    /// A subquery scans a stored table (its rows are not delta-addressed
+    /// by the rule's window).
+    StoredTable(String),
+    /// A subquery joins multiple `from` items.
+    MultiItemFrom,
+    /// A `selected t[.c]` window (§5.1): membership depends on read
+    /// tracking, not the `[I, D, U]` delta.
+    SelectedWindow,
+    /// The subquery uses `distinct`, `group by`, `having`, `order by`, or
+    /// `limit` — shapes whose truth is not a pure match-set property.
+    SubqueryShape,
+    /// The `exists` projection is not simple (aggregates or subqueries
+    /// could change row count or raise their own errors).
+    Projection,
+    /// The `where` predicate is not row-local (correlated/outer
+    /// references, nested subqueries, or interpreter fallback).
+    Predicate,
+    /// The `count(*)` comparison is not against a numeric literal.
+    CountComparison,
+    /// The transition-table reference is not licensed by the rule's
+    /// triggering predicates (§3) — full evaluation raises the error.
+    Unlicensed(String),
+    /// The referenced table or column does not exist — full evaluation
+    /// raises the error.
+    UnknownReference(String),
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackReason::Shape => write!(f, "condition shape is not exists/count over terms"),
+            FallbackReason::StoredTable(t) => write!(f, "subquery scans stored table '{t}'"),
+            FallbackReason::MultiItemFrom => write!(f, "subquery joins multiple from items"),
+            FallbackReason::SelectedWindow => write!(f, "selected windows are not delta-addressed"),
+            FallbackReason::SubqueryShape => {
+                write!(f, "distinct/group by/having/order by/limit in subquery")
+            }
+            FallbackReason::Projection => write!(f, "exists projection is not simple"),
+            FallbackReason::Predicate => write!(f, "where predicate is not row-local"),
+            FallbackReason::CountComparison => {
+                write!(f, "count(*) is not compared to a numeric literal")
+            }
+            FallbackReason::Unlicensed(r) => write!(f, "unlicensed reference to {r}"),
+            FallbackReason::UnknownReference(r) => write!(f, "unknown reference {r}"),
+        }
+    }
+}
+
+/// How a term's match set becomes a truth value.
+#[derive(Debug, Clone)]
+pub enum TermTruth {
+    /// `[not] exists (...)`: true iff the match set is (non-)empty.
+    Exists {
+        /// `not exists`?
+        negated: bool,
+    },
+    /// `count(*) <cmp> literal`: compare the match-set cardinality.
+    Count {
+        /// The comparison operator (already mirrored if the literal was
+        /// on the left).
+        op: BinaryOp,
+        /// The literal operand (Int or Float).
+        literal: Value,
+    },
+}
+
+/// One incrementalizable condition term: a match set over one transition
+/// table, filtered by an optional row-local predicate.
+#[derive(Debug, Clone)]
+pub struct IncTerm {
+    /// Which transition table the term scans.
+    pub kind: TransitionKind,
+    /// The underlying stored table.
+    pub table: String,
+    /// Column restriction (`old/new updated t.c`).
+    pub column: Option<String>,
+    /// The row-local `where` predicate, compiled against the single
+    /// transition frame; `None` = every row matches.
+    pred: Option<CompiledExpr>,
+    /// How the match set becomes a truth value.
+    pub truth: TermTruth,
+}
+
+impl IncTerm {
+    /// Whether `row` (with the stored table's schema) satisfies the
+    /// term's predicate — SQL `where` truth: only *true* matches.
+    /// Evaluation errors propagate exactly as the full evaluator's would.
+    pub fn matches(&self, row: &[Value]) -> Result<bool, QueryError> {
+        match &self.pred {
+            None => Ok(true),
+            Some(p) => parallel::eval_rowlocal_predicate(p, &[row]),
+        }
+    }
+
+    /// The term's truth given its current match-set cardinality.
+    fn truth(&self, cardinality: usize) -> Result<bool, QueryError> {
+        match &self.truth {
+            TermTruth::Exists { negated } => Ok((cardinality > 0) != *negated),
+            TermTruth::Count { op, literal } => {
+                // The same comparison kernel the full evaluator applies to
+                // `(select count(*) ...) <cmp> literal`.
+                let v = eval::apply_binary(&Value::Int(cardinality as i64), *op, literal)?;
+                Ok(eval::truth(&v)? == Some(true))
+            }
+        }
+    }
+}
+
+/// A node of the condition's boolean structure over term indices.
+#[derive(Debug, Clone)]
+pub enum IncNode {
+    /// A leaf term (index into [`IncrementalPlan::terms`]).
+    Term(usize),
+    /// Logical conjunction.
+    And(Box<IncNode>, Box<IncNode>),
+    /// Logical disjunction.
+    Or(Box<IncNode>, Box<IncNode>),
+    /// Logical negation.
+    Not(Box<IncNode>),
+}
+
+/// Per-rule materialized condition state: one matched-handle set per
+/// term. Lives in the rule's [`PlanCache`] next to the compiled plans and
+/// dies with it on DDL.
+///
+/// [`PlanCache`]: crate::compile::PlanCache
+#[derive(Debug, Clone, Default)]
+pub struct IncMemo {
+    /// `terms[i]` = handles currently matching term `i`'s predicate.
+    pub terms: Vec<std::collections::BTreeSet<TupleHandle>>,
+}
+
+impl IncMemo {
+    /// An all-empty memo shaped for `plan`.
+    pub fn for_plan(plan: &IncrementalPlan) -> IncMemo {
+        IncMemo { terms: vec![Default::default(); plan.terms.len()] }
+    }
+}
+
+/// Per-rule incremental-evaluation state, stored in the rule's
+/// [`PlanCache`](crate::compile::PlanCache) so DDL invalidation frees it
+/// together with the compiled plans.
+#[derive(Debug)]
+pub struct IncrState {
+    /// The one-time shape analysis: the incremental plan, or why the rule
+    /// permanently falls back (until the next DDL re-analysis).
+    pub plan: Result<Arc<IncrementalPlan>, FallbackReason>,
+    /// The materialized per-term match sets; `None` until the first
+    /// consideration rebuilds them from the rule's full window.
+    pub memo: Option<IncMemo>,
+}
+
+/// The incremental evaluation plan for one rule condition.
+#[derive(Debug, Clone)]
+pub struct IncrementalPlan {
+    root: IncNode,
+    /// The condition's terms, in analysis order.
+    pub terms: Vec<IncTerm>,
+}
+
+impl IncrementalPlan {
+    /// The condition's truth under the memoized match sets.
+    pub fn truth(&self, memo: &IncMemo) -> Result<bool, QueryError> {
+        self.node_truth(&self.root, memo)
+    }
+
+    fn node_truth(&self, node: &IncNode, memo: &IncMemo) -> Result<bool, QueryError> {
+        match node {
+            IncNode::Term(i) => self.terms[*i].truth(memo.terms[*i].len()),
+            IncNode::And(l, r) => Ok(self.node_truth(l, memo)? && self.node_truth(r, memo)?),
+            IncNode::Or(l, r) => Ok(self.node_truth(l, memo)? || self.node_truth(r, memo)?),
+            IncNode::Not(e) => Ok(!self.node_truth(e, memo)?),
+        }
+    }
+
+    /// One line per term: the transition view scanned and the truth form,
+    /// for `explain` output and the REPL.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.terms.iter().enumerate() {
+            let view = describe(t.kind, &t.table, t.column.as_deref());
+            let filter = if t.pred.is_some() { " where <row-local>" } else { "" };
+            let truth = match &t.truth {
+                TermTruth::Exists { negated: false } => "exists".to_string(),
+                TermTruth::Exists { negated: true } => "not exists".to_string(),
+                TermTruth::Count { op, literal } => format!("count {} {literal}", op_text(*op)),
+            };
+            out.push_str(&format!("term {i}: {truth} [{view}{filter}]\n"));
+        }
+        out
+    }
+}
+
+fn op_text(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Eq => "=",
+        BinaryOp::NotEq => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::LtEq => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::GtEq => ">=",
+        _ => "?",
+    }
+}
+
+/// Analyze a rule condition for incremental evaluation.
+///
+/// `licensed` mirrors the §3 restriction check the window provider
+/// applies at evaluation time: a reference it rejects falls back, so full
+/// evaluation raises the identical error the re-scan path always raised.
+pub fn analyze(
+    db: &Database,
+    cond: &Expr,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+) -> Result<IncrementalPlan, FallbackReason> {
+    let mut terms = Vec::new();
+    let root = analyze_node(db, cond, licensed, &mut terms)?;
+    Ok(IncrementalPlan { root, terms })
+}
+
+fn analyze_node(
+    db: &Database,
+    e: &Expr,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+    terms: &mut Vec<IncTerm>,
+) -> Result<IncNode, FallbackReason> {
+    match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => Ok(IncNode::And(
+            Box::new(analyze_node(db, left, licensed, terms)?),
+            Box::new(analyze_node(db, right, licensed, terms)?),
+        )),
+        Expr::Binary { left, op: BinaryOp::Or, right } => Ok(IncNode::Or(
+            Box::new(analyze_node(db, left, licensed, terms)?),
+            Box::new(analyze_node(db, right, licensed, terms)?),
+        )),
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            Ok(IncNode::Not(Box::new(analyze_node(db, expr, licensed, terms)?)))
+        }
+        Expr::Exists { subquery, negated } => {
+            let term =
+                analyze_term(db, subquery, licensed, TermTruth::Exists { negated: *negated })?;
+            terms.push(term);
+            Ok(IncNode::Term(terms.len() - 1))
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            // count(*) comparison, literal on either side.
+            let (sub, lit, op) = match (&**left, &**right) {
+                (Expr::ScalarSubquery(s), Expr::Literal(v)) => (s, v, *op),
+                (Expr::Literal(v), Expr::ScalarSubquery(s)) => (s, v, mirror(*op)),
+                _ => return Err(FallbackReason::Shape),
+            };
+            if !matches!(lit, Value::Int(_) | Value::Float(_)) {
+                return Err(FallbackReason::CountComparison);
+            }
+            if !is_count_star(sub) {
+                return Err(FallbackReason::CountComparison);
+            }
+            let term = analyze_term(
+                db,
+                sub,
+                licensed,
+                TermTruth::Count { op, literal: lit.clone() },
+            )?;
+            terms.push(term);
+            Ok(IncNode::Term(terms.len() - 1))
+        }
+        _ => Err(FallbackReason::Shape),
+    }
+}
+
+/// `a <cmp> b` ⇔ `b <mirror cmp> a`.
+fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other, // Eq / NotEq are symmetric
+    }
+}
+
+/// Is `sub`'s projection exactly `count(*)`?
+fn is_count_star(sub: &SelectStmt) -> bool {
+    matches!(
+        sub.projection.as_slice(),
+        [SelectItem::Expr {
+            expr: Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false },
+            ..
+        }]
+    )
+}
+
+/// Is an `exists` projection item free of anything that could change the
+/// subquery's row count or raise its own evaluation error?
+fn simple_projection(item: &SelectItem) -> bool {
+    match item {
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => true,
+        SelectItem::Expr { expr, .. } => {
+            matches!(expr, Expr::Column { .. } | Expr::Literal(_))
+        }
+    }
+}
+
+fn analyze_term(
+    db: &Database,
+    sub: &SelectStmt,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+    truth: TermTruth,
+) -> Result<IncTerm, FallbackReason> {
+    if sub.from.len() != 1 {
+        return Err(FallbackReason::MultiItemFrom);
+    }
+    if sub.distinct
+        || !sub.group_by.is_empty()
+        || sub.having.is_some()
+        || !sub.order_by.is_empty()
+        || sub.limit.is_some()
+    {
+        return Err(FallbackReason::SubqueryShape);
+    }
+    if matches!(truth, TermTruth::Exists { .. }) && !sub.projection.iter().all(simple_projection) {
+        return Err(FallbackReason::Projection);
+    }
+    let tref = &sub.from[0];
+    let (kind, table, column) = match &tref.source {
+        TableSource::Named(n) => return Err(FallbackReason::StoredTable(n.clone())),
+        TableSource::Transition { kind, table, column } => (*kind, table, column),
+    };
+    if kind == TransitionKind::Selected {
+        return Err(FallbackReason::SelectedWindow);
+    }
+    let view = describe(kind, table, column.as_deref());
+    let Ok(tid) = db.table_id(table) else {
+        return Err(FallbackReason::UnknownReference(view));
+    };
+    if let Some(c) = column {
+        if db.schema(tid).column_id(c).is_err() {
+            return Err(FallbackReason::UnknownReference(view));
+        }
+    }
+    if !licensed(kind, table, column.as_deref()) {
+        return Err(FallbackReason::Unlicensed(view));
+    }
+    let pred = match &sub.predicate {
+        None => None,
+        Some(p) => {
+            // Compile against the subquery's single frame exactly as the
+            // executor would lay it out: the transition table's binding
+            // name over the stored table's columns. Anything that is not
+            // row-local after compilation — outer references (a rule
+            // condition has no outer scope, so they lower to the
+            // interpreter), nested subqueries, unresolved names — falls
+            // back.
+            let mut layout = Layout::new();
+            layout.push_level(vec![LayoutFrame {
+                name: tref.binding_name().to_string(),
+                columns: Arc::new(
+                    db.schema(tid).columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+                ),
+            }]);
+            let compiled = compile(p, &layout);
+            if !parallel::is_rowlocal(&compiled) {
+                return Err(FallbackReason::Predicate);
+            }
+            Some(compiled)
+        }
+    };
+    Ok(IncTerm { kind, table: table.clone(), column: column.clone(), pred, truth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setrules_sql::parse_expr;
+    use setrules_storage::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "emp",
+            vec![
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("emp_no", DataType::Int),
+                ColumnDef::new("salary", DataType::Float),
+            ],
+        ))
+        .unwrap();
+        db
+    }
+
+    fn allow_all(_: TransitionKind, _: &str, _: Option<&str>) -> bool {
+        true
+    }
+
+    fn plan(src: &str) -> Result<IncrementalPlan, FallbackReason> {
+        analyze(&db(), &parse_expr(src).unwrap(), &allow_all)
+    }
+
+    #[test]
+    fn accepts_exists_and_count_combinations() {
+        let p = plan(
+            "exists (select * from inserted emp where salary > 100.0) \
+             and not (select count(*) from deleted emp) > 3",
+        )
+        .unwrap();
+        assert_eq!(p.terms.len(), 2);
+        assert!(matches!(p.terms[0].truth, TermTruth::Exists { negated: false }));
+        assert!(matches!(p.terms[0].kind, TransitionKind::Inserted));
+        assert!(matches!(
+            p.terms[1].truth,
+            TermTruth::Count { op: BinaryOp::Gt, .. }
+        ));
+    }
+
+    #[test]
+    fn mirrors_reversed_count_comparison() {
+        let p = plan("3 < (select count(*) from inserted emp)").unwrap();
+        // `3 < count` ⇔ `count > 3`.
+        assert!(matches!(p.terms[0].truth, TermTruth::Count { op: BinaryOp::Gt, .. }));
+    }
+
+    #[test]
+    fn fallback_taxonomy() {
+        let reason = |src: &str| plan(src).unwrap_err();
+        assert_eq!(reason("salary > 10.0"), FallbackReason::Shape);
+        assert_eq!(
+            reason("exists (select * from emp)"),
+            FallbackReason::StoredTable("emp".into())
+        );
+        assert_eq!(
+            reason("exists (select * from inserted emp, deleted emp)"),
+            FallbackReason::MultiItemFrom
+        );
+        assert_eq!(
+            reason("exists (select * from inserted emp order by emp_no)"),
+            FallbackReason::SubqueryShape
+        );
+        assert_eq!(
+            reason("exists (select count(*) from inserted emp)"),
+            FallbackReason::Projection
+        );
+        assert_eq!(
+            reason(
+                "exists (select * from inserted emp \
+                 where emp_no in (select emp_no from deleted emp))"
+            ),
+            FallbackReason::Predicate
+        );
+        assert_eq!(
+            reason("(select count(*) from inserted emp) = 'three'"),
+            FallbackReason::CountComparison
+        );
+        assert_eq!(
+            reason("exists (select * from inserted nosuch)"),
+            FallbackReason::UnknownReference("inserted nosuch".into())
+        );
+        let deny = |_: TransitionKind, _: &str, _: Option<&str>| false;
+        assert_eq!(
+            analyze(&db(), &parse_expr("exists (select * from inserted emp)").unwrap(), &deny)
+                .unwrap_err(),
+            FallbackReason::Unlicensed("inserted emp".into())
+        );
+    }
+
+    #[test]
+    fn truth_over_memo() {
+        let p = plan(
+            "exists (select * from inserted emp) \
+             or (select count(*) from deleted emp) >= 2",
+        )
+        .unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        assert!(!p.truth(&memo).unwrap());
+        memo.terms[1].insert(TupleHandle(1));
+        assert!(!p.truth(&memo).unwrap(), "count 1 < 2 and no inserts");
+        memo.terms[1].insert(TupleHandle(2));
+        assert!(p.truth(&memo).unwrap(), "count reached 2");
+        memo.terms[1].clear();
+        memo.terms[0].insert(TupleHandle(3));
+        assert!(p.truth(&memo).unwrap(), "exists arm");
+    }
+
+    #[test]
+    fn float_count_comparison_matches_executor_semantics() {
+        let p = plan("(select count(*) from inserted emp) > 1.5").unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        memo.terms[0].insert(TupleHandle(1));
+        assert!(!p.truth(&memo).unwrap());
+        memo.terms[0].insert(TupleHandle(2));
+        assert!(p.truth(&memo).unwrap());
+    }
+
+    #[test]
+    fn row_probe_applies_where_truth() {
+        let p = plan("exists (select * from inserted emp where salary > 100.0)").unwrap();
+        let t = &p.terms[0];
+        let row_hi = vec![Value::Text("a".into()), Value::Int(1), Value::Float(150.0)];
+        let row_lo = vec![Value::Text("b".into()), Value::Int(2), Value::Float(50.0)];
+        let row_null = vec![Value::Text("c".into()), Value::Int(3), Value::Null];
+        assert!(t.matches(&row_hi).unwrap());
+        assert!(!t.matches(&row_lo).unwrap());
+        assert!(!t.matches(&row_null).unwrap(), "NULL comparison is not true");
+    }
+
+    #[test]
+    fn describe_names_views_and_truth_forms() {
+        let p = plan(
+            "not exists (select * from new updated emp.salary where salary > 0.0) \
+             and (select count(*) from deleted emp) = 0",
+        )
+        .unwrap();
+        let d = p.describe();
+        assert!(d.contains("not exists [new updated emp.salary where <row-local>]"), "{d}");
+        assert!(d.contains("count = 0 [deleted emp]"), "{d}");
+    }
+}

@@ -30,6 +30,7 @@ mod dml;
 mod error;
 mod eval;
 mod explain;
+pub mod incremental;
 pub mod like;
 pub mod parallel;
 pub mod planner;
@@ -50,7 +51,7 @@ pub use dml::{
 };
 pub use error::QueryError;
 pub use eval::{eval_expr, eval_predicate, truth};
-pub use explain::explain_select;
+pub use explain::{explain_condition, explain_select};
 pub use provider::{describe, NoTransitionTables, TransitionTableProvider};
 pub use relation::Relation;
 pub use select::{has_aggregate, run_select, run_select_traced};

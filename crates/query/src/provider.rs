@@ -6,6 +6,8 @@
 //! layer only needs a way to ask for those rows, so the dependency points
 //! this way: `setrules-core` implements [`TransitionTableProvider`].
 
+use std::borrow::Cow;
+
 use setrules_sql::ast::TransitionKind;
 use setrules_storage::{Database, Value};
 
@@ -19,13 +21,19 @@ pub trait TransitionTableProvider {
     /// not legal in the current context (paper §3: a rule may only
     /// reference transition tables corresponding to its basic transition
     /// predicates).
-    fn rows(
-        &self,
-        db: &Database,
+    ///
+    /// Rows are `Cow` slices so providers that already hold the
+    /// materialized values (the rule engine's window keeps window-start
+    /// tuples, and current values live in the database) can lend them
+    /// without cloning; the executor only takes ownership of rows that
+    /// survive filtering.
+    fn rows<'a>(
+        &'a self,
+        db: &'a Database,
         kind: TransitionKind,
         table: &str,
         column: Option<&str>,
-    ) -> Result<Vec<Vec<Value>>, QueryError>;
+    ) -> Result<Vec<Cow<'a, [Value]>>, QueryError>;
 }
 
 /// The provider used outside rule processing: every transition-table
@@ -34,13 +42,13 @@ pub trait TransitionTableProvider {
 pub struct NoTransitionTables;
 
 impl TransitionTableProvider for NoTransitionTables {
-    fn rows(
-        &self,
-        _db: &Database,
+    fn rows<'a>(
+        &'a self,
+        _db: &'a Database,
         kind: TransitionKind,
         table: &str,
         column: Option<&str>,
-    ) -> Result<Vec<Vec<Value>>, QueryError> {
+    ) -> Result<Vec<Cow<'a, [Value]>>, QueryError> {
         Err(QueryError::TransitionTableUnavailable(describe(kind, table, column)))
     }
 }

@@ -209,8 +209,14 @@ pub fn run_select_traced(
     // evaluates in is sound because resolution is innermost-first:
     // removing sibling frames cannot redirect a reference that already
     // resolved into this item.
+    // A sole stored-table item skips pushdown (the full predicate does
+    // the identical work), but a sole *transition* item benefits: its
+    // provider lends borrowed rows, so dropping a row at the scan avoids
+    // ever cloning it.
+    let pushdown_worthwhile = metas.len() > 1
+        || metas.iter().any(|m| matches!(m.source, Source::Transition));
     let mut pushed: Vec<Vec<CompiledExpr>> = (0..metas.len()).map(|_| Vec::new()).collect();
-    if compiled_mode && metas.len() > 1 {
+    if compiled_mode && pushdown_worthwhile {
         if let Some(p) = &stmt.predicate {
             let mut conjuncts = Vec::new();
             crate::planner::collect_conjuncts(p, &mut conjuncts);
@@ -341,14 +347,34 @@ pub fn run_select_traced(
                 }
             }
             (Source::Transition, TableSource::Transition { kind, table, column }) => {
-                let rows: Vec<ScanRow> = ctx
-                    .virt
-                    .rows(ctx.db, *kind, table, column.as_deref())?
-                    .into_iter()
-                    .map(|vals| (None, vals))
-                    .collect();
-                stats::bump(ctx.stats, |s| s.rows_scanned += rows.len() as u64);
-                rows
+                let lent = ctx.virt.rows(ctx.db, *kind, table, column.as_deref())?;
+                stats::bump(ctx.stats, |s| s.rows_scanned += lent.len() as u64);
+                if !conjs.is_empty() && conjs.iter().all(parallel::is_rowlocal) {
+                    // Filter the borrowed rows first so only survivors are
+                    // ever cloned into owned scan rows. Drop only on a
+                    // definite non-`true` (same rule as the serial filter
+                    // below — errors defer to the full predicate).
+                    prefiltered = true;
+                    let mut kept: Vec<ScanRow> = Vec::new();
+                    let mut dropped = 0u64;
+                    for vals in lent {
+                        let keep = conjs.iter().all(|cc| {
+                            !matches!(
+                                parallel::eval_rowlocal_predicate(cc, &[vals.as_ref()]),
+                                Ok(false)
+                            )
+                        });
+                        if keep {
+                            kept.push((None, vals.into_owned()));
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                    stats::bump(ctx.stats, |s| s.pushdown_filtered += dropped);
+                    kept
+                } else {
+                    lent.into_iter().map(|vals| (None, vals.into_owned())).collect()
+                }
             }
             (Source::Transition, TableSource::Named(_)) => {
                 unreachable!("meta source mirrors the from item")

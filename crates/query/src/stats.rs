@@ -68,6 +68,10 @@ pub struct ExecStats {
     /// `order by ... limit k` clauses answered by top-k selection
     /// (partial select + prefix sort) instead of a full sort.
     pub topk_selected: u64,
+    /// Rows probed by the incremental condition evaluator (memo rebuilds
+    /// and delta repairs) — the per-row work the TREAT-style path does
+    /// *instead of* full transition-table scans.
+    pub incr_probe_rows: u64,
 }
 
 impl ExecStats {
@@ -92,6 +96,7 @@ impl ExecStats {
             parallel_partitions: self.parallel_partitions + other.parallel_partitions,
             serial_fallbacks: self.serial_fallbacks + other.serial_fallbacks,
             topk_selected: self.topk_selected + other.topk_selected,
+            incr_probe_rows: self.incr_probe_rows + other.incr_probe_rows,
         }
     }
 
@@ -116,6 +121,7 @@ impl ExecStats {
             parallel_partitions: self.parallel_partitions - earlier.parallel_partitions,
             serial_fallbacks: self.serial_fallbacks - earlier.serial_fallbacks,
             topk_selected: self.topk_selected - earlier.topk_selected,
+            incr_probe_rows: self.incr_probe_rows - earlier.incr_probe_rows,
         }
     }
 
@@ -140,6 +146,7 @@ impl ExecStats {
             ("parallel_partitions", Json::Int(self.parallel_partitions as i64)),
             ("serial_fallbacks", Json::Int(self.serial_fallbacks as i64)),
             ("topk_selected", Json::Int(self.topk_selected as i64)),
+            ("incr_probe_rows", Json::Int(self.incr_probe_rows as i64)),
         ])
     }
 }
@@ -218,6 +225,6 @@ mod tests {
         let j = ExecStats { nested_loop_joins: 3, ..Default::default() }.to_json();
         assert_eq!(j.get("nested_loop_joins").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("rows_scanned").unwrap().as_i64(), Some(0));
-        assert_eq!(j.as_object().unwrap().len(), 18);
+        assert_eq!(j.as_object().unwrap().len(), 19);
     }
 }

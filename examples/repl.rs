@@ -167,6 +167,7 @@ fn meta_command(sys: &mut RuleSystem, meta: &str) -> bool {
             Err(e) => println!("error: {e}"),
         },
         "stats" => println!("{}", sys.full_stats().to_json().pretty()),
+        "incr" => print!("{}", sys.incremental_report()),
         "wal" => match sys.wal_status() {
             Some(status) => println!("{}", status.pretty()),
             None => println!("no write-ahead log (in-memory system)"),
@@ -188,7 +189,7 @@ fn meta_command(sys: &mut RuleSystem, meta: &str) -> bool {
             println!("     create rule priority A before B, activate/deactivate rule,");
             println!("     begin / process rules / commit / rollback");
             println!("meta: \\rules  \\analyze  \\dot  \\explain <select>  \\json <select>");
-            println!("      \\stats  \\events [n]  \\wal  \\quit");
+            println!("      \\stats  \\events [n]  \\incr  \\wal  \\quit");
         }
         other => println!("unknown meta-command '\\{other}' (try \\help)"),
     }

@@ -22,6 +22,12 @@ echo "==> cargo test -q (SETRULES_THREADS=1: exact serial paths)"
 # worker pool pinned off just as it does with the default budget.
 SETRULES_THREADS=1 cargo test -q
 
+echo "==> cargo test -q (SETRULES_INCR=0: full re-scan condition evaluation)"
+# Incremental condition evaluation must be a pure optimisation — the whole
+# suite has to pass with the delta-driven evaluator pinned off and every
+# condition re-scanned from the composite window.
+SETRULES_INCR=0 cargo test -q
+
 echo "==> fault-injection sweep (bounded: first/middle/last site per kind)"
 # The full sweep (every (kind, n) site on the paper workloads) runs as part
 # of `cargo test` above; this re-runs it explicitly in the env-bounded mode
@@ -72,6 +78,16 @@ BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench wal
 test -f "$PWD/target/bench-snapshots/BENCH_wal.json" \
   || { echo "error: BENCH_wal.json not written" >&2; exit 1; }
+
+echo "==> bench smoke (incremental condition evaluation vs re-scan)"
+# In-bench asserts: identical firing traces and state images for the
+# incremental and re-scan evaluators on the refire storm, repairs (not
+# rebuilds) on reconsideration, zero fallbacks, and >=10x wall-clock
+# speedup over per-consideration re-scan.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench incremental
+test -f "$PWD/target/bench-snapshots/BENCH_incremental.json" \
+  || { echo "error: BENCH_incremental.json not written" >&2; exit 1; }
 
 echo "==> EngineEvent enum guard"
 # Variant names: capitalized identifiers at 4-space indent inside the

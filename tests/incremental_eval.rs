@@ -1,0 +1,401 @@
+//! Differential checks of incremental condition evaluation (delta-driven
+//! memo repair) against the full re-scan evaluator it replaces.
+//!
+//! * 300 random rule programs × random DML batches, run twice — once with
+//!   `EngineConfig::incremental` on, once off — must produce identical
+//!   firing sequences, identical `state_image()`s, and identical semantic
+//!   counters (work counters like `rows_scanned` and the `incr_*` family
+//!   legitimately differ: that difference is the optimisation).
+//! * A fault sweep over the paper's Example 3.1 / 4.1 workloads with
+//!   incremental evaluation enabled: every reachable fault site must
+//!   abort to a byte-identical pre-statement state on *both* evaluators,
+//!   and the post-recovery runs must converge — i.e. an abort invalidates
+//!   the memo rather than leaving it stale.
+//!
+//! Cases come from the deterministic `setrules-testkit` harness; a
+//! failure names the case index and seed to replay.
+
+use setrules_core::{
+    EngineConfig, FaultKind, RetriggerSemantics, RuleError, RuleSystem, SelectionStrategy,
+};
+use setrules_query::QueryError;
+use setrules_storage::StorageError;
+use setrules_testkit::{check, Rng};
+
+// ----------------------------------------------------------------------
+// Random rule programs over a shared schema.
+// ----------------------------------------------------------------------
+
+/// `t` is the watched table, `tick` drives bounded cascades, `sink`
+/// absorbs actions without licensing any `t`/`tick` trigger.
+fn build(incremental: bool, retrigger: RetriggerSemantics, rules: &[String]) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(EngineConfig {
+        incremental: Some(incremental),
+        retrigger,
+        strategy: SelectionStrategy::PartialOrder,
+        ..Default::default()
+    });
+    sys.execute("create table t (a int, b int)").unwrap();
+    sys.execute("create table tick (k int)").unwrap();
+    sys.execute("create table sink (r int, v int)").unwrap();
+    for r in rules {
+        sys.execute(r).unwrap();
+    }
+    sys
+}
+
+/// A row-local (or empty) filter over the licensed view's columns.
+fn gen_pred(rng: &mut Rng, tick: bool) -> String {
+    if tick {
+        return match rng.below(3) {
+            0 => String::new(),
+            1 => format!(" where k > {}", rng.range_i64(0, 3)),
+            _ => format!(" where k < {}", rng.range_i64(1, 4)),
+        };
+    }
+    match rng.below(5) {
+        0 => String::new(),
+        1 => format!(" where a > {}", rng.range_i64(0, 50)),
+        2 => format!(" where b < {}", rng.range_i64(0, 50)),
+        3 => format!(" where a + b > {}", rng.range_i64(0, 80)),
+        _ => format!(" where a > {} and b > {}", rng.range_i64(0, 40), rng.range_i64(0, 40)),
+    }
+}
+
+/// One condition term over the rule's licensed transition views. Roughly
+/// one in six terms is deliberately *not* incrementalizable (stored-table
+/// reference, join, or non-row-local predicate) so the fallback path runs
+/// interleaved with repairs.
+fn gen_term(rng: &mut Rng, views: &[&str]) -> String {
+    if rng.chance(1, 6) {
+        return match rng.below(3) {
+            0 => format!("exists (select * from t where a > {})", rng.range_i64(0, 50)),
+            1 => "exists (select * from t e1, t e2 where e1.a = e2.b)".to_string(),
+            _ => {
+                let view = views[rng.below(views.len())];
+                format!("exists (select * from {view} where a > (select count(*) from sink))")
+            }
+        };
+    }
+    let view = views[rng.below(views.len())];
+    let pred = gen_pred(rng, view.ends_with("tick"));
+    match rng.below(5) {
+        0 => format!("exists (select * from {view}{pred})"),
+        1 => format!("not exists (select * from {view}{pred})"),
+        2 => format!("(select count(*) from {view}{pred}) > {}", rng.below(3)),
+        3 => format!("(select count(*) from {view}{pred}) = 0"),
+        _ => format!("{} < (select count(*) from {view}{pred})", rng.below(2)),
+    }
+}
+
+fn gen_condition(rng: &mut Rng, views: &[&str]) -> Option<String> {
+    if rng.chance(1, 8) {
+        return None; // omitted condition: always fires, no memo involved
+    }
+    let nterms = 1 + rng.below(3);
+    let mut s = gen_term(rng, views);
+    for _ in 1..nterms {
+        let op = if rng.chance(1, 2) { "and" } else { "or" };
+        s = format!("({s} {op} {})", gen_term(rng, views));
+    }
+    Some(s)
+}
+
+fn gen_rule(rng: &mut Rng, i: usize) -> String {
+    let (when, views): (&str, Vec<&str>) = match rng.below(6) {
+        0 => ("inserted into t", vec!["inserted t"]),
+        1 => ("deleted from t", vec!["deleted t"]),
+        2 => ("updated t.a", vec!["old updated t.a", "new updated t.a"]),
+        3 => ("updated t.b", vec!["old updated t.b", "new updated t.b"]),
+        4 => ("updated t", vec!["old updated t", "new updated t"]),
+        _ => {
+            // Bounded self-triggering cascade: each firing re-inserts
+            // strictly smaller keys, so the storm terminates.
+            return format!(
+                "create rule r{i} when inserted into tick \
+                 if exists (select * from inserted tick where k > 0) \
+                 then insert into tick (select k - 1 from inserted tick where k > 0)"
+            );
+        }
+    };
+    let action = if rng.chance(1, 16) {
+        "rollback".to_string()
+    } else {
+        format!("insert into sink values ({i}, 1)")
+    };
+    match gen_condition(rng, &views) {
+        Some(c) => format!("create rule r{i} when {when} if {c} then {action}"),
+        None => format!("create rule r{i} when {when} then {action}"),
+    }
+}
+
+fn gen_rules(rng: &mut Rng) -> Vec<String> {
+    (0..3 + rng.below(5)).map(|i| gen_rule(rng, i)).collect()
+}
+
+fn gen_txn(rng: &mut Rng) -> String {
+    let n = 1 + rng.below(4);
+    let stmts: Vec<String> = (0..n)
+        .map(|_| match rng.below(7) {
+            0 | 1 => {
+                let rows: Vec<String> = (0..1 + rng.below(3))
+                    .map(|_| format!("({}, {})", rng.range_i64(0, 60), rng.range_i64(0, 60)))
+                    .collect();
+                format!("insert into t values {}", rows.join(", "))
+            }
+            2 => format!(
+                "update t set b = b + {} where a < {}",
+                rng.range_i64(1, 9),
+                rng.range_i64(0, 60)
+            ),
+            3 => format!(
+                "update t set a = a + {} where b > {}",
+                rng.range_i64(1, 9),
+                rng.range_i64(0, 60)
+            ),
+            4 => format!("delete from t where a > {}", rng.range_i64(10, 70)),
+            5 => format!(
+                "update t set a = {} where a = {}",
+                rng.range_i64(0, 60),
+                rng.range_i64(0, 60)
+            ),
+            _ => format!("insert into tick values ({})", rng.below(4)),
+        })
+        .collect();
+    stmts.join("; ")
+}
+
+const RETRIGGERS: [RetriggerSemantics; 3] = [
+    RetriggerSemantics::SinceLastAction,
+    RetriggerSemantics::SinceLastConsidered,
+    RetriggerSemantics::SinceLastTriggering,
+];
+
+/// The headline differential: 300 random programs, each driven by the
+/// same batch of transactions on an incremental and a re-scan system.
+#[test]
+fn incremental_matches_rescan_on_random_programs() {
+    let mut incr_answers = 0u64; // repairs + rebuilds across all cases
+    check("incremental_matches_rescan", 300, 0x1c4_0001, |rng| {
+        let retrigger = RETRIGGERS[rng.below(3)];
+        let rules = gen_rules(rng);
+        let mut inc = build(true, retrigger, &rules);
+        let mut scan = build(false, retrigger, &rules);
+        let ctx = || format!("retrigger={retrigger:?} rules={rules:#?}");
+
+        for _ in 0..3 + rng.below(5) {
+            let sql = gen_txn(rng);
+            let a = inc.transaction(&sql);
+            let b = scan.transaction(&sql);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.committed(), y.committed(), "txn `{sql}`\n{}", ctx());
+                    assert_eq!(x.fired(), y.fired(), "firing trace for `{sql}`\n{}", ctx());
+                }
+                (Err(x), Err(y)) => {
+                    assert_eq!(x.to_string(), y.to_string(), "error for `{sql}`\n{}", ctx())
+                }
+                _ => panic!("evaluators disagree on `{sql}`: {a:?} vs {b:?}\n{}", ctx()),
+            }
+            assert_eq!(
+                inc.database().state_image(),
+                scan.database().state_image(),
+                "state diverged after `{sql}`\n{}",
+                ctx()
+            );
+        }
+
+        // Semantic counters agree; work counters (`incr_*`, rows scanned)
+        // are allowed to differ — they are the point.
+        let (si, ss) = (inc.stats(), scan.stats());
+        assert_eq!(si.rules_considered, ss.rules_considered, "{}", ctx());
+        assert_eq!(si.conditions_false, ss.conditions_false, "{}", ctx());
+        assert_eq!(si.rules_executed, ss.rules_executed, "{}", ctx());
+        assert_eq!(si.rules_retriggered, ss.rules_retriggered, "{}", ctx());
+        assert_eq!(si.txns_committed, ss.txns_committed, "{}", ctx());
+        assert_eq!(si.txns_rolled_back, ss.txns_rolled_back, "{}", ctx());
+        assert_eq!(si.loop_aborts, ss.loop_aborts, "{}", ctx());
+
+        // The knob is real: the re-scan side never touches the machinery.
+        assert_eq!(ss.incr_hits + ss.incr_rebuilds + ss.incr_fallbacks, 0, "{}", ctx());
+        incr_answers += si.incr_hits + si.incr_rebuilds;
+    });
+    assert!(
+        incr_answers > 0,
+        "the sweep never exercised an authoritative incremental answer"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Fault sweep over the new memo-invalidation sites.
+// ----------------------------------------------------------------------
+
+struct Scenario {
+    name: &'static str,
+    rule: &'static str,
+    seed: &'static [&'static str],
+    workload: &'static [&'static str],
+}
+
+/// Examples 3.1 and 4.1 with conditions attached so the incremental
+/// machinery is live while faults fly. (The paper's originals are
+/// unconditional; `exists (…)` over the licensed view keeps semantics
+/// identical.)
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "example_3_1",
+        rule: "create rule r31 when deleted from dept \
+               if exists (select * from deleted dept) \
+               then delete from emp where dept_no in (select dept_no from deleted dept)",
+        seed: &[
+            "insert into dept values (1, 10), (2, 20)",
+            "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 10.0, 1), ('c', 3, 10.0, 2)",
+        ],
+        workload: &[
+            "delete from dept where dept_no = 1",
+            "insert into dept values (3, 30)",
+            "delete from dept where dept_no = 2",
+        ],
+    },
+    Scenario {
+        name: "example_4_1",
+        rule: "create rule r41 when deleted from emp \
+               if exists (select * from deleted emp) \
+               then delete from emp where dept_no in \
+                      (select dept_no from dept where mgr_no in \
+                        (select emp_no from deleted emp)); \
+                    delete from dept where mgr_no in \
+                      (select emp_no from deleted emp)",
+        seed: &[
+            "insert into dept values (1, 1), (2, 2)",
+            "insert into emp values ('r', 1, 1.0, 0), ('m1', 2, 1.0, 1), \
+             ('m2', 3, 1.0, 1), ('w1', 4, 1.0, 2), ('w2', 5, 1.0, 2)",
+        ],
+        workload: &["delete from emp where name = 'r'", "insert into emp values ('x', 9, 1.0, 9)"],
+    },
+];
+
+fn fresh(scenario: &Scenario, incremental: bool) -> RuleSystem {
+    let mut sys = RuleSystem::with_config(EngineConfig {
+        incremental: Some(incremental),
+        ..Default::default()
+    });
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    sys.execute("create table dept (dept_no int, mgr_no int)").unwrap();
+    sys.execute(scenario.rule).unwrap();
+    for s in scenario.seed {
+        sys.execute(s).unwrap();
+    }
+    sys.fault_injector_mut().reset_counts();
+    sys
+}
+
+fn is_fault(e: &RuleError, kind: FaultKind, n: u64) -> bool {
+    let se = match e {
+        RuleError::Storage(se) => se,
+        RuleError::Query(QueryError::Storage(se)) => se,
+        _ => return false,
+    };
+    matches!(se, StorageError::FaultInjected { kind: k, op } if *k == kind && *op == n)
+}
+
+/// Fail every reachable storage site in the Example 3.1/4.1 workloads
+/// with incremental evaluation on: the abort must restore the exact
+/// pre-statement state, the memo must not survive stale (the disarmed
+/// re-run matches a never-faulted incremental run and a re-scan run),
+/// and both evaluators must fault identically.
+#[test]
+fn fault_sweep_invalidates_memos_on_abort() {
+    for scenario in SCENARIOS {
+        // Discovery: fault-free incremental run, counting sites and
+        // recording the expected final image.
+        let mut probe = fresh(scenario, true);
+        for stmt in scenario.workload {
+            assert!(
+                probe.transaction(stmt).unwrap().committed(),
+                "{}: fault-free run must commit",
+                scenario.name
+            );
+        }
+        assert!(
+            probe.stats().incr_hits + probe.stats().incr_rebuilds > 0,
+            "{}: scenario must exercise the incremental path",
+            scenario.name
+        );
+        let golden = probe.database().state_image();
+        let totals: Vec<(FaultKind, u64)> = FaultKind::ALL
+            .iter()
+            .map(|&k| (k, probe.fault_injector().count(k)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+
+        let mut swept = 0u64;
+        for &(kind, total) in &totals {
+            for n in 1..=total {
+                let mut inc = fresh(scenario, true);
+                let mut scan = fresh(scenario, false);
+                inc.fault_injector_mut().arm(kind, n);
+                scan.fault_injector_mut().arm(kind, n);
+                let ctx = format!("[{} kind={kind} n={n}]", scenario.name);
+
+                let mut faulted_at = None;
+                for (i, stmt) in scenario.workload.iter().enumerate() {
+                    let before = inc.database().state_image();
+                    let a = inc.transaction(stmt);
+                    let b = scan.transaction(stmt);
+                    match (&a, &b) {
+                        (Ok(x), Ok(y)) => {
+                            assert_eq!(x.fired(), y.fired(), "{ctx} stmt {i}")
+                        }
+                        (Err(ea), Err(eb)) => {
+                            assert!(is_fault(ea, kind, n), "{ctx} stmt {i}: {ea}");
+                            assert_eq!(ea.to_string(), eb.to_string(), "{ctx} stmt {i}");
+                            assert_eq!(
+                                inc.database().state_image(),
+                                before,
+                                "{ctx} stmt {i}: abort left residue"
+                            );
+                            faulted_at = Some(i);
+                        }
+                        _ => panic!("{ctx} stmt {i}: evaluators disagree: {a:?} vs {b:?}"),
+                    }
+                    assert_eq!(
+                        inc.database().state_image(),
+                        scan.database().state_image(),
+                        "{ctx} stmt {i}: evaluators diverged"
+                    );
+                    if faulted_at.is_some() {
+                        break;
+                    }
+                }
+                let i = faulted_at
+                    .unwrap_or_else(|| panic!("{ctx}: armed site was never reached"));
+
+                // Recovery: disarm and resume from the aborted statement.
+                // A stale memo would surface here as a wrong firing
+                // decision or a diverged image.
+                inc.fault_injector_mut().disarm();
+                scan.fault_injector_mut().disarm();
+                let replay = |sys: &mut RuleSystem| {
+                    for stmt in &scenario.workload[i..] {
+                        sys.transaction(stmt).unwrap();
+                    }
+                };
+                replay(&mut inc);
+                replay(&mut scan);
+                assert_eq!(
+                    inc.database().state_image(),
+                    scan.database().state_image(),
+                    "{ctx}: post-recovery divergence"
+                );
+                assert_eq!(
+                    inc.database().state_image(),
+                    golden,
+                    "{ctx}: recovery did not converge to the fault-free image"
+                );
+                swept += 1;
+            }
+        }
+        assert!(swept > 0, "{}: no sites swept", scenario.name);
+    }
+}

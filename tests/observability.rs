@@ -86,6 +86,20 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
             "plan_cache",
         ),
         (
+            EngineEvent::IncrementalEval { rule: "r".into(), mode: "repair".into(), delta_rows: 3 },
+            "incremental eval (repair) for 'r' (3 delta rows)",
+            "incremental_eval",
+        ),
+        (
+            EngineEvent::IncrementalEval {
+                rule: "r".into(),
+                mode: "fallback".into(),
+                delta_rows: 0,
+            },
+            "incremental eval (fallback) for 'r' (0 delta rows)",
+            "incremental_eval",
+        ),
+        (
             EngineEvent::Fault { kind: "undo_append".into(), n: 4 },
             "injected fault: undo_append #4",
             "fault",
@@ -117,12 +131,13 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
 #[test]
 fn every_variant_displays_and_serializes() {
     let samples = event_samples();
-    // The sample list must cover the whole enum: 18 distinct kinds (the
-    // rollback and plan-cache variants appear twice each).
+    // The sample list must cover the whole enum: 19 distinct kinds (the
+    // rollback, plan-cache, and incremental-eval variants appear twice
+    // each).
     let mut kinds: Vec<&str> = samples.iter().map(|(e, _, _)| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 18, "event_samples() must cover every EngineEvent variant");
+    assert_eq!(kinds.len(), 19, "event_samples() must cover every EngineEvent variant");
 
     for (ev, display, tag) in samples {
         assert_eq!(ev.to_string(), display);
@@ -151,7 +166,10 @@ fn rule_accessor_names_the_concerned_rule() {
             | EngineEvent::RuleRetriggered { rule }
             | EngineEvent::TransInfoInit { rule }
             | EngineEvent::TransInfoModify { rule }
-            | EngineEvent::PlanCache { rule, .. } => assert_eq!(ev.rule(), Some(rule.as_str())),
+            | EngineEvent::PlanCache { rule, .. }
+            | EngineEvent::IncrementalEval { rule, .. } => {
+                assert_eq!(ev.rule(), Some(rule.as_str()))
+            }
             EngineEvent::Rollback { by_rule } => assert_eq!(ev.rule(), by_rule.as_deref()),
             _ => assert_eq!(ev.rule(), None),
         }
@@ -212,6 +230,7 @@ fn random_exec(rng: &mut Rng) -> ExecStats {
         parallel_partitions: rng.below(20) as u64,
         serial_fallbacks: rng.below(5) as u64,
         topk_selected: rng.below(5) as u64,
+        incr_probe_rows: rng.below(100) as u64,
     }
 }
 

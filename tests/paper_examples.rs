@@ -31,11 +31,12 @@ fn count(sys: &RuleSystem, sql: &str) -> i64 {
 /// traces below assert these against the execution narratives in the
 /// paper's prose.
 fn trace(sys: &RuleSystem) -> Vec<String> {
-    // Plan-cache events are an execution-strategy detail, not part of the
-    // paper's semantics; the golden narratives stay mode-independent.
+    // Plan-cache and incremental-eval events are execution-strategy
+    // details, not part of the paper's semantics; the golden narratives
+    // stay mode-independent.
     sys.recent_events()
         .iter()
-        .filter(|e| e.kind() != "plan_cache")
+        .filter(|e| e.kind() != "plan_cache" && e.kind() != "incremental_eval")
         .map(|e| e.to_string())
         .collect()
 }
