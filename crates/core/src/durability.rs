@@ -28,11 +28,16 @@ use setrules_wal::{
     value_from_json, value_to_json, SyncPolicy, WalConfig, WalError, WalRecord, WalWriter,
 };
 
+use std::collections::BTreeSet;
+
+use setrules_storage::ColumnId;
+
 use crate::engine::RuleSystem;
 use crate::error::RuleError;
 use crate::events::{EngineEvent, EventBus};
 use crate::snapshot::TableSnapshot;
 use crate::stats::EngineStats;
+use crate::transinfo::{DelEntry, SelEntry, TransInfo, UpdEntry};
 
 /// Live write-ahead-log state of a durable [`RuleSystem`].
 pub(crate) struct WalState {
@@ -53,6 +58,129 @@ pub(crate) struct WalState {
 
 fn bad_ckpt(what: &str) -> RuleError {
     RuleError::Wal(WalError::Record(format!("malformed checkpoint: bad or missing '{what}'")))
+}
+
+fn bad_win(what: &str) -> RuleError {
+    RuleError::Wal(WalError::Record(format!(
+        "malformed deferred window: bad or missing '{what}'"
+    )))
+}
+
+// ---------------------------------------------------------------------
+// Deferred-window codec (§5.3 durability)
+// ---------------------------------------------------------------------
+//
+// A `TransInfo` window references tables by `TableId`; the log encodes
+// table *names* (like the DML records) so the record stays meaningful
+// against the replayed catalog, and old-tuple values go through the
+// bit-exact WAL value codec so the recovered window compares equal to
+// the live one byte for byte.
+
+/// Encode a deferred window for a [`WalRecord::DeferredWindow`] record.
+pub(crate) fn window_to_json(db: &Database, w: &TransInfo) -> Json {
+    let name = |t: TableId| Json::Str(db.schema(t).name.clone());
+    let vals = |t: &Tuple| Json::Array(t.0.iter().map(value_to_json).collect());
+    let cols = |cs: &BTreeSet<ColumnId>| {
+        Json::Array(cs.iter().map(|c| Json::Int(c.0 as i64)).collect())
+    };
+    let ins = w.ins.iter().map(|h| Json::Int(h.0 as i64)).collect();
+    let del = w
+        .del
+        .iter()
+        .map(|(h, e)| Json::Array(vec![Json::Int(h.0 as i64), name(e.table), vals(&e.old)]))
+        .collect();
+    let upd = w
+        .upd
+        .iter()
+        .map(|(h, e)| {
+            Json::Array(vec![Json::Int(h.0 as i64), name(e.table), cols(&e.columns), vals(&e.old)])
+        })
+        .collect();
+    let sel = w
+        .sel
+        .iter()
+        .map(|(h, e)| {
+            let cs = match &e.columns {
+                Some(cs) => cols(cs),
+                None => Json::Null,
+            };
+            Json::Array(vec![Json::Int(h.0 as i64), name(e.table), cs])
+        })
+        .collect();
+    Json::obj([
+        ("ins", Json::Array(ins)),
+        ("del", Json::Array(del)),
+        ("upd", Json::Array(upd)),
+        ("sel", Json::Array(sel)),
+    ])
+}
+
+/// Decode a [`WalRecord::DeferredWindow`] record's state against the
+/// replayed catalog.
+pub(crate) fn window_from_json(db: &Database, j: &Json) -> Result<TransInfo, RuleError> {
+    let arr = |k: &str| j.get(k).and_then(Json::as_array).ok_or_else(|| bad_win(k));
+    let handle = |v: &Json| -> Result<TupleHandle, RuleError> {
+        v.as_i64()
+            .and_then(|i| u64::try_from(i).ok())
+            .map(TupleHandle)
+            .ok_or_else(|| bad_win("handle"))
+    };
+    let tid = |v: &Json| -> Result<TableId, RuleError> {
+        let name = v.as_str().ok_or_else(|| bad_win("table"))?;
+        db.table_id(name).map_err(|_| bad_win("table"))
+    };
+    let tup = |v: &Json| -> Result<Tuple, RuleError> {
+        let vals = v
+            .as_array()
+            .ok_or_else(|| bad_win("old"))?
+            .iter()
+            .map(value_from_json)
+            .collect::<Result<Vec<_>, WalError>>()
+            .map_err(RuleError::Wal)?;
+        Ok(Tuple(vals))
+    };
+    let cols = |v: &Json| -> Result<BTreeSet<ColumnId>, RuleError> {
+        v.as_array()
+            .ok_or_else(|| bad_win("columns"))?
+            .iter()
+            .map(|c| {
+                c.as_i64()
+                    .and_then(|i| u16::try_from(i).ok())
+                    .map(ColumnId)
+                    .ok_or_else(|| bad_win("columns"))
+            })
+            .collect()
+    };
+    let mut w = TransInfo::new();
+    for h in arr("ins")? {
+        w.ins.insert(handle(h)?);
+    }
+    for e in arr("del")? {
+        let [h, t, old] = e.as_array().ok_or_else(|| bad_win("del"))? else {
+            return Err(bad_win("del"));
+        };
+        w.del.insert(handle(h)?, DelEntry { table: tid(t)?, old: tup(old)? });
+    }
+    for e in arr("upd")? {
+        let [h, t, cs, old] = e.as_array().ok_or_else(|| bad_win("upd"))? else {
+            return Err(bad_win("upd"));
+        };
+        w.upd.insert(
+            handle(h)?,
+            UpdEntry { table: tid(t)?, columns: cols(cs)?, old: tup(old)? },
+        );
+    }
+    for e in arr("sel")? {
+        let [h, t, cs] = e.as_array().ok_or_else(|| bad_win("sel"))? else {
+            return Err(bad_win("sel"));
+        };
+        let columns = match cs {
+            Json::Null => None,
+            other => Some(cols(other)?),
+        };
+        w.sel.insert(handle(h)?, SelEntry { table: tid(t)?, columns });
+    }
+    Ok(w)
 }
 
 // ---------------------------------------------------------------------
@@ -240,6 +368,32 @@ impl RuleSystem {
         Ok(())
     }
 
+    /// Append the deferred window a commit will leave behind (§5.3). Part
+    /// of the surrounding transaction's durability unit: replay applies
+    /// the last such record at the transaction's `Commit`, so a crash
+    /// before the sync keeps the previously-logged window.
+    pub(crate) fn wal_log_deferred(&mut self, window: &TransInfo) -> Result<(), RuleError> {
+        match self.wal.as_ref() {
+            Some(w) if !w.replaying => {}
+            _ => return Ok(()),
+        }
+        let state = window_to_json(&self.db, window);
+        let rec = WalRecord::DeferredWindow { state };
+        wal_append(&mut self.db, &mut self.wal, &mut self.stats, &mut self.events, &rec)
+    }
+
+    /// Durably clear the logged deferred window *outside* any transaction
+    /// (the [`RuleSystem::clear_deferred`] path): its own append-and-sync
+    /// unit, like DDL.
+    pub(crate) fn wal_clear_deferred(&mut self) -> Result<(), RuleError> {
+        match self.wal.as_ref() {
+            Some(w) if !w.replaying => {}
+            _ => return Ok(()),
+        }
+        let state = window_to_json(&self.db, &TransInfo::new());
+        self.wal_ddl(WalRecord::DeferredWindow { state })
+    }
+
     /// Roll the log back at a graceful (non-crash) transaction abort.
     ///
     /// A *crashed* log writes nothing — the dead process cannot append an
@@ -394,11 +548,20 @@ impl RuleSystem {
                     }
                 }
                 WalRecord::Commit { handles } => {
-                    for r in open.take().unwrap_or_default() {
+                    let buffered = open.take().unwrap_or_default();
+                    for &r in &buffered {
                         self.redo(r)?;
                     }
                     self.db.redo_handle_watermark(*handles, TableId(0));
                     self.db.commit();
+                    // The last deferred-window record in the transaction
+                    // is the pending state this commit leaves behind.
+                    for &r in buffered.iter().rev() {
+                        if let WalRecord::DeferredWindow { state } = r {
+                            self.deferred = window_from_json(&self.db, state)?;
+                            break;
+                        }
+                    }
                 }
                 WalRecord::Abort { handles } => {
                     open = None;
@@ -411,6 +574,13 @@ impl RuleSystem {
                     // re-logging.
                     self.execute(sql)?;
                 }
+                WalRecord::DeferredWindow { state } => match open.as_mut() {
+                    // In-transaction: applies only if the `Commit` arrives.
+                    Some(buf) => buf.push(rec),
+                    // A durable `clear_deferred` logs outside any
+                    // transaction and takes effect immediately.
+                    None => self.deferred = window_from_json(&self.db, state)?,
+                },
                 // Only the last checkpoint is restored; earlier ones are
                 // superseded by the state they precede.
                 WalRecord::Checkpoint { .. } => {}

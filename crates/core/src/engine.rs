@@ -283,8 +283,10 @@ pub struct RuleSystem {
     last_considered: Vec<Option<u64>>,
     consider_clock: u64,
     /// Windows accumulated by [`RuleSystem::transaction_without_rules`]
-    /// awaiting [`RuleSystem::process_deferred`] (§5.3).
-    deferred: TransInfo,
+    /// awaiting [`RuleSystem::process_deferred`] (§5.3). On a durable
+    /// system every committed change to this window is logged as a
+    /// `DeferredWindow` record, so recovery re-presents pending work.
+    pub(crate) deferred: TransInfo,
     /// Per-rule compiled-plan caches, keyed by rule id. A cache holds the
     /// rule's condition and action expressions in slot-resolved form;
     /// plans embed catalog-derived positions and AST addresses, so the
@@ -622,6 +624,7 @@ impl RuleSystem {
                 mode: self.config.exec_mode,
                 plans: None,
                 threads: self.threads(),
+                op_stats: None,
             },
         )?)
     }
@@ -863,6 +866,7 @@ impl RuleSystem {
                 mode: self.config.exec_mode,
                 plans: None,
                 threads,
+                op_stats: None,
             },
         );
         self.note_parallelism(&before);
@@ -1046,6 +1050,7 @@ impl RuleSystem {
                     mode: self.config.exec_mode,
                     plans: None,
                     threads,
+                    op_stats: None,
                 },
             );
             self.note_parallelism(&before);
@@ -1070,6 +1075,19 @@ impl RuleSystem {
                 }
             }
         }
+        // The pending window this commit leaves behind must be durable
+        // too: log the *composed* window (everything still awaiting
+        // `process_deferred` after this transaction) inside the same
+        // commit unit, so a crash between this transaction and the
+        // deferred pass re-presents the work on recovery.
+        let mut combined = self.deferred.clone();
+        combined.compose(&window);
+        if !combined.is_empty() || !self.deferred.is_empty() {
+            if let Err(e) = self.wal_log_deferred(&combined) {
+                self.fail_flat_txn(mark, &e);
+                return Err(e);
+            }
+        }
         if let Err(e) = self.wal_commit() {
             self.fail_flat_txn(mark, &e);
             return Err(e);
@@ -1077,7 +1095,7 @@ impl RuleSystem {
         self.db.commit();
         self.stats.txns_committed += 1;
         self.events.emit(EngineEvent::TxnCommit { fired: 0, transitions: 0 });
-        self.deferred.compose(&window);
+        self.deferred = combined;
         self.maybe_checkpoint();
         Ok(())
     }
@@ -1115,6 +1133,16 @@ impl RuleSystem {
             self.abort_internal();
             return Err(e);
         }
+        // A committed deferred pass leaves no pending window behind: log
+        // the cleared window inside this transaction, so a crash before
+        // its `Commit` keeps re-presenting the old one on recovery.
+        if !self.deferred.is_empty() {
+            if let Err(e) = self.wal_log_deferred(&TransInfo::new()) {
+                self.note_statement_failure(&e);
+                self.abort_internal();
+                return Err(e);
+            }
+        }
         // Move the deferred window in only after the `Begin` is logged: a
         // failed begin must not silently drop the pending transitions.
         let pending = std::mem::take(&mut self.deferred);
@@ -1129,7 +1157,15 @@ impl RuleSystem {
 
     /// Discard any changes awaiting deferred processing (used after bulk
     /// loads that should not count as a pending transition).
+    ///
+    /// On a durable system the clear is logged best-effort: if the log
+    /// write fails, recovery re-presents the old window — the
+    /// conservative direction (pending work reappears rather than
+    /// silently vanishing).
     pub fn clear_deferred(&mut self) {
+        if !self.deferred.is_empty() {
+            let _ = self.wal_clear_deferred();
+        }
         self.deferred = TransInfo::new();
     }
 
@@ -1576,6 +1612,7 @@ impl RuleSystem {
                                 mode: self.config.exec_mode,
                                 plans,
                                 threads,
+                                op_stats: None,
                             },
                         )?;
                         if let OpEffect::Select { output, .. } = &eff {

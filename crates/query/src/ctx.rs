@@ -9,7 +9,7 @@ use setrules_storage::Database;
 use crate::compile::PlanCache;
 use crate::provider::TransitionTableProvider;
 use crate::relation::Relation;
-use crate::stats::StatsCell;
+use crate::stats::{OpStatsCell, StatsCell};
 
 /// Which executor evaluates expressions and plans joins.
 ///
@@ -75,6 +75,11 @@ pub struct QueryCtx<'a> {
     /// Execution-work accumulator; `None` (the default) disables
     /// instrumentation.
     pub stats: Option<&'a StatsCell>,
+    /// Per-operator work counters for the physical operator tree
+    /// ([`crate::exec`]); `None` (the default) disables them. This is a
+    /// side channel: the aggregate [`crate::ExecStats`] counters are
+    /// unaffected by whether it is attached.
+    pub op_stats: Option<&'a OpStatsCell>,
     /// Which executor to run (compiled pipeline vs reference interpreter).
     pub mode: ExecMode,
     /// Compiled-expression memo shared across statements (the rule engine
@@ -95,6 +100,7 @@ impl<'a> QueryCtx<'a> {
             virt: &crate::provider::NoTransitionTables,
             cache: None,
             stats: None,
+            op_stats: None,
             mode: ExecMode::default(),
             plans: None,
             threads: 1,
@@ -114,6 +120,11 @@ impl<'a> QueryCtx<'a> {
     /// Attach an execution-stats accumulator (pass `None` to detach).
     pub fn with_stats(self, stats: Option<&'a StatsCell>) -> Self {
         QueryCtx { stats, ..self }
+    }
+
+    /// Attach a per-operator counter map (pass `None` to detach).
+    pub fn with_op_stats(self, op_stats: Option<&'a OpStatsCell>) -> Self {
+        QueryCtx { op_stats, ..self }
     }
 
     /// Select the execution mode (compiled pipeline vs interpreter).

@@ -14,6 +14,12 @@
 //! set*, enriched with the old tuple values the rule system needs for its
 //! transition information (§4.3) — so no historical database states are
 //! ever retained.
+//!
+//! Reads — the `select` entry points here, the identification scans of
+//! delete/update, and `insert … (select …)` sources — all lower through
+//! the batched operator tree in [`crate::exec`] (see
+//! `docs/query-pipeline.md`); this module owns only the mutation phase
+//! and the effect capture around it.
 
 use setrules_sql::ast::{DeleteStmt, DmlOp, InsertSource, InsertStmt, SelectStmt, UpdateStmt};
 use setrules_storage::{ColumnId, Database, TableId, Tuple, TupleHandle, Value};
@@ -29,7 +35,7 @@ use crate::planner::Access;
 use crate::refs::referenced_columns;
 use crate::relation::Relation;
 use crate::select::run_select_traced;
-use crate::stats::{self, StatsCell};
+use crate::stats::{self, OpStatsCell, StatsCell};
 
 /// The affected set of one executed operation, with captured old values.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,11 +100,15 @@ pub struct ExecOpts<'a> {
     /// Thread budget for read-only query phases (clamped to at least 1;
     /// `1` means fully serial execution).
     pub threads: usize,
+    /// Optional per-operator counter map: every operator of the lowered
+    /// [`crate::exec`] tree attributes its batches and row flow here, on
+    /// a side channel separate from the aggregate `stats`.
+    pub op_stats: Option<&'a OpStatsCell>,
 }
 
 impl Default for ExecOpts<'_> {
     fn default() -> Self {
-        ExecOpts { stats: None, mode: ExecMode::default(), plans: None, threads: 1 }
+        ExecOpts { stats: None, mode: ExecMode::default(), plans: None, threads: 1, op_stats: None }
     }
 }
 
@@ -133,7 +143,7 @@ pub fn execute_op_with_opts(
     mode: ExecMode,
     plans: Option<&PlanCache>,
 ) -> Result<OpEffect, QueryError> {
-    execute_op_ext(db, virt, op, &ExecOpts { stats: st, mode, plans, threads: 1 })
+    execute_op_ext(db, virt, op, &ExecOpts { stats: st, mode, plans, ..Default::default() })
 }
 
 /// [`execute_op_with_opts`] generalized over [`ExecOpts`], adding the
@@ -184,7 +194,7 @@ pub fn execute_query_with_opts(
     mode: ExecMode,
     plans: Option<&PlanCache>,
 ) -> Result<Relation, QueryError> {
-    execute_query_ext(db, virt, stmt, &ExecOpts { stats: st, mode, plans, threads: 1 })
+    execute_query_ext(db, virt, stmt, &ExecOpts { stats: st, mode, plans, ..Default::default() })
 }
 
 /// [`execute_query_with_opts`] generalized over [`ExecOpts`], adding the
@@ -201,7 +211,8 @@ pub fn execute_query_ext(
         .with_stats(opts.stats)
         .with_mode(opts.mode)
         .with_plans(opts.plans)
-        .with_threads(opts.threads);
+        .with_threads(opts.threads)
+        .with_op_stats(opts.op_stats);
     crate::select::run_select(ctx, stmt, &mut Bindings::new())
 }
 

@@ -1,0 +1,174 @@
+//! The aggregation operator (grouped pipeline): partitions the surviving
+//! combinations into groups (first-seen order), then evaluates `having`,
+//! the projection list, and the `order by` keys once per group.
+//!
+//! Blocking by nature — a group's aggregate needs every one of its rows —
+//! it drains the filter at open, expands wildcards (after the filter, for
+//! error ordering), and partitions immediately, so a `group by` key error
+//! surfaces at open in combination order. Per-group evaluation then
+//! streams in batches; a group failing `having` yields no row, so batches
+//! regroup until at least one row is produced.
+
+use std::collections::HashMap;
+
+use setrules_sql::ast::{Expr, SelectStmt};
+use setrules_storage::{TableId, TupleHandle, Value};
+
+use crate::bindings::{Frame, Level};
+use crate::error::QueryError;
+use crate::eval::eval_expr;
+
+use super::filter::FilterExec;
+use super::project::expand_wildcards;
+use super::{Batches, ExecCx, Executor, KeyedRow, RowSource};
+
+/// The grouped pipeline top: one output row per group that passes
+/// `having`. Implements [`RowSource`].
+pub(crate) struct AggregateExec<'q> {
+    filter: FilterExec<'q>,
+    stmt: &'q SelectStmt,
+    columns: Vec<String>,
+    proj: Vec<(Expr, String)>,
+    state: Option<Batches<Vec<Level>>>,
+    batch_rows: usize,
+}
+
+impl<'q> AggregateExec<'q> {
+    pub(crate) fn new(filter: FilterExec<'q>, stmt: &'q SelectStmt) -> Self {
+        AggregateExec {
+            filter,
+            stmt,
+            columns: Vec::new(),
+            proj: Vec::new(),
+            state: None,
+            batch_rows: super::BATCH_ROWS,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Drain the filter, expand wildcards, and partition the matching
+    /// combinations into groups in first-seen order.
+    fn open(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Vec<Vec<Level>>, QueryError> {
+        let ctx = cx.ctx;
+        let mut matching: Vec<Level> = Vec::new();
+        while let Some(batch) = self.filter.next_batch(cx)? {
+            cx.rows_in("aggregate", batch.len());
+            matching.extend(batch);
+        }
+        self.proj = expand_wildcards(self.stmt, self.filter.items())?;
+        self.columns = self.proj.iter().map(|(_, n)| n.clone()).collect();
+
+        // Partition matching rows into groups.
+        let mut group_rows: Vec<Vec<Level>> = Vec::new();
+        if self.stmt.group_by.is_empty() {
+            group_rows.push(matching);
+        } else {
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            for level in matching {
+                cx.bindings.push_level(level);
+                let mut key = Vec::with_capacity(self.stmt.group_by.len());
+                let mut key_err = None;
+                for g in &self.stmt.group_by {
+                    match eval_expr(ctx, cx.bindings, None, g) {
+                        Ok(v) => key.push(v),
+                        Err(e) => {
+                            key_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let level = cx.bindings.pop_level().expect("pushed above");
+                if let Some(e) = key_err {
+                    return Err(e);
+                }
+                let slot = *index.entry(key).or_insert_with(|| {
+                    group_rows.push(Vec::new());
+                    group_rows.len() - 1
+                });
+                group_rows[slot].push(level);
+            }
+        }
+        Ok(group_rows)
+    }
+}
+
+impl Executor for AggregateExec<'_> {
+    type Batch = Vec<KeyedRow>;
+
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let group_rows = self.open(cx)?;
+            self.state = Some(Batches::new(group_rows, self.batch_rows));
+        }
+        let ctx = cx.ctx;
+        // A group can be filtered out by `having`, so keep pulling group
+        // batches until one yields at least one output row.
+        while let Some(groups) = self.state.as_mut().expect("opened above").next() {
+            let mut out_batch: Vec<KeyedRow> = Vec::new();
+            for rows in groups {
+                // Representative bindings for non-aggregate expressions:
+                // the first row of the group, or all-NULL frames for the
+                // empty ungrouped case (`select count(*) from empty`).
+                let repr: Level = match rows.first() {
+                    Some(l) => l.clone(),
+                    None => self
+                        .filter
+                        .items()
+                        .iter()
+                        .map(|it| Frame {
+                            name: it.binding.clone(),
+                            columns: std::sync::Arc::clone(&it.columns),
+                            row: vec![Value::Null; it.columns.len()],
+                        })
+                        .collect(),
+                };
+                cx.bindings.push_level(repr);
+                let result = (|| -> Result<Option<KeyedRow>, QueryError> {
+                    if let Some(h) = &self.stmt.having {
+                        let v = eval_expr(ctx, cx.bindings, Some(&rows), h)?;
+                        if crate::eval::truth(&v)? != Some(true) {
+                            return Ok(None);
+                        }
+                    }
+                    let mut out = Vec::with_capacity(self.proj.len());
+                    for (e, _) in &self.proj {
+                        out.push(eval_expr(ctx, cx.bindings, Some(&rows), e)?);
+                    }
+                    let mut key = Vec::with_capacity(self.stmt.order_by.len());
+                    for (e, _) in &self.stmt.order_by {
+                        key.push(eval_expr(ctx, cx.bindings, Some(&rows), e)?);
+                    }
+                    Ok(Some((key, out)))
+                })();
+                cx.bindings.pop_level();
+                if let Some(pair) = result? {
+                    out_batch.push(pair);
+                }
+            }
+            if !out_batch.is_empty() {
+                cx.batch_out(self.name(), out_batch.len());
+                return Ok(Some(out_batch));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl RowSource for AggregateExec<'_> {
+    fn output_columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        self.filter.take_origins()
+    }
+}

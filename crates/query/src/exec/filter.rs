@@ -1,0 +1,264 @@
+//! The filter operator: evaluates the full `where` predicate per
+//! assembled combination.
+//!
+//! Pushdown and hash probes below are sound *prefilters*; this operator
+//! is where three-valued `where` semantics are actually decided, a
+//! combination surviving only on a definite `true`. It is blocking — the
+//! parallel-WHERE eligibility decision needs the total combination count,
+//! and the serial walk's error selection (earliest combination in
+//! lexicographic order) must be reproduced exactly — so it drains its
+//! child at open, judges every combination (serially, or partitioned on
+//! the pool when the predicate is row-local), then emits the surviving
+//! scope levels in batches. When tracing is on it also collects, per
+//! surviving combination, the stored-tuple origins the select trace
+//! needs.
+
+use std::sync::Arc;
+
+use setrules_sql::ast::Expr;
+use setrules_storage::{TableId, TupleHandle, Value};
+
+use crate::bindings::{Bindings, Frame, Level};
+use crate::compile::{eval_compiled_predicate, CompiledExpr};
+use crate::ctx::QueryCtx;
+use crate::error::QueryError;
+use crate::eval::eval_predicate;
+use crate::parallel;
+use crate::stats;
+
+use super::join::JoinExec;
+use super::scan::FromItem;
+use super::{Batches, ExecCx, Executor};
+
+/// Serially evaluate one assembled combination: count it, run the
+/// full predicate, and keep the level (plus origins) on *true*.
+#[allow(clippy::too_many_arguments)]
+fn consider(
+    ctx: QueryCtx<'_>,
+    items: &[FromItem],
+    full_pred: Option<&CompiledExpr>,
+    predicate: Option<&Expr>,
+    want_trace: bool,
+    cursor: &[usize],
+    bindings: &mut Bindings,
+    matching: &mut Vec<Level>,
+    origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
+) -> Result<(), QueryError> {
+    stats::bump(ctx.stats, |s| s.join_combinations += 1);
+    let level: Level = items
+        .iter()
+        .zip(cursor)
+        .map(|(it, &i)| Frame {
+            name: it.binding.clone(),
+            columns: Arc::clone(&it.columns),
+            row: it.rows[i].1.clone(),
+        })
+        .collect();
+    bindings.push_level(level);
+    let keep = match (full_pred, predicate) {
+        (Some(cp), _) => eval_compiled_predicate(ctx, bindings, None, cp),
+        (None, Some(p)) => eval_predicate(ctx, bindings, None, p),
+        (None, None) => Ok(true),
+    };
+    let level = bindings.pop_level().expect("pushed above");
+    if keep? {
+        stats::bump(ctx.stats, |s| s.rows_matched += 1);
+        if want_trace {
+            origins.push(items.iter().zip(cursor).filter_map(|(it, &i)| it.rows[i].0).collect());
+        }
+        matching.push(level);
+    }
+    Ok(())
+}
+
+/// Record a combination a parallel WHERE pass already judged as
+/// kept (counters were merged from the partition verdicts).
+fn emit_kept(
+    items: &[FromItem],
+    cursor: &[usize],
+    want_trace: bool,
+    matching: &mut Vec<Level>,
+    origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
+) {
+    let level: Level = items
+        .iter()
+        .zip(cursor)
+        .map(|(it, &i)| Frame {
+            name: it.binding.clone(),
+            columns: Arc::clone(&it.columns),
+            row: it.rows[i].1.clone(),
+        })
+        .collect();
+    if want_trace {
+        origins.push(items.iter().zip(cursor).filter_map(|(it, &i)| it.rows[i].0).collect());
+    }
+    matching.push(level);
+}
+
+/// The WHERE pass may run on the pool only when the full predicate
+/// is row-local; with a thread budget and enough combinations, a
+/// non-row-local predicate (correlated subquery needing the shared
+/// memo, interpreter fallback) counts an observable fallback.
+fn parallel_where<'p>(
+    ctx: QueryCtx<'_>,
+    full_pred: &'p Option<Arc<CompiledExpr>>,
+    combinations: usize,
+) -> Option<&'p CompiledExpr> {
+    let cp = full_pred.as_deref()?;
+    if ctx.threads <= 1 || combinations < parallel::PAR_THRESHOLD {
+        return None;
+    }
+    if parallel::is_rowlocal(cp) {
+        Some(cp)
+    } else {
+        stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
+        None
+    }
+}
+
+/// Merge partition verdicts in partition order: counters first,
+/// then the kept combinations, stopping at the earliest error —
+/// reproducing the serial combination walk exactly.
+fn merge_verdicts(
+    ctx: QueryCtx<'_>,
+    items: &[FromItem],
+    verdicts: Vec<parallel::ChunkVerdict>,
+    cursor_of: impl Fn(usize) -> Vec<usize>,
+    want_trace: bool,
+    matching: &mut Vec<Level>,
+    origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
+) -> Result<(), QueryError> {
+    let parts = verdicts.len() as u64;
+    if parts > 1 {
+        stats::bump(ctx.stats, |s| {
+            s.parallel_scans += 1;
+            s.parallel_partitions += parts;
+        });
+    }
+    for v in verdicts {
+        stats::bump(ctx.stats, |s| {
+            s.join_combinations += v.combos;
+            s.rows_matched += v.matched;
+        });
+        for i in v.kept {
+            emit_kept(items, &cursor_of(i), want_trace, matching, origins);
+        }
+        if let Some(e) = v.err {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// The `where` operator. Blocking: judges every combination at open,
+/// then emits the surviving [`Level`]s in batches.
+pub(crate) struct FilterExec<'q> {
+    join: JoinExec<'q>,
+    full_pred: Option<Arc<CompiledExpr>>,
+    pred: Option<&'q Expr>,
+    want_trace: bool,
+    origins: Vec<Vec<(TableId, TupleHandle)>>,
+    batch_rows: usize,
+    state: Option<Batches<Level>>,
+}
+
+impl<'q> FilterExec<'q> {
+    pub(crate) fn new(
+        join: JoinExec<'q>,
+        full_pred: Option<Arc<CompiledExpr>>,
+        pred: Option<&'q Expr>,
+        want_trace: bool,
+    ) -> Self {
+        FilterExec {
+            join,
+            full_pred,
+            pred,
+            want_trace,
+            origins: Vec::new(),
+            batch_rows: super::BATCH_ROWS,
+            state: None,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// The materialized `from` items; valid after open (first pull).
+    pub(crate) fn items(&self) -> &[FromItem] {
+        self.join.items()
+    }
+
+    /// Take the per-surviving-combination origin handles (tracing only).
+    pub(crate) fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        std::mem::take(&mut self.origins)
+    }
+
+    fn open(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Vec<Level>, QueryError> {
+        let ctx = cx.ctx;
+        let mut cursors: Vec<Vec<usize>> = Vec::new();
+        while let Some(batch) = self.join.next_batch(cx)? {
+            cx.rows_in("filter", batch.len());
+            cursors.extend(batch);
+        }
+        let mut matching: Vec<Level> = Vec::new();
+        if let Some(cp) = parallel_where(ctx, &self.full_pred, cursors.len()) {
+            let items = self.join.items();
+            let cursors_ref = &cursors;
+            let verdicts = parallel::judge_chunks(cursors.len(), ctx.threads, |i| {
+                let frames: Vec<&[Value]> = cursors_ref[i]
+                    .iter()
+                    .zip(items.iter())
+                    .map(|(&r, it)| it.rows[r].1.as_slice())
+                    .collect();
+                parallel::eval_rowlocal_predicate(cp, &frames)
+            });
+            merge_verdicts(
+                ctx,
+                items,
+                verdicts,
+                |i| cursors[i].clone(),
+                self.want_trace,
+                &mut matching,
+                &mut self.origins,
+            )?;
+        } else {
+            for c in &cursors {
+                consider(
+                    ctx,
+                    self.join.items(),
+                    self.full_pred.as_deref(),
+                    self.pred,
+                    self.want_trace,
+                    c,
+                    cx.bindings,
+                    &mut matching,
+                    &mut self.origins,
+                )?;
+            }
+        }
+        Ok(matching)
+    }
+}
+
+impl Executor for FilterExec<'_> {
+    type Batch = Vec<Level>;
+
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let matching = self.open(cx)?;
+            self.state = Some(Batches::new(matching, self.batch_rows));
+        }
+        let batch = self.state.as_mut().expect("opened above").next();
+        if let Some(b) = &batch {
+            cx.batch_out(self.name(), b.len());
+        }
+        Ok(batch)
+    }
+}

@@ -1,0 +1,184 @@
+//! The projection operator (non-aggregate pipeline): expands wildcards,
+//! then evaluates the projection list and `order by` keys per surviving
+//! combination, emitting [`KeyedRow`](super::KeyedRow) batches.
+//!
+//! Error ordering is load-bearing: the filter must complete before
+//! wildcard expansion (a `where` error on the last combination outranks
+//! an unknown `q.*` qualifier), so the child is drained first and
+//! expansion runs even when it produced nothing. Projection evaluation
+//! itself streams batch-by-batch — rows are evaluated in combination
+//! order and the first failing row's error surfaces, exactly like the
+//! per-row loop it replaces.
+
+use std::sync::Arc;
+
+use setrules_sql::ast::{Expr, SelectItem, SelectStmt};
+use setrules_storage::{TableId, TupleHandle};
+
+use crate::bindings::Level;
+use crate::compile::{compile, eval_compiled, CompiledExpr, LayoutFrame};
+use crate::ctx::ExecMode;
+use crate::error::QueryError;
+use crate::eval::eval_expr;
+
+use super::filter::FilterExec;
+use super::scan::FromItem;
+use super::{Batches, ExecCx, Executor, KeyedRow, RowSource};
+
+/// Expand the projection's wildcards against the materialized items,
+/// yielding concrete `(expression, output name)` pairs.
+pub(crate) fn expand_wildcards(
+    stmt: &SelectStmt,
+    items: &[FromItem],
+) -> Result<Vec<(Expr, String)>, QueryError> {
+    let mut proj: Vec<(Expr, String)> = Vec::new();
+    for item in &stmt.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for it in items {
+                    for c in it.columns.iter() {
+                        proj.push((Expr::qcol(it.binding.clone(), c.clone()), c.clone()));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let it = items
+                    .iter()
+                    .find(|it| it.binding == *q)
+                    .ok_or_else(|| QueryError::UnknownColumn(format!("{q}.*")))?;
+                for c in it.columns.iter() {
+                    proj.push((Expr::qcol(q.clone(), c.clone()), c.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    other => other.to_string(),
+                });
+                proj.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(proj)
+}
+
+/// The row-by-row projection operator. Implements [`RowSource`]: it is a
+/// valid pipeline top for non-aggregate queries.
+pub(crate) struct ProjectExec<'q> {
+    filter: FilterExec<'q>,
+    stmt: &'q SelectStmt,
+    columns: Vec<String>,
+    proj: Vec<(Expr, String)>,
+    /// Compiled projection + order-by keys (compiled mode only). These
+    /// include synthesized wildcard expansions, so they compile fresh —
+    /// never through the plan cache, whose keys require stable AST
+    /// addresses.
+    compiled_proj: Option<(Vec<CompiledExpr>, Vec<CompiledExpr>)>,
+    state: Option<Batches<Level>>,
+}
+
+impl<'q> ProjectExec<'q> {
+    pub(crate) fn new(filter: FilterExec<'q>, stmt: &'q SelectStmt) -> Self {
+        ProjectExec {
+            filter,
+            stmt,
+            columns: Vec::new(),
+            proj: Vec::new(),
+            compiled_proj: None,
+            state: None,
+        }
+    }
+
+    fn open(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Vec<Level>, QueryError> {
+        let mut matching: Vec<Level> = Vec::new();
+        while let Some(batch) = self.filter.next_batch(cx)? {
+            cx.rows_in("project", batch.len());
+            matching.extend(batch);
+        }
+        let items = self.filter.items();
+        self.proj = expand_wildcards(self.stmt, items)?;
+        self.columns = self.proj.iter().map(|(_, n)| n.clone()).collect();
+        if cx.ctx.mode == ExecMode::Compiled {
+            // The same scope layout the filter evaluated in: the outer
+            // scopes plus one innermost level holding this query's items.
+            let mut layout = cx.bindings.layout();
+            layout.push_level(
+                items
+                    .iter()
+                    .map(|it| LayoutFrame {
+                        name: it.binding.clone(),
+                        columns: Arc::clone(&it.columns),
+                    })
+                    .collect(),
+            );
+            self.compiled_proj = Some((
+                self.proj.iter().map(|(e, _)| compile(e, &layout)).collect(),
+                self.stmt.order_by.iter().map(|(e, _)| compile(e, &layout)).collect(),
+            ));
+        }
+        Ok(matching)
+    }
+}
+
+impl Executor for ProjectExec<'_> {
+    type Batch = Vec<KeyedRow>;
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let matching = self.open(cx)?;
+            self.state = Some(Batches::new(matching, super::BATCH_ROWS));
+        }
+        let Some(levels) = self.state.as_mut().expect("opened above").next() else {
+            return Ok(None);
+        };
+        let ctx = cx.ctx;
+        let mut out_batch = Vec::with_capacity(levels.len());
+        for level in levels {
+            cx.bindings.push_level(level);
+            let result = (|| -> Result<KeyedRow, QueryError> {
+                match &self.compiled_proj {
+                    Some((ps, ks)) => {
+                        let mut out = Vec::with_capacity(ps.len());
+                        for e in ps {
+                            out.push(eval_compiled(ctx, cx.bindings, None, e)?);
+                        }
+                        let mut key = Vec::with_capacity(ks.len());
+                        for e in ks {
+                            key.push(eval_compiled(ctx, cx.bindings, None, e)?);
+                        }
+                        Ok((key, out))
+                    }
+                    None => {
+                        let mut out = Vec::with_capacity(self.proj.len());
+                        for (e, _) in &self.proj {
+                            out.push(eval_expr(ctx, cx.bindings, None, e)?);
+                        }
+                        let mut key = Vec::with_capacity(self.stmt.order_by.len());
+                        for (e, _) in &self.stmt.order_by {
+                            key.push(eval_expr(ctx, cx.bindings, None, e)?);
+                        }
+                        Ok((key, out))
+                    }
+                }
+            })();
+            cx.bindings.pop_level();
+            out_batch.push(result?);
+        }
+        cx.batch_out(self.name(), out_batch.len());
+        Ok(Some(out_batch))
+    }
+}
+
+impl RowSource for ProjectExec<'_> {
+    fn output_columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        self.filter.take_origins()
+    }
+}

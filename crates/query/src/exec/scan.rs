@@ -1,0 +1,282 @@
+//! The scan operators: one per `from` item.
+//!
+//! A [`ScanExec`] materializes its item at open — stored tables through
+//! the chosen [`Access`] path, transition tables through the context's
+//! provider — filtering through the conjuncts the planner pushed down to
+//! it, then emits [`ScanRow`] batches. Its display name tracks the access
+//! path (`seq-scan`, `index-scan`, `index-range-scan`, `empty-scan`,
+//! `transition-scan`).
+//!
+//! This operator is also the parallel scan: with a thread budget, a
+//! big-enough stored-table scan whose pushed conjuncts are all row-local
+//! splits its handle vector into contiguous ranges on the worker pool and
+//! concatenates the kept rows in partition order — exactly the serial
+//! handle-order walk (see [`crate::parallel`] for the determinism
+//! argument).
+
+use std::sync::Arc;
+
+use setrules_sql::ast::TransitionKind;
+use setrules_storage::{DataType, TableId, TupleHandle, Value};
+
+use crate::bindings::Frame;
+use crate::compile::{eval_compiled_predicate, CompiledExpr};
+use crate::error::QueryError;
+use crate::parallel;
+use crate::planner::{scan_handles, Access};
+use crate::stats;
+
+use super::{Batches, ExecCx, Executor};
+
+/// One scanned row: its origin (stored tuples only) and field values.
+pub(crate) type ScanRow = (Option<(TableId, TupleHandle)>, Vec<Value>);
+
+/// A fully materialized `from` item, as the join and everything above it
+/// sees it: the binding name, column metadata, and the scanned rows.
+pub(crate) struct FromItem {
+    pub(crate) binding: String,
+    pub(crate) columns: Arc<Vec<String>>,
+    pub(crate) types: Vec<DataType>,
+    pub(crate) rows: Vec<ScanRow>,
+}
+
+/// Where a [`ScanExec`] reads from.
+pub(crate) enum ScanSource<'q> {
+    /// A stored table through its chosen access path.
+    Named {
+        /// The table being scanned.
+        tid: TableId,
+        /// The access path the planner selected.
+        access: Access,
+    },
+    /// A transition table served by the context's provider.
+    Transition {
+        /// Which transition table.
+        kind: TransitionKind,
+        /// The underlying stored table.
+        table: &'q str,
+        /// Restrict to tuples whose column was updated/selected.
+        column: Option<&'q str>,
+    },
+}
+
+/// The display name a scan over `access` gets (also used by the `plan:`
+/// explain line).
+pub(crate) fn access_op_name(access: &Access) -> &'static str {
+    match access {
+        Access::FullScan => "seq-scan",
+        Access::IndexEq { .. } | Access::IndexIn { .. } => "index-scan",
+        Access::IndexRange { .. } => "index-range-scan",
+        Access::Empty => "empty-scan",
+    }
+}
+
+/// The leaf operator: materializes one `from` item at open (filtering
+/// through its pushed-down conjuncts, in parallel when eligible) and
+/// emits it as [`ScanRow`] batches.
+pub(crate) struct ScanExec<'q> {
+    pub(crate) binding: String,
+    pub(crate) columns: Arc<Vec<String>>,
+    pub(crate) types: Vec<DataType>,
+    source: ScanSource<'q>,
+    /// Single-item conjuncts the planner pushed down to this scan.
+    conjs: Vec<CompiledExpr>,
+    name: &'static str,
+    batch_rows: usize,
+    state: Option<Batches<ScanRow>>,
+}
+
+impl<'q> ScanExec<'q> {
+    pub(crate) fn new(
+        binding: String,
+        columns: Arc<Vec<String>>,
+        types: Vec<DataType>,
+        source: ScanSource<'q>,
+        conjs: Vec<CompiledExpr>,
+    ) -> Self {
+        let name = match &source {
+            ScanSource::Named { access, .. } => access_op_name(access),
+            ScanSource::Transition { .. } => "transition-scan",
+        };
+        ScanExec {
+            binding,
+            columns,
+            types,
+            source,
+            conjs,
+            name,
+            batch_rows: super::BATCH_ROWS,
+            state: None,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Materialize the item, filtering through the pushed conjuncts. This
+    /// is the historical scan phase moved wholesale: every stats bump,
+    /// parallel-eligibility gate, and drop-only-on-definite-`Ok(false)`
+    /// rule is unchanged.
+    fn open(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Vec<ScanRow>, QueryError> {
+        let ctx = cx.ctx;
+        let conjs = &self.conjs;
+        let mut prefiltered = false;
+        let mut rows: Vec<ScanRow> = match &self.source {
+            ScanSource::Named { tid, access } => {
+                stats::bump(ctx.stats, |s| match access {
+                    Access::FullScan => s.full_scans += 1,
+                    Access::IndexEq { .. } | Access::IndexIn { .. } => s.index_lookups += 1,
+                    Access::IndexRange { .. } => s.range_scans += 1,
+                    Access::Empty => s.empty_scans += 1,
+                });
+                let handles = scan_handles(ctx.db, *tid, access);
+                if matches!(access, Access::IndexRange { .. }) {
+                    let skipped = (ctx.db.table(*tid).len() - handles.len()) as u64;
+                    stats::bump(ctx.stats, |s| s.range_rows_skipped += skipped);
+                }
+                stats::bump(ctx.stats, |s| s.rows_scanned += handles.len() as u64);
+                let big_enough = ctx.threads > 1 && handles.len() >= parallel::PAR_THRESHOLD;
+                if big_enough && conjs.iter().all(parallel::is_rowlocal) {
+                    prefiltered = true;
+                    let db = ctx.db;
+                    let tid = *tid;
+                    let handles = &handles;
+                    let chunks = parallel::pool().run_chunked(
+                        handles.len(),
+                        ctx.threads,
+                        parallel::MIN_CHUNK,
+                        |range| {
+                            let mut kept: Vec<ScanRow> =
+                                Vec::with_capacity(range.end - range.start);
+                            let mut dropped = 0u64;
+                            for &h in &handles[range] {
+                                let t = db.get(tid, h).expect("scanned handle is live");
+                                // Drop only on a definite non-`true` (the
+                                // same rule as the serial path below).
+                                let keep = conjs.iter().all(|cc| {
+                                    !matches!(
+                                        parallel::eval_rowlocal_predicate(cc, &[t.0.as_slice()]),
+                                        Ok(false)
+                                    )
+                                });
+                                if keep {
+                                    kept.push((Some((tid, h)), t.0.clone()));
+                                } else {
+                                    dropped += 1;
+                                }
+                            }
+                            (kept, dropped)
+                        },
+                    );
+                    let parts = chunks.len() as u64;
+                    let dropped: u64 = chunks.iter().map(|(_, d)| *d).sum();
+                    stats::bump(ctx.stats, |s| {
+                        s.pushdown_filtered += dropped;
+                        if parts > 1 {
+                            s.parallel_scans += 1;
+                            s.parallel_partitions += parts;
+                        }
+                    });
+                    let mut merged = Vec::with_capacity(chunks.iter().map(|(k, _)| k.len()).sum());
+                    for (kept, _) in chunks {
+                        merged.extend(kept);
+                    }
+                    merged
+                } else {
+                    if big_enough && !conjs.is_empty() {
+                        stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            let t = ctx.db.get(*tid, h).expect("scanned handle is live");
+                            (Some((*tid, h)), t.0.clone())
+                        })
+                        .collect()
+                }
+            }
+            ScanSource::Transition { kind, table, column } => {
+                let lent = ctx.virt.rows(ctx.db, *kind, table, *column)?;
+                stats::bump(ctx.stats, |s| s.rows_scanned += lent.len() as u64);
+                if !conjs.is_empty() && conjs.iter().all(parallel::is_rowlocal) {
+                    // Filter the borrowed rows first so only survivors are
+                    // ever cloned into owned scan rows. Drop only on a
+                    // definite non-`true` (same rule as the serial filter
+                    // below — errors defer to the full predicate).
+                    prefiltered = true;
+                    let mut kept: Vec<ScanRow> = Vec::new();
+                    let mut dropped = 0u64;
+                    for vals in lent {
+                        let keep = conjs.iter().all(|cc| {
+                            !matches!(
+                                parallel::eval_rowlocal_predicate(cc, &[vals.as_ref()]),
+                                Ok(false)
+                            )
+                        });
+                        if keep {
+                            kept.push((None, vals.into_owned()));
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                    stats::bump(ctx.stats, |s| s.pushdown_filtered += dropped);
+                    kept
+                } else {
+                    lent.into_iter().map(|vals| (None, vals.into_owned())).collect()
+                }
+            }
+        };
+        if !prefiltered && !conjs.is_empty() {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                cx.bindings.push_level(vec![Frame {
+                    name: self.binding.clone(),
+                    columns: Arc::clone(&self.columns),
+                    row: row.1.clone(),
+                }]);
+                let mut keep = true;
+                for cc in conjs {
+                    // Drop only on a definite non-`true`; keep on error so
+                    // the full predicate raises it (or a hash step shows
+                    // the combination never forms, as the historical
+                    // 2-way hash path already allowed).
+                    if matches!(eval_compiled_predicate(ctx, cx.bindings, None, cc), Ok(false)) {
+                        keep = false;
+                        break;
+                    }
+                }
+                cx.bindings.pop_level();
+                if keep {
+                    kept.push(row);
+                } else {
+                    stats::bump(ctx.stats, |s| s.pushdown_filtered += 1);
+                }
+            }
+            rows = kept;
+        }
+        Ok(rows)
+    }
+}
+
+impl Executor for ScanExec<'_> {
+    type Batch = Vec<ScanRow>;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let rows = self.open(cx)?;
+            self.state = Some(Batches::new(rows, self.batch_rows));
+        }
+        let batch = self.state.as_mut().expect("opened above").next();
+        if let Some(b) = &batch {
+            cx.batch_out(self.name(), b.len());
+        }
+        Ok(batch)
+    }
+}

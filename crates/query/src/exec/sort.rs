@@ -1,0 +1,247 @@
+//! The order-sensitive tail operators: `distinct`, `sort`/`topk`, and
+//! `limit`. Each wraps a boxed [`RowSource`] (project or aggregate, or
+//! another tail operator) and is itself a [`RowSource`], so the driver
+//! stacks them conditionally.
+//!
+//! All three are blocking: `distinct` needs the full set to deduplicate
+//! in first-occurrence order, `sort` needs it to sort, and `limit` must
+//! drain its child fully even past the cutoff so a projection error on a
+//! row beyond the limit still surfaces (the historical pipeline projected
+//! every row before truncating).
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use setrules_sql::ast::Expr;
+use setrules_storage::{TableId, TupleHandle, Value};
+
+use crate::error::QueryError;
+use crate::stats;
+
+use super::{Batches, ExecCx, Executor, KeyedRow, RowSource};
+
+/// Drain a boxed child fully, charging the rows to `name`'s input side.
+fn drain(
+    child: &mut Box<dyn RowSource + '_>,
+    name: &'static str,
+    cx: &mut ExecCx<'_, '_>,
+) -> Result<Vec<KeyedRow>, QueryError> {
+    let mut rows: Vec<KeyedRow> = Vec::new();
+    while let Some(batch) = child.next_batch(cx)? {
+        cx.rows_in(name, batch.len());
+        rows.extend(batch);
+    }
+    Ok(rows)
+}
+
+/// `select distinct`: keep the first occurrence of each output row, in
+/// input order.
+pub(crate) struct DistinctExec<'q> {
+    child: Box<dyn RowSource + 'q>,
+    state: Option<Batches<KeyedRow>>,
+    batch_rows: usize,
+}
+
+impl<'q> DistinctExec<'q> {
+    pub(crate) fn new(child: Box<dyn RowSource + 'q>) -> Self {
+        DistinctExec { child, state: None, batch_rows: super::BATCH_ROWS }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+}
+
+impl Executor for DistinctExec<'_> {
+    type Batch = Vec<KeyedRow>;
+
+    fn name(&self) -> &'static str {
+        "distinct"
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let rows = drain(&mut self.child, "distinct", cx)?;
+            // Dedup on the projected row (not the sort key) with borrowed
+            // slices, then retain by mask so survivors keep input order.
+            let mut seen: HashSet<&[Value]> = HashSet::with_capacity(rows.len());
+            let mask: Vec<bool> = rows.iter().map(|(_, row)| seen.insert(row.as_slice())).collect();
+            let mut it = mask.into_iter();
+            let mut rows = rows;
+            rows.retain(|_| it.next().expect("mask matches rows"));
+            self.state = Some(Batches::new(rows, self.batch_rows));
+        }
+        let batch = self.state.as_mut().expect("opened above").next();
+        if let Some(b) = &batch {
+            cx.batch_out(self.name(), b.len());
+        }
+        Ok(batch)
+    }
+}
+
+impl RowSource for DistinctExec<'_> {
+    fn output_columns(&self) -> &[String] {
+        self.child.output_columns()
+    }
+
+    fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        self.child.take_origins()
+    }
+}
+
+/// Compare two order-by key vectors under the statement's `asc`/`desc`
+/// flags. NULL sorts before every non-NULL value; the rest follows
+/// [`Value`]'s total order.
+fn order_cmp(order_by: &[(Expr, bool)], ka: &[Value], kb: &[Value]) -> Ordering {
+    for (i, (_, asc)) in order_by.iter().enumerate() {
+        let ord = ka[i].cmp(&kb[i]);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// `order by`: a full stable sort, or — when a small `limit` makes it
+/// profitable — an index-stabilized top-K selection (the operator then
+/// reports itself as `topk`).
+pub(crate) struct SortExec<'q> {
+    child: Box<dyn RowSource + 'q>,
+    order_by: &'q [(Expr, bool)],
+    /// The statement's limit; enables the top-K path when small enough.
+    /// Truncation itself stays with [`LimitExec`].
+    limit: Option<usize>,
+    label: &'static str,
+    state: Option<Batches<KeyedRow>>,
+    batch_rows: usize,
+}
+
+impl<'q> SortExec<'q> {
+    pub(crate) fn new(
+        child: Box<dyn RowSource + 'q>,
+        order_by: &'q [(Expr, bool)],
+        limit: Option<usize>,
+    ) -> Self {
+        SortExec {
+            child,
+            order_by,
+            limit,
+            label: "sort",
+            state: None,
+            batch_rows: super::BATCH_ROWS,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+}
+
+impl Executor for SortExec<'_> {
+    type Batch = Vec<KeyedRow>;
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let rows = drain(&mut self.child, self.label, cx)?;
+            let order_by = self.order_by;
+            let mut rows = rows;
+            match self.limit {
+                Some(k) if k > 0 && k < rows.len() / 4 => {
+                    // Top-K: select the K smallest under (key, input index)
+                    // — the index tiebreak reproduces the stable sort's
+                    // ordering among equal keys — then sort the prefix.
+                    stats::bump(cx.ctx.stats, |s| s.topk_selected += 1);
+                    self.label = "topk";
+                    let mut indexed: Vec<(usize, KeyedRow)> = rows.into_iter().enumerate().collect();
+                    let cmp = |a: &(usize, KeyedRow), b: &(usize, KeyedRow)| {
+                        order_cmp(order_by, &a.1 .0, &b.1 .0).then(a.0.cmp(&b.0))
+                    };
+                    indexed.select_nth_unstable_by(k - 1, cmp);
+                    indexed.truncate(k);
+                    indexed.sort_unstable_by(cmp);
+                    rows = indexed.into_iter().map(|(_, kr)| kr).collect();
+                }
+                _ => {
+                    rows.sort_by(|(ka, _), (kb, _)| order_cmp(order_by, ka, kb));
+                }
+            }
+            self.state = Some(Batches::new(rows, self.batch_rows));
+        }
+        let batch = self.state.as_mut().expect("opened above").next();
+        if let Some(b) = &batch {
+            cx.batch_out(self.name(), b.len());
+        }
+        Ok(batch)
+    }
+}
+
+impl RowSource for SortExec<'_> {
+    fn output_columns(&self) -> &[String] {
+        self.child.output_columns()
+    }
+
+    fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        self.child.take_origins()
+    }
+}
+
+/// `limit`: truncate to the first `n` rows. Drains its child fully
+/// first — an error on a row past the cutoff must still surface.
+pub(crate) struct LimitExec<'q> {
+    child: Box<dyn RowSource + 'q>,
+    n: usize,
+    state: Option<Batches<KeyedRow>>,
+    batch_rows: usize,
+}
+
+impl<'q> LimitExec<'q> {
+    pub(crate) fn new(child: Box<dyn RowSource + 'q>, n: usize) -> Self {
+        LimitExec { child, n, state: None, batch_rows: super::BATCH_ROWS }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+}
+
+impl Executor for LimitExec<'_> {
+    type Batch = Vec<KeyedRow>;
+
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+
+    fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        if self.state.is_none() {
+            let mut rows = drain(&mut self.child, "limit", cx)?;
+            rows.truncate(self.n);
+            self.state = Some(Batches::new(rows, self.batch_rows));
+        }
+        let batch = self.state.as_mut().expect("opened above").next();
+        if let Some(b) = &batch {
+            cx.batch_out(self.name(), b.len());
+        }
+        Ok(batch)
+    }
+}
+
+impl RowSource for LimitExec<'_> {
+    fn output_columns(&self) -> &[String] {
+        self.child.output_columns()
+    }
+
+    fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        self.child.take_origins()
+    }
+}

@@ -1,0 +1,399 @@
+//! Per-operator unit tests: empty input, single batch, batch-boundary
+//! off-by-one (driven through every operator's `with_batch_rows` knob),
+//! and error-in-mid-batch propagation, plus per-operator stats
+//! accounting. The tail operators (`distinct`/`sort`/`limit`) are
+//! exercised directly over a stub [`RowSource`]; the row-producing front
+//! half (scan → join → filter → project/aggregate) is exercised by
+//! lowering real statements with tiny batch sizes and comparing against
+//! the default-size pipeline.
+
+use std::sync::Arc;
+
+use setrules_sql::ast::{DmlOp, Statement};
+use setrules_sql::parse_statement;
+use setrules_storage::{ColumnDef, Database, DataType, TableSchema};
+
+use super::aggregate::AggregateExec;
+use super::filter::FilterExec;
+use super::join::JoinExec;
+use super::project::ProjectExec;
+use super::scan::{ScanExec, ScanSource};
+use super::sort::{DistinctExec, LimitExec, SortExec};
+use super::*;
+use crate::planner::Access;
+use crate::stats::{OpStatsCell, StatsCell};
+use crate::{execute_op, ExecMode, NoTransitionTables};
+
+#[test]
+fn batches_iterator_contract() {
+    // Empty buffer: no batches at all.
+    let mut b: Batches<i32> = Batches::new(vec![], 4);
+    assert_eq!(b.next(), None);
+    // Exact multiple: full batches, then None.
+    let mut b = Batches::new((0..8).collect::<Vec<_>>(), 4);
+    assert_eq!(b.next(), Some(vec![0, 1, 2, 3]));
+    assert_eq!(b.next(), Some(vec![4, 5, 6, 7]));
+    assert_eq!(b.next(), None);
+    // Off-by-one below and above a boundary.
+    let mut b = Batches::new((0..3).collect::<Vec<_>>(), 4);
+    assert_eq!(b.next(), Some(vec![0, 1, 2]));
+    assert_eq!(b.next(), None);
+    let mut b = Batches::new((0..5).collect::<Vec<_>>(), 4);
+    assert_eq!(b.next(), Some(vec![0, 1, 2, 3]));
+    assert_eq!(b.next(), Some(vec![4]));
+    assert_eq!(b.next(), None);
+}
+
+// ----------------------------------------------------------------------
+// Tail operators over a stub source
+// ----------------------------------------------------------------------
+
+/// A scripted [`RowSource`]: emits its batches in order, then either ends
+/// the stream or fails — the "error arrives mid-drain" case the blocking
+/// tail operators must propagate out of their open.
+struct StubSource {
+    batches: std::collections::VecDeque<Vec<KeyedRow>>,
+    fail_at_end: bool,
+    cols: Vec<String>,
+}
+
+impl StubSource {
+    fn new(batches: Vec<Vec<KeyedRow>>) -> Self {
+        StubSource {
+            batches: batches.into(),
+            fail_at_end: false,
+            cols: vec!["v".to_string()],
+        }
+    }
+
+    fn failing(batches: Vec<Vec<KeyedRow>>) -> Self {
+        StubSource { fail_at_end: true, ..StubSource::new(batches) }
+    }
+}
+
+impl Executor for StubSource {
+    type Batch = Vec<KeyedRow>;
+
+    fn name(&self) -> &'static str {
+        "stub"
+    }
+
+    fn next_batch(&mut self, _cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
+        match self.batches.pop_front() {
+            Some(b) => Ok(Some(b)),
+            None if self.fail_at_end => Err(QueryError::Type("stub failure".to_string())),
+            None => Ok(None),
+        }
+    }
+}
+
+impl RowSource for StubSource {
+    fn output_columns(&self) -> &[String] {
+        &self.cols
+    }
+
+    fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
+        Vec::new()
+    }
+}
+
+/// A row keyed for ordering: `key` is the order-by key, `val` tags the
+/// input position so stability is observable.
+fn kr(key: i64, val: i64) -> KeyedRow {
+    (vec![Value::Int(key)], vec![Value::Int(val)])
+}
+
+fn sel_stmt(sql: &str) -> setrules_sql::ast::SelectStmt {
+    match parse_statement(sql).unwrap() {
+        Statement::Dml(DmlOp::Select(s)) => s,
+        _ => panic!("not a select: {sql}"),
+    }
+}
+
+/// Pull `op` dry, flattening its batches and recording each batch size.
+fn pull_dry(
+    op: &mut dyn RowSource,
+    cx: &mut ExecCx<'_, '_>,
+) -> Result<(Vec<KeyedRow>, Vec<usize>), QueryError> {
+    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
+    while let Some(b) = op.next_batch(cx)? {
+        assert!(!b.is_empty(), "the batch contract forbids empty batches");
+        sizes.push(b.len());
+        rows.extend(b);
+    }
+    // Exhaustion is sticky.
+    assert!(op.next_batch(cx)?.is_none());
+    Ok((rows, sizes))
+}
+
+#[test]
+fn tail_operators_on_empty_input_emit_nothing() {
+    let db = Database::new();
+    let stmt = sel_stmt("select v from t order by v");
+    let mut bindings = Bindings::new();
+    let mut cx = ExecCx { ctx: QueryCtx::plain(&db), bindings: &mut bindings };
+    let empty = || Box::new(StubSource::new(vec![]));
+    let mut ops: Vec<Box<dyn RowSource>> = vec![
+        Box::new(DistinctExec::new(empty())),
+        Box::new(SortExec::new(empty(), &stmt.order_by, None)),
+        Box::new(LimitExec::new(empty(), 3)),
+    ];
+    for op in &mut ops {
+        let (rows, sizes) = pull_dry(op.as_mut(), &mut cx).unwrap();
+        assert!(rows.is_empty() && sizes.is_empty());
+    }
+}
+
+#[test]
+fn distinct_dedups_in_first_occurrence_order_across_batch_boundaries() {
+    let db = Database::new();
+    let mut bindings = Bindings::new();
+    let mut cx = ExecCx { ctx: QueryCtx::plain(&db), bindings: &mut bindings };
+    // Dedup is on the projected row, not the sort key: (9,1) and (7,1)
+    // are duplicates despite different keys.
+    let src = StubSource::new(vec![
+        vec![kr(9, 1), kr(8, 2)],
+        vec![kr(7, 1), kr(6, 3), kr(5, 2)],
+    ]);
+    let mut op = DistinctExec::new(Box::new(src)).with_batch_rows(2);
+    let (rows, sizes) = pull_dry(&mut op, &mut cx).unwrap();
+    assert_eq!(rows, vec![kr(9, 1), kr(8, 2), kr(6, 3)]);
+    assert_eq!(sizes, vec![2, 1], "3 survivors re-emitted at batch_rows=2");
+}
+
+#[test]
+fn sort_is_stable_and_respects_direction() {
+    let db = Database::new();
+    let asc = sel_stmt("select v from t order by v");
+    let desc = sel_stmt("select v from t order by v desc");
+    let mut bindings = Bindings::new();
+    let mut cx = ExecCx { ctx: QueryCtx::plain(&db), bindings: &mut bindings };
+    let input = || vec![vec![kr(2, 0), kr(1, 1)], vec![kr(2, 2), kr(1, 3), kr(3, 4)]];
+
+    let mut op = SortExec::new(Box::new(StubSource::new(input())), &asc.order_by, None)
+        .with_batch_rows(2);
+    let (rows, sizes) = pull_dry(&mut op, &mut cx).unwrap();
+    assert_eq!(rows, vec![kr(1, 1), kr(1, 3), kr(2, 0), kr(2, 2), kr(3, 4)]);
+    assert_eq!(sizes, vec![2, 2, 1], "5 rows at batch_rows=2: off-by-one tail batch");
+
+    // Descending reverses key order but keeps equal-key input order.
+    let mut op = SortExec::new(Box::new(StubSource::new(input())), &desc.order_by, None);
+    let (rows, _) = pull_dry(&mut op, &mut cx).unwrap();
+    assert_eq!(rows, vec![kr(3, 4), kr(2, 0), kr(2, 2), kr(1, 1), kr(1, 3)]);
+}
+
+#[test]
+fn sort_topk_gate_and_tiebreak_match_the_full_sort() {
+    let db = Database::new();
+    let stmt = sel_stmt("select v from t order by v");
+    // 16 rows with heavy key duplication: keys 0..4 repeated, value =
+    // input index, so the (key, index) tiebreak is observable.
+    let rows: Vec<KeyedRow> = (0..16).map(|i| kr(i % 4, i)).collect();
+    let full_sorted = {
+        let mut s = rows.clone();
+        s.sort_by_key(|(k, v)| (k[0].clone(), v[0].clone()));
+        s
+    };
+    let run = |limit: Option<usize>| {
+        let mut bindings = Bindings::new();
+        let st = StatsCell::new();
+        let ops = OpStatsCell::new();
+        let ctx = QueryCtx::plain(&db).with_stats(Some(&st)).with_op_stats(Some(&ops));
+        let mut cx = ExecCx { ctx, bindings: &mut bindings };
+        let src = StubSource::new(vec![rows.clone()]);
+        let mut op = SortExec::new(Box::new(src), &stmt.order_by, limit);
+        let (out, _) = pull_dry(&mut op, &mut cx).unwrap();
+        (out, st.snapshot().topk_selected, ops.operators().contains(&"topk"))
+    };
+
+    // limit 3 < 16/4: the top-K path engages and reports itself as topk.
+    let (out, topk, named_topk) = run(Some(3));
+    assert_eq!(out, full_sorted[..3].to_vec(), "top-K must match the stable sort prefix");
+    assert_eq!((topk, named_topk), (1, true));
+    // limit 4 == 16/4: not strictly smaller, the full sort runs.
+    let (out, topk, named_topk) = run(Some(4));
+    assert_eq!(out, full_sorted);
+    assert_eq!((topk, named_topk), (0, false));
+    // limit 0 never selects (and truncation belongs to LimitExec anyway).
+    let (out, topk, _) = run(Some(0));
+    assert_eq!(out, full_sorted);
+    assert_eq!(topk, 0);
+}
+
+#[test]
+fn limit_truncates_but_still_drains_its_child() {
+    let db = Database::new();
+    let mut bindings = Bindings::new();
+    let mut cx = ExecCx { ctx: QueryCtx::plain(&db), bindings: &mut bindings };
+    let src = StubSource::new(vec![vec![kr(0, 0), kr(0, 1)], vec![kr(0, 2), kr(0, 3), kr(0, 4)]]);
+    let mut op = LimitExec::new(Box::new(src), 3).with_batch_rows(2);
+    let (rows, sizes) = pull_dry(&mut op, &mut cx).unwrap();
+    assert_eq!(rows, vec![kr(0, 0), kr(0, 1), kr(0, 2)]);
+    assert_eq!(sizes, vec![2, 1]);
+
+    // A limit larger than the input is the identity.
+    let src = StubSource::new(vec![vec![kr(0, 0)]]);
+    let mut op = LimitExec::new(Box::new(src), 99);
+    let (rows, _) = pull_dry(&mut op, &mut cx).unwrap();
+    assert_eq!(rows, vec![kr(0, 0)]);
+
+    // The child fails *after* enough rows to satisfy the cutoff: the
+    // error must still surface, because limit drains fully before
+    // truncating (the historical executor projected every row).
+    let src = StubSource::failing(vec![vec![kr(0, 0), kr(0, 1), kr(0, 2), kr(0, 3)]]);
+    let mut op = LimitExec::new(Box::new(src), 1);
+    let err = op.next_batch(&mut cx).unwrap_err();
+    assert_eq!(err.to_string(), QueryError::Type("stub failure".to_string()).to_string());
+}
+
+#[test]
+fn tail_operators_propagate_a_mid_stream_error() {
+    let db = Database::new();
+    let stmt = sel_stmt("select v from t order by v");
+    let mut bindings = Bindings::new();
+    let mut cx = ExecCx { ctx: QueryCtx::plain(&db), bindings: &mut bindings };
+    let failing = || Box::new(StubSource::failing(vec![vec![kr(1, 0)]]));
+    let mut ops: Vec<Box<dyn RowSource>> = vec![
+        Box::new(DistinctExec::new(failing())),
+        Box::new(SortExec::new(failing(), &stmt.order_by, None)),
+        Box::new(LimitExec::new(failing(), 3)),
+    ];
+    for op in &mut ops {
+        let err = op.next_batch(&mut cx).unwrap_err();
+        assert!(err.to_string().contains("stub failure"), "{err}");
+    }
+}
+
+#[test]
+fn tail_operators_account_their_work_per_operator() {
+    let db = Database::new();
+    let stmt = sel_stmt("select v from t order by v");
+    let mut bindings = Bindings::new();
+    let ops = OpStatsCell::new();
+    let ctx = QueryCtx::plain(&db).with_op_stats(Some(&ops));
+    let mut cx = ExecCx { ctx, bindings: &mut bindings };
+    // stub(5 rows in 2 batches) -> sort -> limit 3, re-batched at 2.
+    let src = StubSource::new(vec![vec![kr(2, 0), kr(1, 1)], vec![kr(3, 2), kr(1, 3), kr(2, 4)]]);
+    let sort = SortExec::new(Box::new(src), &stmt.order_by, None).with_batch_rows(2);
+    let mut op = LimitExec::new(Box::new(sort), 3).with_batch_rows(2);
+    let (rows, _) = pull_dry(&mut op, &mut cx).unwrap();
+    assert_eq!(rows.len(), 3);
+
+    let sort_c = ops.get("sort");
+    assert_eq!((sort_c.rows_in, sort_c.rows_out, sort_c.batches), (5, 5, 3));
+    let limit_c = ops.get("limit");
+    assert_eq!((limit_c.rows_in, limit_c.rows_out, limit_c.batches), (5, 3, 2));
+    assert_eq!(ops.operators(), vec!["limit", "sort"]);
+}
+
+// ----------------------------------------------------------------------
+// The row-producing front half at tiny batch sizes
+// ----------------------------------------------------------------------
+
+fn test_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "t1".to_string(),
+        vec![ColumnDef::new("a", DataType::Int), ColumnDef::new("b", DataType::Int)],
+    ))
+    .unwrap();
+    db.create_table(TableSchema::new(
+        "t2".to_string(),
+        vec![ColumnDef::new("a", DataType::Int), ColumnDef::new("c", DataType::Int)],
+    ))
+    .unwrap();
+    let mut exec = |sql: &str| {
+        let Statement::Dml(op) = parse_statement(sql).unwrap() else { panic!() };
+        execute_op(&mut db, &NoTransitionTables, &op).unwrap();
+    };
+    exec("insert into t1 values (1, 10), (2, 20), (3, 30), (2, 21), (NULL, 40)");
+    exec("insert into t2 values (1, 100), (2, 200), (4, 400)");
+    db
+}
+
+/// Lower `stmt` exactly as the driver does (interpreted mode, no
+/// pushdown) but with every operator's batch size forced to `n`, and pull
+/// it dry. The front half has no public batch-size knob, so this mirrors
+/// `run_select_traced`'s lowering verbatim — if that lowering changes
+/// shape, this helper is the unit-level pin that must change with it.
+fn run_tiny(
+    db: &Database,
+    stmt: &setrules_sql::ast::SelectStmt,
+    n: usize,
+) -> Result<(Vec<String>, Vec<Vec<Value>>), QueryError> {
+    let ctx = QueryCtx::plain(db).with_mode(ExecMode::Interpreted);
+    let mut bindings = Bindings::new();
+    let mut scans = Vec::new();
+    for tref in &stmt.from {
+        let TableSource::Named(name) = &tref.source else { panic!("named tables only") };
+        let tid = ctx.db.table_id(name)?;
+        let schema = ctx.db.schema(tid);
+        let columns = Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+        let types = schema.columns.iter().map(|c| c.ty).collect();
+        scans.push(
+            ScanExec::new(
+                tref.binding_name().to_string(),
+                columns,
+                types,
+                ScanSource::Named { tid, access: Access::FullScan },
+                Vec::new(),
+            )
+            .with_batch_rows(n),
+        );
+    }
+    let join = JoinExec::new(scans, stmt).with_batch_rows(n);
+    let filter = FilterExec::new(join, None, stmt.predicate.as_ref(), false).with_batch_rows(n);
+    let mut top: Box<dyn RowSource + '_> = if is_grouped(stmt) {
+        Box::new(AggregateExec::new(filter, stmt).with_batch_rows(n))
+    } else {
+        Box::new(ProjectExec::new(filter, stmt))
+    };
+    if stmt.distinct {
+        top = Box::new(DistinctExec::new(top).with_batch_rows(n));
+    }
+    let limit = stmt.limit.map(|k| k as usize);
+    if !stmt.order_by.is_empty() {
+        top = Box::new(SortExec::new(top, &stmt.order_by, limit).with_batch_rows(n));
+    }
+    if let Some(k) = limit {
+        top = Box::new(LimitExec::new(top, k).with_batch_rows(n));
+    }
+    let mut cx = ExecCx { ctx, bindings: &mut bindings };
+    let (rows, _) = pull_dry(top.as_mut(), &mut cx)?;
+    Ok((top.output_columns().to_vec(), rows.into_iter().map(|(_, r)| r).collect()))
+}
+
+#[test]
+fn pipeline_results_are_identical_at_every_batch_size() {
+    let db = test_db();
+    let queries = [
+        "select a, b from t1",
+        "select b from t1 where a = 2",
+        "select x.b, y.c from t1 x, t2 y where x.a = y.a",
+        "select a, count(*) from t1 group by a having count(*) >= 1",
+        "select distinct a from t1 order by a limit 2",
+        "select b from t1 where a > 99", // empty result through every op
+        "select b from t1 order by a desc",
+    ];
+    for sql in queries {
+        let stmt = sel_stmt(sql);
+        let baseline = run_tiny(&db, &stmt, BATCH_ROWS).unwrap();
+        for n in [1, 2, 3] {
+            assert_eq!(run_tiny(&db, &stmt, n).unwrap(), baseline, "[{sql}] batch_rows={n}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_errors_are_identical_at_every_batch_size() {
+    let db = test_db();
+    // Division by zero on the a=2 rows only: earlier rows already flowed
+    // into batches when the error fires.
+    let stmt = sel_stmt("select 10 / (a - 2) from t1 where a is not null");
+    let baseline = run_tiny(&db, &stmt, BATCH_ROWS).unwrap_err().to_string();
+    for n in [1, 2, 3] {
+        let err = run_tiny(&db, &stmt, n).unwrap_err().to_string();
+        assert_eq!(err, baseline, "error selection drifted at batch_rows={n}");
+    }
+}

@@ -197,6 +197,15 @@ pub fn explain_select(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> String {
         }
         let _ = writeln!(out, "{line}");
     }
+
+    // Operator-tree report: the chain the statement lowers to, in pull
+    // order. Derived from the same gate functions the lowering driver
+    // uses (`plan_ops`), so this line cannot drift from executed code.
+    // Absent when a `from` item is an unknown table (execution would
+    // error before lowering).
+    if let Some(ops) = crate::exec::plan_ops(ctx, stmt) {
+        let _ = writeln!(out, "plan: {}", ops.join(" -> "));
+    }
     out
 }
 

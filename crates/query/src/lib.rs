@@ -29,6 +29,7 @@ mod ctx;
 mod dml;
 mod error;
 mod eval;
+mod exec;
 mod explain;
 pub mod incremental;
 pub mod like;
@@ -55,4 +56,4 @@ pub use explain::{explain_condition, explain_select};
 pub use provider::{describe, NoTransitionTables, TransitionTableProvider};
 pub use relation::Relation;
 pub use select::{has_aggregate, run_select, run_select_traced};
-pub use stats::{ExecStats, StatsCell};
+pub use stats::{ExecStats, OpCounters, OpStatsCell, StatsCell};

@@ -4,7 +4,11 @@
 //! pushdown filtering, hash-join build/probe, and the WHERE pass over
 //! joined combinations — can run on the process-wide
 //! [`setrules_exec::WorkerPool`] when the context's thread budget
-//! ([`crate::QueryCtx::threads`]) exceeds 1.
+//! ([`crate::QueryCtx::threads`]) exceeds 1. In the operator tree
+//! ([`crate::exec`]) these phases live inside `ScanExec`, `JoinExec`,
+//! and `FilterExec` respectively — parallelism is an implementation
+//! detail of those operators' open step, invisible to the operators
+//! above them.
 //!
 //! # Determinism argument
 //!

@@ -4,7 +4,11 @@
 //! `inserted t`, `deleted t`, `old/new updated t[.c]`, and `selected t[.c]`
 //! when evaluating a rule's condition or action (paper §3/§4). The query
 //! layer only needs a way to ask for those rows, so the dependency points
-//! this way: `setrules-core` implements [`TransitionTableProvider`].
+//! this way: `setrules-core` implements [`TransitionTableProvider`]. In
+//! the operator tree a transition-table `from` item materializes through
+//! a `transition-scan` leaf (`ScanSource::Transition` in
+//! [`crate::exec::scan`]), which borrows the provider's rows and clones
+//! only those that survive its pushed-down conjuncts.
 
 use std::borrow::Cow;
 

@@ -2,8 +2,11 @@
 //! transition tables), three-valued `where` filtering, grouping and
 //! aggregation, `distinct`, `order by`, and `limit`.
 //!
-//! Two executors share this front-end, selected by
-//! [`ExecMode`](crate::ExecMode) on the context:
+//! This module is the *lowering driver*: it plans a statement — access
+//! selection, predicate compilation, pushdown classification — and lowers
+//! it to a tree of batched physical operators (see [`crate::exec`]),
+//! then pulls that tree dry. Two executors share the front-end, selected
+//! by [`ExecMode`](crate::ExecMode) on the context:
 //!
 //! * **Compiled** (default): the predicate is lowered once to a
 //!   slot-addressed [`CompiledExpr`], single-item conjuncts are pushed
@@ -21,23 +24,31 @@
 //! order, and `order by` uses the storage total order. The one accepted
 //! divergence: prefilters may skip combinations whose evaluation would
 //! *error* (the historical 2-way hash path already did this).
+//!
+//! Two ordered-index fast paths bypass the operator pipeline entirely:
+//! [`min_max_shortcircuit`] and [`index_order_scan`] below.
 
-use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
 
-use setrules_sql::ast::{AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, TableSource};
+use setrules_sql::ast::{AggFunc, Expr, SelectItem, SelectStmt, TableSource};
 use setrules_storage::{ColumnId, DataType, TableId, TupleHandle, Value};
 
-use crate::bindings::{Bindings, Frame, Level};
+use crate::bindings::{Bindings, Frame};
 use crate::compile::{
     compile, compile_cached, eval_compiled, eval_compiled_predicate, CompiledExpr, LayoutFrame,
 };
 use crate::ctx::{ExecMode, QueryCtx};
 use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
-use crate::parallel;
-use crate::planner::{build_join_plan, choose_access, equi_join_edges, scan_handles, Access};
+use crate::exec::aggregate::AggregateExec;
+use crate::exec::filter::FilterExec;
+use crate::exec::join::JoinExec;
+use crate::exec::project::ProjectExec;
+use crate::exec::scan::{ScanExec, ScanSource};
+use crate::exec::sort::{DistinctExec, LimitExec, SortExec};
+use crate::exec::{ExecCx, KeyedRow, RowSource};
+use crate::planner::{choose_access, Access};
 use crate::relation::Relation;
 use crate::stats;
 
@@ -76,84 +87,14 @@ pub fn run_select_traced(
     }
 
     // ------------------------------------------------------------------
-    // 1. Materialize each `from` item.
+    // 1. Plan: per-item metadata and access selection (no rows yet — the
+    //    compile-once front-end needs every item's binding and columns
+    //    before scanning), predicate compilation, pushdown
+    //    classification.
     // ------------------------------------------------------------------
-    /// One scanned row: its origin (stored tuples only) and field values.
-    type ScanRow = (Option<(TableId, TupleHandle)>, Vec<Value>);
-    struct FromItem {
-        binding: String,
-        columns: Arc<Vec<String>>,
-        types: Vec<DataType>,
-        rows: Vec<ScanRow>,
-    }
-
-    /// Resolve a (possibly qualified) column reference against the from
-    /// items: `Some((item, column))` only when unambiguous.
-    fn resolve_col(items: &[FromItem], qualifier: Option<&str>, name: &str) -> Option<(usize, usize)> {
-        match qualifier {
-            Some(q) => {
-                let idx = items.iter().position(|it| it.binding == q)?;
-                let c = items[idx].columns.iter().position(|cn| cn == name)?;
-                Some((idx, c))
-            }
-            None => {
-                let mut found = None;
-                for (idx, it) in items.iter().enumerate() {
-                    if let Some(c) = it.columns.iter().position(|cn| cn == name) {
-                        if found.is_some() {
-                            return None; // ambiguous
-                        }
-                        found = Some((idx, c));
-                    }
-                }
-                found
-            }
-        }
-    }
-
-    /// Detect a two-item equi-join: a top-level `and`-conjunct
-    /// `items[0].c0 = items[1].c1` (either operand order) whose columns
-    /// share a non-float declared type. Float keys are excluded so that
-    /// storage-level hash equality provably agrees with SQL equality
-    /// (`-0.0`/`0.0` and NaN make floats unsafe as hash keys).
-    fn find_equi_join(stmt: &SelectStmt, items: &[FromItem]) -> Option<(usize, usize)> {
-        if items.len() != 2 {
-            return None;
-        }
-        let pred = stmt.predicate.as_ref()?;
-        let mut conjuncts = Vec::new();
-        crate::planner::collect_conjuncts(pred, &mut conjuncts);
-        for c in conjuncts {
-            let Expr::Binary { left, op: BinaryOp::Eq, right } = c else { continue };
-            let (
-                Expr::Column { qualifier: lq, name: ln },
-                Expr::Column { qualifier: rq, name: rn },
-            ) = (left.as_ref(), right.as_ref())
-            else {
-                continue;
-            };
-            let a = resolve_col(items, lq.as_deref(), ln);
-            let b = resolve_col(items, rq.as_deref(), rn);
-            let (Some((ia, ca)), Some((ib, cb))) = (a, b) else { continue };
-            let (c0, c1) = match (ia, ib) {
-                (0, 1) => (ca, cb),
-                (1, 0) => (cb, ca),
-                _ => continue,
-            };
-            let (t0, t1) = (items[0].types[c0], items[1].types[c1]);
-            if t0 == t1 && t0 != DataType::Float {
-                return Some((c0, c1));
-            }
-        }
-        None
-    }
-
     let sole = stmt.from.len() == 1;
     let compiled_mode = ctx.mode == ExecMode::Compiled;
 
-    // 1a. Per-item metadata — no rows yet. The compile-once front-end
-    // needs every item's binding and columns before scanning, so it can
-    // lower the predicate and classify pushdown conjuncts first.
     enum Source {
         Named { tid: TableId, access: Access },
         Transition,
@@ -184,10 +125,10 @@ pub fn run_select_traced(
         metas.push(ItemMeta { binding, columns, types, source });
     }
 
-    // 1b. Compile-once front-end: the scope layout is the outer scopes
-    // plus one innermost level holding this query's items. The full
-    // predicate compiles once (through the plan cache, when one is
-    // attached) against it.
+    // Compile-once front-end: the scope layout is the outer scopes plus
+    // one innermost level holding this query's items. The full predicate
+    // compiles once (through the plan cache, when one is attached)
+    // against it.
     let mut layout = bindings.layout();
     layout.push_level(
         metas
@@ -213,8 +154,8 @@ pub fn run_select_traced(
     // the identical work), but a sole *transition* item benefits: its
     // provider lends borrowed rows, so dropping a row at the scan avoids
     // ever cloning it.
-    let pushdown_worthwhile = metas.len() > 1
-        || metas.iter().any(|m| matches!(m.source, Source::Transition));
+    let pushdown_worthwhile =
+        metas.len() > 1 || metas.iter().any(|m| matches!(m.source, Source::Transition));
     let mut pushed: Vec<Vec<CompiledExpr>> = (0..metas.len()).map(|_| Vec::new()).collect();
     if compiled_mode && pushdown_worthwhile {
         if let Some(p) = &stmt.predicate {
@@ -254,824 +195,57 @@ pub fn run_select_traced(
         }
     }
 
-    // 1c. Materialize each item, filtering through its pushed conjuncts.
-    // With a thread budget, a big-enough stored-table scan whose pushed
-    // conjuncts are all row-local runs on the pool: the handle vector is
-    // split into contiguous ranges, each worker materializes + filters its
-    // range, and the kept rows are concatenated in partition order — which
-    // is exactly the serial handle-order walk. Pushed conjuncts that
-    // reference outer scopes (correlated) are not row-local; those scans
-    // stay serial and count a fallback.
-    let mut items: Vec<FromItem> = Vec::with_capacity(metas.len());
+    // ------------------------------------------------------------------
+    // 2. Lower to the operator tree (see `crate::exec`): scans → join →
+    //    filter → project|aggregate → distinct? → sort? → limit?.
+    // ------------------------------------------------------------------
+    let mut scans: Vec<ScanExec<'_>> = Vec::with_capacity(stmt.from.len());
     for (idx, (meta, tref)) in metas.into_iter().zip(&stmt.from).enumerate() {
         let conjs = std::mem::take(&mut pushed[idx]);
-        let mut prefiltered = false;
-        let mut rows: Vec<ScanRow> = match (&meta.source, &tref.source) {
-            (Source::Named { tid, access }, _) => {
-                stats::bump(ctx.stats, |s| match access {
-                    Access::FullScan => s.full_scans += 1,
-                    Access::IndexEq { .. } | Access::IndexIn { .. } => s.index_lookups += 1,
-                    Access::IndexRange { .. } => s.range_scans += 1,
-                    Access::Empty => s.empty_scans += 1,
-                });
-                let handles = scan_handles(ctx.db, *tid, access);
-                if matches!(access, Access::IndexRange { .. }) {
-                    let skipped = (ctx.db.table(*tid).len() - handles.len()) as u64;
-                    stats::bump(ctx.stats, |s| s.range_rows_skipped += skipped);
-                }
-                stats::bump(ctx.stats, |s| s.rows_scanned += handles.len() as u64);
-                let big_enough =
-                    ctx.threads > 1 && handles.len() >= parallel::PAR_THRESHOLD;
-                if big_enough && conjs.iter().all(parallel::is_rowlocal) {
-                    prefiltered = true;
-                    let db = ctx.db;
-                    let tid = *tid;
-                    let handles = &handles;
-                    let conjs = &conjs;
-                    let chunks = parallel::pool().run_chunked(
-                        handles.len(),
-                        ctx.threads,
-                        parallel::MIN_CHUNK,
-                        |range| {
-                            let mut kept: Vec<ScanRow> =
-                                Vec::with_capacity(range.end - range.start);
-                            let mut dropped = 0u64;
-                            for &h in &handles[range] {
-                                let t = db.get(tid, h).expect("scanned handle is live");
-                                // Drop only on a definite non-`true` (the
-                                // same rule as the serial path below).
-                                let keep = conjs.iter().all(|cc| {
-                                    !matches!(
-                                        parallel::eval_rowlocal_predicate(
-                                            cc,
-                                            &[t.0.as_slice()]
-                                        ),
-                                        Ok(false)
-                                    )
-                                });
-                                if keep {
-                                    kept.push((Some((tid, h)), t.0.clone()));
-                                } else {
-                                    dropped += 1;
-                                }
-                            }
-                            (kept, dropped)
-                        },
-                    );
-                    let parts = chunks.len() as u64;
-                    let dropped: u64 = chunks.iter().map(|(_, d)| *d).sum();
-                    stats::bump(ctx.stats, |s| {
-                        s.pushdown_filtered += dropped;
-                        if parts > 1 {
-                            s.parallel_scans += 1;
-                            s.parallel_partitions += parts;
-                        }
-                    });
-                    let mut merged =
-                        Vec::with_capacity(chunks.iter().map(|(k, _)| k.len()).sum());
-                    for (kept, _) in chunks {
-                        merged.extend(kept);
-                    }
-                    merged
-                } else {
-                    if big_enough && !conjs.is_empty() {
-                        stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            let t = ctx.db.get(*tid, h).expect("scanned handle is live");
-                            (Some((*tid, h)), t.0.clone())
-                        })
-                        .collect()
-                }
-            }
+        let source = match (meta.source, &tref.source) {
+            (Source::Named { tid, access }, _) => ScanSource::Named { tid, access },
             (Source::Transition, TableSource::Transition { kind, table, column }) => {
-                let lent = ctx.virt.rows(ctx.db, *kind, table, column.as_deref())?;
-                stats::bump(ctx.stats, |s| s.rows_scanned += lent.len() as u64);
-                if !conjs.is_empty() && conjs.iter().all(parallel::is_rowlocal) {
-                    // Filter the borrowed rows first so only survivors are
-                    // ever cloned into owned scan rows. Drop only on a
-                    // definite non-`true` (same rule as the serial filter
-                    // below — errors defer to the full predicate).
-                    prefiltered = true;
-                    let mut kept: Vec<ScanRow> = Vec::new();
-                    let mut dropped = 0u64;
-                    for vals in lent {
-                        let keep = conjs.iter().all(|cc| {
-                            !matches!(
-                                parallel::eval_rowlocal_predicate(cc, &[vals.as_ref()]),
-                                Ok(false)
-                            )
-                        });
-                        if keep {
-                            kept.push((None, vals.into_owned()));
-                        } else {
-                            dropped += 1;
-                        }
-                    }
-                    stats::bump(ctx.stats, |s| s.pushdown_filtered += dropped);
-                    kept
-                } else {
-                    lent.into_iter().map(|vals| (None, vals.into_owned())).collect()
-                }
+                ScanSource::Transition { kind: *kind, table, column: column.as_deref() }
             }
             (Source::Transition, TableSource::Named(_)) => {
                 unreachable!("meta source mirrors the from item")
             }
         };
-        if !prefiltered && !conjs.is_empty() {
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                bindings.push_level(vec![Frame {
-                    name: meta.binding.clone(),
-                    columns: Arc::clone(&meta.columns),
-                    row: row.1.clone(),
-                }]);
-                let mut keep = true;
-                for cc in &conjs {
-                    // Drop only on a definite non-`true`; keep on error so
-                    // the full predicate raises it (or a hash step shows
-                    // the combination never forms, as the historical
-                    // 2-way hash path already allowed).
-                    if matches!(eval_compiled_predicate(ctx, bindings, None, cc), Ok(false)) {
-                        keep = false;
-                        break;
-                    }
-                }
-                bindings.pop_level();
-                if keep {
-                    kept.push(row);
-                } else {
-                    stats::bump(ctx.stats, |s| s.pushdown_filtered += 1);
-                }
-            }
-            rows = kept;
-        }
-        items.push(FromItem {
-            binding: meta.binding,
-            columns: meta.columns,
-            types: meta.types,
-            rows,
-        });
+        scans.push(ScanExec::new(meta.binding, meta.columns, meta.types, source, conjs));
     }
-
-    // ------------------------------------------------------------------
-    // 2. Join + `where`. Compiled mode executes the greedy N-way
-    //    `JoinPlan` (hash steps on equi-join keys, cross steps only when
-    //    nothing connects); interpreted mode keeps the historical 2-item
-    //    hash special case and nested-loop odometer. All paths evaluate
-    //    the *full* predicate per assembled combination — hash probes and
-    //    pushdown are sound prefilters — and emit combinations in
-    //    row-index lexicographic order, keeping execution deterministic.
-    // ------------------------------------------------------------------
-    let mut matching: Vec<Level> = Vec::new();
-    let mut origins: Vec<Vec<(TableId, TupleHandle)>> = Vec::new();
     let want_trace = trace.is_some();
-    {
-        /// Serially evaluate one assembled combination: count it, run the
-        /// full predicate, and keep the level (plus origins) on *true*.
-        #[allow(clippy::too_many_arguments)]
-        fn consider(
-            ctx: QueryCtx<'_>,
-            items: &[FromItem],
-            full_pred: Option<&CompiledExpr>,
-            predicate: Option<&Expr>,
-            want_trace: bool,
-            cursor: &[usize],
-            bindings: &mut Bindings,
-            matching: &mut Vec<Level>,
-            origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
-        ) -> Result<(), QueryError> {
-            stats::bump(ctx.stats, |s| s.join_combinations += 1);
-            let level: Level = items
-                .iter()
-                .zip(cursor)
-                .map(|(it, &i)| Frame {
-                    name: it.binding.clone(),
-                    columns: Arc::clone(&it.columns),
-                    row: it.rows[i].1.clone(),
-                })
-                .collect();
-            bindings.push_level(level);
-            let keep = match (full_pred, predicate) {
-                (Some(cp), _) => eval_compiled_predicate(ctx, bindings, None, cp),
-                (None, Some(p)) => eval_predicate(ctx, bindings, None, p),
-                (None, None) => Ok(true),
-            };
-            let level = bindings.pop_level().expect("pushed above");
-            if keep? {
-                stats::bump(ctx.stats, |s| s.rows_matched += 1);
-                if want_trace {
-                    origins.push(
-                        items
-                            .iter()
-                            .zip(cursor)
-                            .filter_map(|(it, &i)| it.rows[i].0)
-                            .collect(),
-                    );
-                }
-                matching.push(level);
-            }
-            Ok(())
-        }
-
-        /// Record a combination a parallel WHERE pass already judged as
-        /// kept (counters were merged from the partition verdicts).
-        fn emit_kept(
-            items: &[FromItem],
-            cursor: &[usize],
-            want_trace: bool,
-            matching: &mut Vec<Level>,
-            origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
-        ) {
-            let level: Level = items
-                .iter()
-                .zip(cursor)
-                .map(|(it, &i)| Frame {
-                    name: it.binding.clone(),
-                    columns: Arc::clone(&it.columns),
-                    row: it.rows[i].1.clone(),
-                })
-                .collect();
-            if want_trace {
-                origins.push(
-                    items.iter().zip(cursor).filter_map(|(it, &i)| it.rows[i].0).collect(),
-                );
-            }
-            matching.push(level);
-        }
-
-        /// The WHERE pass may run on the pool only when the full predicate
-        /// is row-local; with a thread budget and enough combinations, a
-        /// non-row-local predicate (correlated subquery needing the shared
-        /// memo, interpreter fallback) counts an observable fallback.
-        fn parallel_where<'p>(
-            ctx: QueryCtx<'_>,
-            full_pred: &'p Option<Arc<CompiledExpr>>,
-            combinations: usize,
-        ) -> Option<&'p CompiledExpr> {
-            let cp = full_pred.as_deref()?;
-            if ctx.threads <= 1 || combinations < parallel::PAR_THRESHOLD {
-                return None;
-            }
-            if parallel::is_rowlocal(cp) {
-                Some(cp)
-            } else {
-                stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
-                None
-            }
-        }
-
-        /// Merge partition verdicts in partition order: counters first,
-        /// then the kept combinations, stopping at the earliest error —
-        /// reproducing the serial combination walk exactly.
-        fn merge_verdicts(
-            ctx: QueryCtx<'_>,
-            items: &[FromItem],
-            verdicts: Vec<parallel::ChunkVerdict>,
-            cursor_of: impl Fn(usize) -> Vec<usize>,
-            want_trace: bool,
-            matching: &mut Vec<Level>,
-            origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
-        ) -> Result<(), QueryError> {
-            let parts = verdicts.len() as u64;
-            if parts > 1 {
-                stats::bump(ctx.stats, |s| {
-                    s.parallel_scans += 1;
-                    s.parallel_partitions += parts;
-                });
-            }
-            for v in verdicts {
-                stats::bump(ctx.stats, |s| {
-                    s.join_combinations += v.combos;
-                    s.rows_matched += v.matched;
-                });
-                for i in v.kept {
-                    emit_kept(items, &cursor_of(i), want_trace, matching, origins);
-                }
-                if let Some(e) = v.err {
-                    return Err(e);
-                }
-            }
-            Ok(())
-        }
-
-        let all_nonempty = items.iter().all(|it| !it.rows.is_empty());
-        if compiled_mode {
-            // An empty item means zero combinations (matching the
-            // odometer), so only plan when every item has rows.
-            if all_nonempty {
-                if items.len() == 1 {
-                    let n = items[0].rows.len();
-                    if let Some(cp) = parallel_where(ctx, &full_pred, n) {
-                        let rows = &items[0].rows;
-                        let verdicts = parallel::judge_chunks(n, ctx.threads, |i| {
-                            parallel::eval_rowlocal_predicate(cp, &[rows[i].1.as_slice()])
-                        });
-                        merge_verdicts(
-                            ctx,
-                            &items,
-                            verdicts,
-                            |i| vec![i],
-                            want_trace,
-                            &mut matching,
-                            &mut origins,
-                        )?;
-                    } else {
-                        for i in 0..n {
-                            consider(
-                                ctx,
-                                &items,
-                                full_pred.as_deref(),
-                                stmt.predicate.as_ref(),
-                                want_trace,
-                                &[i],
-                                bindings,
-                                &mut matching,
-                                &mut origins,
-                            )?;
-                        }
-                    }
-                } else {
-                    let types: Vec<Vec<DataType>> =
-                        items.iter().map(|it| it.types.clone()).collect();
-                    let edges = equi_join_edges(stmt.predicate.as_ref(), &layout, &types);
-                    let cards: Vec<usize> = items.iter().map(|it| it.rows.len()).collect();
-                    let plan = build_join_plan(&cards, &edges);
-                    stats::bump(ctx.stats, |s| {
-                        for step in &plan.steps {
-                            if step.edges.is_empty() {
-                                s.nested_loop_joins += 1;
-                            } else {
-                                s.hash_joins += 1;
-                            }
-                        }
-                    });
-                    let order = plan.order();
-                    // pos_of[item] = position of that item in join order;
-                    // a partial combination stores row indices in join
-                    // order, one per placed item.
-                    let mut pos_of = vec![0usize; items.len()];
-                    for (p, &it) in order.iter().enumerate() {
-                        pos_of[it] = p;
-                    }
-                    let mut partials: Vec<Vec<usize>> =
-                        (0..items[plan.first].rows.len()).map(|i| vec![i]).collect();
-                    for step in &plan.steps {
-                        if partials.is_empty() {
-                            break;
-                        }
-                        let new_rows = &items[step.item].rows;
-                        if step.edges.is_empty() {
-                            // Cross step: no equi-edge reaches this item.
-                            let mut next = Vec::with_capacity(partials.len() * new_rows.len());
-                            for p in &partials {
-                                for j in 0..new_rows.len() {
-                                    let mut q = p.clone();
-                                    q.push(j);
-                                    next.push(q);
-                                }
-                            }
-                            partials = next;
-                        } else {
-                            // Hash step: build on the incoming item over
-                            // the composite key. NULL key components never
-                            // join (SQL equality with NULL is unknown);
-                            // the type-equality requirement on edges makes
-                            // storage-level hash equality agree with SQL
-                            // equality.
-                            //
-                            // Build a range of rows into a local map.
-                            let build_range =
-                                |range: std::ops::Range<usize>| -> HashMap<Vec<&Value>, Vec<usize>> {
-                                    let mut local: HashMap<Vec<&Value>, Vec<usize>> =
-                                        HashMap::new();
-                                    'build: for j in range {
-                                        let row = &new_rows[j];
-                                        let mut key = Vec::with_capacity(step.edges.len());
-                                        for &(_, _, nc) in &step.edges {
-                                            let v = &row.1[nc];
-                                            if v.is_null() {
-                                                continue 'build;
-                                            }
-                                            key.push(v);
-                                        }
-                                        local.entry(key).or_default().push(j);
-                                    }
-                                    local
-                                };
-                            let table: HashMap<Vec<&Value>, Vec<usize>> = if ctx.threads > 1
-                                && new_rows.len() >= parallel::PAR_THRESHOLD
-                            {
-                                // Partition the build side; merging the
-                                // per-worker maps in partition order keeps
-                                // every bucket's row indices ascending —
-                                // identical to the serial build.
-                                let maps = parallel::pool().run_chunked(
-                                    new_rows.len(),
-                                    ctx.threads,
-                                    parallel::MIN_CHUNK,
-                                    build_range,
-                                );
-                                let parts = maps.len() as u64;
-                                stats::bump(ctx.stats, |s| {
-                                    if parts > 1 {
-                                        s.parallel_scans += 1;
-                                        s.parallel_partitions += parts;
-                                    }
-                                });
-                                let mut merged: HashMap<Vec<&Value>, Vec<usize>> =
-                                    HashMap::new();
-                                for local in maps {
-                                    for (key, mut js) in local {
-                                        merged.entry(key).or_default().append(&mut js);
-                                    }
-                                }
-                                merged
-                            } else {
-                                build_range(0..new_rows.len())
-                            };
-                            // Probe a range of partials against the map,
-                            // emitting extended combinations in order.
-                            let probe_range =
-                                |range: std::ops::Range<usize>| -> Vec<Vec<usize>> {
-                                    let mut out = Vec::new();
-                                    'probe: for p in &partials[range] {
-                                        let mut key =
-                                            Vec::with_capacity(step.edges.len());
-                                        for &(pi, pc, _) in &step.edges {
-                                            let v =
-                                                &items[pi].rows[p[pos_of[pi]]].1[pc];
-                                            if v.is_null() {
-                                                continue 'probe;
-                                            }
-                                            key.push(v);
-                                        }
-                                        if let Some(js) = table.get(&key) {
-                                            for &j in js {
-                                                let mut q = p.clone();
-                                                q.push(j);
-                                                out.push(q);
-                                            }
-                                        }
-                                    }
-                                    out
-                                };
-                            partials = if ctx.threads > 1
-                                && partials.len() >= parallel::PAR_THRESHOLD
-                            {
-                                // Partition the probe side; concatenating
-                                // per-partition outputs in partition order
-                                // reproduces the serial probe order.
-                                let chunks = parallel::pool().run_chunked(
-                                    partials.len(),
-                                    ctx.threads,
-                                    parallel::MIN_CHUNK,
-                                    probe_range,
-                                );
-                                let parts = chunks.len() as u64;
-                                stats::bump(ctx.stats, |s| {
-                                    if parts > 1 {
-                                        s.parallel_scans += 1;
-                                        s.parallel_partitions += parts;
-                                    }
-                                });
-                                chunks.concat()
-                            } else {
-                                probe_range(0..partials.len())
-                            };
-                        }
-                    }
-                    // Back to item order, emitted lexicographically so the
-                    // two executors produce identical result order.
-                    let mut cursors: Vec<Vec<usize>> = partials
-                        .into_iter()
-                        .map(|p| (0..items.len()).map(|i| p[pos_of[i]]).collect())
-                        .collect();
-                    cursors.sort_unstable();
-                    if let Some(cp) = parallel_where(ctx, &full_pred, cursors.len()) {
-                        let cursors_ref = &cursors;
-                        let items_ref = &items;
-                        let verdicts =
-                            parallel::judge_chunks(cursors.len(), ctx.threads, |i| {
-                                let frames: Vec<&[Value]> = cursors_ref[i]
-                                    .iter()
-                                    .zip(items_ref.iter())
-                                    .map(|(&r, it)| it.rows[r].1.as_slice())
-                                    .collect();
-                                parallel::eval_rowlocal_predicate(cp, &frames)
-                            });
-                        merge_verdicts(
-                            ctx,
-                            &items,
-                            verdicts,
-                            |i| cursors[i].clone(),
-                            want_trace,
-                            &mut matching,
-                            &mut origins,
-                        )?;
-                    } else {
-                        for c in &cursors {
-                            consider(
-                                ctx,
-                                &items,
-                                full_pred.as_deref(),
-                                stmt.predicate.as_ref(),
-                                want_trace,
-                                c,
-                                bindings,
-                                &mut matching,
-                                &mut origins,
-                            )?;
-                        }
-                    }
-                }
-            }
-        } else if let Some((c0, c1)) = find_equi_join(stmt, &items) {
-            stats::bump(ctx.stats, |s| s.hash_joins += 1);
-            // Hash join: build on the right item, probe with the left.
-            // NULL keys never join (SQL equality with NULL is unknown);
-            // the type-equality requirement in find_equi_join makes the
-            // storage-level hash equality agree with SQL equality.
-            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
-            for (j, row) in items[1].rows.iter().enumerate() {
-                let key = &row.1[c1];
-                if !key.is_null() {
-                    table.entry(key).or_default().push(j);
-                }
-            }
-            for i in 0..items[0].rows.len() {
-                let key = &items[0].rows[i].1[c0];
-                if key.is_null() {
-                    continue;
-                }
-                if let Some(js) = table.get(key) {
-                    for &j in js {
-                        consider(
-                            ctx,
-                            &items,
-                            full_pred.as_deref(),
-                            stmt.predicate.as_ref(),
-                            want_trace,
-                            &[i, j],
-                            bindings,
-                            &mut matching,
-                            &mut origins,
-                        )?;
-                    }
-                }
-            }
-        } else if all_nonempty {
-            if items.len() > 1 {
-                stats::bump(ctx.stats, |s| s.nested_loop_joins += 1);
-            }
-            let mut cursor = vec![0usize; items.len()];
-            'outer: loop {
-                consider(
-                    ctx,
-                    &items,
-                    full_pred.as_deref(),
-                    stmt.predicate.as_ref(),
-                    want_trace,
-                    &cursor,
-                    bindings,
-                    &mut matching,
-                    &mut origins,
-                )?;
-                // Advance the odometer.
-                for pos in (0..items.len()).rev() {
-                    cursor[pos] += 1;
-                    if cursor[pos] < items[pos].rows.len() {
-                        continue 'outer;
-                    }
-                    cursor[pos] = 0;
-                    if pos == 0 {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-    }
-
-    if let Some(trace) = trace {
-        for row_origins in &origins {
-            trace.extend(row_origins.iter().copied());
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // 3. Expand wildcards into concrete projection expressions.
-    // ------------------------------------------------------------------
-    let mut proj: Vec<(Expr, String)> = Vec::new();
-    for item in &stmt.projection {
-        match item {
-            SelectItem::Wildcard => {
-                for it in &items {
-                    for c in it.columns.iter() {
-                        proj.push((Expr::qcol(it.binding.clone(), c.clone()), c.clone()));
-                    }
-                }
-            }
-            SelectItem::QualifiedWildcard(q) => {
-                let it = items
-                    .iter()
-                    .find(|it| it.binding == *q)
-                    .ok_or_else(|| QueryError::UnknownColumn(format!("{q}.*")))?;
-                for c in it.columns.iter() {
-                    proj.push((Expr::qcol(q.clone(), c.clone()), c.clone()));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| match expr {
-                    Expr::Column { name, .. } => name.clone(),
-                    other => other.to_string(),
-                });
-                proj.push((expr.clone(), name));
-            }
-        }
-    }
-    let columns: Vec<String> = proj.iter().map(|(_, n)| n.clone()).collect();
-
-    // ------------------------------------------------------------------
-    // 4. Project — grouped or row-by-row.
-    // ------------------------------------------------------------------
-    let grouped = !stmt.group_by.is_empty()
-        || proj.iter().any(|(e, _)| has_aggregate(e))
-        || stmt.having.as_ref().is_some_and(has_aggregate);
-
-    // Each produced row carries its order-by key for step 5.
-    type KeyedRow = (Vec<Value>, Vec<Value>);
-    let mut keyed_rows: Vec<KeyedRow> = Vec::new();
-
-    if grouped {
-        // Partition matching rows into groups.
-        let mut group_rows: Vec<Vec<Level>> = Vec::new();
-        if stmt.group_by.is_empty() {
-            group_rows.push(matching);
-        } else {
-            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-            for level in matching {
-                bindings.push_level(level);
-                let mut key = Vec::with_capacity(stmt.group_by.len());
-                let mut key_err = None;
-                for g in &stmt.group_by {
-                    match eval_expr(ctx, bindings, None, g) {
-                        Ok(v) => key.push(v),
-                        Err(e) => {
-                            key_err = Some(e);
-                            break;
-                        }
-                    }
-                }
-                let level = bindings.pop_level().expect("pushed above");
-                if let Some(e) = key_err {
-                    return Err(e);
-                }
-                let slot = *index.entry(key).or_insert_with(|| {
-                    group_rows.push(Vec::new());
-                    group_rows.len() - 1
-                });
-                group_rows[slot].push(level);
-            }
-        }
-
-        for rows in group_rows {
-            // Representative bindings for non-aggregate expressions: the
-            // first row of the group, or all-NULL frames for the empty
-            // ungrouped case (`select count(*) from empty_table`).
-            let repr: Level = match rows.first() {
-                Some(l) => l.clone(),
-                None => items
-                    .iter()
-                    .map(|it| Frame {
-                        name: it.binding.clone(),
-                        columns: Arc::clone(&it.columns),
-                        row: vec![Value::Null; it.columns.len()],
-                    })
-                    .collect(),
-            };
-            bindings.push_level(repr);
-            let result = (|| -> Result<Option<KeyedRow>, QueryError> {
-                if let Some(h) = &stmt.having {
-                    let v = eval_expr(ctx, bindings, Some(&rows), h)?;
-                    if crate::eval::truth(&v)? != Some(true) {
-                        return Ok(None);
-                    }
-                }
-                let mut out = Vec::with_capacity(proj.len());
-                for (e, _) in &proj {
-                    out.push(eval_expr(ctx, bindings, Some(&rows), e)?);
-                }
-                let mut key = Vec::with_capacity(stmt.order_by.len());
-                for (e, _) in &stmt.order_by {
-                    key.push(eval_expr(ctx, bindings, Some(&rows), e)?);
-                }
-                Ok(Some((key, out)))
-            })();
-            bindings.pop_level();
-            if let Some(pair) = result? {
-                keyed_rows.push(pair);
-            }
-        }
+    let filter =
+        FilterExec::new(JoinExec::new(scans, stmt), full_pred, stmt.predicate.as_ref(), want_trace);
+    let mut top: Box<dyn RowSource + '_> = if crate::exec::is_grouped(stmt) {
+        Box::new(AggregateExec::new(filter, stmt))
     } else {
-        // Compiled mode lowers projections and order-by keys once instead
-        // of resolving names per output row. (These include synthesized
-        // wildcard expansions, so they compile fresh — never through the
-        // plan cache, whose keys require stable AST addresses.)
-        let compiled_proj: Option<(Vec<CompiledExpr>, Vec<CompiledExpr>)> = if compiled_mode {
-            Some((
-                proj.iter().map(|(e, _)| compile(e, &layout)).collect(),
-                stmt.order_by.iter().map(|(e, _)| compile(e, &layout)).collect(),
-            ))
-        } else {
-            None
-        };
-        for level in matching {
-            bindings.push_level(level);
-            let result = (|| -> Result<(Vec<Value>, Vec<Value>), QueryError> {
-                match &compiled_proj {
-                    Some((ps, ks)) => {
-                        let mut out = Vec::with_capacity(ps.len());
-                        for e in ps {
-                            out.push(eval_compiled(ctx, bindings, None, e)?);
-                        }
-                        let mut key = Vec::with_capacity(ks.len());
-                        for e in ks {
-                            key.push(eval_compiled(ctx, bindings, None, e)?);
-                        }
-                        Ok((key, out))
-                    }
-                    None => {
-                        let mut out = Vec::with_capacity(proj.len());
-                        for (e, _) in &proj {
-                            out.push(eval_expr(ctx, bindings, None, e)?);
-                        }
-                        let mut key = Vec::with_capacity(stmt.order_by.len());
-                        for (e, _) in &stmt.order_by {
-                            key.push(eval_expr(ctx, bindings, None, e)?);
-                        }
-                        Ok((key, out))
-                    }
-                }
-            })();
-            bindings.pop_level();
-            keyed_rows.push(result?);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // 5. distinct → order by → limit.
-    // ------------------------------------------------------------------
-    if stmt.distinct {
-        // Dedup without cloning rows: a borrowing seen-set marks the first
-        // occurrence of each row, then the mask drives `retain`.
-        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(keyed_rows.len());
-        let keep: Vec<bool> =
-            keyed_rows.iter().map(|(_, row)| seen.insert(row.as_slice())).collect();
-        drop(seen);
-        let mut mask = keep.iter();
-        keyed_rows.retain(|_| *mask.next().expect("one mask bit per row"));
-    }
-    let order_cmp = |ka: &[Value], kb: &[Value]| {
-        for (i, (_, asc)) in stmt.order_by.iter().enumerate() {
-            let ord = ka[i].cmp(&kb[i]);
-            let ord = if *asc { ord } else { ord.reverse() };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
+        Box::new(ProjectExec::new(filter, stmt))
     };
-    match stmt.limit.map(|n| n as usize) {
-        // Top-k fast path: when only a small prefix of the sorted output
-        // survives `limit`, partial-select the k smallest and sort just
-        // those instead of sorting everything. The original row index
-        // breaks order-key ties, making the order strict and total — so
-        // the unstable partial select + prefix sort reproduces the stable
-        // full sort's first k rows exactly.
-        Some(k) if !stmt.order_by.is_empty() && k > 0 && k < keyed_rows.len() / 4 => {
-            stats::bump(ctx.stats, |s| s.topk_selected += 1);
-            let mut indexed: Vec<(usize, KeyedRow)> =
-                keyed_rows.into_iter().enumerate().collect();
-            let cmp = |a: &(usize, KeyedRow), b: &(usize, KeyedRow)| {
-                order_cmp(&a.1 .0, &b.1 .0).then(a.0.cmp(&b.0))
-            };
-            indexed.select_nth_unstable_by(k - 1, cmp);
-            indexed.truncate(k);
-            indexed.sort_unstable_by(cmp);
-            keyed_rows = indexed.into_iter().map(|(_, kr)| kr).collect();
-        }
-        limit => {
-            if !stmt.order_by.is_empty() {
-                keyed_rows.sort_by(|(ka, _), (kb, _)| order_cmp(ka, kb));
-            }
-            if let Some(n) = limit {
-                keyed_rows.truncate(n);
-            }
-        }
+    if stmt.distinct {
+        top = Box::new(DistinctExec::new(top));
+    }
+    let limit = stmt.limit.map(|n| n as usize);
+    if !stmt.order_by.is_empty() {
+        top = Box::new(SortExec::new(top, &stmt.order_by, limit));
+    }
+    if let Some(n) = limit {
+        top = Box::new(LimitExec::new(top, n));
     }
 
+    // ------------------------------------------------------------------
+    // 3. Pull the pipeline dry.
+    // ------------------------------------------------------------------
+    let mut cx = ExecCx { ctx, bindings };
+    let mut keyed_rows: Vec<KeyedRow> = Vec::new();
+    while let Some(batch) = top.next_batch(&mut cx)? {
+        keyed_rows.extend(batch);
+    }
+    if let Some(trace) = trace {
+        for row_origins in top.take_origins() {
+            trace.extend(row_origins);
+        }
+    }
+    let columns = top.output_columns().to_vec();
     Ok(Relation { columns, rows: keyed_rows.into_iter().map(|(_, r)| r).collect() })
 }
 
@@ -1351,6 +525,53 @@ fn min_max_shortcircuit(
     }
     let rows = if stmt.limit == Some(0) { Vec::new() } else { vec![row] };
     Ok(Some(Relation { columns: names, rows }))
+}
+
+/// Pure shape mirror of [`min_max_shortcircuit`]: `true` exactly when that
+/// fast path would answer `stmt` (including its NaN-boundary bail-out),
+/// with no stats side effects. The `plan:` line of `explain` uses this —
+/// the fast path itself is *not* refactored onto it because its bail-out
+/// order is observable in `ExecStats` (a NaN bail after the first column
+/// has already counted that column's index lookup).
+pub(crate) fn min_max_applies(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> bool {
+    if stmt.from.len() != 1
+        || stmt.distinct
+        || stmt.predicate.is_some()
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || !stmt.order_by.is_empty()
+        || stmt.projection.is_empty()
+    {
+        return false;
+    }
+    let TableSource::Named(table_name) = &stmt.from[0].source else {
+        return false;
+    };
+    let binding = stmt.from[0].binding_name();
+    let Ok(tid) = ctx.db.table_id(table_name) else {
+        return false;
+    };
+    let schema = ctx.db.schema(tid);
+    stmt.projection.iter().all(|item| {
+        let SelectItem::Expr { expr, .. } = item else { return false };
+        let Expr::Aggregate { func, arg: Some(arg), .. } = expr else { return false };
+        if !matches!(func, AggFunc::Min | AggFunc::Max) {
+            return false;
+        }
+        let Expr::Column { qualifier, name } = arg.as_ref() else { return false };
+        match qualifier.as_deref() {
+            None => {}
+            Some(q) if q == binding => {}
+            _ => return false,
+        }
+        let Ok(col) = schema.column_id(name) else { return false };
+        if schema.column_type(col) == DataType::Bool {
+            return false;
+        }
+        let Some(index) = ctx.db.ordered_index(tid, col) else { return false };
+        let is_nan = |k: Option<&Value>| matches!(k, Some(Value::Float(f)) if f.is_nan());
+        !is_nan(index.first_key()) && !is_nan(index.last_key())
+    })
 }
 
 /// `-0.0` and `0.0` are distinct index keys but SQL-equal, and the

@@ -10,7 +10,8 @@
 //! `Copy` bundle of shared references threaded through recursive
 //! evaluation; counters must accumulate across all copies.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 
 use setrules_json::Json;
 
@@ -190,6 +191,69 @@ impl StatsCell {
 pub(crate) fn bump(stats: Option<&StatsCell>, f: impl FnOnce(&mut ExecStats)) {
     if let Some(cell) = stats {
         cell.bump(f);
+    }
+}
+
+/// Per-operator work counters for one physical operator of the
+/// [`crate::exec`] pipeline (keyed by operator name in [`OpStatsCell`]).
+///
+/// These ride a *separate* side channel from [`ExecStats`]: the 19
+/// aggregate counters stay the executor's stable, mode-independent
+/// vocabulary (the differential suites compare them bit-for-bit), while
+/// per-operator counters attribute that work to the operator tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Batches this operator emitted.
+    pub batches: u64,
+    /// Rows the operator consumed from its child (0 for leaves).
+    pub rows_in: u64,
+    /// Rows the operator emitted.
+    pub rows_out: u64,
+}
+
+/// A shared, interior-mutable per-operator counter map, keyed by operator
+/// name (`"seq-scan"`, `"hash-join"`, `"filter"`, …). Attach one to a
+/// [`crate::QueryCtx`] with
+/// [`QueryCtx::with_op_stats`](crate::QueryCtx::with_op_stats); every
+/// operator of the [`crate::exec`] tree records into it. `BTreeMap` keeps
+/// iteration order deterministic.
+#[derive(Debug, Default)]
+pub struct OpStatsCell {
+    inner: RefCell<BTreeMap<&'static str, OpCounters>>,
+}
+
+impl OpStatsCell {
+    /// A fresh, empty counter map.
+    pub fn new() -> Self {
+        OpStatsCell::default()
+    }
+
+    /// Current counters for every operator that recorded work.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, OpCounters> {
+        self.inner.borrow().clone()
+    }
+
+    /// Counters for one operator (zeroes if it never ran).
+    pub fn get(&self, name: &str) -> OpCounters {
+        self.inner.borrow().get(name).copied().unwrap_or_default()
+    }
+
+    /// Names of every operator that recorded work, in sorted order.
+    pub fn operators(&self) -> Vec<&'static str> {
+        self.inner.borrow().keys().copied().collect()
+    }
+
+    /// Record one emitted batch of `rows` rows for operator `name`.
+    pub(crate) fn batch_out(&self, name: &'static str, rows: usize) {
+        let mut m = self.inner.borrow_mut();
+        let c = m.entry(name).or_default();
+        c.batches += 1;
+        c.rows_out += rows as u64;
+    }
+
+    /// Record `rows` rows consumed from the child of operator `name`.
+    pub(crate) fn rows_in(&self, name: &'static str, rows: usize) {
+        self.inner.borrow_mut().entry(name).or_default().rows_in += rows as u64;
     }
 }
 

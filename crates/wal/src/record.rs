@@ -78,6 +78,15 @@ pub enum WalRecord {
         /// The engine-encoded state (schema, rows with handles, rules).
         state: Json,
     },
+    /// The deferred transition window a commit leaves behind (§5.3):
+    /// inside a transaction, the last such record before `Commit` is the
+    /// pending window recovery must re-present to `process_deferred`;
+    /// outside any transaction it applies immediately (a durable
+    /// `clear_deferred`).
+    DeferredWindow {
+        /// The engine-encoded window (handles, old tuples, columns).
+        state: Json,
+    },
 }
 
 impl WalRecord {
@@ -95,6 +104,7 @@ impl WalRecord {
             WalRecord::Commit { .. } => "commit",
             WalRecord::Abort { .. } => "abort",
             WalRecord::Checkpoint { .. } => "checkpoint",
+            WalRecord::DeferredWindow { .. } => "deferred_window",
         }
     }
 
@@ -137,6 +147,9 @@ impl WalRecord {
             }
             WalRecord::Checkpoint { state } => {
                 Json::Object(vec![tag("checkpoint"), ("state".into(), state.clone())])
+            }
+            WalRecord::DeferredWindow { state } => {
+                Json::Object(vec![tag("deferred_window"), ("state".into(), state.clone())])
             }
         }
     }
@@ -190,6 +203,12 @@ impl WalRecord {
                     .get("state")
                     .cloned()
                     .ok_or_else(|| WalError::Record("checkpoint: missing 'state'".into()))?,
+            }),
+            "deferred_window" => Ok(WalRecord::DeferredWindow {
+                state: j
+                    .get("state")
+                    .cloned()
+                    .ok_or_else(|| WalError::Record("deferred_window: missing 'state'".into()))?,
             }),
             other => Err(WalError::Record(format!("unknown record tag '{other}'"))),
         }
@@ -265,6 +284,9 @@ mod tests {
         roundtrip(WalRecord::Commit { handles: 42 });
         roundtrip(WalRecord::Abort { handles: 42 });
         roundtrip(WalRecord::Checkpoint { state: Json::obj([("tables", Json::Array(vec![]))]) });
+        roundtrip(WalRecord::DeferredWindow {
+            state: Json::obj([("ins", Json::Array(vec![Json::Int(7)]))]),
+        });
     }
 
     #[test]

@@ -51,6 +51,8 @@ echo "==> bench smoke (query pipeline acceptance counters)"
 # join, plan-cache hits on rule refire) and writes the counters snapshot.
 BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench query_pipeline
+test -f "$PWD/target/bench-snapshots/BENCH_query_pipeline.json" \
+  || { echo "error: BENCH_query_pipeline.json not written" >&2; exit 1; }
 
 echo "==> bench smoke (ordered-index acceptance counters)"
 # In-bench asserts: >=10x range scan over full scan on 100k rows, >=5x

@@ -238,6 +238,136 @@ fn null_and_nan_range_boundaries() {
     }
 }
 
+/// The three ordering paths — the generic sort comparator, the top-K
+/// `select_nth_unstable_by` selection, and the index-order sort-elision
+/// walk — must produce *identical* orderings on NaN/-0.0/NULL-bearing
+/// data, ascending and descending, with and without `limit`. Each path
+/// is proven engaged via its stats counter, so a silent gate change
+/// can't turn this into three runs of the same code.
+#[test]
+fn nan_negzero_null_order_identically_across_all_three_paths() {
+    use setrules_query::StatsCell;
+
+    let build = |ordered: bool| {
+        let mut db = Database::new();
+        let t = db
+            .create_table(TableSchema::new(
+                "t".to_string(),
+                vec![ColumnDef::new("k", DataType::Int), ColumnDef::new("v", DataType::Float)],
+            ))
+            .unwrap();
+        if ordered {
+            db.create_index_of(t, ColumnId(1), IndexKind::Ordered).unwrap();
+        }
+        // 16 rows so `limit 3 < 16/4` engages top-K; duplicate keys
+        // (two NaNs, two NULLs, 0.0 vs -0.0, repeated 1.5) expose any
+        // tiebreak or signed-zero divergence between the paths.
+        let vals = [
+            "1.5",
+            "(0.0 / 0.0)",
+            "NULL",
+            "-0.0",
+            "1e300",
+            "0.0",
+            "-2.5",
+            "1.5",
+            "NULL",
+            "(0.0 / 0.0)",
+            "-1e300",
+            "7.25",
+            "0.0",
+            "-0.0",
+            "2",
+            "-2.5",
+        ];
+        for (k, v) in vals.iter().enumerate() {
+            exec(&mut db, &format!("insert into t values ({k}, {v})"));
+        }
+        db
+    };
+    let plain = build(false);
+    let indexed = build(true);
+
+    let run = |db: &Database, sql: &str, mode: ExecMode, st: &StatsCell| {
+        execute_query_with_opts(db, &NoTransitionTables, &sel(sql), Some(st), mode, None)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"))
+    };
+
+    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+        for dir in ["asc", "desc"] {
+            let full_sql = format!("select k, v from t order by v {dir}");
+            let lim_sql = format!("select k, v from t order by v {dir} limit 3");
+
+            // Path 1: the generic sort comparator (no index, no limit).
+            let st = StatsCell::new();
+            let sorted = run(&plain, &full_sql, mode, &st);
+            let s = st.snapshot();
+            assert_eq!((s.sort_elided, s.topk_selected), (0, 0), "[{mode:?} {dir}] gates");
+            assert_eq!(sorted.rows.len(), 16);
+
+            // Path 2: top-K selection (no index, limit 3 < 16/4).
+            let st = StatsCell::new();
+            let topk = run(&plain, &lim_sql, mode, &st);
+            assert_eq!(st.snapshot().topk_selected, 1, "[{mode:?} {dir}] top-K must engage");
+            assert_eq!(
+                topk.rows,
+                sorted.rows[..3].to_vec(),
+                "[{mode:?} {dir}] top-K diverged from the generic sort"
+            );
+
+            // Path 3: the index-order walk (ordered index elides the sort).
+            let st = StatsCell::new();
+            let walked = run(&indexed, &full_sql, mode, &st);
+            assert_eq!(st.snapshot().sort_elided, 1, "[{mode:?} {dir}] elision must engage");
+            assert_eq!(
+                walked.rows, sorted.rows,
+                "[{mode:?} {dir}] index walk diverged from the generic sort"
+            );
+
+            // Limit over the walk (early stop) agrees with all of them.
+            let st = StatsCell::new();
+            let walked_lim = run(&indexed, &lim_sql, mode, &st);
+            assert_eq!(st.snapshot().sort_elided, 1, "[{mode:?} {dir}] limited walk elides");
+            assert_eq!(walked_lim.rows, topk.rows, "[{mode:?} {dir}] limited walk diverged");
+        }
+    }
+
+    // Pin the semantics the paths agree on: ascending puts NULLs first,
+    // then NaNs (storage total order sorts NaN below -inf), then numeric
+    // order with -0.0 strictly before 0.0.
+    let st = StatsCell::new();
+    let asc = run(&plain, "select v from t order by v asc", ExecMode::Compiled, &st);
+    let desc_of = |r: &setrules_query::Relation| {
+        let mut rows = r.rows.clone();
+        rows.reverse();
+        rows
+    };
+    let st = StatsCell::new();
+    let desc = run(&plain, "select v from t order by v desc", ExecMode::Compiled, &st);
+    let is_nan = |v: &Value| matches!(v, Value::Float(f) if f.is_nan());
+    let is_neg_zero = |v: &Value| matches!(v, Value::Float(f) if *f == 0.0 && f.is_sign_negative());
+    assert_eq!(asc.rows[0][0], Value::Null);
+    assert_eq!(asc.rows[1][0], Value::Null);
+    assert!(is_nan(&asc.rows[2][0]) && is_nan(&asc.rows[3][0]), "NaNs sort after NULLs");
+    let neg_zero_pos = asc.rows.iter().position(|r| is_neg_zero(&r[0])).unwrap();
+    assert!(is_neg_zero(&asc.rows[neg_zero_pos + 1][0]), "-0.0 pair is contiguous");
+    assert_eq!(asc.rows[neg_zero_pos + 2][0], Value::Float(0.0), "-0.0 sorts before 0.0");
+    // Descending is the exact reverse *by key*; equal keys keep input
+    // order in both directions, so compare the key sequence only.
+    let desc_keys: Vec<&Value> = desc.rows.iter().map(|r| &r[0]).collect();
+    let asc_rev = desc_of(&asc);
+    let asc_rev_keys: Vec<&Value> = asc_rev.iter().map(|r| &r[0]).collect();
+    let eq_key = |a: &Value, b: &Value| match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+        (a, b) => a == b,
+    };
+    assert!(
+        desc_keys.len() == asc_rev_keys.len()
+            && desc_keys.iter().zip(&asc_rev_keys).all(|(a, b)| eq_key(a, b)),
+        "desc key order must be the reverse of asc key order"
+    );
+}
+
 // ----------------------------------------------------------------------
 // Plan-cache lifecycle with ordered-index DDL mid-`process rules`
 // ----------------------------------------------------------------------

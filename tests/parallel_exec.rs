@@ -159,7 +159,7 @@ fn run(
         db,
         &NoTransitionTables,
         stmt,
-        &ExecOpts { stats: Some(&st), mode, plans: None, threads },
+        &ExecOpts { stats: Some(&st), mode, plans: None, threads, op_stats: None },
     );
     (r.map_err(|e| e.to_string()), st.snapshot())
 }

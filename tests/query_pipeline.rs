@@ -14,7 +14,10 @@
 
 use setrules_core::{EngineConfig, FiredRule, RuleSystem};
 use setrules_query::planner::{scan_handles, Access};
-use setrules_query::{execute_op, execute_query_with_opts, ExecMode, NoTransitionTables, Relation};
+use setrules_query::{
+    execute_op, execute_query_ext, execute_query_with_opts, ExecMode, ExecOpts, NoTransitionTables,
+    OpStatsCell, Relation,
+};
 use setrules_sql::ast::{DmlOp, SelectStmt, Statement};
 use setrules_sql::parse_statement;
 use setrules_storage::{tuple, ColumnId, Database, TableId, Value};
@@ -154,8 +157,19 @@ fn compiled_and_interpreted_agree_on_random_queries() {
             sql.push_str(&format!(" where {}", random_pred(rng, &ints, &texts, 2)));
         }
         let stmt = sel(&sql);
+        let grouped = proj == "count(*)";
         let run = |mode: ExecMode| {
-            execute_query_with_opts(&db, &NoTransitionTables, &stmt, None, mode, None)
+            let ops = OpStatsCell::new();
+            let r = execute_query_ext(
+                &db,
+                &NoTransitionTables,
+                &stmt,
+                &ExecOpts { mode, op_stats: Some(&ops), ..Default::default() },
+            );
+            if let Ok(rel) = &r {
+                check_op_stats(&ops, rel, grouped, &sql);
+            }
+            r
         };
         match (run(ExecMode::Compiled), run(ExecMode::Interpreted)) {
             (Ok(a), Ok(b)) => assert_eq!(a, b, "result diverged for: {sql}"),
@@ -165,6 +179,57 @@ fn compiled_and_interpreted_agree_on_random_queries() {
             (a, b) => panic!("outcome diverged for {sql}: {a:?} vs {b:?}"),
         }
     });
+}
+
+/// Per-operator counter invariants for one successful run of the random
+/// differential: every operator name comes from the executor's fixed
+/// vocabulary, batch emission agrees with row emission, row flow is
+/// conserved between adjacent operators, and the top operator's output is
+/// the returned relation.
+fn check_op_stats(ops: &OpStatsCell, rel: &Relation, grouped: bool, sql: &str) {
+    const VOCAB: &[&str] = &[
+        "seq-scan",
+        "index-scan",
+        "index-range-scan",
+        "empty-scan",
+        "transition-scan",
+        "join", // JoinExec's drain label (also its emit label for a sole item)
+        "hash-join",
+        "nested-loop",
+        "filter",
+        "project",
+        "aggregate",
+        "distinct",
+        "sort",
+        "topk",
+        "limit",
+    ];
+    for (name, c) in ops.snapshot() {
+        assert!(VOCAB.contains(&name), "[{sql}] unknown operator {name:?} in op stats");
+        assert_eq!(
+            c.batches > 0,
+            c.rows_out > 0,
+            "[{sql}] {name}: batches={} vs rows_out={}",
+            c.batches,
+            c.rows_out
+        );
+    }
+    // The join stage consumes exactly what the scans emitted...
+    let scan_out: u64 = ["seq-scan", "index-scan", "index-range-scan", "empty-scan"]
+        .iter()
+        .map(|n| ops.get(n).rows_out)
+        .sum();
+    assert_eq!(ops.get("join").rows_in, scan_out, "[{sql}] join input != scan output");
+    // ...and the filter consumes exactly the combinations the join
+    // emitted, whichever label the join finished under.
+    let join_out: u64 =
+        ["join", "hash-join", "nested-loop"].iter().map(|n| ops.get(n).rows_out).sum();
+    assert_eq!(ops.get("filter").rows_in, join_out, "[{sql}] filter input != join output");
+    // The projection stage consumes the filter's survivors and produces
+    // the relation (the generator adds no distinct/sort/limit tail).
+    let top = if grouped { "aggregate" } else { "project" };
+    assert_eq!(ops.get(top).rows_in, ops.get("filter").rows_out, "[{sql}] {top} input");
+    assert_eq!(ops.get(top).rows_out, rel.rows.len() as u64, "[{sql}] {top} output");
 }
 
 /// An error-producing predicate: division/modulo by zero, int/text type
@@ -319,12 +384,14 @@ fn paper_system() -> RuleSystem {
 fn golden_explain_example_3_1_action_shape() {
     let mut sys = paper_system();
     let shape = "select * from emp where dept_no in (select dept_no from deleted dept)";
-    assert_eq!(sys.explain(shape).unwrap(), "emp: seq scan (3 rows)\n");
+    let generic = "emp: seq scan (3 rows)\nplan: seq-scan(emp) -> filter -> project\n";
+    assert_eq!(sys.explain(shape).unwrap(), generic);
     sys.execute("create index on emp (dept_no)").unwrap();
-    assert_eq!(sys.explain(shape).unwrap(), "emp: seq scan (3 rows)\n");
+    assert_eq!(sys.explain(shape).unwrap(), generic);
     assert_eq!(
         sys.explain("select * from emp where dept_no in (1, 2)").unwrap(),
-        "emp: index multi-probe on emp.dept_no in (1, 2)\n"
+        "emp: index multi-probe on emp.dept_no in (1, 2)\n\
+         plan: index-scan(emp) -> filter -> project\n"
     );
 }
 
@@ -341,13 +408,13 @@ fn golden_explain_example_4_1_action_shape() {
              (select dept_no from dept where mgr_no in (select emp_no from deleted emp))"
         )
         .unwrap(),
-        "emp: seq scan (3 rows)\n"
+        "emp: seq scan (3 rows)\nplan: seq-scan(emp) -> filter -> project\n"
     );
     // The inner dept lookup, as the executor sees it with literal probe
     // values, keys on the equality probe.
     assert_eq!(
         sys.explain("select dept_no from dept where dept_no = 1").unwrap(),
-        "dept: seq scan (2 rows)\n"
+        "dept: seq scan (2 rows)\nplan: seq-scan(dept) -> filter -> project\n"
     );
 }
 
@@ -368,11 +435,97 @@ fn golden_explain_three_way_join_order() {
          dept: seq scan (2 rows)\n\
          proj: seq scan (1 rows)\n\
          join order: proj (1 rows) -> dept (hash on dept.dept_no = proj.dept_no, 2 rows) \
-         -> emp (hash on emp.dept_no = dept.dept_no, 3 rows)\n"
+         -> emp (hash on emp.dept_no = dept.dept_no, 3 rows)\n\
+         plan: seq-scan(emp) -> seq-scan(dept) -> seq-scan(proj) -> hash-join -> filter -> project\n"
     );
     // Disconnected item: the planner attaches it as a cross step, last.
     let plan = sys.explain("select name from emp, dept, proj where emp.dept_no = dept.dept_no").unwrap();
     assert!(plan.contains("(cross, "), "{plan}");
+}
+
+/// Every line `explain` emits maps to either an access choice for a
+/// `from` binding or a node of the lowered operator tree — no orphan
+/// diagnostics, and no `plan:` operator outside the executor's fixed
+/// name vocabulary. Drives explain across statements that exercise every
+/// operator kind and asserts full vocabulary coverage, so adding an
+/// operator (or renaming one) without teaching `explain` fails here.
+#[test]
+fn every_explain_line_maps_to_an_operator_or_access_choice() {
+    let mut sys = paper_system();
+    sys.execute("create index on emp (dept_no)").unwrap();
+    sys.execute("create index on emp (salary) using ordered").unwrap();
+
+    // Exact (parameterless) operator names, and the parameterized ones
+    // that print as `base(arg)` — together, the executor vocabulary.
+    const EXACT_OPS: &[&str] =
+        &["hash-join", "nested-loop", "filter", "project", "aggregate", "distinct", "sort", "limit"];
+    const PARAM_OPS: &[&str] = &[
+        "seq-scan",
+        "index-scan",
+        "index-range-scan",
+        "empty-scan",
+        "transition-scan",
+        "index-minmax",
+        "index-order-scan",
+    ];
+
+    let queries = [
+        "select * from emp",                                             // seq-scan, project
+        "select * from emp where dept_no = 1",                           // index-scan, filter
+        "select * from emp where salary > 5.0 order by name limit 2",    // range, sort, limit
+        "select * from emp where dept_no = NULL",                        // empty-scan
+        "select name from emp order by salary",                          // index-order-scan
+        "select min(salary) from emp",                                   // index-minmax
+        "select distinct dept_no from emp",                              // distinct
+        "select dept_no, count(*) from emp group by dept_no",            // aggregate
+        "select name from emp, dept where emp.dept_no = dept.dept_no",   // hash-join
+        "select name from emp, dept",                                    // nested-loop
+        "select * from inserted emp",                                    // transition-scan
+        "select * from nosuch",                                          // unknown table
+    ];
+
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for sql in queries {
+        let plan = sys.explain(sql).unwrap();
+        for line in plan.lines() {
+            let is_access_line = [
+                ": seq scan (",
+                ": index probe on ",
+                ": index multi-probe on ",
+                ": index range scan on ",
+                ": empty (predicate unsatisfiable)",
+                ": transition table ",
+                ": unknown table '",
+            ]
+            .iter()
+            .any(|p| line.contains(p));
+            if is_access_line {
+                continue;
+            }
+            if line.starts_with("order by: elided via ordered index on ")
+                || (line.starts_with("limit: top-") && line.contains(" selection eligible"))
+                || line.starts_with("join order: ")
+            {
+                continue; // lowering-choice reports (elision / top-K / join plan)
+            }
+            let Some(ops) = line.strip_prefix("plan: ") else {
+                panic!("[{sql}] unmapped explain line: {line:?}");
+            };
+            for op in ops.split(" -> ") {
+                let base = op.split_once('(').map_or(op, |(b, _)| b);
+                let known = EXACT_OPS.contains(&op)
+                    || (PARAM_OPS.contains(&base) && op.ends_with(')'));
+                assert!(known, "[{sql}] operator {op:?} outside the executor vocabulary");
+                seen.insert(base.to_string());
+            }
+        }
+    }
+
+    // The query set above must light up the whole vocabulary; a new
+    // operator that no query reaches would silently shrink this test.
+    let want: std::collections::BTreeSet<String> =
+        EXACT_OPS.iter().chain(PARAM_OPS).map(|s| s.to_string()).collect();
+    assert_eq!(seen, want, "explain vocabulary coverage drifted");
 }
 
 // ----------------------------------------------------------------------

@@ -622,10 +622,10 @@ fn graceful_rollback_is_absent_from_the_recovered_image() {
 }
 
 /// Deferred processing on a durable system: the flat external
-/// transactions and the later rule-processing pass each recover exactly.
-/// (The in-memory deferred *window* itself is not durable — documented in
-/// docs/durability.md — so the data survives a crash but a pending
-/// `process_deferred` must be re-seeded.)
+/// transactions and the later rule-processing pass each recover exactly,
+/// and the in-memory deferred *window* is durable too — each flat commit
+/// logs the composed window as a `DeferredWindow` record, so a pending
+/// `process_deferred` survives a crash (see the kill sweep below).
 #[test]
 fn deferred_processing_commits_are_durable() {
     let sink = SharedMemSink::new();
@@ -650,6 +650,261 @@ fn deferred_processing_commits_are_durable() {
         "r31's deferred action must fire"
     );
     assert_eq!(reopen(&sink).database().state_image(), sys.database().state_image());
+}
+
+/// The §5.3 scenario the deferred-window sweep runs: flat transactions
+/// accumulate a window, a later `process_deferred` fires r31 against it.
+struct DeferredScenario {
+    setup: &'static [&'static str],
+    flat: &'static [&'static str],
+}
+
+const DEFERRED_SCENARIO: DeferredScenario = DeferredScenario {
+    setup: &[
+        "create table emp (name text, emp_no int, salary float, dept_no int)",
+        "create table dept (dept_no int, mgr_no int)",
+        "create rule r31 when deleted from dept \
+         then delete from emp where dept_no in (select dept_no from deleted dept)",
+        "insert into dept values (1, 10), (2, 20)",
+        "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 10.0, 1), ('c', 3, 10.0, 2)",
+    ],
+    // Two flat transactions so the second *composes* onto a non-empty
+    // logged window (delete + an update whose old tuple rides along).
+    flat: &[
+        "delete from dept where dept_no = 1",
+        "update emp set salary = 11.5 where name = 'c'",
+    ],
+};
+
+fn fresh_deferred(sink: &SharedMemSink, sync: SyncPolicy) -> RuleSystem {
+    let mut sys = RuleSystem::open(durable_config(sink, sync)).expect("open durable");
+    for stmt in DEFERRED_SCENARIO.setup {
+        sys.execute(stmt).unwrap();
+    }
+    sys.fault_injector_mut().reset_counts();
+    sys
+}
+
+/// Crash between `transaction_without_rules` and `process_deferred`: the
+/// recovered system must hold the pending window *byte-identically* —
+/// same handles, same old tuples (bit-exact floats), same column sets —
+/// and running `process_deferred` on it must land exactly where the
+/// crash-free run does.
+#[test]
+fn deferred_window_survives_crash_before_process_deferred() {
+    for sync in [SyncPolicy::GroupCommit, SyncPolicy::EachRecord] {
+        // Crash-free run for the expected final image.
+        let sink = SharedMemSink::new();
+        let mut sys = fresh_deferred(&sink, sync);
+        for stmt in DEFERRED_SCENARIO.flat {
+            sys.transaction_without_rules(stmt).unwrap();
+        }
+        let pending = sys.deferred_window().clone();
+        assert!(!pending.is_empty(), "scenario must accumulate a window");
+        assert!(!pending.del.is_empty() && !pending.upd.is_empty());
+        sys.process_deferred().unwrap();
+        assert!(sys.deferred_window().is_empty());
+        assert_eq!(
+            sys.query("select count(*) from emp").unwrap().scalar().unwrap().as_i64(),
+            Some(1),
+            "[{sync:?}] r31's deferred cascade must fire"
+        );
+        let final_image = sys.database().state_image();
+        drop(sys);
+
+        // Crashing run: "kill" the process after the flat transactions.
+        let sink = SharedMemSink::new();
+        let mut sys = fresh_deferred(&sink, sync);
+        for stmt in DEFERRED_SCENARIO.flat {
+            sys.transaction_without_rules(stmt).unwrap();
+        }
+        assert_eq!(sys.deferred_window(), &pending);
+        let committed = sys.database().state_image();
+        drop(sys); // CRASH before process_deferred
+
+        let mut rec = reopen(&sink);
+        assert_eq!(rec.database().state_image(), committed, "[{sync:?}] data lost");
+        assert_eq!(
+            rec.deferred_window(),
+            &pending,
+            "[{sync:?}] recovered deferred window is not byte-identical"
+        );
+        rec.process_deferred().unwrap();
+        assert_eq!(
+            rec.database().state_image(),
+            final_image,
+            "[{sync:?}] deferred pass after recovery diverged from the crash-free run"
+        );
+        // The cleared window is durable too: a second crash must not
+        // re-present (and re-fire) the already-processed work.
+        assert!(rec.deferred_window().is_empty());
+        drop(rec);
+        let rec2 = reopen(&sink);
+        assert!(rec2.deferred_window().is_empty(), "[{sync:?}] processed window reappeared");
+        assert_eq!(rec2.database().state_image(), final_image);
+    }
+}
+
+/// Kill the engine at EVERY WAL site reachable from the deferred
+/// workload — the flat transactions (which log the window) and the
+/// `process_deferred` pass (which logs its clearing) — and assert the
+/// reopened system always recovers the committed image plus exactly the
+/// deferred window the live system held, then completes the workload to
+/// the crash-free final image.
+#[test]
+fn deferred_window_kill_sweep_at_every_wal_site() {
+    for sync in [SyncPolicy::GroupCommit, SyncPolicy::EachRecord] {
+        // Discovery: crash-free run, counting WAL fault sites.
+        let sink = SharedMemSink::new();
+        let mut sys = fresh_deferred(&sink, sync);
+        for stmt in DEFERRED_SCENARIO.flat {
+            sys.transaction_without_rules(stmt).unwrap();
+        }
+        let pending = sys.deferred_window().clone();
+        sys.process_deferred().unwrap();
+        let final_image = sys.database().state_image();
+        let totals: Vec<(FaultKind, u64)> = WAL_KINDS
+            .iter()
+            .map(|&k| (k, sys.fault_injector().count(k)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        assert_eq!(totals.len(), 2, "deferred workload must append and sync");
+        drop(sys);
+
+        for &(kind, total) in &totals {
+            for n in sites(total) {
+                let ctx = format!("[deferred {sync:?} kind={kind} n={n}]");
+                let sink = SharedMemSink::new();
+                let mut sys = fresh_deferred(&sink, sync);
+                sys.fault_injector_mut().arm(kind, n);
+
+                // Run the flat transactions until the fault fires (or not).
+                let mut faulted = false;
+                for stmt in DEFERRED_SCENARIO.flat {
+                    let before_img = sys.database().state_image();
+                    let before_win = sys.deferred_window().clone();
+                    if let Err(e) = sys.transaction_without_rules(stmt) {
+                        let got = fault_of(&e)
+                            .unwrap_or_else(|| panic!("{ctx}: unexpected error {e}"));
+                        assert_eq!(got, (kind, n), "{ctx}: wrong fault");
+                        // Flat-txn crash: data rolled back, window untouched.
+                        assert_eq!(sys.database().state_image(), before_img, "{ctx}");
+                        assert_eq!(sys.deferred_window(), &before_win, "{ctx}: window leaked");
+                        faulted = true;
+                        break;
+                    }
+                }
+                if !faulted {
+                    // Fault lands inside process_deferred. First verify the
+                    // acceptance scenario: a reopen HERE — between the flat
+                    // transactions and the deferred pass — re-presents the
+                    // window byte-identically.
+                    assert_eq!(sys.deferred_window(), &pending, "{ctx}");
+                    let committed = sys.database().state_image();
+                    {
+                        let rec = reopen(&sink);
+                        assert_eq!(rec.database().state_image(), committed, "{ctx}");
+                        assert_eq!(
+                            rec.deferred_window(),
+                            &pending,
+                            "{ctx}: window lost between flat txn and process_deferred"
+                        );
+                    }
+                    let e = match sys.process_deferred() {
+                        Err(e) => e,
+                        Ok(_) => panic!("{ctx}: armed WAL site was never reached"),
+                    };
+                    let got =
+                        fault_of(&e).unwrap_or_else(|| panic!("{ctx}: unexpected error {e}"));
+                    assert_eq!(got, (kind, n), "{ctx}: wrong fault");
+                    // The dying pass rolled its rule actions back. The
+                    // live window depends on where the site sat: faults
+                    // before the engine takes the window (the `Begin` or
+                    // the clearing-record append) leave it pending
+                    // untouched, faults after are consumed in memory
+                    // (pinned semantics, see tests/fault_injection.rs) —
+                    // recovery re-presents the full window either way.
+                    assert_eq!(sys.database().state_image(), committed, "{ctx}");
+                    let live = sys.deferred_window();
+                    assert!(
+                        live.is_empty() || live == &pending,
+                        "{ctx}: live window after a failed deferred pass must be \
+                         empty (consumed) or the untouched pending window"
+                    );
+                }
+
+                // CRASH at the armed site: the recovered image must match
+                // the live committed image, and the recovered window must
+                // be the one that image still owes a deferred pass — the
+                // live window for a flat-txn crash, the full pending
+                // window (re-presented) for a process_deferred crash.
+                let live_img = sys.database().state_image();
+                let expected_win =
+                    if faulted { sys.deferred_window().clone() } else { pending.clone() };
+                drop(sys);
+                let mut rec = reopen(&sink);
+                assert_eq!(rec.database().state_image(), live_img, "{ctx}: image diverged");
+                assert_eq!(rec.deferred_window(), &expected_win, "{ctx}: window diverged");
+
+                // Completion: rerun the whole deferred workload on the
+                // recovered system (flat statements are idempotent here
+                // only as a set — instead, run the *remaining* work: any
+                // flat statement not yet committed, then the pass).
+                let done = count_flat_commits(&sink);
+                for stmt in &DEFERRED_SCENARIO.flat[done..] {
+                    rec.transaction_without_rules(stmt)
+                        .unwrap_or_else(|e| panic!("{ctx}: continuation failed: {e}"));
+                }
+                assert_eq!(rec.deferred_window(), &pending, "{ctx}: continuation window");
+                rec.process_deferred().unwrap_or_else(|e| panic!("{ctx}: deferred failed: {e}"));
+                assert_eq!(
+                    rec.database().state_image(),
+                    final_image,
+                    "{ctx}: continuation diverged from the crash-free run"
+                );
+                assert!(rec.deferred_window().is_empty(), "{ctx}");
+            }
+        }
+    }
+}
+
+/// How many of the scenario's flat transactions are committed in the
+/// durable log: commits carrying a `DeferredWindow` record (the flat
+/// path logs one whenever the window is or was non-empty).
+fn count_flat_commits(sink: &SharedMemSink) -> usize {
+    let (records, _) = scan(&sink.bytes());
+    let mut open_has_window = false;
+    let mut flat = 0;
+    for r in &records {
+        match r {
+            WalRecord::Begin => open_has_window = false,
+            WalRecord::DeferredWindow { .. } => open_has_window = true,
+            WalRecord::Commit { .. } => {
+                if open_has_window {
+                    flat += 1;
+                }
+                open_has_window = false;
+            }
+            _ => {}
+        }
+    }
+    flat
+}
+
+/// `clear_deferred` on a durable system is durable: the discarded window
+/// must not reappear after recovery.
+#[test]
+fn clear_deferred_is_durable() {
+    let sink = SharedMemSink::new();
+    let mut sys = fresh_deferred(&sink, SyncPolicy::GroupCommit);
+    sys.transaction_without_rules(DEFERRED_SCENARIO.flat[0]).unwrap();
+    assert!(!sys.deferred_window().is_empty());
+    sys.clear_deferred();
+    let image = sys.database().state_image();
+    drop(sys);
+    let rec = reopen(&sink);
+    assert!(rec.deferred_window().is_empty(), "cleared window reappeared after recovery");
+    assert_eq!(rec.database().state_image(), image);
 }
 
 /// All DDL — tables, indexes, rules, activation, priorities, drops — is
