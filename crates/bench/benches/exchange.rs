@@ -1,0 +1,168 @@
+//! **B16 — exchange-operator parallelism** (two-phase aggregation,
+//! partitioned distinct, partitioned top-K).
+//!
+//! One `emp` table with 100 000 rows spread over 256 departments,
+//! measured with the worker pool pinned to one thread versus all
+//! available cores:
+//!
+//! * **group-by aggregation**: five aggregates over 256 groups — the
+//!   partial phase accumulates per partition on the pool, the final
+//!   phase merges the partial groups in partition order;
+//! * **distinct**: dedup of the 100 000-row projection down to the 256
+//!   distinct departments via per-partition first-occurrence candidates;
+//! * **top-K**: `order by salary desc limit 10` through the partitioned
+//!   selection (per-partition top K, then the candidate merge).
+//!
+//! Acceptance bars, asserted in-bench: every query returns
+//! **byte-identical relations** and identical row-level `ExecStats`
+//! counters under both thread budgets (the exchange is an execution
+//! strategy, never a semantics change); the pooled engine's
+//! `parallel_scans` counter proves the exchange engaged on every query;
+//! and on machines with ≥ 4 cores the group-by aggregation is ≥ 2× the
+//! single-threaded run.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setrules_bench::write_bench_snapshot;
+use setrules_core::{EngineConfig, RuleSystem};
+use setrules_json::Json;
+use setrules_query::ExecStats;
+
+const ROWS: usize = 100_000;
+const GROUPS: usize = 256;
+const GROUP_QUERY: &str = "select dept_no, count(*), sum(salary), min(salary), max(salary), \
+     avg(salary) from emp group by dept_no";
+const DISTINCT_QUERY: &str = "select distinct dept_no from emp";
+const TOPK_QUERY: &str = "select name, salary from emp order by salary desc limit 10";
+
+fn system(threads: usize) -> RuleSystem {
+    let mut sys =
+        RuleSystem::with_config(EngineConfig { parallelism: Some(threads), ..Default::default() });
+    sys.execute("create table emp (name text, emp_no int, salary float, dept_no int)").unwrap();
+    // 256 departments (so the final aggregation phase exchanges too) and
+    // a salary spread with plenty of duplicates for the top-K tiebreak.
+    for chunk in (0..ROWS).collect::<Vec<_>>().chunks(512) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("('e{i}', {i}, {}.0, {})", (i * 7) % 10_000, i % GROUPS))
+            .collect();
+        sys.transaction_without_rules(&format!("insert into emp values {}", rows.join(", ")))
+            .unwrap();
+    }
+    sys
+}
+
+/// Warm measurement: one checked warm-up run, then `reps` timed.
+fn millis(sys: &RuleSystem, query: &str, reps: u32) -> f64 {
+    sys.query(query).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        sys.query(query).unwrap();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+/// Row-level counters with the parallelism bookkeeping masked out — the
+/// part of `ExecStats` a parallel run must reproduce exactly.
+fn row_counters(sys: &RuleSystem, query: &str) -> (ExecStats, ExecStats) {
+    let base = sys.exec_stats();
+    sys.query(query).unwrap();
+    let full = sys.exec_stats().since(&base);
+    let mut masked = full;
+    masked.parallel_scans = 0;
+    masked.parallel_partitions = 0;
+    masked.serial_fallbacks = 0;
+    (masked, full)
+}
+
+fn exchange_snapshot(parallel: &RuleSystem, serial: &RuleSystem, cores: usize, threads: usize) {
+    let mut queries = Vec::new();
+    for (label, query) in
+        [("group_by", GROUP_QUERY), ("distinct", DISTINCT_QUERY), ("topk", TOPK_QUERY)]
+    {
+        // Determinism bars first: identical relations, identical row-level
+        // counters, and proof the exchange actually engaged.
+        let rel_p = parallel.query(query).unwrap();
+        let rel_s = serial.query(query).unwrap();
+        assert_eq!(rel_p, rel_s, "{label}: parallel and serial relations must be identical");
+        if label != "topk" {
+            assert_eq!(rel_p.rows.len(), GROUPS, "{label}: one output row per department");
+        }
+        let (rows_p, full_p) = row_counters(parallel, query);
+        let (rows_s, full_s) = row_counters(serial, query);
+        assert_eq!(rows_p, rows_s, "{label}: row-level counters must be identical");
+        assert!(
+            full_p.parallel_scans > 0 && full_p.parallel_partitions > 1,
+            "{label}: the parallel engine must engage the exchange: {full_p:?}"
+        );
+        assert_eq!(full_s.parallel_scans, 0, "{label}: the pinned engine must stay serial");
+
+        let par_ms = millis(parallel, query, 20);
+        let ser_ms = millis(serial, query, 10);
+        let speedup = ser_ms / par_ms;
+        if label == "group_by" && cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "acceptance: two-phase group-by aggregation must be ≥2x single-threaded \
+                 on {cores} cores ({par_ms:.3}ms vs {ser_ms:.3}ms = {speedup:.2}x)"
+            );
+        }
+        queries.push((
+            label,
+            Json::obj([
+                ("parallel_millis", Json::Float(par_ms)),
+                ("serial_millis", Json::Float(ser_ms)),
+                ("speedup", Json::Float(speedup)),
+                ("partitions", Json::Int(full_p.parallel_partitions as i64)),
+                ("rows_scanned", Json::Int(rows_p.rows_scanned as i64)),
+            ]),
+        ));
+    }
+    write_bench_snapshot(
+        "exchange",
+        &Json::obj(
+            [
+                ("rows", Json::Int(ROWS as i64)),
+                ("groups", Json::Int(GROUPS as i64)),
+                ("threads", Json::Int(threads as i64)),
+            ]
+            .into_iter()
+            .chain(queries)
+            .collect::<Vec<_>>(),
+        ),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // Partition even on small machines so the determinism bars always run;
+    // the wall-clock bar above only applies from 4 real cores up.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = cores.max(2);
+    let parallel = system(threads);
+    let serial = system(1);
+
+    exchange_snapshot(&parallel, &serial, cores, threads);
+
+    for (group, query) in [
+        ("b16_group_by", GROUP_QUERY),
+        ("b16_distinct", DISTINCT_QUERY),
+        ("b16_topk", TOPK_QUERY),
+    ] {
+        let mut g = c.benchmark_group(group);
+        g.warm_up_time(std::time::Duration::from_millis(400));
+        g.measurement_time(std::time::Duration::from_secs(2));
+        g.sample_size(10);
+        for (label, sys) in [("parallel", &parallel), ("single_thread", &serial)] {
+            g.bench_with_input(BenchmarkId::new(label, ROWS), sys, |b, sys| {
+                b.iter(|| {
+                    sys.query(query).unwrap();
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -29,6 +29,7 @@ use crate::compile::{compile_cached, eval_compiled_predicate, Layout, LayoutFram
 use crate::ctx::{ExecMode, QueryCtx};
 use crate::error::QueryError;
 use crate::eval::{eval_expr, eval_predicate};
+use crate::exec::exchange::Exchange;
 use crate::planner::{choose_access, scan_handles};
 use crate::provider::TransitionTableProvider;
 use crate::planner::Access;
@@ -349,28 +350,23 @@ fn identify(
     }
 
     // Parallel identification: with a row-local compiled predicate the
-    // scan partitions exactly like the select scan (see
-    // [`crate::parallel`]); merge order keeps handles, counters, and the
-    // earliest error bit-identical to the serial walk below.
-    let big_enough = ctx.threads > 1 && handles.len() >= crate::parallel::PAR_THRESHOLD;
-    if big_enough {
+    // scan exchanges exactly like the select scan (see
+    // [`crate::exec::exchange`]); merge order keeps handles, counters,
+    // and the earliest error bit-identical to the serial walk below.
+    if let Some(ex) = Exchange::plan(ctx, handles.len()) {
         if let Some(cp) = compiled.as_ref().filter(|cp| crate::parallel::is_rowlocal(cp)) {
-            let verdicts = crate::parallel::judge_chunks(handles.len(), ctx.threads, |i| {
-                let tuple = db.get(table, handles[i]).expect("scanned handle is live");
-                crate::parallel::eval_rowlocal_predicate(cp, &[tuple.0.as_slice()])
+            let handles_ref = &handles;
+            let verdicts = ex.judge(ctx, |i| {
+                let tuple = db.get(table, handles_ref[i]).expect("scanned handle is live");
+                Ok(crate::parallel::eval_rowlocal_predicate(cp, &[tuple.0.as_slice()])?
+                    .then_some(handles_ref[i]))
             });
-            if verdicts.len() > 1 {
-                stats::bump(st, |s| {
-                    s.parallel_scans += 1;
-                    s.parallel_partitions += verdicts.len() as u64;
-                });
-            }
             for v in verdicts {
                 stats::bump(st, |s| {
                     s.rows_scanned += v.combos;
                     s.rows_matched += v.matched;
                 });
-                out.extend(v.kept.into_iter().map(|i| handles[i]));
+                out.extend(v.kept);
                 if let Some(e) = v.err {
                     return Err(e);
                 }
@@ -378,7 +374,7 @@ fn identify(
             return Ok(out);
         }
         if predicate.is_some() {
-            stats::bump(st, |s| s.serial_fallbacks += 1);
+            Exchange::serial_fallback(ctx);
         }
     }
     for h in handles {

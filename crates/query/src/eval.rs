@@ -413,6 +413,20 @@ fn eval_aggregate(
             vals.push(v);
         }
     }
+    fold_aggregate(func, distinct, vals)
+}
+
+/// Fold the collected (non-NULL) argument values of one aggregate call —
+/// the kernel shared by the interpreter above and the two-phase parallel
+/// aggregation in [`crate::exec::aggregate`]. The per-partition partial
+/// accumulators merge *value vectors* in partition order before calling
+/// this, so fold order (and therefore float rounding, overflow sites, and
+/// error selection) is exactly the serial encounter order.
+pub(crate) fn fold_aggregate(
+    func: AggFunc,
+    distinct: bool,
+    mut vals: Vec<Value>,
+) -> Result<Value, QueryError> {
     if distinct {
         // Dedup without cloning values: a borrowing seen-set marks first
         // occurrences (keeping first-seen order — float sums fold in

@@ -1,26 +1,400 @@
-//! The aggregation operator (grouped pipeline): partitions the surviving
-//! combinations into groups (first-seen order), then evaluates `having`,
-//! the projection list, and the `order by` keys once per group.
+//! The aggregation operator (grouped pipeline).
 //!
-//! Blocking by nature — a group's aggregate needs every one of its rows —
-//! it drains the filter at open, expands wildcards (after the filter, for
-//! error ordering), and partitions immediately, so a `group by` key error
-//! surfaces at open in combination order. Per-group evaluation then
-//! streams in batches; a group failing `having` yields no row, so batches
-//! regroup until at least one row is produced.
+//! Two implementations live here, selected at open:
+//!
+//! * **Two-phase streaming aggregation** (compiled mode, when the whole
+//!   grouped statement lowers to a [`GroupProgram`]): the filter's
+//!   batches are accumulated as they stream — each batch exchanges into
+//!   per-partition *partial* accumulators (group key, row count, and the
+//!   collected non-NULL argument values of every aggregate call), merged
+//!   into global groups in partition order — so group-by never
+//!   materializes the full input. The *final* phase then evaluates
+//!   `having`, the projection list, and the `order by` keys once per
+//!   group (exchanged across groups when there are enough), folding each
+//!   aggregate's merged value vector through the same
+//!   [`fold_aggregate`] kernel the interpreter uses. Because partial
+//!   vectors concatenate in partition order, fold order — and therefore
+//!   float rounding, overflow sites, dedup order for `distinct`, and
+//!   error selection — is exactly the serial encounter order.
+//! * **The legacy drain-then-partition pass** (interpreted mode, or any
+//!   statement the program builder refuses: correlated/outer references,
+//!   subqueries next to aggregates, unresolvable names): drains the
+//!   filter, partitions the combinations into groups in first-seen
+//!   order, then evaluates per group through the interpreter.
+//!
+//! Error ordering is preserved across both paths: the filter is blocking
+//! (all its errors surface on the first pull), wildcard expansion runs
+//! right after that first pull, group-key errors surface in combination
+//! order, and aggregate-argument errors are *recorded* per (group, leaf)
+//! during the partial phase but raised only when the final phase actually
+//! reaches that aggregate node — so Kleene short-circuits still skip them
+//! exactly like the per-group interpreter walk.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
-use setrules_sql::ast::{Expr, SelectStmt};
+use setrules_sql::ast::{AggFunc, BinaryOp, Expr, SelectStmt, UnaryOp};
 use setrules_storage::{TableId, TupleHandle, Value};
 
 use crate::bindings::{Frame, Level};
+use crate::compile::{compile, CompiledExpr, Layout, LayoutFrame};
+use crate::ctx::ExecMode;
 use crate::error::QueryError;
-use crate::eval::eval_expr;
+use crate::eval::{self, eval_expr, fold_aggregate};
+use crate::parallel;
+use crate::select::has_aggregate;
 
+use super::exchange::Exchange;
 use super::filter::FilterExec;
 use super::project::expand_wildcards;
 use super::{Batches, ExecCx, Executor, KeyedRow, RowSource};
+
+/// One aggregate call site: the fold to run and its compiled row-local
+/// argument (`None` is `count(*)`).
+struct AggLeaf {
+    func: AggFunc,
+    distinct: bool,
+    arg: Option<CompiledExpr>,
+}
+
+/// A group-level expression: row-local subtrees evaluate on the group's
+/// representative row, [`GroupExpr::Agg`] nodes fold a leaf's merged
+/// values, and the structural nodes mirror the interpreter node for node
+/// (including Kleene short-circuiting), so a two-phase evaluation returns
+/// bit-identical values and errors to the per-group interpreter walk.
+enum GroupExpr {
+    /// An aggregate-free row-local subtree (evaluated on the repr row).
+    Row(CompiledExpr),
+    /// Aggregate call number `i` of the program's leaf list.
+    Agg(usize),
+    Unary { op: UnaryOp, expr: Box<GroupExpr> },
+    Binary { left: Box<GroupExpr>, op: BinaryOp, right: Box<GroupExpr> },
+    IsNull { expr: Box<GroupExpr>, negated: bool },
+    InList { expr: Box<GroupExpr>, list: Vec<GroupExpr>, negated: bool },
+    Between { expr: Box<GroupExpr>, low: Box<GroupExpr>, high: Box<GroupExpr>, negated: bool },
+    Like {
+        expr: Box<GroupExpr>,
+        pattern: Box<GroupExpr>,
+        escape: Option<Box<GroupExpr>>,
+        negated: bool,
+    },
+}
+
+/// The whole grouped statement, lowered for two-phase evaluation:
+/// row-local group keys, the aggregate leaves (in structural reach
+/// order: `having`, then projections, then `order by`), and the
+/// group-level expression trees. Built only when *every* piece
+/// qualifies — anything else (outer references, subqueries, interpreter
+/// fallbacks) keeps the legacy serial path.
+pub(crate) struct GroupProgram {
+    keys: Vec<CompiledExpr>,
+    leaves: Vec<AggLeaf>,
+    having: Option<GroupExpr>,
+    proj: Vec<GroupExpr>,
+    order: Vec<GroupExpr>,
+}
+
+/// Lower one expression to a [`GroupExpr`], collecting aggregate leaves.
+/// `None` means the statement is ineligible for two-phase aggregation.
+fn build_group_expr(e: &Expr, layout: &Layout, leaves: &mut Vec<AggLeaf>) -> Option<GroupExpr> {
+    if !has_aggregate(e) {
+        let ce = compile(e, layout);
+        return parallel::is_rowlocal(&ce).then_some(GroupExpr::Row(ce));
+    }
+    match e {
+        Expr::Aggregate { func, arg, distinct } => {
+            let arg = match arg.as_deref() {
+                Some(a) => {
+                    let ce = compile(a, layout);
+                    if !parallel::is_rowlocal(&ce) {
+                        return None;
+                    }
+                    Some(ce)
+                }
+                None => None,
+            };
+            leaves.push(AggLeaf { func: *func, distinct: *distinct, arg });
+            Some(GroupExpr::Agg(leaves.len() - 1))
+        }
+        Expr::Unary { op, expr } => Some(GroupExpr::Unary {
+            op: *op,
+            expr: Box::new(build_group_expr(expr, layout, leaves)?),
+        }),
+        Expr::Binary { left, op, right } => Some(GroupExpr::Binary {
+            left: Box::new(build_group_expr(left, layout, leaves)?),
+            op: *op,
+            right: Box::new(build_group_expr(right, layout, leaves)?),
+        }),
+        Expr::IsNull { expr, negated } => Some(GroupExpr::IsNull {
+            expr: Box::new(build_group_expr(expr, layout, leaves)?),
+            negated: *negated,
+        }),
+        Expr::InList { expr, list, negated } => {
+            let needle = build_group_expr(expr, layout, leaves)?;
+            let mut items = Vec::with_capacity(list.len());
+            for it in list {
+                items.push(build_group_expr(it, layout, leaves)?);
+            }
+            Some(GroupExpr::InList { expr: Box::new(needle), list: items, negated: *negated })
+        }
+        Expr::Between { expr, low, high, negated } => Some(GroupExpr::Between {
+            expr: Box::new(build_group_expr(expr, layout, leaves)?),
+            low: Box::new(build_group_expr(low, layout, leaves)?),
+            high: Box::new(build_group_expr(high, layout, leaves)?),
+            negated: *negated,
+        }),
+        Expr::Like { expr, pattern, escape, negated } => Some(GroupExpr::Like {
+            expr: Box::new(build_group_expr(expr, layout, leaves)?),
+            pattern: Box::new(build_group_expr(pattern, layout, leaves)?),
+            escape: match escape.as_deref() {
+                Some(ex) => Some(Box::new(build_group_expr(ex, layout, leaves)?)),
+                None => None,
+            },
+            negated: *negated,
+        }),
+        // Subqueries next to an aggregate (and anything not structural)
+        // keep the interpreter path.
+        _ => None,
+    }
+}
+
+/// Lower a grouped statement for two-phase evaluation; `None` when any
+/// piece is not expressible (the legacy path handles it). Shared by the
+/// executor and the `plan:`/`parallel:` explain lines, so the printed
+/// shape cannot drift from the executed one.
+pub(crate) fn group_program(
+    stmt: &SelectStmt,
+    layout: &Layout,
+    proj: &[(Expr, String)],
+) -> Option<GroupProgram> {
+    let mut keys = Vec::with_capacity(stmt.group_by.len());
+    for g in &stmt.group_by {
+        let ce = compile(g, layout);
+        if !parallel::is_rowlocal(&ce) {
+            return None;
+        }
+        keys.push(ce);
+    }
+    // Leaves collect in reach order: having, projections, order keys.
+    let mut leaves = Vec::new();
+    let having = match &stmt.having {
+        Some(h) => Some(build_group_expr(h, layout, &mut leaves)?),
+        None => None,
+    };
+    let mut proj_x = Vec::with_capacity(proj.len());
+    for (e, _) in proj {
+        proj_x.push(build_group_expr(e, layout, &mut leaves)?);
+    }
+    let mut order = Vec::with_capacity(stmt.order_by.len());
+    for (e, _) in &stmt.order_by {
+        order.push(build_group_expr(e, layout, &mut leaves)?);
+    }
+    Some(GroupProgram { keys, leaves, having, proj: proj_x, order })
+}
+
+/// Per-(group, leaf) partial state: the collected non-NULL argument
+/// values in encounter order, or the first argument error (sticky — the
+/// serial walk would have raised there and never looked further).
+#[derive(Clone)]
+enum LeafAcc {
+    Vals(Vec<Value>),
+    Err(QueryError),
+}
+
+/// One group discovered by a partial-phase partition, in local
+/// first-seen order. `first` indexes the batch row that discovered it
+/// (the representative-row candidate).
+struct LocalGroup {
+    key: Vec<Value>,
+    first: usize,
+    rows_n: u64,
+    leaves: Vec<LeafAcc>,
+}
+
+/// A partition's partial-phase output: its local groups, and its first
+/// group-key error (evaluation of the range stops there).
+struct PartialOutput {
+    groups: Vec<LocalGroup>,
+    err: Option<QueryError>,
+}
+
+/// Phase 1 worker: accumulate one contiguous range of a batch into local
+/// groups. Runs on pool workers (row-local expressions only).
+fn accumulate_range(batch: &[Level], range: Range<usize>, prog: &GroupProgram) -> PartialOutput {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<LocalGroup> = Vec::new();
+    for i in range {
+        let frames: Vec<&[Value]> = batch[i].iter().map(|f| f.row.as_slice()).collect();
+        let mut key = Vec::with_capacity(prog.keys.len());
+        let mut key_err = None;
+        for k in &prog.keys {
+            match parallel::eval_rowlocal(k, &frames) {
+                Ok(v) => key.push(v),
+                Err(e) => {
+                    key_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = key_err {
+            return PartialOutput { groups, err: Some(e) };
+        }
+        let slot = match index.entry(key) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => {
+                groups.push(LocalGroup {
+                    key: v.key().clone(),
+                    first: i,
+                    rows_n: 0,
+                    leaves: vec![LeafAcc::Vals(Vec::new()); prog.leaves.len()],
+                });
+                *v.insert(groups.len() - 1)
+            }
+        };
+        let g = &mut groups[slot];
+        g.rows_n += 1;
+        for (leaf, acc) in prog.leaves.iter().zip(g.leaves.iter_mut()) {
+            // count(*) needs only rows_n; an already-errored leaf stays
+            // errored (the serial fold would have stopped there).
+            let (Some(arg), LeafAcc::Vals(vals)) = (&leaf.arg, &mut *acc) else { continue };
+            match parallel::eval_rowlocal(arg, &frames) {
+                Ok(v) => {
+                    if !v.is_null() {
+                        vals.push(v);
+                    }
+                }
+                Err(e) => *acc = LeafAcc::Err(e),
+            }
+        }
+    }
+    PartialOutput { groups, err: None }
+}
+
+/// One global group after the partial phase: representative row (first
+/// row of the group in serial order; `None` only for the synthetic empty
+/// ungrouped group), total row count, and per-leaf merged state.
+struct GroupData {
+    repr: Option<Level>,
+    rows_n: u64,
+    leaves: Vec<LeafAcc>,
+}
+
+/// Merge one partition's partial output into the global groups, in
+/// partition order: value vectors concatenate (serial encounter order),
+/// errors are sticky earliest-first, and a partition's key error raises
+/// after its preceding rows merged — exactly the serial walk's first
+/// error.
+fn merge_partial(
+    batch: &[Level],
+    out: PartialOutput,
+    index: &mut HashMap<Vec<Value>, usize>,
+    groups: &mut Vec<GroupData>,
+    n_leaves: usize,
+) -> Result<(), QueryError> {
+    for lg in out.groups {
+        let slot = match index.entry(lg.key) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => {
+                groups.push(GroupData {
+                    repr: Some(batch[lg.first].clone()),
+                    rows_n: 0,
+                    leaves: vec![LeafAcc::Vals(Vec::new()); n_leaves],
+                });
+                *v.insert(groups.len() - 1)
+            }
+        };
+        let g = &mut groups[slot];
+        g.rows_n += lg.rows_n;
+        for (dst, src) in g.leaves.iter_mut().zip(lg.leaves) {
+            match (&mut *dst, src) {
+                (LeafAcc::Err(_), _) => {}
+                (LeafAcc::Vals(d), LeafAcc::Vals(mut s)) => d.append(&mut s),
+                (d, LeafAcc::Err(e)) => *d = LeafAcc::Err(e),
+            }
+        }
+    }
+    match out.err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Final-phase evaluation of one group-level expression. Mirrors the
+/// interpreter node for node (Kleene short-circuit included); reaching an
+/// [`GroupExpr::Agg`] node raises that leaf's recorded error or folds its
+/// merged values — so a short-circuited aggregate's error is skipped
+/// exactly like the per-group interpreter walk.
+fn eval_group_expr(
+    ge: &GroupExpr,
+    frames: &[&[Value]],
+    rows_n: u64,
+    accs: &[LeafAcc],
+    leaves: &[AggLeaf],
+) -> Result<Value, QueryError> {
+    match ge {
+        GroupExpr::Row(ce) => parallel::eval_rowlocal(ce, frames),
+        GroupExpr::Agg(i) => match &accs[*i] {
+            LeafAcc::Err(e) => Err(e.clone()),
+            LeafAcc::Vals(vals) => match &leaves[*i].arg {
+                // count(*) counts rows, including all-NULL ones.
+                None => Ok(Value::Int(rows_n as i64)),
+                Some(_) => fold_aggregate(leaves[*i].func, leaves[*i].distinct, vals.clone()),
+            },
+        },
+        GroupExpr::Unary { op, expr } => {
+            let v = eval_group_expr(expr, frames, rows_n, accs, leaves)?;
+            eval::apply_unary(*op, &v)
+        }
+        GroupExpr::Binary { left, op, right } => {
+            if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                let l = eval::truth(&eval_group_expr(left, frames, rows_n, accs, leaves)?)?;
+                match (op, l) {
+                    (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+                    (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+                    _ => {}
+                }
+                let r = eval::truth(&eval_group_expr(right, frames, rows_n, accs, leaves)?)?;
+                let out = match op {
+                    BinaryOp::And => eval::kleene_and(l, r),
+                    _ => eval::kleene_or(l, r),
+                };
+                return Ok(out.map_or(Value::Null, Value::Bool));
+            }
+            let l = eval_group_expr(left, frames, rows_n, accs, leaves)?;
+            let r = eval_group_expr(right, frames, rows_n, accs, leaves)?;
+            eval::apply_binary(&l, *op, &r)
+        }
+        GroupExpr::IsNull { expr, negated } => {
+            let v = eval_group_expr(expr, frames, rows_n, accs, leaves)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        GroupExpr::InList { expr, list, negated } => {
+            let needle = eval_group_expr(expr, frames, rows_n, accs, leaves)?;
+            let mut vals = Vec::with_capacity(list.len());
+            for item in list {
+                vals.push(eval_group_expr(item, frames, rows_n, accs, leaves)?);
+            }
+            eval::in_semantics(&needle, vals.iter(), *negated)
+        }
+        GroupExpr::Between { expr, low, high, negated } => {
+            let v = eval_group_expr(expr, frames, rows_n, accs, leaves)?;
+            let lo = eval_group_expr(low, frames, rows_n, accs, leaves)?;
+            let hi = eval_group_expr(high, frames, rows_n, accs, leaves)?;
+            eval::between_semantics(&v, &lo, &hi, *negated)
+        }
+        GroupExpr::Like { expr, pattern, escape, negated } => {
+            let v = eval_group_expr(expr, frames, rows_n, accs, leaves)?;
+            let p = eval_group_expr(pattern, frames, rows_n, accs, leaves)?;
+            let esc = match escape {
+                Some(ex) => Some(eval_group_expr(ex, frames, rows_n, accs, leaves)?),
+                None => None,
+            };
+            eval::like_semantics(&v, &p, esc.as_ref(), *negated)
+        }
+    }
+}
 
 /// The grouped pipeline top: one output row per group that passes
 /// `having`. Implements [`RowSource`].
@@ -29,7 +403,9 @@ pub(crate) struct AggregateExec<'q> {
     stmt: &'q SelectStmt,
     columns: Vec<String>,
     proj: Vec<(Expr, String)>,
-    state: Option<Batches<Vec<Level>>>,
+    label: &'static str,
+    legacy: Option<Batches<Vec<Level>>>,
+    phased: Option<Batches<KeyedRow>>,
     batch_rows: usize,
 }
 
@@ -40,7 +416,9 @@ impl<'q> AggregateExec<'q> {
             stmt,
             columns: Vec::new(),
             proj: Vec::new(),
-            state: None,
+            label: "aggregate",
+            legacy: None,
+            phased: None,
             batch_rows: super::BATCH_ROWS,
         }
     }
@@ -51,17 +429,168 @@ impl<'q> AggregateExec<'q> {
         self
     }
 
-    /// Drain the filter, expand wildcards, and partition the matching
-    /// combinations into groups in first-seen order.
-    fn open(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Vec<Vec<Level>>, QueryError> {
+    /// Pull the first batch (surfacing every filter error — the filter is
+    /// blocking), expand wildcards, and pick the path: two-phase streaming
+    /// when the compiled statement lowers to a [`GroupProgram`], the
+    /// legacy drain-then-partition pass otherwise.
+    fn open(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<(), QueryError> {
         let ctx = cx.ctx;
-        let mut matching: Vec<Level> = Vec::new();
-        while let Some(batch) = self.filter.next_batch(cx)? {
-            cx.rows_in("aggregate", batch.len());
-            matching.extend(batch);
-        }
+        let first = self.filter.next_batch(cx)?;
         self.proj = expand_wildcards(self.stmt, self.filter.items())?;
         self.columns = self.proj.iter().map(|(_, n)| n.clone()).collect();
+
+        let prog = if ctx.mode == ExecMode::Compiled {
+            // The same scope layout the filter evaluated in: outer scopes
+            // plus one innermost level holding this query's items.
+            let mut layout = cx.bindings.layout();
+            layout.push_level(
+                self.filter
+                    .items()
+                    .iter()
+                    .map(|it| LayoutFrame {
+                        name: it.binding.clone(),
+                        columns: Arc::clone(&it.columns),
+                    })
+                    .collect(),
+            );
+            group_program(self.stmt, &layout, &self.proj)
+        } else {
+            None
+        };
+        match prog {
+            Some(prog) => {
+                self.label = "final-aggregate";
+                let rows = self.run_two_phase(cx, &prog, first)?;
+                self.phased = Some(Batches::new(rows, self.batch_rows));
+            }
+            None => {
+                let groups = self.run_legacy(cx, first)?;
+                self.legacy = Some(Batches::new(groups, self.batch_rows));
+            }
+        }
+        Ok(())
+    }
+
+    /// Two-phase streaming aggregation: accumulate each filter batch into
+    /// partial groups (exchanged when big enough), merge in partition
+    /// order, then evaluate `having`/projection/`order by` per group
+    /// (exchanged across groups when there are enough).
+    fn run_two_phase(
+        &mut self,
+        cx: &mut ExecCx<'_, '_>,
+        prog: &GroupProgram,
+        first: Option<Vec<Level>>,
+    ) -> Result<Vec<KeyedRow>, QueryError> {
+        let ctx = cx.ctx;
+        let n_leaves = prog.leaves.len();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut groups: Vec<GroupData> = Vec::new();
+
+        // Phase 1: streaming partial accumulation, batch by batch.
+        let mut next = first;
+        while let Some(batch) = next {
+            cx.rows_in("partial-aggregate", batch.len());
+            let outputs = if let Some(ex) = Exchange::plan(ctx, batch.len()) {
+                let b = &batch;
+                ex.run(ctx, |range| accumulate_range(b, range, prog))
+            } else {
+                vec![accumulate_range(&batch, 0..batch.len(), prog)]
+            };
+            for out in outputs {
+                if !out.groups.is_empty() {
+                    cx.batch_out("partial-aggregate", out.groups.len());
+                }
+                merge_partial(&batch, out, &mut index, &mut groups, n_leaves)?;
+            }
+            next = self.filter.next_batch(cx)?;
+        }
+        drop(index);
+        // The ungrouped empty input still yields one row
+        // (`select count(*) from empty` is 0): synthesize the group.
+        if prog.keys.is_empty() && groups.is_empty() {
+            groups.push(GroupData {
+                repr: None,
+                rows_n: 0,
+                leaves: vec![LeafAcc::Vals(Vec::new()); n_leaves],
+            });
+        }
+
+        // Phase 2: per-group evaluation in global first-seen order.
+        if !groups.is_empty() {
+            cx.rows_in("final-aggregate", groups.len());
+        }
+        // Representative bindings for the synthetic empty group: all-NULL
+        // frames (the legacy path builds the same).
+        let null_repr: Option<Level> = groups.iter().any(|g| g.repr.is_none()).then(|| {
+            self.filter
+                .items()
+                .iter()
+                .map(|it| Frame {
+                    name: it.binding.clone(),
+                    columns: Arc::clone(&it.columns),
+                    row: vec![Value::Null; it.columns.len()],
+                })
+                .collect()
+        });
+        let eval_one = |g: &GroupData| -> Result<Option<KeyedRow>, QueryError> {
+            let repr = match &g.repr {
+                Some(l) => l,
+                None => null_repr.as_ref().expect("built above for reprless groups"),
+            };
+            let frames: Vec<&[Value]> = repr.iter().map(|f| f.row.as_slice()).collect();
+            if let Some(h) = &prog.having {
+                let v = eval_group_expr(h, &frames, g.rows_n, &g.leaves, &prog.leaves)?;
+                if eval::truth(&v)? != Some(true) {
+                    return Ok(None);
+                }
+            }
+            let mut out = Vec::with_capacity(prog.proj.len());
+            for e in &prog.proj {
+                out.push(eval_group_expr(e, &frames, g.rows_n, &g.leaves, &prog.leaves)?);
+            }
+            let mut key = Vec::with_capacity(prog.order.len());
+            for e in &prog.order {
+                key.push(eval_group_expr(e, &frames, g.rows_n, &g.leaves, &prog.leaves)?);
+            }
+            Ok(Some((key, out)))
+        };
+        let mut rows: Vec<KeyedRow> = Vec::new();
+        if let Some(ex) = Exchange::plan(ctx, groups.len()) {
+            let gs = &groups;
+            let verdicts = ex.judge(ctx, |i| eval_one(&gs[i]));
+            for v in verdicts {
+                rows.extend(v.kept);
+                if let Some(e) = v.err {
+                    return Err(e);
+                }
+            }
+        } else {
+            for g in &groups {
+                if let Some(r) = eval_one(g)? {
+                    rows.push(r);
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Drain the filter and partition the matching combinations into
+    /// groups in first-seen order — the historical pass, kept verbatim as
+    /// the interpreted-mode oracle and the fallback for statements the
+    /// program builder refuses.
+    fn run_legacy(
+        &mut self,
+        cx: &mut ExecCx<'_, '_>,
+        first: Option<Vec<Level>>,
+    ) -> Result<Vec<Vec<Level>>, QueryError> {
+        let ctx = cx.ctx;
+        let mut matching: Vec<Level> = Vec::new();
+        let mut next = first;
+        while let Some(batch) = next {
+            cx.rows_in("aggregate", batch.len());
+            matching.extend(batch);
+            next = self.filter.next_batch(cx)?;
+        }
 
         // Partition matching rows into groups.
         let mut group_rows: Vec<Vec<Level>> = Vec::new();
@@ -101,18 +630,24 @@ impl Executor for AggregateExec<'_> {
     type Batch = Vec<KeyedRow>;
 
     fn name(&self) -> &'static str {
-        "aggregate"
+        self.label
     }
 
     fn next_batch(&mut self, cx: &mut ExecCx<'_, '_>) -> Result<Option<Self::Batch>, QueryError> {
-        if self.state.is_none() {
-            let group_rows = self.open(cx)?;
-            self.state = Some(Batches::new(group_rows, self.batch_rows));
+        if self.legacy.is_none() && self.phased.is_none() {
+            self.open(cx)?;
+        }
+        if let Some(state) = &mut self.phased {
+            let batch = state.next();
+            if let Some(b) = &batch {
+                cx.batch_out(self.label, b.len());
+            }
+            return Ok(batch);
         }
         let ctx = cx.ctx;
         // A group can be filtered out by `having`, so keep pulling group
         // batches until one yields at least one output row.
-        while let Some(groups) = self.state.as_mut().expect("opened above").next() {
+        while let Some(groups) = self.legacy.as_mut().expect("opened above").next() {
             let mut out_batch: Vec<KeyedRow> = Vec::new();
             for rows in groups {
                 // Representative bindings for non-aggregate expressions:
@@ -155,7 +690,7 @@ impl Executor for AggregateExec<'_> {
                 }
             }
             if !out_batch.is_empty() {
-                cx.batch_out(self.name(), out_batch.len());
+                cx.batch_out(self.label, out_batch.len());
                 return Ok(Some(out_batch));
             }
         }

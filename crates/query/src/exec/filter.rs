@@ -26,6 +26,7 @@ use crate::eval::eval_predicate;
 use crate::parallel;
 use crate::stats;
 
+use super::exchange::Exchange;
 use super::join::JoinExec;
 use super::scan::FromItem;
 use super::{Batches, ExecCx, Executor};
@@ -71,83 +72,24 @@ fn consider(
     Ok(())
 }
 
-/// Record a combination a parallel WHERE pass already judged as
-/// kept (counters were merged from the partition verdicts).
-fn emit_kept(
-    items: &[FromItem],
-    cursor: &[usize],
-    want_trace: bool,
-    matching: &mut Vec<Level>,
-    origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
-) {
-    let level: Level = items
-        .iter()
-        .zip(cursor)
-        .map(|(it, &i)| Frame {
-            name: it.binding.clone(),
-            columns: Arc::clone(&it.columns),
-            row: it.rows[i].1.clone(),
-        })
-        .collect();
-    if want_trace {
-        origins.push(items.iter().zip(cursor).filter_map(|(it, &i)| it.rows[i].0).collect());
-    }
-    matching.push(level);
-}
-
-/// The WHERE pass may run on the pool only when the full predicate
-/// is row-local; with a thread budget and enough combinations, a
-/// non-row-local predicate (correlated subquery needing the shared
-/// memo, interpreter fallback) counts an observable fallback.
+/// The WHERE pass may exchange only when the full predicate is
+/// row-local; when an exchange was planned (thread budget, enough
+/// combinations) but the predicate is not row-local (correlated
+/// subquery needing the shared memo, interpreter fallback), that
+/// counts an observable fallback.
 fn parallel_where<'p>(
     ctx: QueryCtx<'_>,
     full_pred: &'p Option<Arc<CompiledExpr>>,
     combinations: usize,
-) -> Option<&'p CompiledExpr> {
+) -> Option<(Exchange, &'p CompiledExpr)> {
     let cp = full_pred.as_deref()?;
-    if ctx.threads <= 1 || combinations < parallel::PAR_THRESHOLD {
-        return None;
-    }
+    let ex = Exchange::plan(ctx, combinations)?;
     if parallel::is_rowlocal(cp) {
-        Some(cp)
+        Some((ex, cp))
     } else {
-        stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
+        Exchange::serial_fallback(ctx);
         None
     }
-}
-
-/// Merge partition verdicts in partition order: counters first,
-/// then the kept combinations, stopping at the earliest error —
-/// reproducing the serial combination walk exactly.
-fn merge_verdicts(
-    ctx: QueryCtx<'_>,
-    items: &[FromItem],
-    verdicts: Vec<parallel::ChunkVerdict>,
-    cursor_of: impl Fn(usize) -> Vec<usize>,
-    want_trace: bool,
-    matching: &mut Vec<Level>,
-    origins: &mut Vec<Vec<(TableId, TupleHandle)>>,
-) -> Result<(), QueryError> {
-    let parts = verdicts.len() as u64;
-    if parts > 1 {
-        stats::bump(ctx.stats, |s| {
-            s.parallel_scans += 1;
-            s.parallel_partitions += parts;
-        });
-    }
-    for v in verdicts {
-        stats::bump(ctx.stats, |s| {
-            s.join_combinations += v.combos;
-            s.rows_matched += v.matched;
-        });
-        for i in v.kept {
-            emit_kept(items, &cursor_of(i), want_trace, matching, origins);
-        }
-        if let Some(e) = v.err {
-            return Err(e);
-        }
-    }
-    Ok(())
 }
 
 /// The `where` operator. Blocking: judges every combination at open,
@@ -204,26 +146,55 @@ impl<'q> FilterExec<'q> {
             cursors.extend(batch);
         }
         let mut matching: Vec<Level> = Vec::new();
-        if let Some(cp) = parallel_where(ctx, &self.full_pred, cursors.len()) {
+        if let Some((ex, cp)) = parallel_where(ctx, &self.full_pred, cursors.len()) {
             let items = self.join.items();
             let cursors_ref = &cursors;
-            let verdicts = parallel::judge_chunks(cursors.len(), ctx.threads, |i| {
-                let frames: Vec<&[Value]> = cursors_ref[i]
+            let want_trace = self.want_trace;
+            // Workers build the surviving scope levels (and trace
+            // origins) too — the serial tail after the exchange is just
+            // the merge below.
+            let verdicts = ex.judge(ctx, |i| {
+                let cursor = &cursors_ref[i];
+                let frames: Vec<&[Value]> = cursor
                     .iter()
                     .zip(items.iter())
                     .map(|(&r, it)| it.rows[r].1.as_slice())
                     .collect();
-                parallel::eval_rowlocal_predicate(cp, &frames)
+                if !parallel::eval_rowlocal_predicate(cp, &frames)? {
+                    return Ok(None);
+                }
+                let level: Level = items
+                    .iter()
+                    .zip(cursor)
+                    .map(|(it, &r)| Frame {
+                        name: it.binding.clone(),
+                        columns: Arc::clone(&it.columns),
+                        row: it.rows[r].1.clone(),
+                    })
+                    .collect();
+                let orig = want_trace.then(|| {
+                    items.iter().zip(cursor).filter_map(|(it, &r)| it.rows[r].0).collect()
+                });
+                Ok(Some((level, orig)))
             });
-            merge_verdicts(
-                ctx,
-                items,
-                verdicts,
-                |i| cursors[i].clone(),
-                self.want_trace,
-                &mut matching,
-                &mut self.origins,
-            )?;
+            // Merge in partition order: counters first, then the kept
+            // levels, stopping at the earliest error — reproducing the
+            // serial combination walk exactly.
+            for v in verdicts {
+                stats::bump(ctx.stats, |s| {
+                    s.join_combinations += v.combos;
+                    s.rows_matched += v.matched;
+                });
+                for (level, orig) in v.kept {
+                    if let Some(o) = orig {
+                        self.origins.push(o);
+                    }
+                    matching.push(level);
+                }
+                if let Some(e) = v.err {
+                    return Err(e);
+                }
+            }
         } else {
             for c in &cursors {
                 consider(

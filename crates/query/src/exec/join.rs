@@ -21,10 +21,10 @@ use setrules_storage::{DataType, Value};
 use crate::compile::LayoutFrame;
 use crate::ctx::ExecMode;
 use crate::error::QueryError;
-use crate::parallel;
 use crate::planner::{build_join_plan, equi_join_edges};
 use crate::stats;
 
+use super::exchange::Exchange;
 use super::scan::{FromItem, ScanExec};
 use super::{Batches, ExecCx, Executor};
 
@@ -236,36 +236,25 @@ impl<'q> JoinExec<'q> {
                                     }
                                     local
                                 };
-                            let table: HashMap<Vec<&Value>, Vec<usize>> = if ctx.threads > 1
-                                && new_rows.len() >= parallel::PAR_THRESHOLD
-                            {
-                                // Partition the build side; merging the
-                                // per-worker maps in partition order keeps
-                                // every bucket's row indices ascending —
-                                // identical to the serial build.
-                                let maps = parallel::pool().run_chunked(
-                                    new_rows.len(),
-                                    ctx.threads,
-                                    parallel::MIN_CHUNK,
-                                    build_range,
-                                );
-                                let parts = maps.len() as u64;
-                                stats::bump(ctx.stats, |s| {
-                                    if parts > 1 {
-                                        s.parallel_scans += 1;
-                                        s.parallel_partitions += parts;
+                            let table: HashMap<Vec<&Value>, Vec<usize>> =
+                                if let Some(ex) = Exchange::plan(ctx, new_rows.len()) {
+                                    // Exchange the build side; merging the
+                                    // per-worker maps in partition order
+                                    // keeps every bucket's row indices
+                                    // ascending — identical to the serial
+                                    // build.
+                                    let maps = ex.run(ctx, build_range);
+                                    let mut merged: HashMap<Vec<&Value>, Vec<usize>> =
+                                        HashMap::new();
+                                    for local in maps {
+                                        for (key, mut js) in local {
+                                            merged.entry(key).or_default().append(&mut js);
+                                        }
                                     }
-                                });
-                                let mut merged: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
-                                for local in maps {
-                                    for (key, mut js) in local {
-                                        merged.entry(key).or_default().append(&mut js);
-                                    }
-                                }
-                                merged
-                            } else {
-                                build_range(0..new_rows.len())
-                            };
+                                    merged
+                                } else {
+                                    build_range(0..new_rows.len())
+                                };
                             // Probe a range of partials against the map,
                             // emitting extended combinations in order.
                             let probe_range = |range: std::ops::Range<usize>| -> Vec<Vec<usize>> {
@@ -289,26 +278,11 @@ impl<'q> JoinExec<'q> {
                                 }
                                 out
                             };
-                            partials = if ctx.threads > 1
-                                && partials.len() >= parallel::PAR_THRESHOLD
-                            {
-                                // Partition the probe side; concatenating
+                            partials = if let Some(ex) = Exchange::plan(ctx, partials.len()) {
+                                // Exchange the probe side; concatenating
                                 // per-partition outputs in partition order
                                 // reproduces the serial probe order.
-                                let chunks = parallel::pool().run_chunked(
-                                    partials.len(),
-                                    ctx.threads,
-                                    parallel::MIN_CHUNK,
-                                    probe_range,
-                                );
-                                let parts = chunks.len() as u64;
-                                stats::bump(ctx.stats, |s| {
-                                    if parts > 1 {
-                                        s.parallel_scans += 1;
-                                        s.parallel_partitions += parts;
-                                    }
-                                });
-                                chunks.concat()
+                                ex.run(ctx, probe_range).concat()
                             } else {
                                 probe_range(0..partials.len())
                             };

@@ -15,26 +15,43 @@
 //!   chosen [`Access`](crate::planner::Access) path (seq scan, index
 //!   probe/multi-probe, index range) or a transition-table scan, with the
 //!   pushed-down conjuncts filtering at the scan. Big-enough stored-table
-//!   scans with row-local conjuncts run partitioned on the worker pool —
-//!   this operator *is* the PR-5 "parallel scan": contiguous ranges,
-//!   merged in partition order (see [`crate::parallel`]).
+//!   scans with row-local conjuncts partition through the exchange
+//!   operator: contiguous ranges, merged in partition order.
+//! * [`exchange::Exchange`] — not a tree node but the one gate every
+//!   partitioned phase goes through: it decides whether a phase fans out
+//!   (thread budget, [`crate::parallel::PAR_THRESHOLD`]), dispatches
+//!   contiguous ranges on the worker pool, returns per-partition results
+//!   in partition order, and owns the parallelism counters and the
+//!   earliest-error merge rule (see [`crate::parallel`] for row-locality,
+//!   `docs/parallel-execution.md` for the model).
 //! * [`join::JoinExec`] — drains its child scans and assembles row
 //!   combinations: the greedy N-way hash/cross [`JoinPlan`]
 //!   (crate::planner::JoinPlan) in compiled mode, the historical 2-way
 //!   hash special case and nested-loop odometer in interpreted mode.
-//!   Emits batches of *cursors* (one row index per item) in row-index
+//!   Hash-step builds and probes exchange across partitions. Emits
+//!   batches of *cursors* (one row index per item) in row-index
 //!   lexicographic order.
 //! * [`filter::FilterExec`] — evaluates the full `where` predicate per
 //!   assembled combination (hash probes and pushdown are sound
-//!   prefilters), serially or on the pool when the predicate is
+//!   prefilters), serially or exchanged when the predicate is
 //!   row-local; collects the origin handles a select trace needs.
 //! * [`project::ProjectExec`] / [`aggregate::AggregateExec`] — expand
 //!   wildcards, then evaluate projections row-by-row or per group
 //!   (`group by` / `having` / aggregate calls), emitting rows keyed by
-//!   their `order by` values.
+//!   their `order by` values. Compiled grouped statements whose
+//!   expressions lower to a row-local `GroupProgram` run *two-phase*:
+//!   a streaming `partial-aggregate` phase exchanges each input batch
+//!   into per-partition accumulators (merged in encounter order), and a
+//!   `final-aggregate` phase folds the groups — itself exchanged when
+//!   there are enough. Everything else keeps the one-pass `aggregate`
+//!   operator, which doubles as the differential oracle.
 //! * [`sort::DistinctExec`], [`sort::SortExec`], [`sort::LimitExec`] —
 //!   `distinct` dedup, the stable order-by sort with its top-K
-//!   partial-selection fast path, and the `limit` truncation.
+//!   partial-selection fast path, and the `limit` truncation. Distinct
+//!   exchanges per-partition first-occurrence candidates, sort merges
+//!   per-partition runs under the `(key, input index)` total order, and
+//!   top-K selects per-partition candidate supersets before the serial
+//!   selection.
 //!
 //! # Batch contract
 //!
@@ -57,6 +74,7 @@
 //! never perturbs the aggregate counters.
 
 pub(crate) mod aggregate;
+pub(crate) mod exchange;
 pub(crate) mod filter;
 pub(crate) mod join;
 pub(crate) mod project;
@@ -170,6 +188,84 @@ pub(crate) fn is_grouped(stmt: &SelectStmt) -> bool {
         || stmt.having.as_ref().is_some_and(has_aggregate)
 }
 
+/// Whether a grouped statement lowers to the two-phase aggregation
+/// program against the schema-derived layout — the plan-time view of
+/// [`aggregate::group_program`] (top-level statements have no outer
+/// scopes, so the schema layout *is* the runtime layout).
+fn two_phase_eligible(
+    stmt: &SelectStmt,
+    layout: &crate::compile::Layout,
+    frames: &[crate::compile::LayoutFrame],
+) -> bool {
+    let cols: Vec<(&str, &std::sync::Arc<Vec<String>>)> =
+        frames.iter().map(|f| (f.name.as_str(), &f.columns)).collect();
+    let Ok(proj) = project::expand_wildcards_cols(stmt, &cols) else { return false };
+    aggregate::group_program(stmt, layout, &proj).is_some()
+}
+
+/// The pipeline stages of `stmt` that are *exchange-eligible* — the
+/// stages a multi-threaded run would partition onto the worker pool, in
+/// pipeline order — or `None` when there are none (including the fast
+/// paths, which never reach the operator pipeline). This is the
+/// `parallel:` line of `explain`, derived from the same gates the
+/// operators use: the WHERE pass exchanges only a row-local full
+/// predicate, the join exchanges its hash build/probe (so it needs an
+/// equi-edge), aggregation exchanges exactly when it lowers two-phase,
+/// and distinct/sort/top-K partition on values alone. Shape-only — the
+/// run-time size gate ([`exchange::Exchange::plan`]) cannot be decided
+/// here, so the line is identical at every thread count.
+pub(crate) fn parallel_stages(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> Option<Vec<&'static str>> {
+    if crate::select::min_max_applies(ctx, stmt)
+        || crate::select::elidable_order_column(ctx, stmt).is_some()
+    {
+        return None;
+    }
+    let mut types = Vec::new();
+    let mut frames = Vec::new();
+    for tref in &stmt.from {
+        let table_name = match &tref.source {
+            TableSource::Named(name) => name,
+            TableSource::Transition { table, .. } => table,
+        };
+        let Ok(tid) = ctx.db.table_id(table_name) else { return None };
+        let schema = ctx.db.schema(tid);
+        types.push(schema.columns.iter().map(|c| c.ty).collect::<Vec<_>>());
+        frames.push(crate::compile::LayoutFrame {
+            name: tref.binding_name().to_string(),
+            columns: std::sync::Arc::new(
+                schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+            ),
+        });
+    }
+    let mut layout = crate::compile::Layout::new();
+    layout.push_level(frames.clone());
+    let mut stages = Vec::new();
+    if stmt.from.len() > 1
+        && !equi_join_edges(stmt.predicate.as_ref(), &layout, &types).is_empty()
+    {
+        stages.push("join");
+    }
+    if let Some(p) = stmt.predicate.as_ref() {
+        if crate::parallel::is_rowlocal(&crate::compile::compile(p, &layout)) {
+            stages.push("where");
+        }
+    }
+    if is_grouped(stmt) && two_phase_eligible(stmt, &layout, &frames) {
+        stages.push("aggregate");
+    }
+    if stmt.distinct {
+        stages.push("distinct");
+    }
+    if !stmt.order_by.is_empty() {
+        stages.push("sort");
+    }
+    if stages.is_empty() {
+        None
+    } else {
+        Some(stages)
+    }
+}
+
 /// The operator chain `stmt` lowers to, as display names in pull order —
 /// the `plan:` line of `explain`. Derived from the *same* gate functions
 /// the lowering driver uses ([`crate::select::elidable_order_column`],
@@ -223,20 +319,34 @@ pub(crate) fn plan_ops(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> Option<Vec<Strin
             ),
         });
     }
+    let mut layout = crate::compile::Layout::new();
+    layout.push_level(frames.clone());
     if stmt.from.len() > 1 {
         // The greedy join plan places every item; once any equi-edge
         // exists, the step that places that edge's second endpoint is a
         // hash step — so "hash vs nested-loop" depends only on the edge
         // set, not on cardinalities.
-        let mut layout = crate::compile::Layout::new();
-        layout.push_level(frames);
         let edges = equi_join_edges(stmt.predicate.as_ref(), &layout, &types);
         ops.push(if edges.is_empty() { "nested-loop".into() } else { "hash-join".into() });
     }
     if stmt.predicate.is_some() {
         ops.push("filter".into());
     }
-    ops.push(if is_grouped(stmt) { "aggregate".into() } else { "project".into() });
+    if is_grouped(stmt) {
+        // Grouped top: two-phase when the statement lowers to a
+        // GroupProgram (the exact gate the executor uses), the one-pass
+        // aggregate otherwise. Shape-only, so the line is identical at
+        // every thread count.
+        if two_phase_eligible(stmt, &layout, &frames) {
+            ops.push("partial-aggregate".into());
+            ops.push("exchange".into());
+            ops.push("final-aggregate".into());
+        } else {
+            ops.push("aggregate".into());
+        }
+    } else {
+        ops.push("project".into());
+    }
     if stmt.distinct {
         ops.push("distinct".into());
     }

@@ -31,23 +31,35 @@ pub(crate) fn expand_wildcards(
     stmt: &SelectStmt,
     items: &[FromItem],
 ) -> Result<Vec<(Expr, String)>, QueryError> {
+    let cols: Vec<(&str, &Arc<Vec<String>>)> =
+        items.iter().map(|it| (it.binding.as_str(), &it.columns)).collect();
+    expand_wildcards_cols(stmt, &cols)
+}
+
+/// [`expand_wildcards`] over bare `(binding, columns)` pairs — usable at
+/// plan time (the `plan:`/`parallel:` explain lines work from schemas,
+/// without materialized items).
+pub(crate) fn expand_wildcards_cols(
+    stmt: &SelectStmt,
+    items: &[(&str, &Arc<Vec<String>>)],
+) -> Result<Vec<(Expr, String)>, QueryError> {
     let mut proj: Vec<(Expr, String)> = Vec::new();
     for item in &stmt.projection {
         match item {
             SelectItem::Wildcard => {
-                for it in items {
-                    for c in it.columns.iter() {
-                        proj.push((Expr::qcol(it.binding.clone(), c.clone()), c.clone()));
+                for (binding, columns) in items {
+                    for c in columns.iter() {
+                        proj.push((Expr::qcol((*binding).to_string(), c.clone()), c.clone()));
                     }
                 }
             }
             SelectItem::QualifiedWildcard(q) => {
-                let it = items
+                let (binding, columns) = items
                     .iter()
-                    .find(|it| it.binding == *q)
+                    .find(|(b, _)| *b == q)
                     .ok_or_else(|| QueryError::UnknownColumn(format!("{q}.*")))?;
-                for c in it.columns.iter() {
-                    proj.push((Expr::qcol(q.clone(), c.clone()), c.clone()));
+                for c in columns.iter() {
+                    proj.push((Expr::qcol((*binding).to_string(), c.clone()), c.clone()));
                 }
             }
             SelectItem::Expr { expr, alias } => {

@@ -9,10 +9,9 @@
 //!
 //! This operator is also the parallel scan: with a thread budget, a
 //! big-enough stored-table scan whose pushed conjuncts are all row-local
-//! splits its handle vector into contiguous ranges on the worker pool and
-//! concatenates the kept rows in partition order — exactly the serial
-//! handle-order walk (see [`crate::parallel`] for the determinism
-//! argument).
+//! plans an [`Exchange`] over its handle vector and concatenates the
+//! kept rows in partition order — exactly the serial handle-order walk
+//! (see [`crate::exec::exchange`] for the determinism argument).
 
 use std::sync::Arc;
 
@@ -26,6 +25,7 @@ use crate::parallel;
 use crate::planner::{scan_handles, Access};
 use crate::stats;
 
+use super::exchange::Exchange;
 use super::{Batches, ExecCx, Executor};
 
 /// One scanned row: its origin (stored tuples only) and field values.
@@ -138,56 +138,44 @@ impl<'q> ScanExec<'q> {
                     stats::bump(ctx.stats, |s| s.range_rows_skipped += skipped);
                 }
                 stats::bump(ctx.stats, |s| s.rows_scanned += handles.len() as u64);
-                let big_enough = ctx.threads > 1 && handles.len() >= parallel::PAR_THRESHOLD;
-                if big_enough && conjs.iter().all(parallel::is_rowlocal) {
+                let ex = Exchange::plan(ctx, handles.len());
+                let rowlocal = conjs.iter().all(parallel::is_rowlocal);
+                if let (Some(ex), true) = (&ex, rowlocal) {
                     prefiltered = true;
                     let db = ctx.db;
                     let tid = *tid;
                     let handles = &handles;
-                    let chunks = parallel::pool().run_chunked(
-                        handles.len(),
-                        ctx.threads,
-                        parallel::MIN_CHUNK,
-                        |range| {
-                            let mut kept: Vec<ScanRow> =
-                                Vec::with_capacity(range.end - range.start);
-                            let mut dropped = 0u64;
-                            for &h in &handles[range] {
-                                let t = db.get(tid, h).expect("scanned handle is live");
-                                // Drop only on a definite non-`true` (the
-                                // same rule as the serial path below).
-                                let keep = conjs.iter().all(|cc| {
-                                    !matches!(
-                                        parallel::eval_rowlocal_predicate(cc, &[t.0.as_slice()]),
-                                        Ok(false)
-                                    )
-                                });
-                                if keep {
-                                    kept.push((Some((tid, h)), t.0.clone()));
-                                } else {
-                                    dropped += 1;
-                                }
+                    let chunks = ex.run(ctx, |range| {
+                        let mut kept: Vec<ScanRow> = Vec::with_capacity(range.end - range.start);
+                        let mut dropped = 0u64;
+                        for &h in &handles[range] {
+                            let t = db.get(tid, h).expect("scanned handle is live");
+                            // Drop only on a definite non-`true` (the
+                            // same rule as the serial path below).
+                            let keep = conjs.iter().all(|cc| {
+                                !matches!(
+                                    parallel::eval_rowlocal_predicate(cc, &[t.0.as_slice()]),
+                                    Ok(false)
+                                )
+                            });
+                            if keep {
+                                kept.push((Some((tid, h)), t.0.clone()));
+                            } else {
+                                dropped += 1;
                             }
-                            (kept, dropped)
-                        },
-                    );
-                    let parts = chunks.len() as u64;
-                    let dropped: u64 = chunks.iter().map(|(_, d)| *d).sum();
-                    stats::bump(ctx.stats, |s| {
-                        s.pushdown_filtered += dropped;
-                        if parts > 1 {
-                            s.parallel_scans += 1;
-                            s.parallel_partitions += parts;
                         }
+                        (kept, dropped)
                     });
+                    let dropped: u64 = chunks.iter().map(|(_, d)| *d).sum();
+                    stats::bump(ctx.stats, |s| s.pushdown_filtered += dropped);
                     let mut merged = Vec::with_capacity(chunks.iter().map(|(k, _)| k.len()).sum());
                     for (kept, _) in chunks {
                         merged.extend(kept);
                     }
                     merged
                 } else {
-                    if big_enough && !conjs.is_empty() {
-                        stats::bump(ctx.stats, |s| s.serial_fallbacks += 1);
+                    if ex.is_some() && !conjs.is_empty() {
+                        Exchange::serial_fallback(ctx);
                     }
                     handles
                         .into_iter()

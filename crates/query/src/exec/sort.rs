@@ -8,6 +8,23 @@
 //! drain its child fully even past the cutoff so a projection error on a
 //! row beyond the limit still surfaces (the historical pipeline projected
 //! every row before truncating).
+//!
+//! Big-enough inputs partition on the pool through the
+//! [`exchange`](super::exchange) operator — these stages compare values
+//! only, so no row-locality gate applies:
+//!
+//! * `distinct` — each partition keeps its *local* first-occurrence
+//!   indices (a sound superset of the global survivors: a row that is not
+//!   even first in its own partition cannot be first overall); the merge
+//!   walks the candidates in partition order — ascending input order —
+//!   through one global set, reproducing the serial first-occurrence
+//!   scan.
+//! * `sort` — each partition sorts its range by `(key, input index)`;
+//!   the index tiebreak makes the comparator a total order, so the k-way
+//!   merge of the runs *is* the stable sort of the whole input.
+//! * `topk` — each partition selects its own top K under the same total
+//!   order (every global top-K row is in its partition's top K), then
+//!   the ≤ partitions·K candidates go through the serial selection.
 
 use std::cmp::Ordering;
 use std::collections::HashSet;
@@ -18,6 +35,7 @@ use setrules_storage::{TableId, TupleHandle, Value};
 use crate::error::QueryError;
 use crate::stats;
 
+use super::exchange::Exchange;
 use super::{Batches, ExecCx, Executor, KeyedRow, RowSource};
 
 /// Drain a boxed child fully, charging the rows to `name`'s input side.
@@ -66,8 +84,28 @@ impl Executor for DistinctExec<'_> {
             let rows = drain(&mut self.child, "distinct", cx)?;
             // Dedup on the projected row (not the sort key) with borrowed
             // slices, then retain by mask so survivors keep input order.
-            let mut seen: HashSet<&[Value]> = HashSet::with_capacity(rows.len());
-            let mask: Vec<bool> = rows.iter().map(|(_, row)| seen.insert(row.as_slice())).collect();
+            let mask: Vec<bool> = if let Some(ex) = Exchange::plan(cx.ctx, rows.len()) {
+                // Each partition's local first occurrences, merged in
+                // partition order through one global set: candidate
+                // indices arrive in ascending input order, so the global
+                // survivor set is exactly the serial one.
+                let rows_ref = &rows;
+                let locals: Vec<Vec<usize>> = ex.run(cx.ctx, |range| {
+                    let mut local: HashSet<&[Value]> = HashSet::new();
+                    range.filter(|&i| local.insert(rows_ref[i].1.as_slice())).collect()
+                });
+                let mut seen: HashSet<&[Value]> = HashSet::new();
+                let mut mask = vec![false; rows.len()];
+                for i in locals.into_iter().flatten() {
+                    if seen.insert(rows[i].1.as_slice()) {
+                        mask[i] = true;
+                    }
+                }
+                mask
+            } else {
+                let mut seen: HashSet<&[Value]> = HashSet::with_capacity(rows.len());
+                rows.iter().map(|(_, row)| seen.insert(row.as_slice())).collect()
+            };
             let mut it = mask.into_iter();
             let mut rows = rows;
             rows.retain(|_| it.next().expect("mask matches rows"));
@@ -89,6 +127,41 @@ impl RowSource for DistinctExec<'_> {
     fn take_origins(&mut self) -> Vec<Vec<(TableId, TupleHandle)>> {
         self.child.take_origins()
     }
+}
+
+/// Reassemble the rows selected by `order`, moving each out of `rows`
+/// exactly once (no per-row clone).
+fn take_rows(rows: Vec<KeyedRow>, order: &[usize]) -> Vec<KeyedRow> {
+    let mut slots: Vec<Option<KeyedRow>> = rows.into_iter().map(Some).collect();
+    order.iter().map(|&i| slots[i].take().expect("indices are unique")).collect()
+}
+
+/// K-way merge of per-partition index runs under a total order: emit the
+/// smallest head until every run drains. Runs are few (at most the
+/// thread budget), so a linear scan per element beats a heap's constant
+/// factor here.
+fn merge_runs(runs: Vec<Vec<usize>>, cmp: impl Fn(usize, usize) -> Ordering) -> Vec<usize> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; runs.len()];
+    let mut order = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<(usize, usize)> = None; // (run, head index value)
+        for (r, run) in runs.iter().enumerate() {
+            if let Some(&i) = run.get(heads[r]) {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => cmp(i, b) == Ordering::Less,
+                };
+                if better {
+                    best = Some((r, i));
+                }
+            }
+        }
+        let (r, i) = best.expect("total counts the remaining heads");
+        heads[r] += 1;
+        order.push(i);
+    }
+    order
 }
 
 /// Compare two order-by key vectors under the statement's `asc`/`desc`
@@ -154,24 +227,54 @@ impl Executor for SortExec<'_> {
             let rows = drain(&mut self.child, self.label, cx)?;
             let order_by = self.order_by;
             let mut rows = rows;
+            // Comparing `(key, input index)` makes the comparator a total
+            // order, so unstable selection/sorting over indices
+            // reproduces the stable sort's ordering among equal keys.
+            let cmp_idx =
+                |a: usize, b: usize| order_cmp(order_by, &rows[a].0, &rows[b].0).then(a.cmp(&b));
             match self.limit {
                 Some(k) if k > 0 && k < rows.len() / 4 => {
-                    // Top-K: select the K smallest under (key, input index)
-                    // — the index tiebreak reproduces the stable sort's
-                    // ordering among equal keys — then sort the prefix.
+                    // Top-K: select the K smallest, then sort the prefix.
                     stats::bump(cx.ctx.stats, |s| s.topk_selected += 1);
                     self.label = "topk";
-                    let mut indexed: Vec<(usize, KeyedRow)> = rows.into_iter().enumerate().collect();
-                    let cmp = |a: &(usize, KeyedRow), b: &(usize, KeyedRow)| {
-                        order_cmp(order_by, &a.1 .0, &b.1 .0).then(a.0.cmp(&b.0))
+                    let mut cand: Vec<usize> = if let Some(ex) = Exchange::plan(cx.ctx, rows.len())
+                    {
+                        // Every global top-K row is within its own
+                        // partition's top K, so the per-partition
+                        // selections are a sound candidate superset.
+                        ex.run(cx.ctx, |range| {
+                            let mut part: Vec<usize> = range.collect();
+                            if part.len() > k {
+                                part.select_nth_unstable_by(k - 1, |&a, &b| cmp_idx(a, b));
+                                part.truncate(k);
+                            }
+                            part
+                        })
+                        .concat()
+                    } else {
+                        (0..rows.len()).collect()
                     };
-                    indexed.select_nth_unstable_by(k - 1, cmp);
-                    indexed.truncate(k);
-                    indexed.sort_unstable_by(cmp);
-                    rows = indexed.into_iter().map(|(_, kr)| kr).collect();
+                    if cand.len() > k {
+                        cand.select_nth_unstable_by(k - 1, |&a, &b| cmp_idx(a, b));
+                        cand.truncate(k);
+                    }
+                    cand.sort_unstable_by(|&a, &b| cmp_idx(a, b));
+                    rows = take_rows(rows, &cand);
                 }
                 _ => {
-                    rows.sort_by(|(ka, _), (kb, _)| order_cmp(order_by, ka, kb));
+                    if let Some(ex) = Exchange::plan(cx.ctx, rows.len()) {
+                        // Sorted per-partition runs, k-way merged under
+                        // the same total order: exactly the stable sort.
+                        let runs: Vec<Vec<usize>> = ex.run(cx.ctx, |range| {
+                            let mut run: Vec<usize> = range.collect();
+                            run.sort_unstable_by(|&a, &b| cmp_idx(a, b));
+                            run
+                        });
+                        let order = merge_runs(runs, cmp_idx);
+                        rows = take_rows(rows, &order);
+                    } else {
+                        rows.sort_by(|(ka, _), (kb, _)| order_cmp(order_by, ka, kb));
+                    }
                 }
             }
             self.state = Some(Batches::new(rows, self.batch_rows));

@@ -312,25 +312,33 @@ fn test_db() -> Database {
     db
 }
 
-/// Lower `stmt` exactly as the driver does (interpreted mode, no
-/// pushdown) but with every operator's batch size forced to `n`, and pull
-/// it dry. The front half has no public batch-size knob, so this mirrors
+/// Lower `stmt` exactly as the driver does (no pushdown) but with every
+/// operator's batch size forced to `n`, and pull it dry. Compiled mode
+/// compiles the full predicate against the schema layout, so the
+/// compiled-only paths (greedy join plan, two-phase aggregation) engage.
+/// The front half has no public batch-size knob, so this mirrors
 /// `run_select_traced`'s lowering verbatim — if that lowering changes
 /// shape, this helper is the unit-level pin that must change with it.
 fn run_tiny(
     db: &Database,
     stmt: &setrules_sql::ast::SelectStmt,
+    mode: ExecMode,
     n: usize,
 ) -> Result<(Vec<String>, Vec<Vec<Value>>), QueryError> {
-    let ctx = QueryCtx::plain(db).with_mode(ExecMode::Interpreted);
+    let ctx = QueryCtx::plain(db).with_mode(mode);
     let mut bindings = Bindings::new();
     let mut scans = Vec::new();
+    let mut frames = Vec::new();
     for tref in &stmt.from {
         let TableSource::Named(name) = &tref.source else { panic!("named tables only") };
         let tid = ctx.db.table_id(name)?;
         let schema = ctx.db.schema(tid);
         let columns = Arc::new(schema.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
         let types = schema.columns.iter().map(|c| c.ty).collect();
+        frames.push(crate::compile::LayoutFrame {
+            name: tref.binding_name().to_string(),
+            columns: Arc::clone(&columns),
+        });
         scans.push(
             ScanExec::new(
                 tref.binding_name().to_string(),
@@ -342,8 +350,17 @@ fn run_tiny(
             .with_batch_rows(n),
         );
     }
+    let full_pred = match (mode, stmt.predicate.as_ref()) {
+        (ExecMode::Compiled, Some(p)) => {
+            let mut layout = crate::compile::Layout::new();
+            layout.push_level(frames);
+            Some(Arc::new(crate::compile::compile(p, &layout)))
+        }
+        _ => None,
+    };
     let join = JoinExec::new(scans, stmt).with_batch_rows(n);
-    let filter = FilterExec::new(join, None, stmt.predicate.as_ref(), false).with_batch_rows(n);
+    let filter =
+        FilterExec::new(join, full_pred, stmt.predicate.as_ref(), false).with_batch_rows(n);
     let mut top: Box<dyn RowSource + '_> = if is_grouped(stmt) {
         Box::new(AggregateExec::new(filter, stmt).with_batch_rows(n))
     } else {
@@ -378,9 +395,13 @@ fn pipeline_results_are_identical_at_every_batch_size() {
     ];
     for sql in queries {
         let stmt = sel_stmt(sql);
-        let baseline = run_tiny(&db, &stmt, BATCH_ROWS).unwrap();
+        let baseline = run_tiny(&db, &stmt, ExecMode::Interpreted, BATCH_ROWS).unwrap();
         for n in [1, 2, 3] {
-            assert_eq!(run_tiny(&db, &stmt, n).unwrap(), baseline, "[{sql}] batch_rows={n}");
+            assert_eq!(
+                run_tiny(&db, &stmt, ExecMode::Interpreted, n).unwrap(),
+                baseline,
+                "[{sql}] batch_rows={n}"
+            );
         }
     }
 }
@@ -391,9 +412,75 @@ fn pipeline_errors_are_identical_at_every_batch_size() {
     // Division by zero on the a=2 rows only: earlier rows already flowed
     // into batches when the error fires.
     let stmt = sel_stmt("select 10 / (a - 2) from t1 where a is not null");
-    let baseline = run_tiny(&db, &stmt, BATCH_ROWS).unwrap_err().to_string();
+    let baseline = run_tiny(&db, &stmt, ExecMode::Interpreted, BATCH_ROWS).unwrap_err().to_string();
     for n in [1, 2, 3] {
-        let err = run_tiny(&db, &stmt, n).unwrap_err().to_string();
+        let err = run_tiny(&db, &stmt, ExecMode::Interpreted, n).unwrap_err().to_string();
         assert_eq!(err, baseline, "error selection drifted at batch_rows={n}");
+    }
+}
+
+/// The two-phase aggregation (compiled mode) must agree with the one-pass
+/// aggregate (interpreted mode) row-for-row at every batch size — the
+/// partial phase accumulates per batch, so tiny batches exercise the
+/// cross-batch group merge that `BATCH_ROWS` never splits.
+#[test]
+fn two_phase_aggregation_matches_legacy_at_every_batch_size() {
+    let db = test_db();
+    let queries = [
+        "select a, count(*), sum(b), min(b), max(b), avg(b) from t1 group by a",
+        "select count(*) from t1",
+        "select count(*) from t1 where a > 99", // empty input, ungrouped
+        "select a, count(distinct b) from t1 group by a having count(*) >= 1 order by a desc",
+        "select x.a, count(*), sum(y.c) from t1 x, t2 y where x.a = y.a group by x.a",
+    ];
+    for sql in queries {
+        let stmt = sel_stmt(sql);
+        let legacy = run_tiny(&db, &stmt, ExecMode::Interpreted, BATCH_ROWS).unwrap();
+        for n in [1, 2, 3, BATCH_ROWS] {
+            assert_eq!(
+                run_tiny(&db, &stmt, ExecMode::Compiled, n).unwrap(),
+                legacy,
+                "[{sql}] batch_rows={n}"
+            );
+        }
+    }
+}
+
+/// A poisoned aggregate argument (division by zero on one group's row)
+/// selects the same error in both aggregation paths at every batch size:
+/// leaf errors are sticky per accumulator and raised lazily when the
+/// final phase reaches the aggregate.
+#[test]
+fn two_phase_error_selection_is_batch_size_invariant() {
+    let db = test_db();
+    let stmt = sel_stmt("select a, sum(10 / (b - 21)) from t1 group by a order by a");
+    let legacy = run_tiny(&db, &stmt, ExecMode::Interpreted, BATCH_ROWS).unwrap_err().to_string();
+    for n in [1, 2, 3, BATCH_ROWS] {
+        let err = run_tiny(&db, &stmt, ExecMode::Compiled, n).unwrap_err().to_string();
+        assert_eq!(err, legacy, "error selection drifted at batch_rows={n}");
+    }
+}
+
+/// The aggregate reports the path it took on the per-operator side
+/// channel: `partial-aggregate`/`final-aggregate` when the two-phase
+/// program lowers (compiled mode), the historical `aggregate` label in
+/// interpreted mode.
+#[test]
+fn aggregate_op_stats_labels_follow_the_path() {
+    let db = test_db();
+    let stmt = sel_stmt("select a, count(*) from t1 group by a");
+    for (mode, two_phase) in [(ExecMode::Compiled, true), (ExecMode::Interpreted, false)] {
+        let ops = OpStatsCell::new();
+        crate::execute_query_ext(
+            &db,
+            &NoTransitionTables,
+            &stmt,
+            &crate::ExecOpts { mode, op_stats: Some(&ops), ..Default::default() },
+        )
+        .unwrap();
+        let names = ops.operators();
+        assert_eq!(names.contains(&"partial-aggregate"), two_phase, "{mode:?}: {names:?}");
+        assert_eq!(names.contains(&"final-aggregate"), two_phase, "{mode:?}: {names:?}");
+        assert_eq!(names.contains(&"aggregate"), !two_phase, "{mode:?}: {names:?}");
     }
 }

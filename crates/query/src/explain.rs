@@ -206,6 +206,15 @@ pub fn explain_select(ctx: QueryCtx<'_>, stmt: &SelectStmt) -> String {
     if let Some(ops) = crate::exec::plan_ops(ctx, stmt) {
         let _ = writeln!(out, "plan: {}", ops.join(" -> "));
     }
+
+    // Exchange-eligibility report: the stages of the plan above that a
+    // multi-threaded run would partition onto the worker pool, from the
+    // same gates the operators use (see `crate::exec::parallel_stages`).
+    // Absent when nothing is eligible, so serial-only plans stay
+    // byte-identical to their pre-exchange form.
+    if let Some(stages) = crate::exec::parallel_stages(ctx, stmt) {
+        let _ = writeln!(out, "parallel: {}", stages.join(", "));
+    }
     out
 }
 

@@ -1,39 +1,25 @@
-//! Deterministic intra-query parallelism.
+//! Row-locality analysis and worker-side evaluation for deterministic
+//! intra-query parallelism.
 //!
-//! The read-only phases of the select pipeline — base-table scan +
-//! pushdown filtering, hash-join build/probe, and the WHERE pass over
-//! joined combinations — can run on the process-wide
-//! [`setrules_exec::WorkerPool`] when the context's thread budget
-//! ([`crate::QueryCtx::threads`]) exceeds 1. In the operator tree
-//! ([`crate::exec`]) these phases live inside `ScanExec`, `JoinExec`,
-//! and `FilterExec` respectively — parallelism is an implementation
-//! detail of those operators' open step, invisible to the operators
-//! above them.
+//! Partitioned dispatch itself lives in the exchange operator
+//! ([`crate::exec::exchange`]): every parallel phase plans an
+//! `Exchange`, which owns the gate ([`PAR_THRESHOLD`]), the contiguous
+//! partitioning on the process-wide [`setrules_exec::WorkerPool`], the
+//! partition-order merge, and the parallelism counters. This module
+//! keeps what the exchange's *callers* need to decide whether an
+//! expression may cross threads at all, and to evaluate it on a worker:
 //!
-//! # Determinism argument
-//!
-//! Work is always split into *contiguous index ranges* of the serial
-//! iteration order and the per-partition results are merged *in partition
-//! order*, so the merged output (rows, hash-bucket contents, kept
-//! combinations) is exactly what the serial left-to-right walk produces.
-//! Errors are made deterministic the same way: each worker stops at the
-//! first error in its own range, and the merge keeps only the error of
-//! the *earliest* erroring partition, together with the row/combination
-//! counters of everything that serially precedes it — so results, error
-//! selection, and row-level statistics are bit-identical to serial
-//! execution.
-//!
-//! # Serial fallback
+//! # Row-locality (the serial-fallback rule)
 //!
 //! Workers never see a [`crate::QueryCtx`]: the shared subquery memo
 //! (`RefCell`), the stats cell (`Cell`), and the plan cache are all
 //! single-threaded interior mutability. A predicate may cross threads
-//! only when it is *row-local* — compiled to slots-only form with every
-//! slot addressing the innermost scope (no correlated/outer references,
-//! no subqueries, no interpreter fallback). Anything else runs serially;
-//! when such a phase was big enough to parallelize otherwise, the
-//! executor counts a `serial_fallbacks` tick so the fallback is
-//! observable.
+//! only when it is *row-local* ([`is_rowlocal`]) — compiled to
+//! slots-only form with every slot addressing the innermost scope (no
+//! correlated/outer references, no subqueries, no interpreter fallback).
+//! Anything else runs serially; when such a phase was big enough to
+//! exchange otherwise, the caller counts a `serial_fallbacks` tick
+//! (`Exchange::serial_fallback`) so the fallback is observable.
 
 use setrules_exec::WorkerPool;
 use setrules_sql::ast::BinaryOp;
@@ -44,8 +30,9 @@ use crate::error::QueryError;
 use crate::eval;
 
 /// Minimum number of items (rows, combinations, build/probe entries) a
-/// phase must have before it is worth handing to the pool. Small inputs —
-/// including every golden paper example — stay on the exact serial path.
+/// phase must have before it is worth handing to the pool — the size half
+/// of the `Exchange::plan` gate. Small inputs — including every golden
+/// paper example — stay on the exact serial path.
 pub(crate) const PAR_THRESHOLD: usize = 64;
 
 /// Minimum partition size: below this, extra partitions cost more in
@@ -166,50 +153,6 @@ pub(crate) fn eval_rowlocal_predicate(
     Ok(eval::truth(&v)? == Some(true))
 }
 
-/// Per-partition outcome of a parallel WHERE pass.
-pub(crate) struct ChunkVerdict {
-    /// Absolute indices (into the serial iteration) that qualified, in
-    /// ascending order.
-    pub kept: Vec<usize>,
-    /// Combinations this partition evaluated (the erroring one included,
-    /// matching the serial bump-before-eval order).
-    pub combos: u64,
-    /// Combinations that qualified.
-    pub matched: u64,
-    /// First error in this partition's range, if any; evaluation of the
-    /// range stops there.
-    pub err: Option<QueryError>,
-}
-
-/// Run `judge` over `0..n` in parallel partitions and return the
-/// per-partition verdicts in partition order. Each partition stops at its
-/// first error; the caller merges in order, keeping counters and kept
-/// indices of everything serially preceding the earliest error.
-pub(crate) fn judge_chunks(
-    n: usize,
-    threads: usize,
-    judge: impl Fn(usize) -> Result<bool, QueryError> + Sync,
-) -> Vec<ChunkVerdict> {
-    pool().run_chunked(n, threads, MIN_CHUNK, |range| {
-        let mut out = ChunkVerdict { kept: Vec::new(), combos: 0, matched: 0, err: None };
-        for i in range {
-            out.combos += 1;
-            match judge(i) {
-                Ok(true) => {
-                    out.matched += 1;
-                    out.kept.push(i);
-                }
-                Ok(false) => {}
-                Err(e) => {
-                    out.err = Some(e);
-                    break;
-                }
-            }
-        }
-        out
-    })
-}
-
 // The parallel phases share plain references across threads; keep the
 // compiler honest about the types that must stay `Send + Sync`.
 #[allow(dead_code)]
@@ -291,18 +234,4 @@ mod tests {
         assert!(!is_rowlocal(&compile(&agg, &layout)));
     }
 
-    #[test]
-    fn judge_chunks_merges_in_order() {
-        let verdicts = judge_chunks(1000, 8, |i| Ok(i % 3 == 0));
-        let mut kept = Vec::new();
-        let mut combos = 0;
-        for v in verdicts {
-            assert!(v.err.is_none());
-            combos += v.combos;
-            kept.extend(v.kept);
-        }
-        assert_eq!(combos, 1000);
-        let expected: Vec<usize> = (0..1000).filter(|i| i % 3 == 0).collect();
-        assert_eq!(kept, expected);
-    }
 }

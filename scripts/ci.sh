@@ -22,6 +22,13 @@ echo "==> cargo test -q (SETRULES_THREADS=1: exact serial paths)"
 # worker pool pinned off just as it does with the default budget.
 SETRULES_THREADS=1 cargo test -q
 
+echo "==> cargo test -q (SETRULES_THREADS=8: every exchange forced on)"
+# ...and with the pool forced wide, so every exchange-eligible stage
+# (scan, join build/probe, WHERE, two-phase aggregation, distinct,
+# sort/top-K) actually partitions while the whole suite's golden outputs
+# stay bit-identical.
+SETRULES_THREADS=8 cargo test -q
+
 echo "==> cargo test -q (SETRULES_INCR=0: full re-scan condition evaluation)"
 # Incremental condition evaluation must be a pure optimisation — the whole
 # suite has to pass with the delta-driven evaluator pinned off and every
@@ -70,6 +77,16 @@ BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench parallel_exec
 test -f "$PWD/target/bench-snapshots/BENCH_parallel_exec.json" \
   || { echo "error: BENCH_parallel_exec.json not written" >&2; exit 1; }
+
+echo "==> bench smoke (exchange-operator determinism + speedup bars)"
+# In-bench asserts: byte-identical relations and row-level counters for
+# pooled vs single-threaded group-by aggregation / distinct / top-K,
+# parallel_scans > 0 on every query, and (on >=4 cores) >=2x on the
+# two-phase group-by aggregation.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench exchange
+test -f "$PWD/target/bench-snapshots/BENCH_exchange.json" \
+  || { echo "error: BENCH_exchange.json not written" >&2; exit 1; }
 
 echo "==> bench smoke (WAL group commit vs sync-per-record)"
 # In-bench asserts: byte-identical images across in-memory / group-commit /

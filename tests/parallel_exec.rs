@@ -104,7 +104,8 @@ fn adversarial_db(rng: &mut Rng) -> Database {
 
 /// A random select exercising every parallelized phase: partitioned
 /// scan + pushdown, hash-join build/probe, the parallel WHERE pass,
-/// distinct dedup, and the top-K order/limit path — with occasional
+/// two-phase group-by/having aggregation, distinct dedup, the full
+/// parallel sort, and the top-K order/limit path — with occasional
 /// poison (division by zero) so error selection is covered too.
 fn random_query(rng: &mut Rng) -> String {
     let pred = |rng: &mut Rng, alias: &str| -> String {
@@ -119,7 +120,7 @@ fn random_query(rng: &mut Rng) -> String {
             _ => format!("{alias}.b + 1.0 > 0.5"),
         }
     };
-    match rng.below(6) {
+    match rng.below(9) {
         // Single-table scan + pushdown (+ sometimes order/limit/distinct).
         0 => {
             let mut sql = format!("select x.a, x.b from t x where {}", pred(rng, "x"));
@@ -131,7 +132,13 @@ fn random_query(rng: &mut Rng) -> String {
             }
             sql
         }
-        1 => format!("select distinct x.k from t x where {}", pred(rng, "x")),
+        1 => {
+            let mut sql = format!("select distinct x.k from t x where {}", pred(rng, "x"));
+            if rng.chance(1, 2) {
+                sql.push_str(" order by x.k desc");
+            }
+            sql
+        }
         // Hash join on k, with a residual predicate over both sides.
         2 => format!(
             "select x.a, y.w from t x, u y where x.k = y.k and {}",
@@ -140,6 +147,24 @@ fn random_query(rng: &mut Rng) -> String {
         3 => "select x.a, y.w from t x, u y where x.k = y.k".to_string(),
         // Aggregates (distinct dedup inside the aggregate).
         4 => format!("select count(distinct x.k) from t x where {}", pred(rng, "x")),
+        // Two-phase group-by over adversarial keys/values, with a
+        // having filter and an order over an aggregate.
+        5 => format!(
+            "select x.k, count(*), sum(x.b), min(x.b), max(x.a), avg(x.b) \
+             from t x where {} group by x.k having count(*) >= {}",
+            pred(rng, "x"),
+            rng.below(3)
+        ),
+        6 => format!(
+            "select x.a, count(distinct x.s) from t x where {} \
+             group by x.a order by count(distinct x.s) desc, x.a limit {}",
+            pred(rng, "x"),
+            1 + rng.below(6)
+        ),
+        // Grouped join: the aggregate input crosses the hash join.
+        7 => "select x.k, count(*), sum(y.w) from t x, u y where x.k = y.k \
+              group by x.k order by x.k"
+            .to_string(),
         // Correlated subquery: must take the serial fallback, identically.
         _ => format!(
             "select count(*) from t x where exists (select * from u where u.k = x.k) and {}",
@@ -262,6 +287,31 @@ fn engine_parallelism_knob_mirrors_stats_and_emits_event() {
         .recent_events()
         .iter()
         .any(|e| matches!(e, EngineEvent::ParallelScan { .. })));
+}
+
+/// A grouped aggregation big enough to exchange engages the pool on its
+/// partial phase (and the sort on its run merge), with byte-identical
+/// output to the pinned-serial engine.
+#[test]
+fn group_by_aggregation_engages_the_pool() {
+    let mut par = big_engine(Some(4));
+    let mut serial = big_engine(Some(1));
+    let sql = "select k, count(*), sum(v) from big group by k order by k limit 5";
+    let a = par.transaction(sql).unwrap();
+    let b = serial.transaction(sql).unwrap();
+    match (a, b) {
+        (
+            setrules_core::TxnOutcome::Committed { output: Some(x), .. },
+            setrules_core::TxnOutcome::Committed { output: Some(y), .. },
+        ) => assert_eq!(x, y),
+        other => panic!("both transactions must commit with output: {other:?}"),
+    }
+    assert!(par.stats().parallel_scans > 0, "{:?}", par.stats());
+    assert!(par
+        .recent_events()
+        .iter()
+        .any(|e| matches!(e, EngineEvent::ParallelScan { partitions, .. } if *partitions > 1)));
+    assert_eq!(serial.stats().parallel_scans, 0);
 }
 
 /// `SETRULES_THREADS` steers engines whose config leaves parallelism

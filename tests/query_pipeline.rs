@@ -199,6 +199,9 @@ fn check_op_stats(ops: &OpStatsCell, rel: &Relation, grouped: bool, sql: &str) {
         "filter",
         "project",
         "aggregate",
+        "partial-aggregate",
+        "final-aggregate",
+        "exchange",
         "distinct",
         "sort",
         "topk",
@@ -227,9 +230,20 @@ fn check_op_stats(ops: &OpStatsCell, rel: &Relation, grouped: bool, sql: &str) {
     assert_eq!(ops.get("filter").rows_in, join_out, "[{sql}] filter input != join output");
     // The projection stage consumes the filter's survivors and produces
     // the relation (the generator adds no distinct/sort/limit tail).
-    let top = if grouped { "aggregate" } else { "project" };
-    assert_eq!(ops.get(top).rows_in, ops.get("filter").rows_out, "[{sql}] {top} input");
-    assert_eq!(ops.get(top).rows_out, rel.rows.len() as u64, "[{sql}] {top} output");
+    // Grouped statements aggregate either in one pass ("aggregate": the
+    // interpreter and ineligible shapes) or in two phases
+    // ("partial-aggregate" consumes, "final-aggregate" emits); exactly
+    // one label set is populated per run, so the sums conserve flow in
+    // both modes.
+    if grouped {
+        let agg_in = ops.get("aggregate").rows_in + ops.get("partial-aggregate").rows_in;
+        let agg_out = ops.get("aggregate").rows_out + ops.get("final-aggregate").rows_out;
+        assert_eq!(agg_in, ops.get("filter").rows_out, "[{sql}] aggregate input");
+        assert_eq!(agg_out, rel.rows.len() as u64, "[{sql}] aggregate output");
+    } else {
+        assert_eq!(ops.get("project").rows_in, ops.get("filter").rows_out, "[{sql}] project input");
+        assert_eq!(ops.get("project").rows_out, rel.rows.len() as u64, "[{sql}] project output");
+    }
 }
 
 /// An error-producing predicate: division/modulo by zero, int/text type
@@ -391,7 +405,8 @@ fn golden_explain_example_3_1_action_shape() {
     assert_eq!(
         sys.explain("select * from emp where dept_no in (1, 2)").unwrap(),
         "emp: index multi-probe on emp.dept_no in (1, 2)\n\
-         plan: index-scan(emp) -> filter -> project\n"
+         plan: index-scan(emp) -> filter -> project\n\
+         parallel: where\n"
     );
 }
 
@@ -414,7 +429,7 @@ fn golden_explain_example_4_1_action_shape() {
     // values, keys on the equality probe.
     assert_eq!(
         sys.explain("select dept_no from dept where dept_no = 1").unwrap(),
-        "dept: seq scan (2 rows)\nplan: seq-scan(dept) -> filter -> project\n"
+        "dept: seq scan (2 rows)\nplan: seq-scan(dept) -> filter -> project\nparallel: where\n"
     );
 }
 
@@ -436,7 +451,8 @@ fn golden_explain_three_way_join_order() {
          proj: seq scan (1 rows)\n\
          join order: proj (1 rows) -> dept (hash on dept.dept_no = proj.dept_no, 2 rows) \
          -> emp (hash on emp.dept_no = dept.dept_no, 3 rows)\n\
-         plan: seq-scan(emp) -> seq-scan(dept) -> seq-scan(proj) -> hash-join -> filter -> project\n"
+         plan: seq-scan(emp) -> seq-scan(dept) -> seq-scan(proj) -> hash-join -> filter -> project\n\
+         parallel: join, where\n"
     );
     // Disconnected item: the planner attaches it as a cross step, last.
     let plan = sys.explain("select name from emp, dept, proj where emp.dept_no = dept.dept_no").unwrap();
@@ -457,8 +473,19 @@ fn every_explain_line_maps_to_an_operator_or_access_choice() {
 
     // Exact (parameterless) operator names, and the parameterized ones
     // that print as `base(arg)` — together, the executor vocabulary.
-    const EXACT_OPS: &[&str] =
-        &["hash-join", "nested-loop", "filter", "project", "aggregate", "distinct", "sort", "limit"];
+    const EXACT_OPS: &[&str] = &[
+        "hash-join",
+        "nested-loop",
+        "filter",
+        "project",
+        "aggregate",
+        "partial-aggregate",
+        "exchange",
+        "final-aggregate",
+        "distinct",
+        "sort",
+        "limit",
+    ];
     const PARAM_OPS: &[&str] = &[
         "seq-scan",
         "index-scan",
@@ -477,7 +504,10 @@ fn every_explain_line_maps_to_an_operator_or_access_choice() {
         "select name from emp order by salary",                          // index-order-scan
         "select min(salary) from emp",                                   // index-minmax
         "select distinct dept_no from emp",                              // distinct
-        "select dept_no, count(*) from emp group by dept_no",            // aggregate
+        "select dept_no, count(*) from emp group by dept_no",            // two-phase aggregate
+        // A subquery beside the aggregate is not row-local, so this
+        // grouped statement keeps the one-pass aggregate.
+        "select count(*) from emp having count(*) > (select count(*) from dept)",
         "select name from emp, dept where emp.dept_no = dept.dept_no",   // hash-join
         "select name from emp, dept",                                    // nested-loop
         "select * from inserted emp",                                    // transition-scan
@@ -505,8 +535,10 @@ fn every_explain_line_maps_to_an_operator_or_access_choice() {
             if line.starts_with("order by: elided via ordered index on ")
                 || (line.starts_with("limit: top-") && line.contains(" selection eligible"))
                 || line.starts_with("join order: ")
+                || line.starts_with("parallel: ")
             {
-                continue; // lowering-choice reports (elision / top-K / join plan)
+                continue; // lowering-choice reports (elision / top-K / join
+                          // plan / exchange eligibility)
             }
             let Some(ops) = line.strip_prefix("plan: ") else {
                 panic!("[{sql}] unmapped explain line: {line:?}");
