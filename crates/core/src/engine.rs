@@ -14,7 +14,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-use setrules_query::incremental::{analyze, IncMemo, IncrState};
+use setrules_query::incremental::{analyze, CondVerdict, IncMemo, IncrState};
 use setrules_query::{
     compile_cached, eval_compiled_predicate, execute_op_ext, execute_query_ext, ExecMode,
     ExecOpts, ExecStats, NoTransitionTables, OpEffect, PlanCache, QueryError, Relation, StatsCell,
@@ -30,7 +30,7 @@ use crate::durability::{wal_log_effect, WalState};
 use crate::effect::TransitionEffect;
 use crate::error::RuleError;
 use crate::events::{EngineEvent, EventBus, EventSink};
-use crate::incremental::{rebuild_memo, repair_memo};
+use crate::incremental::{refresh_term, DeltaSource};
 use crate::external::{ActionCtx, ExternalAction};
 use crate::priority::PriorityGraph;
 use crate::rule::{CompiledAction, Rule, RuleId};
@@ -244,13 +244,33 @@ struct TxnState {
     last_output: Option<Relation>,
     /// Cumulative counters at transaction begin, for outcome deltas.
     base: TxnStats,
-    /// Per-rule `[I, D, U]` effects composed since the rule's condition
-    /// state was last brought up to date, parallel to `rule_infos`.
-    /// `Some(delta)` means the rule's memo (in its plan cache) is live
-    /// and repairable; `None` means the chain is broken (fresh
-    /// transaction, window reset) and the next consideration must
-    /// rebuild from the full window.
-    incr_deltas: Vec<Option<TransitionEffect>>,
+    /// Transaction-wide incremental delta log: one projected `[I, D, U]`
+    /// effect per transition, appended at the `apply_transition` choke
+    /// point. A rule's memo at cursor `seq` repairs from the composition
+    /// of `delta_log[seq..]`; that composition is rule-independent, so it
+    /// is shared through `compose_cache`.
+    delta_log: Vec<TransitionEffect>,
+    /// suffix start → composed effect; cleared whenever `delta_log`
+    /// grows. A hit means another rule at the same cursor already folded
+    /// the suffix this round (`incr_shared_hits`).
+    compose_cache: HashMap<usize, Arc<TransitionEffect>>,
+    /// Per-rule window generation, parallel to `rule_infos`. Window
+    /// restarts (acting rule, `SinceLastTriggering` re-trigger, footnote-8
+    /// `SinceLastConsidered` clear) bump it, invalidating that rule's
+    /// memo cursors without touching the shared log.
+    window_gens: Vec<u64>,
+    /// Monotone transaction id (from `RuleSystem::incr_epoch`): cursors
+    /// from a previous transaction never validate against this one.
+    epoch: u64,
+}
+
+/// What [`RuleSystem::try_incremental`] produced for one consideration.
+enum IncOutcome {
+    /// Authoritative truth value from the memoized term state.
+    Answer { truth: bool, mode: &'static str, rows: u64, shared: bool },
+    /// Not incrementalizable (static shape fallback or dynamic degrade);
+    /// the label keys the `incr_fallback_reasons` breakdown.
+    Fallback(&'static str),
 }
 
 /// A relational database with a set-oriented production rules facility —
@@ -299,6 +319,9 @@ pub struct RuleSystem {
     /// Incremental condition evaluation, resolved once at open from
     /// `EngineConfig::incremental` / `SETRULES_INCR`.
     incr_enabled: bool,
+    /// Monotone transaction counter stamped into each `TxnState::epoch`,
+    /// so memo cursors from one transaction never validate in the next.
+    incr_epoch: u64,
     /// Event fan-out: the always-on ring plus attached sinks.
     pub(crate) events: EventBus,
     /// Write-ahead-log state; `None` unless configured durable.
@@ -349,6 +372,7 @@ impl RuleSystem {
             stats: EngineStats::default(),
             qstats: StatsCell::new(),
             incr_enabled,
+            incr_epoch: 0,
             events,
             wal: None,
         };
@@ -808,6 +832,7 @@ impl RuleSystem {
     pub fn begin(&mut self) -> Result<(), RuleError> {
         self.require_no_txn()?;
         self.events.emit(EngineEvent::TxnBegin);
+        self.incr_epoch += 1;
         self.txn = Some(TxnState {
             mark: self.db.mark(),
             rule_infos: vec![TransInfo::new(); self.rules.len()],
@@ -816,7 +841,10 @@ impl RuleSystem {
             transitions_used: 0,
             last_output: None,
             base: self.full_stats(),
-            incr_deltas: vec![None; self.rules.len()],
+            delta_log: Vec::new(),
+            compose_cache: HashMap::new(),
+            window_gens: vec![0; self.rules.len()],
+            epoch: self.incr_epoch,
         });
         if let Err(e) = self.wal_begin() {
             self.note_statement_failure(&e);
@@ -1118,6 +1146,7 @@ impl RuleSystem {
     pub fn process_deferred(&mut self) -> Result<TxnOutcome, RuleError> {
         self.require_no_txn()?;
         self.events.emit(EngineEvent::TxnBegin);
+        self.incr_epoch += 1;
         self.txn = Some(TxnState {
             mark: self.db.mark(),
             rule_infos: vec![TransInfo::new(); self.rules.len()],
@@ -1126,7 +1155,10 @@ impl RuleSystem {
             transitions_used: 0,
             last_output: None,
             base: self.full_stats(),
-            incr_deltas: vec![None; self.rules.len()],
+            delta_log: Vec::new(),
+            compose_cache: HashMap::new(),
+            window_gens: vec![0; self.rules.len()],
+            epoch: self.incr_epoch,
         });
         if let Err(e) = self.wal_begin() {
             self.note_statement_failure(&e);
@@ -1207,8 +1239,10 @@ impl RuleSystem {
 
     /// Per-rule incremental-evaluation status: for each live rule, either
     /// the materialized term state the engine maintains for its condition
-    /// or the reason it falls back to full re-scan. A debugging aid (the
-    /// REPL's `\incr`); runs the same analysis the engine caches.
+    /// (with memo-size accounting) or the reason it falls back to full
+    /// re-scan, plus the cumulative fallback breakdown by reason. A
+    /// debugging aid (the REPL's `\incr`); prefers the verdict the engine
+    /// cached at first consideration and runs the same analysis otherwise.
     pub fn incremental_report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!(
@@ -1220,11 +1254,48 @@ impl RuleSystem {
                 let _ = writeln!(out, "{}: no condition (always fires)", rule.name);
                 continue;
             };
-            let licensed = |kind: TransitionKind, table: &str, column: Option<&str>| {
-                self.rule_licenses(rule, kind, table, column)
+            // Prefer the engine's cached verdict + live memo; fall back
+            // to a fresh analysis for rules not yet considered.
+            let cached = self.rule_plans.get(&rule.id).and_then(|cache| {
+                let state = cache.incr_state();
+                state.as_ref().map(|st| {
+                    let desc = match &st.plan {
+                        Ok(plan) => format!(
+                            "incremental ({} term{})\n{}",
+                            plan.terms.len(),
+                            if plan.terms.len() == 1 { "" } else { "s" },
+                            plan.describe(),
+                        ),
+                        Err(reason) => {
+                            format!("full re-scan [{}] ({reason})\n", reason.label())
+                        }
+                    };
+                    let memo = st
+                        .memo
+                        .as_ref()
+                        .map(|m| (m.entries(), m.approx_bytes()));
+                    (desc, memo)
+                })
+            });
+            let (desc, memo) = match cached {
+                Some(v) => v,
+                None => {
+                    let licensed = |kind: TransitionKind, table: &str, column: Option<&str>| {
+                        self.rule_licenses(rule, kind, table, column)
+                    };
+                    (setrules_query::explain_condition(&self.db, cond, &licensed), None)
+                }
             };
-            let desc = setrules_query::explain_condition(&self.db, cond, &licensed);
             let _ = write!(out, "{}: {}", rule.name, desc);
+            if let Some((entries, bytes)) = memo {
+                let _ = writeln!(out, "  memo: {entries} entries (~{bytes} bytes)");
+            }
+        }
+        if !self.stats.incr_fallback_reasons.is_empty() {
+            let _ = writeln!(out, "fallbacks by reason:");
+            for (label, n) in &self.stats.incr_fallback_reasons {
+                let _ = writeln!(out, "  {label}: {n}");
+            }
         }
         out
     }
@@ -1316,10 +1387,12 @@ impl RuleSystem {
                 if self.config.retrigger == RetriggerSemantics::SinceLastConsidered {
                     // Footnote 8: the window restarts at consideration —
                     // the memo (built against the old window) is stale, so
-                    // break the delta chain too.
+                    // bump the window generation to invalidate its cursors.
+                    // The shared delta log is untouched: other rules'
+                    // windows are unbroken and still repair from it.
                     let txn = self.txn.as_mut().expect("open");
                     txn.rule_infos[rid.0] = TransInfo::new();
-                    txn.incr_deltas[rid.0] = None;
+                    txn.window_gens[rid.0] += 1;
                     triggers.invalidate(rid);
                 }
                 continue;
@@ -1402,22 +1475,17 @@ impl RuleSystem {
     /// window is the composition.
     fn apply_transition(&mut self, tinfo: &TransInfo, acting: Option<RuleId>) {
         let retrigger = self.config.retrigger;
-        // Project this transition's pure `[I, D, U]` effect once for all
-        // rules that carry a live incremental delta; rules whose window
-        // restarts below get their delta chain broken instead (`None` ⇒
-        // next consideration rebuilds the memo from the fresh window).
-        let eff = if self
-            .txn
-            .as_ref()
-            .expect("transaction open")
-            .incr_deltas
-            .iter()
-            .any(Option::is_some)
-        {
-            Some(tinfo.effect(|t| self.db.schema(t).arity()))
-        } else {
-            None
-        };
+        // Append this transition's pure `[I, D, U]` effect to the shared
+        // delta log exactly once; every live memo cursor repairs from the
+        // composed suffix at its own position. Rules whose window restarts
+        // below get their generation bumped instead (stale cursors ⇒ next
+        // consideration rebuilds from the fresh window).
+        if self.incremental_enabled() {
+            let eff = tinfo.effect(|t| self.db.schema(t).arity());
+            let txn = self.txn.as_mut().expect("transaction open");
+            txn.delta_log.push(eff);
+            txn.compose_cache.clear();
+        }
         let txn = self.txn.as_mut().expect("transaction open");
         for rule in &self.rules {
             // Fig. 1 emits trans-info maintenance only for rules this
@@ -1427,20 +1495,17 @@ impl RuleSystem {
             let slot = &mut txn.rule_infos[rule.id.0];
             if Some(rule.id) == acting {
                 *slot = tinfo.clone();
-                txn.incr_deltas[rule.id.0] = None;
+                txn.window_gens[rule.id.0] += 1;
                 self.events.emit(EngineEvent::TransInfoInit { rule: rule.name.clone() });
             } else if retrigger == RetriggerSemantics::SinceLastTriggering && triggered_by_this {
                 // [WF89b]: this transition alone re-triggers the rule, so
                 // its window restarts here.
                 *slot = tinfo.clone();
-                txn.incr_deltas[rule.id.0] = None;
+                txn.window_gens[rule.id.0] += 1;
                 self.events.emit(EngineEvent::TransInfoInit { rule: rule.name.clone() });
             } else {
                 let was_empty = slot.is_empty();
                 slot.compose(tinfo);
-                if let Some(d) = txn.incr_deltas[rule.id.0].as_mut() {
-                    *d = d.compose(eff.as_ref().expect("effect projected above"));
-                }
                 if triggered_by_this {
                     self.events.emit(if was_empty {
                         EngineEvent::TransInfoInit { rule: rule.name.clone() }
@@ -1464,26 +1529,33 @@ impl RuleSystem {
             && self.rules[rid.0].condition.is_some()
         {
             match self.try_incremental(rid)? {
-                Some((truth, mode, rows)) => {
+                IncOutcome::Answer { truth, mode, rows, shared } => {
                     if mode == "repair" {
                         self.stats.incr_hits += 1;
                     } else {
                         self.stats.incr_rebuilds += 1;
                     }
                     self.stats.incr_delta_rows += rows;
+                    if shared {
+                        self.stats.incr_shared_hits += 1;
+                    }
                     self.events.emit(EngineEvent::IncrementalEval {
                         rule: name.to_string(),
                         mode: mode.to_string(),
                         delta_rows: rows,
+                        shared,
                     });
                     return Ok(truth);
                 }
-                None => {
+                IncOutcome::Fallback(label) => {
                     self.stats.incr_fallbacks += 1;
+                    *self.stats.incr_fallback_reasons.entry(label.to_string()).or_insert(0) +=
+                        1;
                     self.events.emit(EngineEvent::IncrementalEval {
                         rule: name.to_string(),
                         mode: "fallback".to_string(),
                         delta_rows: 0,
+                        shared: false,
                     });
                 }
             }
@@ -1491,61 +1563,65 @@ impl RuleSystem {
         self.check_condition(rid)
     }
 
-    /// The incremental path. `Ok(None)` means the condition is not
-    /// incrementalizable (analysis fallback) and the caller must run the
-    /// full evaluator. `Ok(Some((truth, mode, rows)))` is an authoritative
-    /// answer: `mode` is `"repair"` when the delta chain was live and
-    /// `"rebuild"` when the memo was (re)populated from the whole window;
-    /// `rows` counts probed rows either way.
-    fn try_incremental(
-        &mut self,
-        rid: RuleId,
-    ) -> Result<Option<(bool, &'static str, u64)>, RuleError> {
-        let (truth, mode, rows) = {
-            let rule = &self.rules[rid.0];
-            let cond = rule.condition.as_ref().expect("caller checked");
-            let Some(cache) = self.rule_plans.get(&rid) else {
-                return Ok(None);
-            };
-            let mut state = cache.incr_state();
-            if state.is_none() {
-                // First consideration since the cache was (re)created:
-                // analyze once; the verdict is cached alongside the plans
-                // and dies with them on DDL.
-                let licensed = |kind: TransitionKind, table: &str, column: Option<&str>| {
-                    self.rule_licenses(rule, kind, table, column)
-                };
-                let plan = analyze(&self.db, cond, &licensed).map(Arc::new);
-                *state = Some(IncrState { plan, memo: None });
-            }
-            let st = state.as_mut().expect("just filled");
-            let plan = match &st.plan {
-                Ok(p) => Arc::clone(p),
-                Err(_) => return Ok(None),
-            };
-            let txn = self.txn.as_ref().expect("transaction open");
-            let window = &txn.rule_infos[rid.0];
-            let (mode, rows) = match (&txn.incr_deltas[rid.0], st.memo.as_mut()) {
-                (Some(delta), Some(memo)) => {
-                    ("repair", repair_memo(&self.db, &plan, window, delta, memo)?)
-                }
-                _ => {
-                    let mut memo = st.memo.take().unwrap_or_else(|| IncMemo::for_plan(&plan));
-                    let rows = rebuild_memo(&self.db, &plan, window, &mut memo)?;
-                    st.memo = Some(memo);
-                    ("rebuild", rows)
-                }
-            };
-            let truth = plan.truth(st.memo.as_ref().expect("memo present"))?;
-            (truth, mode, rows)
+    /// The incremental path. `Fallback(label)` means the condition is not
+    /// incrementalizable — either at analysis time (the cached
+    /// [`FallbackReason`]'s label) or at this evaluation (a dynamic
+    /// degrade such as the sum overflow guard) — and the caller must run
+    /// the full evaluator. `Answer` is authoritative: `mode` is
+    /// `"repair"` when every term patched from the delta log and
+    /// `"rebuild"` when any memo was (re)populated from the whole window;
+    /// `rows` counts probed rows either way, and `shared` reports whether
+    /// any composed delta suffix came from another rule's fold this
+    /// round.
+    ///
+    /// [`FallbackReason`]: setrules_query::incremental::FallbackReason
+    fn try_incremental(&mut self, rid: RuleId) -> Result<IncOutcome, RuleError> {
+        let rule = &self.rules[rid.0];
+        let cond = rule.condition.as_ref().expect("caller checked");
+        let Some(cache) = self.rule_plans.get(&rid) else {
+            return Ok(IncOutcome::Fallback("no-plan-cache"));
         };
-        // The memo now reflects the window as of this consideration:
-        // restart the delta chain so the next consideration repairs from
-        // here.
-        self.txn.as_mut().expect("transaction open").incr_deltas[rid.0] =
-            Some(TransitionEffect::new());
-        self.qstats.bump(|s| s.incr_probe_rows += rows);
-        Ok(Some((truth, mode, rows)))
+        let mut state = cache.incr_state();
+        if state.is_none() {
+            // First consideration since the cache was (re)created:
+            // analyze once; the verdict is cached alongside the plans
+            // and dies with them on DDL.
+            let licensed = |kind: TransitionKind, table: &str, column: Option<&str>| {
+                self.rule_licenses(rule, kind, table, column)
+            };
+            let plan = analyze(&self.db, cond, &licensed).map(Arc::new);
+            *state = Some(IncrState { plan, memo: None });
+        }
+        let st = state.as_mut().expect("just filled");
+        let plan = match &st.plan {
+            Ok(p) => Arc::clone(p),
+            Err(reason) => return Ok(IncOutcome::Fallback(reason.label())),
+        };
+        let txn = self.txn.as_mut().expect("transaction open");
+        let window = &txn.rule_infos[rid.0];
+        let mut src = DeltaSource {
+            log: &txn.delta_log,
+            epoch: txn.epoch,
+            wgen: txn.window_gens[rid.0],
+            cache: &mut txn.compose_cache,
+        };
+        let db = &self.db;
+        let memo = st.memo.get_or_insert_with(|| IncMemo::for_plan(&plan));
+        let outcome = plan.evaluate(memo, &mut |_, term, tstate| {
+            refresh_term(db, term, window, &mut src, tstate)
+        })?;
+        self.qstats.bump(|s| s.incr_probe_rows += outcome.rows);
+        match outcome.verdict {
+            CondVerdict::Truth(truth) => Ok(IncOutcome::Answer {
+                truth,
+                mode: if outcome.rebuilt > 0 { "rebuild" } else { "repair" },
+                rows: outcome.rows,
+                shared: outcome.shared > 0,
+            }),
+            // A dynamic degrade (e.g. the sum overflow guard): the memo
+            // stays live — only this evaluation answers via full scan.
+            CondVerdict::Degrade(label) => Ok(IncOutcome::Fallback(label)),
+        }
     }
 
     fn check_condition(&self, rid: RuleId) -> Result<bool, RuleError> {

@@ -75,6 +75,10 @@ pub enum EngineEvent {
         mode: String,
         /// Rows probed by the repair/rebuild (0 for fallbacks).
         delta_rows: u64,
+        /// Whether any term's composed delta suffix was served from the
+        /// shared per-transaction compose cache (another rule already
+        /// folded it this round).
+        shared: bool,
     },
     /// The considered rule's condition evaluated to not-true.
     RuleConditionFalse {
@@ -247,10 +251,11 @@ impl EngineEvent {
                 put("rule", Json::Str(rule.clone()));
                 put("hit", Json::Bool(*hit));
             }
-            EngineEvent::IncrementalEval { rule, mode, delta_rows } => {
+            EngineEvent::IncrementalEval { rule, mode, delta_rows, shared } => {
                 put("rule", Json::Str(rule.clone()));
                 put("mode", Json::Str(mode.clone()));
                 put("delta_rows", Json::Int(*delta_rows as i64));
+                put("shared", Json::Bool(*shared));
             }
             EngineEvent::LoopSafeguardAbort { limit } => {
                 put("limit", Json::Int(*limit as i64));
@@ -301,8 +306,12 @@ impl fmt::Display for EngineEvent {
             EngineEvent::PlanCache { rule, hit: false } => {
                 write!(f, "plan cache miss for '{rule}'")
             }
-            EngineEvent::IncrementalEval { rule, mode, delta_rows } => {
-                write!(f, "incremental eval ({mode}) for '{rule}' ({delta_rows} delta rows)")
+            EngineEvent::IncrementalEval { rule, mode, delta_rows, shared } => {
+                write!(
+                    f,
+                    "incremental eval ({mode}) for '{rule}' ({delta_rows} delta rows{})",
+                    if *shared { ", shared delta" } else { "" }
+                )
             }
             EngineEvent::RuleConditionFalse { rule } => {
                 write!(f, "rule '{rule}' condition false")

@@ -110,6 +110,13 @@ pub struct EngineStats {
     pub incr_fallbacks: u64,
     /// Rows probed by incremental repairs and rebuilds combined.
     pub incr_delta_rows: u64,
+    /// Incremental considerations whose composed delta suffix was served
+    /// from the shared per-transaction compose cache (another rule at the
+    /// same cursor already folded it this round).
+    pub incr_shared_hits: u64,
+    /// `incr_fallbacks` broken down by `FallbackReason` label (plus
+    /// dynamic degrade labels such as the sum overflow guard).
+    pub incr_fallback_reasons: BTreeMap<String, u64>,
     /// Storage faults deliberately injected by an armed
     /// `setrules_storage::FaultInjector` plan.
     pub faults_injected: u64,
@@ -166,6 +173,14 @@ impl EngineStats {
             incr_rebuilds: self.incr_rebuilds + other.incr_rebuilds,
             incr_fallbacks: self.incr_fallbacks + other.incr_fallbacks,
             incr_delta_rows: self.incr_delta_rows + other.incr_delta_rows,
+            incr_shared_hits: self.incr_shared_hits + other.incr_shared_hits,
+            incr_fallback_reasons: {
+                let mut m = self.incr_fallback_reasons.clone();
+                for (label, n) in &other.incr_fallback_reasons {
+                    *m.entry(label.clone()).or_insert(0) += n;
+                }
+                m
+            },
             faults_injected: self.faults_injected + other.faults_injected,
             stmt_rollbacks: self.stmt_rollbacks + other.stmt_rollbacks,
             parallel_scans: self.parallel_scans + other.parallel_scans,
@@ -205,6 +220,15 @@ impl EngineStats {
             incr_rebuilds: self.incr_rebuilds - earlier.incr_rebuilds,
             incr_fallbacks: self.incr_fallbacks - earlier.incr_fallbacks,
             incr_delta_rows: self.incr_delta_rows - earlier.incr_delta_rows,
+            incr_shared_hits: self.incr_shared_hits - earlier.incr_shared_hits,
+            incr_fallback_reasons: self
+                .incr_fallback_reasons
+                .iter()
+                .filter_map(|(label, n)| {
+                    let d = n - earlier.incr_fallback_reasons.get(label).copied().unwrap_or(0);
+                    (d != 0).then(|| (label.clone(), d))
+                })
+                .collect(),
             faults_injected: self.faults_injected - earlier.faults_injected,
             stmt_rollbacks: self.stmt_rollbacks - earlier.stmt_rollbacks,
             parallel_scans: self.parallel_scans - earlier.parallel_scans,
@@ -237,6 +261,16 @@ impl EngineStats {
             ("incr_rebuilds", Json::Int(self.incr_rebuilds as i64)),
             ("incr_fallbacks", Json::Int(self.incr_fallbacks as i64)),
             ("incr_delta_rows", Json::Int(self.incr_delta_rows as i64)),
+            ("incr_shared_hits", Json::Int(self.incr_shared_hits as i64)),
+            (
+                "incr_fallback_reasons",
+                Json::Object(
+                    self.incr_fallback_reasons
+                        .iter()
+                        .map(|(label, n)| (label.clone(), Json::Int(*n as i64)))
+                        .collect(),
+                ),
+            ),
             ("faults_injected", Json::Int(self.faults_injected as i64)),
             ("stmt_rollbacks", Json::Int(self.stmt_rollbacks as i64)),
             ("parallel_scans", Json::Int(self.parallel_scans as i64)),

@@ -466,6 +466,14 @@ pub(crate) fn fold_aggregate(
             if vals.is_empty() {
                 return Ok(Value::Null);
             }
+            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                // Exact integer sum, one division: the result cannot
+                // depend on encounter order (an order-sensitive f64
+                // running sum would make incremental accumulator repair
+                // unsound — see `crate::incremental`).
+                let sum: i128 = vals.iter().map(|v| v.as_i64().expect("all ints") as i128).sum();
+                return Ok(Value::Float(sum as f64 / vals.len() as f64));
+            }
             let mut acc = 0.0;
             for v in &vals {
                 acc += v

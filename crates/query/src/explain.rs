@@ -48,7 +48,7 @@ pub fn explain_condition(
             let n = plan.terms.len();
             format!("incremental ({n} term{})\n{}", if n == 1 { "" } else { "s" }, plan.describe())
         }
-        Err(reason) => format!("full re-scan ({reason})\n"),
+        Err(reason) => format!("full re-scan [{}] ({reason})\n", reason.label()),
     }
 }
 

@@ -1,66 +1,105 @@
-//! TREAT-style incremental rule-condition analysis (ISSUE 7 tentpole).
+//! TREAT-style incremental rule-condition analysis (ISSUE 7 tentpole,
+//! widened by ISSUE 10).
 //!
 //! A rule condition is re-evaluated at every consideration, but between
 //! two considerations the engine already knows *exactly* what changed:
 //! the `[I, D, U]` transition effect composed per Definition 2.1. This
 //! module decides, once per rule (cached in the rule's [`PlanCache`]),
-//! whether the condition can be evaluated *incrementally* — by keeping a
-//! materialized match set per condition term and repairing it from the
-//! delta — instead of re-scanning the transition tables.
+//! whether the condition can be evaluated *incrementally* — by keeping
+//! materialized per-term state and repairing it from the delta — instead
+//! of re-scanning the transition tables.
 //!
-//! # Incrementalizable shape
+//! # Incrementalizable shapes
 //!
 //! The analyzer accepts boolean combinations (`and` / `or` / `not`) of
-//! two term forms over a **single transition-table** `from` item:
+//! three term families:
 //!
-//! * `[not] exists (select <simple projection> from <transition t> [where P])`
-//! * `(select count(*) from <transition t> [where P]) <cmp> <numeric literal>`
-//!   (either operand order)
+//! * **Match sets** — `[not] exists (select <simple projection> from
+//!   <transition t> [where P])` and `(select count(*) from <transition t>
+//!   [where P]) <cmp> <numeric literal>` (either operand order), memoized
+//!   as the set of window handles whose row satisfies `P`.
+//! * **Join memories** (Rete-beta style) — the same two truth forms over
+//!   a subquery joining *two* licensed transition views on exactly one
+//!   typed non-float equality key (`a.k = b.k`), memoized as per-side
+//!   keyed row memos plus the set of predicate-satisfying pairs. Each
+//!   side is repaired from the delta and new candidate pairs are probed
+//!   against the *opposite* memo — never a rescan of either window.
+//! * **Aggregate accumulators** — `(select sum|avg|min|max(c) from
+//!   <transition t> [where P]) <cmp> <numeric literal>` over an *integer*
+//!   column: `sum`/`avg` as a running `(Σ, count)` pair (plus positive /
+//!   negative partial sums guarding `sum`'s overflow semantics),
+//!   `min`/`max` as an ordered multiset so deleting the extremum repairs
+//!   without a rescan. Float columns are excluded (float addition is
+//!   non-associative, so a patched sum could differ bit-for-bit from the
+//!   executor's fold) under [`FallbackReason::FloatAccumulator`].
 //!
-//! where `P` compiles to *row-local* form against the transition table's
-//! single frame: slots-only, innermost-scope references, no subqueries,
-//! no interpreter fallback — the same analysis the parallel executor uses
-//! to prove a predicate safe to evaluate from one row alone. Row-local
-//! `P` is what makes delta repair sound: a tuple's membership in the term
-//! depends only on that tuple's own (old or current) value, so only
-//! tuples named by the delta can change membership.
+//! `P` must compile to *row-local* form against the subquery's frames:
+//! slots-only, innermost-scope references, no subqueries, no interpreter
+//! fallback — the same analysis the parallel executor uses to prove a
+//! predicate safe to evaluate from one row alone. Row-local `P` is what
+//! makes delta repair sound: membership depends only on the named row(s),
+//! so only tuples named by the delta can change term state.
 //!
-//! Everything else — stored-table subqueries, joins, correlated or
-//! interpreted predicates, grouped/ordered/limited subqueries, `selected`
-//! windows, unlicensed references — falls back to full evaluation with a
-//! [`FallbackReason`] naming why (surfaced as `incr_fallbacks` and in the
-//! REPL's `\incr` listing). Fallback **is** the semantics: the
-//! incremental path must be observably identical to re-scan, so anything
-//! it cannot reproduce bit-for-bit (including errors) is simply not
+//! Everything else — stored-table subqueries, non-equi or 3+-way joins
+//! ([`FallbackReason::JoinShape`]), correlated or interpreted predicates,
+//! grouped/ordered/limited subqueries, `selected` windows, unlicensed
+//! references — falls back to full evaluation with a [`FallbackReason`]
+//! naming why (surfaced per-reason in `\incr` and `incr_fallback_reasons`
+//! stats). Fallback **is** the semantics: the incremental path must be
+//! observably identical to re-scan, so anything it cannot reproduce
+//! bit-for-bit (including errors and their order) is simply not
 //! incrementalized.
 //!
-//! # Term truth
+//! # Mirroring the executor exactly
 //!
-//! Term truth values are always two-valued (`exists` never yields NULL;
-//! `count(*)` is never NULL and numeric comparison against a non-NULL
-//! numeric literal cannot yield NULL), so the boolean combination tree is
-//! classical — Kleene three-valued logic degenerates to it — and the
-//! memoized truth equals the full evaluator's truth exactly.
+//! Three executor behaviours are reproduced structurally, not assumed:
 //!
-//! The *repair rules* that maintain the match sets live with the engine
+//! * **Pushdown prefilters** ([`ViewScan::admits`]): the compiled scan
+//!   drops a row when any pushed single-item conjunct is definitely
+//!   false, and *keeps it on error* (errors defer to the full
+//!   predicate). A membership probe therefore first runs the mirrored
+//!   conjuncts — returning non-member without error on a definite false —
+//!   and only then evaluates the full predicate, whose errors propagate.
+//! * **Hash-join NULL keys**: the compiled hash step skips NULL key
+//!   components entirely, so a NULL-keyed row joins nothing; join memos
+//!   keep such rows out of the key index the same way.
+//! * **Kleene short-circuit**: the compiled condition evaluator skips the
+//!   right operand of `false and …` / `true or …`, so a term whose probe
+//!   would error may never be evaluated at all. [`IncrementalPlan::
+//!   evaluate`] refreshes terms *lazily in evaluation order* with the
+//!   identical short-circuit, and term truths are three-valued (an empty
+//!   aggregate compares as NULL).
+//!
+//! The *repair rules* that maintain term state live with the engine
 //! (`setrules-core`), which owns the windows and deltas; this module owns
-//! the shape analysis, the memo representation, the per-row probe, and
+//! the shape analysis, the memo representation, the per-row probes, and
 //! the truth evaluation. See `docs/incremental-evaluation.md` for the
-//! full repair/invalidation matrix.
+//! full repair/invalidation matrix and the shared-delta-cursor soundness
+//! argument.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
 use setrules_sql::ast::{
-    AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, TableSource, TransitionKind, UnaryOp,
+    AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, TableRef, TableSource, TransitionKind,
+    UnaryOp,
 };
-use setrules_storage::{Database, TupleHandle, Value};
+use setrules_storage::{DataType, Database, TableId, TupleHandle, Value};
 
 use crate::compile::{compile, CompiledExpr, Layout, LayoutFrame};
 use crate::error::QueryError;
 use crate::eval;
 use crate::parallel;
+use crate::planner::collect_conjuncts;
 use crate::provider::describe;
+
+/// Dynamic-degrade label: an integer `sum` accumulator whose positive or
+/// negative partial sums escape `i64` while the total does not. Whether
+/// the executor's sequential fold overflows then depends on encounter
+/// order, so the consideration falls back to the full evaluator (which
+/// decides exactly). Counted under this label in the fallback breakdown.
+pub const SUM_OVERFLOW_GUARD: &str = "sum-overflow-guard";
 
 /// Why a condition (or one of its terms) is not incrementalizable.
 ///
@@ -69,19 +108,20 @@ use crate::provider::describe;
 /// `docs/incremental-evaluation.md` documents each arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FallbackReason {
-    /// A leaf of the boolean structure is not an `exists` / `count(*)`
-    /// comparison over a transition table.
+    /// A leaf of the boolean structure is not an `exists` / aggregate
+    /// comparison over a transition subquery.
     Shape,
     /// A subquery scans a stored table (its rows are not delta-addressed
     /// by the rule's window).
     StoredTable(String),
-    /// A subquery joins multiple `from` items.
-    MultiItemFrom,
+    /// The subquery's `from` is not a single view or a two-view join on
+    /// exactly one typed non-float equality key.
+    JoinShape,
     /// A `selected t[.c]` window (§5.1): membership depends on read
     /// tracking, not the `[I, D, U]` delta.
     SelectedWindow,
     /// The subquery uses `distinct`, `group by`, `having`, `order by`, or
-    /// `limit` — shapes whose truth is not a pure match-set property.
+    /// `limit` — shapes whose truth is not a pure term-state property.
     SubqueryShape,
     /// The `exists` projection is not simple (aggregates or subqueries
     /// could change row count or raise their own errors).
@@ -89,8 +129,15 @@ pub enum FallbackReason {
     /// The `where` predicate is not row-local (correlated/outer
     /// references, nested subqueries, or interpreter fallback).
     Predicate,
-    /// The `count(*)` comparison is not against a numeric literal.
-    CountComparison,
+    /// The aggregate is not compared to a numeric literal.
+    AggComparison,
+    /// A `sum`/`avg`/`min`/`max` over a float column: float folds are
+    /// order-sensitive, so a patched accumulator is not bit-identical to
+    /// the executor's.
+    FloatAccumulator,
+    /// The aggregate's argument is not a plain integer column (distinct
+    /// aggregates, expressions, text/bool columns, `count(c)`).
+    AggArgument,
     /// The transition-table reference is not licensed by the rule's
     /// triggering predicates (§3) — full evaluation raises the error.
     Unlicensed(String),
@@ -99,20 +146,49 @@ pub enum FallbackReason {
     UnknownReference(String),
 }
 
+impl FallbackReason {
+    /// Stable short key for the per-reason fallback breakdown
+    /// (`EngineStats::incr_fallback_reasons`, `\incr`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FallbackReason::Shape => "shape",
+            FallbackReason::StoredTable(_) => "stored-table",
+            FallbackReason::JoinShape => "join-shape",
+            FallbackReason::SelectedWindow => "selected-window",
+            FallbackReason::SubqueryShape => "subquery-shape",
+            FallbackReason::Projection => "projection",
+            FallbackReason::Predicate => "predicate",
+            FallbackReason::AggComparison => "agg-comparison",
+            FallbackReason::FloatAccumulator => "float-accumulator",
+            FallbackReason::AggArgument => "agg-argument",
+            FallbackReason::Unlicensed(_) => "unlicensed",
+            FallbackReason::UnknownReference(_) => "unknown-reference",
+        }
+    }
+}
+
 impl fmt::Display for FallbackReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FallbackReason::Shape => write!(f, "condition shape is not exists/count over terms"),
             FallbackReason::StoredTable(t) => write!(f, "subquery scans stored table '{t}'"),
-            FallbackReason::MultiItemFrom => write!(f, "subquery joins multiple from items"),
+            FallbackReason::JoinShape => {
+                write!(f, "join is not two views on one typed equality key")
+            }
             FallbackReason::SelectedWindow => write!(f, "selected windows are not delta-addressed"),
             FallbackReason::SubqueryShape => {
                 write!(f, "distinct/group by/having/order by/limit in subquery")
             }
             FallbackReason::Projection => write!(f, "exists projection is not simple"),
             FallbackReason::Predicate => write!(f, "where predicate is not row-local"),
-            FallbackReason::CountComparison => {
-                write!(f, "count(*) is not compared to a numeric literal")
+            FallbackReason::AggComparison => {
+                write!(f, "aggregate is not compared to a numeric literal")
+            }
+            FallbackReason::FloatAccumulator => {
+                write!(f, "float aggregates are order-sensitive")
+            }
+            FallbackReason::AggArgument => {
+                write!(f, "aggregate argument is not a plain integer column")
             }
             FallbackReason::Unlicensed(r) => write!(f, "unlicensed reference to {r}"),
             FallbackReason::UnknownReference(r) => write!(f, "unknown reference {r}"),
@@ -120,15 +196,15 @@ impl fmt::Display for FallbackReason {
     }
 }
 
-/// How a term's match set becomes a truth value.
+/// How a term's memoized state becomes a truth value.
 #[derive(Debug, Clone)]
 pub enum TermTruth {
-    /// `[not] exists (...)`: true iff the match set is (non-)empty.
+    /// `[not] exists (...)`: true iff the match/pair set is (non-)empty.
     Exists {
         /// `not exists`?
         negated: bool,
     },
-    /// `count(*) <cmp> literal`: compare the match-set cardinality.
+    /// `count(*) <cmp> literal`: compare the match/pair cardinality.
     Count {
         /// The comparison operator (already mirrored if the literal was
         /// on the left).
@@ -136,45 +212,265 @@ pub enum TermTruth {
         /// The literal operand (Int or Float).
         literal: Value,
     },
+    /// `sum|avg|min|max(c) <cmp> literal`: compare the accumulator's
+    /// aggregate value (NULL over an empty window, like the executor).
+    Agg {
+        /// The comparison operator (mirrored if needed).
+        op: BinaryOp,
+        /// The literal operand (Int or Float).
+        literal: Value,
+    },
 }
 
-/// One incrementalizable condition term: a match set over one transition
-/// table, filtered by an optional row-local predicate.
+/// Which accumulator an aggregate term maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccFunc {
+    /// `sum(c)`: running Σ with overflow guards.
+    Sum,
+    /// `avg(c)`: exact integer Σ divided once at truth time.
+    Avg,
+    /// `min(c)`: ordered multiset, first key.
+    Min,
+    /// `max(c)`: ordered multiset, last key.
+    Max,
+}
+
+impl AccFunc {
+    fn name(self) -> &'static str {
+        match self {
+            AccFunc::Sum => "sum",
+            AccFunc::Avg => "avg",
+            AccFunc::Min => "min",
+            AccFunc::Max => "max",
+        }
+    }
+}
+
+/// One transition view a term scans, with the mirrored pushdown
+/// prefilter: the single-item conjuncts the compiled scan would evaluate,
+/// compiled against this view's own single frame.
 #[derive(Debug, Clone)]
-pub struct IncTerm {
-    /// Which transition table the term scans.
+pub struct ViewScan {
+    /// Which transition table.
     pub kind: TransitionKind,
     /// The underlying stored table.
     pub table: String,
     /// Column restriction (`old/new updated t.c`).
     pub column: Option<String>,
-    /// The row-local `where` predicate, compiled against the single
-    /// transition frame; `None` = every row matches.
-    pred: Option<CompiledExpr>,
-    /// How the match set becomes a truth value.
+    /// The binding name the subquery sees (alias or table name).
+    pub binding: String,
+    /// Pushdown mirror: single-frame conjuncts the scan prefilters with.
+    conjs: Vec<CompiledExpr>,
+}
+
+impl ViewScan {
+    /// Does the compiled scan keep `row`? Mirrors the scan prefilter
+    /// exactly: drop only on a definite `Ok(false)`; errors keep the row
+    /// (they defer to the full predicate). Never errors.
+    pub fn admits(&self, row: &[Value]) -> bool {
+        self.conjs.iter().all(|cc| {
+            !matches!(parallel::eval_rowlocal_predicate(cc, &[row]), Ok(false))
+        })
+    }
+
+    fn describe(&self) -> String {
+        describe(self.kind, &self.table, self.column.as_deref())
+    }
+}
+
+/// The shape of one incrementalizable condition term.
+#[derive(Debug, Clone)]
+pub enum TermKind {
+    /// A match set over one transition view.
+    Set {
+        /// The scanned view.
+        view: ViewScan,
+        /// The full row-local `where` predicate (single frame); `None` =
+        /// every admitted row matches.
+        pred: Option<CompiledExpr>,
+    },
+    /// A Rete-beta join memory over two transition views.
+    Join {
+        /// Left `from` item (frame 0 of `pred`).
+        left: ViewScan,
+        /// Right `from` item (frame 1 of `pred`).
+        right: ViewScan,
+        /// Column index of the equality key in the left row.
+        left_key: usize,
+        /// Column index of the equality key in the right row.
+        right_key: usize,
+        /// Key column names, for `describe`.
+        key_names: (String, String),
+        /// The key's declared type (non-float, identical on both sides).
+        key_ty: DataType,
+        /// The full row-local predicate over both frames (includes the
+        /// key equality and any residual cross conjuncts).
+        pred: CompiledExpr,
+    },
+    /// A running aggregate accumulator over one transition view.
+    Acc {
+        /// The scanned view.
+        view: ViewScan,
+        /// Column index of the aggregated integer column.
+        arg: usize,
+        /// Its name, for `describe`.
+        arg_name: String,
+        /// Which accumulator.
+        func: AccFunc,
+        /// The full row-local `where` predicate (single frame).
+        pred: Option<CompiledExpr>,
+    },
+}
+
+/// One incrementalizable condition term: its shape plus how memoized
+/// state becomes a truth value.
+#[derive(Debug, Clone)]
+pub struct IncTerm {
+    /// The term's shape (which memo it keeps and how it is probed).
+    pub kind: TermKind,
+    /// How the memo becomes a truth value.
     pub truth: TermTruth,
 }
 
 impl IncTerm {
-    /// Whether `row` (with the stored table's schema) satisfies the
-    /// term's predicate — SQL `where` truth: only *true* matches.
-    /// Evaluation errors propagate exactly as the full evaluator's would.
-    pub fn matches(&self, row: &[Value]) -> Result<bool, QueryError> {
-        match &self.pred {
+    /// Membership probe for `Set` terms: scan prefilter first (definite
+    /// false drops without error), then the full predicate (errors
+    /// propagate exactly as the executor's filter would).
+    pub fn probe_set(&self, row: &[Value]) -> Result<bool, QueryError> {
+        let TermKind::Set { view, pred } = &self.kind else {
+            return Err(QueryError::Type(format!("internal: {}", "probe_set on non-set term")));
+        };
+        if !view.admits(row) {
+            return Ok(false);
+        }
+        match pred {
             None => Ok(true),
             Some(p) => parallel::eval_rowlocal_predicate(p, &[row]),
         }
     }
 
-    /// The term's truth given its current match-set cardinality.
-    fn truth(&self, cardinality: usize) -> Result<bool, QueryError> {
+    /// Membership probe for `Acc` terms: prefilter, full predicate
+    /// (errors propagate), then the argument value — `None` = not a
+    /// contributor (filtered out, or NULL argument, exactly the rows the
+    /// executor's aggregate skips).
+    pub fn probe_acc(&self, row: &[Value]) -> Result<Option<i64>, QueryError> {
+        let TermKind::Acc { view, arg, pred, .. } = &self.kind else {
+            return Err(QueryError::Type(format!("internal: {}", "probe_acc on non-acc term")));
+        };
+        if !view.admits(row) {
+            return Ok(None);
+        }
+        if let Some(p) = pred {
+            if !parallel::eval_rowlocal_predicate(p, &[row])? {
+                return Ok(None);
+            }
+        }
+        match &row[*arg] {
+            Value::Int(v) => Ok(Some(*v)),
+            Value::Null => Ok(None),
+            other => Err(QueryError::Type(format!(
+                "aggregate over non-integer value {other}"
+            ))),
+        }
+    }
+
+    /// Side probe for `Join` terms: does `row` enter `side`'s memo, and
+    /// with which key? `None` = dropped by the prefilter or NULL-keyed
+    /// (the hash step skips NULL key components). Never errors — side
+    /// membership mirrors scan + hash, both of which defer errors to the
+    /// pair predicate.
+    pub fn probe_join_side(&self, left_side: bool, row: &[Value]) -> Option<Value> {
+        let TermKind::Join { left, right, left_key, right_key, .. } = &self.kind else {
+            return None;
+        };
+        let (view, key) =
+            if left_side { (left, *left_key) } else { (right, *right_key) };
+        if !view.admits(row) {
+            return None;
+        }
+        match &row[key] {
+            Value::Null => None,
+            v => Some(v.clone()),
+        }
+    }
+
+    /// Pair probe for `Join` terms: the full two-frame predicate, exactly
+    /// the filter's per-combination evaluation (errors propagate).
+    pub fn probe_join_pair(
+        &self,
+        lrow: &[Value],
+        rrow: &[Value],
+    ) -> Result<bool, QueryError> {
+        let TermKind::Join { pred, .. } = &self.kind else {
+            return Err(QueryError::Type(format!("internal: {}", "probe_join_pair on non-join term")));
+        };
+        parallel::eval_rowlocal_predicate(pred, &[lrow, rrow])
+    }
+
+    /// The term's three-valued truth over its memo, or a dynamic degrade.
+    fn truth(&self, memo: &TermMemo) -> Result<Term3, QueryError> {
+        let agg_value = match (&self.kind, memo) {
+            (TermKind::Set { .. }, TermMemo::Set(s)) => return self.cardinality_truth(s.len()),
+            (TermKind::Join { .. }, TermMemo::Join(j)) => {
+                return self.cardinality_truth(j.pairs.len())
+            }
+            (TermKind::Acc { func, .. }, TermMemo::Acc(a)) => match func {
+                AccFunc::Sum => {
+                    if a.contrib.is_empty() {
+                        Value::Null
+                    } else if a.pos <= i64::MAX as i128 && a.neg >= i64::MIN as i128 {
+                        // Every prefix of the executor's fold is a subset
+                        // sum, bounded by [neg, pos] ⊆ i64: no fold order
+                        // can overflow.
+                        Value::Int(a.sum as i64)
+                    } else if a.sum > i64::MAX as i128 || a.sum < i64::MIN as i128 {
+                        // The full fold ends at `sum`, itself a prefix:
+                        // the executor errors no matter the order.
+                        return Err(QueryError::Type("integer overflow in sum".into()));
+                    } else {
+                        // Overflow depends on encounter order: let the
+                        // full evaluator decide.
+                        return Ok(Term3::Degrade(SUM_OVERFLOW_GUARD));
+                    }
+                }
+                AccFunc::Avg => {
+                    if a.contrib.is_empty() {
+                        Value::Null
+                    } else {
+                        // The executor's exact-integer average: one i128
+                        // sum, one f64 division.
+                        Value::Float(a.sum as f64 / a.contrib.len() as f64)
+                    }
+                }
+                AccFunc::Min => a.vals.keys().next().map_or(Value::Null, |v| Value::Int(*v)),
+                AccFunc::Max => {
+                    a.vals.keys().next_back().map_or(Value::Null, |v| Value::Int(*v))
+                }
+            },
+            _ => {
+                return Err(QueryError::Type(format!("internal: {}", "memo kind does not match term")));
+            }
+        };
+        let TermTruth::Agg { op, literal } = &self.truth else {
+            return Err(QueryError::Type(format!("internal: {}", "aggregate term without agg truth")));
+        };
+        let v = eval::apply_binary(&agg_value, *op, literal)?;
+        Ok(Term3::Known(eval::truth(&v)?))
+    }
+
+    fn cardinality_truth(&self, cardinality: usize) -> Result<Term3, QueryError> {
         match &self.truth {
-            TermTruth::Exists { negated } => Ok((cardinality > 0) != *negated),
+            TermTruth::Exists { negated } => {
+                Ok(Term3::Known(Some((cardinality > 0) != *negated)))
+            }
             TermTruth::Count { op, literal } => {
                 // The same comparison kernel the full evaluator applies to
                 // `(select count(*) ...) <cmp> literal`.
                 let v = eval::apply_binary(&Value::Int(cardinality as i64), *op, literal)?;
-                Ok(eval::truth(&v)? == Some(true))
+                Ok(Term3::Known(eval::truth(&v)?))
+            }
+            TermTruth::Agg { .. } => {
+                Err(QueryError::Type(format!("internal: {}", "cardinality truth on aggregate term")))
             }
         }
     }
@@ -193,21 +489,240 @@ pub enum IncNode {
     Not(Box<IncNode>),
 }
 
-/// Per-rule materialized condition state: one matched-handle set per
-/// term. Lives in the rule's [`PlanCache`] next to the compiled plans and
-/// dies with it on DDL.
+/// One side of a join memory: the rows currently admitted by the side's
+/// scan, addressable by handle and by join key.
+#[derive(Debug, Clone, Default)]
+pub struct JoinSide {
+    /// handle → (join key, row snapshot as the pair predicate sees it).
+    pub rows: BTreeMap<TupleHandle, (Value, Vec<Value>)>,
+    /// join key → handles carrying it (NULL keys never enter).
+    pub by_key: BTreeMap<Value, BTreeSet<TupleHandle>>,
+}
+
+impl JoinSide {
+    /// Insert or replace `h`'s entry.
+    pub fn insert(&mut self, h: TupleHandle, key: Value, row: Vec<Value>) {
+        self.remove(h);
+        self.by_key.entry(key.clone()).or_default().insert(h);
+        self.rows.insert(h, (key, row));
+    }
+
+    /// Remove `h`'s entry if present.
+    pub fn remove(&mut self, h: TupleHandle) {
+        if let Some((key, _)) = self.rows.remove(&h) {
+            if let Some(bucket) = self.by_key.get_mut(&key) {
+                bucket.remove(&h);
+                if bucket.is_empty() {
+                    self.by_key.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// A Rete-beta join memory: both side memos plus the set of pairs the
+/// full predicate holds on.
+#[derive(Debug, Clone, Default)]
+pub struct JoinMemo {
+    /// Left-side row memo.
+    pub left: JoinSide,
+    /// Right-side row memo.
+    pub right: JoinSide,
+    /// Pairs `(l, r)` on which the pair predicate is true.
+    pub pairs: BTreeSet<(TupleHandle, TupleHandle)>,
+    /// The same pairs keyed `(r, l)`, for right-side purges.
+    rev: BTreeSet<(TupleHandle, TupleHandle)>,
+}
+
+impl JoinMemo {
+    /// Record that the pair predicate holds on `(l, r)`.
+    pub fn add_pair(&mut self, l: TupleHandle, r: TupleHandle) {
+        self.pairs.insert((l, r));
+        self.rev.insert((r, l));
+    }
+
+    /// Drop every pair involving left-side handle `l`.
+    pub fn purge_left(&mut self, l: TupleHandle) {
+        let doomed: Vec<_> = self
+            .pairs
+            .range((l, TupleHandle(0))..=(l, TupleHandle(u64::MAX)))
+            .copied()
+            .collect();
+        for (l, r) in doomed {
+            self.pairs.remove(&(l, r));
+            self.rev.remove(&(r, l));
+        }
+    }
+
+    /// Drop every pair involving right-side handle `r`.
+    pub fn purge_right(&mut self, r: TupleHandle) {
+        let doomed: Vec<_> = self
+            .rev
+            .range((r, TupleHandle(0))..=(r, TupleHandle(u64::MAX)))
+            .copied()
+            .collect();
+        for (r, l) in doomed {
+            self.pairs.remove(&(l, r));
+            self.rev.remove(&(r, l));
+        }
+    }
+}
+
+/// A running integer aggregate: per-contributor values, the value
+/// multiset (for `min`/`max`), and the total plus positive/negative
+/// partial sums (the `sum` overflow guard).
+#[derive(Debug, Clone, Default)]
+pub struct AccMemo {
+    /// handle → contributed value.
+    pub contrib: BTreeMap<TupleHandle, i64>,
+    /// value → multiplicity (ordered, so the extremum is an end key).
+    pub vals: BTreeMap<i64, u64>,
+    /// Exact Σ of all contributions.
+    pub sum: i128,
+    /// Σ of non-negative contributions (fold-order overflow guard).
+    pub pos: i128,
+    /// Σ of negative contributions (fold-order overflow guard).
+    pub neg: i128,
+}
+
+impl AccMemo {
+    /// Add (or replace) `h`'s contribution.
+    pub fn insert(&mut self, h: TupleHandle, v: i64) {
+        self.remove(h);
+        self.contrib.insert(h, v);
+        *self.vals.entry(v).or_insert(0) += 1;
+        self.sum += v as i128;
+        if v >= 0 {
+            self.pos += v as i128;
+        } else {
+            self.neg += v as i128;
+        }
+    }
+
+    /// Remove `h`'s contribution if present.
+    pub fn remove(&mut self, h: TupleHandle) {
+        let Some(v) = self.contrib.remove(&h) else { return };
+        if let Some(n) = self.vals.get_mut(&v) {
+            *n -= 1;
+            if *n == 0 {
+                self.vals.remove(&v);
+            }
+        }
+        self.sum -= v as i128;
+        if v >= 0 {
+            self.pos -= v as i128;
+        } else {
+            self.neg -= v as i128;
+        }
+    }
+}
+
+/// One term's memoized state.
+#[derive(Debug, Clone)]
+pub enum TermMemo {
+    /// Handles currently matching a `Set` term.
+    Set(BTreeSet<TupleHandle>),
+    /// A `Join` term's beta memory.
+    Join(Box<JoinMemo>),
+    /// An `Acc` term's accumulator.
+    Acc(AccMemo),
+}
+
+impl TermMemo {
+    /// A fresh, empty memo shaped for `term`.
+    pub fn empty_for(term: &IncTerm) -> TermMemo {
+        match &term.kind {
+            TermKind::Set { .. } => TermMemo::Set(BTreeSet::new()),
+            TermKind::Join { .. } => TermMemo::Join(Box::default()),
+            TermKind::Acc { .. } => TermMemo::Acc(AccMemo::default()),
+        }
+    }
+
+    /// Memoized entries (match handles, side rows + pairs, contributors).
+    pub fn entries(&self) -> usize {
+        match self {
+            TermMemo::Set(s) => s.len(),
+            TermMemo::Join(j) => j.left.rows.len() + j.right.rows.len() + j.pairs.len(),
+            TermMemo::Acc(a) => a.contrib.len(),
+        }
+    }
+
+    /// Rough resident size, for the `\incr` report. Deliberately a
+    /// heuristic (container overhead varies); documented as approximate.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            TermMemo::Set(s) => s.len() * std::mem::size_of::<TupleHandle>(),
+            TermMemo::Join(j) => {
+                let side = |s: &JoinSide| {
+                    s.rows
+                        .values()
+                        .map(|(_, row)| 56 + row.len() * std::mem::size_of::<Value>())
+                        .sum::<usize>()
+                        + s.by_key.len() * 48
+                };
+                side(&j.left) + side(&j.right) + j.pairs.len() * 32 * 2
+            }
+            TermMemo::Acc(a) => (a.contrib.len() + a.vals.len()) * 24 + 48,
+        }
+    }
+}
+
+/// A per-term delta cursor: which suffix of the transaction's delta log
+/// this term's memo has already absorbed. Valid only within the same
+/// transaction (`epoch`) and window incarnation (`wgen`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// The transaction the memo was built in.
+    pub epoch: u64,
+    /// The rule-window generation the memo was built against.
+    pub wgen: u64,
+    /// Log position: entries `[seq..]` have not been absorbed yet.
+    pub seq: usize,
+}
+
+/// One term's cached state: its memo and the cursor proving how fresh it
+/// is. `cursor == None` means the memo cannot be trusted (never built,
+/// or a repair was interrupted) and must be rebuilt from the window.
+#[derive(Debug, Clone)]
+pub struct TermState {
+    /// The memoized match/join/accumulator state.
+    pub memo: TermMemo,
+    /// Freshness proof; `None` forces a rebuild.
+    pub cursor: Option<Cursor>,
+}
+
+/// Per-rule materialized condition state: one [`TermState`] per term.
+/// Lives in the rule's [`PlanCache`] next to the compiled plans and dies
+/// with it on DDL.
 ///
 /// [`PlanCache`]: crate::compile::PlanCache
 #[derive(Debug, Clone, Default)]
 pub struct IncMemo {
-    /// `terms[i]` = handles currently matching term `i`'s predicate.
-    pub terms: Vec<std::collections::BTreeSet<TupleHandle>>,
+    /// `terms[i]` = term `i`'s memo and cursor.
+    pub terms: Vec<TermState>,
 }
 
 impl IncMemo {
-    /// An all-empty memo shaped for `plan`.
+    /// An all-empty memo shaped for `plan`, with no cursors (every term
+    /// rebuilds on first refresh).
     pub fn for_plan(plan: &IncrementalPlan) -> IncMemo {
-        IncMemo { terms: vec![Default::default(); plan.terms.len()] }
+        IncMemo {
+            terms: plan
+                .terms
+                .iter()
+                .map(|t| TermState { memo: TermMemo::empty_for(t), cursor: None })
+                .collect(),
+        }
+    }
+
+    /// Total memoized entries across terms.
+    pub fn entries(&self) -> usize {
+        self.terms.iter().map(|t| t.memo.entries()).sum()
+    }
+
+    /// Approximate resident bytes across terms.
+    pub fn approx_bytes(&self) -> usize {
+        self.terms.iter().map(|t| t.memo.approx_bytes()).sum()
     }
 }
 
@@ -219,9 +734,64 @@ pub struct IncrState {
     /// The one-time shape analysis: the incremental plan, or why the rule
     /// permanently falls back (until the next DDL re-analysis).
     pub plan: Result<Arc<IncrementalPlan>, FallbackReason>,
-    /// The materialized per-term match sets; `None` until the first
-    /// consideration rebuilds them from the rule's full window.
+    /// The materialized per-term state; `None` until the first
+    /// consideration builds it.
     pub memo: Option<IncMemo>,
+}
+
+/// What one term refresh did, reported by the engine's refresh callback.
+#[derive(Debug, Clone, Copy)]
+pub enum TermRefresh {
+    /// The memo was patched from the composed delta suffix. `shared` is
+    /// set when the composition came from the transaction's shared
+    /// compose cache (another rule at the same cursor already paid for
+    /// it).
+    Repaired {
+        /// Rows probed during the patch.
+        rows: u64,
+        /// Composed delta served from the shared cache?
+        shared: bool,
+    },
+    /// The memo was rebuilt from the rule's whole window.
+    Rebuilt {
+        /// Rows probed during the rebuild.
+        rows: u64,
+    },
+}
+
+/// The final verdict of an incremental condition evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondVerdict {
+    /// Authoritative: the condition holds / does not hold (NULL is
+    /// not-true, as everywhere in SQL rule conditions).
+    Truth(bool),
+    /// The memoized state cannot decide bit-exactly this round (e.g. the
+    /// sum overflow guard); run the full evaluator. The label feeds the
+    /// fallback breakdown.
+    Degrade(&'static str),
+}
+
+/// Tallies and verdict from one [`IncrementalPlan::evaluate`] round.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOutcome {
+    /// The verdict.
+    pub verdict: CondVerdict,
+    /// Terms repaired from a delta suffix.
+    pub repaired: u64,
+    /// Terms rebuilt from the window.
+    pub rebuilt: u64,
+    /// Rows probed across all refreshed terms.
+    pub rows: u64,
+    /// Terms whose composed delta came from the shared cache.
+    pub shared: u64,
+}
+
+/// Internal three-valued node result.
+enum Term3 {
+    /// SQL truth (NULL = `None`).
+    Known(Option<bool>),
+    /// Dynamic degrade with its breakdown label.
+    Degrade(&'static str),
 }
 
 /// The incremental evaluation plan for one rule condition.
@@ -233,35 +803,138 @@ pub struct IncrementalPlan {
 }
 
 impl IncrementalPlan {
-    /// The condition's truth under the memoized match sets.
-    pub fn truth(&self, memo: &IncMemo) -> Result<bool, QueryError> {
-        self.node_truth(&self.root, memo)
+    /// Evaluate the condition, refreshing term memos *lazily* through
+    /// `refresh` in exactly the order — and with exactly the Kleene
+    /// short-circuits — of the compiled full evaluator. A term skipped by
+    /// `false and …` / `true or …` is never refreshed, so probe errors
+    /// surface if and only if the full evaluator would raise them.
+    pub fn evaluate(
+        &self,
+        memo: &mut IncMemo,
+        refresh: &mut dyn FnMut(usize, &IncTerm, &mut TermState) -> Result<TermRefresh, QueryError>,
+    ) -> Result<EvalOutcome, QueryError> {
+        let mut out =
+            EvalOutcome { verdict: CondVerdict::Truth(false), repaired: 0, rebuilt: 0, rows: 0, shared: 0 };
+        let v = self.node_eval(&self.root, memo, refresh, &mut out)?;
+        out.verdict = match v {
+            Term3::Known(t) => CondVerdict::Truth(t == Some(true)),
+            Term3::Degrade(label) => CondVerdict::Degrade(label),
+        };
+        Ok(out)
     }
 
-    fn node_truth(&self, node: &IncNode, memo: &IncMemo) -> Result<bool, QueryError> {
+    fn node_eval(
+        &self,
+        node: &IncNode,
+        memo: &mut IncMemo,
+        refresh: &mut dyn FnMut(usize, &IncTerm, &mut TermState) -> Result<TermRefresh, QueryError>,
+        out: &mut EvalOutcome,
+    ) -> Result<Term3, QueryError> {
         match node {
-            IncNode::Term(i) => self.terms[*i].truth(memo.terms[*i].len()),
-            IncNode::And(l, r) => Ok(self.node_truth(l, memo)? && self.node_truth(r, memo)?),
-            IncNode::Or(l, r) => Ok(self.node_truth(l, memo)? || self.node_truth(r, memo)?),
-            IncNode::Not(e) => Ok(!self.node_truth(e, memo)?),
+            IncNode::Term(i) => {
+                let term = &self.terms[*i];
+                let st = &mut memo.terms[*i];
+                match refresh(*i, term, st)? {
+                    TermRefresh::Repaired { rows, shared } => {
+                        out.repaired += 1;
+                        out.rows += rows;
+                        if shared {
+                            out.shared += 1;
+                        }
+                    }
+                    TermRefresh::Rebuilt { rows } => {
+                        out.rebuilt += 1;
+                        out.rows += rows;
+                    }
+                }
+                term.truth(&st.memo)
+            }
+            IncNode::And(l, r) => {
+                let lv = self.node_eval(l, memo, refresh, out)?;
+                let lt = match lv {
+                    Term3::Degrade(_) => return Ok(lv),
+                    // The compiled evaluator short-circuits `false and …`
+                    // without touching the right operand.
+                    Term3::Known(Some(false)) => return Ok(lv),
+                    Term3::Known(t) => t,
+                };
+                match self.node_eval(r, memo, refresh, out)? {
+                    Term3::Degrade(label) => Ok(Term3::Degrade(label)),
+                    Term3::Known(rt) => Ok(Term3::Known(eval::kleene_and(lt, rt))),
+                }
+            }
+            IncNode::Or(l, r) => {
+                let lv = self.node_eval(l, memo, refresh, out)?;
+                let lt = match lv {
+                    Term3::Degrade(_) => return Ok(lv),
+                    // `true or …` short-circuits likewise.
+                    Term3::Known(Some(true)) => return Ok(lv),
+                    Term3::Known(t) => t,
+                };
+                match self.node_eval(r, memo, refresh, out)? {
+                    Term3::Degrade(label) => Ok(Term3::Degrade(label)),
+                    Term3::Known(rt) => Ok(Term3::Known(eval::kleene_or(lt, rt))),
+                }
+            }
+            IncNode::Not(e) => match self.node_eval(e, memo, refresh, out)? {
+                Term3::Degrade(label) => Ok(Term3::Degrade(label)),
+                Term3::Known(t) => Ok(Term3::Known(t.map(|b| !b))),
+            },
         }
     }
 
-    /// One line per term: the transition view scanned and the truth form,
-    /// for `explain` output and the REPL.
+    /// One line per term: the view(s) scanned, the truth form, the memo
+    /// kind, and the repair keys — for `explain` output and the REPL.
     pub fn describe(&self) -> String {
         let mut out = String::new();
         for (i, t) in self.terms.iter().enumerate() {
-            let view = describe(t.kind, &t.table, t.column.as_deref());
-            let filter = if t.pred.is_some() { " where <row-local>" } else { "" };
-            let truth = match &t.truth {
-                TermTruth::Exists { negated: false } => "exists".to_string(),
-                TermTruth::Exists { negated: true } => "not exists".to_string(),
-                TermTruth::Count { op, literal } => format!("count {} {literal}", op_text(*op)),
+            let line = match &t.kind {
+                TermKind::Set { view, pred } => {
+                    let filter = if pred.is_some() { " where <row-local>" } else { "" };
+                    format!(
+                        "term {i}: {} [{}{filter}; memo: match-set]",
+                        truth_text(&t.truth, None),
+                        view.describe()
+                    )
+                }
+                TermKind::Join { left, right, key_names, key_ty, .. } => format!(
+                    "term {i}: {} [{} join {} on {} = {} ({}); memo: join-memory]",
+                    truth_text(&t.truth, None),
+                    left.describe(),
+                    right.describe(),
+                    key_names.0,
+                    key_names.1,
+                    ty_text(*key_ty),
+                ),
+                TermKind::Acc { view, arg_name, func, pred, .. } => {
+                    let filter = if pred.is_some() { " where <row-local>" } else { "" };
+                    format!(
+                        "term {i}: {} [{}{filter}; memo: {}]",
+                        truth_text(&t.truth, Some((*func, arg_name))),
+                        view.describe(),
+                        match func {
+                            AccFunc::Sum | AccFunc::Avg => "sum/count accumulator",
+                            AccFunc::Min | AccFunc::Max => "ordered multiset",
+                        },
+                    )
+                }
             };
-            out.push_str(&format!("term {i}: {truth} [{view}{filter}]\n"));
+            out.push_str(&line);
+            out.push('\n');
         }
         out
+    }
+}
+
+fn truth_text(truth: &TermTruth, agg: Option<(AccFunc, &str)>) -> String {
+    match truth {
+        TermTruth::Exists { negated: false } => "exists".to_string(),
+        TermTruth::Exists { negated: true } => "not exists".to_string(),
+        TermTruth::Count { op, literal } => format!("count {} {literal}", op_text(*op)),
+        TermTruth::Agg { op, literal } => {
+            let (func, arg) = agg.expect("agg truth implies acc term");
+            format!("{}({arg}) {} {literal}", func.name(), op_text(*op))
+        }
     }
 }
 
@@ -274,6 +947,15 @@ fn op_text(op: BinaryOp) -> &'static str {
         BinaryOp::Gt => ">",
         BinaryOp::GtEq => ">=",
         _ => "?",
+    }
+}
+
+fn ty_text(ty: DataType) -> &'static str {
+    match ty {
+        DataType::Bool => "bool",
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Text => "text",
     }
 }
 
@@ -317,28 +999,66 @@ fn analyze_node(
             Ok(IncNode::Term(terms.len() - 1))
         }
         Expr::Binary { left, op, right } if op.is_comparison() => {
-            // count(*) comparison, literal on either side.
+            // Aggregate comparison, literal on either side.
             let (sub, lit, op) = match (&**left, &**right) {
-                (Expr::ScalarSubquery(s), Expr::Literal(v)) => (s, v, *op),
-                (Expr::Literal(v), Expr::ScalarSubquery(s)) => (s, v, mirror(*op)),
+                (Expr::ScalarSubquery(s), other) => match numeric_literal(other) {
+                    Some(v) => (s, v, *op),
+                    None => return Err(comparison_fallback(other)),
+                },
+                (other, Expr::ScalarSubquery(s)) => match numeric_literal(other) {
+                    Some(v) => (s, v, mirror(*op)),
+                    None => return Err(comparison_fallback(other)),
+                },
                 _ => return Err(FallbackReason::Shape),
             };
-            if !matches!(lit, Value::Int(_) | Value::Float(_)) {
-                return Err(FallbackReason::CountComparison);
-            }
-            if !is_count_star(sub) {
-                return Err(FallbackReason::CountComparison);
-            }
-            let term = analyze_term(
-                db,
-                sub,
-                licensed,
-                TermTruth::Count { op, literal: lit.clone() },
-            )?;
+            let lit = &lit;
+            let truth = match agg_projection(sub) {
+                None => return Err(FallbackReason::Shape),
+                Some((AggFunc::Count, None, false)) => {
+                    TermTruth::Count { op, literal: lit.clone() }
+                }
+                Some((AggFunc::Count, Some(_), _)) | Some((AggFunc::Count, None, true)) => {
+                    return Err(FallbackReason::AggArgument);
+                }
+                Some((_, _, true)) | Some((_, None, false)) => {
+                    return Err(FallbackReason::AggArgument);
+                }
+                Some(_) => TermTruth::Agg { op, literal: lit.clone() },
+            };
+            let term = analyze_term(db, sub, licensed, truth)?;
             terms.push(term);
             Ok(IncNode::Term(terms.len() - 1))
         }
         _ => Err(FallbackReason::Shape),
+    }
+}
+
+/// A (possibly sign-prefixed) numeric literal, folded to its value. The
+/// fold matches the executor's unary minus exactly: a parsed positive
+/// int literal is <= `i64::MAX`, so its negation can never overflow, and
+/// float negation is a sign-bit flip either way.
+fn numeric_literal(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Literal(v @ (Value::Int(_) | Value::Float(_))) => Some(v.clone()),
+        Expr::Unary { op: UnaryOp::Neg, expr } => match &**expr {
+            Expr::Literal(Value::Int(n)) => Some(Value::Int(-n)),
+            Expr::Literal(Value::Float(f)) => Some(Value::Float(-f)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The fallback for a comparison operand that is not a numeric literal:
+/// a literal of the wrong type names the aggregate-comparison gap, any
+/// other expression is just the wrong shape.
+fn comparison_fallback(e: &Expr) -> FallbackReason {
+    match e {
+        Expr::Literal(_) => FallbackReason::AggComparison,
+        Expr::Unary { op: UnaryOp::Neg, expr } if matches!(&**expr, Expr::Literal(_)) => {
+            FallbackReason::AggComparison
+        }
+        _ => FallbackReason::Shape,
     }
 }
 
@@ -353,15 +1073,15 @@ fn mirror(op: BinaryOp) -> BinaryOp {
     }
 }
 
-/// Is `sub`'s projection exactly `count(*)`?
-fn is_count_star(sub: &SelectStmt) -> bool {
-    matches!(
-        sub.projection.as_slice(),
-        [SelectItem::Expr {
-            expr: Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false },
-            ..
-        }]
-    )
+/// Is `sub`'s projection a single aggregate? Returns `(func, arg,
+/// distinct)`.
+fn agg_projection(sub: &SelectStmt) -> Option<(AggFunc, Option<&Expr>, bool)> {
+    match sub.projection.as_slice() {
+        [SelectItem::Expr { expr: Expr::Aggregate { func, arg, distinct }, .. }] => {
+            Some((*func, arg.as_deref(), *distinct))
+        }
+        _ => None,
+    }
 }
 
 /// Is an `exists` projection item free of anything that could change the
@@ -375,15 +1095,64 @@ fn simple_projection(item: &SelectItem) -> bool {
     }
 }
 
+/// Resolve one transition `from` item: catches stored tables, `selected`
+/// windows, unknown references, and unlicensed views. Returns the view
+/// (without its pushdown mirror, filled later) and the table id.
+fn resolve_view(
+    db: &Database,
+    tref: &TableRef,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+) -> Result<(ViewScan, TableId), FallbackReason> {
+    let (kind, table, column) = match &tref.source {
+        TableSource::Named(n) => return Err(FallbackReason::StoredTable(n.clone())),
+        TableSource::Transition { kind, table, column } => (*kind, table, column),
+    };
+    if kind == TransitionKind::Selected {
+        return Err(FallbackReason::SelectedWindow);
+    }
+    let view_name = describe(kind, table, column.as_deref());
+    let Ok(tid) = db.table_id(table) else {
+        return Err(FallbackReason::UnknownReference(view_name));
+    };
+    if let Some(c) = column {
+        if db.schema(tid).column_id(c).is_err() {
+            return Err(FallbackReason::UnknownReference(view_name));
+        }
+    }
+    if !licensed(kind, table, column.as_deref()) {
+        return Err(FallbackReason::Unlicensed(view_name));
+    }
+    Ok((
+        ViewScan {
+            kind,
+            table: table.clone(),
+            column: column.clone(),
+            binding: tref.binding_name().to_string(),
+            conjs: Vec::new(),
+        },
+        tid,
+    ))
+}
+
+/// The single-frame layout a one-view subquery (or one scan of a
+/// two-view subquery) evaluates in.
+fn frame_layout(db: &Database, binding: &str, tid: TableId) -> Layout {
+    let mut layout = Layout::new();
+    layout.push_level(vec![LayoutFrame {
+        name: binding.to_string(),
+        columns: Arc::new(
+            db.schema(tid).columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+        ),
+    }]);
+    layout
+}
+
 fn analyze_term(
     db: &Database,
     sub: &SelectStmt,
     licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
     truth: TermTruth,
 ) -> Result<IncTerm, FallbackReason> {
-    if sub.from.len() != 1 {
-        return Err(FallbackReason::MultiItemFrom);
-    }
     if sub.distinct
         || !sub.group_by.is_empty()
         || sub.having.is_some()
@@ -395,43 +1164,30 @@ fn analyze_term(
     if matches!(truth, TermTruth::Exists { .. }) && !sub.projection.iter().all(simple_projection) {
         return Err(FallbackReason::Projection);
     }
-    let tref = &sub.from[0];
-    let (kind, table, column) = match &tref.source {
-        TableSource::Named(n) => return Err(FallbackReason::StoredTable(n.clone())),
-        TableSource::Transition { kind, table, column } => (*kind, table, column),
-    };
-    if kind == TransitionKind::Selected {
-        return Err(FallbackReason::SelectedWindow);
+    match sub.from.len() {
+        1 => analyze_single(db, sub, licensed, truth),
+        2 if !matches!(truth, TermTruth::Agg { .. }) => analyze_join(db, sub, licensed, truth),
+        _ => Err(FallbackReason::JoinShape),
     }
-    let view = describe(kind, table, column.as_deref());
-    let Ok(tid) = db.table_id(table) else {
-        return Err(FallbackReason::UnknownReference(view));
-    };
-    if let Some(c) = column {
-        if db.schema(tid).column_id(c).is_err() {
-            return Err(FallbackReason::UnknownReference(view));
-        }
-    }
-    if !licensed(kind, table, column.as_deref()) {
-        return Err(FallbackReason::Unlicensed(view));
-    }
+}
+
+/// Analyze a single-view term (`Set` or `Acc`).
+fn analyze_single(
+    db: &Database,
+    sub: &SelectStmt,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+    truth: TermTruth,
+) -> Result<IncTerm, FallbackReason> {
+    let (mut view, tid) = resolve_view(db, &sub.from[0], licensed)?;
+    let layout = frame_layout(db, &view.binding, tid);
     let pred = match &sub.predicate {
         None => None,
         Some(p) => {
             // Compile against the subquery's single frame exactly as the
-            // executor would lay it out: the transition table's binding
-            // name over the stored table's columns. Anything that is not
-            // row-local after compilation — outer references (a rule
-            // condition has no outer scope, so they lower to the
-            // interpreter), nested subqueries, unresolved names — falls
-            // back.
-            let mut layout = Layout::new();
-            layout.push_level(vec![LayoutFrame {
-                name: tref.binding_name().to_string(),
-                columns: Arc::new(
-                    db.schema(tid).columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
-                ),
-            }]);
+            // executor would lay it out. Anything not row-local after
+            // compilation — outer references (a rule condition has no
+            // outer scope, so they lower to the interpreter), nested
+            // subqueries, unresolved names — falls back.
             let compiled = compile(p, &layout);
             if !parallel::is_rowlocal(&compiled) {
                 return Err(FallbackReason::Predicate);
@@ -439,7 +1195,179 @@ fn analyze_term(
             Some(compiled)
         }
     };
-    Ok(IncTerm { kind, table: table.clone(), column: column.clone(), pred, truth })
+    // Pushdown mirror: a sole *transition* item gets scan pushdown (the
+    // provider lends borrowed rows), so membership probes must apply the
+    // same drop-on-definite-false / keep-on-error prefilter before the
+    // full predicate. Conjuncts with no slots stay with the full
+    // predicate, as in the executor.
+    if let Some(p) = &sub.predicate {
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(p, &mut conjuncts);
+        for c in conjuncts {
+            let cc = compile(c, &layout);
+            if cc.slots_only() && has_slot(&cc) {
+                view.conjs.push(cc);
+            }
+        }
+    }
+    match truth {
+        TermTruth::Agg { .. } => {
+            let (arg, arg_name, func) = resolve_acc(db, sub, &view, tid)?;
+            Ok(IncTerm { kind: TermKind::Acc { view, arg, arg_name, func, pred }, truth })
+        }
+        _ => Ok(IncTerm { kind: TermKind::Set { view, pred }, truth }),
+    }
+}
+
+/// Resolve an aggregate term's function and argument column: must be a
+/// plain (non-distinct) `sum|avg|min|max` over an integer column of the
+/// scanned view.
+fn resolve_acc(
+    db: &Database,
+    sub: &SelectStmt,
+    view: &ViewScan,
+    tid: TableId,
+) -> Result<(usize, String, AccFunc), FallbackReason> {
+    let Some((func, Some(arg), false)) = agg_projection(sub) else {
+        return Err(FallbackReason::AggArgument);
+    };
+    let func = match func {
+        AggFunc::Sum => AccFunc::Sum,
+        AggFunc::Avg => AccFunc::Avg,
+        AggFunc::Min => AccFunc::Min,
+        AggFunc::Max => AccFunc::Max,
+        AggFunc::Count => return Err(FallbackReason::AggArgument),
+    };
+    let Expr::Column { qualifier, name } = arg else {
+        return Err(FallbackReason::AggArgument);
+    };
+    if let Some(q) = qualifier {
+        if q != &view.binding {
+            return Err(FallbackReason::UnknownReference(format!("{q}.{name}")));
+        }
+    }
+    let Ok(col) = db.schema(tid).column_id(name) else {
+        return Err(FallbackReason::UnknownReference(format!("{}.{name}", view.table)));
+    };
+    match db.schema(tid).columns[col.0 as usize].ty {
+        DataType::Int => {}
+        DataType::Float => return Err(FallbackReason::FloatAccumulator),
+        DataType::Bool | DataType::Text => return Err(FallbackReason::AggArgument),
+    }
+    Ok((col.0 as usize, name.clone(), func))
+}
+
+/// Analyze a two-view join term.
+fn analyze_join(
+    db: &Database,
+    sub: &SelectStmt,
+    licensed: &dyn Fn(TransitionKind, &str, Option<&str>) -> bool,
+    truth: TermTruth,
+) -> Result<IncTerm, FallbackReason> {
+    let (mut left, ltid) = resolve_view(db, &sub.from[0], licensed)?;
+    let (mut right, rtid) = resolve_view(db, &sub.from[1], licensed)?;
+    // The executor lays both items out as one level with two frames.
+    let columns = |tid: TableId| {
+        Arc::new(db.schema(tid).columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>())
+    };
+    let mut layout = Layout::new();
+    layout.push_level(vec![
+        LayoutFrame { name: left.binding.clone(), columns: columns(ltid) },
+        LayoutFrame { name: right.binding.clone(), columns: columns(rtid) },
+    ]);
+    // The join needs a hash step: no predicate means a cross product.
+    let Some(p) = &sub.predicate else {
+        return Err(FallbackReason::JoinShape);
+    };
+    let pred = compile(p, &layout);
+    if !parallel::is_rowlocal(&pred) {
+        return Err(FallbackReason::Predicate);
+    }
+    // Mirror `planner::equi_join_edges`: conjuncts `col = col` whose
+    // sides resolve to different frames and share a non-float declared
+    // type. Exactly one edge = one hash key; zero (cross/non-equi) or
+    // several (composite key) fall back.
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(p, &mut conjuncts);
+    let mut edges: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for c in &conjuncts {
+        let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = c else { continue };
+        if !matches!(a.as_ref(), Expr::Column { .. }) || !matches!(b.as_ref(), Expr::Column { .. })
+        {
+            continue;
+        }
+        let (
+            CompiledExpr::Slot { level_up: 0, frame: fa, col: ca },
+            CompiledExpr::Slot { level_up: 0, frame: fb, col: cb },
+        ) = (compile(a, &layout), compile(b, &layout))
+        else {
+            continue;
+        };
+        if fa == fb {
+            continue;
+        }
+        let (ta, tb) =
+            (db.schema(if fa == 0 { ltid } else { rtid }).columns[ca].ty, db.schema(if fb == 0 { ltid } else { rtid }).columns[cb].ty);
+        if ta == tb && ta != DataType::Float && !edges.contains(&(fa, ca, fb, cb)) {
+            edges.push((fa, ca, fb, cb));
+        }
+    }
+    let [(fa, ca, _, cb)] = edges.as_slice() else {
+        return Err(FallbackReason::JoinShape);
+    };
+    let (lkey, rkey) = if *fa == 0 { (*ca, *cb) } else { (*cb, *ca) };
+    // Pushdown mirror per side: single-frame conjuncts recompiled against
+    // that side's own scan layout (resolution is innermost-first, so
+    // removing the sibling frame cannot redirect a resolved reference).
+    for c in &conjuncts {
+        let cc = compile(c, &layout);
+        if !cc.slots_only() {
+            continue;
+        }
+        let mut target = None;
+        let mut single = true;
+        cc.for_each_slot(&mut |up, frame, _| {
+            if up == 0 {
+                match target {
+                    None => target = Some(frame),
+                    Some(t) if t == frame => {}
+                    Some(_) => single = false,
+                }
+            }
+        });
+        if !single {
+            continue;
+        }
+        match target {
+            Some(0) => left.conjs.push(compile(c, &frame_layout(db, &left.binding, ltid))),
+            Some(1) => right.conjs.push(compile(c, &frame_layout(db, &right.binding, rtid))),
+            _ => {}
+        }
+    }
+    let key_ty = db.schema(ltid).columns[lkey].ty;
+    let key_names =
+        (db.schema(ltid).columns[lkey].name.clone(), db.schema(rtid).columns[rkey].name.clone());
+    Ok(IncTerm {
+        kind: TermKind::Join {
+            left,
+            right,
+            left_key: lkey,
+            right_key: rkey,
+            key_names,
+            key_ty,
+            pred,
+        },
+        truth,
+    })
+}
+
+/// Does the compiled conjunct reference at least one slot? (Slot-free
+/// conjuncts are constants: the executor leaves them to the full
+/// predicate, never the scan.)
+fn has_slot(cc: &CompiledExpr) -> bool {
+    let mut any = false;
+    cc.for_each_slot(&mut |_, _, _| any = true);
+    any
 }
 
 #[cfg(test)]
@@ -459,6 +1387,14 @@ mod tests {
             ],
         ))
         .unwrap();
+        db.create_table(TableSchema::new(
+            "dept",
+            vec![
+                ColumnDef::new("dept_no", DataType::Int),
+                ColumnDef::new("head", DataType::Text),
+            ],
+        ))
+        .unwrap();
         db
     }
 
@@ -470,6 +1406,22 @@ mod tests {
         analyze(&db(), &parse_expr(src).unwrap(), &allow_all)
     }
 
+    /// A refresh that trusts the memo as-is (tests populate it by hand).
+    fn no_refresh(
+        _: usize,
+        _: &IncTerm,
+        _: &mut TermState,
+    ) -> Result<TermRefresh, QueryError> {
+        Ok(TermRefresh::Repaired { rows: 0, shared: false })
+    }
+
+    fn truth_of(p: &IncrementalPlan, memo: &mut IncMemo) -> bool {
+        match p.evaluate(memo, &mut no_refresh).unwrap().verdict {
+            CondVerdict::Truth(t) => t,
+            CondVerdict::Degrade(l) => panic!("unexpected degrade {l}"),
+        }
+    }
+
     #[test]
     fn accepts_exists_and_count_combinations() {
         let p = plan(
@@ -479,11 +1431,11 @@ mod tests {
         .unwrap();
         assert_eq!(p.terms.len(), 2);
         assert!(matches!(p.terms[0].truth, TermTruth::Exists { negated: false }));
-        assert!(matches!(p.terms[0].kind, TransitionKind::Inserted));
         assert!(matches!(
-            p.terms[1].truth,
-            TermTruth::Count { op: BinaryOp::Gt, .. }
+            p.terms[0].kind,
+            TermKind::Set { view: ViewScan { kind: TransitionKind::Inserted, .. }, .. }
         ));
+        assert!(matches!(p.terms[1].truth, TermTruth::Count { op: BinaryOp::Gt, .. }));
     }
 
     #[test]
@@ -494,6 +1446,68 @@ mod tests {
     }
 
     #[test]
+    fn accepts_two_view_equality_join() {
+        let p = plan(
+            "exists (select * from inserted emp e, deleted dept d \
+             where e.emp_no = d.dept_no and e.salary > 10.0)",
+        )
+        .unwrap();
+        let TermKind::Join { left, right, left_key, right_key, key_ty, .. } =
+            &p.terms[0].kind
+        else {
+            panic!("expected join term");
+        };
+        assert_eq!(left.table, "emp");
+        assert_eq!(right.table, "dept");
+        assert_eq!(*left_key, 1);
+        assert_eq!(*right_key, 0);
+        assert_eq!(*key_ty, DataType::Int);
+        // The salary conjunct landed in the left side's pushdown mirror.
+        assert_eq!(left.conjs.len(), 1);
+        // The key-equality conjuncts are single-frame on neither side.
+        assert_eq!(right.conjs.len(), 0);
+    }
+
+    #[test]
+    fn accepts_count_over_join_and_reversed_edge() {
+        let p = plan(
+            "(select count(*) from inserted emp e, inserted dept d \
+             where d.dept_no = e.emp_no) >= 2",
+        )
+        .unwrap();
+        let TermKind::Join { left_key, right_key, .. } = &p.terms[0].kind else {
+            panic!("expected join term");
+        };
+        // Edge written `d.dept_no = e.emp_no`: frames normalize so the
+        // left key is emp's column.
+        assert_eq!(*left_key, 1);
+        assert_eq!(*right_key, 0);
+    }
+
+    #[test]
+    fn accepts_aggregate_thresholds() {
+        let p = plan(
+            "(select sum(emp_no) from inserted emp) > 10 \
+             and (select min(emp_no) from deleted emp where emp_no > 0) < 5 \
+             and 2.5 < (select avg(emp_no) from new updated emp.emp_no) \
+             and (select max(emp_no) from old updated emp) >= 7",
+        )
+        .unwrap();
+        assert_eq!(p.terms.len(), 4);
+        let funcs: Vec<AccFunc> = p
+            .terms
+            .iter()
+            .map(|t| match &t.kind {
+                TermKind::Acc { func, .. } => *func,
+                k => panic!("expected acc term, got {k:?}"),
+            })
+            .collect();
+        assert_eq!(funcs, vec![AccFunc::Sum, AccFunc::Min, AccFunc::Avg, AccFunc::Max]);
+        // `2.5 < avg` mirrored to `avg > 2.5`.
+        assert!(matches!(p.terms[2].truth, TermTruth::Agg { op: BinaryOp::Gt, .. }));
+    }
+
+    #[test]
     fn fallback_taxonomy() {
         let reason = |src: &str| plan(src).unwrap_err();
         assert_eq!(reason("salary > 10.0"), FallbackReason::Shape);
@@ -501,9 +1515,38 @@ mod tests {
             reason("exists (select * from emp)"),
             FallbackReason::StoredTable("emp".into())
         );
+        // Two views without an equality key: cross join.
         assert_eq!(
-            reason("exists (select * from inserted emp, deleted emp)"),
-            FallbackReason::MultiItemFrom
+            reason("exists (select * from inserted emp, deleted dept)"),
+            FallbackReason::JoinShape
+        );
+        // Non-equi cross predicate only.
+        assert_eq!(
+            reason(
+                "exists (select * from inserted emp e, deleted dept d \
+                 where e.emp_no < d.dept_no)"
+            ),
+            FallbackReason::JoinShape
+        );
+        // Float keys never hash.
+        assert_eq!(
+            reason(
+                "exists (select * from inserted emp e, deleted emp d \
+                 where e.salary = d.salary)"
+            ),
+            FallbackReason::JoinShape
+        );
+        // Aggregates over joins are not accumulated.
+        assert_eq!(
+            reason(
+                "(select sum(e.emp_no) from inserted emp e, deleted dept d \
+                 where e.emp_no = d.dept_no) > 0"
+            ),
+            FallbackReason::JoinShape
+        );
+        assert_eq!(
+            reason("exists (select * from selected emp)"),
+            FallbackReason::SelectedWindow
         );
         assert_eq!(
             reason("exists (select * from inserted emp order by emp_no)"),
@@ -522,7 +1565,19 @@ mod tests {
         );
         assert_eq!(
             reason("(select count(*) from inserted emp) = 'three'"),
-            FallbackReason::CountComparison
+            FallbackReason::AggComparison
+        );
+        assert_eq!(
+            reason("(select sum(salary) from inserted emp) > 0"),
+            FallbackReason::FloatAccumulator
+        );
+        assert_eq!(
+            reason("(select sum(name) from inserted emp) > 0"),
+            FallbackReason::AggArgument
+        );
+        assert_eq!(
+            reason("(select count(emp_no) from inserted emp) > 0"),
+            FallbackReason::AggArgument
         );
         assert_eq!(
             reason("exists (select * from inserted nosuch)"),
@@ -537,6 +1592,27 @@ mod tests {
     }
 
     #[test]
+    fn fallback_labels_are_unique() {
+        let reasons = [
+            FallbackReason::Shape,
+            FallbackReason::StoredTable("t".into()),
+            FallbackReason::JoinShape,
+            FallbackReason::SelectedWindow,
+            FallbackReason::SubqueryShape,
+            FallbackReason::Projection,
+            FallbackReason::Predicate,
+            FallbackReason::AggComparison,
+            FallbackReason::FloatAccumulator,
+            FallbackReason::AggArgument,
+            FallbackReason::Unlicensed("r".into()),
+            FallbackReason::UnknownReference("r".into()),
+        ];
+        let labels: BTreeSet<&str> = reasons.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), reasons.len(), "labels must be distinct");
+        assert!(!labels.contains(SUM_OVERFLOW_GUARD), "dynamic label must not collide");
+    }
+
+    #[test]
     fn truth_over_memo() {
         let p = plan(
             "exists (select * from inserted emp) \
@@ -544,24 +1620,162 @@ mod tests {
         )
         .unwrap();
         let mut memo = IncMemo::for_plan(&p);
-        assert!(!p.truth(&memo).unwrap());
-        memo.terms[1].insert(TupleHandle(1));
-        assert!(!p.truth(&memo).unwrap(), "count 1 < 2 and no inserts");
-        memo.terms[1].insert(TupleHandle(2));
-        assert!(p.truth(&memo).unwrap(), "count reached 2");
-        memo.terms[1].clear();
-        memo.terms[0].insert(TupleHandle(3));
-        assert!(p.truth(&memo).unwrap(), "exists arm");
+        assert!(!truth_of(&p, &mut memo));
+        let TermMemo::Set(s) = &mut memo.terms[1].memo else { panic!() };
+        s.insert(TupleHandle(1));
+        assert!(!truth_of(&p, &mut memo), "count 1 < 2 and no inserts");
+        let TermMemo::Set(s) = &mut memo.terms[1].memo else { panic!() };
+        s.insert(TupleHandle(2));
+        assert!(truth_of(&p, &mut memo), "count reached 2");
+        let TermMemo::Set(s) = &mut memo.terms[1].memo else { panic!() };
+        s.clear();
+        let TermMemo::Set(s) = &mut memo.terms[0].memo else { panic!() };
+        s.insert(TupleHandle(3));
+        assert!(truth_of(&p, &mut memo), "exists arm");
     }
 
     #[test]
-    fn float_count_comparison_matches_executor_semantics() {
-        let p = plan("(select count(*) from inserted emp) > 1.5").unwrap();
+    fn lazy_refresh_short_circuits_like_the_executor() {
+        let p = plan(
+            "exists (select * from inserted emp) \
+             and (select count(*) from deleted emp) >= 1",
+        )
+        .unwrap();
         let mut memo = IncMemo::for_plan(&p);
-        memo.terms[0].insert(TupleHandle(1));
-        assert!(!p.truth(&memo).unwrap());
-        memo.terms[0].insert(TupleHandle(2));
-        assert!(p.truth(&memo).unwrap());
+        // Left term empty ⇒ `false and …` never refreshes the right term.
+        let mut touched = Vec::new();
+        let out = p
+            .evaluate(&mut memo, &mut |i, _, _| {
+                touched.push(i);
+                Ok(TermRefresh::Rebuilt { rows: 0 })
+            })
+            .unwrap();
+        assert_eq!(out.verdict, CondVerdict::Truth(false));
+        assert_eq!(touched, vec![0], "right term must not be refreshed");
+        assert_eq!(out.rebuilt, 1);
+    }
+
+    #[test]
+    fn aggregate_truth_is_three_valued() {
+        // Empty window: sum is NULL, NULL > 0 is not-true, and
+        // `not (NULL > 0)` is *also* not-true — Kleene, not classical.
+        let p = plan("not (select sum(emp_no) from inserted emp) > 0").unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        assert!(!truth_of(&p, &mut memo), "not NULL is NULL, not true");
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.insert(TupleHandle(1), 5);
+        assert!(!truth_of(&p, &mut memo), "5 > 0 holds, negated");
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.insert(TupleHandle(1), -5);
+        assert!(truth_of(&p, &mut memo), "replaced contribution flips the sum");
+    }
+
+    #[test]
+    fn accumulator_repairs_extremum_deletion() {
+        let p = plan("(select max(emp_no) from inserted emp) >= 9").unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.insert(TupleHandle(1), 9);
+        a.insert(TupleHandle(2), 9);
+        a.insert(TupleHandle(3), 4);
+        assert!(truth_of(&p, &mut memo));
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.remove(TupleHandle(1));
+        assert!(truth_of(&p, &mut memo), "duplicate extremum survives one removal");
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.remove(TupleHandle(2));
+        assert_eq!(a.sum, 4);
+        assert!(!truth_of(&p, &mut memo), "max fell to 4 without any rescan");
+    }
+
+    #[test]
+    fn sum_overflow_guard_degrades_only_when_order_matters() {
+        let p = plan("(select sum(emp_no) from inserted emp) > 0").unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.insert(TupleHandle(1), i64::MAX);
+        a.insert(TupleHandle(2), i64::MAX);
+        a.insert(TupleHandle(3), -i64::MAX);
+        // Total fits i64 but pos escapes: order decides, so degrade.
+        match p.evaluate(&mut memo, &mut no_refresh).unwrap().verdict {
+            CondVerdict::Degrade(l) => assert_eq!(l, SUM_OVERFLOW_GUARD),
+            v => panic!("expected degrade, got {v:?}"),
+        }
+        // Total overflows: every order errors, exactly like the fold.
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.remove(TupleHandle(3));
+        let err = p.evaluate(&mut memo, &mut no_refresh).unwrap_err();
+        assert!(err.to_string().contains("integer overflow in sum"), "{err}");
+        // Comfortably inside i64: authoritative truth.
+        let TermMemo::Acc(a) = &mut memo.terms[0].memo else { panic!() };
+        a.remove(TupleHandle(1));
+        a.remove(TupleHandle(2));
+        a.insert(TupleHandle(4), 41);
+        assert!(truth_of(&p, &mut memo));
+    }
+
+    #[test]
+    fn join_memo_tracks_pairs() {
+        let p = plan(
+            "(select count(*) from inserted emp e, deleted dept d \
+             where e.emp_no = d.dept_no) >= 2",
+        )
+        .unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        let TermMemo::Join(j) = &mut memo.terms[0].memo else { panic!() };
+        j.left.insert(TupleHandle(1), Value::Int(7), vec![Value::Int(7)]);
+        j.right.insert(TupleHandle(8), Value::Int(7), vec![Value::Int(7)]);
+        j.right.insert(TupleHandle(9), Value::Int(7), vec![Value::Int(7)]);
+        j.add_pair(TupleHandle(1), TupleHandle(8));
+        j.add_pair(TupleHandle(1), TupleHandle(9));
+        assert!(truth_of(&p, &mut memo));
+        let TermMemo::Join(j) = &mut memo.terms[0].memo else { panic!() };
+        j.purge_left(TupleHandle(1));
+        assert!(j.pairs.is_empty());
+        assert!(!truth_of(&p, &mut memo));
+    }
+
+    #[test]
+    fn join_side_probe_mirrors_scan_and_hash() {
+        let p = plan(
+            "exists (select * from inserted emp e, deleted emp d \
+             where e.emp_no = d.emp_no and e.name = 'k')",
+        )
+        .unwrap();
+        let t = &p.terms[0];
+        let keyed = vec![Value::Text("k".into()), Value::Int(3), Value::Null];
+        let filtered = vec![Value::Text("x".into()), Value::Int(3), Value::Null];
+        let null_key = vec![Value::Text("k".into()), Value::Null, Value::Null];
+        assert_eq!(t.probe_join_side(true, &keyed), Some(Value::Int(3)));
+        assert_eq!(t.probe_join_side(true, &filtered), None, "pushdown drops it");
+        assert_eq!(t.probe_join_side(true, &null_key), None, "NULL keys never hash");
+        // The right side carries no name conjunct.
+        assert_eq!(t.probe_join_side(false, &filtered), Some(Value::Int(3)));
+        // Pair probe evaluates the full predicate.
+        assert!(t.probe_join_pair(&keyed, &filtered).unwrap());
+        assert!(!t.probe_join_pair(&filtered, &keyed).unwrap());
+    }
+
+    #[test]
+    fn set_probe_applies_prefilter_then_full_predicate() {
+        // Division can error; the prefilter's definite-false conjunct
+        // must drop the row before the error is ever raised — exactly the
+        // scan's drop-on-false / keep-on-error rule.
+        let p = plan(
+            "exists (select * from inserted emp \
+             where emp_no > 0 and 10 / emp_no > 2)",
+        )
+        .unwrap();
+        let t = &p.terms[0];
+        let ok = vec![Value::Text("a".into()), Value::Int(2), Value::Null];
+        let dropped = vec![Value::Text("b".into()), Value::Int(-1), Value::Null];
+        let zero = vec![Value::Text("c".into()), Value::Int(0), Value::Null];
+        assert!(t.probe_set(&ok).unwrap());
+        assert!(!t.probe_set(&dropped).unwrap(), "10 / -1 = -10 fails the full predicate");
+        assert!(
+            !t.probe_set(&zero).unwrap(),
+            "emp_no > 0 is definite false: dropped before the division errors"
+        );
     }
 
     #[test]
@@ -571,20 +1785,61 @@ mod tests {
         let row_hi = vec![Value::Text("a".into()), Value::Int(1), Value::Float(150.0)];
         let row_lo = vec![Value::Text("b".into()), Value::Int(2), Value::Float(50.0)];
         let row_null = vec![Value::Text("c".into()), Value::Int(3), Value::Null];
-        assert!(t.matches(&row_hi).unwrap());
-        assert!(!t.matches(&row_lo).unwrap());
-        assert!(!t.matches(&row_null).unwrap(), "NULL comparison is not true");
+        assert!(t.probe_set(&row_hi).unwrap());
+        assert!(!t.probe_set(&row_lo).unwrap());
+        assert!(!t.probe_set(&row_null).unwrap(), "NULL comparison is not true");
     }
 
     #[test]
-    fn describe_names_views_and_truth_forms() {
+    fn describe_names_views_truth_forms_and_memos() {
         let p = plan(
             "not exists (select * from new updated emp.salary where salary > 0.0) \
-             and (select count(*) from deleted emp) = 0",
+             and (select count(*) from deleted emp) = 0 \
+             and exists (select * from inserted emp e, deleted dept d \
+                         where e.emp_no = d.dept_no) \
+             and (select sum(emp_no) from inserted emp where emp_no > 0) > 10 \
+             and (select min(emp_no) from deleted emp) < 3",
         )
         .unwrap();
         let d = p.describe();
-        assert!(d.contains("not exists [new updated emp.salary where <row-local>]"), "{d}");
-        assert!(d.contains("count = 0 [deleted emp]"), "{d}");
+        assert!(
+            d.contains(
+                "not exists [new updated emp.salary where <row-local>; memo: match-set]"
+            ),
+            "{d}"
+        );
+        assert!(d.contains("count = 0 [deleted emp; memo: match-set]"), "{d}");
+        assert!(
+            d.contains(
+                "exists [inserted emp join deleted dept on emp_no = dept_no (int); \
+                 memo: join-memory]"
+            ),
+            "{d}"
+        );
+        assert!(
+            d.contains(
+                "sum(emp_no) > 10 [inserted emp where <row-local>; memo: sum/count accumulator]"
+            ),
+            "{d}"
+        );
+        assert!(d.contains("min(emp_no) < 3 [deleted emp; memo: ordered multiset]"), "{d}");
+    }
+
+    #[test]
+    fn memo_accounting_counts_entries() {
+        let p = plan(
+            "exists (select * from inserted emp) \
+             and (select sum(emp_no) from deleted emp) > 0",
+        )
+        .unwrap();
+        let mut memo = IncMemo::for_plan(&p);
+        assert_eq!(memo.entries(), 0);
+        let TermMemo::Set(s) = &mut memo.terms[0].memo else { panic!() };
+        s.insert(TupleHandle(1));
+        s.insert(TupleHandle(2));
+        let TermMemo::Acc(a) = &mut memo.terms[1].memo else { panic!() };
+        a.insert(TupleHandle(3), 7);
+        assert_eq!(memo.entries(), 3);
+        assert!(memo.approx_bytes() > 0);
     }
 }

@@ -35,6 +35,13 @@ echo "==> cargo test -q (SETRULES_INCR=0: full re-scan condition evaluation)"
 # condition re-scanned from the composite window.
 SETRULES_INCR=0 cargo test -q
 
+echo "==> cargo test -q (SETRULES_INCR=0 x SETRULES_THREADS=8: re-scan on the wide pool)"
+# The two switches must compose: re-scan-only evaluation with every
+# exchange-eligible stage partitioned is the configuration the
+# incremental evaluator's differential suites are implicitly trusted
+# against, so it gets its own full-suite pass.
+SETRULES_INCR=0 SETRULES_THREADS=8 cargo test -q
+
 echo "==> fault-injection sweep (bounded: first/middle/last site per kind)"
 # The full sweep (every (kind, n) site on the paper workloads) runs as part
 # of `cargo test` above; this re-runs it explicitly in the env-bounded mode
@@ -107,6 +114,17 @@ BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
   cargo bench -p setrules-bench --bench incremental
 test -f "$PWD/target/bench-snapshots/BENCH_incremental.json" \
   || { echo "error: BENCH_incremental.json not written" >&2; exit 1; }
+
+echo "==> bench smoke (widened incremental shapes: joins, accumulators, shared cursors)"
+# In-bench asserts: identical firing traces and state images on the
+# two-view join storm and the 60-rule shared-view aggregate storm, zero
+# fallbacks for the widened shapes, shared-cursor fan-out
+# (incr_shared_hits covers most reconsiderations), and >=10x wall-clock
+# speedup on both storms.
+BENCH_FAST=1 BENCH_OUT_DIR="$PWD/target/bench-snapshots" \
+  cargo bench -p setrules-bench --bench incremental_wide
+test -f "$PWD/target/bench-snapshots/BENCH_incremental_wide.json" \
+  || { echo "error: BENCH_incremental_wide.json not written" >&2; exit 1; }
 
 echo "==> EngineEvent enum guard"
 # Variant names: capitalized identifiers at 4-space indent inside the

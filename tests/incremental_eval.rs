@@ -5,12 +5,20 @@
 //!   `EngineConfig::incremental` on, once off — must produce identical
 //!   firing sequences, identical `state_image()`s, and identical semantic
 //!   counters (work counters like `rows_scanned` and the `incr_*` family
-//!   legitimately differ: that difference is the optimisation).
-//! * A fault sweep over the paper's Example 3.1 / 4.1 workloads with
-//!   incremental evaluation enabled: every reachable fault site must
-//!   abort to a byte-identical pre-statement state on *both* evaluators,
-//!   and the post-recovery runs must converge — i.e. an abort invalidates
-//!   the memo rather than leaving it stale.
+//!   legitimately differ: that difference is the optimisation). Programs
+//!   span match sets, two-view equality joins (and non-equi fallbacks),
+//!   `sum`/`avg`/`min`/`max` accumulators, float-aggregate fallbacks, and
+//!   inserts from the NaN/-0.0/NULL/1e300/near-`i64::MAX` corpus.
+//! * Deterministic programs pinning the widened memo kinds: extremum
+//!   deletion, windows drained to empty, join repair from both sides,
+//!   the sum overflow guard, the shared-delta-cursor storm, and the
+//!   `selected`-window fallback.
+//! * A fault sweep over the paper's Example 3.1 / 4.1 workloads (with
+//!   exists, join-memory, and accumulator conditions) with incremental
+//!   evaluation enabled: every reachable fault site must abort to a
+//!   byte-identical pre-statement state on *both* evaluators, and the
+//!   post-recovery runs must converge — i.e. an abort invalidates the
+//!   memo rather than leaving it stale.
 //!
 //! Cases come from the deterministic `setrules-testkit` harness; a
 //! failure names the case index and seed to replay.
@@ -35,7 +43,7 @@ fn build(incremental: bool, retrigger: RetriggerSemantics, rules: &[String]) -> 
         strategy: SelectionStrategy::PartialOrder,
         ..Default::default()
     });
-    sys.execute("create table t (a int, b int)").unwrap();
+    sys.execute("create table t (a int, b int, f float)").unwrap();
     sys.execute("create table tick (k int)").unwrap();
     sys.execute("create table sink (r int, v int)").unwrap();
     for r in rules {
@@ -53,13 +61,36 @@ fn gen_pred(rng: &mut Rng, tick: bool) -> String {
             _ => format!(" where k < {}", rng.range_i64(1, 4)),
         };
     }
-    match rng.below(5) {
+    match rng.below(6) {
         0 => String::new(),
         1 => format!(" where a > {}", rng.range_i64(0, 50)),
         2 => format!(" where b < {}", rng.range_i64(0, 50)),
         3 => format!(" where a + b > {}", rng.range_i64(0, 80)),
+        4 => format!(" where f > {}", *rng.pick(&["0.0", "-0.0", "1.5", "1e300"])),
         _ => format!(" where a > {} and b > {}", rng.range_i64(0, 40), rng.range_i64(0, 40)),
     }
+}
+
+/// An int literal for inserts: mostly small, sometimes NULL (three-valued
+/// predicates and aggregates skipping NULLs), rarely near `i64::MAX` so
+/// `sum` repairs cross the overflow guard — and sometimes *must* error,
+/// identically on both evaluators.
+fn gen_int(rng: &mut Rng) -> String {
+    if rng.chance(1, 10) {
+        return "NULL".to_string();
+    }
+    if rng.chance(1, 40) {
+        return "9223372036854775000".to_string();
+    }
+    rng.range_i64(0, 60).to_string()
+}
+
+/// A float literal from the adversarial corpus (float aggregates fall
+/// back; float predicates stay incremental and must agree on NaN/-0.0).
+fn gen_float(rng: &mut Rng) -> &'static str {
+    const CORPUS: [&str; 9] =
+        ["0.0", "-0.0", "1.5", "-2.5", "7.25", "1e300", "-1e300", "(0.0 / 0.0)", "NULL"];
+    CORPUS[rng.below(CORPUS.len())]
 }
 
 /// One condition term over the rule's licensed transition views. Roughly
@@ -77,8 +108,47 @@ fn gen_term(rng: &mut Rng, views: &[&str]) -> String {
             }
         };
     }
+    // Two-view join terms for rules licensing a whole-table update window
+    // (`old updated t` × `new updated t`): equality joins exercise the
+    // join memory; one in three is non-equi, exercising the `JoinShape`
+    // fallback.
+    if views.len() == 2
+        && views.iter().all(|v| v.ends_with(" t"))
+        && rng.chance(1, 4)
+    {
+        let key = if rng.chance(1, 2) { "a" } else { "b" };
+        let extra = match rng.below(3) {
+            0 => String::new(),
+            1 => format!(" and o.a > {}", rng.range_i64(0, 50)),
+            _ => format!(" and n.b < {}", rng.range_i64(0, 50)),
+        };
+        let cmp = if rng.chance(1, 3) { "<" } else { "=" };
+        return format!(
+            "exists (select * from {} o, {} n where o.{key} {cmp} n.{key}{extra})",
+            views[0], views[1]
+        );
+    }
     let view = views[rng.below(views.len())];
-    let pred = gen_pred(rng, view.ends_with("tick"));
+    let tick = view.ends_with("tick");
+    let pred = gen_pred(rng, tick);
+    // Aggregate thresholds: int columns run on the accumulator memos
+    // (`sum`/`avg` as running pairs, `min`/`max` as ordered multisets);
+    // float columns exercise the `FloatAccumulator` fallback.
+    if !tick && rng.chance(1, 3) {
+        let (func, col) = match rng.below(6) {
+            0 => ("sum", "a"),
+            1 => ("avg", "a"),
+            2 => ("min", "b"),
+            3 => ("max", "b"),
+            4 => ("sum", "f"),
+            _ => ("min", "f"),
+        };
+        let op = ["<", "<=", ">", ">=", "="][rng.below(5)];
+        return format!(
+            "(select {func}({col}) from {view}{pred}) {op} {}",
+            rng.range_i64(0, 120)
+        );
+    }
     match rng.below(5) {
         0 => format!("exists (select * from {view}{pred})"),
         1 => format!("not exists (select * from {view}{pred})"),
@@ -136,10 +206,12 @@ fn gen_rules(rng: &mut Rng) -> Vec<String> {
 fn gen_txn(rng: &mut Rng) -> String {
     let n = 1 + rng.below(4);
     let stmts: Vec<String> = (0..n)
-        .map(|_| match rng.below(7) {
+        .map(|_| match rng.below(8) {
             0 | 1 => {
                 let rows: Vec<String> = (0..1 + rng.below(3))
-                    .map(|_| format!("({}, {})", rng.range_i64(0, 60), rng.range_i64(0, 60)))
+                    .map(|_| {
+                        format!("({}, {}, {})", gen_int(rng), gen_int(rng), gen_float(rng))
+                    })
                     .collect();
                 format!("insert into t values {}", rows.join(", "))
             }
@@ -159,6 +231,7 @@ fn gen_txn(rng: &mut Rng) -> String {
                 rng.range_i64(0, 60),
                 rng.range_i64(0, 60)
             ),
+            6 => format!("update t set f = {} where b < {}", gen_float(rng), rng.range_i64(0, 60)),
             _ => format!("insert into tick values ({})", rng.below(4)),
         })
         .collect();
@@ -227,6 +300,344 @@ fn incremental_matches_rescan_on_random_programs() {
 }
 
 // ----------------------------------------------------------------------
+// Deterministic programs pinning the widened memo kinds.
+// ----------------------------------------------------------------------
+
+/// Run the same rule program + transactions on an incremental and a
+/// re-scan system, asserting identical firings and images throughout.
+fn run_pair(rules: &[String], txns: &[&str]) -> (RuleSystem, RuleSystem) {
+    let mut inc = build(true, RetriggerSemantics::SinceLastAction, rules);
+    let mut scan = build(false, RetriggerSemantics::SinceLastAction, rules);
+    for sql in txns {
+        let a = inc.transaction(sql);
+        let b = scan.transaction(sql);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.fired(), y.fired(), "firing trace for `{sql}`");
+            }
+            (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string(), "error for `{sql}`"),
+            _ => panic!("evaluators disagree on `{sql}`: {a:?} vs {b:?}"),
+        }
+        assert_eq!(
+            inc.database().state_image(),
+            scan.database().state_image(),
+            "state diverged after `{sql}`"
+        );
+    }
+    (inc, scan)
+}
+
+/// Deleting the extremum mid-transaction must repair the ordered-multiset
+/// memo, not rescan — and must *flip* the watcher's truth: `w_max`
+/// becomes true only after the reaper deletes the rows with `a > 50`
+/// from the inserted window (max falls from 60 to 5). `w_sum`'s running
+/// pair retires the same contributions.
+#[test]
+fn aggregate_memo_repairs_extremum_deletion() {
+    let rules = vec![
+        "create rule w_max when inserted into t \
+         if (select max(a) from inserted t) <= 5 \
+         then insert into sink values (0, 1)"
+            .to_string(),
+        "create rule w_sum when inserted into t \
+         if (select sum(a) from inserted t) > 100 \
+         then insert into sink values (1, 1)"
+            .to_string(),
+        "create rule w_min when inserted into t \
+         if (select min(b) from inserted t) >= 7 \
+         then insert into sink values (2, 1)"
+            .to_string(),
+        "create rule reaper when inserted into t \
+         if exists (select * from inserted t where a > 50) \
+         then delete from t where a > 50"
+            .to_string(),
+    ];
+    let (inc, _) =
+        run_pair(&rules, &["insert into t values (60, 9, 0.0), (55, 8, 1.5), (5, 7, -0.0)"]);
+    let fired: Vec<i64> = inc
+        .query("select r from sink")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    assert!(fired.contains(&0), "w_max must fire after the extremum is deleted: {fired:?}");
+    assert!(fired.contains(&1), "w_sum true before the reap: {fired:?}");
+    assert!(fired.contains(&2), "w_min true throughout: {fired:?}");
+    let si = inc.stats();
+    assert!(si.incr_hits > 0, "reconsiderations must repair the accumulators");
+    assert_eq!(si.incr_fallbacks, 0, "every condition here is incrementalizable");
+}
+
+/// When every row *matching* the watcher's filter is deleted, its memo
+/// drains to empty (the whole window cannot drain — Def 2.1 cancels the
+/// deletes against the inserts and the rule loses its trigger). The
+/// emptied accumulator makes `count` 0 and `max` NULL; three-valued
+/// comparisons must agree with the re-scan evaluator.
+#[test]
+fn aggregate_memo_drains_to_empty() {
+    let rules = vec![
+        "create rule w_gone when inserted into t \
+         if (select count(*) from inserted t where a > 50) = 0 \
+         then insert into sink values (1, 1)"
+            .to_string(),
+        "create rule w_null when inserted into t \
+         if (select max(a) from inserted t where a > 50) >= 0 \
+         then insert into sink values (0, 1)"
+            .to_string(),
+        "create rule reaper when inserted into t \
+         if exists (select * from inserted t where a > 50) \
+         then delete from t where a > 50"
+            .to_string(),
+    ];
+    let (inc, _) =
+        run_pair(&rules, &["insert into t values (60, 9, 0.0), (55, 8, 1.5), (5, 7, -0.0)"]);
+    let fired: Vec<i64> = inc
+        .query("select r from sink")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    // w_gone is false while the memo holds {60, 55} and true only after
+    // the reaper drains it (the surviving row (5, 7) keeps the window
+    // triggered); w_null fires before the drain, and `NULL >= 0` keeps
+    // it quiet after.
+    assert!(fired.contains(&1), "w_gone must fire once its memo drains: {fired:?}");
+    assert!(fired.contains(&0), "w_null must fire before the drain: {fired:?}");
+    let si = inc.stats();
+    assert!(si.incr_hits > 0, "the drain must be a repair, not a rebuild");
+    assert_eq!(si.incr_fallbacks, 0, "every condition here is incrementalizable");
+}
+
+/// A two-view equality join repaired from both sides: the condition pairs
+/// old and new updated rows on `a` and filters on the new side's `b`.
+/// The reaper's follow-up update re-probes the join memory.
+#[test]
+fn join_memo_matches_rescan_across_both_sides() {
+    let rules = vec![
+        // False on first consideration (the external update sets b = 1),
+        // true only after the pump's second-stage update — so the flip is
+        // observed through a *repair* of the join memory, not a rebuild.
+        "create rule w_join when updated t \
+         if exists (select * from old updated t o, new updated t n \
+                    where o.a = n.a and n.b > 10) \
+         then insert into sink values (0, 1)"
+            .to_string(),
+        "create rule pump when updated t \
+         if exists (select * from new updated t where b = 1) \
+         then update t set b = 11 where b = 1"
+            .to_string(),
+    ];
+    let (inc, _) = run_pair(
+        &rules,
+        &[
+            "insert into t values (1, 1, 0.0), (2, 2, 0.0), (3, 3, 0.0)",
+            // `a` never changes (stable join key); `b` rises through the
+            // pump, so the pair predicate flips mid-processing while the
+            // old-updated side stays frozen at (2, 2).
+            "update t set b = 1 where a = 2",
+        ],
+    );
+    assert!(
+        inc.query("select count(*) from sink").unwrap().scalar().unwrap().as_i64().unwrap() > 0,
+        "the join watcher must fire"
+    );
+    let si = inc.stats();
+    assert!(si.incr_hits > 0, "join memo must repair across considerations");
+    assert_eq!(si.incr_fallbacks, 0, "the equality join is incrementalizable");
+}
+
+/// The sum overflow guard: a window total outside `i64` errors
+/// identically on both evaluators; positive-mass overflow with an
+/// in-range total degrades that one evaluation to a full scan (recorded
+/// under `sum-overflow-guard`) without giving a wrong answer.
+#[test]
+fn sum_overflow_guard_degrades_and_errors_identically() {
+    let watch = vec![
+        "create rule w when inserted into t \
+         if (select sum(a) from inserted t) > 0 \
+         then insert into sink values (0, 1)"
+            .to_string(),
+    ];
+    // Total 2^63 — guaranteed overflow, identical error from both sides.
+    let mut inc = build(true, RetriggerSemantics::SinceLastAction, &watch);
+    let mut scan = build(false, RetriggerSemantics::SinceLastAction, &watch);
+    let sql =
+        "insert into t values (4611686018427387904, 0, 0.0), (4611686018427387904, 1, 0.0)";
+    let (a, b) = (inc.transaction(sql), scan.transaction(sql));
+    let ea = a.expect_err("sum must overflow").to_string();
+    let eb = b.expect_err("sum must overflow").to_string();
+    assert_eq!(ea, eb, "overflow must surface identically");
+    assert!(ea.contains("integer overflow in sum"), "unexpected error: {ea}");
+
+    // Positive mass exceeds i64 but the running total never does in scan
+    // order: the incremental side must degrade (not answer from the
+    // accumulator) and agree with the full fold.
+    let (inc, _) = run_pair(
+        &watch,
+        &["insert into t values (6000000000000000000, 0, 0.0), \
+           (-6000000000000000000, 1, 0.0), (6000000000000000000, 2, 0.0)"],
+    );
+    assert_eq!(
+        inc.query("select count(*) from sink").unwrap().scalar().unwrap().as_i64(),
+        Some(1),
+        "the degraded evaluation must still answer true"
+    );
+    assert!(
+        inc.stats().incr_fallback_reasons.get("sum-overflow-guard").copied().unwrap_or(0) > 0,
+        "the degrade must be recorded under its own reason: {:?}",
+        inc.stats().incr_fallback_reasons
+    );
+}
+
+/// The 60-watcher shared-cursor storm: all watchers sit at the same
+/// cursor when the pump fires, so the first repair folds the delta
+/// suffix and the rest consume it from the per-transaction compose
+/// cache (`incr_shared_hits`). Semantics stay identical to re-scan.
+#[test]
+fn shared_delta_cursor_fans_out_across_watchers() {
+    let mut rules: Vec<String> = (0..60)
+        .map(|i| {
+            format!(
+                "create rule w{i} when inserted into t \
+                 if (select count(*) from inserted t) >= {} \
+                 then insert into sink values ({i}, 1)",
+                // Unsatisfiable thresholds: every watcher evaluates false
+                // both before and after the pump, so all 60 repair from
+                // the same cursor between the pump's transitions.
+                100 + i
+            )
+        })
+        .collect();
+    rules.push(
+        // Self-quenching: after acting, the pump's restarted window holds
+        // its own insert (a = 99), so the second conjunct goes false and
+        // the storm settles after exactly one pumped transition.
+        "create rule pump when inserted into t \
+         if exists (select * from inserted t where a = 1) \
+         and not exists (select * from inserted t where a = 99) \
+         then insert into t values (99, 99, 0.0)"
+            .to_string(),
+    );
+    let (inc, scan) = run_pair(&rules, &["insert into t values (1, 1, 0.0)"]);
+    let si = inc.stats();
+    assert!(si.incr_hits > 0, "watchers must repair after the pump fires");
+    assert!(
+        si.incr_shared_hits >= 50,
+        "the composed delta must fan out across the storm, got {} shared hits",
+        si.incr_shared_hits
+    );
+    assert_eq!(scan.stats().incr_shared_hits, 0, "re-scan engine never shares deltas");
+}
+
+/// `selected` windows stay on the full evaluator — via a real
+/// select-tracking system: the incremental engine must record the
+/// `selected-window` fallback and still fire identically.
+#[test]
+fn selected_window_falls_back_identically() {
+    let build_sel = |incremental: bool| {
+        let mut sys = RuleSystem::with_config(EngineConfig {
+            incremental: Some(incremental),
+            track_selects: true,
+            ..Default::default()
+        });
+        sys.execute("create table t (a int, b int, f float)").unwrap();
+        sys.execute("create table audit (r int)").unwrap();
+        sys.execute(
+            "create rule watch_reads when selected t \
+             if exists (select * from selected t where a > 1) \
+             then insert into audit values (1)",
+        )
+        .unwrap();
+        sys.execute("insert into t values (1, 1, 0.0), (2, 2, 0.0)").unwrap();
+        sys
+    };
+    let mut inc = build_sel(true);
+    let mut scan = build_sel(false);
+    for sql in ["select a from t where a = 1", "select * from t where a = 2"] {
+        let a = inc.transaction(sql).unwrap();
+        let b = scan.transaction(sql).unwrap();
+        assert_eq!(a.fired(), b.fired(), "selected-window firings for `{sql}`");
+    }
+    assert_eq!(
+        inc.database().state_image(),
+        scan.database().state_image(),
+        "selected-window rule diverged"
+    );
+    assert!(
+        inc.stats().incr_fallback_reasons.get("selected-window").copied().unwrap_or(0) > 0,
+        "fallback must be recorded under selected-window: {:?}",
+        inc.stats().incr_fallback_reasons
+    );
+}
+
+/// The report-level fallback vocabulary: every `FallbackReason` reachable
+/// through a creatable rule shows up in `incremental_report` as
+/// `full re-scan [label] (reason)`. (`unlicensed` is unreachable here by
+/// construction — rule creation rejects conditions referencing
+/// unlicensed transition tables — and is pinned by the query-crate unit
+/// taxonomy instead.)
+#[test]
+fn report_prints_fallback_label_vocabulary() {
+    let mut sys = RuleSystem::with_config(EngineConfig {
+        incremental: Some(true),
+        ..Default::default()
+    });
+    sys.execute("create table t (a int, b int, f float)").unwrap();
+    sys.execute("create table sink (r int, v int)").unwrap();
+    let cases: &[(&str, &str)] = &[
+        ("when inserted into t if a > 1", "shape"),
+        ("when inserted into t if exists (select * from sink)", "stored-table"),
+        (
+            "when updated t if exists (select * from old updated t o, new updated t n \
+             where o.a < n.a)",
+            "join-shape",
+        ),
+        ("when selected t if exists (select * from selected t)", "selected-window"),
+        (
+            "when inserted into t if exists (select * from inserted t order by a)",
+            "subquery-shape",
+        ),
+        ("when inserted into t if exists (select a / b from inserted t)", "projection"),
+        (
+            "when inserted into t if exists (select * from inserted t \
+             where a > (select count(*) from sink))",
+            "predicate",
+        ),
+        (
+            "when inserted into t if (select count(*) from inserted t) = 'three'",
+            "agg-comparison",
+        ),
+        ("when inserted into t if (select sum(f) from inserted t) > 0", "float-accumulator"),
+        ("when inserted into t if (select count(a) from inserted t) > 0", "agg-argument"),
+        (
+            "when inserted into t if (select sum(nosuch) from inserted t) > 0",
+            "unknown-reference",
+        ),
+    ];
+    for (i, (shape, _)) in cases.iter().enumerate() {
+        sys.execute(&format!("create rule v{i} {shape} then insert into sink values ({i}, 1)"))
+            .unwrap();
+    }
+    // One incrementalizable control, so the report shows both renderings.
+    sys.execute(
+        "create rule ok when inserted into t \
+         if (select min(a) from inserted t) < 3 then insert into sink values (99, 1)",
+    )
+    .unwrap();
+    let report = sys.incremental_report();
+    for (i, (shape, label)) in cases.iter().enumerate() {
+        assert!(
+            report.contains(&format!("[{label}]")),
+            "rule v{i} ({shape}) must report label [{label}]; report:\n{report}"
+        );
+    }
+    assert!(report.contains("incremental (1 term)"), "control rule must plan:\n{report}");
+    assert!(report.contains("ordered multiset"), "memo kind must print:\n{report}");
+}
+
+// ----------------------------------------------------------------------
 // Fault sweep over the new memo-invalidation sites.
 // ----------------------------------------------------------------------
 
@@ -261,6 +672,46 @@ const SCENARIOS: &[Scenario] = &[
         name: "example_4_1",
         rule: "create rule r41 when deleted from emp \
                if exists (select * from deleted emp) \
+               then delete from emp where dept_no in \
+                      (select dept_no from dept where mgr_no in \
+                        (select emp_no from deleted emp)); \
+                    delete from dept where mgr_no in \
+                      (select emp_no from deleted emp)",
+        seed: &[
+            "insert into dept values (1, 1), (2, 2)",
+            "insert into emp values ('r', 1, 1.0, 0), ('m1', 2, 1.0, 1), \
+             ('m2', 3, 1.0, 1), ('w1', 4, 1.0, 2), ('w2', 5, 1.0, 2)",
+        ],
+        workload: &["delete from emp where name = 'r'", "insert into emp values ('x', 9, 1.0, 9)"],
+    },
+    // Example 3.1 again, with the condition rephrased as a two-view
+    // equality self-join (true exactly when the window is non-empty:
+    // every deleted dept pairs with itself on dept_no) — the fault sweep
+    // now crosses the join-memory repair path.
+    Scenario {
+        name: "example_3_1_join_memo",
+        rule: "create rule r31j when deleted from dept \
+               if exists (select * from deleted dept x, deleted dept y \
+                          where x.dept_no = y.dept_no) \
+               then delete from emp where dept_no in (select dept_no from deleted dept)",
+        seed: &[
+            "insert into dept values (1, 10), (2, 20)",
+            "insert into emp values ('a', 1, 10.0, 1), ('b', 2, 10.0, 1), ('c', 3, 10.0, 2)",
+        ],
+        workload: &[
+            "delete from dept where dept_no = 1",
+            "insert into dept values (3, 30)",
+            "delete from dept where dept_no = 2",
+        ],
+    },
+    // Example 4.1 with an accumulator condition (`min` over the deleted
+    // window: true exactly when non-empty, since every emp_no >= 1) — the
+    // sweep crosses the ordered-multiset repair path, and an abort
+    // mid-repair must rebuild rather than trust a half-patched multiset.
+    Scenario {
+        name: "example_4_1_acc_memo",
+        rule: "create rule r41a when deleted from emp \
+               if (select min(emp_no) from deleted emp) >= 1 \
                then delete from emp where dept_no in \
                       (select dept_no from dept where mgr_no in \
                         (select emp_no from deleted emp)); \

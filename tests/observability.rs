@@ -86,8 +86,13 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
             "plan_cache",
         ),
         (
-            EngineEvent::IncrementalEval { rule: "r".into(), mode: "repair".into(), delta_rows: 3 },
-            "incremental eval (repair) for 'r' (3 delta rows)",
+            EngineEvent::IncrementalEval {
+                rule: "r".into(),
+                mode: "repair".into(),
+                delta_rows: 3,
+                shared: true,
+            },
+            "incremental eval (repair) for 'r' (3 delta rows, shared delta)",
             "incremental_eval",
         ),
         (
@@ -95,6 +100,7 @@ fn event_samples() -> Vec<(EngineEvent, &'static str, &'static str)> {
                 rule: "r".into(),
                 mode: "fallback".into(),
                 delta_rows: 0,
+                shared: false,
             },
             "incremental eval (fallback) for 'r' (0 delta rows)",
             "incremental_eval",
